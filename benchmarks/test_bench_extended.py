@@ -1,0 +1,44 @@
+"""Bench: the Section-10 extended analysis and selection.
+
+Workload: extended placement (propagation + effect analysis with the
+memory-error-model rule) over the measured permeability matrix, plus
+the cross-check of its coverage under the harsher error model.
+
+Shape assertions against the paper's Section 10:
+
+* effect analysis adds IsValue and mscnt to the PA selection;
+* slow_speed is considered (high impact) but rejected as boolean;
+* ms_slot_nbr is added under the memory error model;
+* the final selection equals the EH-set, so its coverage under the
+  harsher error model equals the EH-set's by construction.
+"""
+
+from conftest import run_once
+
+from repro.edm.catalogue import EH_SET, PA_SET
+from repro.experiments.extended import run_extended
+
+
+def test_bench_extended(benchmark, warm_ctx):
+    result = run_once(benchmark, run_extended, warm_ctx)
+    print()
+    print(result.render())
+
+    assert result.matches_eh_set()
+    assert set(PA_SET) <= set(result.selected)
+    assert {"IsValue", "mscnt", "ms_slot_nbr"} <= set(result.selected)
+
+    slow = result.placement.decision_for("slow_speed")
+    assert not slow.selected
+    assert "boolean" in slow.motivation
+
+    slot = result.placement.decision_for("ms_slot_nbr")
+    assert slot.selected
+    assert "memory error model" in slot.motivation
+
+    for added in ("IsValue", "mscnt"):
+        decision = result.placement.decision_for(added)
+        assert decision.selected
+        assert "impact" in decision.motivation
+
+    assert set(result.selected) == set(EH_SET)

@@ -1,0 +1,61 @@
+"""Bench: regenerate Figure 3 — coverage under the harsher error model.
+
+Workload: periodic (20 ms) single-bit flips into RAM and stack
+locations of the memory map, one location+test-case per run, random
+phase and bit, EA bank monitoring, failure classification per the
+Section 4.2 criteria.
+
+Shape assertions against the paper's Fig. 3:
+
+* the PA-set's coverage collapses relative to the EH-set — for RAM
+  errors to roughly half ("just over half that obtained using the full
+  set"), and it is strictly lower in total;
+* the extended-framework set restores the EH-set's coverage exactly
+  (it selects the same EAs — the paper's contribution C3);
+* both sets detect some errors in all areas (the campaign is not
+  degenerate).
+"""
+
+from conftest import run_once, strict
+
+from repro.experiments.figure3 import run_figure3
+
+
+def test_bench_figure3(benchmark, ctx):
+    result = run_once(benchmark, run_figure3, ctx)
+    print()
+    print(result.render())
+
+    eh_ram = result.coverage("EH", "RAM")
+    pa_ram = result.coverage("PA", "RAM")
+    eh_total = result.coverage("EH", "Total")
+    pa_total = result.coverage("PA", "Total")
+    eh_stack = result.coverage("EH", "Stack")
+    pa_stack = result.coverage("PA", "Stack")
+
+    # sanity: enough runs, some detections
+    assert eh_total.n_runs >= 10
+    assert eh_total.c_tot > 0.1
+
+    # C2: the PA placement loses coverage under this error model
+    assert pa_total.c_tot <= eh_total.c_tot
+    assert pa_stack.c_tot <= eh_stack.c_tot
+    if strict(ctx):
+        assert eh_total.n_runs >= 100
+        assert result.pa_collapses()
+        assert pa_ram.c_tot < eh_ram.c_tot
+        # "for errors injected into RAM the coverage is just over half"
+        assert pa_ram.c_tot <= 0.8 * eh_ram.c_tot
+        assert pa_total.c_tot < eh_total.c_tot
+
+    # C3: the extended framework recovers the EH-level coverage
+    assert result.extended_matches_eh()
+
+    # coverage triples are consistent: c_tot between c_fail and
+    # c_nofail (it is their weighted mean)
+    for group in ("RAM", "Stack", "Total"):
+        triple = result.coverage("EH", group)
+        low = min(triple.c_fail, triple.c_nofail)
+        high = max(triple.c_fail, triple.c_nofail)
+        if triple.n_fail and triple.n_fail < triple.n_runs:
+            assert low - 1e-9 <= triple.c_tot <= high + 1e-9

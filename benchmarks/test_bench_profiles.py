@@ -1,0 +1,52 @@
+"""Bench: regenerate Figures 5 and 6 — the exposure and impact profiles.
+
+Workload: the joint SystemProfile (band classification plus both
+renderings) over the measured permeability matrix.
+
+Shape assertions against the paper's figures:
+
+* Fig. 5: OutValue carries the thickest exposure line; the system
+  inputs have no exposure value assigned; mscnt is dashed (zero);
+* Fig. 6: the actuator chain carries the thickest impact lines;
+  ms_slot_nbr is dashed (zero impact); the system output has no
+  impact value assigned;
+* the figure-to-figure contrast that drives Section 10's selection is
+  visible in the bands themselves.
+"""
+
+from conftest import run_once
+
+from repro.core.profile import ValueBand
+from repro.experiments.profiles import run_profiles
+
+
+def test_bench_profiles(benchmark, warm_ctx):
+    result = run_once(benchmark, run_profiles, warm_ctx)
+    print()
+    print(result.render())
+
+    # Fig. 5 (exposure)
+    assert result.exposure_band("OutValue") is ValueBand.HIGHEST
+    for signal in ("PACNT", "TIC1", "TCNT", "ADC"):
+        assert result.exposure_band(signal) is ValueBand.UNASSIGNED
+    assert result.exposure_band("mscnt") is ValueBand.ZERO
+
+    # Fig. 6 (impact)
+    assert result.impact_band("TOC2") is ValueBand.UNASSIGNED
+    assert result.impact_band("ms_slot_nbr") is ValueBand.ZERO
+    assert result.impact_band("OutValue") in (
+        ValueBand.HIGHEST, ValueBand.HIGH,
+    )
+
+    # the Section-10 contrast, in band form
+    assert result.exposure_band("IsValue") in (
+        ValueBand.ZERO, ValueBand.LOWEST, ValueBand.LOW,
+    )
+    assert result.impact_band("IsValue") in (
+        ValueBand.HIGH, ValueBand.HIGHEST,
+    )
+
+    # renders mention every signal
+    text = result.render()
+    for signal in warm_ctx.system.signal_names():
+        assert signal in text

@@ -1,0 +1,71 @@
+"""Extension bench: cost-optimal EA subset selection (paper ref [18]).
+
+The Related Work's Steininger & Scherrer idea applied to our own
+campaign data: from the per-run detection records of the two error
+models, find the EA combination with the best cost/coverage ratio.
+
+Assertions:
+
+* under the input error model, EA4 alone is the optimal subset (the
+  paper's "all errors detected by EA1, EA2 or EA7 were also detected
+  by EA4");
+* under the memory error model the optimal subset is strictly larger
+  (the EH-only EAs contribute exclusive detections) yet still cheaper
+  than carrying all seven EAs;
+* the greedy subset always reaches the full bank's coverage when not
+  target-bounded.
+"""
+
+from conftest import run_once, strict
+
+from repro.edm.subset import (
+    fired_sets_of,
+    marginal_coverages,
+    overlap_matrix,
+    select_subset,
+)
+
+
+def test_bench_subset(benchmark, warm_ctx):
+    detection = warm_ctx.detection_result()
+    memory = warm_ctx.memory_result()
+
+    def analyse():
+        input_sel = select_subset(
+            fired_sets_of(detection), detection.ea_names
+        )
+        memory_sel = select_subset(
+            fired_sets_of(memory), memory.ea_names
+        )
+        overlaps = overlap_matrix(
+            fired_sets_of(memory), memory.ea_names
+        )
+        marginals = marginal_coverages(
+            fired_sets_of(memory), memory.ea_names
+        )
+        return input_sel, memory_sel, overlaps, marginals
+
+    input_sel, memory_sel, overlaps, marginals = run_once(
+        benchmark, analyse
+    )
+    print()
+    print("input model:")
+    print(input_sel.render())
+    print("memory model:")
+    print(memory_sel.render())
+    exclusive = {k: v for k, v in marginals.items() if v > 0}
+    print(f"exclusive contributions (memory model): {exclusive}")
+
+    # input model: EA4 is the whole story
+    assert input_sel.selected == ["EA4"]
+    assert input_sel.coverage == input_sel.full_coverage
+
+    # memory model: more EAs needed, but still cheaper than all seven
+    assert memory_sel.coverage == memory_sel.full_coverage
+    assert "EA4" in memory_sel.selected
+    assert memory_sel.cost_bytes <= memory_sel.full_cost_bytes
+    if strict(warm_ctx):
+        assert len(memory_sel.selected) >= 4
+        # the sequence EAs (mscnt / ms_slot_nbr) earn their keep with
+        # exclusive detections under memory errors
+        assert marginals.get("EA6", 0) > 0 or marginals.get("EA5", 0) > 0

@@ -1,0 +1,29 @@
+"""Bench: regenerate Table 3 — EA setup and memory requirements.
+
+Workload: the analytic resource model over the EA catalogue.
+
+Assertions: byte-exact reproduction of the paper's Table 3 —
+EH 262/94 bytes, PA 150/54 bytes, PA a subset of EH, and the ~40 %
+memory / execution-time saving of Section 6.1.
+"""
+
+from conftest import run_once
+
+from repro.experiments.table3 import run_table3
+
+
+def test_bench_table3(benchmark):
+    result = run_once(benchmark, run_table3)
+    print()
+    print(result.render())
+
+    assert result.pa_is_subset
+    assert (result.eh_cost.rom_bytes, result.eh_cost.ram_bytes) == (262, 94)
+    assert (result.pa_cost.rom_bytes, result.pa_cost.ram_bytes) == (150, 54)
+    # "the requirements on memory for EA's in the EH-set is almost
+    # double that of those in the PA-set"
+    assert result.eh_cost.total_bytes / result.pa_cost.total_bytes > 1.7
+    assert 0.35 <= result.savings["memory_saving"] <= 0.50
+    # "the reduction in execution time overhead is likely to be in the
+    # order of the reduction in number of EA's, i.e., about 40 percent"
+    assert abs(result.savings["execution_saving"] - 3 / 7) < 1e-9

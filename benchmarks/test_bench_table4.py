@@ -1,0 +1,49 @@
+"""Bench: regenerate Table 4 — coverage for system-input errors.
+
+Workload: the "nice" error model — one transient bit flip in one
+sensor register per run, uniformly over signal, bit and time, with the
+full EA bank monitoring passively.
+
+Shape assertions against the paper's Table 4:
+
+* only PACNT errors are detected (TIC1/TCNT errors never propagate,
+  ADC errors are masked by PRES_S) — and PACNT coverage is high;
+* EA4 (pulscnt) is the dominant detector: every error any EH-set EA
+  detects, EA4 also detects ("All errors detected by EA1, EA2 or EA7
+  were also detected by EA4");
+* consequently the EH-set total equals the PA-set total — the paper's
+  headline claim C1.
+"""
+
+from conftest import run_once
+
+from repro.experiments.table4 import run_table4
+
+
+def test_bench_table4(benchmark, ctx):
+    result = run_once(benchmark, run_table4, ctx)
+    print()
+    print(result.render())
+
+    # the headline: identical coverage for both sets, on every target
+    assert result.eh_equals_pa()
+
+    pacnt = result.row("PACNT")
+    assert pacnt.total >= 0.45  # the paper: 0.975
+    assert pacnt.per_ea["EA4"] == max(pacnt.per_ea.values())
+    # EA4 alone achieves the total: it dominates the set
+    assert pacnt.per_ea["EA4"] == pacnt.total
+
+    for quiet in ("TIC1", "TCNT"):
+        row = result.row(quiet)
+        assert row.total == 0.0
+        assert all(v == 0.0 for v in row.per_ea.values())
+
+    # ADC errors are masked by the sensor-validation filter
+    assert result.row("ADC").total <= 0.10
+
+    all_row = result.row("All")
+    assert all_row.n_err == sum(
+        result.row(t).n_err for t in ("PACNT", "TIC1", "TCNT", "ADC")
+    )
+    assert 0.0 < all_row.total < pacnt.total

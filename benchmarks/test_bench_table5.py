@@ -1,0 +1,51 @@
+"""Bench: regenerate Table 5 and Fig. 4 — impacts on TOC2.
+
+Workload: impact-tree construction and Eq.-2 evaluation for every
+signal over the measured permeability matrix.
+
+Shape assertions against the paper's Table 5 / Section 10:
+
+* the effect-analysis contrast that motivates the extension: IsValue,
+  mscnt and slow_speed have (near-)zero exposure but high impact,
+  while ms_slot_nbr has maximal exposure and zero impact;
+* the actuator chain (OutValue, SetValue, IsValue) carries the top
+  impacts;
+* the worked Fig. 4 example has exactly two pulscnt->TOC2 paths, the
+  longer one through the i loop carrying essentially all the weight.
+"""
+
+from conftest import run_once
+
+from repro.experiments.table5 import run_table5
+
+
+def test_bench_table5(benchmark, warm_ctx):
+    result = run_once(benchmark, run_table5, warm_ctx)
+    print()
+    print(result.render())
+
+    # the paper's central contrast (zero exposure, high impact)
+    assert result.impact_of("IsValue") >= 0.5
+    assert result.impact_of("mscnt") >= 0.10
+    assert result.impact_of("slow_speed") >= 0.4
+    # ...and the opposite corner
+    assert result.impact_of("ms_slot_nbr") == 0.0
+
+    # top of the impact table: the actuator chain
+    impacts = {
+        row.signal: row.measured_impact
+        for row in result.rows
+        if row.measured_impact is not None
+    }
+    top3 = sorted(impacts, key=impacts.get, reverse=True)[:3]
+    assert set(top3) <= {"OutValue", "IsValue", "SetValue"}
+
+    # the capture inputs cannot touch the output at all
+    assert impacts["TIC1"] == 0.0
+    assert impacts["TCNT"] == 0.0
+
+    # Fig. 4: two paths; the i-loop path carries the weight
+    assert len(result.pulscnt_paths) == 2
+    weights = sorted(w for _, w in result.pulscnt_paths)
+    assert weights[0] == 0.0
+    assert 0.0 < weights[1] < 0.3

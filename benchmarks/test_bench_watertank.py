@@ -1,0 +1,66 @@
+"""Extension bench: the framework on the water-tank target.
+
+The paper's future work: "applying the analysis framework on alternate
+target systems in order to validate the generalized applicability of
+the obtained results."  This bench runs the full pipeline — FI-based
+permeability estimation, exposure, PA placement, multi-output impact —
+against the structurally different water-tank controller and asserts
+the framework's conclusions transfer:
+
+* sensor-validation chains mask transients (low permeability), pulse
+  chains and regulators pass errors through (high permeability) —
+  the same containment taxonomy as the arrestment target;
+* PA placement concentrates EAs on the high-exposure regulator chain
+  and never proposes the boolean alarm output;
+* the two outputs genuinely separate impact: the inflow chain matters
+  only to the valve, the level chain to both.
+"""
+
+from conftest import run_once, strict
+
+from repro.analysis import matrix_from_estimate
+from repro.core.exposure import all_signal_exposures
+from repro.core.impact import all_impacts
+from repro.core.placement import pa_placement
+from repro.fi.campaign import PermeabilityCampaign
+from repro.model.graph import SignalGraph
+from repro.watertank import WaterTankSimulator, standard_tank_cases
+
+
+def test_bench_watertank(benchmark, ctx):
+    cases = standard_tank_cases()[:: max(1, ctx.scale.test_case_stride // 3)]
+    runs = max(4, ctx.scale.runs_per_input // 2)
+
+    def campaign():
+        return PermeabilityCampaign(
+            WaterTankSimulator, cases, runs_per_input=runs, seed=ctx.seed
+        ).run()
+
+    estimate = run_once(benchmark, campaign)
+    probe = WaterTankSimulator(cases[0])
+    matrix = matrix_from_estimate(probe.system, estimate)
+    graph = SignalGraph(probe.system)
+    placement = pa_placement(matrix, graph)
+    print()
+    print(placement.render())
+
+    values = estimate.values
+    # containment taxonomy transfers
+    assert values[("FLOW_S", "FLOW_CNT", "inflow_rate")] >= 0.7
+    assert values[("CTRL", "level_f", "valve_cmd")] >= 0.7
+    assert values[("LEVEL_S", "LVL_ADC", "level_f")] <= 0.4
+    assert values[("TIMER", "tick_nbr", "ticks")] == 0.0
+
+    # placement conclusions transfer
+    assert "valve_cmd" in placement.selected
+    assert "ALARM_OUT" not in placement.selected
+    exposures = all_signal_exposures(matrix)
+    assert exposures["valve_cmd"] >= 0.7
+
+    # two outputs, genuinely different impact profiles
+    valve_impacts = all_impacts(matrix, graph, "VALVE_POS")
+    alarm_impacts = all_impacts(matrix, graph, "ALARM_OUT")
+    assert valve_impacts["inflow_rate"] > alarm_impacts["inflow_rate"]
+    if strict(ctx):
+        assert valve_impacts["inflow_rate"] >= 0.5
+        assert alarm_impacts["inflow_rate"] == 0.0

@@ -1,0 +1,149 @@
+#!/usr/bin/env python
+"""Applying the framework to your own modular software.
+
+The analysis framework is "developed for generic modular black-box
+software" (paper Section 11) — it is not tied to the arrestment
+target.  This example profiles a small engine-management system with
+*two* outputs of different importance, which is where the criticality
+measure (Eqs. 3-4) earns its keep: two signals with similar impact
+can have very different criticalities depending on which outputs they
+affect.
+
+The permeabilities here come from the designer's unit-level analysis
+(they could equally be estimated by fault injection, as in
+examples/placement_comparison.py).
+
+Run:  python examples/custom_system.py
+"""
+
+from repro import (
+    FunctionModule,
+    OutputCriticalities,
+    PermeabilityMatrix,
+    SignalGraph,
+    SignalRole,
+    SignalSpec,
+    SignalType,
+    SystemModel,
+    SystemProfile,
+    all_criticalities,
+    all_impacts,
+    build_backtrack_tree,
+    extended_placement,
+)
+
+
+def build_engine_controller() -> SystemModel:
+    """A 4-module engine controller.
+
+    RPM/TEMP sensors -> SENSE -> {speed, temp_ok};
+    speed + pedal -> GOV -> fuel_cmd (actuator, critical);
+    speed + temp_ok -> DIAG -> warn_lamp (diagnostic, not critical).
+    """
+    system = SystemModel("engine-controller")
+    system.add_signal(SignalSpec(
+        "RPM", role=SignalRole.SYSTEM_INPUT, width=16))
+    system.add_signal(SignalSpec(
+        "TEMP", role=SignalRole.SYSTEM_INPUT, width=10))
+    system.add_signal(SignalSpec(
+        "PEDAL", role=SignalRole.SYSTEM_INPUT, width=10))
+    system.add_signal(SignalSpec("speed", width=16))
+    system.add_signal(SignalSpec("temp_ok", SignalType.BOOL, width=8))
+    system.add_signal(SignalSpec(
+        "fuel_cmd", role=SignalRole.SYSTEM_OUTPUT, width=16))
+    system.add_signal(SignalSpec(
+        "warn_lamp", role=SignalRole.SYSTEM_OUTPUT, width=8,
+        sig_type=SignalType.BOOL))
+
+    system.add_module(FunctionModule(
+        "SENSE", inputs=["RPM", "TEMP"], outputs=["speed", "temp_ok"],
+        fn=lambda args, state: {
+            "speed": args["RPM"] // 4,
+            "temp_ok": args["TEMP"] < 900,
+        },
+    ))
+    system.add_module(FunctionModule(
+        "GOV", inputs=["speed", "PEDAL"], outputs=["fuel_cmd"],
+        fn=lambda args, state: {
+            "fuel_cmd": max(0, args["PEDAL"] * 50 - args["speed"]),
+        },
+    ))
+    system.add_module(FunctionModule(
+        "DIAG", inputs=["speed", "temp_ok"], outputs=["warn_lamp"],
+        fn=lambda args, state: {
+            "warn_lamp": (not args["temp_ok"]) or args["speed"] > 15000,
+        },
+    ))
+    system.connect_input("RPM", "SENSE", "RPM")
+    system.connect_input("TEMP", "SENSE", "TEMP")
+    system.bind_output("speed", "SENSE", "speed")
+    system.bind_output("temp_ok", "SENSE", "temp_ok")
+    system.connect_input("speed", "GOV", "speed")
+    system.connect_input("PEDAL", "GOV", "PEDAL")
+    system.bind_output("fuel_cmd", "GOV", "fuel_cmd")
+    system.connect_input("speed", "DIAG", "speed")
+    system.connect_input("temp_ok", "DIAG", "temp_ok")
+    system.bind_output("warn_lamp", "DIAG", "warn_lamp")
+    system.validate()
+    return system
+
+
+def main() -> None:
+    system = build_engine_controller()
+    graph = SignalGraph(system)
+
+    # designer-estimated permeabilities per input/output pair
+    matrix = PermeabilityMatrix(system)
+    matrix.update({
+        ("SENSE", 1, 1): 0.90,  # RPM -> speed: straight scaling
+        ("SENSE", 1, 2): 0.00,  # RPM does not affect temp_ok
+        ("SENSE", 2, 1): 0.00,
+        ("SENSE", 2, 2): 0.15,  # TEMP -> temp_ok: threshold masks a lot
+        ("GOV", 1, 1): 0.80,    # speed -> fuel_cmd
+        ("GOV", 2, 1): 0.85,    # PEDAL -> fuel_cmd
+        ("DIAG", 1, 1): 0.05,   # speed -> warn_lamp: threshold
+        ("DIAG", 2, 1): 0.60,   # temp_ok -> warn_lamp
+    })
+
+    # the actuator command is critical; the warning lamp much less so
+    criticalities = OutputCriticalities(
+        graph, {"fuel_cmd": 1.0, "warn_lamp": 0.2}
+    )
+
+    print("impacts per output:")
+    for signal in ("speed", "temp_ok", "RPM", "TEMP", "PEDAL"):
+        impacts = all_impacts(matrix, graph, "fuel_cmd")
+        lamp = all_impacts(matrix, graph, "warn_lamp")
+        print(f"  {signal:<8} fuel_cmd={impacts[signal]:.3f}  "
+              f"warn_lamp={lamp[signal]:.3f}")
+
+    print("\ntotal criticalities (impact scaled by output importance):")
+    for signal, value in sorted(
+        all_criticalities(matrix, graph, criticalities).items(),
+        key=lambda item: -(item[1] if item[1] is not None else -1),
+    ):
+        if value is not None:
+            print(f"  {signal:<8} {value:.3f}")
+    print("  -> temp_ok has decent impact on warn_lamp, but the lamp's")
+    print("     low criticality keeps temp_ok's total criticality low.")
+
+    print("\nbacktrack tree of fuel_cmd:")
+    print(build_backtrack_tree(graph, "fuel_cmd").render())
+
+    placement = extended_placement(
+        matrix, graph,
+        exposure_threshold=0.5,
+        criticalities=criticalities,
+        criticality_threshold=0.25,
+    )
+    print()
+    print(placement.render())
+
+    print()
+    print(SystemProfile(
+        matrix, graph, output="fuel_cmd", criticalities=criticalities
+    ).render())
+
+
+if __name__ == "__main__":
+    main()

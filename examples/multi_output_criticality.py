@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Criticality on a multi-output target (paper Section 8, Eqs. 3-4).
+
+The baseline arrestment system has a single output, so criticality is
+just a scaled impact there.  The telemetry variant adds a second
+system output — a downlink status word produced by a REPORT module —
+whose operational importance is far below the brake command's.  With
+designer-assigned output criticalities (TOC2 = 1.0, STATUS = 0.1) the
+criticality ranking *diverges* from the impact ranking: signals that
+mostly feed the status word drop, exactly the effect Eq. 3-4 are
+designed to capture ("two signals with the same impact may have
+different criticalities depending on which outputs they affect the
+most").
+
+Permeabilities: the published Table-1 values for the base pairs, the
+REPORT module's packing quantization for the new pairs (measurable by
+fault injection too — see repro.fi.PermeabilityCampaign with
+repro.target.variants.telemetry_simulator).
+
+Run:  python examples/multi_output_criticality.py
+"""
+
+from repro import OutputCriticalities, PermeabilityMatrix, SignalGraph
+from repro.core.criticality import criticality_ranking
+from repro.core.impact import impact_on_all_outputs
+from repro.experiments.paper_data import PAPER_TABLE1
+from repro.target.variants import (
+    build_telemetry_arrestment_system,
+    telemetry_simulator,
+)
+from repro.target import standard_test_cases
+
+
+#: designer estimates for the REPORT pairs, from its packing layout
+REPORT_PERMEABILITIES = {
+    "pulscnt": 13 / 16,   # bits >= 3 survive into the status word
+    "slow_speed": 0.9,
+    "stopped": 0.9,
+    "IsValue": 6 / 16,    # bits >= 10 survive
+}
+
+
+def main() -> None:
+    system = build_telemetry_arrestment_system()
+    graph = SignalGraph(system)
+
+    values = {}
+    for pair in system.io_pairs():
+        key = (pair.module, pair.in_port, pair.out_port)
+        if key in PAPER_TABLE1:
+            values[pair] = PAPER_TABLE1[key]
+        else:
+            values[pair] = REPORT_PERMEABILITIES[pair.in_port]
+    matrix = PermeabilityMatrix.from_values(system, values)
+
+    # the variant still arrests identically (REPORT is passive)
+    result = telemetry_simulator(standard_test_cases()[12]).run()
+    print(f"variant run: {result.verdict.describe()}")
+    final_status = result.traces.stream("STATUS")[-1][1]
+    print(f"final status word: 0x{final_status:04X} "
+          f"(stopped bit set: {bool(final_status & 0x2)})")
+
+    print("\nper-output impacts:")
+    print(f"{'signal':<12} {'-> TOC2':>8} {'-> STATUS':>10}")
+    for signal in (
+        "pulscnt", "IsValue", "slow_speed", "stopped", "SetValue", "mscnt",
+    ):
+        per_output = impact_on_all_outputs(matrix, graph, signal)
+        print(f"{signal:<12} {per_output['TOC2']:>8.3f} "
+              f"{per_output['STATUS']:>10.3f}")
+
+    print("\ncriticality rankings under two dependability policies:")
+    uniform = OutputCriticalities(graph, {"TOC2": 1.0, "STATUS": 1.0})
+    weighted = OutputCriticalities(graph, {"TOC2": 1.0, "STATUS": 0.1})
+    rank_u = criticality_ranking(matrix, graph, uniform)
+    rank_w = criticality_ranking(matrix, graph, weighted)
+    print(f"{'both outputs equal':<34} {'actuator-dominated policy':<34}")
+    for (name_u, value_u), (name_w, value_w) in zip(rank_u, rank_w):
+        print(f"  {name_u:<14} {value_u:5.3f}         "
+              f"  {name_w:<14} {value_w:5.3f}")
+
+    pos = lambda ranking, signal: [n for n, _ in ranking].index(signal)
+    print(f"\n'stopped' rank: {pos(rank_u, 'stopped') + 1} (uniform) -> "
+          f"{pos(rank_w, 'stopped') + 1} (actuator-dominated): a signal "
+          f"that mostly disrupts the downlink stops competing for EDM "
+          f"budget once the downlink's criticality is set honestly.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Quickstart: profile the aircraft arrestment system.
+
+Builds the paper's six-module target system, runs one fault-free
+arrestment, and then applies the full analysis framework — exposure,
+impact, and all three placement strategies — to the paper's published
+permeability values (Table 1).  Runs in a couple of seconds; no fault
+injection involved.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    SignalGraph,
+    all_impacts,
+    all_signal_exposures,
+    build_arrestment_system,
+    eh_placement,
+    extended_placement,
+    pa_placement,
+)
+from repro.core.profile import SystemProfile
+from repro.experiments.paper_data import paper_matrix
+from repro.target import ArrestmentSimulator, standard_test_cases
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. Simulate one arrestment (mid-envelope: 14 t at 55 m/s).
+    # ------------------------------------------------------------------
+    test_case = standard_test_cases()[12]
+    result = ArrestmentSimulator(test_case).run()
+    print(f"arrestment {test_case.label}:")
+    print(f"  stopped after {result.stop_distance_m:.1f} m "
+          f"in {result.stop_time_s:.2f} s")
+    print(f"  verdict: {result.verdict.describe()}")
+
+    # ------------------------------------------------------------------
+    # 2. Analyse propagation and effect on the published permeabilities.
+    # ------------------------------------------------------------------
+    system = build_arrestment_system()
+    graph = SignalGraph(system)
+    matrix = paper_matrix(system)
+
+    print("\nsignal error exposures (X_s, paper Table 2):")
+    for name, value in sorted(
+        all_signal_exposures(matrix).items(),
+        key=lambda item: -(item[1] if item[1] is not None else -1),
+    ):
+        shown = "n/a " if value is None else f"{value:.3f}"
+        print(f"  {name:<12} {shown}")
+
+    print("\nimpacts on TOC2 (paper Table 5):")
+    for name, value in sorted(
+        all_impacts(matrix, graph, "TOC2").items(),
+        key=lambda item: -(item[1] if item[1] is not None else -1),
+    ):
+        shown = "n/a " if value is None else f"{value:.3f}"
+        print(f"  {name:<12} {shown}")
+
+    # ------------------------------------------------------------------
+    # 3. The three placement strategies.
+    # ------------------------------------------------------------------
+    print()
+    print(eh_placement(system).render())
+    print()
+    print(pa_placement(matrix, graph).render())
+    print()
+    print(
+        extended_placement(
+            matrix, graph, impact_threshold=0.10, output="TOC2",
+            memory_error_model=True, self_permeability_threshold=0.8,
+        ).render()
+    )
+
+    # ------------------------------------------------------------------
+    # 4. The two profile figures.
+    # ------------------------------------------------------------------
+    print()
+    print(SystemProfile(matrix, graph, output="TOC2").render())
+
+
+if __name__ == "__main__":
+    main()

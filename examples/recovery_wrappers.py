@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""From detection to containment: recovery wrappers (ERMs).
+
+The paper's rules reason about EDM *and* ERM placement, but its
+experiments only measure detection.  This example closes the loop:
+the same executable assertions, at the same (extended-framework)
+locations, are upgraded to containment wrappers that substitute the
+last good value when they fire — and we measure how many
+specification failures that prevents under the harsher error model.
+
+Runs a few hundred simulated arrestments (~2 minutes).
+
+Run:  python examples/recovery_wrappers.py
+"""
+
+from repro.edm import EA_BY_NAME, RecoveryPolicy
+from repro.fi import MemoryMap, RecoveryCampaign, Region
+from repro.target import ArrestmentSimulator, standard_test_cases
+
+
+def main() -> None:
+    test_cases = standard_test_cases()[::8]
+    probe = ArrestmentSimulator(test_cases[0])
+    locations = MemoryMap(probe.system).locations()[::3]
+
+    print(f"running {len(locations)} locations x {len(test_cases)} cases, "
+          f"each twice (detect-only vs containment)...")
+    campaign = RecoveryCampaign(
+        ArrestmentSimulator,
+        test_cases,
+        list(EA_BY_NAME.values()),
+        locations=locations,
+        seed=42,
+        # counters/sequences hold the last good value; the continuous
+        # signals clamp into their specified range first
+        policies={
+            "EA1": RecoveryPolicy.CLAMP_TO_SPEC,
+            "EA2": RecoveryPolicy.CLAMP_TO_SPEC,
+            "EA7": RecoveryPolicy.CLAMP_TO_SPEC,
+        },
+    )
+    result = campaign.run()
+
+    print(f"\n{'area':<7} {'fail rate (detect-only)':>24} "
+          f"{'fail rate (containment)':>24}")
+    for label, region in (
+        ("RAM", Region.RAM), ("Stack", Region.STACK), ("Total", None),
+    ):
+        base = result.failure_rate(False, region)
+        contained = result.failure_rate(True, region)
+        print(f"{label:<7} {base:>24.3f} {contained:>24.3f}")
+
+    prevented = result.failures_prevented()
+    introduced = result.failures_introduced()
+    detected_runs = sum(1 for o in result.outcomes if o.detected)
+    total_actions = sum(o.recovery_actions for o in result.outcomes)
+    print(f"\nruns: {len(result.outcomes)}  "
+          f"(detected in {detected_runs})")
+    print(f"failures prevented by containment : {prevented}")
+    print(f"failures introduced by containment: {introduced}")
+    print(f"total containment interventions   : {total_actions}")
+    print("\nNote the asymmetry the placement analysis predicts: "
+          "containment can only act where detection reaches — errors "
+          "in unguarded signals (booleans, TOC2) fail exactly as "
+          "before.")
+
+
+if __name__ == "__main__":
+    main()

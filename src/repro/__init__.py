@@ -1,0 +1,116 @@
+"""repro — error propagation & effect analysis for EDM placement.
+
+A production-quality reproduction of:
+
+    Martin Hiller, Arshad Jhumka, Neeraj Suri,
+    "On the Placement of Software Mechanisms for Detection of Data
+    Errors", Proc. DSN 2002.
+
+The library provides:
+
+* a black-box modular software system model
+  (:mod:`repro.model`);
+* the error propagation analysis framework — permeability, exposure,
+  backtrack/trace trees — and its effect-analysis extension — impact
+  trees, impact, criticality — plus the EH / PA / extended placement
+  engines (:mod:`repro.core`);
+* a complete simulation of the paper's aircraft arrestment target
+  system (:mod:`repro.target`);
+* a bit-flip fault-injection substrate with golden-run comparison and
+  campaign drivers (:mod:`repro.fi`);
+* executable assertions and their cost model (:mod:`repro.edm`);
+* the experiment harness regenerating every table and figure of the
+  paper's evaluation (:mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro import (
+        SignalGraph, pa_placement, PermeabilityMatrix,
+        build_arrestment_system,
+    )
+    from repro.experiments.paper_data import paper_matrix
+
+    system = build_arrestment_system()
+    matrix = paper_matrix(system)
+    placement = pa_placement(matrix, SignalGraph(system))
+    print(placement.render())
+"""
+
+from repro.core import (
+    OutputCriticalities,
+    PermeabilityMatrix,
+    PlacementResult,
+    PolicyLimits,
+    SystemProfile,
+    all_criticalities,
+    all_impacts,
+    all_signal_exposures,
+    build_backtrack_tree,
+    build_impact_tree,
+    build_trace_tree,
+    check_policy,
+    eh_placement,
+    extended_placement,
+    impact,
+    pa_placement,
+    signal_criticality,
+    signal_exposure,
+)
+from repro.errors import ReproError
+from repro.model import (
+    CellSpec,
+    FunctionModule,
+    Module,
+    SignalGraph,
+    SignalRole,
+    SignalSpec,
+    SignalType,
+    SlotSchedule,
+    SystemExecutor,
+    SystemModel,
+)
+from repro.target import (
+    ArrestmentSimulator,
+    TestCase,
+    build_arrestment_system,
+    standard_test_cases,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ArrestmentSimulator",
+    "CellSpec",
+    "FunctionModule",
+    "Module",
+    "OutputCriticalities",
+    "PermeabilityMatrix",
+    "PlacementResult",
+    "PolicyLimits",
+    "ReproError",
+    "SignalGraph",
+    "SignalRole",
+    "SignalSpec",
+    "SignalType",
+    "SlotSchedule",
+    "SystemExecutor",
+    "SystemModel",
+    "SystemProfile",
+    "TestCase",
+    "all_criticalities",
+    "all_impacts",
+    "all_signal_exposures",
+    "build_arrestment_system",
+    "build_backtrack_tree",
+    "build_impact_tree",
+    "build_trace_tree",
+    "check_policy",
+    "eh_placement",
+    "extended_placement",
+    "impact",
+    "pa_placement",
+    "signal_criticality",
+    "signal_exposure",
+    "standard_test_cases",
+    "__version__",
+]

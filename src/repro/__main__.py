@@ -1,0 +1,193 @@
+"""Top-level CLI: ``python -m repro <subcommand>``.
+
+Subcommands
+-----------
+``simulate``
+    Run one arrestment and print the outcome.
+``profile``
+    Print the target's exposure/impact profiles and the three
+    placement decisions, from the paper's published permeabilities.
+``memmap``
+    Print the fault injector's address space of the target.
+``sensitivity``
+    Placement-stability analysis under permeability perturbation.
+``experiments``
+    Regenerate the paper's tables and figures (see
+    ``python -m repro.experiments --help`` for its options).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.target import ArrestmentSimulator, standard_test_cases
+
+    cases = standard_test_cases()
+    if not 0 <= args.case < len(cases):
+        print(f"error: case must be 0..{len(cases) - 1}", file=sys.stderr)
+        return 2
+    test_case = cases[args.case]
+    result = ArrestmentSimulator(test_case).run()
+    print(f"test case  : {test_case.label}")
+    print(f"arrested   : {result.arrested}")
+    print(f"distance   : {result.stop_distance_m:.1f} m")
+    print(f"time       : {result.stop_time_s:.2f} s")
+    print(f"verdict    : {result.verdict.describe()}")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.core.profile import SystemProfile
+    from repro.core.placement import (
+        eh_placement,
+        extended_placement,
+        pa_placement,
+    )
+    from repro.experiments.paper_data import paper_matrix
+    from repro.model.graph import SignalGraph
+    from repro.target.wiring import build_arrestment_system
+
+    system = build_arrestment_system()
+    graph = SignalGraph(system)
+    matrix = paper_matrix(system)
+    print(SystemProfile(matrix, graph, output="TOC2").render())
+    print()
+    print(eh_placement(system).render())
+    print()
+    print(pa_placement(matrix, graph).render())
+    print()
+    print(
+        extended_placement(
+            matrix, graph, impact_threshold=0.10, output="TOC2",
+            memory_error_model=True, self_permeability_threshold=0.8,
+        ).render()
+    )
+    return 0
+
+
+def _cmd_memmap(args: argparse.Namespace) -> int:
+    from repro.fi.memory import MemoryMap
+    from repro.target.wiring import build_arrestment_system
+
+    print(MemoryMap(build_arrestment_system()).describe())
+    return 0
+
+
+def _cmd_sensitivity(args: argparse.Namespace) -> int:
+    from repro.core.placement import pa_placement
+    from repro.core.sensitivity import placement_sensitivity
+    from repro.experiments.paper_data import paper_matrix
+    from repro.model.graph import SignalGraph
+    from repro.target.wiring import build_arrestment_system
+
+    system = build_arrestment_system()
+    graph = SignalGraph(system)
+    report = placement_sensitivity(
+        paper_matrix(system),
+        graph,
+        lambda m, g: pa_placement(m, g),
+        epsilon=args.epsilon,
+        n_samples=args.samples,
+    )
+    print(report.render())
+    print()
+    print(f"stable selections: {report.stable_selected()}")
+    print(f"marginal signals : {report.marginal() or 'none'}")
+    return 0
+
+
+def _cmd_dot(args: argparse.Namespace) -> int:
+    from repro.core.profile import SystemProfile
+    from repro.core.trees import build_backtrack_tree, build_impact_tree
+    from repro.experiments.paper_data import paper_matrix
+    from repro.model.graph import SignalGraph
+    from repro.target.wiring import build_arrestment_system
+    from repro.viz import profile_to_dot, system_to_dot, tree_to_dot
+
+    system = build_arrestment_system()
+    graph = SignalGraph(system)
+    matrix = paper_matrix(system)
+    if args.figure == "system":
+        print(system_to_dot(system))
+    elif args.figure == "exposure":
+        print(profile_to_dot(
+            SystemProfile(matrix, graph, output="TOC2"), "exposure"
+        ))
+    elif args.figure == "impact":
+        print(profile_to_dot(
+            SystemProfile(matrix, graph, output="TOC2"), "impact"
+        ))
+    elif args.figure == "impact-tree":
+        print(tree_to_dot(build_impact_tree(graph, args.signal), matrix))
+    else:  # backtrack
+        print(tree_to_dot(build_backtrack_tree(graph, "TOC2"), matrix))
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.experiments.__main__ import main as experiments_main
+
+    return experiments_main(args.rest)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description=(
+            "Error propagation & effect analysis for EDM placement "
+            "(reproduction of Hiller/Jhumka/Suri, DSN 2002)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_sim = sub.add_parser("simulate", help="run one arrestment")
+    p_sim.add_argument(
+        "--case", type=int, default=12,
+        help="standard test-case index, 0..24 (default: 12)",
+    )
+    p_sim.set_defaults(fn=_cmd_simulate)
+
+    p_prof = sub.add_parser(
+        "profile", help="profiles and placements (paper permeabilities)"
+    )
+    p_prof.set_defaults(fn=_cmd_profile)
+
+    p_mem = sub.add_parser("memmap", help="print the injectable memory map")
+    p_mem.set_defaults(fn=_cmd_memmap)
+
+    p_sens = sub.add_parser(
+        "sensitivity", help="placement stability under estimation noise"
+    )
+    p_sens.add_argument("--epsilon", type=float, default=0.05)
+    p_sens.add_argument("--samples", type=int, default=100)
+    p_sens.set_defaults(fn=_cmd_sensitivity)
+
+    p_dot = sub.add_parser(
+        "dot", help="emit Graphviz DOT for the paper's figures"
+    )
+    p_dot.add_argument(
+        "figure",
+        choices=["system", "exposure", "impact", "impact-tree", "backtrack"],
+    )
+    p_dot.add_argument(
+        "--signal", default="pulscnt",
+        help="root signal for impact-tree (default: pulscnt)",
+    )
+    p_dot.set_defaults(fn=_cmd_dot)
+
+    p_exp = sub.add_parser(
+        "experiments", help="regenerate the paper's tables and figures"
+    )
+    p_exp.add_argument("rest", nargs=argparse.REMAINDER)
+    p_exp.set_defaults(fn=_cmd_experiments)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

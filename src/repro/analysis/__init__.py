@@ -1,0 +1,16 @@
+"""Estimation bridging and report rendering."""
+
+from repro.analysis.estimators import (
+    EstimateConfidence,
+    estimate_confidence,
+    matrix_from_estimate,
+)
+from repro.analysis.tables import fmt, render_table
+
+__all__ = [
+    "EstimateConfidence",
+    "estimate_confidence",
+    "fmt",
+    "matrix_from_estimate",
+    "render_table",
+]

@@ -1,0 +1,207 @@
+"""Statistical treatment of coverage estimates.
+
+Fault-injection coverage estimation is a binomial estimation problem,
+and the dependability literature the paper builds on treats it as such
+(Powell et al., "Estimators for Fault Tolerance Coverage Evaluation",
+IEEE ToC 44(2), 1995 — the paper's reference [14]).  This module
+provides:
+
+* :func:`wilson_interval` — the Wilson score interval for a binomial
+  proportion, which behaves sanely for the small samples and extreme
+  proportions (coverage 0 or 1) that FI campaigns routinely produce;
+* :class:`CoverageEstimate` — a point estimate with its interval;
+* :func:`stratified_coverage` — the stratified estimator: campaigns
+  partition the fault space into strata (per test case, per memory
+  region, per signal) and the overall coverage is the weighted
+  combination of per-stratum estimates with the corresponding
+  variance;
+* bridges from the campaign result types.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import AnalysisError
+from repro.fi.campaign import DetectionResult, MemoryCampaignResult
+from repro.fi.memory import Region
+
+__all__ = [
+    "CoverageEstimate",
+    "Stratum",
+    "wilson_interval",
+    "binomial_estimate",
+    "stratified_coverage",
+    "detection_estimates",
+    "memory_estimates",
+]
+
+
+def wilson_interval(
+    successes: int, n: int, z: float = 1.96
+) -> Tuple[float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    Returns ``(low, high)``; for ``n == 0`` the interval is the whole
+    unit interval (no information).
+    """
+    if successes < 0 or n < 0 or successes > n:
+        raise AnalysisError(
+            f"invalid binomial counts: {successes} successes of {n}"
+        )
+    if n == 0:
+        return (0.0, 1.0)
+    phat = successes / n
+    z2 = z * z
+    denom = 1.0 + z2 / n
+    centre = (phat + z2 / (2 * n)) / denom
+    half = (
+        z
+        * math.sqrt(phat * (1 - phat) / n + z2 / (4 * n * n))
+        / denom
+    )
+    low = max(0.0, centre - half)
+    high = min(1.0, centre + half)
+    # at the degenerate proportions the bounds are exactly 0/1 in
+    # theory; keep them so despite floating-point rounding
+    if successes == 0:
+        low = 0.0
+    if successes == n:
+        high = 1.0
+    return (low, high)
+
+
+@dataclass(frozen=True)
+class CoverageEstimate:
+    """A coverage point estimate with its 95 % Wilson interval."""
+
+    detected: int
+    n: int
+    point: float
+    low: float
+    high: float
+
+    def overlaps(self, other: "CoverageEstimate") -> bool:
+        """Whether the two intervals overlap (a crude equality test)."""
+        return self.low <= other.high and other.low <= self.high
+
+    def describe(self) -> str:
+        return (
+            f"{self.point:.3f} [{self.low:.3f}, {self.high:.3f}] "
+            f"({self.detected}/{self.n})"
+        )
+
+
+def binomial_estimate(detected: int, n: int) -> CoverageEstimate:
+    low, high = wilson_interval(detected, n)
+    return CoverageEstimate(
+        detected=detected,
+        n=n,
+        point=detected / n if n else 0.0,
+        low=low,
+        high=high,
+    )
+
+
+@dataclass(frozen=True)
+class Stratum:
+    """One stratum of a stratified campaign."""
+
+    name: str
+    detected: int
+    n: int
+    weight: float  #: relative occurrence weight of this stratum
+
+    def __post_init__(self) -> None:
+        if self.n < 0 or self.detected < 0 or self.detected > self.n:
+            raise AnalysisError(
+                f"stratum {self.name!r}: invalid counts "
+                f"{self.detected}/{self.n}"
+            )
+        if self.weight < 0:
+            raise AnalysisError(
+                f"stratum {self.name!r}: negative weight {self.weight}"
+            )
+
+
+def stratified_coverage(strata: Sequence[Stratum]) -> CoverageEstimate:
+    """Weighted stratified coverage estimate.
+
+    The point estimate is ``sum_i w_i * c_i`` with normalized weights;
+    the interval combines the per-stratum binomial variances
+    (normal approximation, 95 %).  Strata with ``n == 0`` contribute
+    their weight with maximal variance.
+    """
+    if not strata:
+        raise AnalysisError("at least one stratum is required")
+    total_weight = sum(s.weight for s in strata)
+    if total_weight <= 0:
+        raise AnalysisError("stratum weights must sum to a positive value")
+    point = 0.0
+    variance = 0.0
+    detected = 0
+    n = 0
+    for stratum in strata:
+        w = stratum.weight / total_weight
+        detected += stratum.detected
+        n += stratum.n
+        if stratum.n == 0:
+            point += w * 0.5
+            variance += (w * 0.5) ** 2
+            continue
+        c = stratum.detected / stratum.n
+        point += w * c
+        variance += w * w * c * (1 - c) / stratum.n
+    half = 1.96 * math.sqrt(variance)
+    return CoverageEstimate(
+        detected=detected,
+        n=n,
+        point=point,
+        low=max(0.0, point - half),
+        high=min(1.0, point + half),
+    )
+
+
+def detection_estimates(
+    result: DetectionResult,
+    ea_subset: Optional[Iterable[str]] = None,
+) -> Dict[str, CoverageEstimate]:
+    """Per-target coverage estimates with intervals from a
+    :class:`DetectionCampaign` result."""
+    subset = frozenset(ea_subset) if ea_subset is not None else None
+    estimates: Dict[str, CoverageEstimate] = {}
+    for target in result.targets:
+        n = result.n_err.get(target, 0)
+        if subset is None:
+            detected = result.any_detections.get(target, 0)
+        else:
+            detected = sum(
+                1 for fired in result.run_records[target] if fired & subset
+            )
+        estimates[target] = binomial_estimate(detected, n)
+    return estimates
+
+
+def memory_estimates(
+    result: MemoryCampaignResult,
+    ea_subset: Iterable[str],
+) -> Dict[str, CoverageEstimate]:
+    """Per-region (plus total) coverage estimates from a
+    :class:`MemoryCampaign` result, as a stratified combination over
+    the regions weighted by their run counts."""
+    subset = frozenset(ea_subset)
+    estimates: Dict[str, CoverageEstimate] = {}
+    strata: List[Stratum] = []
+    for region in (Region.RAM, Region.STACK):
+        rows = [r for r in result.records if r.region is region]
+        detected = sum(1 for r in rows if r.fired & subset)
+        estimates[region.value] = binomial_estimate(detected, len(rows))
+        strata.append(
+            Stratum(region.value, detected, len(rows), weight=len(rows))
+        )
+    estimates["total"] = stratified_coverage(
+        [s for s in strata if s.n > 0] or strata
+    )
+    return estimates

@@ -1,0 +1,80 @@
+"""Bridging fault-injection estimates into the analysis framework.
+
+A :class:`~repro.fi.campaign.PermeabilityEstimate` is keyed by
+``(module, in_port, out_port)``; the analysis core's
+:class:`~repro.core.permeability.PermeabilityMatrix` is keyed by the
+paper's ``(module, in_index, out_index)``.  This module converts
+between the two and computes simple confidence information for the
+estimates.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.core.permeability import PermeabilityMatrix
+from repro.errors import AnalysisError
+from repro.fi.campaign import PermeabilityEstimate
+from repro.model.system import SystemModel
+
+__all__ = [
+    "matrix_from_estimate",
+    "estimate_confidence",
+    "EstimateConfidence",
+]
+
+
+def matrix_from_estimate(
+    system: SystemModel, estimate: PermeabilityEstimate
+) -> PermeabilityMatrix:
+    """Build a complete :class:`PermeabilityMatrix` from campaign data."""
+    values = {}
+    for pair in system.io_pairs():
+        key = (pair.module, pair.in_port, pair.out_port)
+        if key not in estimate.values:
+            raise AnalysisError(
+                f"campaign produced no estimate for pair {key}"
+            )
+        values[pair] = estimate.values[key]
+    return PermeabilityMatrix.from_values(system, values)
+
+
+@dataclass(frozen=True)
+class EstimateConfidence:
+    """Binomial confidence information for one permeability estimate."""
+
+    value: float
+    n: int
+    #: half-width of the normal-approximation 95 % confidence interval
+    half_width_95: float
+
+    @property
+    def low(self) -> float:
+        return max(0.0, self.value - self.half_width_95)
+
+    @property
+    def high(self) -> float:
+        return min(1.0, self.value + self.half_width_95)
+
+
+def estimate_confidence(
+    estimate: PermeabilityEstimate,
+) -> Dict[Tuple[str, str, str], EstimateConfidence]:
+    """95 % confidence intervals for every pair's estimate.
+
+    Permeability estimation is a per-run Bernoulli trial (direct error
+    observed or not), so the normal approximation to the binomial
+    proportion applies; for small n the half-width is conservative.
+    """
+    result: Dict[Tuple[str, str, str], EstimateConfidence] = {}
+    for key, value in estimate.values.items():
+        module, in_port, _ = key
+        n = estimate.active_runs.get((module, in_port), 0)
+        if n <= 0:
+            result[key] = EstimateConfidence(value, 0, 1.0)
+            continue
+        half = 1.96 * math.sqrt(max(value * (1.0 - value), 1e-12) / n)
+        result[key] = EstimateConfidence(value, n, half)
+    return result

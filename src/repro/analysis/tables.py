@@ -1,0 +1,59 @@
+"""Plain-text table rendering for experiment reports.
+
+Small, dependency-free column formatting used by the experiment
+harness to print the paper's tables side by side with the measured
+values.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Union
+
+__all__ = ["render_table", "fmt"]
+
+Cell = Union[str, int, float, None]
+
+
+def fmt(value: Cell, digits: int = 3) -> str:
+    """Format one cell: floats to fixed digits, None to a dash."""
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.{digits}f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Cell]],
+    title: Optional[str] = None,
+    digits: int = 3,
+) -> str:
+    """Render an aligned plain-text table."""
+    str_rows: List[List[str]] = [
+        [fmt(cell, digits) for cell in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has "
+                f"{len(headers)} headers"
+            )
+        for idx, cell in enumerate(row):
+            widths[idx] = max(widths[idx], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(
+        h.ljust(widths[idx]) for idx, h in enumerate(headers)
+    )
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in str_rows:
+        lines.append(
+            "  ".join(cell.rjust(widths[idx]) for idx, cell in enumerate(row))
+        )
+    return "\n".join(lines)

@@ -1,0 +1,93 @@
+"""Error propagation and effect analysis — the paper's core contribution.
+
+This package implements the analysis framework of Sections 5, 8 and 9:
+error permeability (Eq. 1), relative permeability, module and signal
+error exposure, backtrack/trace/impact trees, impact (Eq. 2),
+criticality (Eqs. 3-4), the EH / PA / extended placement engines and
+the profiling front-end.
+"""
+
+from repro.core.criticality import (
+    OutputCriticalities,
+    all_criticalities,
+    criticality_ranking,
+    signal_criticality,
+    signal_criticality_for_output,
+)
+from repro.core.exposure import (
+    all_signal_exposures,
+    exposure_ranking,
+    module_exposure,
+    non_weighted_module_exposure,
+    signal_exposure,
+)
+from repro.core.impact import (
+    all_impacts,
+    impact,
+    impact_on_all_outputs,
+    impact_ranking,
+    path_weights,
+)
+from repro.core.permeability import PairKey, PermeabilityMatrix
+from repro.core.placement import (
+    PlacementDecision,
+    PlacementResult,
+    PolicyLimits,
+    PolicyViolation,
+    check_policy,
+    default_guardable,
+    eh_placement,
+    extended_placement,
+    pa_placement,
+)
+from repro.core.module_profile import ModuleProfile, ModuleProfileEntry
+from repro.core.profile import SignalProfileEntry, SystemProfile, ValueBand
+from repro.core.sensitivity import SensitivityReport, placement_sensitivity
+from repro.core.trees import (
+    PropagationTree,
+    TreeNode,
+    build_backtrack_tree,
+    build_impact_tree,
+    build_trace_tree,
+)
+
+__all__ = [
+    "ModuleProfile",
+    "ModuleProfileEntry",
+    "OutputCriticalities",
+    "PairKey",
+    "PermeabilityMatrix",
+    "PlacementDecision",
+    "PlacementResult",
+    "PolicyLimits",
+    "PolicyViolation",
+    "PropagationTree",
+    "SensitivityReport",
+    "SignalProfileEntry",
+    "SystemProfile",
+    "TreeNode",
+    "ValueBand",
+    "all_criticalities",
+    "all_impacts",
+    "all_signal_exposures",
+    "build_backtrack_tree",
+    "build_impact_tree",
+    "build_trace_tree",
+    "check_policy",
+    "criticality_ranking",
+    "default_guardable",
+    "eh_placement",
+    "exposure_ranking",
+    "extended_placement",
+    "impact",
+    "impact_on_all_outputs",
+    "impact_ranking",
+    "module_exposure",
+    "non_weighted_module_exposure",
+    "pa_placement",
+    "path_weights",
+    "placement_sensitivity",
+    "signal_criticality",
+    "signal_criticality_for_output",
+    "signal_exposure",
+]

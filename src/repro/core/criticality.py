@@ -1,0 +1,142 @@
+"""Signal criticality (paper Section 8, Eqs. 3 and 4).
+
+When a system has multiple output signals, not all outputs are equally
+important: a diagnostic output may matter less than an actuator
+command.  The system designer assigns each output signal ``S_{o,i}`` a
+criticality ``C_{o,i}`` in [0, 1] (from specifications or experimental
+vulnerability analyses).  The criticality of any other signal ``S_s``
+*as experienced by* output ``S_{o,i}`` is its impact scaled by the
+output's criticality (Eq. 3):
+
+.. math::  C_{s,i} = C_{o,i} \\cdot \\Omega(S_s \\rightarrow S_{o,i})
+
+and its total criticality combines the per-output values (Eq. 4):
+
+.. math::  C_s = 1 - \\prod_i (1 - C_{s,i})
+
+The higher the criticality, the more "expensive" errors in the signal
+are with regard to total system operation.  Impact is independent of
+project policy; criticality changes when the project's dependability
+policy (the assigned output criticalities) changes.  For a
+single-output system criticality is the impact scaled by a constant,
+so the relative order of signals cannot change (paper Section 8).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.errors import AnalysisError
+from repro.core.impact import impact
+from repro.core.permeability import PermeabilityMatrix
+from repro.model.graph import SignalGraph
+
+__all__ = [
+    "OutputCriticalities",
+    "signal_criticality_for_output",
+    "signal_criticality",
+    "all_criticalities",
+    "criticality_ranking",
+]
+
+
+class OutputCriticalities:
+    """Designer-assigned criticality value per system output signal."""
+
+    def __init__(self, graph: SignalGraph, values: Mapping[str, float]):
+        outputs = set(graph.system.system_outputs())
+        unknown = set(values) - outputs
+        if unknown:
+            raise AnalysisError(
+                f"criticality assigned to non-output signals {sorted(unknown)}"
+            )
+        missing = outputs - set(values)
+        if missing:
+            raise AnalysisError(
+                f"criticality missing for output signals {sorted(missing)}"
+            )
+        for name, value in values.items():
+            if not 0.0 <= float(value) <= 1.0:
+                raise AnalysisError(
+                    f"criticality of output {name!r} must be in [0, 1], "
+                    f"got {value}"
+                )
+        self._values: Dict[str, float] = {
+            name: float(value) for name, value in values.items()
+        }
+        self.graph = graph
+
+    def __getitem__(self, output: str) -> float:
+        try:
+            return self._values[output]
+        except KeyError:
+            raise AnalysisError(
+                f"no criticality assigned to output {output!r}"
+            ) from None
+
+    def outputs(self) -> List[str]:
+        return list(self._values)
+
+    def as_dict(self) -> Dict[str, float]:
+        return dict(self._values)
+
+
+def signal_criticality_for_output(
+    matrix: PermeabilityMatrix,
+    graph: SignalGraph,
+    criticalities: OutputCriticalities,
+    signal: str,
+    output: str,
+) -> float:
+    """``C_{s,i}`` (Eq. 3): criticality of *signal* as seen by *output*."""
+    return criticalities[output] * impact(matrix, graph, signal, output)
+
+
+def signal_criticality(
+    matrix: PermeabilityMatrix,
+    graph: SignalGraph,
+    criticalities: OutputCriticalities,
+    signal: str,
+) -> float:
+    """``C_s`` (Eq. 4): total criticality of *signal* over all outputs."""
+    product = 1.0
+    for output in criticalities.outputs():
+        product *= 1.0 - signal_criticality_for_output(
+            matrix, graph, criticalities, signal, output
+        )
+    return 1.0 - product
+
+
+def all_criticalities(
+    matrix: PermeabilityMatrix,
+    graph: SignalGraph,
+    criticalities: OutputCriticalities,
+) -> Dict[str, Optional[float]]:
+    """Total criticality of every non-output signal (``None`` for outputs)."""
+    system = graph.system
+    result: Dict[str, Optional[float]] = {}
+    for name in system.signal_names():
+        if system.signal(name).is_system_output:
+            result[name] = None
+        else:
+            result[name] = signal_criticality(
+                matrix, graph, criticalities, name
+            )
+    return result
+
+
+def criticality_ranking(
+    matrix: PermeabilityMatrix,
+    graph: SignalGraph,
+    criticalities: OutputCriticalities,
+) -> List[Tuple[str, float]]:
+    """Signals ordered by decreasing total criticality (rule R3)."""
+    ranking = [
+        (name, value)
+        for name, value in all_criticalities(
+            matrix, graph, criticalities
+        ).items()
+        if value is not None
+    ]
+    ranking.sort(key=lambda item: (-item[1], item[0]))
+    return ranking

@@ -1,0 +1,118 @@
+"""Error exposure measures (paper Section 5.2).
+
+* **Signal error exposure** ``X_s^S`` — for a signal *S* driven by
+  output *k* of module *M*, the sum of the error permeabilities of all
+  input/output pairs of *M* that land on output *k*:
+
+  .. math::  X_s^S = \\sum_{i=1}^{m} P^M_{i,k}
+
+  This is the quantity tabulated in the paper's Table 2 (e.g.
+  ``X_s(i) = P^{CALC}_{1,1} + P^{CALC}_{2,1} + ... = 1.507``).  It is
+  an abstract, *relative* measure — not a probability — used to rank
+  signals by how likely they are to be subjected to propagating
+  errors.  System input signals are driven by the environment, not by
+  a module, so no exposure value is assigned to them (the dash-dotted
+  lines of Fig. 5); :func:`signal_exposure` returns ``None`` for them.
+
+* **Module error exposure** ``X^M`` and its non-weighted variant
+  ``X̂^M`` — the exposure of a module aggregates the exposures of the
+  signals wired to its inputs.  The DSN 2002 paper uses only the
+  signal-level measure numerically; the module-level definition
+  follows the companion framework paper (Hiller et al., DSN 2001):
+  the non-weighted module exposure is the sum of the exposures of the
+  module's input signals (system inputs contributing zero), and the
+  weighted variant normalizes by the number of inputs so that modules
+  with many inputs are not trivially "more exposed".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import AnalysisError
+from repro.core.permeability import PermeabilityMatrix
+from repro.model.system import SystemModel
+
+__all__ = [
+    "signal_exposure",
+    "all_signal_exposures",
+    "module_exposure",
+    "non_weighted_module_exposure",
+    "exposure_ranking",
+]
+
+
+def signal_exposure(
+    matrix: PermeabilityMatrix, signal: str
+) -> Optional[float]:
+    """Signal error exposure ``X_s^S`` of *signal*, or ``None``.
+
+    ``None`` is returned for system input signals, which have no
+    producing module and therefore no exposure value assigned (paper
+    Fig. 5 legend: "No exposure value assigned").
+    """
+    system = matrix.system
+    spec = system.signal(signal)
+    if spec.is_system_input:
+        return None
+    pairs = system.pairs_into_signal(signal)
+    if not pairs:
+        raise AnalysisError(
+            f"signal {signal!r} is not a system input but has no "
+            f"producing input/output pairs"
+        )
+    return sum(matrix[pair] for pair in pairs)
+
+
+def all_signal_exposures(
+    matrix: PermeabilityMatrix,
+) -> Dict[str, Optional[float]]:
+    """Exposure of every signal in the system (``None`` for system inputs)."""
+    return {
+        name: signal_exposure(matrix, name)
+        for name in matrix.system.signal_names()
+    }
+
+
+def non_weighted_module_exposure(
+    matrix: PermeabilityMatrix, module: str
+) -> float:
+    """``X̂^M``: sum of the exposures of the module's input signals.
+
+    Input signals that are system inputs contribute zero (errors
+    arriving there are environment errors, not *propagating* errors).
+    """
+    system = matrix.system
+    mod = system.module(module)
+    total = 0.0
+    for port in mod.inputs:
+        signal = system.signal_of_input(module, port)
+        exposure = signal_exposure(matrix, signal)
+        if exposure is not None:
+            total += exposure
+    return total
+
+
+def module_exposure(matrix: PermeabilityMatrix, module: str) -> float:
+    """``X^M``: non-weighted exposure normalized by the input count."""
+    mod = matrix.system.module(module)
+    if not mod.inputs:
+        return 0.0
+    return non_weighted_module_exposure(matrix, module) / len(mod.inputs)
+
+
+def exposure_ranking(
+    matrix: PermeabilityMatrix,
+) -> List[Tuple[str, float]]:
+    """Signals ordered by decreasing exposure (rule R1).
+
+    System inputs (no exposure value) are omitted; ties are broken
+    alphabetically for reproducibility.
+    """
+    ranking = [
+        (name, exposure)
+        for name, exposure in all_signal_exposures(matrix).items()
+        if exposure is not None
+    ]
+    ranking.sort(key=lambda item: (-item[1], item[0]))
+    return ranking

@@ -1,0 +1,128 @@
+"""Error impact (paper Section 8, Eq. 2).
+
+Errors in a source signal can propagate along many different paths to
+a destination system output.  With ``w_i`` the product of the
+permeabilities along path *i* (Fig. 4), the impact of errors in
+``S_s`` on output ``S_o`` is
+
+.. math::
+
+    \\Omega(S_s \\rightarrow S_o) = 1 - \\prod_i (1 - w_i)
+
+If full independence could be assumed this would be the conditional
+probability of an error in ``S_s`` propagating all the way to ``S_o``;
+since independence can rarely be assumed, the paper treats it as a
+*relative* measure for ranking signals.  The higher the impact, the
+higher the risk of an error in the source signal generating an error
+in the output of the system — the basis for placement rule R3.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import AnalysisError
+from repro.core.permeability import PermeabilityMatrix
+from repro.core.trees import build_impact_tree
+from repro.model.graph import PropagationPath, SignalGraph
+
+__all__ = [
+    "path_weights",
+    "impact",
+    "impact_on_all_outputs",
+    "all_impacts",
+    "impact_ranking",
+]
+
+
+def path_weights(
+    matrix: PermeabilityMatrix,
+    graph: SignalGraph,
+    source: str,
+    output: str,
+) -> List[Tuple[PropagationPath, float]]:
+    """All propagation paths from *source* to *output* with their weights.
+
+    The paths are exactly the root-to-leaf paths of the impact tree of
+    *source* whose leaf carries *output* (Fig. 4); the weight of a path
+    is the product of the permeabilities along it.
+    """
+    spec = graph.system.signal(output)
+    if not spec.is_system_output:
+        raise AnalysisError(
+            f"impact destination must be a system output signal, "
+            f"{output!r} is {spec.role.value}"
+        )
+    tree = build_impact_tree(graph, source)
+    return [
+        (path, path.weight(matrix.__getitem__))
+        for path in tree.paths_to(output)
+    ]
+
+
+def impact(
+    matrix: PermeabilityMatrix,
+    graph: SignalGraph,
+    source: str,
+    output: str,
+) -> float:
+    """Impact of errors in *source* on system output *output* (Eq. 2)."""
+    product = 1.0
+    for _, weight in path_weights(matrix, graph, source, output):
+        product *= 1.0 - weight
+    return 1.0 - product
+
+
+def impact_on_all_outputs(
+    matrix: PermeabilityMatrix, graph: SignalGraph, source: str
+) -> Dict[str, float]:
+    """Impact of *source* on each system output signal."""
+    return {
+        output: impact(matrix, graph, source, output)
+        for output in graph.system.system_outputs()
+    }
+
+
+def all_impacts(
+    matrix: PermeabilityMatrix,
+    graph: SignalGraph,
+    output: Optional[str] = None,
+) -> Dict[str, Optional[float]]:
+    """Impact of every signal on *output* (paper Table 5).
+
+    With *output* omitted the system must have exactly one output
+    signal.  System output signals themselves map to ``None`` — no
+    impact value is assigned to them ("one could say that the impact
+    is 1.0 in this case").
+    """
+    system = graph.system
+    if output is None:
+        outputs = system.system_outputs()
+        if len(outputs) != 1:
+            raise AnalysisError(
+                f"system has {len(outputs)} output signals; specify which "
+                f"one to compute impact on"
+            )
+        output = outputs[0]
+    result: Dict[str, Optional[float]] = {}
+    for name in system.signal_names():
+        if system.signal(name).is_system_output:
+            result[name] = None
+        else:
+            result[name] = impact(matrix, graph, name, output)
+    return result
+
+
+def impact_ranking(
+    matrix: PermeabilityMatrix,
+    graph: SignalGraph,
+    output: Optional[str] = None,
+) -> List[Tuple[str, float]]:
+    """Signals ordered by decreasing impact on *output* (rule R3)."""
+    ranking = [
+        (name, value)
+        for name, value in all_impacts(matrix, graph, output).items()
+        if value is not None
+    ]
+    ranking.sort(key=lambda item: (-item[1], item[0]))
+    return ranking

@@ -1,0 +1,164 @@
+"""Module-level profiling and placement guidance (rules R1 and R2).
+
+The signal-level measures drive the paper's EA placement, but the
+framework's module-level measures carry their own guidance:
+
+* **R1**: "The higher the error exposure values of a module, the
+  higher the probability that it will be subjected to errors
+  propagating through the system ... it may be more cost effective to
+  place EDM's in those modules."
+* **R2**: "The higher the error permeability values of a module the
+  lower its ability to contain errors ... it may be more cost
+  effective to place ERM's in those modules."
+
+:class:`ModuleProfile` computes both measures (weighted and
+non-weighted) for every module, ranks them, and derives the R1/R2
+recommendations — including the trade-off case the paper points out
+(high permeability with low exposure, or vice versa).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.analysis.tables import render_table
+from repro.core.exposure import (
+    module_exposure,
+    non_weighted_module_exposure,
+)
+from repro.core.permeability import PermeabilityMatrix
+from repro.errors import AnalysisError
+
+__all__ = ["ModuleProfileEntry", "ModuleProfile"]
+
+
+@dataclass(frozen=True)
+class ModuleProfileEntry:
+    """One module's propagation measures."""
+
+    module: str
+    relative_permeability: float
+    non_weighted_permeability: float
+    exposure: float
+    non_weighted_exposure: float
+    n_inputs: int
+    n_outputs: int
+
+
+class ModuleProfile:
+    """Module-level view of a system's propagation characteristics."""
+
+    def __init__(self, matrix: PermeabilityMatrix):
+        self.matrix = matrix
+        self.system = matrix.system
+        self._entries: Dict[str, ModuleProfileEntry] = {}
+        for module in self.system.modules():
+            self._entries[module.name] = ModuleProfileEntry(
+                module=module.name,
+                relative_permeability=matrix.relative_permeability(
+                    module.name
+                ),
+                non_weighted_permeability=(
+                    matrix.non_weighted_relative_permeability(module.name)
+                ),
+                exposure=module_exposure(matrix, module.name),
+                non_weighted_exposure=non_weighted_module_exposure(
+                    matrix, module.name
+                ),
+                n_inputs=len(module.inputs),
+                n_outputs=len(module.outputs),
+            )
+
+    def entry(self, module: str) -> ModuleProfileEntry:
+        entry = self._entries.get(module)
+        if entry is None:
+            raise AnalysisError(f"no profile entry for module {module!r}")
+        return entry
+
+    def entries(self) -> List[ModuleProfileEntry]:
+        return list(self._entries.values())
+
+    # ------------------------------------------------------------------
+    # Rankings (R1 / R2).
+    # ------------------------------------------------------------------
+    def by_exposure(self) -> List[ModuleProfileEntry]:
+        """Modules ordered for EDM placement priority (rule R1)."""
+        return sorted(
+            self._entries.values(),
+            key=lambda e: (-e.exposure, e.module),
+        )
+
+    def by_permeability(self) -> List[ModuleProfileEntry]:
+        """Modules ordered for ERM placement priority (rule R2)."""
+        return sorted(
+            self._entries.values(),
+            key=lambda e: (-e.relative_permeability, e.module),
+        )
+
+    def edm_candidates(self, threshold: float = 0.0) -> List[str]:
+        """Modules whose exposure strictly exceeds *threshold* (R1)."""
+        return [
+            e.module for e in self.by_exposure() if e.exposure > threshold
+        ]
+
+    def erm_candidates(self, threshold: float = 0.5) -> List[str]:
+        """Modules whose relative permeability exceeds *threshold* (R2)."""
+        return [
+            e.module
+            for e in self.by_permeability()
+            if e.relative_permeability > threshold
+        ]
+
+    def trade_off_modules(
+        self,
+        permeability_threshold: float = 0.5,
+        exposure_threshold: float = 0.25,
+    ) -> List[str]:
+        """Modules with high permeability but low exposure.
+
+        The paper's trade-off example: "one might decide to equip a
+        module with high permeability with EDM's and ERM's even though
+        its exposure is relatively low."
+        """
+        return [
+            e.module
+            for e in self.entries()
+            if e.relative_permeability > permeability_threshold
+            and e.exposure < exposure_threshold
+        ]
+
+    def render(self) -> str:
+        table = render_table(
+            headers=[
+                "Module", "P^M", "P^M (raw)", "X^M", "X^M (raw)",
+                "in", "out",
+            ],
+            rows=[
+                (
+                    e.module,
+                    e.relative_permeability,
+                    e.non_weighted_permeability,
+                    e.exposure,
+                    e.non_weighted_exposure,
+                    e.n_inputs,
+                    e.n_outputs,
+                )
+                for e in self.by_exposure()
+            ],
+            title="Module profile (P^M: permeability, X^M: exposure)",
+        )
+        lines = [
+            table,
+            "",
+            f"R1 (EDM) priority: "
+            f"{[e.module for e in self.by_exposure()]}",
+            f"R2 (ERM) priority: "
+            f"{[e.module for e in self.by_permeability()]}",
+        ]
+        trade_offs = self.trade_off_modules()
+        if trade_offs:
+            lines.append(
+                f"high-permeability / low-exposure trade-offs: {trade_offs}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,184 @@
+"""Error permeability (paper Eq. 1) and module-level permeability measures.
+
+For input *i* and output *k* of a module *M* the *error permeability*
+
+.. math::
+
+    0 \\le P^M_{i,k} = \\Pr\\{\\text{error in output } k \\mid
+    \\text{error in input } i\\} \\le 1
+
+indicates how permeable the input/output pair is to errors occurring at
+the input.  The paper estimates these probabilities by fault injection
+(Section 5.3); this module only represents and aggregates them — the
+estimation lives in :mod:`repro.analysis.estimators`.
+
+Aggregate measures defined in the paper (Section 5.2):
+
+* **Relative permeability** ``P^M`` — the ability of module *M* to let
+  propagating errors pass through it, normalized by the number of
+  input/output pairs, hence in [0, 1].
+* **Non-weighted relative permeability** ``P̂^M`` — the same without
+  normalization (the raw sum over all pairs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Tuple, Union
+
+from repro.errors import AnalysisError
+from repro.model.system import IOPair, SystemModel
+
+__all__ = ["PairKey", "PermeabilityMatrix"]
+
+#: Key identifying one permeability: (module name, input index, output index),
+#: with 1-based indices as in the paper's ``P^M_{i,k}`` notation.
+PairKey = Tuple[str, int, int]
+
+
+def _as_key(key: Union[PairKey, IOPair]) -> PairKey:
+    if isinstance(key, IOPair):
+        return (key.module, key.in_index, key.out_index)
+    if (
+        isinstance(key, tuple)
+        and len(key) == 3
+        and isinstance(key[0], str)
+    ):
+        return (key[0], int(key[1]), int(key[2]))
+    raise AnalysisError(f"invalid permeability key {key!r}")
+
+
+class PermeabilityMatrix:
+    """All per-pair error permeabilities of one system.
+
+    The matrix is constructed against a :class:`SystemModel` so that it
+    knows the complete set of input/output pairs; unset pairs default
+    to ``None`` and must be filled in before aggregate measures are
+    computed (use :meth:`set`, :meth:`update`, or
+    :meth:`from_values`).
+    """
+
+    def __init__(self, system: SystemModel):
+        self.system = system
+        self._pairs: Dict[PairKey, IOPair] = {
+            (p.module, p.in_index, p.out_index): p for p in system.io_pairs()
+        }
+        self._values: Dict[PairKey, Optional[float]] = {
+            key: None for key in self._pairs
+        }
+
+    # ------------------------------------------------------------------
+    # Construction.
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_values(
+        cls,
+        system: SystemModel,
+        values: Mapping[Union[PairKey, IOPair], float],
+    ) -> "PermeabilityMatrix":
+        """Build a fully populated matrix from a mapping of pair -> value.
+
+        Every pair of the system must be covered.
+        """
+        matrix = cls(system)
+        matrix.update(values)
+        missing = [key for key, value in matrix._values.items() if value is None]
+        if missing:
+            raise AnalysisError(
+                f"permeability values missing for pairs {sorted(missing)}"
+            )
+        return matrix
+
+    def set(self, key: Union[PairKey, IOPair], value: float) -> None:
+        pair_key = _as_key(key)
+        if pair_key not in self._pairs:
+            raise AnalysisError(
+                f"system has no input/output pair {pair_key!r}"
+            )
+        value = float(value)
+        if not 0.0 <= value <= 1.0:
+            raise AnalysisError(
+                f"permeability for {pair_key!r} must be in [0, 1], got {value}"
+            )
+        self._values[pair_key] = value
+
+    def update(
+        self, values: Mapping[Union[PairKey, IOPair], float]
+    ) -> None:
+        for key, value in values.items():
+            self.set(key, value)
+
+    # ------------------------------------------------------------------
+    # Access.
+    # ------------------------------------------------------------------
+    def __getitem__(self, key: Union[PairKey, IOPair]) -> float:
+        pair_key = _as_key(key)
+        if pair_key not in self._pairs:
+            raise AnalysisError(
+                f"system has no input/output pair {pair_key!r}"
+            )
+        value = self._values[pair_key]
+        if value is None:
+            raise AnalysisError(
+                f"permeability for pair {pair_key!r} has not been set"
+            )
+        return value
+
+    def get(
+        self, key: Union[PairKey, IOPair], default: Optional[float] = None
+    ) -> Optional[float]:
+        pair_key = _as_key(key)
+        value = self._values.get(pair_key)
+        return default if value is None else value
+
+    def is_complete(self) -> bool:
+        return all(value is not None for value in self._values.values())
+
+    def pair(self, key: Union[PairKey, IOPair]) -> IOPair:
+        return self._pairs[_as_key(key)]
+
+    def items(self) -> Iterator[Tuple[IOPair, float]]:
+        """Iterate (pair, value) in the paper's Table-1 order."""
+        for key, pair in self._pairs.items():
+            value = self._values[key]
+            if value is None:
+                raise AnalysisError(
+                    f"permeability for pair {key!r} has not been set"
+                )
+            yield pair, value
+
+    def as_dict(self) -> Dict[PairKey, float]:
+        return {
+            key: value
+            for key, value in self._values.items()
+            if value is not None
+        }
+
+    # ------------------------------------------------------------------
+    # Aggregate measures (Section 5.2).
+    # ------------------------------------------------------------------
+    def non_weighted_relative_permeability(self, module: str) -> float:
+        """``P̂^M``: raw sum of permeabilities over all pairs of *module*."""
+        pairs = self.system.io_pairs(module)
+        if not pairs:
+            raise AnalysisError(f"module {module!r} has no input/output pairs")
+        return sum(self[pair] for pair in pairs)
+
+    def relative_permeability(self, module: str) -> float:
+        """``P^M``: sum normalized by the number of pairs, in [0, 1]."""
+        pairs = self.system.io_pairs(module)
+        if not pairs:
+            raise AnalysisError(f"module {module!r} has no input/output pairs")
+        return self.non_weighted_relative_permeability(module) / len(pairs)
+
+    def module_ranking(self) -> List[Tuple[str, float]]:
+        """Modules ordered by decreasing relative permeability (rule R2)."""
+        ranking = [
+            (name, self.relative_permeability(name))
+            for name in self.system.module_names()
+        ]
+        ranking.sort(key=lambda item: (-item[1], item[0]))
+        return ranking
+
+    def __len__(self) -> int:
+        return len(self._pairs)

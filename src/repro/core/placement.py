@@ -1,0 +1,554 @@
+"""EDM/ERM placement engines (paper Sections 5.1, 5.3, 9 and 10).
+
+Three selection strategies over a system's signals are implemented:
+
+* :func:`eh_placement` — the experience/heuristic baseline
+  (EH-approach, Section 5.1): a programmatic rendering of the paper's
+  four-step process (identify I/O paths, identify internally generated
+  signals with direct influence, FMECA-style criticality screening,
+  decide).  On the paper's target it selects every guardable
+  internally-generated signal: {SetValue, IsValue, i, pulscnt,
+  ms_slot_nbr, mscnt, OutValue}.
+
+* :func:`pa_placement` — the propagation-analysis approach
+  (PA-approach, Section 5.3): selection driven by signal error
+  exposure and the individual permeability values, reproducing the
+  decision logic of Table 2 including its documented exceptions
+  (``ms_slot_nbr`` rejected despite maximal exposure because its
+  errors cannot permeate to any other signal; the system output
+  register rejected because errors there most likely come from the
+  already-guarded upstream signal; booleans rejected because the EA
+  catalogue is not geared at boolean values).
+
+* :func:`extended_placement` — the extended framework (Sections 9-10):
+  the PA selection augmented by effect analysis.  Signals with high
+  impact (or criticality, when output criticalities are provided) are
+  added even when their exposure is low; under a memory error model,
+  signals with near-total self-permeability are added because errors
+  injected directly into their backing store persist (the
+  ``ms_slot_nbr`` case of Section 10).
+
+The module also provides :func:`check_policy` for the threshold-based
+process sketched in Section 9 (maximum permeability / exposure /
+impact limits that a project may impose).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import PlacementError
+from repro.core.criticality import OutputCriticalities, all_criticalities
+from repro.core.exposure import all_signal_exposures
+from repro.core.impact import all_impacts
+from repro.core.permeability import PermeabilityMatrix
+from repro.model.graph import SignalGraph
+from repro.model.signal import SignalSpec, SignalType
+from repro.model.system import SystemModel
+
+__all__ = [
+    "PlacementDecision",
+    "PlacementResult",
+    "PolicyLimits",
+    "PolicyViolation",
+    "default_guardable",
+    "eh_placement",
+    "pa_placement",
+    "extended_placement",
+    "check_policy",
+]
+
+
+def default_guardable(spec: SignalSpec) -> bool:
+    """Whether the paper's EA catalogue can usefully guard a signal.
+
+    The generic parameterized executable assertions used in the paper
+    check ranges and rates of change; "it is difficult to detect
+    errors in a boolean value" (Section 10), so boolean signals are
+    not considered guardable.
+    """
+    return spec.sig_type is not SignalType.BOOL
+
+
+@dataclass(frozen=True)
+class PlacementDecision:
+    """The outcome for one signal: selected or not, and why."""
+
+    signal: str
+    selected: bool
+    motivation: str
+    exposure: Optional[float] = None
+    impact: Optional[float] = None
+    criticality: Optional[float] = None
+
+
+@dataclass
+class PlacementResult:
+    """A complete placement: one decision per eligible signal."""
+
+    approach: str
+    decisions: List[PlacementDecision] = field(default_factory=list)
+
+    @property
+    def selected(self) -> List[str]:
+        return [d.signal for d in self.decisions if d.selected]
+
+    @property
+    def rejected(self) -> List[str]:
+        return [d.signal for d in self.decisions if not d.selected]
+
+    def decision_for(self, signal: str) -> PlacementDecision:
+        for decision in self.decisions:
+            if decision.signal == signal:
+                return decision
+        raise PlacementError(
+            f"no placement decision recorded for signal {signal!r}"
+        )
+
+    def is_subset_of(self, other: "PlacementResult") -> bool:
+        return set(self.selected) <= set(other.selected)
+
+    def render(self) -> str:
+        lines = [f"Placement ({self.approach}):"]
+        width = max((len(d.signal) for d in self.decisions), default=8)
+        for decision in self.decisions:
+            mark = "yes" if decision.selected else "no "
+            extras = []
+            if decision.exposure is not None:
+                extras.append(f"X_s={decision.exposure:.3f}")
+            if decision.impact is not None:
+                extras.append(f"impact={decision.impact:.3f}")
+            if decision.criticality is not None:
+                extras.append(f"C_s={decision.criticality:.3f}")
+            extra = f" [{', '.join(extras)}]" if extras else ""
+            lines.append(
+                f"  {decision.signal:<{width}}  {mark}  "
+                f"{decision.motivation}{extra}"
+            )
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# EH-approach (Section 5.1).
+# ----------------------------------------------------------------------
+def eh_placement(
+    system: SystemModel,
+    guardable: Callable[[SignalSpec], bool] = default_guardable,
+) -> PlacementResult:
+    """Experience/heuristic-based placement (the paper's baseline).
+
+    Programmatic rendering of the four-step EH process:
+
+    1. identify system input and output signals and the paths between
+       them (here: graph reachability);
+    2. identify internally generated signals with a direct influence
+       on intermediate and output signals (internal signals with at
+       least one consumer);
+    3. determine the most critical signals, e.g. by FMECA — the
+       heuristic proxy used here is "every internally generated signal
+       the EA catalogue can guard is considered critical enough",
+       which is exactly the generous selection the paper's historical
+       EH experiments made;
+    4. decide locations: select all of step 3's signals.
+    """
+    graph = SignalGraph(system)
+    outputs = set(system.system_outputs())
+    reaches_output = {
+        name
+        for name in system.signal_names()
+        if name in outputs or graph.reachable_from(name) & outputs
+    }
+    result = PlacementResult(approach="EH")
+    for spec in system.signals():
+        if spec.is_system_input:
+            result.decisions.append(
+                PlacementDecision(
+                    spec.name,
+                    False,
+                    "System input signal (errors enter here; guarded "
+                    "downstream)",
+                )
+            )
+            continue
+        if spec.is_system_output:
+            result.decisions.append(
+                PlacementDecision(
+                    spec.name,
+                    False,
+                    "Hardware register beyond the software barrier",
+                )
+            )
+            continue
+        if not system.consumers_of(spec.name):
+            result.decisions.append(
+                PlacementDecision(
+                    spec.name, False, "No direct influence on other signals"
+                )
+            )
+            continue
+        if not guardable(spec):
+            result.decisions.append(
+                PlacementDecision(
+                    spec.name,
+                    False,
+                    "Selected EA's not geared at boolean values",
+                )
+            )
+            continue
+        if spec.name not in reaches_output:
+            result.decisions.append(
+                PlacementDecision(
+                    spec.name, False, "No path to any system output"
+                )
+            )
+            continue
+        result.decisions.append(
+            PlacementDecision(
+                spec.name,
+                True,
+                "Internally generated signal with direct influence "
+                "(EH steps 2-4)",
+            )
+        )
+    return result
+
+
+# ----------------------------------------------------------------------
+# PA-approach (Section 5.3, Table 2).
+# ----------------------------------------------------------------------
+def _can_permeate_onward(
+    matrix: PermeabilityMatrix, graph: SignalGraph, signal: str
+) -> Tuple[bool, List[str]]:
+    """Whether errors in *signal* can reach any other signal.
+
+    Returns ``(can, blocked)`` where *blocked* lists the non-self
+    destination signals whose permeability from *signal* is zero (used
+    for the "Zero error permeability to mscnt" style motivations).
+    """
+    blocked: List[str] = []
+    can = False
+    for edge in graph.out_edges(signal):
+        if edge.out_signal == signal:
+            continue
+        if matrix[edge] > 0.0:
+            can = True
+        else:
+            blocked.append(edge.out_signal)
+    return can, blocked
+
+
+def pa_placement(
+    matrix: PermeabilityMatrix,
+    graph: SignalGraph,
+    exposure_threshold: float = 0.5,
+    guardable: Callable[[SignalSpec], bool] = default_guardable,
+) -> PlacementResult:
+    """Propagation-analysis placement (PA-approach, Table 2).
+
+    Signals are considered in order of decreasing exposure; a signal is
+    selected when its exposure reaches *exposure_threshold* unless one
+    of the documented exceptions applies:
+
+    * its errors cannot permeate onward to any other signal (the
+      ``ms_slot_nbr`` case);
+    * it is a system output whose producing module reads only signals
+      that are already selected (the ``TOC2`` case: "Errors here most
+      likely come from OutValue");
+    * the EA catalogue cannot guard it (booleans).
+    """
+    if not 0.0 < exposure_threshold <= 2.0 * len(matrix):
+        raise PlacementError(
+            f"exposure_threshold must be positive, got {exposure_threshold}"
+        )
+    system = graph.system
+    exposures = all_signal_exposures(matrix)
+    ordered = sorted(
+        (name for name in system.signal_names() if exposures[name] is not None),
+        key=lambda name: (-exposures[name], name),
+    )
+    result = PlacementResult(approach="PA")
+    selected: List[str] = []
+    for name in ordered:
+        spec = system.signal(name)
+        exposure = exposures[name]
+        if exposure == 0.0:
+            result.decisions.append(
+                PlacementDecision(
+                    name, False, "Zero error exposure", exposure=exposure
+                )
+            )
+            continue
+        if exposure < exposure_threshold:
+            motivation = "Low error exposure"
+            if not guardable(spec):
+                motivation += ", selected EA's not geared at boolean values"
+            result.decisions.append(
+                PlacementDecision(name, False, motivation, exposure=exposure)
+            )
+            continue
+        can_onward, blocked = _can_permeate_onward(matrix, graph, name)
+        if not can_onward and not spec.is_system_output:
+            target = ", ".join(blocked) if blocked else "any other signal"
+            result.decisions.append(
+                PlacementDecision(
+                    name,
+                    False,
+                    f"Zero error permeability to {target}",
+                    exposure=exposure,
+                )
+            )
+            continue
+        if spec.is_system_output:
+            producer = system.producer_of(name)
+            upstream = [
+                system.signal_of_input(producer.module, port)
+                for port in system.module(producer.module).inputs
+            ]
+            if upstream and all(sig in selected for sig in upstream):
+                result.decisions.append(
+                    PlacementDecision(
+                        name,
+                        False,
+                        "Errors here most likely come from "
+                        + ", ".join(upstream),
+                        exposure=exposure,
+                    )
+                )
+                continue
+        if not guardable(spec):
+            result.decisions.append(
+                PlacementDecision(
+                    name,
+                    False,
+                    "Selected EA's not geared at boolean values",
+                    exposure=exposure,
+                )
+            )
+            continue
+        selected.append(name)
+        result.decisions.append(
+            PlacementDecision(
+                name, True, "High error exposure", exposure=exposure
+            )
+        )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Extended framework: PA + effect analysis (Sections 9-10).
+# ----------------------------------------------------------------------
+def _self_permeability(
+    matrix: PermeabilityMatrix, graph: SignalGraph, signal: str
+) -> float:
+    """Largest self-loop permeability of *signal* (0 when no self edge)."""
+    best = 0.0
+    for edge in graph.out_edges(signal):
+        if edge.out_signal == signal:
+            best = max(best, matrix[edge])
+    return best
+
+
+def extended_placement(
+    matrix: PermeabilityMatrix,
+    graph: SignalGraph,
+    exposure_threshold: float = 0.5,
+    impact_threshold: float = 0.3,
+    output: Optional[str] = None,
+    criticalities: Optional[OutputCriticalities] = None,
+    criticality_threshold: Optional[float] = None,
+    memory_error_model: bool = False,
+    self_permeability_threshold: float = 0.9,
+    guardable: Callable[[SignalSpec], bool] = default_guardable,
+) -> PlacementResult:
+    """Extended placement: propagation analysis plus effect analysis.
+
+    Starts from :func:`pa_placement` (rules R1/R2) and then applies
+    rule R3: signals whose impact on the system output — or, for
+    multi-output systems with *criticalities* given, whose total
+    criticality — reaches the threshold are selected even when their
+    exposure is low ("errors in this signal are relatively rare but
+    costly, should they occur").
+
+    With ``memory_error_model=True`` the selection additionally
+    accounts for errors introduced directly into signal backing stores
+    (Section 7's harsher model): a signal whose self-permeability
+    reaches *self_permeability_threshold* keeps an injected error
+    alive indefinitely, so it is selected as well (the paper's
+    ``ms_slot_nbr`` rationale in Section 10).
+    """
+    system = graph.system
+    base = pa_placement(
+        matrix,
+        graph,
+        exposure_threshold=exposure_threshold,
+        guardable=guardable,
+    )
+    if criticalities is not None:
+        effect_values = all_criticalities(matrix, graph, criticalities)
+        effect_name = "criticality"
+        threshold = (
+            criticality_threshold
+            if criticality_threshold is not None
+            else impact_threshold
+        )
+    else:
+        effect_values = all_impacts(matrix, graph, output)
+        effect_name = "impact"
+        threshold = impact_threshold
+    if threshold <= 0.0:
+        raise PlacementError(
+            f"{effect_name} threshold must be positive, got {threshold}"
+        )
+
+    result = PlacementResult(approach="PA+effect")
+    for decision in base.decisions:
+        name = decision.signal
+        spec = system.signal(name)
+        effect = effect_values.get(name)
+        if decision.selected:
+            result.decisions.append(
+                PlacementDecision(
+                    name,
+                    True,
+                    decision.motivation,
+                    exposure=decision.exposure,
+                    impact=effect if effect_name == "impact" else None,
+                    criticality=effect if effect_name == "criticality" else None,
+                )
+            )
+            continue
+        if effect is not None and effect >= threshold:
+            if guardable(spec):
+                result.decisions.append(
+                    PlacementDecision(
+                        name,
+                        True,
+                        f"High {effect_name} on system output (rule R3)",
+                        exposure=decision.exposure,
+                        impact=effect if effect_name == "impact" else None,
+                        criticality=(
+                            effect if effect_name == "criticality" else None
+                        ),
+                    )
+                )
+            else:
+                result.decisions.append(
+                    PlacementDecision(
+                        name,
+                        False,
+                        f"High {effect_name} but selected EA's not geared "
+                        f"at boolean values",
+                        exposure=decision.exposure,
+                        impact=effect if effect_name == "impact" else None,
+                        criticality=(
+                            effect if effect_name == "criticality" else None
+                        ),
+                    )
+                )
+            continue
+        if (
+            memory_error_model
+            and guardable(spec)
+            and _self_permeability(matrix, graph, name)
+            >= self_permeability_threshold
+        ):
+            result.decisions.append(
+                PlacementDecision(
+                    name,
+                    True,
+                    "Self-permeability ~1 and memory error model "
+                    "introduces errors in the entire memory space",
+                    exposure=decision.exposure,
+                    impact=effect if effect_name == "impact" else None,
+                    criticality=(
+                        effect if effect_name == "criticality" else None
+                    ),
+                )
+            )
+            continue
+        result.decisions.append(
+            PlacementDecision(
+                name,
+                False,
+                decision.motivation,
+                exposure=decision.exposure,
+                impact=effect if effect_name == "impact" else None,
+                criticality=effect if effect_name == "criticality" else None,
+            )
+        )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Policy limits (Section 9).
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PolicyLimits:
+    """Project-imposed maxima on the analysis measures (Section 9).
+
+    ``None`` disables a limit.  ``max_permeability`` caps every
+    individual pair (a minimum level of error containment for all
+    modules); ``max_exposure`` caps signal error exposure;
+    ``max_impact`` caps signal impact on any system output.
+    """
+
+    max_permeability: Optional[float] = None
+    max_exposure: Optional[float] = None
+    max_impact: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class PolicyViolation:
+    """One exceeded limit: where, which measure, value vs. limit."""
+
+    kind: str
+    location: str
+    value: float
+    limit: float
+
+    def describe(self) -> str:
+        return (
+            f"{self.kind} at {self.location}: {self.value:.3f} exceeds "
+            f"limit {self.limit:.3f}"
+        )
+
+
+def check_policy(
+    matrix: PermeabilityMatrix,
+    graph: SignalGraph,
+    limits: PolicyLimits,
+    output: Optional[str] = None,
+) -> List[PolicyViolation]:
+    """Check the system against :class:`PolicyLimits`.
+
+    A module exceeding the permeability limit "indicates that more
+    resources have to be allocated to that module to increase its
+    error containment capabilities"; exposure and impact violations
+    point at signals needing protection (Section 9).
+    """
+    violations: List[PolicyViolation] = []
+    if limits.max_permeability is not None:
+        for pair, value in matrix.items():
+            if value > limits.max_permeability:
+                violations.append(
+                    PolicyViolation(
+                        "permeability", pair.label, value,
+                        limits.max_permeability,
+                    )
+                )
+    if limits.max_exposure is not None:
+        for name, exposure in all_signal_exposures(matrix).items():
+            if exposure is not None and exposure > limits.max_exposure:
+                violations.append(
+                    PolicyViolation(
+                        "exposure", name, exposure, limits.max_exposure
+                    )
+                )
+    if limits.max_impact is not None:
+        for name, value in all_impacts(matrix, graph, output).items():
+            if value is not None and value > limits.max_impact:
+                violations.append(
+                    PolicyViolation("impact", name, value, limits.max_impact)
+                )
+    return violations

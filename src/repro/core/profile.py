@@ -1,0 +1,210 @@
+"""Software profiling from varied dependability perspectives.
+
+The paper's stated intent is "to provide a method for software
+profiling with regard to error propagation and error effect
+characteristics" (Section 1).  :class:`SystemProfile` bundles the two
+profiles the paper draws for the target system:
+
+* the **exposure profile** (Fig. 5) — each signal classified by its
+  error exposure, and
+* the **impact profile** (Fig. 6) — each signal classified by its
+  impact on the system output,
+
+using the same five rendering classes as the figures: highest, lowest
+(non-zero), zero, and "no value assigned" (system inputs for exposure,
+system outputs for impact).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.errors import AnalysisError
+from repro.core.criticality import OutputCriticalities, all_criticalities
+from repro.core.exposure import all_signal_exposures
+from repro.core.impact import all_impacts
+from repro.core.permeability import PermeabilityMatrix
+from repro.model.graph import SignalGraph
+
+__all__ = ["ValueBand", "SignalProfileEntry", "SystemProfile"]
+
+
+class ValueBand(enum.Enum):
+    """Rendering class of one signal in a profile figure."""
+
+    HIGHEST = "highest"
+    HIGH = "high"
+    LOW = "low"
+    LOWEST = "lowest"
+    ZERO = "zero"
+    UNASSIGNED = "unassigned"
+
+
+def classify(
+    value: Optional[float], assigned: Mapping[str, float], name: str
+) -> ValueBand:
+    """Band for *value* among all *assigned* (non-None) values."""
+    if value is None:
+        return ValueBand.UNASSIGNED
+    if value == 0.0:
+        return ValueBand.ZERO
+    nonzero = sorted(v for v in assigned.values() if v and v > 0.0)
+    if not nonzero:
+        return ValueBand.ZERO
+    if value >= nonzero[-1]:
+        return ValueBand.HIGHEST
+    if value <= nonzero[0]:
+        return ValueBand.LOWEST
+    midpoint = (nonzero[0] + nonzero[-1]) / 2.0
+    return ValueBand.HIGH if value >= midpoint else ValueBand.LOW
+
+
+@dataclass(frozen=True)
+class SignalProfileEntry:
+    """One signal's row in a :class:`SystemProfile`."""
+
+    signal: str
+    exposure: Optional[float]
+    exposure_band: ValueBand
+    impact: Optional[float]
+    impact_band: ValueBand
+    criticality: Optional[float] = None
+
+
+class SystemProfile:
+    """Joint exposure/impact (and optionally criticality) profile.
+
+    Parameters
+    ----------
+    matrix:
+        Complete permeability matrix of the system.
+    graph:
+        The system's signal graph.
+    output:
+        System output to compute impact on; may be omitted for
+        single-output systems.
+    criticalities:
+        Optional designer-assigned output criticalities; when given,
+        total criticalities are computed as well.
+    """
+
+    def __init__(
+        self,
+        matrix: PermeabilityMatrix,
+        graph: SignalGraph,
+        output: Optional[str] = None,
+        criticalities: Optional[OutputCriticalities] = None,
+    ):
+        self.matrix = matrix
+        self.graph = graph
+        self.system = graph.system
+        self.exposures = all_signal_exposures(matrix)
+        self.impacts = all_impacts(matrix, graph, output)
+        self.criticalities: Optional[Dict[str, Optional[float]]] = None
+        if criticalities is not None:
+            self.criticalities = all_criticalities(
+                matrix, graph, criticalities
+            )
+        assigned_exposure = {
+            k: v for k, v in self.exposures.items() if v is not None
+        }
+        assigned_impact = {
+            k: v for k, v in self.impacts.items() if v is not None
+        }
+        self._entries: Dict[str, SignalProfileEntry] = {}
+        for name in self.system.signal_names():
+            exposure = self.exposures[name]
+            impact = self.impacts[name]
+            self._entries[name] = SignalProfileEntry(
+                signal=name,
+                exposure=exposure,
+                exposure_band=classify(exposure, assigned_exposure, name),
+                impact=impact,
+                impact_band=classify(impact, assigned_impact, name),
+                criticality=(
+                    self.criticalities[name]
+                    if self.criticalities is not None
+                    else None
+                ),
+            )
+
+    def entry(self, signal: str) -> SignalProfileEntry:
+        entry = self._entries.get(signal)
+        if entry is None:
+            raise AnalysisError(f"no profile entry for signal {signal!r}")
+        return entry
+
+    def entries(self) -> List[SignalProfileEntry]:
+        return list(self._entries.values())
+
+    # ------------------------------------------------------------------
+    # The two figures as orderings + text renderings.
+    # ------------------------------------------------------------------
+    def exposure_profile(self) -> List[Tuple[str, Optional[float], ValueBand]]:
+        """Signals with exposure value and band, highest first (Fig. 5)."""
+        rows = [
+            (e.signal, e.exposure, e.exposure_band)
+            for e in self._entries.values()
+        ]
+        rows.sort(
+            key=lambda row: (
+                row[1] is None,
+                -(row[1] or 0.0),
+                row[0],
+            )
+        )
+        return rows
+
+    def impact_profile(self) -> List[Tuple[str, Optional[float], ValueBand]]:
+        """Signals with impact value and band, highest first (Fig. 6)."""
+        rows = [
+            (e.signal, e.impact, e.impact_band)
+            for e in self._entries.values()
+        ]
+        rows.sort(
+            key=lambda row: (
+                row[1] is None,
+                -(row[1] or 0.0),
+                row[0],
+            )
+        )
+        return rows
+
+    @staticmethod
+    def _line_style(band: ValueBand) -> str:
+        """Line style used by Figs. 5-6: thickness / dashed / dash-dotted."""
+        return {
+            ValueBand.HIGHEST: "=====",
+            ValueBand.HIGH: "====.",
+            ValueBand.LOW: "---- ",
+            ValueBand.LOWEST: "--   ",
+            ValueBand.ZERO: "- - -",
+            ValueBand.UNASSIGNED: "-.-.-",
+        }[band]
+
+    def render(self, which: str = "both") -> str:
+        """Text rendering of the exposure and/or impact profile."""
+        if which not in ("exposure", "impact", "both"):
+            raise AnalysisError(f"invalid profile selector {which!r}")
+        sections: List[str] = []
+        if which in ("exposure", "both"):
+            lines = ["Exposure profile (Fig. 5):"]
+            for signal, value, band in self.exposure_profile():
+                shown = "  n/a" if value is None else f"{value:5.3f}"
+                lines.append(
+                    f"  {self._line_style(band)}  {signal:<14} "
+                    f"X_s={shown}  ({band.value})"
+                )
+            sections.append("\n".join(lines))
+        if which in ("impact", "both"):
+            lines = ["Impact profile (Fig. 6):"]
+            for signal, value, band in self.impact_profile():
+                shown = "  n/a" if value is None else f"{value:5.3f}"
+                lines.append(
+                    f"  {self._line_style(band)}  {signal:<14} "
+                    f"impact={shown}  ({band.value})"
+                )
+            sections.append("\n".join(lines))
+        return "\n\n".join(sections)

@@ -1,0 +1,143 @@
+"""Sensitivity of placement decisions to permeability estimation noise.
+
+The paper is explicit that the analysis measures "do not necessarily
+reflect probabilities" and are estimated from finite fault-injection
+campaigns — so any placement derived from them inherits estimation
+noise.  This module quantifies how robust a placement is: it perturbs
+every permeability value independently and re-runs the placement
+engine, reporting the per-signal selection frequency.
+
+Signals selected (or rejected) in every perturbed replica are *stable*
+decisions; signals that flip are *marginal* and deserve either more
+injection runs (tighter estimates) or a conservative manual decision.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.permeability import PermeabilityMatrix
+from repro.core.placement import PlacementResult
+from repro.errors import AnalysisError
+from repro.model.graph import SignalGraph
+
+__all__ = ["SensitivityReport", "placement_sensitivity"]
+
+#: a placement engine closure: matrix, graph -> PlacementResult
+PlacementFn = Callable[[PermeabilityMatrix, SignalGraph], PlacementResult]
+
+
+@dataclass
+class SensitivityReport:
+    """Selection frequencies over perturbed permeability replicas."""
+
+    epsilon: float
+    n_samples: int
+    #: signal -> fraction of replicas in which it was selected
+    selection_frequency: Dict[str, float]
+    #: the unperturbed selection, for reference
+    baseline_selected: List[str]
+
+    def stable_selected(self, threshold: float = 1.0) -> List[str]:
+        """Signals selected in at least *threshold* of the replicas."""
+        return sorted(
+            name
+            for name, freq in self.selection_frequency.items()
+            if freq >= threshold
+        )
+
+    def stable_rejected(self, threshold: float = 0.0) -> List[str]:
+        """Signals selected in at most *threshold* of the replicas."""
+        return sorted(
+            name
+            for name, freq in self.selection_frequency.items()
+            if freq <= threshold
+        )
+
+    def marginal(
+        self, low: float = 0.05, high: float = 0.95
+    ) -> List[str]:
+        """Signals whose selection flips across replicas."""
+        return sorted(
+            name
+            for name, freq in self.selection_frequency.items()
+            if low < freq < high
+        )
+
+    def is_stable(self) -> bool:
+        """True when no decision is marginal at the default bounds."""
+        return not self.marginal()
+
+    def render(self) -> str:
+        lines = [
+            f"placement sensitivity (epsilon={self.epsilon}, "
+            f"{self.n_samples} replicas):"
+        ]
+        width = max(
+            (len(n) for n in self.selection_frequency), default=8
+        )
+        for name, freq in sorted(
+            self.selection_frequency.items(), key=lambda kv: -kv[1]
+        ):
+            base = "selected" if name in self.baseline_selected else "rejected"
+            marker = ""
+            if 0.05 < freq < 0.95:
+                marker = "  <-- marginal"
+            lines.append(
+                f"  {name:<{width}}  {freq:5.1%}  (baseline: {base})"
+                f"{marker}"
+            )
+        return "\n".join(lines)
+
+
+def placement_sensitivity(
+    matrix: PermeabilityMatrix,
+    graph: SignalGraph,
+    placement_fn: PlacementFn,
+    epsilon: float = 0.05,
+    n_samples: int = 50,
+    seed: int = 2002,
+) -> SensitivityReport:
+    """Perturb every permeability by U(-epsilon, +epsilon) (clipped to
+    [0, 1]) *n_samples* times and tally selection frequencies.
+
+    Values that are exactly 0 or 1 are left unperturbed: in this
+    framework they are architectural facts (a debounced path, a
+    masked lookup, a direct self-loop), not noisy estimates.
+    """
+    if epsilon < 0:
+        raise AnalysisError(f"epsilon must be >= 0, got {epsilon}")
+    if n_samples <= 0:
+        raise AnalysisError(f"n_samples must be positive, got {n_samples}")
+    rng = random.Random(seed)
+    system = graph.system
+    baseline = placement_fn(matrix, graph)
+    counts: Dict[str, int] = {
+        decision.signal: 0 for decision in baseline.decisions
+    }
+    base_values = matrix.as_dict()
+    for _ in range(n_samples):
+        perturbed = {}
+        for key, value in base_values.items():
+            if value in (0.0, 1.0):
+                perturbed[key] = value
+            else:
+                perturbed[key] = min(
+                    1.0, max(0.0, value + rng.uniform(-epsilon, epsilon))
+                )
+        replica = PermeabilityMatrix(system)
+        replica.update(perturbed)
+        result = placement_fn(replica, graph)
+        for name in result.selected:
+            if name in counts:
+                counts[name] += 1
+    return SensitivityReport(
+        epsilon=epsilon,
+        n_samples=n_samples,
+        selection_frequency={
+            name: count / n_samples for name, count in counts.items()
+        },
+        baseline_selected=list(baseline.selected),
+    )

@@ -1,0 +1,261 @@
+"""Propagation-path visualization trees (paper Sections 5.2 and 8).
+
+Three tree structures over the signal graph:
+
+* **Backtrack tree (BT)** — root is a system *output* signal; branches
+  follow propagation edges backwards; leaves are system input signals
+  (or signals with no further incoming edges).  "Illustrates the
+  propagation paths that errors can take to get to a certain output
+  signal."
+* **Trace tree (TT)** — root is a system *input* signal; branches
+  follow propagation edges forwards; leaves are system output signals
+  (or dead ends).
+* **Impact tree** — the generalization of the trace tree used by the
+  effect analysis (Section 8): the root may be *any* signal (system
+  input or intermediate), and the paths from the root to leaves
+  containing a given system output are the paths whose weights enter
+  the impact measure (Eq. 2).  The paper's Fig. 4 is the impact tree
+  for ``pulscnt``.
+
+All trees unroll feedback loops at most once per branch: a signal never
+appears twice on the path from the root to any node, mirroring how
+Fig. 4 expands the ``i`` self-loop a single time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import AnalysisError
+from repro.model.graph import PropagationPath, SignalGraph
+from repro.model.system import IOPair
+
+__all__ = [
+    "TreeNode",
+    "PropagationTree",
+    "build_trace_tree",
+    "build_backtrack_tree",
+    "build_impact_tree",
+]
+
+
+@dataclass
+class TreeNode:
+    """One node of a propagation tree.
+
+    ``edge`` is the I/O pair traversed from the parent to this node
+    (``None`` at the root).  For backtrack trees the edge is traversed
+    *against* its direction: the node's signal is the edge's
+    ``in_signal``.
+    """
+
+    signal: str
+    edge: Optional[IOPair] = None
+    children: List["TreeNode"] = field(default_factory=list)
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    def walk(self) -> Iterator["TreeNode"]:
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+class PropagationTree:
+    """A rooted propagation tree (trace, backtrack, or impact tree)."""
+
+    #: direction of edge traversal: "forward" (trace/impact) or "backward".
+    def __init__(self, root: TreeNode, direction: str):
+        if direction not in ("forward", "backward"):
+            raise AnalysisError(f"invalid tree direction {direction!r}")
+        self.root = root
+        self.direction = direction
+
+    # ------------------------------------------------------------------
+    # Queries.
+    # ------------------------------------------------------------------
+    def nodes(self) -> List[TreeNode]:
+        return list(self.root.walk())
+
+    def leaves(self) -> List[TreeNode]:
+        return [node for node in self.root.walk() if node.is_leaf]
+
+    def depth(self) -> int:
+        """Longest root-to-leaf edge count."""
+
+        def node_depth(node: TreeNode) -> int:
+            if node.is_leaf:
+                return 0
+            return 1 + max(node_depth(child) for child in node.children)
+
+        return node_depth(self.root)
+
+    def paths_to(self, signal: str) -> List[PropagationPath]:
+        """All root-to-leaf paths whose leaf carries *signal*.
+
+        For forward trees the returned paths run root -> leaf; for
+        backward (backtrack) trees they are re-oriented to run in
+        propagation direction, i.e. leaf signal -> root signal.
+        """
+        found: List[PropagationPath] = []
+
+        def visit(node: TreeNode, trail: List[IOPair]) -> None:
+            if node.edge is not None:
+                trail.append(node.edge)
+            if node.is_leaf and node.signal == signal and trail:
+                if self.direction == "forward":
+                    found.append(PropagationPath(tuple(trail)))
+                else:
+                    found.append(PropagationPath(tuple(reversed(trail))))
+            for child in node.children:
+                visit(child, trail)
+            if node.edge is not None:
+                trail.pop()
+
+        visit(self.root, [])
+        return found
+
+    def all_root_to_leaf_paths(self) -> List[PropagationPath]:
+        """Every root-to-leaf path (propagation-oriented), non-trivial only."""
+        found: List[PropagationPath] = []
+
+        def visit(node: TreeNode, trail: List[IOPair]) -> None:
+            if node.edge is not None:
+                trail.append(node.edge)
+            if node.is_leaf and trail:
+                if self.direction == "forward":
+                    found.append(PropagationPath(tuple(trail)))
+                else:
+                    found.append(PropagationPath(tuple(reversed(trail))))
+            for child in node.children:
+                visit(child, trail)
+            if node.edge is not None:
+                trail.pop()
+
+        visit(self.root, [])
+        return found
+
+    # ------------------------------------------------------------------
+    # Rendering.
+    # ------------------------------------------------------------------
+    def render(
+        self, label: Optional[Callable[[IOPair], str]] = None
+    ) -> str:
+        """ASCII rendering of the tree, one node per line.
+
+        *label* formats the edge annotation; it defaults to the paper's
+        ``P^M_{i,k}`` notation.
+        """
+        fmt = label or (lambda pair: pair.label)
+        lines: List[str] = []
+
+        def visit(node: TreeNode, prefix: str, is_last: bool) -> None:
+            if node.edge is None:
+                lines.append(node.signal)
+                child_prefix = ""
+            else:
+                connector = "`-- " if is_last else "|-- "
+                lines.append(
+                    f"{prefix}{connector}[{fmt(node.edge)}] {node.signal}"
+                )
+                child_prefix = prefix + ("    " if is_last else "|   ")
+            for index, child in enumerate(node.children):
+                visit(child, child_prefix, index == len(node.children) - 1)
+
+        visit(self.root, "", True)
+        return "\n".join(lines)
+
+
+def _expand_forward(
+    graph: SignalGraph, node: TreeNode, seen: Tuple[str, ...], stop: Callable[[str], bool]
+) -> None:
+    if stop(node.signal):
+        return
+    for edge in graph.out_edges(node.signal):
+        if edge.out_signal in seen:
+            continue
+        child = TreeNode(signal=edge.out_signal, edge=edge)
+        node.children.append(child)
+        _expand_forward(graph, child, seen + (edge.out_signal,), stop)
+
+
+def _expand_backward(
+    graph: SignalGraph, node: TreeNode, seen: Tuple[str, ...], stop: Callable[[str], bool]
+) -> None:
+    if stop(node.signal):
+        return
+    for edge in graph.in_edges(node.signal):
+        if edge.in_signal in seen:
+            continue
+        child = TreeNode(signal=edge.in_signal, edge=edge)
+        node.children.append(child)
+        _expand_backward(graph, child, seen + (edge.in_signal,), stop)
+
+
+def build_trace_tree(graph: SignalGraph, input_signal: str) -> PropagationTree:
+    """Trace tree (TT): propagation paths from a system input signal.
+
+    The root must be a system input signal; expansion stops at system
+    output signals or when no onward edge exists.
+    """
+    spec = graph.system.signal(input_signal)
+    if not spec.is_system_input:
+        raise AnalysisError(
+            f"trace tree root must be a system input signal, "
+            f"{input_signal!r} is {spec.role.value}"
+        )
+    root = TreeNode(signal=input_signal)
+    outputs = set(graph.system.system_outputs())
+    _expand_forward(
+        graph, root, (input_signal,), stop=lambda s: s in outputs
+    )
+    return PropagationTree(root, "forward")
+
+
+def build_backtrack_tree(
+    graph: SignalGraph, output_signal: str
+) -> PropagationTree:
+    """Backtrack tree (BT): propagation paths leading to a system output.
+
+    The root must be a system output signal; expansion stops at system
+    input signals or when no incoming edge exists.
+    """
+    spec = graph.system.signal(output_signal)
+    if not spec.is_system_output:
+        raise AnalysisError(
+            f"backtrack tree root must be a system output signal, "
+            f"{output_signal!r} is {spec.role.value}"
+        )
+    root = TreeNode(signal=output_signal)
+    inputs = set(graph.system.system_inputs())
+    _expand_backward(
+        graph, root, (output_signal,), stop=lambda s: s in inputs
+    )
+    return PropagationTree(root, "backward")
+
+
+def build_impact_tree(graph: SignalGraph, source_signal: str) -> PropagationTree:
+    """Impact tree: generalized trace tree rooted at *any* signal.
+
+    Used by the effect analysis (Section 8): the weights of the paths
+    from the root to leaves carrying a system output signal enter the
+    impact measure (Eq. 2).  The root may be a system input signal or
+    an intermediate signal; rooting an impact tree at a system output
+    is rejected, as impact onto itself is by convention not assigned
+    (paper Table 5: "one could say that the impact is 1.0").
+    """
+    spec = graph.system.signal(source_signal)
+    if spec.is_system_output:
+        raise AnalysisError(
+            f"impact tree root must not be a system output signal "
+            f"({source_signal!r})"
+        )
+    root = TreeNode(signal=source_signal)
+    outputs = set(graph.system.system_outputs())
+    _expand_forward(
+        graph, root, (source_signal,), stop=lambda s: s in outputs
+    )
+    return PropagationTree(root, "forward")

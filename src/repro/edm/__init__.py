@@ -1,0 +1,64 @@
+"""Error detection mechanisms: executable assertions (EA's).
+
+Implements the paper's EDM substrate: generic parameterized executable
+assertions (Section 5.1, after Hiller DSN 2000), the EA1..EA7
+catalogue of the target with Table 3's memory costs, passive signal
+monitors, and the EA-set resource cost model.
+"""
+
+from repro.edm.assertions import AssertionSpec, AssertionState, EAKind
+from repro.edm.catalogue import (
+    EA_BY_NAME,
+    EA_BY_SIGNAL,
+    EH_SET,
+    EXTENDED_SET,
+    PA_SET,
+    assertion_names_for_signals,
+    assertions_for_signals,
+)
+from repro.edm.cost import (
+    SetCost,
+    compare_costs,
+    cost_of_assertions,
+    cost_of_signals,
+)
+from repro.edm.monitors import DetectionRecord, MonitorBank
+from repro.edm.recovery import (
+    RecoveringMonitorBank,
+    RecoveryAction,
+    RecoveryPolicy,
+)
+from repro.edm.subset import (
+    SubsetSelection,
+    fired_sets_of,
+    marginal_coverages,
+    overlap_matrix,
+    select_subset,
+)
+
+__all__ = [
+    "AssertionSpec",
+    "AssertionState",
+    "DetectionRecord",
+    "EAKind",
+    "EA_BY_NAME",
+    "EA_BY_SIGNAL",
+    "EH_SET",
+    "EXTENDED_SET",
+    "MonitorBank",
+    "PA_SET",
+    "RecoveringMonitorBank",
+    "RecoveryAction",
+    "RecoveryPolicy",
+    "SetCost",
+    "SubsetSelection",
+    "assertion_names_for_signals",
+    "fired_sets_of",
+    "marginal_coverages",
+    "overlap_matrix",
+    "select_subset",
+    "assertions_for_signals",
+    "compare_costs",
+    "cost_of_assertions",
+    "cost_of_signals",
+]

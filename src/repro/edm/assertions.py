@@ -1,0 +1,191 @@
+"""Generic parameterized executable assertions (EA's).
+
+The EDM's used in the paper are "generic parameterized Executable
+Assertions (defined in [Hiller, DSN 2000])", a variant of acceptance
+tests: small checks attached to individual signals, parameterized by
+ROM constants that define the signal's *allowed behaviour* —
+magnitude bounds, rate-of-change bounds, and monotonicity/sequence
+constraints.  The EA fires (detects) when a newly produced value
+violates its constraints relative to the previous value.
+
+Four behaviour classes cover the target's signals:
+
+* :class:`EAKind.RANGE_RATE` — bounded magnitude and bounded change
+  per evaluation (continuous quantities: SetValue, IsValue, OutValue);
+* :class:`EAKind.MONOTONIC` — non-decreasing with a bounded increment
+  and bounded magnitude (accumulators: pulscnt, i);
+* :class:`EAKind.SEQUENCE` — exact increment with wrap-around
+  (counters: mscnt, ms_slot_nbr);
+* :class:`EAKind.BOOLEAN` — value must be 0 or 1.  The paper notes
+  that "it is difficult to detect errors in a boolean value": a
+  flipped boolean is still a valid-looking boolean, so this EA class
+  has essentially no detection power — which is exactly why boolean
+  signals are not selected for guarding.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import AssertionSpecError
+from repro.model.signal import Number
+
+__all__ = ["EAKind", "AssertionSpec", "AssertionState"]
+
+
+class EAKind(enum.Enum):
+    RANGE_RATE = "range_rate"
+    MONOTONIC = "monotonic"
+    SEQUENCE = "sequence"
+    BOOLEAN = "boolean"
+
+
+@dataclass(frozen=True)
+class AssertionSpec:
+    """ROM parameters of one executable assertion.
+
+    Parameters
+    ----------
+    name:
+        The EA's identity, e.g. ``"EA4"``.
+    signal:
+        The guarded signal.
+    kind:
+        Behaviour class (see :class:`EAKind`).
+    minimum / maximum:
+        Magnitude bounds (ignored by BOOLEAN).
+    max_delta:
+        RANGE_RATE: largest allowed ``|new - old|`` per evaluation.
+        MONOTONIC: largest allowed increment (decrease is a violation).
+    exact_delta:
+        SEQUENCE: required increment per evaluation.
+    modulus:
+        SEQUENCE: the counter's wrap modulus; the increment is checked
+        modulo this value (e.g. 2**16 for a free-running 16-bit
+        counter), so legitimate wrap-around never fires.
+    rom_bytes / ram_bytes:
+        Memory cost of this EA instance (paper Table 3).
+    """
+
+    name: str
+    signal: str
+    kind: EAKind
+    minimum: Optional[float] = None
+    maximum: Optional[float] = None
+    max_delta: Optional[float] = None
+    exact_delta: Optional[int] = None
+    modulus: Optional[int] = None
+    rom_bytes: int = 0
+    ram_bytes: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise AssertionSpecError("assertion name must be non-empty")
+        if not self.signal:
+            raise AssertionSpecError(
+                f"assertion {self.name!r}: signal must be non-empty"
+            )
+        if self.kind in (EAKind.RANGE_RATE, EAKind.MONOTONIC):
+            if self.max_delta is None or self.max_delta < 0:
+                raise AssertionSpecError(
+                    f"assertion {self.name!r}: {self.kind.value} needs a "
+                    f"non-negative max_delta"
+                )
+        if self.kind is EAKind.SEQUENCE:
+            if self.exact_delta is None:
+                raise AssertionSpecError(
+                    f"assertion {self.name!r}: sequence EA needs exact_delta"
+                )
+            if self.modulus is not None and self.modulus <= 0:
+                raise AssertionSpecError(
+                    f"assertion {self.name!r}: modulus must be positive"
+                )
+        if (
+            self.minimum is not None
+            and self.maximum is not None
+            and self.minimum > self.maximum
+        ):
+            raise AssertionSpecError(
+                f"assertion {self.name!r}: minimum exceeds maximum"
+            )
+        if self.rom_bytes < 0 or self.ram_bytes < 0:
+            raise AssertionSpecError(
+                f"assertion {self.name!r}: memory costs must be >= 0"
+            )
+
+
+class AssertionState:
+    """Run-time state (RAM) of one executable assertion instance.
+
+    Call :meth:`evaluate` with every newly produced value of the
+    guarded signal; it returns ``True`` when the assertion *fires*
+    (a violation is detected).  Detection is non-intrusive: the state
+    always tracks the actually produced values so that one disturbed
+    sample does not cascade into repeated rate violations.
+    """
+
+    def __init__(self, spec: AssertionSpec):
+        self.spec = spec
+        self._prev: Optional[Number] = None
+        self.fire_count = 0
+        self.first_fire_tick: Optional[int] = None
+
+    def reset(self) -> None:
+        self._prev = None
+        self.fire_count = 0
+        self.first_fire_tick = None
+
+    # ------------------------------------------------------------------
+    def _violates_range(self, value: Number) -> bool:
+        spec = self.spec
+        if spec.minimum is not None and value < spec.minimum:
+            return True
+        if spec.maximum is not None and value > spec.maximum:
+            return True
+        return False
+
+    def _violates(self, value: Number) -> bool:
+        spec = self.spec
+        if spec.kind is EAKind.BOOLEAN:
+            return value not in (0, 1)
+        if self._violates_range(value):
+            return True
+        prev = self._prev
+        if prev is None:
+            return False
+        if spec.kind is EAKind.RANGE_RATE:
+            return abs(value - prev) > spec.max_delta
+        if spec.kind is EAKind.MONOTONIC:
+            delta = value - prev
+            return delta < 0 or delta > spec.max_delta
+        if spec.kind is EAKind.SEQUENCE:
+            delta = value - prev
+            if spec.modulus is not None:
+                delta %= spec.modulus
+            return delta != spec.exact_delta
+        raise AssertionSpecError(f"unknown EA kind {spec.kind!r}")
+
+    def evaluate(self, value: Number, tick: int) -> bool:
+        """Check one newly produced value; returns True on detection."""
+        fired = self._violates(value)
+        if fired:
+            self.fire_count += 1
+            if self.first_fire_tick is None:
+                self.first_fire_tick = tick
+        self._prev = value
+        return fired
+
+    def rebase(self, value: Number) -> None:
+        """Re-base the reference state on *value*.
+
+        Used by recovery wrappers after substituting a signal value:
+        the assertion's rate/sequence checks must continue from what
+        the wrapped variable now actually holds.
+        """
+        self._prev = value
+
+    @property
+    def fired(self) -> bool:
+        return self.fire_count > 0

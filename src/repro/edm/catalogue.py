@@ -1,0 +1,129 @@
+"""The EA catalogue of the target system (paper Table 3).
+
+Seven executable assertions, EA1..EA7, one per guardable internal
+signal, with the exact per-instance ROM/RAM byte costs reported in
+Table 3.  The behavioural parameters (ranges, rate bounds) encode the
+signals' *specified* behaviour — the constant parameters the paper
+stores in ROM — and are chosen so that no assertion ever fires on a
+fault-free run anywhere in the certified test envelope (verified by
+the test suite).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.edm.assertions import AssertionSpec, EAKind
+from repro.errors import AssertionSpecError
+from repro.target import constants as C
+
+__all__ = [
+    "EA_BY_NAME",
+    "EA_BY_SIGNAL",
+    "EH_SET",
+    "PA_SET",
+    "EXTENDED_SET",
+    "assertions_for_signals",
+    "assertion_names_for_signals",
+]
+
+
+def _build_catalogue() -> Dict[str, AssertionSpec]:
+    max_program_counts = int(max(C.PRESSURE_PROGRAM) * C.VALUE_FULL_SCALE)
+    # largest legitimate SetValue step: slew rate x the clamped dt
+    setvalue_step = C.SETVALUE_RATE_PER_MS * 100
+    specs = [
+        AssertionSpec(
+            name="EA1", signal="SetValue", kind=EAKind.RANGE_RATE,
+            minimum=0, maximum=int(max_program_counts * 1.05),
+            max_delta=int(setvalue_step * 1.10),
+            rom_bytes=50, ram_bytes=14,
+        ),
+        AssertionSpec(
+            name="EA2", signal="IsValue", kind=EAKind.RANGE_RATE,
+            minimum=0, maximum=int(max_program_counts * 1.30),
+            # PRES_S's plausibility gate bounds the per-sample slew;
+            # allow twice that plus margin (median can move two samples)
+            max_delta=6600,
+            rom_bytes=50, ram_bytes=14,
+        ),
+        AssertionSpec(
+            name="EA3", signal="i", kind=EAKind.MONOTONIC,
+            minimum=0, maximum=len(C.PRESSURE_PROGRAM) - 1,
+            max_delta=1,
+            rom_bytes=25, ram_bytes=13,
+        ),
+        AssertionSpec(
+            name="EA4", signal="pulscnt", kind=EAKind.MONOTONIC,
+            minimum=0,
+            maximum=int(
+                (C.MAX_STOPPING_DISTANCE_M + C.OVERRUN_ABORT_MARGIN_M)
+                * C.PULSES_PER_M * 1.2
+            ),
+            # max speed 70 m/s * 4 pulses/m * 20 ms = 5.6 pulses per
+            # scheduler cycle, rounded up
+            max_delta=6,
+            rom_bytes=25, ram_bytes=13,
+        ),
+        AssertionSpec(
+            name="EA5", signal="ms_slot_nbr", kind=EAKind.SEQUENCE,
+            minimum=0, maximum=C.N_SLOTS - 1,
+            # evaluated once per scheduler cycle: the slot number must
+            # be back at the same phase every time
+            exact_delta=0, modulus=1 << 16,
+            rom_bytes=37, ram_bytes=13,
+        ),
+        AssertionSpec(
+            name="EA6", signal="mscnt", kind=EAKind.SEQUENCE,
+            # evaluated once per scheduler cycle: exactly N_SLOTS
+            # milliseconds must have elapsed (modulo the 16-bit wrap)
+            exact_delta=C.N_SLOTS, modulus=1 << 16,
+            rom_bytes=25, ram_bytes=13,
+        ),
+        AssertionSpec(
+            name="EA7", signal="OutValue", kind=EAKind.RANGE_RATE,
+            minimum=0, maximum=C.VALUE_FULL_SCALE,
+            # PI response to the largest legitimate error step, with margin
+            max_delta=9000,
+            rom_bytes=50, ram_bytes=14,
+        ),
+    ]
+    return {spec.name: spec for spec in specs}
+
+
+#: EA name -> specification (EA1..EA7, costs per paper Table 3).
+EA_BY_NAME: Dict[str, AssertionSpec] = _build_catalogue()
+
+#: guarded signal -> specification.
+EA_BY_SIGNAL: Dict[str, AssertionSpec] = {
+    spec.signal: spec for spec in EA_BY_NAME.values()
+}
+
+#: The EH-approach's selected signals (paper Section 5.1).
+EH_SET = (
+    "SetValue", "IsValue", "i", "pulscnt", "ms_slot_nbr", "mscnt", "OutValue",
+)
+#: The PA-approach's selected signals (paper Section 5.3, Table 2).
+PA_SET = ("SetValue", "i", "pulscnt", "OutValue")
+#: The extended framework's selection (paper Section 10) — identical to
+#: the EH set, which is the paper's point: effect analysis recovers the
+#: full placement systematically.
+EXTENDED_SET = EH_SET
+
+
+def assertions_for_signals(signals: Sequence[str]) -> List[AssertionSpec]:
+    """The EA instances guarding *signals* (order: catalogue order)."""
+    unknown = [s for s in signals if s not in EA_BY_SIGNAL]
+    if unknown:
+        raise AssertionSpecError(
+            f"no executable assertion in the catalogue for signals "
+            f"{unknown}; guardable signals: {sorted(EA_BY_SIGNAL)}"
+        )
+    wanted = set(signals)
+    return [
+        spec for spec in EA_BY_NAME.values() if spec.signal in wanted
+    ]
+
+
+def assertion_names_for_signals(signals: Sequence[str]) -> List[str]:
+    return [spec.name for spec in assertions_for_signals(signals)]

@@ -1,0 +1,72 @@
+"""Resource cost model for EA sets (paper Table 3 and Section 6.1).
+
+ROM holds the constant parameters defining allowed behaviour, RAM the
+run-time data (previous value, firing bookkeeping).  The execution
+time overhead is modelled per the paper's argument: the EAs "are all
+functions which are executed sequentially ... invoked with roughly
+the same period and require roughly the same execution time for each
+invocation", so the overhead scales with the number of EAs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.edm.assertions import AssertionSpec
+from repro.edm.catalogue import assertions_for_signals
+
+__all__ = ["SetCost", "cost_of_assertions", "cost_of_signals", "compare_costs"]
+
+
+@dataclass(frozen=True)
+class SetCost:
+    """Memory and execution-time cost of one EA set."""
+
+    ea_names: tuple
+    rom_bytes: int
+    ram_bytes: int
+
+    @property
+    def total_bytes(self) -> int:
+        return self.rom_bytes + self.ram_bytes
+
+    @property
+    def ea_count(self) -> int:
+        return len(self.ea_names)
+
+    def execution_overhead_relative_to(self, other: "SetCost") -> float:
+        """Execution-time overhead of this set relative to *other*.
+
+        Per Section 6.1 the per-invocation cost is roughly equal across
+        EAs, so the ratio of EA counts approximates the ratio of
+        execution-time overheads.
+        """
+        if other.ea_count == 0:
+            raise ZeroDivisionError(
+                "cannot compare against an empty EA set"
+            )
+        return self.ea_count / other.ea_count
+
+
+def cost_of_assertions(specs: Sequence[AssertionSpec]) -> SetCost:
+    return SetCost(
+        ea_names=tuple(spec.name for spec in specs),
+        rom_bytes=sum(spec.rom_bytes for spec in specs),
+        ram_bytes=sum(spec.ram_bytes for spec in specs),
+    )
+
+
+def cost_of_signals(signals: Sequence[str]) -> SetCost:
+    """Cost of guarding *signals* with their catalogue EAs."""
+    return cost_of_assertions(assertions_for_signals(signals))
+
+
+def compare_costs(set_a: SetCost, set_b: SetCost) -> Dict[str, float]:
+    """Relative savings of *set_b* over *set_a* (paper: ~40 %)."""
+    return {
+        "rom_saving": 1.0 - set_b.rom_bytes / set_a.rom_bytes,
+        "ram_saving": 1.0 - set_b.ram_bytes / set_a.ram_bytes,
+        "memory_saving": 1.0 - set_b.total_bytes / set_a.total_bytes,
+        "execution_saving": 1.0 - set_b.ea_count / set_a.ea_count,
+    }

@@ -1,0 +1,135 @@
+"""Error recovery mechanisms (ERMs): containment wrappers on signals.
+
+The paper's placement framework targets "EDM's *and* ERM's" — its
+rules R2 and R3 explicitly reason about where recovery should live —
+but its experiments only instantiate the detection side.  This module
+supplies the recovery side: a :class:`RecoveringMonitorBank` whose
+assertions do not merely record a violation but *contain* it, by
+writing a recovery value back into the guarded signal's store before
+the consumers of the signal read it.
+
+Recovery policies (per assertion):
+
+* ``HOLD_LAST_GOOD`` — substitute the last value that passed the
+  assertion (the classic containment wrapper for transient errors);
+* ``CLAMP_TO_SPEC`` — clamp into the assertion's [minimum, maximum]
+  range (appropriate for magnitude violations on continuous signals);
+* ``DETECT_ONLY`` — record but do not interfere (an EDM without ERM).
+
+Recovery actions are recorded so campaigns can compare failure rates
+with and without containment at the same locations.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.edm.assertions import AssertionSpec, AssertionState
+from repro.edm.monitors import MonitorBank
+from repro.errors import AssertionSpecError
+from repro.model.signal import Number
+
+__all__ = ["RecoveryPolicy", "RecoveryAction", "RecoveringMonitorBank"]
+
+
+class RecoveryPolicy(enum.Enum):
+    DETECT_ONLY = "detect_only"
+    HOLD_LAST_GOOD = "hold_last_good"
+    CLAMP_TO_SPEC = "clamp_to_spec"
+
+
+@dataclass(frozen=True)
+class RecoveryAction:
+    """One containment intervention."""
+
+    tick: int
+    ea_name: str
+    signal: str
+    observed: Number
+    substituted: Number
+
+
+class RecoveringMonitorBank(MonitorBank):
+    """A monitor bank whose assertions contain the errors they detect.
+
+    *policies* maps EA name to :class:`RecoveryPolicy`; unlisted EAs
+    default to *default_policy*.  On a violation, the recovery value
+    is poked into the signal store, and — crucially for the
+    rate/sequence assertion classes — the assertion's own reference
+    state continues from the *recovered* value, exactly as the wrapped
+    variable now reads.
+    """
+
+    def __init__(
+        self,
+        specs: Sequence[AssertionSpec],
+        policies: Optional[Dict[str, RecoveryPolicy]] = None,
+        default_policy: RecoveryPolicy = RecoveryPolicy.HOLD_LAST_GOOD,
+        period: Optional[int] = None,
+    ):
+        kwargs = {} if period is None else {"period": period}
+        super().__init__(specs, **kwargs)
+        self._policies = dict(policies or {})
+        for name in self._policies:
+            if name not in self._states:
+                raise AssertionSpecError(
+                    f"recovery policy given for unknown assertion {name!r}"
+                )
+        self._default_policy = default_policy
+        self._last_good: Dict[str, Optional[Number]] = {
+            name: None for name in self._states
+        }
+        self.actions: List[RecoveryAction] = []
+
+    def policy_for(self, ea_name: str) -> RecoveryPolicy:
+        return self._policies.get(ea_name, self._default_policy)
+
+    def _recovery_value(
+        self, state: AssertionState, observed: Number, policy: RecoveryPolicy
+    ) -> Optional[Number]:
+        spec = state.spec
+        if policy is RecoveryPolicy.HOLD_LAST_GOOD:
+            return self._last_good[spec.name]
+        if policy is RecoveryPolicy.CLAMP_TO_SPEC:
+            value = observed
+            if spec.minimum is not None and value < spec.minimum:
+                value = spec.minimum
+            if spec.maximum is not None and value > spec.maximum:
+                value = spec.maximum
+            return value if value != observed else self._last_good[spec.name]
+        return None
+
+    def _on_tick(self, tick: int) -> None:
+        if tick % self.period != self.period - 1:
+            return
+        store = self._store
+        for name, state in self._states.items():
+            observed = store[state.spec.signal]
+            fired = state.evaluate(observed, tick)
+            if not fired:
+                self._last_good[name] = observed
+                continue
+            policy = self.policy_for(name)
+            if policy is RecoveryPolicy.DETECT_ONLY:
+                continue
+            substituted = self._recovery_value(state, observed, policy)
+            if substituted is None:
+                continue  # nothing trustworthy to substitute yet
+            store.poke(state.spec.signal, substituted)
+            # the wrapper re-bases the assertion on the recovered value
+            state.rebase(substituted)
+            self.actions.append(
+                RecoveryAction(
+                    tick=tick,
+                    ea_name=name,
+                    signal=state.spec.signal,
+                    observed=observed,
+                    substituted=substituted,
+                )
+            )
+
+    @property
+    def recovery_count(self) -> int:
+        return len(self.actions)

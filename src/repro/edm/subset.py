@@ -1,0 +1,241 @@
+"""Cost-optimal EA subset selection from fault-injection results.
+
+The paper's Related Work (Section 2) discusses Steininger & Scherrer's
+approach (FTCS-27, the paper's reference [18]): use per-run detection
+records from fault-injection experiments to find combinations of EDMs
+that minimize overlap and maximize the coverage obtained per unit of
+cost.  This module implements that analysis over our campaign results:
+
+* :func:`overlap_matrix` — pairwise overlap between EAs: the fraction
+  of each EA's detections that another EA also detects (EA4's row in
+  the paper's Table 4 discussion — "All errors detected by EA1, EA2 or
+  EA7 were also detected by EA4" — shows up as overlap 1.0);
+* :func:`marginal_coverages` — each EA's *exclusive* contribution on
+  top of the rest of a set;
+* :func:`select_subset` — weighted greedy set cover: repeatedly pick
+  the EA with the best (new detections / memory cost) ratio, stopping
+  when a coverage target is met or no EA adds anything.  Greedy set
+  cover is the standard approximation for this NP-hard selection.
+
+All functions consume per-run *fired sets* (``frozenset`` of EA names
+per injected run), the common denominator of
+:class:`~repro.fi.campaign.DetectionResult` (``run_records``) and
+:class:`~repro.fi.campaign.MemoryCampaignResult` (``records[..].fired``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from repro.edm.catalogue import EA_BY_NAME
+from repro.errors import AnalysisError
+
+__all__ = [
+    "overlap_matrix",
+    "marginal_coverages",
+    "SubsetSelection",
+    "select_subset",
+    "fired_sets_of",
+]
+
+
+def fired_sets_of(result) -> List[FrozenSet[str]]:
+    """Extract per-run fired sets from either campaign result type."""
+    if hasattr(result, "run_records"):  # DetectionResult
+        return [
+            fired
+            for records in result.run_records.values()
+            for fired in records
+        ]
+    if hasattr(result, "records"):  # MemoryCampaignResult
+        return [record.fired for record in result.records]
+    raise AnalysisError(
+        f"cannot extract fired sets from {type(result).__name__}"
+    )
+
+
+def overlap_matrix(
+    fired_sets: Sequence[FrozenSet[str]],
+    ea_names: Sequence[str],
+) -> Dict[Tuple[str, str], float]:
+    """``(a, b) -> fraction of a's detections that b also detected``.
+
+    The diagonal is 1.0 by definition (for EAs with any detections);
+    EAs that never fired map to 0.0 against everything including
+    themselves.
+    """
+    counts = {name: 0 for name in ea_names}
+    joint: Dict[Tuple[str, str], int] = {}
+    for fired in fired_sets:
+        for a in fired:
+            if a not in counts:
+                continue
+            counts[a] += 1
+            for b in fired:
+                if b in counts:
+                    joint[(a, b)] = joint.get((a, b), 0) + 1
+    matrix: Dict[Tuple[str, str], float] = {}
+    for a in ea_names:
+        for b in ea_names:
+            if counts[a] == 0:
+                matrix[(a, b)] = 0.0
+            else:
+                matrix[(a, b)] = joint.get((a, b), 0) / counts[a]
+    return matrix
+
+
+def marginal_coverages(
+    fired_sets: Sequence[FrozenSet[str]],
+    ea_names: Sequence[str],
+) -> Dict[str, float]:
+    """Each EA's exclusive contribution to the full set's coverage.
+
+    The fraction of runs detected by this EA and by *no other* EA of
+    the set — what would be lost by removing it.
+    """
+    if not fired_sets:
+        return {name: 0.0 for name in ea_names}
+    names = set(ea_names)
+    exclusive = {name: 0 for name in ea_names}
+    for fired in fired_sets:
+        relevant = fired & names
+        if len(relevant) == 1:
+            (only,) = relevant
+            exclusive[only] += 1
+    return {
+        name: count / len(fired_sets)
+        for name, count in exclusive.items()
+    }
+
+
+@dataclass
+class SubsetSelection:
+    """Result of the greedy cost-aware selection."""
+
+    selected: List[str]
+    coverage: float  #: coverage of the selected subset
+    full_coverage: float  #: coverage of all candidates together
+    cost_bytes: int
+    full_cost_bytes: int
+    #: per selection step: (ea, coverage after adding it, cost so far)
+    steps: List[Tuple[str, float, int]]
+
+    @property
+    def cost_saving(self) -> float:
+        if self.full_cost_bytes == 0:
+            return 0.0
+        return 1.0 - self.cost_bytes / self.full_cost_bytes
+
+    def render(self) -> str:
+        lines = [
+            "greedy cost-aware EA subset selection:",
+            f"  full set: coverage {self.full_coverage:.3f} at "
+            f"{self.full_cost_bytes} bytes",
+        ]
+        for ea, coverage, cost in self.steps:
+            lines.append(
+                f"  + {ea}: coverage {coverage:.3f} at {cost} bytes"
+            )
+        lines.append(
+            f"  selected {self.selected} -> coverage {self.coverage:.3f} "
+            f"({self.coverage / self.full_coverage:.0%} of full) at "
+            f"{self.cost_bytes} bytes "
+            f"({self.cost_saving:.0%} cheaper)"
+            if self.full_coverage > 0
+            else "  nothing to detect"
+        )
+        return "\n".join(lines)
+
+
+def _cost_of(name: str, costs: Optional[Dict[str, int]]) -> int:
+    if costs is not None:
+        if name not in costs:
+            raise AnalysisError(f"no cost given for EA {name!r}")
+        return costs[name]
+    spec = EA_BY_NAME.get(name)
+    if spec is None:
+        raise AnalysisError(
+            f"EA {name!r} is not in the catalogue; pass explicit costs"
+        )
+    return spec.rom_bytes + spec.ram_bytes
+
+
+def select_subset(
+    fired_sets: Sequence[FrozenSet[str]],
+    candidates: Sequence[str],
+    costs: Optional[Dict[str, int]] = None,
+    coverage_target: Optional[float] = None,
+) -> SubsetSelection:
+    """Greedy cost-aware subset selection (after the paper's ref [18]).
+
+    Repeatedly adds the candidate EA with the highest ratio of newly
+    detected runs to memory cost until either *coverage_target*
+    (absolute coverage over the given runs) is reached, or no
+    remaining candidate detects anything new.  Costs default to the
+    catalogue's ROM+RAM bytes.
+    """
+    if coverage_target is not None and not 0.0 <= coverage_target <= 1.0:
+        raise AnalysisError(
+            f"coverage_target must be in [0, 1], got {coverage_target}"
+        )
+    total_runs = len(fired_sets)
+    candidate_list = list(candidates)
+    detected_by: Dict[str, set] = {
+        name: set() for name in candidate_list
+    }
+    for index, fired in enumerate(fired_sets):
+        for name in fired:
+            if name in detected_by:
+                detected_by[name].add(index)
+    all_detected = set()
+    for runs in detected_by.values():
+        all_detected |= runs
+    full_coverage = len(all_detected) / total_runs if total_runs else 0.0
+    full_cost = sum(_cost_of(name, costs) for name in candidate_list)
+
+    covered: set = set()
+    selected: List[str] = []
+    steps: List[Tuple[str, float, int]] = []
+    remaining = list(candidate_list)
+    cost_so_far = 0
+    while remaining:
+        if (
+            coverage_target is not None
+            and total_runs
+            and len(covered) / total_runs >= coverage_target
+        ):
+            break
+        best_name = None
+        best_ratio = 0.0
+        best_new = 0
+        for name in remaining:
+            new = len(detected_by[name] - covered)
+            if new == 0:
+                continue
+            ratio = new / max(1, _cost_of(name, costs))
+            if ratio > best_ratio:
+                best_ratio = ratio
+                best_name = name
+                best_new = new
+        if best_name is None:
+            break
+        covered |= detected_by[best_name]
+        remaining.remove(best_name)
+        selected.append(best_name)
+        cost_so_far += _cost_of(best_name, costs)
+        steps.append(
+            (
+                best_name,
+                len(covered) / total_runs if total_runs else 0.0,
+                cost_so_far,
+            )
+        )
+    return SubsetSelection(
+        selected=selected,
+        coverage=len(covered) / total_runs if total_runs else 0.0,
+        full_coverage=full_coverage,
+        cost_bytes=cost_so_far,
+        full_cost_bytes=full_cost,
+        steps=steps,
+    )

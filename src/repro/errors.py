@@ -1,0 +1,88 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised by the library derive from :class:`ReproError` so
+that callers can catch library failures with a single ``except`` clause
+while still being able to distinguish the individual failure classes.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ModelError",
+    "WiringError",
+    "UnknownSignalError",
+    "UnknownModuleError",
+    "SchedulingError",
+    "InjectionError",
+    "CampaignError",
+    "AssertionSpecError",
+    "PlacementError",
+    "AnalysisError",
+    "ExperimentError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ModelError(ReproError):
+    """A software-system model is malformed or used inconsistently."""
+
+
+class WiringError(ModelError):
+    """A connection between module ports is invalid (bad port index,
+    duplicate driver, dangling input, type mismatch...)."""
+
+
+class UnknownSignalError(ModelError):
+    """A signal name was looked up that does not exist in the system."""
+
+    def __init__(self, signal: str, known: object = None):
+        self.signal = signal
+        msg = f"unknown signal {signal!r}"
+        if known:
+            msg += f" (known signals: {sorted(known)})"
+        super().__init__(msg)
+
+
+class UnknownModuleError(ModelError):
+    """A module name was looked up that does not exist in the system."""
+
+    def __init__(self, module: str, known: object = None):
+        self.module = module
+        msg = f"unknown module {module!r}"
+        if known:
+            msg += f" (known modules: {sorted(known)})"
+        super().__init__(msg)
+
+
+class SchedulingError(ReproError):
+    """The slot-based scheduler was configured inconsistently."""
+
+
+class InjectionError(ReproError):
+    """A fault injection request cannot be honoured (bad location,
+    bad bit index, injection outside the run window...)."""
+
+
+class CampaignError(ReproError):
+    """A fault-injection campaign was configured inconsistently."""
+
+
+class AssertionSpecError(ReproError):
+    """An executable assertion specification is invalid."""
+
+
+class PlacementError(ReproError):
+    """An EDM placement request is invalid (unknown signal, empty
+    candidate set, contradictory thresholds...)."""
+
+
+class AnalysisError(ReproError):
+    """A propagation/effect analysis could not be carried out."""
+
+
+class ExperimentError(ReproError):
+    """A paper experiment could not be reproduced as requested."""

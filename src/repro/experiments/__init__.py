@@ -1,0 +1,50 @@
+"""Reproduction harness: one module per paper table/figure.
+
+See DESIGN.md's per-experiment index.  Every experiment takes an
+:class:`~repro.experiments.context.ExperimentContext` (which caches
+the fault-injection campaigns) and returns a result object with a
+``render()`` method and typed fields for programmatic checks.
+"""
+
+from repro.experiments.context import (
+    ExperimentContext,
+    SCALES,
+    ScaleConfig,
+    default_scale,
+)
+from repro.experiments.extended import ExtendedResult, run_extended
+from repro.experiments.figure3 import Figure3Result, run_figure3
+from repro.experiments.profiles import ProfilesResult, run_profiles
+from repro.experiments.runner import EXPERIMENTS, run_all
+from repro.experiments.table1 import Table1Result, run_table1
+from repro.experiments.table2 import Table2Result, run_table2
+from repro.experiments.table3 import Table3Result, run_table3
+from repro.experiments.table4 import Table4Result, run_table4
+from repro.experiments.table5 import Table5Result, run_table5
+from repro.experiments import paper_data
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentContext",
+    "ExtendedResult",
+    "Figure3Result",
+    "ProfilesResult",
+    "SCALES",
+    "ScaleConfig",
+    "Table1Result",
+    "Table2Result",
+    "Table3Result",
+    "Table4Result",
+    "Table5Result",
+    "default_scale",
+    "paper_data",
+    "run_all",
+    "run_extended",
+    "run_figure3",
+    "run_profiles",
+    "run_table1",
+    "run_table2",
+    "run_table3",
+    "run_table4",
+    "run_table5",
+]

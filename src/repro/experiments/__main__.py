@@ -1,0 +1,45 @@
+"""CLI entry point: ``python -m repro.experiments [ids...]``.
+
+Options
+-------
+``--scale {test,bench,full}``
+    Workload scale (default: ``REPRO_SCALE`` or ``bench``).
+``--seed N``
+    Campaign seed (default 2002).
+``ids``
+    Experiment ids to run (default: all).  Known ids:
+    table1 table2 table3 table4 figure3 table5 profiles extended.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.context import ExperimentContext, SCALES, default_scale
+from repro.experiments.runner import EXPERIMENTS, run_all
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Reproduce the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "ids",
+        nargs="*",
+        choices=list(EXPERIMENTS) + [[]],
+        help="experiments to run (default: all)",
+    )
+    parser.add_argument(
+        "--scale", choices=sorted(SCALES), default=default_scale()
+    )
+    parser.add_argument("--seed", type=int, default=2002)
+    args = parser.parse_args(argv)
+    ctx = ExperimentContext(scale=args.scale, seed=args.seed)
+    run_all(ctx, only=args.ids or None)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,168 @@
+"""Shared context for the paper experiments.
+
+An :class:`ExperimentContext` fixes the workload scale (how many test
+cases, injection runs and memory locations), the random seed, and
+caches the expensive fault-injection campaigns so that the analytic
+experiments (Tables 2, 5, the profiles, the extended selection) reuse
+the Table-1 campaign instead of re-running it.
+
+Scales
+------
+``test``
+    Minimal workload for the unit/integration test suite.
+``bench``
+    Default for the benchmark harness: large enough that the paper's
+    qualitative shape is reproduced, small enough to run in minutes.
+``full``
+    Full-envelope campaigns over all 25 test cases (slowest).
+
+The environment variable ``REPRO_SCALE`` overrides the default scale
+used by the benchmarks.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.permeability import PermeabilityMatrix
+from repro.analysis.estimators import matrix_from_estimate
+from repro.edm.catalogue import EA_BY_NAME
+from repro.errors import ExperimentError
+from repro.fi.campaign import (
+    DetectionCampaign,
+    DetectionResult,
+    MemoryCampaign,
+    MemoryCampaignResult,
+    PermeabilityCampaign,
+    PermeabilityEstimate,
+)
+from repro.fi.memory import MemoryMap
+from repro.model.graph import SignalGraph
+from repro.target.simulation import ArrestmentSimulator
+from repro.target.testcases import TestCase, standard_test_cases
+
+__all__ = ["ScaleConfig", "SCALES", "ExperimentContext", "default_scale"]
+
+
+@dataclass(frozen=True)
+class ScaleConfig:
+    """Workload sizing of one scale."""
+
+    name: str
+    #: stride over the 25 standard test cases (1 = all)
+    test_case_stride: int
+    #: permeability campaign: injection runs per module input
+    runs_per_input: int
+    #: detection campaign: injection runs per system input signal
+    runs_per_signal: int
+    #: memory campaign: stride over memory locations (1 = all)
+    location_stride: int
+    #: memory campaign: stride over the context's test cases
+    memory_case_stride: int
+
+
+SCALES: Dict[str, ScaleConfig] = {
+    "test": ScaleConfig("test", 12, 6, 10, 9, 3),
+    "bench": ScaleConfig("bench", 6, 16, 36, 3, 2),
+    "full": ScaleConfig("full", 1, 80, 400, 1, 1),
+}
+
+
+def default_scale() -> str:
+    """Scale selected by ``REPRO_SCALE`` (default: ``bench``)."""
+    scale = os.environ.get("REPRO_SCALE", "bench")
+    if scale not in SCALES:
+        raise ExperimentError(
+            f"REPRO_SCALE must be one of {sorted(SCALES)}, got {scale!r}"
+        )
+    return scale
+
+
+class ExperimentContext:
+    """Caches campaigns and derived artefacts for one scale + seed."""
+
+    def __init__(self, scale: str = "bench", seed: int = 2002):
+        if scale not in SCALES:
+            raise ExperimentError(
+                f"unknown scale {scale!r}; choose from {sorted(SCALES)}"
+            )
+        self.scale = SCALES[scale]
+        self.seed = seed
+        self.test_cases: List[TestCase] = standard_test_cases()[
+            :: self.scale.test_case_stride
+        ]
+        self._estimate: Optional[PermeabilityEstimate] = None
+        self._matrix: Optional[PermeabilityMatrix] = None
+        self._detection: Optional[DetectionResult] = None
+        self._memory: Optional[MemoryCampaignResult] = None
+        self._system = None
+        self._graph: Optional[SignalGraph] = None
+
+    # ------------------------------------------------------------------
+    # Building blocks.
+    # ------------------------------------------------------------------
+    @staticmethod
+    def simulator_factory(test_case: TestCase) -> ArrestmentSimulator:
+        return ArrestmentSimulator(test_case)
+
+    @property
+    def system(self):
+        if self._system is None:
+            self._system = self.simulator_factory(self.test_cases[0]).system
+        return self._system
+
+    @property
+    def graph(self) -> SignalGraph:
+        if self._graph is None:
+            self._graph = SignalGraph(self.system)
+        return self._graph
+
+    # ------------------------------------------------------------------
+    # Campaign caches.
+    # ------------------------------------------------------------------
+    def permeability_estimate(self) -> PermeabilityEstimate:
+        if self._estimate is None:
+            campaign = PermeabilityCampaign(
+                self.simulator_factory,
+                self.test_cases,
+                runs_per_input=self.scale.runs_per_input,
+                seed=self.seed,
+            )
+            self._estimate = campaign.run()
+        return self._estimate
+
+    def measured_matrix(self) -> PermeabilityMatrix:
+        if self._matrix is None:
+            self._matrix = matrix_from_estimate(
+                self.system, self.permeability_estimate()
+            )
+        return self._matrix
+
+    def detection_result(self) -> DetectionResult:
+        if self._detection is None:
+            campaign = DetectionCampaign(
+                self.simulator_factory,
+                self.test_cases,
+                list(EA_BY_NAME.values()),
+                runs_per_signal=self.scale.runs_per_signal,
+                seed=self.seed,
+            )
+            self._detection = campaign.run()
+        return self._detection
+
+    def memory_result(self) -> MemoryCampaignResult:
+        if self._memory is None:
+            locations = MemoryMap(self.system).locations()[
+                :: self.scale.location_stride
+            ]
+            campaign = MemoryCampaign(
+                self.simulator_factory,
+                self.test_cases[:: self.scale.memory_case_stride],
+                list(EA_BY_NAME.values()),
+                locations=locations,
+                seed=self.seed,
+            )
+            self._memory = campaign.run()
+        return self._memory

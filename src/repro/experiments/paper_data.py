@@ -1,0 +1,163 @@
+"""Reference values reported by the paper (Tables 1-5, Fig. 3).
+
+These are the published numbers, kept verbatim so every experiment can
+print "paper vs. measured" side by side.  Keys use (module, in_port,
+out_port) naming; see :mod:`repro.target.wiring` for the port
+numbering.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.core.permeability import PermeabilityMatrix
+from repro.model.system import SystemModel
+
+__all__ = [
+    "PAPER_TABLE1",
+    "PAPER_TABLE2_EXPOSURE",
+    "PAPER_TABLE2_SELECTED",
+    "PAPER_TABLE3_EA_COSTS",
+    "PAPER_TABLE3_TOTALS",
+    "PAPER_TABLE4",
+    "PAPER_TABLE5_IMPACT",
+    "PAPER_EH_SET",
+    "PAPER_PA_SET",
+    "paper_matrix",
+]
+
+#: Table 1 — estimated error permeability per input/output pair.
+PAPER_TABLE1: Dict[Tuple[str, str, str], float] = {
+    ("CLOCK", "ms_slot_nbr", "ms_slot_nbr"): 1.000,
+    ("CLOCK", "ms_slot_nbr", "mscnt"): 0.000,
+    ("DIST_S", "PACNT", "pulscnt"): 0.957,
+    ("DIST_S", "TIC1", "pulscnt"): 0.000,
+    ("DIST_S", "TCNT", "pulscnt"): 0.000,
+    ("DIST_S", "PACNT", "slow_speed"): 0.010,
+    ("DIST_S", "TIC1", "slow_speed"): 0.000,
+    ("DIST_S", "TCNT", "slow_speed"): 0.000,
+    ("DIST_S", "PACNT", "stopped"): 0.000,
+    ("DIST_S", "TIC1", "stopped"): 0.000,
+    ("DIST_S", "TCNT", "stopped"): 0.000,
+    ("PRES_S", "ADC", "IsValue"): 0.000,
+    ("CALC", "i", "i"): 1.000,
+    ("CALC", "mscnt", "i"): 0.000,
+    ("CALC", "pulscnt", "i"): 0.494,
+    ("CALC", "slow_speed", "i"): 0.000,
+    ("CALC", "stopped", "i"): 0.013,
+    ("CALC", "i", "SetValue"): 0.056,
+    ("CALC", "mscnt", "SetValue"): 0.530,
+    ("CALC", "pulscnt", "SetValue"): 0.000,
+    ("CALC", "slow_speed", "SetValue"): 0.892,
+    ("CALC", "stopped", "SetValue"): 0.000,
+    ("V_REG", "SetValue", "OutValue"): 0.885,
+    ("V_REG", "IsValue", "OutValue"): 0.896,
+    ("PRES_A", "OutValue", "TOC2"): 0.875,
+}
+
+#: Table 2 — signal error exposures.
+PAPER_TABLE2_EXPOSURE: Dict[str, float] = {
+    "OutValue": 1.781,
+    "i": 1.507,
+    "SetValue": 1.478,
+    "ms_slot_nbr": 1.000,
+    "pulscnt": 0.957,
+    "TOC2": 0.875,
+    "slow_speed": 0.010,
+    "IsValue": 0.000,
+    "mscnt": 0.000,
+    "stopped": 0.000,
+}
+
+#: Table 2 — the PA-approach's selection decision per signal.
+PAPER_TABLE2_SELECTED: Dict[str, bool] = {
+    "OutValue": True,
+    "i": True,
+    "SetValue": True,
+    "ms_slot_nbr": False,
+    "pulscnt": True,
+    "TOC2": False,
+    "slow_speed": False,
+    "IsValue": False,
+    "mscnt": False,
+    "stopped": False,
+}
+
+#: Table 3 — (ROM bytes, RAM bytes) per EA instance.
+PAPER_TABLE3_EA_COSTS: Dict[str, Tuple[int, int]] = {
+    "EA1": (50, 14),
+    "EA2": (50, 14),
+    "EA3": (25, 13),
+    "EA4": (25, 13),
+    "EA5": (37, 13),
+    "EA6": (25, 13),
+    "EA7": (50, 14),
+}
+
+#: Table 3 — (ROM, RAM) totals for the EH-set and the PA-set.
+PAPER_TABLE3_TOTALS: Dict[str, Tuple[int, int]] = {
+    "EH": (262, 94),
+    "PA": (150, 54),
+}
+
+#: Table 4 — coverage per EA for errors injected at system inputs.
+#: rows: target signal -> {n_err, per-EA coverage (None = dash), total}.
+PAPER_TABLE4: Dict[str, Dict[str, Optional[float]]] = {
+    "PACNT": {
+        "n_err": 1856, "EA1": 0.218, "EA2": 0.105, "EA3": None,
+        "EA4": 0.975, "EA5": None, "EA6": None, "EA7": 0.005,
+        "total": 0.975,
+    },
+    "TIC1": {
+        "n_err": 3712, "EA1": None, "EA2": None, "EA3": None,
+        "EA4": None, "EA5": None, "EA6": None, "EA7": None, "total": 0.0,
+    },
+    "TCNT": {
+        "n_err": 3712, "EA1": None, "EA2": None, "EA3": None,
+        "EA4": None, "EA5": None, "EA6": None, "EA7": None, "total": 0.0,
+    },
+    "All": {
+        "n_err": 9280, "EA1": 0.062, "EA2": 0.040, "EA3": None,
+        "EA4": 0.195, "EA5": None, "EA6": None, "EA7": 0.001,
+        "total": 0.195,
+    },
+}
+
+#: Table 5 — impact on TOC2 per signal (None: no value assigned).
+PAPER_TABLE5_IMPACT: Dict[str, Optional[float]] = {
+    "PACNT": 0.027,
+    "TCNT": 0.000,
+    "TIC1": 0.000,
+    "ADC": 0.000,
+    "OutValue": 0.875,
+    "i": 0.043,
+    "SetValue": 0.774,
+    "ms_slot_nbr": 0.000,
+    "pulscnt": 0.021,
+    "TOC2": None,
+    "slow_speed": 0.691,
+    "IsValue": 0.784,
+    "mscnt": 0.410,
+    "stopped": 0.001,
+}
+
+#: Section 5.1 / 5.3 — the two location sets.
+PAPER_EH_SET = (
+    "SetValue", "IsValue", "i", "pulscnt", "ms_slot_nbr", "mscnt", "OutValue",
+)
+PAPER_PA_SET = ("SetValue", "i", "pulscnt", "OutValue")
+
+
+def paper_matrix(system: SystemModel) -> PermeabilityMatrix:
+    """The paper's Table 1 as a :class:`PermeabilityMatrix`.
+
+    Lets the analytic stages (exposure, impact, placement) be run on
+    the published permeabilities — useful both as a cross-check of the
+    analysis implementation (it must reproduce Tables 2 and 5 exactly)
+    and as a reference profile.
+    """
+    values = {}
+    for pair in system.io_pairs():
+        key = (pair.module, pair.in_port, pair.out_port)
+        values[pair] = PAPER_TABLE1[key]
+    return PermeabilityMatrix.from_values(system, values)

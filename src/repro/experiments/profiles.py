@@ -1,0 +1,41 @@
+"""Experiment: Figures 5 and 6 — exposure and impact profiles.
+
+Builds the joint :class:`~repro.core.profile.SystemProfile` of the
+target from the measured permeability matrix and renders the two
+profile figures (line-thickness classes per signal).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.profile import SystemProfile, ValueBand
+from repro.experiments.context import ExperimentContext
+
+__all__ = ["ProfilesResult", "run_profiles"]
+
+
+@dataclass
+class ProfilesResult:
+    profile: SystemProfile
+    exposure_rows: List[Tuple[str, Optional[float], ValueBand]]
+    impact_rows: List[Tuple[str, Optional[float], ValueBand]]
+
+    def exposure_band(self, signal: str) -> ValueBand:
+        return self.profile.entry(signal).exposure_band
+
+    def impact_band(self, signal: str) -> ValueBand:
+        return self.profile.entry(signal).impact_band
+
+    def render(self) -> str:
+        return self.profile.render("both")
+
+
+def run_profiles(ctx: ExperimentContext) -> ProfilesResult:
+    profile = SystemProfile(ctx.measured_matrix(), ctx.graph, output="TOC2")
+    return ProfilesResult(
+        profile=profile,
+        exposure_rows=profile.exposure_profile(),
+        impact_rows=profile.impact_profile(),
+    )

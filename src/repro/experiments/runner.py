@@ -1,0 +1,55 @@
+"""Run every paper experiment and print the full report."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.experiments.context import ExperimentContext, default_scale
+from repro.experiments.extended import run_extended
+from repro.experiments.figure3 import run_figure3
+from repro.experiments.profiles import run_profiles
+from repro.experiments.table1 import run_table1
+from repro.experiments.table2 import run_table2
+from repro.experiments.table3 import run_table3
+from repro.experiments.table4 import run_table4
+from repro.experiments.table5 import run_table5
+
+__all__ = ["EXPERIMENTS", "run_all"]
+
+#: experiment id -> runner.  Order matches the paper's narrative.
+EXPERIMENTS: Dict[str, Callable[[ExperimentContext], object]] = {
+    "table1": run_table1,
+    "table2": run_table2,
+    "table3": run_table3,
+    "table4": run_table4,
+    "figure3": run_figure3,
+    "table5": run_table5,
+    "profiles": run_profiles,
+    "extended": run_extended,
+}
+
+
+def run_all(
+    ctx: Optional[ExperimentContext] = None,
+    only: Optional[List[str]] = None,
+    echo: Callable[[str], None] = print,
+) -> Dict[str, object]:
+    """Run the selected experiments; returns id -> result object."""
+    if ctx is None:
+        ctx = ExperimentContext(scale=default_scale())
+    selected = only if only is not None else list(EXPERIMENTS)
+    results: Dict[str, object] = {}
+    for exp_id in selected:
+        runner = EXPERIMENTS[exp_id]
+        started = time.time()
+        result = runner(ctx)
+        elapsed = time.time() - started
+        results[exp_id] = result
+        echo("")
+        echo("=" * 72)
+        echo(f"[{exp_id}]  ({elapsed:.1f} s, scale={ctx.scale.name})")
+        echo("=" * 72)
+        echo(result.render())
+    return results

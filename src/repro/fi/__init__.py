@@ -1,0 +1,77 @@
+"""Fault-injection substrate (paper Sections 5.3, 6.2, 7).
+
+Bit-flip error models over signals, module state (RAM) and the stack
+area; golden-run generation and first-difference comparison; and the
+three campaign drivers used by the paper's experiments.
+"""
+
+from repro.fi.campaign import (
+    CoverageTriple,
+    DetectionCampaign,
+    DetectionResult,
+    LatencyStats,
+    MemoryCampaign,
+    MemoryCampaignResult,
+    MemoryRunRecord,
+    PermeabilityCampaign,
+    PermeabilityEstimate,
+    RecoveryCampaign,
+    RecoveryOutcome,
+    RecoveryResult,
+)
+from repro.fi.comparison import (
+    PropagationTimeline,
+    SignalDivergence,
+    compare_runs,
+)
+from repro.fi.golden import (
+    GoldenRun,
+    GoldenRunStore,
+    InvocationLog,
+    OutputDifference,
+    first_output_differences,
+)
+from repro.fi.injector import FaultInjector, InjectionEvent
+from repro.fi.memory import CellKind, MemoryLocation, MemoryMap, Region
+from repro.fi.serialization import load_json, save_json
+from repro.fi.models import (
+    DEFAULT_PERIOD_TICKS,
+    InputSignalFlip,
+    ModuleInputFlip,
+    PeriodicMemoryFlip,
+)
+
+__all__ = [
+    "CellKind",
+    "CoverageTriple",
+    "DEFAULT_PERIOD_TICKS",
+    "DetectionCampaign",
+    "DetectionResult",
+    "LatencyStats",
+    "MemoryRunRecord",
+    "RecoveryCampaign",
+    "RecoveryOutcome",
+    "RecoveryResult",
+    "FaultInjector",
+    "GoldenRun",
+    "GoldenRunStore",
+    "InjectionEvent",
+    "InputSignalFlip",
+    "InvocationLog",
+    "MemoryCampaign",
+    "MemoryCampaignResult",
+    "MemoryLocation",
+    "MemoryMap",
+    "ModuleInputFlip",
+    "OutputDifference",
+    "PeriodicMemoryFlip",
+    "PermeabilityCampaign",
+    "PermeabilityEstimate",
+    "PropagationTimeline",
+    "Region",
+    "SignalDivergence",
+    "compare_runs",
+    "first_output_differences",
+    "load_json",
+    "save_json",
+]

@@ -1,0 +1,690 @@
+"""Fault-injection campaigns (paper Sections 5.3, 6.2 and 7).
+
+Three campaign drivers:
+
+* :class:`PermeabilityCampaign` — estimates every ``P^M_{i,k}`` of the
+  system (Table 1): inject one bit flip into one module input per run,
+  golden-run-compare the module's invocation stream, count *direct*
+  first differences per output.
+* :class:`DetectionCampaign` — the input error model comparison
+  (Table 4): inject one bit flip into one system input signal per run
+  and record which executable assertions detect it.
+* :class:`MemoryCampaign` — the harsher error model (Fig. 3): inject a
+  periodic bit flip (20 ms period) into one RAM or stack location per
+  run, record detections and the failure verdict, and derive
+  ``c_tot`` / ``c_fail`` / ``c_nofail`` per region for any EA set.
+
+All campaigns are deterministic given their seed, and every run is a
+fresh simulator instance (no state leaks between runs).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.edm.assertions import AssertionSpec
+from repro.edm.monitors import MonitorBank
+from repro.errors import CampaignError
+from repro.fi.golden import (
+    GoldenRun,
+    GoldenRunStore,
+    InvocationLog,
+    SimulatorFactory,
+    first_output_differences,
+)
+from repro.fi.injector import FaultInjector
+from repro.fi.memory import MemoryLocation, MemoryMap, Region
+from repro.fi.models import (
+    DEFAULT_PERIOD_TICKS,
+    InputSignalFlip,
+    ModuleInputFlip,
+    PeriodicMemoryFlip,
+)
+from repro.target.testcases import TestCase
+
+__all__ = [
+    "PermeabilityCampaign",
+    "PermeabilityEstimate",
+    "DetectionCampaign",
+    "DetectionResult",
+    "LatencyStats",
+    "MemoryCampaign",
+    "MemoryCampaignResult",
+    "MemoryRunRecord",
+    "CoverageTriple",
+    "RecoveryCampaign",
+    "RecoveryOutcome",
+    "RecoveryResult",
+]
+
+
+# ======================================================================
+# Permeability estimation (Table 1).
+# ======================================================================
+@dataclass
+class PermeabilityEstimate:
+    """Raw counts and derived estimates for all pairs of one system."""
+
+    #: (module, in_port, out_port) -> direct-error count
+    direct_counts: Dict[Tuple[str, str, str], int]
+    #: (module, in_port) -> active (injected) run count
+    active_runs: Dict[Tuple[str, str], int]
+    #: (module, in_port, out_port) -> estimated permeability
+    values: Dict[Tuple[str, str, str], float]
+
+    def value(self, module: str, in_port: str, out_port: str) -> float:
+        try:
+            return self.values[(module, in_port, out_port)]
+        except KeyError:
+            raise CampaignError(
+                f"no permeability estimated for "
+                f"{module}.{in_port}->{out_port}"
+            ) from None
+
+
+class PermeabilityCampaign:
+    """Estimate error permeabilities by module-input fault injection.
+
+    For each module input port, ``runs_per_input`` injection runs are
+    performed, cycling over the test cases.  Each run flips one
+    uniformly chosen bit of the input value at one uniformly chosen
+    invocation within the golden run's duration.  Only *direct* output
+    errors are counted (Section 5.3).
+    """
+
+    def __init__(
+        self,
+        factory: SimulatorFactory,
+        test_cases: Sequence[TestCase],
+        runs_per_input: int = 32,
+        seed: int = 2002,
+        direct_only: bool = True,
+    ):
+        """*direct_only* selects the paper's accounting (Section 5.3:
+        count only direct output errors, excluding errors that left
+        through another output and came back).  Setting it to False
+        counts every first difference — the ablation of design
+        decision D2 in DESIGN.md."""
+        if runs_per_input <= 0:
+            raise CampaignError(
+                f"runs_per_input must be positive, got {runs_per_input}"
+            )
+        if not test_cases:
+            raise CampaignError("at least one test case is required")
+        self.factory = factory
+        self.test_cases = list(test_cases)
+        self.runs_per_input = runs_per_input
+        self.rng = random.Random(seed)
+        self.direct_only = direct_only
+        self.goldens = GoldenRunStore(factory)
+
+    def run(self) -> PermeabilityEstimate:
+        probe = self.factory(self.test_cases[0])
+        system = probe.system
+        direct: Dict[Tuple[str, str, str], int] = {}
+        active: Dict[Tuple[str, str], int] = {}
+        for module in system.modules():
+            for in_port in module.inputs:
+                key_in = (module.name, in_port)
+                active[key_in] = 0
+                for out_port in module.outputs:
+                    direct[(module.name, in_port, out_port)] = 0
+                for run_index in range(self.runs_per_input):
+                    test_case = self.test_cases[
+                        run_index % len(self.test_cases)
+                    ]
+                    hits = self._one_run(
+                        module.name, in_port, test_case
+                    )
+                    if hits is None:
+                        continue
+                    active[key_in] += 1
+                    for out_port in hits:
+                        direct[(module.name, in_port, out_port)] += 1
+        values = {
+            (m, i, k): (
+                direct[(m, i, k)] / active[(m, i)] if active[(m, i)] else 0.0
+            )
+            for (m, i, k) in direct
+        }
+        return PermeabilityEstimate(
+            direct_counts=direct, active_runs=active, values=values
+        )
+
+    def _one_run(
+        self, module: str, in_port: str, test_case: TestCase
+    ) -> Optional[List[str]]:
+        """One injection run; returns output ports hit directly.
+
+        ``None`` means the injection never became active (the flip was
+        not applied before the run ended).
+        """
+        golden = self.goldens.get(test_case)
+        simulator = self.factory(test_case)
+        mod = simulator.system.module(module)
+        signal = simulator.system.signal_of_input(module, in_port)
+        width = simulator.system.signal(signal).width
+        from_tick = self.rng.randrange(0, golden.completion_tick)
+        bit = self.rng.randrange(0, width)
+        injector = FaultInjector(
+            ModuleInputFlip(module, in_port, from_tick, bit)
+        ).attach(simulator)
+        log = InvocationLog([module]).attach(simulator)
+        simulator.record_traces = False
+        result = simulator.run()
+        if not injector.injected:
+            return None
+        completed = result.completion_tick
+        if (
+            completed is not None
+            and injector.first_injection_tick is not None
+            and injector.first_injection_tick > completed
+        ):
+            return None
+        differences = first_output_differences(
+            golden.invocations.stream(module),
+            log.stream(module),
+            mod.inputs,
+            mod.outputs,
+            in_port,
+        )
+        return [
+            diff.out_port
+            for diff in differences.values()
+            if diff.direct or not self.direct_only
+        ]
+
+
+# ======================================================================
+# Detection under the input error model (Table 4).
+# ======================================================================
+@dataclass(frozen=True)
+class LatencyStats:
+    """Detection-latency summary over a set of detections (in ticks)."""
+
+    count: int
+    mean: float
+    median: float
+    maximum: int
+
+    @classmethod
+    def from_samples(cls, samples: Sequence[int]) -> "LatencyStats":
+        if not samples:
+            return cls(0, 0.0, 0.0, 0)
+        ordered = sorted(samples)
+        mid = len(ordered) // 2
+        if len(ordered) % 2:
+            median = float(ordered[mid])
+        else:
+            median = (ordered[mid - 1] + ordered[mid]) / 2.0
+        return cls(
+            count=len(ordered),
+            mean=sum(ordered) / len(ordered),
+            median=median,
+            maximum=ordered[-1],
+        )
+
+
+@dataclass
+class DetectionResult:
+    """Outcome of one :class:`DetectionCampaign`.
+
+    ``n_err`` counts *active* errors per targeted signal; per-EA
+    detections only count firings at or after the injection tick.
+    ``run_latencies`` records, for each detecting EA of each active
+    run, the detection latency in ticks (first firing minus injection
+    tick) — the second axis, besides coverage, on which EDM sets are
+    compared in the literature (the paper's reference [18]).
+    """
+
+    targets: List[str]
+    ea_names: List[str]
+    n_injected: Dict[str, int]
+    n_err: Dict[str, int]
+    #: (target signal, ea name) -> detection count
+    detections: Dict[Tuple[str, str], int]
+    #: target signal -> runs where at least one EA of the bank fired
+    any_detections: Dict[str, int]
+    #: target signal -> per-run fired-EA name sets (for set coverages)
+    run_records: Dict[str, List[frozenset]]
+    #: target signal -> per-run {ea name -> latency in ticks}
+    run_latencies: Dict[str, List[Dict[str, int]]] = field(
+        default_factory=dict
+    )
+
+    def latency_stats(
+        self,
+        target: Optional[str] = None,
+        ea_subset: Optional[Iterable[str]] = None,
+    ) -> LatencyStats:
+        """Latency of the *first* detection per run, over the chosen
+        targets and EA subset."""
+        subset = frozenset(ea_subset) if ea_subset is not None else None
+        samples: List[int] = []
+        targets = [target] if target is not None else self.targets
+        for name in targets:
+            for per_run in self.run_latencies.get(name, []):
+                relevant = [
+                    latency
+                    for ea, latency in per_run.items()
+                    if subset is None or ea in subset
+                ]
+                if relevant:
+                    samples.append(min(relevant))
+        return LatencyStats.from_samples(samples)
+
+    def coverage(self, target: str, ea_name: str) -> float:
+        n = self.n_err.get(target, 0)
+        return self.detections.get((target, ea_name), 0) / n if n else 0.0
+
+    def total_coverage(
+        self, target: str, ea_subset: Optional[Iterable[str]] = None
+    ) -> float:
+        """Combined coverage of an EA subset for one target signal."""
+        n = self.n_err.get(target, 0)
+        if not n:
+            return 0.0
+        if ea_subset is None:
+            return self.any_detections.get(target, 0) / n
+        subset = frozenset(ea_subset)
+        hits = sum(
+            1 for fired in self.run_records[target] if fired & subset
+        )
+        return hits / n
+
+    def combined(
+        self, ea_subset: Optional[Iterable[str]] = None
+    ) -> Dict[str, float]:
+        """Per-EA (or subset-total) coverage over *all* targets (row "All")."""
+        total_err = sum(self.n_err.values())
+        if not total_err:
+            return {"total": 0.0}
+        if ea_subset is None:
+            per_ea = {
+                ea: sum(
+                    self.detections.get((t, ea), 0) for t in self.targets
+                ) / total_err
+                for ea in self.ea_names
+            }
+            per_ea["total"] = (
+                sum(self.any_detections.values()) / total_err
+            )
+            return per_ea
+        subset = frozenset(ea_subset)
+        hits = sum(
+            1
+            for target in self.targets
+            for fired in self.run_records[target]
+            if fired & subset
+        )
+        return {"total": hits / total_err}
+
+
+class DetectionCampaign:
+    """Measure EA detection coverage for errors at the system inputs.
+
+    Every run: one transient bit flip in one system input signal at a
+    uniformly chosen tick within the golden run's duration; the full
+    EA bank monitors passively, so any EA-set's coverage can be
+    derived from one campaign.
+    """
+
+    def __init__(
+        self,
+        factory: SimulatorFactory,
+        test_cases: Sequence[TestCase],
+        assertion_specs: Sequence[AssertionSpec],
+        runs_per_signal: int = 80,
+        targets: Optional[Sequence[str]] = None,
+        seed: int = 2002,
+    ):
+        if runs_per_signal <= 0:
+            raise CampaignError(
+                f"runs_per_signal must be positive, got {runs_per_signal}"
+            )
+        if not test_cases:
+            raise CampaignError("at least one test case is required")
+        self.factory = factory
+        self.test_cases = list(test_cases)
+        self.specs = list(assertion_specs)
+        self.runs_per_signal = runs_per_signal
+        self.targets = list(targets) if targets is not None else None
+        self.rng = random.Random(seed)
+        self.goldens = GoldenRunStore(factory)
+
+    def run(self) -> DetectionResult:
+        probe = self.factory(self.test_cases[0])
+        targets = (
+            self.targets
+            if self.targets is not None
+            else probe.system.system_inputs()
+        )
+        ea_names = [spec.name for spec in self.specs]
+        n_injected: Dict[str, int] = {t: 0 for t in targets}
+        n_err: Dict[str, int] = {t: 0 for t in targets}
+        detections: Dict[Tuple[str, str], int] = {}
+        any_detections: Dict[str, int] = {t: 0 for t in targets}
+        run_records: Dict[str, List[frozenset]] = {t: [] for t in targets}
+        run_latencies: Dict[str, List[Dict[str, int]]] = {
+            t: [] for t in targets
+        }
+        for target in targets:
+            for run_index in range(self.runs_per_signal):
+                test_case = self.test_cases[run_index % len(self.test_cases)]
+                golden = self.goldens.get(test_case)
+                simulator = self.factory(test_case)
+                simulator.record_traces = False
+                width = simulator.system.signal(target).width
+                tick = self.rng.randrange(0, golden.completion_tick)
+                bit = self.rng.randrange(0, width)
+                injector = FaultInjector(
+                    InputSignalFlip(target, tick, bit)
+                ).attach(simulator)
+                bank = MonitorBank(self.specs).attach(simulator)
+                result = simulator.run()
+                n_injected[target] += 1
+                if not injector.injected:
+                    continue
+                completed = result.completion_tick
+                if completed is not None and tick > completed:
+                    continue
+                n_err[target] += 1
+                fired = frozenset(bank.fired_eas(after_tick=tick))
+                run_records[target].append(fired)
+                latencies = {}
+                for ea in fired:
+                    first = bank.state(ea).first_fire_tick
+                    if first is not None:
+                        latencies[ea] = first - tick
+                run_latencies[target].append(latencies)
+                if fired:
+                    any_detections[target] += 1
+                for ea in fired:
+                    key = (target, ea)
+                    detections[key] = detections.get(key, 0) + 1
+        return DetectionResult(
+            targets=list(targets),
+            ea_names=ea_names,
+            n_injected=n_injected,
+            n_err=n_err,
+            detections=detections,
+            any_detections=any_detections,
+            run_records=run_records,
+            run_latencies=run_latencies,
+        )
+
+
+# ======================================================================
+# The harsher, periodic memory error model (Fig. 3).
+# ======================================================================
+@dataclass(frozen=True)
+class CoverageTriple:
+    """The paper's Fig. 3 measures for one bar group."""
+
+    c_tot: float
+    c_fail: float
+    c_nofail: float
+    n_runs: int
+    n_fail: int
+
+
+@dataclass
+class MemoryRunRecord:
+    """One memory-model run: where, what fired, and the verdict."""
+
+    region: Region
+    location_label: str
+    fired: frozenset
+    failed: bool
+
+
+@dataclass
+class MemoryCampaignResult:
+    """Outcome of one :class:`MemoryCampaign`."""
+
+    records: List[MemoryRunRecord]
+    ea_names: List[str]
+
+    def coverage(
+        self,
+        ea_subset: Iterable[str],
+        region: Optional[Region] = None,
+    ) -> CoverageTriple:
+        """``c_tot`` / ``c_fail`` / ``c_nofail`` of an EA set.
+
+        With *region* given, restrict to errors injected into that
+        area (the RAM / Stack bar groups of Fig. 3); otherwise compute
+        the Total group.
+        """
+        subset = frozenset(ea_subset)
+        rows = [
+            r for r in self.records
+            if region is None or r.region is region
+        ]
+        if not rows:
+            return CoverageTriple(0.0, 0.0, 0.0, 0, 0)
+        fail_rows = [r for r in rows if r.failed]
+        nofail_rows = [r for r in rows if not r.failed]
+
+        def cov(selection: List[MemoryRunRecord]) -> float:
+            if not selection:
+                return 0.0
+            return sum(1 for r in selection if r.fired & subset) / len(
+                selection
+            )
+
+        return CoverageTriple(
+            c_tot=cov(rows),
+            c_fail=cov(fail_rows),
+            c_nofail=cov(nofail_rows),
+            n_runs=len(rows),
+            n_fail=len(fail_rows),
+        )
+
+
+# ======================================================================
+# Recovery (ERM) effectiveness under the memory error model.
+# ======================================================================
+@dataclass(frozen=True)
+class RecoveryOutcome:
+    """One location+test-case pair, run twice: detect-only vs wrapped."""
+
+    region: Region
+    location_label: str
+    detected: bool
+    baseline_failed: bool
+    recovered_failed: bool
+    recovery_actions: int
+
+
+@dataclass
+class RecoveryResult:
+    """Outcome of one :class:`RecoveryCampaign`."""
+
+    outcomes: List[RecoveryOutcome]
+
+    def failure_rate(
+        self, with_recovery: bool, region: Optional[Region] = None
+    ) -> float:
+        rows = [
+            o for o in self.outcomes
+            if region is None or o.region is region
+        ]
+        if not rows:
+            return 0.0
+        failed = sum(
+            1 for o in rows
+            if (o.recovered_failed if with_recovery else o.baseline_failed)
+        )
+        return failed / len(rows)
+
+    def failures_prevented(self, region: Optional[Region] = None) -> int:
+        return sum(
+            1 for o in self.outcomes
+            if (region is None or o.region is region)
+            and o.baseline_failed
+            and not o.recovered_failed
+        )
+
+    def failures_introduced(self, region: Optional[Region] = None) -> int:
+        """Runs where containment made things worse (possible: a
+        recovery substitution is itself a disturbance)."""
+        return sum(
+            1 for o in self.outcomes
+            if (region is None or o.region is region)
+            and not o.baseline_failed
+            and o.recovered_failed
+        )
+
+
+class RecoveryCampaign:
+    """Measure the effect of containment wrappers (ERMs) at the
+    EA-guarded signals under the harsher error model.
+
+    Each (location, test case) pair runs twice with the identical
+    injection train: once with a detect-only bank (the paper's
+    experiments) and once with a :class:`RecoveringMonitorBank`; the
+    failure verdicts are compared.
+    """
+
+    def __init__(
+        self,
+        factory: SimulatorFactory,
+        test_cases: Sequence[TestCase],
+        assertion_specs: Sequence[AssertionSpec],
+        locations: Optional[Sequence[MemoryLocation]] = None,
+        period_ticks: int = DEFAULT_PERIOD_TICKS,
+        seed: int = 2002,
+        policies=None,
+    ):
+        if not test_cases:
+            raise CampaignError("at least one test case is required")
+        self.factory = factory
+        self.test_cases = list(test_cases)
+        self.specs = list(assertion_specs)
+        self.period_ticks = period_ticks
+        self.seed = seed
+        self.policies = policies
+        self._locations = list(locations) if locations is not None else None
+
+    def run(self) -> RecoveryResult:
+        from repro.edm.recovery import RecoveringMonitorBank
+
+        probe = self.factory(self.test_cases[0])
+        locations = (
+            self._locations
+            if self._locations is not None
+            else MemoryMap(probe.system).locations()
+        )
+        rng = random.Random(self.seed)
+        outcomes: List[RecoveryOutcome] = []
+        for location in locations:
+            for test_case in self.test_cases:
+                bit = rng.randrange(0, location.valid_bits)
+                phase = rng.randrange(0, self.period_ticks)
+                spec = PeriodicMemoryFlip(
+                    location, bit,
+                    period_ticks=self.period_ticks, start_tick=phase,
+                )
+
+                baseline_sim = self.factory(test_case)
+                baseline_sim.record_traces = False
+                baseline_inj = FaultInjector(spec).attach(baseline_sim)
+                baseline_bank = MonitorBank(self.specs).attach(baseline_sim)
+                baseline = baseline_sim.run()
+
+                wrapped_sim = self.factory(test_case)
+                wrapped_sim.record_traces = False
+                FaultInjector(spec).attach(wrapped_sim)
+                wrapped_bank = RecoveringMonitorBank(
+                    self.specs, policies=self.policies
+                ).attach(wrapped_sim)
+                wrapped = wrapped_sim.run()
+
+                if not baseline_inj.injected:
+                    continue
+                outcomes.append(
+                    RecoveryOutcome(
+                        region=location.region,
+                        location_label=location.label,
+                        detected=bool(baseline_bank.fired_eas()),
+                        baseline_failed=baseline.verdict.failed,
+                        recovered_failed=wrapped.verdict.failed,
+                        recovery_actions=wrapped_bank.recovery_count,
+                    )
+                )
+        return RecoveryResult(outcomes=outcomes)
+
+
+class MemoryCampaign:
+    """Periodic bit flips into RAM and stack locations (Section 7).
+
+    Enumerates (a subset of) the memory map's locations; for each
+    location, one run per test case with a random bit of the
+    location's byte, flipped every ``period_ticks`` for the entire
+    arrestment.  An error is detected if an EA fires at least once
+    during the run.
+    """
+
+    def __init__(
+        self,
+        factory: SimulatorFactory,
+        test_cases: Sequence[TestCase],
+        assertion_specs: Sequence[AssertionSpec],
+        locations: Optional[Sequence[MemoryLocation]] = None,
+        period_ticks: int = DEFAULT_PERIOD_TICKS,
+        seed: int = 2002,
+    ):
+        if not test_cases:
+            raise CampaignError("at least one test case is required")
+        self.factory = factory
+        self.test_cases = list(test_cases)
+        self.specs = list(assertion_specs)
+        self.period_ticks = period_ticks
+        self.rng = random.Random(seed)
+        self._locations = list(locations) if locations is not None else None
+
+    def run(self) -> MemoryCampaignResult:
+        probe = self.factory(self.test_cases[0])
+        locations = (
+            self._locations
+            if self._locations is not None
+            else MemoryMap(probe.system).locations()
+        )
+        records: List[MemoryRunRecord] = []
+        for location in locations:
+            for test_case in self.test_cases:
+                bit = self.rng.randrange(0, location.valid_bits)
+                # random phase within the period: the injection train
+                # must not be systematically aligned with the slot
+                # schedule, or flips into producer-rewritten stores
+                # would always be overwritten before anyone reads them
+                phase = self.rng.randrange(0, self.period_ticks)
+                simulator = self.factory(test_case)
+                simulator.record_traces = False
+                injector = FaultInjector(
+                    PeriodicMemoryFlip(
+                        location,
+                        bit,
+                        period_ticks=self.period_ticks,
+                        start_tick=phase,
+                    )
+                ).attach(simulator)
+                bank = MonitorBank(self.specs).attach(simulator)
+                result = simulator.run()
+                if not injector.injected:
+                    continue
+                records.append(
+                    MemoryRunRecord(
+                        region=location.region,
+                        location_label=location.label,
+                        fired=frozenset(bank.fired_eas()),
+                        failed=result.verdict.failed,
+                    )
+                )
+        return MemoryCampaignResult(
+            records=records,
+            ea_names=[spec.name for spec in self.specs],
+        )

@@ -1,0 +1,201 @@
+"""Golden runs and golden-run comparison (paper Section 5.3).
+
+"We produced a Golden Run (GR) for each test case.  Then, we injected
+errors ... and monitored the produced output signals. ... The raw data
+obtained in the IR's was used in a Golden Run Comparison where the
+trace of each signal (input and output) was compared to its
+corresponding GR trace.  The comparison stopped as soon as the first
+difference between the GR trace and the IR trace was encountered."
+
+This module provides:
+
+* :class:`InvocationLog` — per-module streams of (inputs, outputs) per
+  invocation, the raw data needed to attribute *direct* output errors
+  to the injected input ("We only took into account the direct errors
+  on the outputs");
+* :class:`GoldenRun` — one test case's fault-free artefacts: signal
+  traces, invocation log, completion tick;
+* :class:`GoldenRunStore` — lazily computed, cached golden runs;
+* :func:`first_output_differences` — lock-step comparison of a
+  module's golden and injected invocation streams, classifying the
+  first difference of each output port as *direct* (no other input
+  disturbed at that invocation) or *indirect* (the error came back
+  through another input — e.g. around the CALC ``i`` feedback loop).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import CampaignError
+from repro.model.system import InvocationRecord
+from repro.target.simulation import ArrestmentResult, ArrestmentSimulator
+from repro.target.testcases import TestCase
+
+__all__ = [
+    "InvocationLog",
+    "GoldenRun",
+    "GoldenRunStore",
+    "OutputDifference",
+    "first_output_differences",
+    "SimulatorFactory",
+]
+
+#: builds a fresh simulator for a test case.
+SimulatorFactory = Callable[[TestCase], ArrestmentSimulator]
+
+#: one invocation: (tick, inputs in port order, outputs in port order)
+Invocation = Tuple[int, Tuple, Tuple]
+
+
+class InvocationLog:
+    """Records every invocation of selected modules during a run.
+
+    Attach to a simulator with :meth:`attach`; restrict recording with
+    *modules* to keep injected runs cheap.
+    """
+
+    def __init__(self, modules: Optional[Sequence[str]] = None):
+        self._filter = set(modules) if modules is not None else None
+        self._streams: Dict[str, List[Invocation]] = {}
+        self._port_order: Dict[str, Tuple[Tuple[str, ...], Tuple[str, ...]]] = {}
+
+    def attach(self, simulator: ArrestmentSimulator) -> "InvocationLog":
+        for module in simulator.system.modules():
+            if self._filter is None or module.name in self._filter:
+                self._port_order[module.name] = (
+                    tuple(module.inputs),
+                    tuple(module.outputs),
+                )
+        simulator.add_post_invoke(self._on_invoke)
+        return self
+
+    def _on_invoke(self, record: InvocationRecord) -> None:
+        order = self._port_order.get(record.module)
+        if order is None:
+            return
+        in_ports, out_ports = order
+        self._streams.setdefault(record.module, []).append(
+            (
+                record.tick,
+                tuple(record.inputs[p] for p in in_ports),
+                tuple(record.outputs[p] for p in out_ports),
+            )
+        )
+
+    def stream(self, module: str) -> List[Invocation]:
+        return self._streams.get(module, [])
+
+    def modules(self) -> List[str]:
+        return list(self._streams)
+
+
+@dataclass
+class GoldenRun:
+    """Fault-free reference artefacts for one test case."""
+
+    test_case: TestCase
+    result: ArrestmentResult
+    invocations: InvocationLog
+
+    @property
+    def completion_tick(self) -> int:
+        if self.result.completion_tick is None:
+            raise CampaignError(
+                f"golden run for {self.test_case.label} did not complete — "
+                f"the fault-free system must always arrest the aircraft"
+            )
+        return self.result.completion_tick
+
+
+class GoldenRunStore:
+    """Lazily computed cache of golden runs, one per test case."""
+
+    def __init__(self, factory: SimulatorFactory):
+        self._factory = factory
+        self._cache: Dict[int, GoldenRun] = {}
+
+    def get(self, test_case: TestCase) -> GoldenRun:
+        cached = self._cache.get(test_case.case_id)
+        if cached is not None:
+            return cached
+        simulator = self._factory(test_case)
+        log = InvocationLog().attach(simulator)
+        result = simulator.run()
+        if result.verdict.failed:
+            raise CampaignError(
+                f"golden run for {test_case.label} violates the system "
+                f"specification: {result.verdict.describe()}"
+            )
+        golden = GoldenRun(test_case, result, log)
+        self._cache[test_case.case_id] = golden
+        return golden
+
+    def preload(self, test_cases: Sequence[TestCase]) -> None:
+        for test_case in test_cases:
+            self.get(test_case)
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+
+@dataclass(frozen=True)
+class OutputDifference:
+    """First difference of one output port between GR and IR."""
+
+    out_port: str
+    invocation_index: int
+    tick: int
+    direct: bool  #: no other input was disturbed at that invocation
+
+
+def first_output_differences(
+    golden: List[Invocation],
+    injected: List[Invocation],
+    in_ports: Sequence[str],
+    out_ports: Sequence[str],
+    injected_port: str,
+) -> Dict[str, OutputDifference]:
+    """Classify the first difference of each output port (Section 5.3).
+
+    Walks the two invocation streams in lock-step.  For every output
+    port, the first invocation whose output value differs from the
+    golden run is found; the difference counts as *direct* when, at
+    that same invocation, no input other than *injected_port* differed
+    from the golden run — otherwise the error travelled out through
+    another output and back in ("errors that propagated via one of the
+    other outputs and then came back"), which the paper excludes.
+
+    Comparison stops at the first difference per output; extra or
+    missing invocations (a derailed scheduler) end the walk.
+    """
+    port_index = {port: idx for idx, port in enumerate(in_ports)}
+    if injected_port not in port_index:
+        raise CampaignError(
+            f"injected port {injected_port!r} is not among inputs {in_ports}"
+        )
+    injected_idx = port_index[injected_port]
+    pending = set(out_ports)
+    found: Dict[str, OutputDifference] = {}
+    for idx, ((g_tick, g_in, g_out), (i_tick, i_in, i_out)) in enumerate(
+        zip(golden, injected)
+    ):
+        if not pending:
+            break
+        for k, port in enumerate(out_ports):
+            if port not in pending or g_out[k] == i_out[k]:
+                continue
+            other_inputs_clean = all(
+                g_in[j] == i_in[j]
+                for j in range(len(in_ports))
+                if j != injected_idx
+            )
+            found[port] = OutputDifference(
+                out_port=port,
+                invocation_index=idx,
+                tick=i_tick,
+                direct=other_inputs_clean,
+            )
+            pending.discard(port)
+    return found

@@ -1,0 +1,183 @@
+"""Memory map of a simulated system: the fault injector's address space.
+
+The paper's harsher error model (Section 7) injects bit flips into
+"intermediate signals and module state (a total of 150 locations in
+RAM and 50 locations in the stack)".  We reconstruct that address
+space from the system model:
+
+* **RAM area** — per module: its persistent state cells plus the
+  backing stores of the signals it produces (an output signal *is* a
+  RAM variable of its producer in the shared-memory communication
+  model).
+* **Stack area** — per module: one cell per input argument (the place
+  the dispatcher marshals the input-signal values to) plus one cell
+  per declared local temporary.
+
+Locations are *byte-granular*, like the paper's: a 16-bit variable
+contributes two injectable locations.  An injection names a location
+and a bit within its byte; the injector translates that into a bit
+flip of the owning cell.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import InjectionError
+from repro.model.module import CellSpec, Module
+from repro.model.signal import SignalSpec, SignalType
+from repro.model.system import SystemModel
+
+__all__ = ["Region", "CellKind", "MemoryLocation", "MemoryMap"]
+
+
+class Region(enum.Enum):
+    """Which memory area a location belongs to."""
+
+    RAM = "ram"
+    STACK = "stack"
+
+
+class CellKind(enum.Enum):
+    """What the owning cell is, which decides how to apply a flip."""
+
+    STATE = "state"  #: persistent module state (RAM)
+    SIGNAL = "signal"  #: output-signal backing store (RAM)
+    ARG = "arg"  #: marshaled input argument (stack)
+    LOCAL = "local"  #: declared local temporary (stack)
+
+
+@dataclass(frozen=True)
+class MemoryLocation:
+    """One injectable byte location."""
+
+    index: int  #: position in the memory map's location list
+    region: Region
+    kind: CellKind
+    module: str  #: owning module
+    cell: str  #: state-cell / signal / port / local name
+    byte_offset: int  #: which byte of the cell (0 = least significant)
+    cell_width: int  #: total bit width of the owning cell
+
+    @property
+    def valid_bits(self) -> int:
+        """Number of injectable bits in this byte (1..8)."""
+        remaining = self.cell_width - 8 * self.byte_offset
+        return max(1, min(8, remaining))
+
+    def bit_in_cell(self, bit_in_byte: int) -> int:
+        """Translate a byte-relative bit index to a cell-relative one."""
+        if not 0 <= bit_in_byte < self.valid_bits:
+            raise InjectionError(
+                f"bit {bit_in_byte} out of range for location {self.label} "
+                f"({self.valid_bits} valid bits)"
+            )
+        return 8 * self.byte_offset + bit_in_byte
+
+    @property
+    def label(self) -> str:
+        suffix = f"+{self.byte_offset}" if self.byte_offset else ""
+        # a module may have a state variable and a produced signal of
+        # the same name (CLOCK's mscnt); keep their labels distinct
+        kind = ".store" if self.kind is CellKind.SIGNAL else ""
+        return f"{self.region.value}:{self.module}.{self.cell}{kind}{suffix}"
+
+
+def _bytes_of(width: int) -> int:
+    return (width + 7) // 8
+
+
+class MemoryMap:
+    """The complete injectable address space of one system."""
+
+    def __init__(self, system: SystemModel):
+        self.system = system
+        self._locations: List[MemoryLocation] = []
+        self._build()
+
+    def _add(self, region: Region, kind: CellKind, module: str,
+             cell: str, width: int) -> None:
+        for offset in range(_bytes_of(width)):
+            self._locations.append(
+                MemoryLocation(
+                    index=len(self._locations),
+                    region=region,
+                    kind=kind,
+                    module=module,
+                    cell=cell,
+                    byte_offset=offset,
+                    cell_width=width,
+                )
+            )
+
+    def _build(self) -> None:
+        for module in self.system.modules():
+            # RAM: persistent state cells
+            for spec in module.state.specs():
+                self._add(
+                    Region.RAM, CellKind.STATE, module.name,
+                    spec.name, spec.width,
+                )
+            # RAM: backing stores of produced signals
+            for port in module.outputs:
+                signal = self.system.signal_of_output(module.name, port)
+                width = self.system.signal(signal).width
+                self._add(
+                    Region.RAM, CellKind.SIGNAL, module.name, signal, width,
+                )
+        for module in self.system.modules():
+            # Stack: marshaled arguments
+            for port in module.inputs:
+                signal = self.system.signal_of_input(module.name, port)
+                width = self.system.signal(signal).width
+                self._add(
+                    Region.STACK, CellKind.ARG, module.name, port, width,
+                )
+            # Stack: declared locals
+            for spec in module.local_specs:
+                self._add(
+                    Region.STACK, CellKind.LOCAL, module.name,
+                    spec.name, spec.width,
+                )
+
+    # ------------------------------------------------------------------
+    # Access.
+    # ------------------------------------------------------------------
+    def locations(
+        self, region: Optional[Region] = None
+    ) -> List[MemoryLocation]:
+        if region is None:
+            return list(self._locations)
+        return [loc for loc in self._locations if loc.region is region]
+
+    def location(self, index: int) -> MemoryLocation:
+        if not 0 <= index < len(self._locations):
+            raise InjectionError(
+                f"memory location index {index} out of range "
+                f"(map has {len(self._locations)} locations)"
+            )
+        return self._locations[index]
+
+    def ram_size(self) -> int:
+        return len(self.locations(Region.RAM))
+
+    def stack_size(self) -> int:
+        return len(self.locations(Region.STACK))
+
+    def __len__(self) -> int:
+        return len(self._locations)
+
+    def describe(self) -> str:
+        """One-line-per-location rendering of the address space."""
+        lines = [
+            f"memory map: {self.ram_size()} RAM + {self.stack_size()} "
+            f"stack locations"
+        ]
+        lines.extend(
+            f"  [{loc.index:3d}] {loc.label} "
+            f"({loc.kind.value}, {loc.valid_bits} bits)"
+            for loc in self._locations
+        )
+        return "\n".join(lines)

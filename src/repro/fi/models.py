@@ -1,0 +1,132 @@
+"""Error models (paper Sections 5.3, 6.2 and 7).
+
+The paper uses single bit flips throughout but varies *where* and
+*when* they strike — and shows (contribution C2) that this choice
+materially changes which EDM placement is adequate:
+
+* :class:`InputSignalFlip` — the "nice" model of Sections 5.3/6.2: one
+  bit flip in one *system input signal* (a sensor register), at one
+  point in time during the arrestment.
+* :class:`ModuleInputFlip` — the variant used to *estimate
+  permeability*: one bit flip in the value read by one *module input
+  port* at one invocation (the paper injects "in the input signals of
+  the modules").
+* :class:`PeriodicMemoryFlip` — the harsher model of Section 7: a bit
+  flip applied to one RAM or stack location periodically, every 20 ms,
+  for the whole duration of the arrestment.
+
+An error-model instance describes one *injection specification* for
+one run; campaigns generate streams of them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import InjectionError
+from repro.fi.memory import MemoryLocation
+from repro.target import constants as C
+
+__all__ = [
+    "InputSignalFlip",
+    "ModuleInputFlip",
+    "PeriodicMemoryFlip",
+    "DEFAULT_PERIOD_TICKS",
+]
+
+#: Injection period of the harsher error model: 20 ms (Section 7).
+DEFAULT_PERIOD_TICKS = int(0.020 / C.TICK_S)
+
+
+@dataclass(frozen=True)
+class InputSignalFlip:
+    """One transient bit flip in a system input signal.
+
+    The flip is applied to the signal's value right after the
+    environment refreshes it at tick ``tick`` — modelling a noisy or
+    faulty sensor disturbing exactly one sample.
+    """
+
+    signal: str
+    tick: int
+    bit: int
+
+    def __post_init__(self) -> None:
+        if self.tick < 0:
+            raise InjectionError(f"injection tick must be >= 0, got {self.tick}")
+        if self.bit < 0:
+            raise InjectionError(f"bit index must be >= 0, got {self.bit}")
+
+    @property
+    def label(self) -> str:
+        return f"input:{self.signal}@t{self.tick}b{self.bit}"
+
+
+@dataclass(frozen=True)
+class ModuleInputFlip:
+    """One transient bit flip in a module input port's read value.
+
+    Applied when *module* marshals its arguments during its
+    ``occurrence``-th invocation at or after tick ``from_tick`` —
+    i.e. the corrupted value is what the module computes with, while
+    the signal store itself stays intact, exactly like a transient
+    read error.  Used for permeability estimation.
+    """
+
+    module: str
+    port: str
+    from_tick: int
+    bit: int
+
+    def __post_init__(self) -> None:
+        if self.from_tick < 0:
+            raise InjectionError(
+                f"injection tick must be >= 0, got {self.from_tick}"
+            )
+        if self.bit < 0:
+            raise InjectionError(f"bit index must be >= 0, got {self.bit}")
+
+    @property
+    def label(self) -> str:
+        return f"arg:{self.module}.{self.port}@t{self.from_tick}b{self.bit}"
+
+
+@dataclass(frozen=True)
+class PeriodicMemoryFlip:
+    """Periodic bit flips into one RAM or stack location (Section 7).
+
+    Every ``period_ticks`` ticks the injector re-applies a flip of bit
+    ``bit_in_byte`` of the location's byte.  For RAM locations the
+    flip hits the variable between invocations; for stack locations it
+    arms a corruption that strikes the owning module's next argument
+    marshaling or local write (a corrupted stack slot is consumed when
+    the frame is live).
+    """
+
+    location: MemoryLocation
+    bit_in_byte: int
+    period_ticks: int = DEFAULT_PERIOD_TICKS
+    start_tick: int = 0
+
+    def __post_init__(self) -> None:
+        if self.period_ticks <= 0:
+            raise InjectionError(
+                f"injection period must be positive, got {self.period_ticks}"
+            )
+        if not 0 <= self.bit_in_byte < self.location.valid_bits:
+            raise InjectionError(
+                f"bit {self.bit_in_byte} invalid for location "
+                f"{self.location.label}"
+            )
+        if self.start_tick < 0:
+            raise InjectionError(
+                f"start tick must be >= 0, got {self.start_tick}"
+            )
+
+    @property
+    def label(self) -> str:
+        return (
+            f"mem:{self.location.label}b{self.bit_in_byte}"
+            f"/p{self.period_ticks}"
+        )

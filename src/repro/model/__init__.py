@@ -1,0 +1,58 @@
+"""Software system model: signals, black-box modules, wiring, execution.
+
+This package implements the paper's system model (Section 3): modular
+black-box software in which modules with numbered input and output
+ports communicate over signals, executed under a slot-based
+non-preemptive scheduler.
+"""
+
+from repro.model.graph import PropagationPath, SignalGraph
+from repro.model.module import (
+    CellSpec,
+    ExecutionContext,
+    FunctionModule,
+    Module,
+    ModuleState,
+)
+from repro.model.signal import (
+    Number,
+    SignalRole,
+    SignalSpec,
+    SignalType,
+    flip_bit,
+    quantize,
+)
+from repro.model.system import (
+    ExecutorHooks,
+    InvocationRecord,
+    IOPair,
+    PortRef,
+    SignalStore,
+    SlotSchedule,
+    SystemExecutor,
+    SystemModel,
+)
+
+__all__ = [
+    "CellSpec",
+    "ExecutionContext",
+    "ExecutorHooks",
+    "FunctionModule",
+    "InvocationRecord",
+    "IOPair",
+    "Module",
+    "ModuleState",
+    "Number",
+    "PortRef",
+    "PropagationPath",
+    "SignalGraph",
+    "SignalRole",
+    "SignalSpec",
+    "SignalStore",
+    "SignalType",
+    "SlotSchedule",
+    "SystemExecutor",
+    "SystemModel",
+    "flip_bit",
+    "quantize",
+]

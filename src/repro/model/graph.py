@@ -1,0 +1,226 @@
+"""Signal graph: propagation structure of a system model.
+
+The propagation analyses of the paper operate on a directed graph
+whose nodes are *signals* and whose edges are the module input/output
+pairs: an edge from signal *a* to signal *b* labelled ``P^M_{i,k}``
+exists when *a* is wired to input *i* of module *M* and output *k* of
+*M* drives *b*.
+
+The target system contains self-loops (``ms_slot_nbr`` feeds back into
+``CLOCK``; ``i`` feeds back into ``CALC``), so path enumeration must be
+cycle-aware: a propagation path visits each signal at most once, which
+is exactly how the paper's Fig. 4 impact tree unrolls the ``i``
+self-loop a single time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import AnalysisError, UnknownSignalError
+from repro.model.system import IOPair, SystemModel
+
+__all__ = ["PropagationPath", "SignalGraph"]
+
+
+@dataclass(frozen=True)
+class PropagationPath:
+    """One acyclic propagation path through the signal graph.
+
+    ``edges`` is the ordered tuple of I/O pairs traversed; ``signals``
+    is the corresponding signal sequence (one longer than ``edges``).
+    """
+
+    edges: Tuple[IOPair, ...]
+
+    def __post_init__(self) -> None:
+        if not self.edges:
+            raise AnalysisError("a propagation path needs at least one edge")
+        for prev, nxt in zip(self.edges, self.edges[1:]):
+            if prev.out_signal != nxt.in_signal:
+                raise AnalysisError(
+                    f"discontinuous path: {prev.out_signal!r} -> "
+                    f"{nxt.in_signal!r}"
+                )
+
+    @property
+    def source(self) -> str:
+        return self.edges[0].in_signal
+
+    @property
+    def destination(self) -> str:
+        return self.edges[-1].out_signal
+
+    @property
+    def signals(self) -> Tuple[str, ...]:
+        return (self.edges[0].in_signal,) + tuple(
+            e.out_signal for e in self.edges
+        )
+
+    def weight(self, permeability_of) -> float:
+        """Product of permeabilities along the path (Fig. 4's ``w_i``).
+
+        *permeability_of* maps an :class:`IOPair` to its permeability
+        value; typically ``PermeabilityMatrix.__getitem__``.
+        """
+        w = 1.0
+        for edge in self.edges:
+            w *= float(permeability_of(edge))
+        return w
+
+    def describe(self) -> str:
+        """Human-readable path, e.g. ``pulscnt -[P^CALC_{3,1}]-> i -...``."""
+        parts = [self.edges[0].in_signal]
+        for edge in self.edges:
+            parts.append(f"-[{edge.label}]-> {edge.out_signal}")
+        return " ".join(parts)
+
+    def __len__(self) -> int:
+        return len(self.edges)
+
+
+class SignalGraph:
+    """Directed signal-to-signal propagation graph of a system."""
+
+    def __init__(self, system: SystemModel):
+        self.system = system
+        self._out_edges: Dict[str, List[IOPair]] = {
+            name: [] for name in system.signal_names()
+        }
+        self._in_edges: Dict[str, List[IOPair]] = {
+            name: [] for name in system.signal_names()
+        }
+        for pair in system.io_pairs():
+            self._out_edges[pair.in_signal].append(pair)
+            self._in_edges[pair.out_signal].append(pair)
+
+    # ------------------------------------------------------------------
+    # Basic structure.
+    # ------------------------------------------------------------------
+    def signals(self) -> List[str]:
+        return self.system.signal_names()
+
+    def out_edges(self, signal: str) -> List[IOPair]:
+        self._check(signal)
+        return list(self._out_edges[signal])
+
+    def in_edges(self, signal: str) -> List[IOPair]:
+        self._check(signal)
+        return list(self._in_edges[signal])
+
+    def _check(self, signal: str) -> None:
+        if signal not in self._out_edges:
+            raise UnknownSignalError(signal, self._out_edges)
+
+    # ------------------------------------------------------------------
+    # Path enumeration.
+    # ------------------------------------------------------------------
+    def paths(
+        self,
+        source: str,
+        destination: str,
+        max_length: Optional[int] = None,
+    ) -> List[PropagationPath]:
+        """All acyclic propagation paths from *source* to *destination*.
+
+        Each signal appears at most once per path; a self-loop edge
+        (``in_signal == out_signal``) can therefore never be part of a
+        path, matching the paper's single unrolling of feedback loops.
+        """
+        self._check(source)
+        self._check(destination)
+        found: List[PropagationPath] = []
+        limit = max_length if max_length is not None else len(self._out_edges)
+
+        def visit(signal: str, trail: List[IOPair], seen: Set[str]) -> None:
+            if len(trail) >= limit:
+                return
+            for edge in self._out_edges[signal]:
+                nxt = edge.out_signal
+                if nxt in seen:
+                    continue
+                trail.append(edge)
+                if nxt == destination:
+                    found.append(PropagationPath(tuple(trail)))
+                else:
+                    seen.add(nxt)
+                    visit(nxt, trail, seen)
+                    seen.remove(nxt)
+                trail.pop()
+
+        visit(source, [], {source})
+        return found
+
+    def paths_to_outputs(
+        self, source: str, outputs: Optional[Sequence[str]] = None
+    ) -> List[PropagationPath]:
+        """All acyclic paths from *source* to any system output signal."""
+        targets = list(outputs) if outputs is not None else self.system.system_outputs()
+        result: List[PropagationPath] = []
+        for target in targets:
+            if target == source:
+                continue
+            result.extend(self.paths(source, target))
+        return result
+
+    def paths_from_inputs(
+        self, destination: str, inputs: Optional[Sequence[str]] = None
+    ) -> List[PropagationPath]:
+        """All acyclic paths from any system input signal to *destination*."""
+        sources = list(inputs) if inputs is not None else self.system.system_inputs()
+        result: List[PropagationPath] = []
+        for source in sources:
+            if source == destination:
+                continue
+            result.extend(self.paths(source, destination))
+        return result
+
+    # ------------------------------------------------------------------
+    # Reachability.
+    # ------------------------------------------------------------------
+    def reachable_from(self, source: str) -> Set[str]:
+        """Signals reachable from *source* along propagation edges."""
+        self._check(source)
+        seen: Set[str] = set()
+        stack = [source]
+        while stack:
+            current = stack.pop()
+            for edge in self._out_edges[current]:
+                if edge.out_signal not in seen:
+                    seen.add(edge.out_signal)
+                    stack.append(edge.out_signal)
+        return seen
+
+    def reaching(self, destination: str) -> Set[str]:
+        """Signals from which *destination* is reachable."""
+        self._check(destination)
+        seen: Set[str] = set()
+        stack = [destination]
+        while stack:
+            current = stack.pop()
+            for edge in self._in_edges[current]:
+                if edge.in_signal not in seen:
+                    seen.add(edge.in_signal)
+                    stack.append(edge.in_signal)
+        return seen
+
+    def has_cycle(self) -> bool:
+        """True if the signal graph contains any directed cycle."""
+        colors: Dict[str, int] = {}
+
+        def dfs(node: str) -> bool:
+            colors[node] = 1
+            for edge in self._out_edges[node]:
+                nxt = edge.out_signal
+                state = colors.get(nxt, 0)
+                if state == 1:
+                    return True
+                if state == 0 and dfs(nxt):
+                    return True
+            colors[node] = 2
+            return False
+
+        return any(
+            colors.get(node, 0) == 0 and dfs(node) for node in self._out_edges
+        )

@@ -1,0 +1,221 @@
+"""Signals: the software channels for data communication between modules.
+
+The paper (Section 3) uses *signal* in an abstract manner: "a software
+channel for data communication between modules", regardless of whether
+the concrete mechanism is shared memory, messaging or parameter passing.
+A signal is produced by exactly one source (a module output port or the
+environment, for system inputs) and may fan out to any number of module
+input ports.
+
+This module defines the value model for signals:
+
+* :class:`SignalType` — the small set of data types found in the kind of
+  embedded control software the paper targets (fixed-width integers and
+  booleans; floats are supported for plant-side quantities).
+* :class:`SignalSpec` — the static description of one signal: name,
+  type, bit width, valid range and role in the system.
+* :class:`SignalRole` — whether the signal is a system input, a system
+  output, or an internal (intermediate) signal.  The roles drive both
+  the analyses (impact is measured *onto* system outputs, exposure is
+  undefined *for* system inputs) and the error models (the "nice" error
+  model of Section 6.2 only disturbs system inputs).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Tuple, Union
+
+from repro.errors import ModelError
+
+__all__ = [
+    "SignalType",
+    "SignalRole",
+    "SignalSpec",
+    "quantize",
+    "make_quantizer",
+    "flip_bit",
+    "Number",
+]
+
+Number = Union[int, float, bool]
+
+
+class SignalType(enum.Enum):
+    """Data type carried by a signal."""
+
+    UINT = "uint"  #: unsigned fixed-width integer (HW registers, counters)
+    INT = "int"  #: signed fixed-width integer (two's complement)
+    BOOL = "bool"  #: boolean flag, stored in a full cell (0 or 1)
+    FLOAT = "float"  #: floating point (plant-side / analysis quantities)
+
+
+class SignalRole(enum.Enum):
+    """Role of a signal with respect to the system boundary."""
+
+    SYSTEM_INPUT = "system_input"
+    SYSTEM_OUTPUT = "system_output"
+    INTERNAL = "internal"
+
+
+def _mask(width: int) -> int:
+    return (1 << width) - 1
+
+
+def quantize(value: Number, sig_type: SignalType, width: int) -> Number:
+    """Quantize *value* to the representable range of the signal type.
+
+    Integer types wrap modulo ``2**width`` exactly like the hardware
+    registers of the embedded target would; booleans collapse to 0/1;
+    floats pass through unchanged.
+    """
+    if sig_type is SignalType.FLOAT:
+        return float(value)
+    if sig_type is SignalType.BOOL:
+        return 1 if value else 0
+    ivalue = int(value) & _mask(width)
+    if sig_type is SignalType.INT and ivalue >= (1 << (width - 1)):
+        ivalue -= 1 << width
+    return ivalue
+
+
+def make_quantizer(sig_type: SignalType, width: int):
+    """Precompiled quantizer for one (type, width) representation.
+
+    Semantically identical to :func:`quantize` with the same
+    arguments, but with the type dispatch and bit mask resolved once —
+    the simulator quantizes on every signal store and state write, so
+    this is the hottest arithmetic in a fault-injection campaign.
+    """
+    if sig_type is SignalType.FLOAT:
+        return float
+    if sig_type is SignalType.BOOL:
+        return lambda value: 1 if value else 0
+    mask = _mask(width)
+    if sig_type is SignalType.UINT:
+        return lambda value: int(value) & mask
+    sign_bit = 1 << (width - 1)
+    full = 1 << width
+
+    def quantize_int(value: Number) -> int:
+        ivalue = int(value) & mask
+        return ivalue - full if ivalue >= sign_bit else ivalue
+
+    return quantize_int
+
+
+def flip_bit(value: Number, bit: int, sig_type: SignalType, width: int) -> Number:
+    """Return *value* with bit *bit* flipped, re-quantized to the type.
+
+    For floats the bit flip is applied to the integer part interpreted
+    as a fixed-point number scaled by 2**16; the target software under
+    study uses integer arithmetic so float signals only appear on the
+    plant side, where analyses never inject.
+    """
+    if not 0 <= bit < width:
+        raise ModelError(f"bit index {bit} out of range for width {width}")
+    if sig_type is SignalType.FLOAT:
+        scaled = int(round(float(value) * 65536.0))
+        scaled ^= 1 << bit
+        return scaled / 65536.0
+    raw = int(value) & _mask(width)
+    raw ^= 1 << bit
+    return quantize(raw, sig_type, width)
+
+
+@dataclass(frozen=True)
+class SignalSpec:
+    """Static description of one signal.
+
+    Parameters
+    ----------
+    name:
+        Unique signal name within a system (e.g. ``"pulscnt"``).
+    sig_type:
+        Data type carried by the signal.
+    width:
+        Bit width of the signal's storage cell.  Defaults to 16, the
+        natural word size of the micro-controller class the paper's
+        target system runs on.
+    initial:
+        Reset value of the signal.
+    minimum / maximum:
+        Optional specification bounds used by executable assertions and
+        by validity checks; these are *specified* behaviour, not the
+        representable range.
+    role:
+        System-boundary role; see :class:`SignalRole`.
+    description:
+        Free-text description used in reports.
+    """
+
+    name: str
+    sig_type: SignalType = SignalType.UINT
+    width: int = 16
+    initial: Number = 0
+    minimum: Optional[float] = None
+    maximum: Optional[float] = None
+    role: SignalRole = SignalRole.INTERNAL
+    description: str = ""
+    unit: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ModelError("signal name must be non-empty")
+        if self.width <= 0 or self.width > 64:
+            raise ModelError(
+                f"signal {self.name!r}: width must be in 1..64, got {self.width}"
+            )
+        if self.sig_type is SignalType.BOOL and self.width > 8:
+            raise ModelError(
+                f"boolean signal {self.name!r} must fit a byte cell "
+                f"(width <= 8), got {self.width}"
+            )
+        if (
+            self.minimum is not None
+            and self.maximum is not None
+            and self.minimum > self.maximum
+        ):
+            raise ModelError(
+                f"signal {self.name!r}: minimum {self.minimum} exceeds "
+                f"maximum {self.maximum}"
+            )
+
+    @property
+    def is_system_input(self) -> bool:
+        return self.role is SignalRole.SYSTEM_INPUT
+
+    @property
+    def is_system_output(self) -> bool:
+        return self.role is SignalRole.SYSTEM_OUTPUT
+
+    @property
+    def is_internal(self) -> bool:
+        return self.role is SignalRole.INTERNAL
+
+    def quantize(self, value: Number) -> Number:
+        """Quantize *value* to this signal's representation."""
+        return quantize(value, self.sig_type, self.width)
+
+    def flip_bit(self, value: Number, bit: int) -> Number:
+        """Return *value* with *bit* flipped in this signal's representation."""
+        return flip_bit(value, bit, self.sig_type, self.width)
+
+    def in_spec(self, value: Number) -> bool:
+        """True if *value* lies within the specified min/max bounds."""
+        if self.minimum is not None and value < self.minimum:
+            return False
+        if self.maximum is not None and value > self.maximum:
+            return False
+        return True
+
+    def representable_range(self) -> Tuple[float, float]:
+        """The (low, high) range representable by the signal's cell."""
+        if self.sig_type is SignalType.FLOAT:
+            return (float("-inf"), float("inf"))
+        if self.sig_type is SignalType.BOOL:
+            return (0, 1)
+        if self.sig_type is SignalType.INT:
+            return (-(1 << (self.width - 1)), (1 << (self.width - 1)) - 1)
+        return (0, (1 << self.width) - 1)

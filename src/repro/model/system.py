@@ -1,0 +1,516 @@
+"""System model: modules wired together by signals, plus execution.
+
+A :class:`SystemModel` is the static description of a modular software
+system in the sense of the paper's Section 3: a set of black-box
+modules, a set of signals, and the wiring between them.  Every signal
+is driven either by exactly one module output port or, for system
+input signals, by the environment; every module input port reads
+exactly one signal.
+
+The runtime side consists of:
+
+* :class:`SignalStore` — current value of every signal (the shared
+  memory through which the modules communicate);
+* :class:`SlotSchedule` — the slot-based, non-preemptive schedule of
+  the target class of systems ("The scheduling is slot-based and
+  non-preemptive", Section 4.1);
+* :class:`SystemExecutor` — drives the modules tick by tick, with hook
+  points used by the fault-injection substrate (argument marshaling,
+  local writes, post-invocation output stores) and by the EDM
+  substrate (signal monitors evaluated after each producing
+  invocation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.errors import (
+    ModelError,
+    SchedulingError,
+    UnknownModuleError,
+    UnknownSignalError,
+    WiringError,
+)
+from repro.model.module import ExecutionContext, Module
+from repro.model.signal import Number, SignalRole, SignalSpec
+
+__all__ = [
+    "PortRef",
+    "IOPair",
+    "SystemModel",
+    "SignalStore",
+    "SlotSchedule",
+    "InvocationRecord",
+    "ExecutorHooks",
+    "SystemExecutor",
+]
+
+
+@dataclass(frozen=True)
+class PortRef:
+    """Reference to one port of one module."""
+
+    module: str
+    port: str
+
+    def __str__(self) -> str:
+        return f"{self.module}.{self.port}"
+
+
+@dataclass(frozen=True)
+class IOPair:
+    """One input/output pair of a module — the unit of permeability.
+
+    ``in_index``/``out_index`` are the 1-based indices used in the
+    paper's ``P^M_{i,k}`` notation; ``in_signal``/``out_signal`` are the
+    signals wired to those ports.
+    """
+
+    module: str
+    in_index: int
+    out_index: int
+    in_port: str
+    out_port: str
+    in_signal: str
+    out_signal: str
+
+    @property
+    def label(self) -> str:
+        """The paper's name for this permeability, e.g. ``P^CALC_{3,1}``."""
+        return f"P^{self.module}_{{{self.in_index},{self.out_index}}}"
+
+
+class SystemModel:
+    """Static wiring of modules and signals."""
+
+    def __init__(self, name: str = "system"):
+        self.name = name
+        self._modules: Dict[str, Module] = {}
+        self._signals: Dict[str, SignalSpec] = {}
+        #: signal -> producing (module, output port); absent for system inputs
+        self._producer: Dict[str, PortRef] = {}
+        #: signal -> consuming (module, input port) list
+        self._consumers: Dict[str, List[PortRef]] = {}
+        #: (module, input port) -> signal
+        self._input_binding: Dict[Tuple[str, str], str] = {}
+        #: (module, output port) -> signal
+        self._output_binding: Dict[Tuple[str, str], str] = {}
+
+    # ------------------------------------------------------------------
+    # Construction.
+    # ------------------------------------------------------------------
+    def add_module(self, module: Module) -> Module:
+        if module.name in self._modules:
+            raise ModelError(f"duplicate module name {module.name!r}")
+        self._modules[module.name] = module
+        return module
+
+    def add_signal(self, spec: SignalSpec) -> SignalSpec:
+        if spec.name in self._signals:
+            raise ModelError(f"duplicate signal name {spec.name!r}")
+        self._signals[spec.name] = spec
+        self._consumers[spec.name] = []
+        return spec
+
+    def bind_output(self, signal: str, module: str, port: str) -> None:
+        """Declare *signal* to be produced by ``module.port``."""
+        self._require_signal(signal)
+        mod = self._require_module(module)
+        if port not in mod.outputs:
+            raise WiringError(f"module {module!r} has no output port {port!r}")
+        if signal in self._producer:
+            raise WiringError(
+                f"signal {signal!r} already driven by {self._producer[signal]}"
+            )
+        if (module, port) in self._output_binding:
+            raise WiringError(
+                f"output {module}.{port} already drives signal "
+                f"{self._output_binding[(module, port)]!r}"
+            )
+        if self._signals[signal].role is SignalRole.SYSTEM_INPUT:
+            raise WiringError(
+                f"system input signal {signal!r} cannot be driven by a module"
+            )
+        self._producer[signal] = PortRef(module, port)
+        self._output_binding[(module, port)] = signal
+
+    def connect_input(self, signal: str, module: str, port: str) -> None:
+        """Wire *signal* into ``module.port``."""
+        self._require_signal(signal)
+        mod = self._require_module(module)
+        if port not in mod.inputs:
+            raise WiringError(f"module {module!r} has no input port {port!r}")
+        if (module, port) in self._input_binding:
+            raise WiringError(
+                f"input {module}.{port} already reads signal "
+                f"{self._input_binding[(module, port)]!r}"
+            )
+        self._input_binding[(module, port)] = signal
+        self._consumers[signal].append(PortRef(module, port))
+
+    def validate(self) -> None:
+        """Check the wiring is complete and consistent.
+
+        Raises :class:`WiringError` listing every problem found.
+        """
+        problems: List[str] = []
+        for mod in self._modules.values():
+            for port in mod.inputs:
+                if (mod.name, port) not in self._input_binding:
+                    problems.append(f"input {mod.name}.{port} is unconnected")
+            for port in mod.outputs:
+                if (mod.name, port) not in self._output_binding:
+                    problems.append(f"output {mod.name}.{port} drives no signal")
+        for name, spec in self._signals.items():
+            if spec.role is SignalRole.SYSTEM_INPUT:
+                if name in self._producer:
+                    problems.append(
+                        f"system input {name!r} must not have a producer"
+                    )
+            elif name not in self._producer:
+                problems.append(f"signal {name!r} has no producer")
+            if spec.role is not SignalRole.SYSTEM_OUTPUT and not self._consumers[name]:
+                problems.append(f"signal {name!r} has no consumer")
+        if problems:
+            raise WiringError(
+                "invalid system wiring:\n  " + "\n  ".join(problems)
+            )
+
+    # ------------------------------------------------------------------
+    # Queries.
+    # ------------------------------------------------------------------
+    def _require_module(self, name: str) -> Module:
+        mod = self._modules.get(name)
+        if mod is None:
+            raise UnknownModuleError(name, self._modules)
+        return mod
+
+    def _require_signal(self, name: str) -> SignalSpec:
+        spec = self._signals.get(name)
+        if spec is None:
+            raise UnknownSignalError(name, self._signals)
+        return spec
+
+    def module(self, name: str) -> Module:
+        return self._require_module(name)
+
+    def modules(self) -> List[Module]:
+        return list(self._modules.values())
+
+    def module_names(self) -> List[str]:
+        return list(self._modules)
+
+    def signal(self, name: str) -> SignalSpec:
+        return self._require_signal(name)
+
+    def signals(self) -> List[SignalSpec]:
+        return list(self._signals.values())
+
+    def signal_names(self) -> List[str]:
+        return list(self._signals)
+
+    def system_inputs(self) -> List[str]:
+        return [s.name for s in self._signals.values() if s.is_system_input]
+
+    def system_outputs(self) -> List[str]:
+        return [s.name for s in self._signals.values() if s.is_system_output]
+
+    def producer_of(self, signal: str) -> Optional[PortRef]:
+        """The (module, output port) driving *signal*; None for system inputs."""
+        self._require_signal(signal)
+        return self._producer.get(signal)
+
+    def consumers_of(self, signal: str) -> List[PortRef]:
+        self._require_signal(signal)
+        return list(self._consumers[signal])
+
+    def signal_of_input(self, module: str, port: str) -> str:
+        sig = self._input_binding.get((module, port))
+        if sig is None:
+            raise WiringError(f"input {module}.{port} is unconnected")
+        return sig
+
+    def signal_of_output(self, module: str, port: str) -> str:
+        sig = self._output_binding.get((module, port))
+        if sig is None:
+            raise WiringError(f"output {module}.{port} drives no signal")
+        return sig
+
+    def io_pairs(self, module: Optional[str] = None) -> List[IOPair]:
+        """All input/output pairs (the rows of the paper's Table 1).
+
+        With *module* given, restrict to that module's pairs.  Pairs are
+        ordered by module insertion order, then input index, then output
+        index — matching the paper's table layout.
+        """
+        mods: Iterable[Module]
+        if module is None:
+            mods = self._modules.values()
+        else:
+            mods = [self._require_module(module)]
+        pairs: List[IOPair] = []
+        for mod in mods:
+            for i, in_port in enumerate(mod.inputs, start=1):
+                for k, out_port in enumerate(mod.outputs, start=1):
+                    pairs.append(
+                        IOPair(
+                            module=mod.name,
+                            in_index=i,
+                            out_index=k,
+                            in_port=in_port,
+                            out_port=out_port,
+                            in_signal=self.signal_of_input(mod.name, in_port),
+                            out_signal=self.signal_of_output(mod.name, out_port),
+                        )
+                    )
+        return pairs
+
+    def pairs_into_signal(self, signal: str) -> List[IOPair]:
+        """All I/O pairs whose output drives *signal*.
+
+        These are the permeabilities summed by the signal error
+        exposure measure.
+        """
+        self._require_signal(signal)
+        return [p for p in self.io_pairs() if p.out_signal == signal]
+
+    def pairs_from_signal(self, signal: str) -> List[IOPair]:
+        """All I/O pairs whose input reads *signal* (fan-out edges)."""
+        self._require_signal(signal)
+        return [p for p in self.io_pairs() if p.in_signal == signal]
+
+    def module_of_state_cell(self, module: str) -> Module:
+        return self._require_module(module)
+
+
+class SignalStore:
+    """Current value of every signal, quantized to its spec."""
+
+    def __init__(self, system: SystemModel):
+        self._system = system
+        self._values: Dict[str, Number] = {}
+        # precompiled per-signal quantizers: stores are the hottest
+        # operation of a fault-injection campaign
+        from repro.model.signal import make_quantizer
+
+        self._quantizers = {
+            spec.name: make_quantizer(spec.sig_type, spec.width)
+            for spec in system.signals()
+        }
+        self.reset()
+
+    def reset(self) -> None:
+        for spec in self._system.signals():
+            self._values[spec.name] = spec.quantize(spec.initial)
+
+    def __getitem__(self, signal: str) -> Number:
+        try:
+            return self._values[signal]
+        except KeyError:
+            raise UnknownSignalError(signal, self._values) from None
+
+    def __setitem__(self, signal: str, value: Number) -> None:
+        quantizer = self._quantizers.get(signal)
+        if quantizer is None:
+            raise UnknownSignalError(signal, self._quantizers)
+        self._values[signal] = quantizer(value)
+
+    def poke(self, signal: str, value: Number) -> None:
+        """Overwrite a signal value bit-for-bit (injector interface)."""
+        self[signal] = value
+
+    def snapshot(self) -> Dict[str, Number]:
+        return dict(self._values)
+
+
+class SlotSchedule:
+    """Slot-based, non-preemptive schedule.
+
+    The schedule cycles through ``n_slots`` slots, one slot per tick.
+    Each slot runs an ordered list of modules.  Modules listed under
+    slot ``None`` (the *every-tick* list) run at the start of every
+    tick, before the slot's own modules — the target's ``CLOCK`` is
+    scheduled this way so that ``mscnt`` counts every tick.
+    """
+
+    def __init__(self, n_slots: int):
+        if n_slots <= 0:
+            raise SchedulingError(f"n_slots must be positive, got {n_slots}")
+        self.n_slots = n_slots
+        self._every_tick: List[str] = []
+        self._slots: Dict[int, List[str]] = {i: [] for i in range(n_slots)}
+
+    def every_tick(self, module: str) -> "SlotSchedule":
+        self._every_tick.append(module)
+        return self
+
+    def assign(self, slot: int, module: str) -> "SlotSchedule":
+        if not 0 <= slot < self.n_slots:
+            raise SchedulingError(
+                f"slot {slot} out of range 0..{self.n_slots - 1}"
+            )
+        self._slots[slot].append(module)
+        return self
+
+    def modules_for_tick(self, tick: int) -> List[str]:
+        slot = tick % self.n_slots
+        return self._every_tick + self._slots[slot]
+
+    def slot_of_tick(self, tick: int) -> int:
+        return tick % self.n_slots
+
+    def all_modules(self) -> List[str]:
+        seen: List[str] = []
+        for name in self._every_tick + [
+            m for slot in range(self.n_slots) for m in self._slots[slot]
+        ]:
+            if name not in seen:
+                seen.append(name)
+        return seen
+
+    def validate_against(self, system: SystemModel) -> None:
+        known = set(system.module_names())
+        scheduled = set(self.all_modules())
+        unknown = scheduled - known
+        if unknown:
+            raise SchedulingError(
+                f"schedule references unknown modules {sorted(unknown)}"
+            )
+        unscheduled = known - scheduled
+        if unscheduled:
+            raise SchedulingError(
+                f"modules never scheduled: {sorted(unscheduled)}"
+            )
+
+
+@dataclass
+class InvocationRecord:
+    """What one module invocation consumed and produced."""
+
+    tick: int
+    module: str
+    inputs: Dict[str, Number]
+    outputs: Dict[str, Number]
+
+
+@dataclass
+class ExecutorHooks:
+    """Hook points for fault injection and monitoring.
+
+    All hooks are optional.  ``marshal`` may rewrite the argument dict
+    (stack-area injection into arguments); ``local_write`` may rewrite
+    a local's stored value (stack-area injection into locals);
+    ``pre_tick`` runs before any module of the tick (RAM-area
+    injection between invocations); ``post_invoke`` observes each
+    completed invocation (EDM monitors, tracing).
+    """
+
+    pre_tick: Optional[Callable[[int], None]] = None
+    marshal: Optional[
+        Callable[[str, Dict[str, Number]], Dict[str, Number]]
+    ] = None
+    local_write: Optional[Callable[[str, str, Number], Number]] = None
+    post_invoke: Optional[Callable[[InvocationRecord], None]] = None
+    post_tick: Optional[Callable[[int], None]] = None
+
+
+class SystemExecutor:
+    """Tick-by-tick executor for a validated system model."""
+
+    def __init__(
+        self,
+        system: SystemModel,
+        schedule: SlotSchedule,
+        hooks: Optional[ExecutorHooks] = None,
+    ):
+        system.validate()
+        schedule.validate_against(system)
+        self.system = system
+        self.schedule = schedule
+        self.hooks = hooks or ExecutorHooks()
+        self.store = SignalStore(system)
+        self.tick = 0
+        # resolved wiring, precomputed for the per-invocation hot path
+        self._bindings: Dict[str, Tuple[Module, List[Tuple[str, str]],
+                                        List[Tuple[str, str]]]] = {}
+        for module in system.modules():
+            inputs = [
+                (port, system.signal_of_input(module.name, port))
+                for port in module.inputs
+            ]
+            outputs = [
+                (port, system.signal_of_output(module.name, port))
+                for port in module.outputs
+            ]
+            self._bindings[module.name] = (module, inputs, outputs)
+
+    def reset(self) -> None:
+        self.store.reset()
+        for module in self.system.modules():
+            module.reset()
+        self.tick = 0
+
+    def run_tick(self) -> List[InvocationRecord]:
+        """Run one scheduler tick; return the invocations performed."""
+        self.begin_tick()
+        records = [
+            self.invoke(name)
+            for name in self.schedule.modules_for_tick(self.tick)
+        ]
+        self.end_tick()
+        return records
+
+    def begin_tick(self) -> None:
+        """Start a tick: fire the pre-tick hook (RAM-area injection point).
+
+        Use together with :meth:`invoke` and :meth:`end_tick` when the
+        set of modules to run is not known up front — the target system's
+        scheduler reads the ``ms_slot_nbr`` signal *produced during the
+        tick* to decide which slot's modules to dispatch.
+        """
+        if self.hooks.pre_tick is not None:
+            self.hooks.pre_tick(self.tick)
+
+    def end_tick(self) -> None:
+        """Finish a tick: fire the post-tick hook and advance the tick."""
+        if self.hooks.post_tick is not None:
+            self.hooks.post_tick(self.tick)
+        self.tick += 1
+
+    def invoke(self, module_name: str) -> InvocationRecord:
+        binding = self._bindings.get(module_name)
+        if binding is None:
+            raise UnknownModuleError(module_name, self._bindings)
+        module, input_binding, output_binding = binding
+        store = self.store
+        args = {port: store[signal] for port, signal in input_binding}
+        if self.hooks.marshal is not None:
+            args = self.hooks.marshal(module_name, args)
+        ctx = ExecutionContext(module, args, local_hook=self.hooks.local_write)
+        outputs = module.invoke(ctx)
+        stored: Dict[str, Number] = {}
+        for port, signal in output_binding:
+            store[signal] = outputs[port]
+            stored[port] = store[signal]
+        record = InvocationRecord(
+            tick=self.tick, module=module_name, inputs=args, outputs=stored
+        )
+        if self.hooks.post_invoke is not None:
+            self.hooks.post_invoke(record)
+        return record
+
+    def run(self, ticks: int) -> None:
+        for _ in range(ticks):
+            self.run_tick()

@@ -1,0 +1,42 @@
+"""PROPANE-style campaign orchestration.
+
+Named after the tool the paper's campaigns ran on (reference [8]):
+declarative experiment *descriptions*, a directory-backed experiment
+*database* with persisted results, and *readouts* that render the
+statistics.  Typical use::
+
+    from repro.propane import (
+        CampaignKind, ExperimentDatabase, ExperimentDescription, readout,
+    )
+
+    db = ExperimentDatabase("experiments/")
+    db.add(ExperimentDescription(
+        name="perm-envelope",
+        kind=CampaignKind.PERMEABILITY,
+        test_case_ids=(0, 6, 12, 18, 24),
+        params={"runs_per_input": 24},
+    ))
+    results = db.run_all()
+    print(readout(results["perm-envelope"]))
+"""
+
+from repro.propane.database import ExperimentDatabase
+from repro.propane.description import CampaignKind, ExperimentDescription
+from repro.propane.readout import (
+    detection_readout,
+    memory_readout,
+    permeability_readout,
+    readout,
+)
+from repro.propane.runner import run_description
+
+__all__ = [
+    "CampaignKind",
+    "ExperimentDatabase",
+    "ExperimentDescription",
+    "detection_readout",
+    "memory_readout",
+    "permeability_readout",
+    "readout",
+    "run_description",
+]

@@ -1,0 +1,146 @@
+"""Directory-backed experiment database.
+
+One directory holds, per experiment, a description file
+(``<name>.desc.json``), a result file (``<name>.result.json``, written
+by :mod:`repro.fi.serialization`) and a status file
+(``<name>.status.json`` with timing and completion metadata) — so a
+long injection plan survives interruptions and re-runs skip completed
+experiments unless forced.
+
+Recovery-campaign results have no serializer (they are cheap to
+re-run and their outcome objects carry simulator-specific labels), so
+RECOVERY experiments are run-only: their results are returned but not
+persisted.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Union
+
+from repro.errors import ExperimentError
+from repro.fi.serialization import load_json, save_json
+from repro.propane.description import CampaignKind, ExperimentDescription
+from repro.propane.runner import run_description
+
+__all__ = ["ExperimentDatabase"]
+
+
+class ExperimentDatabase:
+    """A plan of experiments plus their persisted outcomes."""
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # Paths.
+    # ------------------------------------------------------------------
+    def _desc_path(self, name: str) -> Path:
+        return self.root / f"{name}.desc.json"
+
+    def _result_path(self, name: str) -> Path:
+        return self.root / f"{name}.result.json"
+
+    def _status_path(self, name: str) -> Path:
+        return self.root / f"{name}.status.json"
+
+    # ------------------------------------------------------------------
+    # Plan management.
+    # ------------------------------------------------------------------
+    def add(self, description: ExperimentDescription) -> None:
+        """Register a description (idempotent if unchanged)."""
+        path = self._desc_path(description.name)
+        payload = json.dumps(description.to_dict(), indent=2)
+        if path.exists() and path.read_text() != payload:
+            raise ExperimentError(
+                f"experiment {description.name!r} already exists with a "
+                f"different description; remove it or choose a new name"
+            )
+        path.write_text(payload)
+
+    def names(self) -> List[str]:
+        return sorted(
+            p.name[: -len(".desc.json")]
+            for p in self.root.glob("*.desc.json")
+        )
+
+    def description(self, name: str) -> ExperimentDescription:
+        path = self._desc_path(name)
+        if not path.exists():
+            raise ExperimentError(f"no experiment {name!r} in {self.root}")
+        return ExperimentDescription.from_dict(
+            json.loads(path.read_text())
+        )
+
+    def is_complete(self, name: str) -> bool:
+        status = self.status(name)
+        return bool(status and status.get("completed"))
+
+    def status(self, name: str) -> Optional[Dict]:
+        path = self._status_path(name)
+        if not path.exists():
+            return None
+        return json.loads(path.read_text())
+
+    # ------------------------------------------------------------------
+    # Execution.
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        name: str,
+        factory: Optional[Callable] = None,
+        force: bool = False,
+    ):
+        """Run one experiment; persists and returns its result.
+
+        Completed experiments are loaded from disk unless *force*.
+        """
+        description = self.description(name)
+        if (
+            not force
+            and self.is_complete(name)
+            and description.kind is not CampaignKind.RECOVERY
+        ):
+            return load_json(self._result_path(name))
+        started = time.time()
+        result = run_description(description, factory)
+        elapsed = time.time() - started
+        if description.kind is not CampaignKind.RECOVERY:
+            save_json(result, self._result_path(name))
+        self._status_path(name).write_text(
+            json.dumps(
+                {
+                    "completed": True,
+                    "elapsed_seconds": elapsed,
+                    "kind": description.kind.value,
+                    "persisted": (
+                        description.kind is not CampaignKind.RECOVERY
+                    ),
+                },
+                indent=2,
+            )
+        )
+        return result
+
+    def run_all(
+        self,
+        factory: Optional[Callable] = None,
+        force: bool = False,
+    ) -> Dict[str, object]:
+        """Run every registered experiment; returns name -> result."""
+        return {
+            name: self.run(name, factory=factory, force=force)
+            for name in self.names()
+        }
+
+    def result(self, name: str):
+        """Load a persisted result without running anything."""
+        path = self._result_path(name)
+        if not path.exists():
+            raise ExperimentError(
+                f"experiment {name!r} has no persisted result"
+            )
+        return load_json(path)

@@ -1,0 +1,135 @@
+"""Declarative experiment descriptions.
+
+The paper's campaigns were driven by PROPANE ("A Tool for Examining
+the Behavior of Faults and Errors in Software", the paper's reference
+[8]), which separates the *description* of an injection experiment
+from its execution and readout.  An :class:`ExperimentDescription`
+captures everything needed to run one campaign reproducibly:
+
+* which campaign kind (permeability / detection / memory / recovery);
+* the workload (test-case selection out of the standard envelope);
+* the campaign parameters (run counts, targets, location stride,
+  injection period);
+* the seed.
+
+Descriptions serialize to plain dictionaries (and therefore JSON), so
+an experiment plan can live in version control next to the code it
+exercises.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.errors import ExperimentError
+
+__all__ = ["CampaignKind", "ExperimentDescription"]
+
+
+class CampaignKind(enum.Enum):
+    PERMEABILITY = "permeability"
+    DETECTION = "detection"
+    MEMORY = "memory"
+    RECOVERY = "recovery"
+
+
+#: parameter names accepted per campaign kind (beyond the common ones)
+_KIND_PARAMS = {
+    CampaignKind.PERMEABILITY: {"runs_per_input", "direct_only"},
+    CampaignKind.DETECTION: {"runs_per_signal", "targets"},
+    CampaignKind.MEMORY: {"location_stride", "period_ticks"},
+    CampaignKind.RECOVERY: {"location_stride", "period_ticks"},
+}
+
+
+@dataclass(frozen=True)
+class ExperimentDescription:
+    """One reproducible campaign specification.
+
+    Parameters
+    ----------
+    name:
+        Unique identity within a database (used as the file stem).
+    kind:
+        Campaign kind.
+    test_case_ids:
+        Indices into the standard 25-case envelope; an empty tuple
+        means all 25.
+    seed:
+        Campaign RNG seed.
+    params:
+        Kind-specific parameters (see ``_KIND_PARAMS``); unknown keys
+        are rejected so that typos fail loudly at description time,
+        not after an hour of injections.
+    notes:
+        Free-text documentation carried alongside the results.
+    """
+
+    name: str
+    kind: CampaignKind
+    test_case_ids: tuple = ()
+    seed: int = 2002
+    params: Dict[str, Any] = field(default_factory=dict)
+    notes: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name or "/" in self.name:
+            raise ExperimentError(
+                f"experiment name must be a non-empty path-safe string, "
+                f"got {self.name!r}"
+            )
+        allowed = _KIND_PARAMS[self.kind]
+        unknown = set(self.params) - allowed
+        if unknown:
+            raise ExperimentError(
+                f"experiment {self.name!r}: unknown parameters "
+                f"{sorted(unknown)} for kind {self.kind.value!r} "
+                f"(allowed: {sorted(allowed)})"
+            )
+        for case_id in self.test_case_ids:
+            if not 0 <= int(case_id) < 25:
+                raise ExperimentError(
+                    f"experiment {self.name!r}: test case id {case_id} "
+                    f"out of range 0..24"
+                )
+
+    # ------------------------------------------------------------------
+    # (De)serialization.
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "kind": self.kind.value,
+            "test_case_ids": list(self.test_case_ids),
+            "seed": self.seed,
+            "params": dict(self.params),
+            "notes": self.notes,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ExperimentDescription":
+        try:
+            kind = CampaignKind(data["kind"])
+        except (KeyError, ValueError) as exc:
+            raise ExperimentError(
+                f"invalid experiment description: {exc}"
+            ) from exc
+        return cls(
+            name=data.get("name", ""),
+            kind=kind,
+            test_case_ids=tuple(data.get("test_case_ids", ())),
+            seed=int(data.get("seed", 2002)),
+            params=dict(data.get("params", {})),
+            notes=data.get("notes", ""),
+        )
+
+    def resolve_test_cases(self):
+        """Materialize the selected test cases."""
+        from repro.target.testcases import standard_test_cases
+
+        cases = standard_test_cases()
+        if not self.test_case_ids:
+            return cases
+        return [cases[int(i)] for i in self.test_case_ids]

@@ -1,0 +1,136 @@
+"""Readouts: turning persisted campaign results into reports.
+
+PROPANE's third stage after description and execution.  Each readout
+takes a campaign result and renders the analysis the paper's
+corresponding table draws from it, with the statistical treatment from
+:mod:`repro.analysis.coverage` applied.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from repro.analysis.coverage import (
+    binomial_estimate,
+    detection_estimates,
+    memory_estimates,
+)
+from repro.analysis.tables import render_table
+from repro.edm.catalogue import EH_SET, PA_SET, assertion_names_for_signals
+from repro.errors import ExperimentError
+from repro.fi.campaign import (
+    DetectionResult,
+    MemoryCampaignResult,
+    PermeabilityEstimate,
+)
+
+__all__ = [
+    "permeability_readout",
+    "detection_readout",
+    "memory_readout",
+    "readout",
+]
+
+
+def permeability_readout(estimate: PermeabilityEstimate) -> str:
+    """Per-pair estimates with Wilson intervals."""
+    rows = []
+    for (module, in_port, out_port), value in sorted(
+        estimate.values.items()
+    ):
+        n = estimate.active_runs[(module, in_port)]
+        detected = estimate.direct_counts[(module, in_port, out_port)]
+        interval = binomial_estimate(detected, n)
+        rows.append(
+            (
+                module, in_port, out_port, value,
+                interval.low, interval.high, n,
+            )
+        )
+    return render_table(
+        headers=[
+            "Module", "Input", "Output", "P", "low95", "high95", "n",
+        ],
+        rows=rows,
+        title="permeability readout (Wilson 95 % intervals)",
+    )
+
+
+def detection_readout(
+    result: DetectionResult,
+    ea_subsets: Optional[dict] = None,
+) -> str:
+    """Per-target coverage with intervals, per EA set."""
+    subsets = (
+        ea_subsets
+        if ea_subsets is not None
+        else {
+            "EH": assertion_names_for_signals(EH_SET),
+            "PA": assertion_names_for_signals(PA_SET),
+        }
+    )
+    sections = []
+    for set_name, eas in subsets.items():
+        estimates = detection_estimates(result, eas)
+        rows = [
+            (
+                target,
+                result.n_err[target],
+                est.point, est.low, est.high,
+            )
+            for target, est in estimates.items()
+        ]
+        latency = result.latency_stats(ea_subset=eas)
+        table = render_table(
+            headers=["Target", "n_err", "coverage", "low95", "high95"],
+            rows=rows,
+            title=f"detection readout: {set_name}-set",
+        )
+        sections.append(
+            table
+            + f"\nfirst-detection latency: mean {latency.mean:.1f} ticks, "
+            f"median {latency.median:.1f}, max {latency.maximum} "
+            f"({latency.count} detections)"
+        )
+    return "\n\n".join(sections)
+
+
+def memory_readout(
+    result: MemoryCampaignResult,
+    ea_subsets: Optional[dict] = None,
+) -> str:
+    """Per-region coverage with intervals, per EA set."""
+    subsets = (
+        ea_subsets
+        if ea_subsets is not None
+        else {
+            "EH": assertion_names_for_signals(EH_SET),
+            "PA": assertion_names_for_signals(PA_SET),
+        }
+    )
+    rows = []
+    for set_name, eas in subsets.items():
+        estimates = memory_estimates(result, eas)
+        for area in ("ram", "stack", "total"):
+            est = estimates[area]
+            rows.append(
+                (set_name, area, est.point, est.low, est.high, est.n)
+            )
+    return render_table(
+        headers=["EA set", "Area", "coverage", "low95", "high95", "n"],
+        rows=rows,
+        title="memory-model readout (Wilson/stratified 95 % intervals)",
+    )
+
+
+def readout(result) -> str:
+    """Dispatch on the result type."""
+    if isinstance(result, PermeabilityEstimate):
+        return permeability_readout(result)
+    if isinstance(result, DetectionResult):
+        return detection_readout(result)
+    if isinstance(result, MemoryCampaignResult):
+        return memory_readout(result)
+    raise ExperimentError(
+        f"no readout for result type {type(result).__name__}"
+    )

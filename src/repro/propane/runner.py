@@ -1,0 +1,80 @@
+"""Execution of experiment descriptions."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.edm.catalogue import EA_BY_NAME
+from repro.errors import ExperimentError
+from repro.fi.campaign import (
+    DetectionCampaign,
+    MemoryCampaign,
+    PermeabilityCampaign,
+    RecoveryCampaign,
+)
+from repro.fi.memory import MemoryMap
+from repro.propane.description import CampaignKind, ExperimentDescription
+from repro.target.simulation import ArrestmentSimulator
+
+__all__ = ["run_description"]
+
+
+def _default_factory(test_case):
+    return ArrestmentSimulator(test_case)
+
+
+def run_description(
+    description: ExperimentDescription,
+    factory: Optional[Callable] = None,
+):
+    """Run the campaign a description specifies; returns its result.
+
+    *factory* builds simulators per test case and defaults to the
+    standard arrestment target; pass
+    :func:`repro.target.variants.telemetry_simulator` (or your own)
+    for variant targets.
+    """
+    factory = factory or _default_factory
+    cases = description.resolve_test_cases()
+    params = description.params
+    if description.kind is CampaignKind.PERMEABILITY:
+        return PermeabilityCampaign(
+            factory,
+            cases,
+            runs_per_input=params.get("runs_per_input", 16),
+            seed=description.seed,
+            direct_only=params.get("direct_only", True),
+        ).run()
+    if description.kind is CampaignKind.DETECTION:
+        return DetectionCampaign(
+            factory,
+            cases,
+            list(EA_BY_NAME.values()),
+            runs_per_signal=params.get("runs_per_signal", 24),
+            targets=params.get("targets"),
+            seed=description.seed,
+        ).run()
+    if description.kind in (CampaignKind.MEMORY, CampaignKind.RECOVERY):
+        probe = factory(cases[0])
+        stride = int(params.get("location_stride", 1))
+        if stride <= 0:
+            raise ExperimentError(
+                f"experiment {description.name!r}: location_stride must "
+                f"be positive"
+            )
+        locations = MemoryMap(probe.system).locations()[::stride]
+        common = dict(
+            locations=locations,
+            period_ticks=params.get("period_ticks", 20),
+            seed=description.seed,
+        )
+        if description.kind is CampaignKind.MEMORY:
+            return MemoryCampaign(
+                factory, cases, list(EA_BY_NAME.values()), **common
+            ).run()
+        return RecoveryCampaign(
+            factory, cases, list(EA_BY_NAME.values()), **common
+        ).run()
+    raise ExperimentError(
+        f"unsupported campaign kind {description.kind!r}"
+    )

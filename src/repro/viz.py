@@ -1,0 +1,178 @@
+"""Graphviz DOT export of systems, trees and profiles.
+
+Dependency-free emitters producing DOT source text for the paper's
+three kinds of pictures:
+
+* :func:`system_to_dot` — the software structure (Fig. 1): modules as
+  boxes, signals as edges, system inputs/outputs as ovals;
+* :func:`tree_to_dot` — a backtrack / trace / impact tree (Fig. 4),
+  optionally annotating each edge with its permeability;
+* :func:`profile_to_dot` — the exposure or impact profile (Figs. 5-6):
+  the system structure with per-signal line styling by value band
+  (pen width for magnitude, dashed for zero, dotted for unassigned).
+
+Render with any graphviz install: ``dot -Tpng out.dot -o out.png``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.permeability import PermeabilityMatrix
+from repro.core.profile import SystemProfile, ValueBand
+from repro.core.trees import PropagationTree, TreeNode
+from repro.errors import AnalysisError
+from repro.model.system import SystemModel
+
+__all__ = ["system_to_dot", "tree_to_dot", "profile_to_dot"]
+
+
+def _quote(name: str) -> str:
+    return '"' + name.replace('"', r"\"") + '"'
+
+
+def _signal_edges(system: SystemModel) -> List[str]:
+    """Edges of the Fig.-1 style structure diagram."""
+    lines: List[str] = []
+    for spec in system.signals():
+        producer = system.producer_of(spec.name)
+        consumers = system.consumers_of(spec.name)
+        if producer is None:
+            # system input: environment node -> consumers
+            for ref in consumers:
+                lines.append(
+                    f"  {_quote(spec.name)} -> {_quote(ref.module)} "
+                    f"[label={_quote(spec.name)}];"
+                )
+            continue
+        if spec.is_system_output or not consumers:
+            lines.append(
+                f"  {_quote(producer.module)} -> {_quote(spec.name)} "
+                f"[label={_quote(spec.name)}];"
+            )
+        for ref in consumers:
+            lines.append(
+                f"  {_quote(producer.module)} -> {_quote(ref.module)} "
+                f"[label={_quote(spec.name)}];"
+            )
+    return lines
+
+
+def system_to_dot(system: SystemModel, title: Optional[str] = None) -> str:
+    """DOT source for the system's software structure (Fig. 1)."""
+    lines = [f"digraph {_quote(system.name)} {{"]
+    lines.append("  rankdir=LR;")
+    if title:
+        lines.append(f"  label={_quote(title)};")
+    lines.append("  node [shape=box];")
+    for module in system.modules():
+        lines.append(f"  {_quote(module.name)} [shape=box];")
+    for name in system.system_inputs():
+        lines.append(
+            f"  {_quote(name)} [shape=oval, style=dashed];"
+        )
+    for name in system.system_outputs():
+        lines.append(
+            f"  {_quote(name)} [shape=oval, style=bold];"
+        )
+    lines.extend(_signal_edges(system))
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def tree_to_dot(
+    tree: PropagationTree,
+    matrix: Optional[PermeabilityMatrix] = None,
+    title: Optional[str] = None,
+) -> str:
+    """DOT source for a propagation tree (e.g. the Fig. 4 impact tree).
+
+    With *matrix* given, each edge is annotated with its permeability
+    value; zero-permeability edges are drawn dashed.
+    """
+    lines = ["digraph tree {"]
+    if title:
+        lines.append(f"  label={_quote(title)};")
+    lines.append("  node [shape=ellipse];")
+    counter = [0]
+
+    def emit(node: TreeNode, parent_id: Optional[str]) -> None:
+        node_id = f"n{counter[0]}"
+        counter[0] += 1
+        lines.append(f"  {node_id} [label={_quote(node.signal)}];")
+        if parent_id is not None and node.edge is not None:
+            attrs = [f"label={_quote(node.edge.label)}"]
+            if matrix is not None:
+                value = matrix[node.edge]
+                attrs = [f"label={_quote(f'{node.edge.label} = {value:.3f}')}"]
+                if value == 0.0:
+                    attrs.append("style=dashed")
+            if tree.direction == "backward":
+                lines.append(
+                    f"  {node_id} -> {parent_id} [{', '.join(attrs)}];"
+                )
+            else:
+                lines.append(
+                    f"  {parent_id} -> {node_id} [{', '.join(attrs)}];"
+                )
+        for child in node.children:
+            emit(child, node_id)
+
+    emit(tree.root, None)
+    lines.append("}")
+    return "\n".join(lines)
+
+
+#: pen width per band, mirroring the figures' line thickness
+_BAND_STYLE: Dict[ValueBand, str] = {
+    ValueBand.HIGHEST: "penwidth=4",
+    ValueBand.HIGH: "penwidth=3",
+    ValueBand.LOW: "penwidth=2",
+    ValueBand.LOWEST: "penwidth=1",
+    ValueBand.ZERO: "style=dashed",
+    ValueBand.UNASSIGNED: "style=dotted",
+}
+
+
+def profile_to_dot(
+    profile: SystemProfile,
+    which: str = "exposure",
+    title: Optional[str] = None,
+) -> str:
+    """DOT source for the exposure (Fig. 5) or impact (Fig. 6) profile."""
+    if which not in ("exposure", "impact"):
+        raise AnalysisError(
+            f"profile selector must be 'exposure' or 'impact', got {which!r}"
+        )
+    system = profile.system
+    lines = ["digraph profile {"]
+    lines.append("  rankdir=LR;")
+    lines.append(
+        f"  label={_quote(title or f'{which} profile of {system.name}')};"
+    )
+    lines.append("  node [shape=box];")
+    for module in system.modules():
+        lines.append(f"  {_quote(module.name)};")
+    for name in system.system_inputs() + system.system_outputs():
+        lines.append(f"  {_quote(name)} [shape=oval];")
+    for spec in system.signals():
+        entry = profile.entry(spec.name)
+        band = (
+            entry.exposure_band if which == "exposure" else entry.impact_band
+        )
+        value = entry.exposure if which == "exposure" else entry.impact
+        shown = "n/a" if value is None else f"{value:.3f}"
+        style = _BAND_STYLE[band]
+        label = _quote(f"{spec.name} ({shown})")
+        producer = system.producer_of(spec.name)
+        src = producer.module if producer is not None else spec.name
+        targets = [ref.module for ref in system.consumers_of(spec.name)]
+        if spec.is_system_output:
+            targets.append(spec.name)  # edge to the output oval
+        for target in targets:
+            lines.append(
+                f"  {_quote(src)} -> {_quote(target)} "
+                f"[label={label}, {style}];"
+            )
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,55 @@
+"""The water-tank level-control target — the framework's second system.
+
+The paper's future work proposes validating the framework on alternate
+targets; this package is a complete second target with a different
+structure (parallel sensor chains, feed-forward control, two system
+outputs including a boolean alarm line) and a different mission type
+(fixed-duration regulation instead of a terminating arrestment).  Its
+simulator exposes the same hook API as the arrestment simulator, so
+every campaign driver works against it unchanged.
+"""
+
+from repro.watertank import constants
+from repro.watertank.catalogue import (
+    TANK_EA_BY_NAME,
+    TANK_EA_BY_SIGNAL,
+    tank_assertions,
+)
+from repro.watertank.modules import Alarm, Ctrl, FlowS, LevelS, Timer, ValveA
+from repro.watertank.physics import (
+    InflowProfile,
+    TankPlant,
+    TankSensorSuite,
+    TankState,
+)
+from repro.watertank.simulation import (
+    TankMissionResult,
+    TankVerdict,
+    WaterTankSimulator,
+)
+from repro.watertank.testcases import TankTestCase, standard_tank_cases
+from repro.watertank.wiring import TANK_SIGNAL_SPECS, build_watertank_system
+
+__all__ = [
+    "Alarm",
+    "Ctrl",
+    "FlowS",
+    "InflowProfile",
+    "LevelS",
+    "TANK_EA_BY_NAME",
+    "TANK_EA_BY_SIGNAL",
+    "TANK_SIGNAL_SPECS",
+    "TankMissionResult",
+    "TankPlant",
+    "TankSensorSuite",
+    "TankState",
+    "TankTestCase",
+    "TankVerdict",
+    "Timer",
+    "ValveA",
+    "WaterTankSimulator",
+    "build_watertank_system",
+    "constants",
+    "standard_tank_cases",
+    "tank_assertions",
+]

@@ -1,0 +1,87 @@
+"""Executable-assertion catalogue for the water-tank target.
+
+One EA per guardable signal, with ROM/RAM costs in the same accounting
+the paper's Table 3 uses for the arrestment target (range/rate EAs:
+50/14 bytes; monotonic/sequence: 25-37/13 bytes).  ``ALARM_OUT`` is a
+boolean and therefore unguardable by this EA class — the same blind
+spot the paper documents for ``slow_speed``/``stopped``, here sitting
+directly on a system output.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.edm.assertions import AssertionSpec, EAKind
+from repro.errors import AssertionSpecError
+from repro.watertank import constants as C
+
+__all__ = ["TANK_EA_BY_NAME", "TANK_EA_BY_SIGNAL", "tank_assertions"]
+
+
+def _build() -> Dict[str, AssertionSpec]:
+    specs = [
+        AssertionSpec(
+            name="TEA1", signal="level_f", kind=EAKind.RANGE_RATE,
+            minimum=0, maximum=C.VALUE_FULL_SCALE,
+            # gate bound + quantization slack, per LEVEL_S invocation
+            max_delta=C.LEVEL_MAX_JUMP + 2 * C.LEVEL_QUANTUM,
+            rom_bytes=50, ram_bytes=14,
+        ),
+        AssertionSpec(
+            name="TEA2", signal="inflow_rate", kind=EAKind.RANGE_RATE,
+            minimum=0, maximum=64 << 7,
+            max_delta=24 << 7,
+            rom_bytes=50, ram_bytes=14,
+        ),
+        AssertionSpec(
+            name="TEA3", signal="valve_cmd", kind=EAKind.RANGE_RATE,
+            minimum=0, maximum=C.VALUE_FULL_SCALE,
+            # slew limiter bound: RATE_PER_TICK * clamped dt, + margin
+            max_delta=400 * 50 + 1000,
+            rom_bytes=50, ram_bytes=14,
+        ),
+        AssertionSpec(
+            name="TEA4", signal="ticks", kind=EAKind.SEQUENCE,
+            exact_delta=C.N_SLOTS, modulus=1 << 16,
+            rom_bytes=25, ram_bytes=13,
+        ),
+        AssertionSpec(
+            name="TEA5", signal="tick_nbr", kind=EAKind.SEQUENCE,
+            minimum=0, maximum=C.N_SLOTS - 1,
+            exact_delta=0, modulus=1 << 16,
+            rom_bytes=37, ram_bytes=13,
+        ),
+        AssertionSpec(
+            name="TEA6", signal="VALVE_POS", kind=EAKind.RANGE_RATE,
+            minimum=0, maximum=(1 << C.VALVE_POS_BITS) - 1,
+            max_delta=(400 * 50 + 1000) >> 4,
+            rom_bytes=50, ram_bytes=14,
+        ),
+    ]
+    return {spec.name: spec for spec in specs}
+
+
+#: EA name -> specification.
+TANK_EA_BY_NAME: Dict[str, AssertionSpec] = _build()
+
+#: guarded signal -> specification.
+TANK_EA_BY_SIGNAL: Dict[str, AssertionSpec] = {
+    spec.signal: spec for spec in TANK_EA_BY_NAME.values()
+}
+
+
+def tank_assertions(signals: Sequence[str] = None) -> List[AssertionSpec]:
+    """The EA instances guarding *signals* (default: all guardable)."""
+    if signals is None:
+        return list(TANK_EA_BY_NAME.values())
+    unknown = [s for s in signals if s not in TANK_EA_BY_SIGNAL]
+    if unknown:
+        raise AssertionSpecError(
+            f"no tank assertion for signals {unknown}; guardable: "
+            f"{sorted(TANK_EA_BY_SIGNAL)}"
+        )
+    wanted = set(signals)
+    return [
+        spec for spec in TANK_EA_BY_NAME.values() if spec.signal in wanted
+    ]

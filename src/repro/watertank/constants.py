@@ -1,0 +1,113 @@
+"""Constants of the water-tank level-control target.
+
+The paper's future work proposes "applying the analysis framework on
+alternate target systems in order to validate the generalized
+applicability of the obtained results".  This package is that
+alternate target: an industrial water-tank (buffer vessel) level
+controller.  It is deliberately *structurally different* from the
+arrestment system:
+
+* two parallel sensor chains (level and inflow) instead of one;
+* a feed-forward term in the controller;
+* **two system outputs** — the valve command and a safety alarm line —
+  so impact and criticality genuinely differ (the alarm output is a
+  boolean, exercising the EA catalogue's known blind spot at system
+  level);
+* a *continuous* mission (fixed-duration regulation under disturbance)
+  instead of a terminating one (an arrestment).
+"""
+
+from __future__ import annotations
+
+# ----------------------------------------------------------------------
+# Scheduling.
+# ----------------------------------------------------------------------
+#: base scheduler tick (10 ms — level dynamics are slow)
+TICK_S = 0.010
+#: slots per cycle (cycle = 100 ms)
+N_SLOTS = 10
+#: slot assignment (TIMER runs every tick)
+MODULE_SLOTS = {
+    "LEVEL_S": 1,
+    "FLOW_S": 3,
+    "CTRL": 5,
+    "ALARM": 6,
+    "VALVE_A": 8,
+}
+#: mission duration in ticks (60 s)
+MISSION_TICKS = 6000
+
+# ----------------------------------------------------------------------
+# Plant.
+# ----------------------------------------------------------------------
+#: tank cross-section (m^2)
+TANK_AREA_M2 = 2.0
+#: physical tank height (m); also the level sensor's full scale
+TANK_HEIGHT_M = 4.0
+#: initial level (m) — the regulation setpoint
+LEVEL_SETPOINT_M = 2.0
+#: outflow coefficient: q_out = CV * valve_pos * sqrt(level)  (m^3/s);
+#: sized so the fully open valve passes ~1.4x the worst-case inflow
+OUTFLOW_CV = 0.060
+#: valve actuator first-order lag (s)
+VALVE_TAU_S = 0.8
+
+# ----------------------------------------------------------------------
+# Failure criteria (the vessel's safety case).
+# ----------------------------------------------------------------------
+#: overflow limit: level must stay below this (m)
+MAX_LEVEL_M = 3.5
+#: dry-run limit: level must stay above this (m)
+MIN_LEVEL_M = 0.5
+#: the alarm line must be asserted whenever level exceeds this (m)...
+ALARM_LEVEL_M = 3.0
+#: ...for longer than this many ticks (missed-alarm failure)
+ALARM_GRACE_TICKS = 100
+
+# ----------------------------------------------------------------------
+# Hardware registers.
+# ----------------------------------------------------------------------
+#: level sensor ADC resolution (bits), full scale = TANK_HEIGHT_M
+LVL_ADC_BITS = 10
+#: inflow flow-meter pulse counter width (bits), 1 pulse per litre
+FLOW_CNT_BITS = 8
+#: pulses per cubic meter of inflow
+PULSES_PER_M3 = 1000.0
+#: valve position register width (bits)
+VALVE_POS_BITS = 12
+
+# ----------------------------------------------------------------------
+# Software scaling and control.
+# ----------------------------------------------------------------------
+#: working full-scale of the 16-bit internal signals
+VALUE_FULL_SCALE = 65535
+#: level_f counts per meter (16-bit over the tank height)
+LEVEL_COUNTS_PER_M = VALUE_FULL_SCALE / TANK_HEIGHT_M
+#: regulation setpoint in level_f counts
+LEVEL_SETPOINT_COUNTS = int(LEVEL_SETPOINT_M * LEVEL_COUNTS_PER_M)
+#: alarm threshold in level_f counts, with hysteresis
+ALARM_ON_COUNTS = int(ALARM_LEVEL_M * LEVEL_COUNTS_PER_M)
+ALARM_OFF_COUNTS = int((ALARM_LEVEL_M - 0.2) * LEVEL_COUNTS_PER_M)
+#: PI gains (fixed point /256) for the level loop
+CTRL_KP_NUM = 160
+CTRL_KI_NUM = 6
+CTRL_INTEG_CLAMP = 48000
+#: feed-forward gain: valve counts per inflow_rate count (/256).
+#: calibrated so the feed-forward alone commands the steady-state
+#: valve opening for the measured inflow (v = q / (CV*sqrt(L_set)))
+CTRL_FF_NUM = 3093
+#: LEVEL_S plausibility gate (counts per invocation) and quantum
+LEVEL_MAX_JUMP = 2000
+LEVEL_QUANTUM = 256
+#: FLOW_S rate window (invocations)
+FLOW_WINDOW = 5
+
+# ----------------------------------------------------------------------
+# Test cases: deterministic inflow profiles.
+# ----------------------------------------------------------------------
+#: base inflows (m^3/s)
+TEST_BASE_INFLOWS = (0.020, 0.030, 0.040)
+#: disturbance step amplitudes (m^3/s), square wave of 10 s period
+TEST_STEP_AMPLITUDES = (0.000, 0.010, 0.022)
+#: disturbance square-wave period (s)
+DISTURBANCE_PERIOD_S = 10.0

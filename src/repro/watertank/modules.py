@@ -1,0 +1,228 @@
+"""The six software modules of the water-tank controller.
+
+Structure (signals in parentheses):
+
+* ``TIMER``   — in: tick_nbr; out: tick_nbr, ticks
+* ``LEVEL_S`` — in: LVL_ADC; out: level_f
+* ``FLOW_S``  — in: FLOW_CNT; out: inflow_rate
+* ``CTRL``    — in: level_f, inflow_rate, ticks; out: valve_cmd
+* ``ALARM``   — in: level_f; out: ALARM_OUT (system output #2)
+* ``VALVE_A`` — in: valve_cmd; out: VALVE_POS (system output #1)
+
+The same defensive embedded idioms as the arrestment target, arranged
+differently: a filtered measurement chain, a pulse-counting chain with
+wrap-around deltas, a PI + feed-forward regulator, a hysteresis alarm
+latch, and a quantizing actuator stage.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.model.module import CellSpec, ExecutionContext, Module
+from repro.model.signal import Number, SignalType
+from repro.watertank import constants as C
+
+__all__ = ["Timer", "LevelS", "FlowS", "Ctrl", "Alarm", "ValveA"]
+
+_U8 = dict(width=8, cell_type=SignalType.UINT)
+_U16 = dict(width=16, cell_type=SignalType.UINT)
+_I32 = dict(width=32, cell_type=SignalType.INT)
+_BOOL = dict(width=8, cell_type=SignalType.BOOL)
+
+
+class Timer(Module):
+    """Time base: slot number (successor table) and tick counter."""
+
+    INPUTS = ("tick_nbr",)
+    OUTPUTS = ("tick_nbr", "ticks")
+    STATE = (
+        CellSpec("ticks", **_U16),
+        *[
+            CellSpec(f"succ{j}", width=8, cell_type=SignalType.UINT,
+                     initial=(j + 1) % C.N_SLOTS)
+            for j in range(C.N_SLOTS)
+        ],
+    )
+    LOCALS = (CellSpec("next_slot", **_U16),)
+
+    def invoke(self, ctx: ExecutionContext) -> Dict[str, Number]:
+        slot_in = ctx.arg("tick_nbr")
+        if slot_in < C.N_SLOTS:
+            next_slot = ctx.set_local(
+                "next_slot", self.state[f"succ{slot_in % C.N_SLOTS}"]
+            )
+        else:
+            next_slot = ctx.set_local("next_slot", 0)
+        self.state["ticks"] = self.state["ticks"] + 1
+        return {"tick_nbr": next_slot, "ticks": self.state["ticks"]}
+
+
+class LevelS(Module):
+    """Level sensing: gated, median-filtered, quantized measurement."""
+
+    INPUTS = ("LVL_ADC",)
+    OUTPUTS = ("level_f",)
+    MAX_REJECT_STREAK = 5
+    # the filter history and reference are commissioned at the
+    # setpoint level, like the calibrated instrument they model
+    STATE = (
+        *[
+            CellSpec(f"h{j}", **_U16, initial=C.LEVEL_SETPOINT_COUNTS)
+            for j in range(3)
+        ],
+        CellSpec("last_good", **_U16,
+                 initial=C.LEVEL_SETPOINT_COUNTS),
+        CellSpec("rejects", **_U8),
+    )
+    LOCALS = (
+        CellSpec("scaled", **_U16),
+        CellSpec("sample", **_U16),
+    )
+
+    def invoke(self, ctx: ExecutionContext) -> Dict[str, Number]:
+        state = self.state
+        scaled = ctx.set_local(
+            "scaled", ctx.arg("LVL_ADC") << (16 - C.LVL_ADC_BITS)
+        )
+        if abs(scaled - state["last_good"]) > C.LEVEL_MAX_JUMP:
+            state["rejects"] = state["rejects"] + 1
+            if state["rejects"] > self.MAX_REJECT_STREAK:
+                sample = scaled
+                state["last_good"] = sample
+                state["rejects"] = 0
+            else:
+                sample = state["last_good"]
+        else:
+            sample = scaled
+            state["last_good"] = sample
+            state["rejects"] = 0
+        sample = ctx.set_local("sample", sample)
+        state["h2"] = state["h1"]
+        state["h1"] = state["h0"]
+        state["h0"] = sample
+        ordered = sorted((state["h0"], state["h1"], state["h2"]))
+        return {"level_f": ordered[1] & ~(C.LEVEL_QUANTUM - 1)}
+
+
+class FlowS(Module):
+    """Inflow sensing: wrap-delta pulse accumulation over a window."""
+
+    INPUTS = ("FLOW_CNT",)
+    OUTPUTS = ("inflow_rate",)
+    STATE = (
+        CellSpec("last_cnt", **_U8),
+        *[CellSpec(f"w{j}", **_U8) for j in range(C.FLOW_WINDOW)],
+        CellSpec("pos", **_U8),
+    )
+    LOCALS = (
+        CellSpec("delta", **_U8),
+        CellSpec("rate", **_U16),
+    )
+
+    def invoke(self, ctx: ExecutionContext) -> Dict[str, Number]:
+        state = self.state
+        cnt = ctx.arg("FLOW_CNT")
+        delta = ctx.set_local("delta", cnt - state["last_cnt"])
+        state["last_cnt"] = cnt
+        pos = state["pos"] % C.FLOW_WINDOW
+        state[f"w{pos}"] = delta
+        state["pos"] = (pos + 1) % C.FLOW_WINDOW
+        # pulses per window, scaled: the controller's feed-forward unit
+        rate = ctx.set_local(
+            "rate",
+            sum(state[f"w{j}"] for j in range(C.FLOW_WINDOW)) << 7,
+        )
+        return {"inflow_rate": rate}
+
+
+class Ctrl(Module):
+    """Level regulator: PI on the setpoint error plus inflow
+    feed-forward, slew-limited by elapsed ``ticks`` time."""
+
+    INPUTS = ("level_f", "inflow_rate", "ticks")
+    OUTPUTS = ("valve_cmd",)
+    #: valve_cmd slew per tick of elapsed time
+    RATE_PER_TICK = 400
+    STATE = (
+        CellSpec("integ", **_I32),
+        CellSpec("cmd_prev", **_U16),
+        CellSpec("last_ticks", **_U16),
+        CellSpec("started", **_BOOL),
+    )
+    LOCALS = (
+        CellSpec("err", **_I32),
+        CellSpec("pterm", **_I32),
+        CellSpec("ff", **_I32),
+        CellSpec("target", **_I32),
+        CellSpec("dt", **_U16),
+    )
+
+    def invoke(self, ctx: ExecutionContext) -> Dict[str, Number]:
+        state = self.state
+        err = ctx.set_local(
+            "err", ctx.arg("level_f") - C.LEVEL_SETPOINT_COUNTS
+        )
+        integ = state["integ"] + err
+        integ = max(
+            -C.CTRL_INTEG_CLAMP * 16, min(C.CTRL_INTEG_CLAMP * 16, integ)
+        )
+        state["integ"] = integ
+        pterm = ctx.set_local("pterm", (C.CTRL_KP_NUM * err) >> 8)
+        ff = ctx.set_local(
+            "ff", (C.CTRL_FF_NUM * ctx.arg("inflow_rate")) >> 8
+        )
+        target = ctx.set_local(
+            "target",
+            pterm + ((C.CTRL_KI_NUM * integ) >> 8) + ff,
+        )
+        target = max(0, min(C.VALUE_FULL_SCALE, target))
+
+        ticks = ctx.arg("ticks")
+        if state["started"]:
+            dt = (ticks - state["last_ticks"]) & 0xFFFF
+        else:
+            dt = 0
+            state["started"] = 1
+        state["last_ticks"] = ticks
+        dt = ctx.set_local("dt", min(dt, 50))
+        step = self.RATE_PER_TICK * dt
+        prev = state["cmd_prev"]
+        if target > prev:
+            cmd = min(prev + step, target)
+        else:
+            cmd = max(prev - step, target)
+        state["cmd_prev"] = cmd
+        return {"valve_cmd": cmd}
+
+
+class Alarm(Module):
+    """High-level alarm: hysteresis latch on the filtered level."""
+
+    INPUTS = ("level_f",)
+    OUTPUTS = ("ALARM_OUT",)
+    STATE = (CellSpec("latched", **_BOOL),)
+    LOCALS = (CellSpec("level_copy", **_U16),)
+
+    def invoke(self, ctx: ExecutionContext) -> Dict[str, Number]:
+        level = ctx.set_local("level_copy", ctx.arg("level_f"))
+        if self.state["latched"]:
+            if level < C.ALARM_OFF_COUNTS:
+                self.state["latched"] = 0
+        else:
+            if level > C.ALARM_ON_COUNTS:
+                self.state["latched"] = 1
+        return {"ALARM_OUT": self.state["latched"]}
+
+
+class ValveA(Module):
+    """Valve actuation: 16-bit command onto the 12-bit position register."""
+
+    INPUTS = ("valve_cmd",)
+    OUTPUTS = ("VALVE_POS",)
+    STATE = ()
+    LOCALS = (CellSpec("pos", **_U16),)
+
+    def invoke(self, ctx: ExecutionContext) -> Dict[str, Number]:
+        pos = ctx.set_local("pos", ctx.arg("valve_cmd") >> 4)
+        return {"VALVE_POS": pos}

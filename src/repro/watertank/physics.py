@@ -1,0 +1,101 @@
+"""Plant and peripherals of the water-tank target."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ModelError
+from repro.watertank import constants as C
+
+__all__ = ["TankState", "TankPlant", "TankSensorSuite", "InflowProfile"]
+
+
+@dataclass(frozen=True)
+class InflowProfile:
+    """Deterministic inflow disturbance: base + square-wave steps."""
+
+    base_m3s: float
+    step_m3s: float
+    period_s: float = C.DISTURBANCE_PERIOD_S
+
+    def __post_init__(self) -> None:
+        if self.base_m3s < 0 or self.step_m3s < 0 or self.period_s <= 0:
+            raise ModelError("invalid inflow profile parameters")
+
+    def inflow_at(self, time_s: float) -> float:
+        phase = (time_s % self.period_s) / self.period_s
+        return self.base_m3s + (self.step_m3s if phase >= 0.5 else 0.0)
+
+
+@dataclass
+class TankState:
+    time_s: float = 0.0
+    level_m: float = C.LEVEL_SETPOINT_M
+    valve_pos: float = 0.0  #: actual valve opening, 0..1
+    inflow_m3s: float = 0.0
+    outflow_m3s: float = 0.0
+
+
+class TankPlant:
+    """Mass balance of the vessel with a first-order valve actuator."""
+
+    def __init__(self, profile: InflowProfile):
+        self.profile = profile
+        self.state = TankState()
+        self.peak_level_m = self.state.level_m
+        self.min_level_m = self.state.level_m
+        #: cumulative inflow volume, drives the flow-meter pulses
+        self.total_inflow_m3 = 0.0
+
+    def reset(self) -> None:
+        self.state = TankState()
+        self.peak_level_m = self.state.level_m
+        self.min_level_m = self.state.level_m
+        self.total_inflow_m3 = 0.0
+
+    def step(self, commanded_valve: float, dt_s: float = C.TICK_S) -> TankState:
+        s = self.state
+        commanded = max(0.0, min(1.0, commanded_valve))
+        s.valve_pos += (commanded - s.valve_pos) * (dt_s / C.VALVE_TAU_S)
+        s.inflow_m3s = self.profile.inflow_at(s.time_s)
+        s.outflow_m3s = (
+            C.OUTFLOW_CV * s.valve_pos * math.sqrt(max(0.0, s.level_m))
+        )
+        s.level_m += (s.inflow_m3s - s.outflow_m3s) * dt_s / C.TANK_AREA_M2
+        s.level_m = max(0.0, min(C.TANK_HEIGHT_M, s.level_m))
+        self.total_inflow_m3 += s.inflow_m3s * dt_s
+        self.peak_level_m = max(self.peak_level_m, s.level_m)
+        self.min_level_m = min(self.min_level_m, s.level_m)
+        s.time_s += dt_s
+        return s
+
+
+@dataclass
+class TankSensorSuite:
+    """Level ADC, inflow pulse counter, valve/alarm output registers."""
+
+    lvl_adc: int = 0
+    flow_cnt: int = 0
+    _pulse_mirror: int = 0
+
+    def reset(self) -> None:
+        self.lvl_adc = 0
+        self.flow_cnt = 0
+        self._pulse_mirror = 0
+
+    def advance(self, level_m: float, total_inflow_m3: float) -> None:
+        full = (1 << C.LVL_ADC_BITS) - 1
+        ratio = max(0.0, min(1.0, level_m / C.TANK_HEIGHT_M))
+        self.lvl_adc = int(round(ratio * full))
+        pulses = int(math.floor(total_inflow_m3 * C.PULSES_PER_M3))
+        if pulses > self._pulse_mirror:
+            self.flow_cnt = (
+                self.flow_cnt + (pulses - self._pulse_mirror)
+            ) & ((1 << C.FLOW_CNT_BITS) - 1)
+            self._pulse_mirror = pulses
+
+    @staticmethod
+    def commanded_valve(valve_pos_register: int) -> float:
+        full = (1 << C.VALVE_POS_BITS) - 1
+        return max(0.0, min(1.0, valve_pos_register / full))

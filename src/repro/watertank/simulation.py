@@ -1,0 +1,236 @@
+"""Closed-loop water-tank mission simulation.
+
+Exposes the same hook API as the arrestment simulator
+(``add_pre_tick`` / ``add_marshal`` / ``add_local_write`` /
+``add_post_invoke`` / ``add_post_tick``, ``corrupt_input``,
+``executor``, ``run()``), so every campaign driver of :mod:`repro.fi`
+works against this target unchanged.
+
+The mission is fixed-duration regulation: a run *completes* when the
+full mission has been simulated (so every injection within the mission
+is active), and it *fails* if any of the vessel's safety criteria was
+violated: overflow (level >= 3.5 m), dry-run (level <= 0.5 m), or a
+missed alarm (level above 3.0 m for more than a second with the alarm
+line deasserted).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.model.signal import Number
+from repro.model.system import (
+    ExecutorHooks,
+    InvocationRecord,
+    SlotSchedule,
+    SystemExecutor,
+    SystemModel,
+)
+from repro.target.simulation import SignalTraces
+from repro.watertank import constants as C
+from repro.watertank.physics import InflowProfile, TankPlant, TankSensorSuite
+from repro.watertank.testcases import TankTestCase
+from repro.watertank.wiring import build_watertank_system
+
+__all__ = ["TankVerdict", "TankMissionResult", "WaterTankSimulator"]
+
+
+@dataclass
+class TankVerdict:
+    """Safety outcome of one mission."""
+
+    failed: bool
+    kinds: List[str] = field(default_factory=list)
+    peak_level_m: float = 0.0
+    min_level_m: float = 0.0
+
+    def describe(self) -> str:
+        if not self.failed:
+            return (
+                f"OK (level {self.min_level_m:.2f}..{self.peak_level_m:.2f} m)"
+            )
+        return (
+            f"FAILURE [{', '.join(self.kinds)}] "
+            f"(level {self.min_level_m:.2f}..{self.peak_level_m:.2f} m)"
+        )
+
+
+@dataclass
+class TankMissionResult:
+    test_case: TankTestCase
+    ticks_run: int
+    completion_tick: Optional[int]
+    verdict: TankVerdict
+    traces: SignalTraces
+
+    @property
+    def arrested(self) -> bool:  # campaign-compat alias: mission done
+        return self.completion_tick is not None
+
+    @property
+    def failed(self) -> bool:
+        return self.verdict.failed
+
+
+class WaterTankSimulator:
+    """One fixed-duration regulation mission."""
+
+    def __init__(
+        self,
+        test_case: TankTestCase,
+        mission_ticks: int = C.MISSION_TICKS,
+        record_traces: bool = True,
+    ):
+        self.test_case = test_case
+        self.mission_ticks = mission_ticks
+        self.record_traces = record_traces
+        self.system: SystemModel = build_watertank_system()
+        schedule = SlotSchedule(C.N_SLOTS)
+        schedule.every_tick("TIMER")
+        for module, slot in C.MODULE_SLOTS.items():
+            schedule.assign(slot, module)
+        self._pre_tick: List[Callable[[int], None]] = []
+        self._marshal: List[
+            Callable[[str, Dict[str, Number]], Dict[str, Number]]
+        ] = []
+        self._local_write: List[Callable[[str, str, Number], Number]] = []
+        self._post_invoke: List[Callable[[InvocationRecord], None]] = []
+        self._post_tick: List[Callable[[int], None]] = []
+        hooks = ExecutorHooks(
+            pre_tick=self._run_pre_tick,
+            marshal=self._run_marshal,
+            local_write=self._run_local_write,
+            post_invoke=self._run_post_invoke,
+            post_tick=self._run_post_tick,
+        )
+        self.executor = SystemExecutor(self.system, schedule, hooks)
+        self.plant = TankPlant(
+            InflowProfile(test_case.base_inflow_m3s, test_case.step_m3s)
+        )
+        self.sensors = TankSensorSuite()
+        self.traces = SignalTraces()
+        self._slot_map: Dict[int, List[str]] = {}
+        for module, slot in C.MODULE_SLOTS.items():
+            self._slot_map.setdefault(slot, []).append(module)
+        #: consecutive ticks with level above the alarm threshold while
+        #: the alarm line is deasserted
+        self._missed_alarm_ticks = 0
+        self._failure_kinds: List[str] = []
+
+    # ------------------------------------------------------------------
+    # Hook plumbing (same shape as ArrestmentSimulator).
+    # ------------------------------------------------------------------
+    def add_pre_tick(self, handler) -> None:
+        self._pre_tick.append(handler)
+
+    def add_marshal(self, handler) -> None:
+        self._marshal.append(handler)
+
+    def add_local_write(self, handler) -> None:
+        self._local_write.append(handler)
+
+    def add_post_invoke(self, handler) -> None:
+        self._post_invoke.append(handler)
+
+    def add_post_tick(self, handler) -> None:
+        self._post_tick.append(handler)
+
+    def _run_pre_tick(self, tick: int) -> None:
+        for handler in self._pre_tick:
+            handler(tick)
+
+    def _run_marshal(self, module, args):
+        for handler in self._marshal:
+            args = handler(module, args)
+        return args
+
+    def _run_local_write(self, module, name, value):
+        for handler in self._local_write:
+            value = handler(module, name, value)
+        return value
+
+    def _run_post_invoke(self, record: InvocationRecord) -> None:
+        if self.record_traces:
+            for port, value in record.outputs.items():
+                signal = self.system.signal_of_output(record.module, port)
+                self.traces.record(signal, record.tick, value)
+        for handler in self._post_invoke:
+            handler(record)
+
+    def _run_post_tick(self, tick: int) -> None:
+        for handler in self._post_tick:
+            handler(tick)
+
+    # ------------------------------------------------------------------
+    # Injection support.
+    # ------------------------------------------------------------------
+    _REGISTER_OF = {"LVL_ADC": "lvl_adc", "FLOW_CNT": "flow_cnt"}
+
+    def corrupt_input(self, signal: str, bit: int) -> Tuple[Number, Number]:
+        """Persistent register corruption (see the arrestment
+        simulator's corrupt_input for the semantics)."""
+        attr = self._REGISTER_OF[signal]
+        spec = self.system.signal(signal)
+        before = getattr(self.sensors, attr)
+        after = spec.flip_bit(before, bit)
+        setattr(self.sensors, attr, after)
+        self.executor.store.poke(signal, after)
+        return before, after
+
+    # ------------------------------------------------------------------
+    # The mission loop.
+    # ------------------------------------------------------------------
+    def _write_sensor_inputs(self, tick: int) -> None:
+        store = self.executor.store
+        for signal, attr in self._REGISTER_OF.items():
+            store[signal] = getattr(self.sensors, attr)
+            if self.record_traces:
+                self.traces.record(signal, tick, store[signal])
+
+    def _observe_safety(self, tick: int) -> None:
+        level = self.plant.state.level_m
+        if level >= C.MAX_LEVEL_M and "overflow" not in self._failure_kinds:
+            self._failure_kinds.append("overflow")
+        if level <= C.MIN_LEVEL_M and "dry_run" not in self._failure_kinds:
+            self._failure_kinds.append("dry_run")
+        alarm = self.executor.store["ALARM_OUT"]
+        if level > C.ALARM_LEVEL_M and not alarm:
+            self._missed_alarm_ticks += 1
+            if (
+                self._missed_alarm_ticks > C.ALARM_GRACE_TICKS
+                and "missed_alarm" not in self._failure_kinds
+            ):
+                self._failure_kinds.append("missed_alarm")
+        else:
+            self._missed_alarm_ticks = 0
+
+    def run(self) -> TankMissionResult:
+        executor = self.executor
+        store = executor.store
+        for tick in range(self.mission_ticks):
+            self.sensors.advance(
+                self.plant.state.level_m, self.plant.total_inflow_m3
+            )
+            self._write_sensor_inputs(tick)
+            executor.begin_tick()
+            executor.invoke("TIMER")
+            slot = store["tick_nbr"]
+            for module in self._slot_map.get(slot, ()):
+                executor.invoke(module)
+            executor.end_tick()
+            commanded = TankSensorSuite.commanded_valve(store["VALVE_POS"])
+            self.plant.step(commanded)
+            self._observe_safety(tick)
+        return TankMissionResult(
+            test_case=self.test_case,
+            ticks_run=self.mission_ticks,
+            completion_tick=self.mission_ticks - 1,
+            verdict=TankVerdict(
+                failed=bool(self._failure_kinds),
+                kinds=list(self._failure_kinds),
+                peak_level_m=self.plant.peak_level_m,
+                min_level_m=self.plant.min_level_m,
+            ),
+            traces=self.traces,
+        )

@@ -1,0 +1,47 @@
+"""Test cases of the water-tank target: deterministic inflow profiles."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import ModelError
+from repro.watertank import constants as C
+
+__all__ = ["TankTestCase", "standard_tank_cases"]
+
+
+@dataclass(frozen=True)
+class TankTestCase:
+    """One deterministic regulation mission."""
+
+    __test__ = False  # not a pytest class, despite the domain name
+
+    case_id: int
+    base_inflow_m3s: float
+    step_m3s: float
+
+    def __post_init__(self) -> None:
+        if self.base_inflow_m3s < 0 or self.step_m3s < 0:
+            raise ModelError(
+                f"tank case {self.case_id}: inflows must be non-negative"
+            )
+
+    @property
+    def label(self) -> str:
+        return (
+            f"wt{self.case_id:02d}"
+            f"[q={self.base_inflow_m3s * 1000:.0f}l/s,"
+            f"step={self.step_m3s * 1000:.0f}l/s]"
+        )
+
+
+def standard_tank_cases() -> List[TankTestCase]:
+    """The 3x3 = 9 standard regulation missions."""
+    cases: List[TankTestCase] = []
+    case_id = 0
+    for base in C.TEST_BASE_INFLOWS:
+        for step in C.TEST_STEP_AMPLITUDES:
+            cases.append(TankTestCase(case_id, base, step))
+            case_id += 1
+    return cases

@@ -1,0 +1,102 @@
+"""Wiring of the water-tank system model."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.model.signal import SignalRole, SignalSpec, SignalType
+from repro.model.system import SystemModel
+from repro.watertank import constants as C
+from repro.watertank.modules import Alarm, Ctrl, FlowS, LevelS, Timer, ValveA
+
+__all__ = ["build_watertank_system", "TANK_SIGNAL_SPECS"]
+
+TANK_SIGNAL_SPECS: Dict[str, SignalSpec] = {
+    spec.name: spec
+    for spec in (
+        SignalSpec(
+            "LVL_ADC", SignalType.UINT, width=C.LVL_ADC_BITS,
+            role=SignalRole.SYSTEM_INPUT,
+            description="level sensor ADC counts",
+        ),
+        SignalSpec(
+            "FLOW_CNT", SignalType.UINT, width=C.FLOW_CNT_BITS,
+            role=SignalRole.SYSTEM_INPUT,
+            description="inflow flow-meter pulse counter",
+        ),
+        SignalSpec(
+            "tick_nbr", SignalType.UINT, width=16,
+            minimum=0, maximum=C.N_SLOTS - 1,
+            description="current scheduler slot",
+        ),
+        SignalSpec(
+            "ticks", SignalType.UINT, width=16,
+            description="10 ms tick counter",
+        ),
+        SignalSpec(
+            "level_f", SignalType.UINT, width=16,
+            initial=C.LEVEL_SETPOINT_COUNTS,
+            minimum=0, maximum=C.VALUE_FULL_SCALE,
+            description="filtered level measurement",
+        ),
+        SignalSpec(
+            "inflow_rate", SignalType.UINT, width=16,
+            minimum=0, maximum=64 << 7,
+            description="windowed inflow rate",
+        ),
+        SignalSpec(
+            "valve_cmd", SignalType.UINT, width=16,
+            minimum=0, maximum=C.VALUE_FULL_SCALE,
+            description="regulator valve command",
+        ),
+        SignalSpec(
+            "VALVE_POS", SignalType.UINT, width=16,
+            minimum=0, maximum=(1 << C.VALVE_POS_BITS) - 1,
+            role=SignalRole.SYSTEM_OUTPUT,
+            description="valve position register",
+        ),
+        SignalSpec(
+            "ALARM_OUT", SignalType.BOOL, width=8,
+            role=SignalRole.SYSTEM_OUTPUT,
+            description="high-level alarm line",
+        ),
+    )
+}
+
+
+def build_watertank_system() -> SystemModel:
+    """Construct and validate the six-module water-tank controller."""
+    system = SystemModel("water-tank")
+    for spec in TANK_SIGNAL_SPECS.values():
+        system.add_signal(spec)
+
+    system.add_module(Timer("TIMER"))
+    system.add_module(LevelS("LEVEL_S"))
+    system.add_module(FlowS("FLOW_S"))
+    system.add_module(Ctrl("CTRL"))
+    system.add_module(Alarm("ALARM"))
+    system.add_module(ValveA("VALVE_A"))
+
+    system.bind_output("tick_nbr", "TIMER", "tick_nbr")
+    system.bind_output("ticks", "TIMER", "ticks")
+    system.connect_input("tick_nbr", "TIMER", "tick_nbr")
+
+    system.connect_input("LVL_ADC", "LEVEL_S", "LVL_ADC")
+    system.bind_output("level_f", "LEVEL_S", "level_f")
+
+    system.connect_input("FLOW_CNT", "FLOW_S", "FLOW_CNT")
+    system.bind_output("inflow_rate", "FLOW_S", "inflow_rate")
+
+    system.connect_input("level_f", "CTRL", "level_f")
+    system.connect_input("inflow_rate", "CTRL", "inflow_rate")
+    system.connect_input("ticks", "CTRL", "ticks")
+    system.bind_output("valve_cmd", "CTRL", "valve_cmd")
+
+    system.connect_input("level_f", "ALARM", "level_f")
+    system.bind_output("ALARM_OUT", "ALARM", "ALARM_OUT")
+
+    system.connect_input("valve_cmd", "VALVE_A", "valve_cmd")
+    system.bind_output("VALVE_POS", "VALVE_A", "VALVE_POS")
+
+    system.validate()
+    return system

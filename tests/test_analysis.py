@@ -1,0 +1,88 @@
+"""Unit tests for repro.analysis (estimator bridging, table rendering)."""
+
+import pytest
+
+from repro.analysis.estimators import (
+    estimate_confidence,
+    matrix_from_estimate,
+)
+from repro.analysis.tables import fmt, render_table
+from repro.errors import AnalysisError
+from repro.fi.campaign import PermeabilityEstimate
+
+
+def make_estimate(system, value=0.5, n=10):
+    pairs = system.io_pairs()
+    direct = {
+        (p.module, p.in_port, p.out_port): int(value * n) for p in pairs
+    }
+    active = {(p.module, p.in_port): n for p in pairs}
+    values = {
+        key: count / n for key, count in direct.items()
+    }
+    return PermeabilityEstimate(
+        direct_counts=direct, active_runs=active, values=values
+    )
+
+
+class TestMatrixFromEstimate:
+    def test_builds_complete_matrix(self, system):
+        estimate = make_estimate(system)
+        matrix = matrix_from_estimate(system, estimate)
+        assert matrix.is_complete()
+        assert matrix[("CLOCK", 1, 1)] == 0.5
+
+    def test_missing_pair_rejected(self, system):
+        estimate = make_estimate(system)
+        del estimate.values[("CLOCK", "ms_slot_nbr", "mscnt")]
+        with pytest.raises(AnalysisError, match="no estimate"):
+            matrix_from_estimate(system, estimate)
+
+
+class TestConfidence:
+    def test_interval_shrinks_with_n(self, system):
+        wide = estimate_confidence(make_estimate(system, n=10))
+        narrow = estimate_confidence(make_estimate(system, n=1000))
+        key = ("CLOCK", "ms_slot_nbr", "ms_slot_nbr")
+        assert narrow[key].half_width_95 < wide[key].half_width_95
+
+    def test_bounds_clipped_to_unit_interval(self, system):
+        conf = estimate_confidence(make_estimate(system, value=0.0, n=4))
+        for item in conf.values():
+            assert 0.0 <= item.low <= item.high <= 1.0
+
+    def test_zero_runs_degenerate(self, system):
+        estimate = make_estimate(system)
+        for key in estimate.active_runs:
+            estimate.active_runs[key] = 0
+        conf = estimate_confidence(estimate)
+        assert all(item.half_width_95 == 1.0 for item in conf.values())
+
+
+class TestTableRendering:
+    def test_fmt_variants(self):
+        assert fmt(None) == "-"
+        assert fmt(True) == "yes" and fmt(False) == "no"
+        assert fmt(0.12345) == "0.123"
+        assert fmt(0.12345, digits=1) == "0.1"
+        assert fmt(42) == "42"
+        assert fmt("text") == "text"
+
+    def test_render_alignment(self):
+        text = render_table(
+            ["A", "Blong"], [[1, 2.0], ["xx", None]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "A" in lines[1] and "Blong" in lines[1]
+        assert set(lines[2]) == {"-"}
+        # all rows same width
+        assert len({len(line) for line in lines[1:]}) <= 2
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            render_table(["A"], [[1, 2]])
+
+    def test_render_without_title(self):
+        text = render_table(["A"], [[1]])
+        assert text.splitlines()[0] == "A"

@@ -1,0 +1,169 @@
+"""Unit tests for repro.edm.assertions (EA behaviour classes)."""
+
+import pytest
+
+from repro.edm.assertions import AssertionSpec, AssertionState, EAKind
+from repro.errors import AssertionSpecError
+
+
+def spec_range_rate(**kwargs):
+    defaults = dict(
+        name="EA", signal="s", kind=EAKind.RANGE_RATE,
+        minimum=0, maximum=100, max_delta=10,
+    )
+    defaults.update(kwargs)
+    return AssertionSpec(**defaults)
+
+
+class TestSpecValidation:
+    def test_empty_name_rejected(self):
+        with pytest.raises(AssertionSpecError):
+            spec_range_rate(name="")
+
+    def test_empty_signal_rejected(self):
+        with pytest.raises(AssertionSpecError):
+            spec_range_rate(signal="")
+
+    def test_range_rate_needs_max_delta(self):
+        with pytest.raises(AssertionSpecError):
+            spec_range_rate(max_delta=None)
+
+    def test_negative_max_delta_rejected(self):
+        with pytest.raises(AssertionSpecError):
+            spec_range_rate(max_delta=-1)
+
+    def test_sequence_needs_exact_delta(self):
+        with pytest.raises(AssertionSpecError):
+            AssertionSpec("EA", "s", EAKind.SEQUENCE)
+
+    def test_sequence_bad_modulus_rejected(self):
+        with pytest.raises(AssertionSpecError):
+            AssertionSpec(
+                "EA", "s", EAKind.SEQUENCE, exact_delta=1, modulus=0
+            )
+
+    def test_min_above_max_rejected(self):
+        with pytest.raises(AssertionSpecError):
+            spec_range_rate(minimum=10, maximum=5)
+
+    def test_negative_memory_cost_rejected(self):
+        with pytest.raises(AssertionSpecError):
+            spec_range_rate(rom_bytes=-1)
+
+
+class TestRangeRate:
+    def test_in_range_no_fire(self):
+        state = AssertionState(spec_range_rate())
+        assert not state.evaluate(50, tick=0)
+        assert not state.fired
+
+    def test_range_violation_fires(self):
+        state = AssertionState(spec_range_rate())
+        assert state.evaluate(101, tick=0)
+        assert state.first_fire_tick == 0
+
+    def test_below_minimum_fires(self):
+        state = AssertionState(spec_range_rate(minimum=10))
+        assert state.evaluate(5, tick=3)
+
+    def test_rate_violation_fires(self):
+        state = AssertionState(spec_range_rate())
+        state.evaluate(50, tick=0)
+        assert state.evaluate(61, tick=1)  # delta 11 > 10
+
+    def test_rate_exactly_at_limit_ok(self):
+        state = AssertionState(spec_range_rate())
+        state.evaluate(50, tick=0)
+        assert not state.evaluate(60, tick=1)  # delta == 10
+
+    def test_first_evaluation_has_no_rate_check(self):
+        state = AssertionState(spec_range_rate())
+        assert not state.evaluate(99, tick=0)
+
+    def test_state_tracks_actual_values(self):
+        """One spike must not cascade into repeated rate violations."""
+        state = AssertionState(spec_range_rate())
+        state.evaluate(50, tick=0)
+        state.evaluate(90, tick=1)  # fires
+        assert not state.evaluate(85, tick=2)  # delta 5 from the spike
+        assert state.fire_count == 1
+
+
+class TestMonotonic:
+    def make(self):
+        return AssertionState(AssertionSpec(
+            "EA", "s", EAKind.MONOTONIC, minimum=0, maximum=1000,
+            max_delta=5,
+        ))
+
+    def test_increasing_within_step_ok(self):
+        state = self.make()
+        for tick, value in enumerate([0, 3, 8, 8, 13]):
+            assert not state.evaluate(value, tick)
+
+    def test_decrease_fires(self):
+        state = self.make()
+        state.evaluate(10, 0)
+        assert state.evaluate(9, 1)
+
+    def test_large_increment_fires(self):
+        state = self.make()
+        state.evaluate(10, 0)
+        assert state.evaluate(16, 1)
+
+
+class TestSequence:
+    def make(self, exact=1, modulus=None):
+        return AssertionState(AssertionSpec(
+            "EA", "s", EAKind.SEQUENCE, exact_delta=exact, modulus=modulus,
+        ))
+
+    def test_exact_increment_ok(self):
+        state = self.make()
+        for tick, value in enumerate([5, 6, 7, 8]):
+            assert not state.evaluate(value, tick)
+
+    def test_wrong_increment_fires(self):
+        state = self.make()
+        state.evaluate(5, 0)
+        assert state.evaluate(7, 1)
+
+    def test_modulus_allows_wraparound(self):
+        state = self.make(exact=20, modulus=1 << 16)
+        state.evaluate(65530, 0)
+        assert not state.evaluate(14, 1)  # 65530 + 20 mod 65536
+
+    def test_zero_delta_sequence(self):
+        state = self.make(exact=0, modulus=1 << 16)
+        state.evaluate(3, 0)
+        assert not state.evaluate(3, 1)
+        assert state.evaluate(4, 2)
+
+
+class TestBoolean:
+    def test_valid_booleans_never_fire(self):
+        state = AssertionState(AssertionSpec("EA", "s", EAKind.BOOLEAN))
+        assert not state.evaluate(0, 0)
+        assert not state.evaluate(1, 1)
+
+    def test_non_boolean_value_fires(self):
+        state = AssertionState(AssertionSpec("EA", "s", EAKind.BOOLEAN))
+        assert state.evaluate(2, 0)
+
+
+class TestStateBookkeeping:
+    def test_fire_count_and_first_tick(self):
+        state = AssertionState(spec_range_rate())
+        state.evaluate(200, 5)
+        state.evaluate(300, 6)
+        assert state.fire_count == 2
+        assert state.first_fire_tick == 5
+
+    def test_reset(self):
+        state = AssertionState(spec_range_rate())
+        state.evaluate(200, 5)
+        state.reset()
+        assert not state.fired
+        assert state.first_fire_tick is None
+        # prev cleared: no rate check on next evaluation
+        assert not state.evaluate(99, 6)

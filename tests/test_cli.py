@@ -1,0 +1,83 @@
+"""Tests for the command-line interfaces."""
+
+import pytest
+
+from repro.__main__ import main as repro_main
+from repro.experiments.__main__ import main as experiments_main
+
+
+class TestTopLevelCLI:
+    def test_simulate(self, capsys):
+        assert repro_main(["simulate", "--case", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "arrested   : True" in out
+        assert "tc00" in out
+
+    def test_simulate_bad_case(self, capsys):
+        assert repro_main(["simulate", "--case", "99"]) == 2
+        assert "0..24" in capsys.readouterr().err
+
+    def test_profile(self, capsys):
+        assert repro_main(["profile"]) == 0
+        out = capsys.readouterr().out
+        assert "Exposure profile" in out
+        assert "Placement (PA)" in out
+        assert "Placement (EH)" in out
+
+    def test_memmap(self, capsys):
+        assert repro_main(["memmap"]) == 0
+        out = capsys.readouterr().out
+        assert "RAM" in out and "stack" in out
+        assert "ram:CLOCK.mscnt" in out
+
+    def test_sensitivity(self, capsys):
+        assert repro_main(
+            ["sensitivity", "--samples", "5", "--epsilon", "0.02"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "stable selections" in out
+
+    def test_dot_system(self, capsys):
+        assert repro_main(["dot", "system"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph")
+        assert '"DIST_S"' in out
+
+    def test_dot_impact_tree(self, capsys):
+        assert repro_main(["dot", "impact-tree", "--signal", "pulscnt"]) == 0
+        assert "P^CALC_{3,1}" in capsys.readouterr().out
+
+    def test_dot_profiles_and_backtrack(self, capsys):
+        for figure in ("exposure", "impact", "backtrack"):
+            assert repro_main(["dot", figure]) == 0
+            assert "digraph" in capsys.readouterr().out
+
+    def test_dot_bad_figure(self):
+        with pytest.raises(SystemExit):
+            repro_main(["dot", "nonsense"])
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            repro_main([])
+
+
+class TestExperimentsCLI:
+    def test_single_analytic_experiment(self, capsys):
+        assert experiments_main(["table3", "--scale", "test"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 3" in out
+        assert "262/94" in out
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(SystemExit):
+            experiments_main(["table3", "--scale", "galactic"])
+
+    def test_bad_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            experiments_main(["table99"])
+
+    def test_delegation_from_top_level(self, capsys):
+        assert repro_main(
+            ["experiments", "table3", "--scale", "test"]
+        ) == 0
+        assert "Table 3" in capsys.readouterr().out

@@ -1,0 +1,125 @@
+"""Unit tests for repro.analysis.coverage (statistical estimators)."""
+
+import pytest
+
+from repro.analysis.coverage import (
+    Stratum,
+    binomial_estimate,
+    detection_estimates,
+    memory_estimates,
+    stratified_coverage,
+    wilson_interval,
+)
+from repro.errors import AnalysisError
+from repro.fi.memory import Region
+
+
+class TestWilson:
+    def test_contains_point_estimate(self):
+        low, high = wilson_interval(30, 100)
+        assert low < 0.30 < high
+
+    def test_degenerate_zero(self):
+        low, high = wilson_interval(0, 50)
+        assert low == 0.0
+        assert 0.0 < high < 0.2
+
+    def test_degenerate_full(self):
+        low, high = wilson_interval(50, 50)
+        assert 0.8 < low < 1.0
+        assert high == 1.0
+
+    def test_no_data_full_interval(self):
+        assert wilson_interval(0, 0) == (0.0, 1.0)
+
+    def test_shrinks_with_n(self):
+        small = wilson_interval(5, 10)
+        large = wilson_interval(500, 1000)
+        assert (large[1] - large[0]) < (small[1] - small[0])
+
+    def test_invalid_counts_rejected(self):
+        with pytest.raises(AnalysisError):
+            wilson_interval(5, 4)
+        with pytest.raises(AnalysisError):
+            wilson_interval(-1, 4)
+
+
+class TestBinomialEstimate:
+    def test_fields(self):
+        est = binomial_estimate(7, 10)
+        assert est.point == 0.7
+        assert est.low < 0.7 < est.high
+        assert "7/10" in est.describe()
+
+    def test_overlap(self):
+        a = binomial_estimate(50, 100)
+        b = binomial_estimate(55, 100)
+        c = binomial_estimate(99, 100)
+        assert a.overlaps(b)
+        assert not a.overlaps(c)
+
+
+class TestStratified:
+    def test_equal_strata_match_pooled(self):
+        strata = [
+            Stratum("a", 5, 10, weight=1),
+            Stratum("b", 5, 10, weight=1),
+        ]
+        est = stratified_coverage(strata)
+        assert est.point == pytest.approx(0.5)
+        assert est.detected == 10 and est.n == 20
+
+    def test_weights_matter(self):
+        strata = [
+            Stratum("common", 9, 10, weight=9),
+            Stratum("rare", 0, 10, weight=1),
+        ]
+        est = stratified_coverage(strata)
+        assert est.point == pytest.approx(0.81)
+
+    def test_empty_strata_rejected(self):
+        with pytest.raises(AnalysisError):
+            stratified_coverage([])
+
+    def test_zero_weight_sum_rejected(self):
+        with pytest.raises(AnalysisError):
+            stratified_coverage([Stratum("a", 0, 10, weight=0)])
+
+    def test_invalid_stratum_rejected(self):
+        with pytest.raises(AnalysisError):
+            Stratum("a", 5, 4, weight=1)
+        with pytest.raises(AnalysisError):
+            Stratum("a", 1, 4, weight=-1)
+
+    def test_interval_within_unit(self):
+        est = stratified_coverage(
+            [Stratum("a", 1, 2, weight=1), Stratum("b", 0, 0, weight=1)]
+        )
+        assert 0.0 <= est.low <= est.high <= 1.0
+
+
+class TestCampaignBridges:
+    def test_detection_estimates(self, ctx):
+        result = ctx.detection_result()
+        estimates = detection_estimates(result)
+        assert set(estimates) == set(result.targets)
+        for target, est in estimates.items():
+            assert est.point == pytest.approx(
+                result.total_coverage(target)
+            )
+            assert 0.0 <= est.low <= est.point <= est.high <= 1.0
+
+    def test_detection_estimates_subset(self, ctx):
+        result = ctx.detection_result()
+        sub = detection_estimates(result, ["EA4"])
+        full = detection_estimates(result)
+        for target in result.targets:
+            assert sub[target].point <= full[target].point
+
+    def test_memory_estimates(self, ctx):
+        result = ctx.memory_result()
+        estimates = memory_estimates(result, result.ea_names)
+        assert {"ram", "stack", "total"} <= set(estimates)
+        assert estimates["total"].n == (
+            estimates["ram"].n + estimates["stack"].n
+        )

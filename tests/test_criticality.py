@@ -1,0 +1,100 @@
+"""Unit tests for repro.core.criticality (Eqs. 3 and 4)."""
+
+import pytest
+
+from repro.core.criticality import (
+    OutputCriticalities,
+    all_criticalities,
+    criticality_ranking,
+    signal_criticality,
+    signal_criticality_for_output,
+)
+from repro.core.impact import impact, impact_ranking
+from repro.errors import AnalysisError
+
+
+def crits(graph, value=1.0):
+    return OutputCriticalities(graph, {"TOC2": value})
+
+
+class TestOutputCriticalities:
+    def test_valid_assignment(self, graph):
+        oc = crits(graph, 0.7)
+        assert oc["TOC2"] == 0.7
+        assert oc.outputs() == ["TOC2"]
+
+    def test_missing_output_rejected(self, graph):
+        with pytest.raises(AnalysisError, match="missing"):
+            OutputCriticalities(graph, {})
+
+    def test_non_output_rejected(self, graph):
+        with pytest.raises(AnalysisError, match="non-output"):
+            OutputCriticalities(graph, {"TOC2": 1.0, "SetValue": 0.5})
+
+    def test_out_of_range_rejected(self, graph):
+        with pytest.raises(AnalysisError):
+            OutputCriticalities(graph, {"TOC2": 1.5})
+        with pytest.raises(AnalysisError):
+            OutputCriticalities(graph, {"TOC2": -0.1})
+
+    def test_unknown_lookup_rejected(self, graph):
+        oc = crits(graph)
+        with pytest.raises(AnalysisError):
+            oc["SetValue"]
+
+
+class TestEquations:
+    def test_eq3_is_scaled_impact(self, matrix, graph):
+        oc = crits(graph, 0.5)
+        expected = 0.5 * impact(matrix, graph, "SetValue", "TOC2")
+        assert signal_criticality_for_output(
+            matrix, graph, oc, "SetValue", "TOC2"
+        ) == pytest.approx(expected)
+
+    def test_eq4_single_output_equals_eq3(self, matrix, graph):
+        oc = crits(graph, 0.5)
+        for signal in ("SetValue", "pulscnt", "mscnt"):
+            assert signal_criticality(
+                matrix, graph, oc, signal
+            ) == pytest.approx(
+                signal_criticality_for_output(
+                    matrix, graph, oc, signal, "TOC2"
+                )
+            )
+
+    def test_zero_criticality_output_zeroes_everything(self, matrix, graph):
+        oc = crits(graph, 0.0)
+        assert signal_criticality(matrix, graph, oc, "OutValue") == 0.0
+
+    def test_criticality_bounded(self, matrix, graph, system):
+        oc = crits(graph, 1.0)
+        for signal in system.signal_names():
+            if system.signal(signal).is_system_output:
+                continue
+            value = signal_criticality(matrix, graph, oc, signal)
+            assert 0.0 <= value <= 1.0
+
+
+class TestSingleOutputScaling:
+    def test_relative_order_unchanged(self, matrix, graph):
+        """Section 8: with one output, criticality is a constant scaling
+        — the relative order among signals cannot change."""
+        oc = crits(graph, 0.37)
+        crit_order = [
+            name for name, _ in criticality_ranking(matrix, graph, oc)
+        ]
+        impact_order = [name for name, _ in impact_ranking(matrix, graph)]
+        assert crit_order == impact_order
+
+    def test_values_scale_linearly(self, matrix, graph):
+        oc = crits(graph, 0.37)
+        for name, value in all_criticalities(matrix, graph, oc).items():
+            if value is None:
+                continue
+            assert value == pytest.approx(
+                0.37 * impact(matrix, graph, name, "TOC2")
+            )
+
+    def test_outputs_have_no_criticality(self, matrix, graph):
+        oc = crits(graph)
+        assert all_criticalities(matrix, graph, oc)["TOC2"] is None

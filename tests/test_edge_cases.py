@@ -1,0 +1,182 @@
+"""Edge-case and failure-injection tests across the stack.
+
+These exercise the corners the main suites do not: derailed
+scheduling, starvation, extreme corruption values, boundary timing,
+and variant-target campaigns.
+"""
+
+import pytest
+
+from repro.edm import EA_BY_NAME, MonitorBank
+from repro.fi import (
+    FaultInjector,
+    InputSignalFlip,
+    MemoryMap,
+    PeriodicMemoryFlip,
+    PermeabilityCampaign,
+    Region,
+)
+from repro.fi.memory import CellKind
+from repro.target import constants as C
+from repro.target.simulation import ArrestmentSimulator
+from repro.target.variants import telemetry_simulator
+
+
+class TestSchedulerDerailment:
+    """Corrupting the slot machinery must degrade gracefully."""
+
+    def _slot_location(self, system, cell):
+        return next(
+            loc for loc in MemoryMap(system).locations()
+            if loc.module == "CLOCK" and loc.cell == cell
+            and loc.byte_offset == 0
+        )
+
+    def test_corrupted_successor_table_starves_modules(
+        self, mid_case, system
+    ):
+        """A successor entry pointing backwards traps the cycle; the
+        run must still terminate (timeout/abort) and EA5 must see it."""
+        loc = self._slot_location(system, "slot_succ7")
+        sim = ArrestmentSimulator(mid_case)
+        bank = MonitorBank(list(EA_BY_NAME.values())).attach(sim)
+        FaultInjector(
+            # one early flip; period longer than any run
+            PeriodicMemoryFlip(loc, 2, period_ticks=10**6, start_tick=100)
+        ).attach(sim)
+        result = sim.run()
+        assert result.ticks_run > 0  # terminated
+        assert bank.state("EA5").fired
+
+    def test_out_of_range_slot_recovers(self, mid_case):
+        """Poking a huge slot value restarts the cycle instead of
+        hanging the dispatcher."""
+        sim = ArrestmentSimulator(mid_case)
+        sim.add_pre_tick(
+            lambda tick: (
+                sim.executor.store.poke("ms_slot_nbr", 40000)
+                if tick == 500 else None
+            )
+        )
+        result = sim.run()
+        # the system recovers and still arrests the aircraft
+        assert result.arrested
+
+    def test_modules_keep_running_after_phase_shift(self, mid_case):
+        sim = ArrestmentSimulator(mid_case)
+        invocations = []
+        sim.add_post_invoke(lambda r: invocations.append(r.module))
+        sim.add_pre_tick(
+            lambda tick: (
+                sim.executor.store.poke("ms_slot_nbr", 40000)
+                if tick == 500 else None
+            )
+        )
+        sim.run()
+        late = invocations[-200:]
+        assert "CALC" in late and "V_REG" in late
+
+
+class TestExtremeCorruption:
+    def test_max_value_pokes_everywhere_survive(self, mid_case, system):
+        """Poking every internal signal to its maximum representable
+        value mid-run must never crash the modules."""
+        internal = [
+            s.name for s in system.signals() if not s.is_system_input
+        ]
+
+        def clobber(tick):
+            if tick == 800:
+                for name in internal:
+                    spec = system.signal(name)
+                    sim.executor.store.poke(
+                        name, spec.representable_range()[1]
+                    )
+
+        sim = ArrestmentSimulator(mid_case, timeout_s=2.0)
+        sim.add_pre_tick(clobber)
+        sim.run()  # must not raise
+
+    def test_all_state_cells_clobbered_survive(self, mid_case, system):
+        def clobber(tick):
+            if tick == 800:
+                for module in sim.system.modules():
+                    for spec in module.state.specs():
+                        module.state.poke(spec.name, (1 << spec.width) - 1)
+
+        sim = ArrestmentSimulator(mid_case, timeout_s=2.0)
+        sim.add_pre_tick(clobber)
+        sim.run()  # must not raise
+
+
+class TestBoundaryTiming:
+    def test_injection_at_tick_zero(self, mid_case):
+        sim = ArrestmentSimulator(mid_case)
+        injector = FaultInjector(InputSignalFlip("TCNT", 0, 15)).attach(sim)
+        sim.run()
+        assert injector.injected
+        assert injector.first_injection_tick == 0
+
+    def test_injection_at_last_tick(self, mid_case, golden_result):
+        last = golden_result.ticks_run - 1
+        sim = ArrestmentSimulator(mid_case)
+        injector = FaultInjector(
+            InputSignalFlip("PACNT", last, 0)
+        ).attach(sim)
+        result = sim.run()
+        assert injector.injected
+        # injected after completion: not an active error
+        assert injector.first_injection_tick > result.completion_tick
+
+    def test_period_one_injects_every_tick(self, mid_case, system):
+        loc = next(
+            l for l in MemoryMap(system).locations()
+            if l.kind is CellKind.STATE and l.cell == "mscnt"
+        )
+        sim = ArrestmentSimulator(mid_case, timeout_s=0.05)
+        injector = FaultInjector(
+            PeriodicMemoryFlip(loc, 0, period_ticks=1)
+        ).attach(sim)
+        result = sim.run()
+        assert len(injector.events) == result.ticks_run
+
+
+class TestVariantCampaigns:
+    def test_permeability_campaign_on_variant(self, test_cases):
+        """The campaign drivers are target-shape agnostic."""
+        campaign = PermeabilityCampaign(
+            telemetry_simulator, [test_cases[12]],
+            runs_per_input=2, seed=3,
+        )
+        estimate = campaign.run()
+        assert len(estimate.values) == 29
+        report_pairs = [
+            k for k in estimate.values if k[0] == "REPORT"
+        ]
+        assert len(report_pairs) == 4
+
+    def test_variant_memory_map_includes_report(self, test_cases):
+        sim = telemetry_simulator(test_cases[0])
+        memory_map = MemoryMap(sim.system)
+        report_locations = [
+            loc for loc in memory_map.locations()
+            if loc.module == "REPORT"
+        ]
+        kinds = {loc.kind for loc in report_locations}
+        assert CellKind.STATE in kinds and CellKind.ARG in kinds
+
+
+class TestOverrunAbort:
+    def test_stuck_low_pressure_aborts_at_limit(self, test_cases):
+        """Forcing the brake command to zero overruns the runway; the
+        simulation aborts at the margin instead of running forever."""
+        tc = test_cases[4]  # light and fast
+        sim = ArrestmentSimulator(tc)
+        sim.add_pre_tick(
+            lambda tick: sim.executor.store.poke("TOC2", 0)
+        )
+        result = sim.run()
+        assert not result.arrested
+        assert result.failed
+        limit = C.MAX_STOPPING_DISTANCE_M + C.OVERRUN_ABORT_MARGIN_M
+        assert result.stop_distance_m <= limit + 1.0

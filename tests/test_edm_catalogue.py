@@ -1,0 +1,130 @@
+"""Unit tests for the EA catalogue, cost model and monitor bank."""
+
+import pytest
+
+from repro.edm.assertions import EAKind
+from repro.edm.catalogue import (
+    EA_BY_NAME,
+    EA_BY_SIGNAL,
+    EH_SET,
+    EXTENDED_SET,
+    PA_SET,
+    assertion_names_for_signals,
+    assertions_for_signals,
+)
+from repro.edm.cost import compare_costs, cost_of_signals
+from repro.edm.monitors import MonitorBank
+from repro.errors import AssertionSpecError
+from repro.experiments.paper_data import (
+    PAPER_TABLE3_EA_COSTS,
+    PAPER_TABLE3_TOTALS,
+)
+from repro.target.simulation import ArrestmentSimulator
+
+
+class TestCatalogue:
+    def test_seven_assertions(self):
+        assert sorted(EA_BY_NAME) == [f"EA{i}" for i in range(1, 8)]
+
+    @pytest.mark.parametrize("name", sorted(EA_BY_NAME))
+    def test_costs_match_paper_table3(self, name):
+        rom, ram = PAPER_TABLE3_EA_COSTS[name]
+        assert EA_BY_NAME[name].rom_bytes == rom
+        assert EA_BY_NAME[name].ram_bytes == ram
+
+    def test_signals_unique(self):
+        signals = [spec.signal for spec in EA_BY_NAME.values()]
+        assert len(set(signals)) == len(signals)
+
+    def test_paper_set_membership(self):
+        assert set(PA_SET) < set(EH_SET)
+        assert set(EXTENDED_SET) == set(EH_SET)
+
+    def test_assertions_for_signals(self):
+        specs = assertions_for_signals(PA_SET)
+        assert {s.name for s in specs} == {"EA1", "EA3", "EA4", "EA7"}
+
+    def test_unknown_signal_rejected(self):
+        with pytest.raises(AssertionSpecError, match="slow_speed"):
+            assertions_for_signals(["slow_speed"])
+
+    def test_counter_assertions_are_sequences(self):
+        assert EA_BY_SIGNAL["mscnt"].kind is EAKind.SEQUENCE
+        assert EA_BY_SIGNAL["ms_slot_nbr"].kind is EAKind.SEQUENCE
+
+    def test_accumulator_assertions_are_monotonic(self):
+        assert EA_BY_SIGNAL["pulscnt"].kind is EAKind.MONOTONIC
+        assert EA_BY_SIGNAL["i"].kind is EAKind.MONOTONIC
+
+
+class TestCosts:
+    def test_eh_totals_match_paper(self):
+        cost = cost_of_signals(EH_SET)
+        assert (cost.rom_bytes, cost.ram_bytes) == PAPER_TABLE3_TOTALS["EH"]
+
+    def test_pa_totals_match_paper(self):
+        cost = cost_of_signals(PA_SET)
+        assert (cost.rom_bytes, cost.ram_bytes) == PAPER_TABLE3_TOTALS["PA"]
+
+    def test_memory_saving_about_40_percent(self):
+        savings = compare_costs(cost_of_signals(EH_SET), cost_of_signals(PA_SET))
+        assert 0.35 <= savings["memory_saving"] <= 0.50
+
+    def test_execution_saving_tracks_ea_count(self):
+        savings = compare_costs(cost_of_signals(EH_SET), cost_of_signals(PA_SET))
+        assert savings["execution_saving"] == pytest.approx(3 / 7)
+
+    def test_relative_execution_overhead(self):
+        eh = cost_of_signals(EH_SET)
+        pa = cost_of_signals(PA_SET)
+        assert pa.execution_overhead_relative_to(eh) == pytest.approx(4 / 7)
+
+
+class TestMonitorBank:
+    def test_duplicate_names_rejected(self):
+        spec = EA_BY_NAME["EA1"]
+        with pytest.raises(AssertionSpecError):
+            MonitorBank([spec, spec])
+
+    def test_bad_period_rejected(self):
+        with pytest.raises(AssertionSpecError):
+            MonitorBank([EA_BY_NAME["EA1"]], period=0)
+
+    def test_unknown_signal_rejected_at_attach(self, mid_case):
+        from repro.edm.assertions import AssertionSpec
+
+        bank = MonitorBank([
+            AssertionSpec("X", "ghost", EAKind.BOOLEAN)
+        ])
+        with pytest.raises(AssertionSpecError, match="ghost"):
+            bank.attach(ArrestmentSimulator(mid_case))
+
+    def test_silent_on_golden_run(self, mid_case):
+        sim = ArrestmentSimulator(mid_case)
+        bank = MonitorBank(list(EA_BY_NAME.values())).attach(sim)
+        sim.run()
+        records = bank.records()
+        assert len(records) == 7
+        assert not any(r.fired for r in records.values())
+        assert not bank.any_fired()
+
+    def test_fired_eas_filters_by_tick(self, mid_case):
+        sim = ArrestmentSimulator(mid_case)
+        bank = MonitorBank(list(EA_BY_NAME.values())).attach(sim)
+        # corrupt pulscnt's backing store right before an EA slot (the
+        # producer would rewrite it within the next cycle otherwise)
+        def corrupt(tick):
+            if tick == 1018:
+                sim.executor.store.poke("pulscnt", 60000)
+        sim.add_pre_tick(corrupt)
+        sim.run()
+        assert "EA4" in bank.fired_eas()
+        assert "EA4" in bank.fired_eas(after_tick=500)
+        assert bank.any_fired({"EA4"})
+        assert not bank.any_fired({"EA6"})
+
+    def test_state_lookup(self):
+        bank = MonitorBank([EA_BY_NAME["EA1"]])
+        assert bank.state("EA1").spec.signal == "SetValue"
+        with pytest.raises(AssertionSpecError):
+            bank.state("EA9")

@@ -1,0 +1,77 @@
+"""Unit tests for repro.core.exposure — checked against paper Table 2."""
+
+import pytest
+
+from repro.core.exposure import (
+    all_signal_exposures,
+    exposure_ranking,
+    module_exposure,
+    non_weighted_module_exposure,
+    signal_exposure,
+)
+from repro.experiments.paper_data import PAPER_TABLE2_EXPOSURE
+
+
+class TestSignalExposure:
+    @pytest.mark.parametrize(
+        "signal,expected", sorted(PAPER_TABLE2_EXPOSURE.items())
+    )
+    def test_matches_paper_table2(self, matrix, signal, expected):
+        assert signal_exposure(matrix, signal) == pytest.approx(
+            expected, abs=5e-4
+        )
+
+    def test_system_inputs_have_no_exposure(self, matrix):
+        for signal in ("PACNT", "TIC1", "TCNT", "ADC"):
+            assert signal_exposure(matrix, signal) is None
+
+    def test_all_signal_exposures_covers_everything(self, system, matrix):
+        exposures = all_signal_exposures(matrix)
+        assert set(exposures) == set(system.signal_names())
+
+    def test_exposure_is_column_sum(self, system, matrix):
+        # X_s(i) = sum of CALC permeabilities into output i
+        expected = sum(
+            matrix[pair] for pair in system.pairs_into_signal("i")
+        )
+        assert signal_exposure(matrix, "i") == pytest.approx(expected)
+
+
+class TestModuleExposure:
+    def test_non_weighted_sums_input_signal_exposures(self, matrix):
+        # V_REG inputs: SetValue (1.478) + IsValue (0.000)
+        assert non_weighted_module_exposure(
+            matrix, "V_REG"
+        ) == pytest.approx(1.478, abs=5e-4)
+
+    def test_weighted_divides_by_input_count(self, matrix):
+        assert module_exposure(matrix, "V_REG") == pytest.approx(
+            1.478 / 2, abs=5e-4
+        )
+
+    def test_system_input_signals_contribute_zero(self, matrix):
+        # DIST_S reads only system inputs -> zero exposure
+        assert non_weighted_module_exposure(matrix, "DIST_S") == 0.0
+        assert module_exposure(matrix, "DIST_S") == 0.0
+
+    def test_pres_a_exposure_is_outvalue(self, matrix):
+        assert non_weighted_module_exposure(
+            matrix, "PRES_A"
+        ) == pytest.approx(1.781, abs=5e-4)
+
+
+class TestRanking:
+    def test_ranking_descending_and_complete(self, matrix):
+        ranking = exposure_ranking(matrix)
+        values = [v for _, v in ranking]
+        assert values == sorted(values, reverse=True)
+        # 10 non-system-input signals
+        assert len(ranking) == 10
+
+    def test_paper_top_three(self, matrix):
+        top = [name for name, _ in exposure_ranking(matrix)[:3]]
+        assert top == ["OutValue", "i", "SetValue"]
+
+    def test_system_inputs_excluded(self, matrix):
+        names = {name for name, _ in exposure_ranking(matrix)}
+        assert names.isdisjoint({"PACNT", "TIC1", "TCNT", "ADC"})

@@ -1,0 +1,133 @@
+"""Unit tests for repro.model.graph (signal graph, path enumeration)."""
+
+import pytest
+
+from repro.errors import AnalysisError, UnknownSignalError
+from repro.model.graph import PropagationPath, SignalGraph
+
+
+class TestStructure:
+    def test_all_signals_are_nodes(self, system, graph):
+        assert set(graph.signals()) == set(system.signal_names())
+
+    def test_out_edges_of_pulscnt(self, graph):
+        # pulscnt feeds CALC inputs -> edges to i and SetValue
+        outs = {(e.module, e.out_signal) for e in graph.out_edges("pulscnt")}
+        assert outs == {("CALC", "i"), ("CALC", "SetValue")}
+
+    def test_in_edges_of_toc2(self, graph):
+        ins = [(e.module, e.in_signal) for e in graph.in_edges("TOC2")]
+        assert ins == [("PRES_A", "OutValue")]
+
+    def test_self_loop_edges_exist(self, graph):
+        self_edges = [
+            e for e in graph.out_edges("ms_slot_nbr")
+            if e.out_signal == "ms_slot_nbr"
+        ]
+        assert len(self_edges) == 1
+        assert self_edges[0].module == "CLOCK"
+
+    def test_unknown_signal_rejected(self, graph):
+        with pytest.raises(UnknownSignalError):
+            graph.out_edges("nope")
+
+
+class TestPaths:
+    def test_pulscnt_to_toc2_has_two_paths(self, graph):
+        """The paper's Fig. 4: exactly two propagation paths."""
+        paths = graph.paths("pulscnt", "TOC2")
+        assert len(paths) == 2
+        lengths = sorted(len(p) for p in paths)
+        assert lengths == [3, 4]
+
+    def test_paths_do_not_revisit_signals(self, graph):
+        for source in graph.signals():
+            for path in graph.paths_to_outputs(source):
+                signals = path.signals
+                assert len(set(signals)) == len(signals)
+
+    def test_self_loop_never_in_path(self, graph):
+        for path in graph.paths("i", "TOC2"):
+            for edge in path.edges:
+                assert edge.in_signal != edge.out_signal
+
+    def test_pacnt_to_toc2_paths(self, graph):
+        paths = graph.paths("PACNT", "TOC2")
+        # PACNT -> {pulscnt, slow_speed, stopped} -> ... -> TOC2
+        assert len(paths) >= 3
+        for path in paths:
+            assert path.source == "PACNT"
+            assert path.destination == "TOC2"
+
+    def test_no_path_from_output(self, graph):
+        assert graph.paths("TOC2", "TOC2") == []
+
+    def test_max_length_limits(self, graph):
+        paths = graph.paths("pulscnt", "TOC2", max_length=3)
+        assert all(len(p) <= 3 for p in paths)
+        assert len(paths) == 1
+
+    def test_paths_from_inputs(self, graph):
+        paths = graph.paths_from_inputs("pulscnt")
+        assert {p.source for p in paths} <= {"PACNT", "TIC1", "TCNT", "ADC"}
+        assert all(p.destination == "pulscnt" for p in paths)
+
+
+class TestReachability:
+    def test_reachable_from_pacnt(self, graph):
+        reachable = graph.reachable_from("PACNT")
+        assert "TOC2" in reachable
+        assert "pulscnt" in reachable
+        assert "IsValue" not in reachable  # ADC chain is separate
+
+    def test_reaching_toc2(self, graph):
+        reaching = graph.reaching("TOC2")
+        assert "PACNT" in reaching and "ADC" in reaching
+        assert "TOC2" not in reaching  # no cycle through the output
+
+    def test_has_cycle_true_for_target(self, graph):
+        # the i and ms_slot_nbr self-loops are cycles
+        assert graph.has_cycle()
+
+    def test_has_cycle_false_for_dag(self):
+        from repro.model.module import FunctionModule
+        from repro.model.signal import SignalRole, SignalSpec
+        from repro.model.system import SystemModel
+
+        system = SystemModel()
+        system.add_signal(SignalSpec("a", role=SignalRole.SYSTEM_INPUT))
+        system.add_signal(SignalSpec("b", role=SignalRole.SYSTEM_OUTPUT))
+        system.add_module(FunctionModule(
+            "M", inputs=["a"], outputs=["b"],
+            fn=lambda args, state: {"b": args["a"]}))
+        system.connect_input("a", "M", "a")
+        system.bind_output("b", "M", "b")
+        assert not SignalGraph(system).has_cycle()
+
+
+class TestPropagationPath:
+    def test_weight_is_product(self, graph, matrix):
+        path = graph.paths("pulscnt", "TOC2", max_length=4)
+        long_path = [p for p in path if len(p) == 4][0]
+        expected = 0.494 * 0.056 * 0.885 * 0.875
+        assert long_path.weight(matrix.__getitem__) == pytest.approx(expected)
+
+    def test_describe_mentions_labels(self, graph):
+        path = graph.paths("OutValue", "TOC2")[0]
+        text = path.describe()
+        assert "OutValue" in text and "TOC2" in text
+        assert "P^PRES_A_{1,1}" in text
+
+    def test_empty_path_rejected(self):
+        with pytest.raises(AnalysisError):
+            PropagationPath(())
+
+    def test_discontinuous_path_rejected(self, graph):
+        e1 = graph.out_edges("OutValue")[0]  # OutValue -> TOC2
+        e2 = graph.out_edges("pulscnt")[0]
+        with pytest.raises(AnalysisError):
+            PropagationPath((e1, e2))
+
+    def test_signals_sequence(self, graph):
+        path = graph.paths("OutValue", "TOC2")[0]
+        assert path.signals == ("OutValue", "TOC2")

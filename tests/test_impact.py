@@ -1,0 +1,89 @@
+"""Unit tests for repro.core.impact — checked against paper Table 5."""
+
+import pytest
+
+from repro.core.impact import (
+    all_impacts,
+    impact,
+    impact_on_all_outputs,
+    impact_ranking,
+    path_weights,
+)
+from repro.errors import AnalysisError
+from repro.experiments.paper_data import PAPER_TABLE5_IMPACT
+
+
+class TestImpactValues:
+    @pytest.mark.parametrize(
+        "signal,expected",
+        sorted(
+            (k, v) for k, v in PAPER_TABLE5_IMPACT.items() if v is not None
+        ),
+    )
+    def test_matches_paper_table5(self, matrix, graph, signal, expected):
+        assert impact(matrix, graph, signal, "TOC2") == pytest.approx(
+            expected, abs=1.5e-3
+        )
+
+    def test_worked_example_pulscnt(self, matrix, graph):
+        """Section 8's worked example: impact(pulscnt -> TOC2) = 0.021."""
+        assert impact(matrix, graph, "pulscnt", "TOC2") == pytest.approx(
+            0.021, abs=5e-4
+        )
+
+    def test_impact_in_unit_interval(self, matrix, graph, system):
+        for signal in system.signal_names():
+            if system.signal(signal).is_system_output:
+                continue
+            value = impact(matrix, graph, signal, "TOC2")
+            assert 0.0 <= value <= 1.0
+
+    def test_impact_requires_output_destination(self, matrix, graph):
+        with pytest.raises(AnalysisError):
+            impact(matrix, graph, "pulscnt", "SetValue")
+
+
+class TestPathWeights:
+    def test_fig4_weights(self, matrix, graph):
+        weights = path_weights(matrix, graph, "pulscnt", "TOC2")
+        assert len(weights) == 2
+        values = sorted(w for _, w in weights)
+        assert values[0] == pytest.approx(0.0)
+        assert values[1] == pytest.approx(
+            0.494 * 0.056 * 0.885 * 0.875
+        )
+
+    def test_weights_nonnegative(self, matrix, graph, system):
+        for signal in system.signal_names():
+            if system.signal(signal).is_system_output:
+                continue
+            for _, weight in path_weights(matrix, graph, signal, "TOC2"):
+                assert 0.0 <= weight <= 1.0
+
+
+class TestAllImpacts:
+    def test_single_output_default(self, matrix, graph):
+        impacts = all_impacts(matrix, graph)
+        assert impacts["TOC2"] is None
+        assert impacts["OutValue"] == pytest.approx(0.875)
+
+    def test_output_has_no_impact_value(self, matrix, graph):
+        assert all_impacts(matrix, graph, "TOC2")["TOC2"] is None
+
+    def test_impact_on_all_outputs(self, matrix, graph):
+        per_output = impact_on_all_outputs(matrix, graph, "OutValue")
+        assert set(per_output) == {"TOC2"}
+
+    def test_ranking_descending(self, matrix, graph):
+        ranking = impact_ranking(matrix, graph)
+        values = [v for _, v in ranking]
+        assert values == sorted(values, reverse=True)
+        assert ranking[0][0] == "OutValue"
+
+    def test_paper_high_impact_group(self, matrix, graph):
+        """Section 10: IsValue, mscnt and slow_speed stand out."""
+        impacts = all_impacts(matrix, graph)
+        assert impacts["IsValue"] > 0.7
+        assert impacts["mscnt"] > 0.3
+        assert impacts["slow_speed"] > 0.6
+        # despite all three having (near-)zero exposure

@@ -1,0 +1,199 @@
+"""Unit tests for repro.fi.models and repro.fi.injector."""
+
+import pytest
+
+from repro.errors import InjectionError
+from repro.fi.injector import FaultInjector
+from repro.fi.memory import CellKind, MemoryMap, Region
+from repro.fi.models import (
+    DEFAULT_PERIOD_TICKS,
+    InputSignalFlip,
+    ModuleInputFlip,
+    PeriodicMemoryFlip,
+)
+from repro.target.simulation import ArrestmentSimulator
+
+
+class TestSpecValidation:
+    def test_negative_tick_rejected(self):
+        with pytest.raises(InjectionError):
+            InputSignalFlip("PACNT", -1, 0)
+
+    def test_negative_bit_rejected(self):
+        with pytest.raises(InjectionError):
+            InputSignalFlip("PACNT", 0, -1)
+        with pytest.raises(InjectionError):
+            ModuleInputFlip("CALC", "i", 0, -1)
+
+    def test_periodic_needs_positive_period(self, system):
+        loc = MemoryMap(system).locations()[0]
+        with pytest.raises(InjectionError):
+            PeriodicMemoryFlip(loc, 0, period_ticks=0)
+
+    def test_periodic_bit_within_location(self, system):
+        loc = MemoryMap(system).locations()[0]
+        with pytest.raises(InjectionError):
+            PeriodicMemoryFlip(loc, loc.valid_bits)
+
+    def test_default_period_is_20ms(self):
+        assert DEFAULT_PERIOD_TICKS == 20
+
+    def test_labels(self, system):
+        assert InputSignalFlip("PACNT", 5, 3).label == "input:PACNT@t5b3"
+        assert "CALC.i" in ModuleInputFlip("CALC", "i", 5, 3).label
+        loc = MemoryMap(system).locations()[0]
+        assert loc.label in PeriodicMemoryFlip(loc, 0).label
+
+
+class TestAttachmentChecks:
+    def test_input_flip_requires_system_input(self, mid_case):
+        sim = ArrestmentSimulator(mid_case)
+        with pytest.raises(InjectionError, match="not a system input"):
+            FaultInjector(InputSignalFlip("pulscnt", 0, 0)).attach(sim)
+
+    def test_input_flip_bit_range_checked(self, mid_case):
+        sim = ArrestmentSimulator(mid_case)
+        with pytest.raises(InjectionError, match="width"):
+            FaultInjector(InputSignalFlip("PACNT", 0, 8)).attach(sim)
+
+    def test_module_flip_port_checked(self, mid_case):
+        sim = ArrestmentSimulator(mid_case)
+        with pytest.raises(InjectionError, match="no input port"):
+            FaultInjector(ModuleInputFlip("CALC", "nope", 0, 0)).attach(sim)
+
+    def test_double_attach_rejected(self, mid_case):
+        injector = FaultInjector(InputSignalFlip("PACNT", 0, 0))
+        injector.attach(ArrestmentSimulator(mid_case))
+        with pytest.raises(InjectionError, match="already attached"):
+            injector.attach(ArrestmentSimulator(mid_case))
+
+
+class TestInputSignalInjection:
+    def test_flip_is_applied_once_and_persists_in_register(self, mid_case):
+        sim = ArrestmentSimulator(mid_case)
+        injector = FaultInjector(InputSignalFlip("PACNT", 50, 7)).attach(sim)
+        sim.run()
+        assert injector.injected
+        assert len(injector.events) == 1
+        event = injector.events[0]
+        assert event.tick == 50
+        assert event.after == event.before ^ 0x80
+
+    def test_flip_after_timeout_never_applies(self, mid_case):
+        sim = ArrestmentSimulator(mid_case, timeout_s=0.05)
+        injector = FaultInjector(
+            InputSignalFlip("PACNT", 10**6, 0)
+        ).attach(sim)
+        sim.run()
+        assert not injector.injected
+        assert injector.first_injection_tick is None
+
+    def test_register_corruption_reaches_consumer(self, mid_case):
+        """A PACNT register flip must disturb pulscnt (the counter
+        keeps counting from the corrupted value)."""
+        golden = ArrestmentSimulator(mid_case).run()
+        sim = ArrestmentSimulator(mid_case)
+        FaultInjector(InputSignalFlip("PACNT", 1000, 7)).attach(sim)
+        result = sim.run()
+        diff = result.traces.first_difference(golden.traces, "pulscnt")
+        assert diff is not None and diff >= 1000
+
+
+class TestModuleInputInjection:
+    def test_applies_at_next_invocation(self, mid_case):
+        sim = ArrestmentSimulator(mid_case)
+        injector = FaultInjector(
+            ModuleInputFlip("CALC", "pulscnt", 100, 9)
+        ).attach(sim)
+        sim.run()
+        assert injector.injected
+        event = injector.events[0]
+        assert event.tick >= 100
+        assert event.target == "CALC.pulscnt"
+
+    def test_store_not_corrupted(self, mid_case):
+        """Module-input flips corrupt the read value, not the store."""
+        golden = ArrestmentSimulator(mid_case).run()
+        sim = ArrestmentSimulator(mid_case)
+        FaultInjector(ModuleInputFlip("DIST_S", "TIC1", 200, 15)).attach(sim)
+        result = sim.run()
+        # TIC1's own trace is untouched (the register was never poked)
+        assert result.traces.first_difference(golden.traces, "TIC1") is None
+
+
+class TestPeriodicMemoryInjection:
+    def _location(self, system, **query):
+        mm = MemoryMap(system)
+        for loc in mm.locations():
+            if all(getattr(loc, k) == v for k, v in query.items()):
+                return loc
+        raise AssertionError(f"no location matching {query}")
+
+    def test_ram_state_flip_repeats_each_period(self, mid_case, system):
+        loc = self._location(
+            system, module="CLOCK", cell="mscnt", byte_offset=0,
+            kind=CellKind.STATE,
+        )
+        sim = ArrestmentSimulator(mid_case, timeout_s=0.2)
+        injector = FaultInjector(
+            PeriodicMemoryFlip(loc, 3, period_ticks=20)
+        ).attach(sim)
+        sim.run()
+        ticks = [e.tick for e in injector.events]
+        assert ticks[:3] == [0, 20, 40]
+
+    def test_signal_store_flip(self, mid_case, system):
+        loc = self._location(
+            system, cell="SetValue", kind=CellKind.SIGNAL, byte_offset=1,
+        )
+        sim = ArrestmentSimulator(mid_case, timeout_s=0.1)
+        injector = FaultInjector(
+            PeriodicMemoryFlip(loc, 5, period_ticks=20, start_tick=7)
+        ).attach(sim)
+        sim.run()
+        assert injector.events[0].tick == 7
+        assert injector.events[0].after == injector.events[0].before ^ (
+            1 << 13
+        )
+
+    def test_stack_arg_flip_strikes_at_marshal(self, mid_case, system):
+        loc = self._location(
+            system, module="CALC", cell="pulscnt", kind=CellKind.ARG,
+            byte_offset=0,
+        )
+        sim = ArrestmentSimulator(mid_case, timeout_s=0.2)
+        injector = FaultInjector(
+            PeriodicMemoryFlip(loc, 2, period_ticks=20)
+        ).attach(sim)
+        sim.run()
+        assert injector.injected
+        # CALC runs in slot 5, i.e. at ticks == 4 (mod 20)
+        assert all(e.tick % 20 == 4 for e in injector.events)
+
+    def test_stack_local_flip_strikes_at_write(self, mid_case, system):
+        loc = self._location(
+            system, module="CALC", cell="target", kind=CellKind.LOCAL,
+            byte_offset=1,
+        )
+        sim = ArrestmentSimulator(mid_case, timeout_s=0.2)
+        injector = FaultInjector(
+            PeriodicMemoryFlip(loc, 6, period_ticks=20)
+        ).attach(sim)
+        sim.run()
+        assert injector.injected
+        assert all(e.target == loc.label for e in injector.events)
+
+    def test_armed_corruption_strikes_once_per_period(self, mid_case, system):
+        loc = self._location(
+            system, module="V_REG", cell="SetValue", kind=CellKind.ARG,
+            byte_offset=0,
+        )
+        sim = ArrestmentSimulator(mid_case, timeout_s=0.2)
+        injector = FaultInjector(
+            PeriodicMemoryFlip(loc, 1, period_ticks=40)
+        ).attach(sim)
+        sim.run()
+        ticks = [e.tick for e in injector.events]
+        assert len(ticks) == len(set(ticks))
+        for t1, t2 in zip(ticks, ticks[1:]):
+            assert t2 - t1 >= 40

@@ -1,0 +1,93 @@
+"""Unit tests for repro.fi.memory (the injectable address space)."""
+
+import pytest
+
+from repro.errors import InjectionError
+from repro.fi.memory import CellKind, MemoryMap, Region
+
+
+@pytest.fixture
+def memory_map(system):
+    return MemoryMap(system)
+
+
+class TestMapStructure:
+    def test_regions_partition_the_map(self, memory_map):
+        assert memory_map.ram_size() + memory_map.stack_size() == len(
+            memory_map
+        )
+
+    def test_ram_contains_state_and_signal_stores(self, memory_map):
+        kinds = {
+            loc.kind for loc in memory_map.locations(Region.RAM)
+        }
+        assert kinds == {CellKind.STATE, CellKind.SIGNAL}
+
+    def test_stack_contains_args_and_locals(self, memory_map):
+        kinds = {
+            loc.kind for loc in memory_map.locations(Region.STACK)
+        }
+        assert kinds == {CellKind.ARG, CellKind.LOCAL}
+
+    def test_multi_byte_cells_have_multiple_locations(self, memory_map):
+        pulscnt = [
+            loc for loc in memory_map.locations(Region.RAM)
+            if loc.cell == "pulscnt_acc"
+        ]
+        assert len(pulscnt) == 2  # 16-bit = two byte locations
+        assert {loc.byte_offset for loc in pulscnt} == {0, 1}
+
+    def test_every_module_has_ram_presence(self, system, memory_map):
+        modules_in_ram = {
+            loc.module for loc in memory_map.locations(Region.RAM)
+        }
+        assert modules_in_ram == set(system.module_names())
+
+    def test_indices_are_sequential(self, memory_map):
+        for idx, loc in enumerate(memory_map.locations()):
+            assert loc.index == idx
+
+    def test_comparable_to_paper_scale(self, memory_map):
+        """The paper used 150 RAM + 50 stack locations; our map is of
+        the same order of magnitude."""
+        assert 50 <= memory_map.ram_size() <= 250
+        assert 30 <= memory_map.stack_size() <= 120
+
+
+class TestLocations:
+    def test_valid_bits_of_partial_byte(self, memory_map):
+        adc_args = [
+            loc for loc in memory_map.locations(Region.STACK)
+            if loc.module == "PRES_S" and loc.cell == "ADC"
+        ]
+        # 10-bit cell: byte 0 has 8 valid bits, byte 1 has 2
+        by_offset = {loc.byte_offset: loc.valid_bits for loc in adc_args}
+        assert by_offset == {0: 8, 1: 2}
+
+    def test_bit_in_cell_translation(self, memory_map):
+        loc = [
+            l for l in memory_map.locations()
+            if l.cell == "pulscnt_acc" and l.byte_offset == 1
+        ][0]
+        assert loc.bit_in_cell(0) == 8
+        assert loc.bit_in_cell(7) == 15
+
+    def test_bit_out_of_range_rejected(self, memory_map):
+        loc = memory_map.locations()[0]
+        with pytest.raises(InjectionError):
+            loc.bit_in_cell(loc.valid_bits)
+
+    def test_location_lookup_by_index(self, memory_map):
+        loc = memory_map.location(0)
+        assert loc.index == 0
+        with pytest.raises(InjectionError):
+            memory_map.location(len(memory_map))
+
+    def test_labels_are_unique(self, memory_map):
+        labels = [loc.label for loc in memory_map.locations()]
+        assert len(set(labels)) == len(labels)
+
+    def test_describe_lists_everything(self, memory_map):
+        text = memory_map.describe()
+        assert f"{memory_map.ram_size()} RAM" in text
+        assert len(text.splitlines()) == len(memory_map) + 1

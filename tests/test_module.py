@@ -1,0 +1,227 @@
+"""Unit tests for repro.model.module."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.model.module import (
+    CellSpec,
+    ExecutionContext,
+    FunctionModule,
+    Module,
+    ModuleState,
+)
+from repro.model.signal import SignalType
+
+
+def make_doubler():
+    return FunctionModule(
+        "DOUBLE",
+        inputs=["x"],
+        outputs=["y"],
+        fn=lambda args, state: {"y": 2 * args["x"]},
+    )
+
+
+class TestCellSpec:
+    def test_defaults(self):
+        cell = CellSpec("c")
+        assert cell.width == 16
+        assert cell.cell_type is SignalType.UINT
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ModelError):
+            CellSpec("")
+
+    def test_bad_width_rejected(self):
+        with pytest.raises(ModelError):
+            CellSpec("c", width=0)
+
+    def test_quantize(self):
+        cell = CellSpec("c", width=8)
+        assert cell.quantize(257) == 1
+
+
+class TestModuleState:
+    def test_initial_values_quantized(self):
+        state = ModuleState([CellSpec("a", width=8, initial=300)])
+        assert state["a"] == 44
+
+    def test_set_get_roundtrip(self):
+        state = ModuleState([CellSpec("a")])
+        state["a"] = 123
+        assert state["a"] == 123
+
+    def test_set_quantizes(self):
+        state = ModuleState([CellSpec("a", width=8)])
+        state["a"] = 256
+        assert state["a"] == 0
+
+    def test_unknown_cell_read_rejected(self):
+        state = ModuleState([])
+        with pytest.raises(ModelError):
+            state["nope"]
+
+    def test_unknown_cell_write_rejected(self):
+        state = ModuleState([])
+        with pytest.raises(ModelError):
+            state["nope"] = 1
+
+    def test_duplicate_cells_rejected(self):
+        with pytest.raises(ModelError):
+            ModuleState([CellSpec("a"), CellSpec("a")])
+
+    def test_reset_restores_initials(self):
+        state = ModuleState([CellSpec("a", initial=5)])
+        state["a"] = 99
+        state.reset()
+        assert state["a"] == 5
+
+    def test_peek_poke(self):
+        state = ModuleState([CellSpec("a")])
+        state.poke("a", 7)
+        assert state.peek("a") == 7
+
+    def test_snapshot_restore(self):
+        state = ModuleState([CellSpec("a"), CellSpec("b")])
+        state["a"], state["b"] = 1, 2
+        snap = state.snapshot()
+        state["a"] = 9
+        state.restore(snap)
+        assert state["a"] == 1 and state["b"] == 2
+
+    def test_contains_and_names(self):
+        state = ModuleState([CellSpec("a")])
+        assert "a" in state and "b" not in state
+        assert state.names() == ["a"]
+
+    def test_spec_lookup(self):
+        state = ModuleState([CellSpec("a", width=8)])
+        assert state.spec("a").width == 8
+        with pytest.raises(ModelError):
+            state.spec("b")
+
+
+class TestModulePorts:
+    def test_port_indices_are_one_based(self):
+        mod = FunctionModule(
+            "M", inputs=["a", "b"], outputs=["y", "z"],
+            fn=lambda args, state: {"y": 0, "z": 0},
+        )
+        assert mod.input_index("a") == 1
+        assert mod.input_index("b") == 2
+        assert mod.output_index("z") == 2
+        assert mod.input_name(1) == "a"
+        assert mod.output_name(2) == "z"
+
+    def test_unknown_port_rejected(self):
+        mod = make_doubler()
+        with pytest.raises(ModelError):
+            mod.input_index("nope")
+        with pytest.raises(ModelError):
+            mod.output_index("nope")
+        with pytest.raises(ModelError):
+            mod.input_name(2)
+        with pytest.raises(ModelError):
+            mod.output_name(0)
+
+    def test_module_needs_output(self):
+        with pytest.raises(ModelError):
+            FunctionModule("M", inputs=["a"], outputs=[], fn=lambda a, s: {})
+
+    def test_duplicate_ports_rejected(self):
+        with pytest.raises(ModelError):
+            FunctionModule(
+                "M", inputs=["a", "a"], outputs=["y"],
+                fn=lambda args, state: {"y": 0},
+            )
+
+
+class TestExecutionContext:
+    def test_arg_access(self):
+        mod = make_doubler()
+        ctx = ExecutionContext(mod, {"x": 21})
+        assert ctx.arg("x") == 21
+        assert ctx.args() == {"x": 21}
+
+    def test_unknown_arg_rejected(self):
+        ctx = ExecutionContext(make_doubler(), {"x": 1})
+        with pytest.raises(ModelError):
+            ctx.arg("zzz")
+
+    def test_locals_roundtrip(self):
+        mod = FunctionModule(
+            "M", inputs=["x"], outputs=["y"],
+            fn=lambda args, state: {"y": 0},
+            locals_=[CellSpec("tmp", width=8)],
+        )
+        ctx = ExecutionContext(mod, {"x": 1})
+        stored = ctx.set_local("tmp", 300)
+        assert stored == 44  # quantized to 8 bits
+        assert ctx.local("tmp") == 44
+
+    def test_undeclared_local_rejected(self):
+        ctx = ExecutionContext(make_doubler(), {"x": 1})
+        with pytest.raises(ModelError):
+            ctx.set_local("tmp", 1)
+        with pytest.raises(ModelError):
+            ctx.local("tmp")
+
+    def test_local_read_before_write_rejected(self):
+        mod = FunctionModule(
+            "M", inputs=["x"], outputs=["y"],
+            fn=lambda args, state: {"y": 0},
+            locals_=[CellSpec("tmp")],
+        )
+        ctx = ExecutionContext(mod, {"x": 1})
+        with pytest.raises(ModelError):
+            ctx.local("tmp")
+
+    def test_local_hook_corrupts_stored_value(self):
+        mod = FunctionModule(
+            "M", inputs=["x"], outputs=["y"],
+            fn=lambda args, state: {"y": 0},
+            locals_=[CellSpec("tmp")],
+        )
+        ctx = ExecutionContext(
+            mod, {"x": 1}, local_hook=lambda m, n, v: v + 1
+        )
+        assert ctx.set_local("tmp", 10) == 11
+        assert ctx.local("tmp") == 11
+
+
+class TestFunctionModule:
+    def test_invoke_produces_outputs(self):
+        mod = make_doubler()
+        result = mod.invoke(ExecutionContext(mod, {"x": 21}))
+        assert result == {"y": 42}
+
+    def test_missing_output_rejected(self):
+        mod = FunctionModule(
+            "M", inputs=["x"], outputs=["y", "z"],
+            fn=lambda args, state: {"y": 1},
+        )
+        with pytest.raises(ModelError):
+            mod.invoke(ExecutionContext(mod, {"x": 1}))
+
+    def test_state_cells_usable(self):
+        def accumulate(args, state):
+            state["acc"] = state["acc"] + args["x"]
+            return {"y": state["acc"]}
+
+        mod = FunctionModule(
+            "ACC", inputs=["x"], outputs=["y"], fn=accumulate,
+            state_cells=[CellSpec("acc")],
+        )
+        mod.invoke(ExecutionContext(mod, {"x": 5}))
+        result = mod.invoke(ExecutionContext(mod, {"x": 3}))
+        assert result == {"y": 8}
+
+    def test_reset_clears_state(self):
+        mod = FunctionModule(
+            "M", inputs=["x"], outputs=["y"],
+            fn=lambda args, state: {"y": 0},
+            state_cells=[CellSpec("acc", initial=2)],
+        )
+        mod.state["acc"] = 50
+        mod.reset()
+        assert mod.state["acc"] == 2

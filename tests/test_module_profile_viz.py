@@ -1,0 +1,106 @@
+"""Tests for module-level profiling and DOT export."""
+
+import pytest
+
+from repro.core.module_profile import ModuleProfile
+from repro.core.profile import SystemProfile
+from repro.core.trees import build_backtrack_tree, build_impact_tree
+from repro.errors import AnalysisError
+from repro.viz import profile_to_dot, system_to_dot, tree_to_dot
+
+
+class TestModuleProfile:
+    @pytest.fixture
+    def profile(self, matrix):
+        return ModuleProfile(matrix)
+
+    def test_entries_for_all_modules(self, system, profile):
+        assert {e.module for e in profile.entries()} == set(
+            system.module_names()
+        )
+
+    def test_unknown_module_rejected(self, profile):
+        with pytest.raises(AnalysisError):
+            profile.entry("GHOST")
+
+    def test_vreg_values(self, profile):
+        entry = profile.entry("V_REG")
+        # (0.885 + 0.896) / 2 pairs
+        assert entry.relative_permeability == pytest.approx(0.8905)
+        # input signals: SetValue (1.478) + IsValue (0.000), over 2
+        assert entry.exposure == pytest.approx(0.739, abs=5e-4)
+
+    def test_dist_s_exposure_zero(self, profile):
+        # DIST_S reads only system inputs
+        assert profile.entry("DIST_S").exposure == 0.0
+
+    def test_rankings_descending(self, profile):
+        exposures = [e.exposure for e in profile.by_exposure()]
+        assert exposures == sorted(exposures, reverse=True)
+        perms = [
+            e.relative_permeability for e in profile.by_permeability()
+        ]
+        assert perms == sorted(perms, reverse=True)
+
+    def test_erm_candidates_are_the_pass_throughs(self, profile):
+        candidates = profile.erm_candidates(threshold=0.5)
+        assert "V_REG" in candidates and "PRES_A" in candidates
+        assert "PRES_S" not in candidates
+
+    def test_trade_off_modules(self, profile):
+        # DIST_S: permeability moderate, exposure zero; PRES_A: high
+        # permeability, OutValue exposure is high -> not a trade-off
+        trade_offs = profile.trade_off_modules(
+            permeability_threshold=0.1, exposure_threshold=0.25,
+        )
+        assert "DIST_S" in trade_offs
+        assert "PRES_A" not in trade_offs
+
+    def test_render(self, profile):
+        text = profile.render()
+        assert "Module profile" in text
+        assert "R1 (EDM) priority" in text and "R2 (ERM) priority" in text
+
+
+class TestDotExport:
+    def test_system_dot_structure(self, system):
+        dot = system_to_dot(system, title="Fig. 1")
+        assert dot.startswith("digraph")
+        assert dot.rstrip().endswith("}")
+        for module in system.module_names():
+            assert f'"{module}"' in dot
+        assert '"PACNT" -> "DIST_S"' in dot
+        assert '"PRES_A" -> "TOC2"' in dot
+        assert "Fig. 1" in dot
+
+    def test_impact_tree_dot(self, graph, matrix):
+        tree = build_impact_tree(graph, "pulscnt")
+        dot = tree_to_dot(tree, matrix, title="Fig. 4")
+        assert "P^CALC_{3,1} = 0.494" in dot
+        assert "style=dashed" in dot  # the zero-permeability edge
+        assert dot.count("->") == 7  # 8 nodes, 7 edges
+
+    def test_backtrack_tree_dot_orientation(self, graph):
+        tree = build_backtrack_tree(graph, "TOC2")
+        dot = tree_to_dot(tree)
+        # backward tree edges are re-oriented into propagation direction:
+        # some node must point *at* the root (n0)
+        assert "-> n0" in dot
+
+    def test_profile_dot_bands(self, matrix, graph):
+        profile = SystemProfile(matrix, graph, output="TOC2")
+        dot = profile_to_dot(profile, "exposure")
+        assert "penwidth=4" in dot  # the highest band
+        assert "style=dotted" in dot  # unassigned (system inputs)
+        dot_impact = profile_to_dot(profile, "impact")
+        assert "ms_slot_nbr" in dot_impact
+
+    def test_profile_dot_selector_checked(self, matrix, graph):
+        profile = SystemProfile(matrix, graph, output="TOC2")
+        with pytest.raises(AnalysisError):
+            profile_to_dot(profile, "sideways")
+
+    def test_dot_quoting(self, system):
+        dot = system_to_dot(system)
+        # every node reference is quoted; no stray unquoted P^ labels
+        assert '"ms_slot_nbr"' in dot

@@ -1,0 +1,102 @@
+"""Unit tests for repro.core.permeability."""
+
+import pytest
+
+from repro.core.permeability import PermeabilityMatrix
+from repro.errors import AnalysisError
+from repro.experiments.paper_data import PAPER_TABLE1
+
+
+class TestConstruction:
+    def test_from_values_complete(self, system, matrix):
+        assert matrix.is_complete()
+        assert len(matrix) == 25
+
+    def test_missing_values_rejected(self, system):
+        with pytest.raises(AnalysisError, match="missing"):
+            PermeabilityMatrix.from_values(
+                system, {("CLOCK", 1, 1): 1.0}
+            )
+
+    def test_incomplete_read_rejected(self, system):
+        empty = PermeabilityMatrix(system)
+        with pytest.raises(AnalysisError, match="not been set"):
+            empty[("CLOCK", 1, 1)]
+
+    def test_out_of_range_value_rejected(self, system):
+        empty = PermeabilityMatrix(system)
+        with pytest.raises(AnalysisError, match=r"\[0, 1\]"):
+            empty.set(("CLOCK", 1, 1), 1.5)
+        with pytest.raises(AnalysisError):
+            empty.set(("CLOCK", 1, 1), -0.1)
+
+    def test_unknown_pair_rejected(self, system):
+        empty = PermeabilityMatrix(system)
+        with pytest.raises(AnalysisError, match="no input/output pair"):
+            empty.set(("CLOCK", 9, 9), 0.5)
+
+    def test_bad_key_rejected(self, system):
+        empty = PermeabilityMatrix(system)
+        with pytest.raises(AnalysisError, match="invalid permeability key"):
+            empty.set("CLOCK", 0.5)
+
+
+class TestAccess:
+    def test_index_key_lookup(self, matrix):
+        # P^CALC_{3,1}: pulscnt -> i
+        assert matrix[("CALC", 3, 1)] == pytest.approx(0.494)
+
+    def test_iopair_key_lookup(self, system, matrix):
+        pair = [
+            p for p in system.io_pairs("PRES_A")
+        ][0]
+        assert matrix[pair] == pytest.approx(0.875)
+
+    def test_get_with_default(self, system):
+        empty = PermeabilityMatrix(system)
+        assert empty.get(("CLOCK", 1, 1)) is None
+        assert empty.get(("CLOCK", 1, 1), 0.5) == 0.5
+
+    def test_items_in_table_order(self, matrix):
+        pairs = [pair for pair, _ in matrix.items()]
+        assert pairs[0].module == "CLOCK"
+        assert pairs[-1].module == "PRES_A"
+        assert len(pairs) == 25
+
+    def test_as_dict_roundtrip(self, system, matrix):
+        rebuilt = PermeabilityMatrix(system)
+        rebuilt.update(matrix.as_dict())
+        assert rebuilt.is_complete()
+        assert rebuilt[("CALC", 3, 1)] == matrix[("CALC", 3, 1)]
+
+
+class TestAggregates:
+    def test_relative_permeability_bounds(self, system, matrix):
+        for name in system.module_names():
+            value = matrix.relative_permeability(name)
+            assert 0.0 <= value <= 1.0
+
+    def test_non_weighted_is_sum(self, matrix):
+        # CLOCK: 1.000 + 0.000
+        assert matrix.non_weighted_relative_permeability(
+            "CLOCK"
+        ) == pytest.approx(1.0)
+
+    def test_relative_is_normalized(self, matrix):
+        # CLOCK has 2 pairs
+        assert matrix.relative_permeability("CLOCK") == pytest.approx(0.5)
+
+    def test_calc_aggregate(self, matrix):
+        total = sum(
+            PAPER_TABLE1[key] for key in PAPER_TABLE1 if key[0] == "CALC"
+        )
+        assert matrix.non_weighted_relative_permeability(
+            "CALC"
+        ) == pytest.approx(total)
+
+    def test_module_ranking_order(self, matrix):
+        ranking = matrix.module_ranking()
+        values = [v for _, v in ranking]
+        assert values == sorted(values, reverse=True)
+        # V_REG passes nearly everything through -> highest
+        assert ranking[0][0] in ("V_REG", "PRES_A")

@@ -1,0 +1,195 @@
+"""Unit tests for the plant, sensors and failure classification."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.target import constants as C
+from repro.target.failure import FailureClassifier, FailureKind
+from repro.target.hardware import SensorSuite
+from repro.target.physics import ArrestmentPlant, PlantState
+from repro.target.testcases import TestCase, standard_test_cases
+
+
+class TestPlant:
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ModelError):
+            ArrestmentPlant(0, 50)
+        with pytest.raises(ModelError):
+            ArrestmentPlant(10000, 0)
+
+    def test_initial_state(self):
+        plant = ArrestmentPlant(10000, 50)
+        assert plant.state.velocity_ms == 50
+        assert plant.state.distance_m == 0
+        assert not plant.is_stopped
+
+    def test_no_pressure_coasts_with_drag(self):
+        plant = ArrestmentPlant(10000, 50)
+        for _ in range(1000):
+            plant.step(0.0)
+        assert 45 < plant.state.velocity_ms < 50
+        assert plant.state.distance_m > 40
+
+    def test_full_pressure_stops_aircraft(self):
+        plant = ArrestmentPlant(10000, 50)
+        steps = 0
+        while not plant.is_stopped and steps < 20000:
+            plant.step(C.P_MAX_PA)
+            steps += 1
+        assert plant.is_stopped
+        assert plant.state.distance_m < C.MAX_STOPPING_DISTANCE_M
+
+    def test_actuator_lag(self):
+        plant = ArrestmentPlant(10000, 50)
+        plant.step(C.P_MAX_PA)
+        # after one 1 ms step the pressure is only a fraction of command
+        assert 0 < plant.state.pressure_pa < 0.05 * C.P_MAX_PA
+
+    def test_heavier_aircraft_decelerates_slower(self):
+        light = ArrestmentPlant(8000, 50)
+        heavy = ArrestmentPlant(20000, 50)
+        for _ in range(2000):
+            light.step(5e6)
+            heavy.step(5e6)
+        assert light.state.velocity_ms < heavy.state.velocity_ms
+
+    def test_peaks_recorded(self):
+        plant = ArrestmentPlant(8000, 50)
+        for _ in range(3000):
+            plant.step(5e6)
+        assert plant.peak_force_n > 0
+        assert plant.peak_retardation_ms2 == pytest.approx(
+            plant.peak_force_n / 8000, rel=0.2
+        )
+
+    def test_reset(self):
+        plant = ArrestmentPlant(8000, 50)
+        plant.step(5e6)
+        plant.reset()
+        assert plant.state.distance_m == 0
+        assert plant.peak_force_n == 0
+
+    def test_stopped_state_applies_no_force(self):
+        plant = ArrestmentPlant(8000, 10)
+        while not plant.is_stopped:
+            plant.step(C.P_MAX_PA)
+        state = plant.step(C.P_MAX_PA)
+        assert state.force_n == 0
+        assert state.retardation_ms2 == 0
+
+
+class TestSensors:
+    def test_tcnt_free_runs_and_wraps(self):
+        sensors = SensorSuite()
+        for _ in range(300):
+            sensors.advance(0.0, 0.0)
+        assert sensors.tcnt == (300 * C.TCNT_PER_TICK) % (1 << 16)
+
+    def test_pacnt_counts_pulses(self):
+        sensors = SensorSuite()
+        sensors.advance(2.5, 0.0)  # 2.5 m -> 10 pulses
+        assert sensors.pacnt == 10
+        assert sensors.total_pulses == 10
+
+    def test_pacnt_wraps_at_8_bits(self):
+        sensors = SensorSuite()
+        sensors.advance(100.0, 0.0)  # 400 pulses
+        assert sensors.pacnt == 400 % 256
+
+    def test_tic1_latches_tcnt_on_pulse(self):
+        sensors = SensorSuite()
+        sensors.advance(0.0, 0.0)
+        assert sensors.tic1 == 0
+        sensors.advance(1.0, 0.0)  # pulses arrive
+        assert sensors.tic1 == sensors.tcnt
+
+    def test_adc_scales_pressure(self):
+        sensors = SensorSuite()
+        sensors.advance(0.0, C.ADC_FULL_SCALE_PA / 2)
+        assert sensors.adc == pytest.approx(511, abs=2)
+        sensors.advance(0.0, 2 * C.ADC_FULL_SCALE_PA)  # clamped
+        assert sensors.adc == 1023
+
+    def test_commanded_pressure_mapping(self):
+        assert SensorSuite.commanded_pressure(0) == 0.0
+        full = SensorSuite.commanded_pressure((1 << C.TOC2_BITS) - 1)
+        assert full == pytest.approx(C.P_MAX_PA)
+
+    def test_reset(self):
+        sensors = SensorSuite()
+        sensors.advance(10.0, 1e6)
+        sensors.reset()
+        assert sensors.pacnt == 0 and sensors.adc == 0
+
+
+class TestTestCases:
+    def test_twenty_five_standard_cases(self):
+        cases = standard_test_cases()
+        assert len(cases) == 25
+        assert len({tc.case_id for tc in cases}) == 25
+
+    def test_envelope_bounds(self):
+        cases = standard_test_cases()
+        assert min(tc.mass_kg for tc in cases) == 8000
+        assert max(tc.engaging_velocity_ms for tc in cases) == 70
+
+    def test_invalid_case_rejected(self):
+        with pytest.raises(ModelError):
+            TestCase(0, -1, 50)
+        with pytest.raises(ModelError):
+            TestCase(0, 10000, 0)
+
+    def test_label(self):
+        tc = TestCase(3, 10000, 55)
+        assert "tc03" in tc.label and "10000" in tc.label
+
+
+class TestFailureClassifier:
+    def _case(self):
+        return TestCase(0, 10000, 50)
+
+    def test_healthy_trajectory_passes(self):
+        classifier = FailureClassifier(self._case())
+        classifier.observe(PlantState(
+            retardation_ms2=10, force_n=1e5, distance_m=100,
+        ))
+        verdict = classifier.verdict(arrested=True)
+        assert not verdict.failed
+        assert "OK" in verdict.describe()
+
+    def test_retardation_limit(self):
+        classifier = FailureClassifier(self._case())
+        classifier.observe(PlantState(
+            retardation_ms2=3.6 * C.G, force_n=0, distance_m=0,
+        ))
+        verdict = classifier.verdict(arrested=True)
+        assert FailureKind.RETARDATION in verdict.kinds
+
+    def test_force_limit_depends_on_case(self):
+        classifier = FailureClassifier(self._case())
+        limit = C.max_retardation_force_n(10000, 50)
+        classifier.observe(PlantState(force_n=limit + 1))
+        assert FailureKind.FORCE in classifier.verdict(True).kinds
+
+    def test_distance_limit(self):
+        classifier = FailureClassifier(self._case())
+        classifier.observe(PlantState(distance_m=340))
+        assert FailureKind.DISTANCE in classifier.verdict(True).kinds
+
+    def test_not_arrested_is_distance_failure(self):
+        classifier = FailureClassifier(self._case())
+        classifier.observe(PlantState(distance_m=100))
+        verdict = classifier.verdict(arrested=False)
+        assert verdict.failed
+        assert FailureKind.DISTANCE in verdict.kinds
+
+    def test_fmax_monotonic_in_mass_and_velocity(self):
+        assert C.max_retardation_force_n(20000, 50) > \
+            C.max_retardation_force_n(8000, 50)
+        assert C.max_retardation_force_n(10000, 70) > \
+            C.max_retardation_force_n(10000, 40)
+
+    def test_describe_failure(self):
+        classifier = FailureClassifier(self._case())
+        classifier.observe(PlantState(distance_m=340))
+        assert "FAILURE" in classifier.verdict(True).describe()

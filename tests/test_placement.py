@@ -1,0 +1,176 @@
+"""Unit tests for repro.core.placement — checked against the paper's sets."""
+
+import pytest
+
+from repro.core.criticality import OutputCriticalities
+from repro.core.placement import (
+    PolicyLimits,
+    check_policy,
+    default_guardable,
+    eh_placement,
+    extended_placement,
+    pa_placement,
+)
+from repro.errors import PlacementError
+from repro.experiments.paper_data import PAPER_EH_SET, PAPER_PA_SET
+from repro.model.signal import SignalSpec, SignalType
+
+
+class TestGuardable:
+    def test_booleans_not_guardable(self):
+        assert not default_guardable(
+            SignalSpec("b", SignalType.BOOL, width=8)
+        )
+
+    def test_numerics_guardable(self):
+        assert default_guardable(SignalSpec("x", SignalType.UINT))
+        assert default_guardable(SignalSpec("x", SignalType.INT))
+
+
+class TestEHPlacement:
+    def test_reproduces_paper_eh_set(self, system):
+        result = eh_placement(system)
+        assert set(result.selected) == set(PAPER_EH_SET)
+
+    def test_booleans_rejected_with_motivation(self, system):
+        result = eh_placement(system)
+        decision = result.decision_for("slow_speed")
+        assert not decision.selected
+        assert "boolean" in decision.motivation
+
+    def test_system_boundary_signals_rejected(self, system):
+        result = eh_placement(system)
+        assert not result.decision_for("PACNT").selected
+        assert not result.decision_for("TOC2").selected
+
+    def test_every_signal_has_a_decision(self, system):
+        result = eh_placement(system)
+        assert len(result.decisions) == len(system.signal_names())
+
+
+class TestPAPlacement:
+    def test_reproduces_paper_pa_set(self, matrix, graph):
+        result = pa_placement(matrix, graph)
+        assert set(result.selected) == set(PAPER_PA_SET)
+
+    def test_pa_is_subset_of_eh(self, system, matrix, graph):
+        pa = pa_placement(matrix, graph)
+        eh = eh_placement(system)
+        assert pa.is_subset_of(eh)
+
+    def test_ms_slot_nbr_motivation(self, matrix, graph):
+        decision = pa_placement(matrix, graph).decision_for("ms_slot_nbr")
+        assert not decision.selected
+        assert "Zero error permeability to mscnt" in decision.motivation
+
+    def test_toc2_motivation(self, matrix, graph):
+        decision = pa_placement(matrix, graph).decision_for("TOC2")
+        assert not decision.selected
+        assert "OutValue" in decision.motivation
+
+    def test_zero_exposure_motivation(self, matrix, graph):
+        decision = pa_placement(matrix, graph).decision_for("mscnt")
+        assert decision.motivation == "Zero error exposure"
+
+    def test_threshold_must_be_positive(self, matrix, graph):
+        with pytest.raises(PlacementError):
+            pa_placement(matrix, graph, exposure_threshold=0.0)
+
+    def test_high_threshold_selects_fewer(self, matrix, graph):
+        strict = pa_placement(matrix, graph, exposure_threshold=1.6)
+        assert set(strict.selected) == {"OutValue"}
+
+    def test_render_mentions_selection(self, matrix, graph):
+        text = pa_placement(matrix, graph).render()
+        assert "High error exposure" in text
+        assert "pulscnt" in text
+
+
+class TestExtendedPlacement:
+    def test_reproduces_paper_section10(self, matrix, graph):
+        result = extended_placement(
+            matrix, graph, impact_threshold=0.10, output="TOC2",
+            memory_error_model=True, self_permeability_threshold=0.8,
+        )
+        assert set(result.selected) == set(PAPER_EH_SET)
+
+    def test_without_memory_model_ms_slot_nbr_stays_out(self, matrix, graph):
+        result = extended_placement(
+            matrix, graph, impact_threshold=0.10, output="TOC2",
+            memory_error_model=False,
+        )
+        assert "ms_slot_nbr" not in result.selected
+        assert {"IsValue", "mscnt"} <= set(result.selected)
+
+    def test_slow_speed_rejected_as_boolean(self, matrix, graph):
+        result = extended_placement(
+            matrix, graph, impact_threshold=0.10, output="TOC2",
+        )
+        decision = result.decision_for("slow_speed")
+        assert not decision.selected
+        assert "boolean" in decision.motivation
+        assert decision.impact == pytest.approx(0.691, abs=1e-3)
+
+    def test_criticality_variant_single_output(self, matrix, graph):
+        oc = OutputCriticalities(graph, {"TOC2": 1.0})
+        via_crit = extended_placement(
+            matrix, graph, criticalities=oc,
+            criticality_threshold=0.10, memory_error_model=True,
+            self_permeability_threshold=0.8,
+        )
+        assert set(via_crit.selected) == set(PAPER_EH_SET)
+
+    def test_impact_threshold_positive(self, matrix, graph):
+        with pytest.raises(PlacementError):
+            extended_placement(matrix, graph, impact_threshold=0.0)
+
+    def test_keeps_pa_selection(self, matrix, graph):
+        result = extended_placement(matrix, graph)
+        assert set(PAPER_PA_SET) <= set(result.selected)
+
+
+class TestPolicy:
+    def test_no_limits_no_violations(self, matrix, graph):
+        assert check_policy(matrix, graph, PolicyLimits()) == []
+
+    def test_permeability_limit(self, matrix, graph):
+        violations = check_policy(
+            matrix, graph, PolicyLimits(max_permeability=0.95)
+        )
+        locations = {v.location for v in violations}
+        assert "P^CLOCK_{1,1}" in locations
+        assert "P^CALC_{1,1}" in locations
+        assert all(v.kind == "permeability" for v in violations)
+
+    def test_exposure_limit(self, matrix, graph):
+        violations = check_policy(
+            matrix, graph, PolicyLimits(max_exposure=1.5)
+        )
+        assert {v.location for v in violations} == {"OutValue", "i"}
+
+    def test_impact_limit(self, matrix, graph):
+        violations = check_policy(
+            matrix, graph, PolicyLimits(max_impact=0.8), output="TOC2"
+        )
+        assert {v.location for v in violations} == {"OutValue"}
+
+    def test_violation_describe(self, matrix, graph):
+        violation = check_policy(
+            matrix, graph, PolicyLimits(max_exposure=1.7)
+        )[0]
+        text = violation.describe()
+        assert "exceeds" in text and "OutValue" in text
+
+
+class TestPlacementResult:
+    def test_decision_for_unknown_rejected(self, matrix, graph):
+        result = pa_placement(matrix, graph)
+        with pytest.raises(PlacementError):
+            result.decision_for("nope")
+
+    def test_rejected_complements_selected(self, matrix, graph):
+        result = pa_placement(matrix, graph)
+        assert set(result.selected).isdisjoint(result.rejected)
+        assert len(result.selected) + len(result.rejected) == len(
+            result.decisions
+        )

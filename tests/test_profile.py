@@ -1,0 +1,96 @@
+"""Unit tests for repro.core.profile (Figs. 5-6 profiles)."""
+
+import pytest
+
+from repro.core.criticality import OutputCriticalities
+from repro.core.profile import SystemProfile, ValueBand, classify
+from repro.errors import AnalysisError
+
+
+@pytest.fixture
+def profile(matrix, graph):
+    return SystemProfile(matrix, graph, output="TOC2")
+
+
+class TestClassify:
+    def test_none_is_unassigned(self):
+        assert classify(None, {"a": 1.0}, "x") is ValueBand.UNASSIGNED
+
+    def test_zero_band(self):
+        assert classify(0.0, {"a": 1.0, "b": 0.5}, "x") is ValueBand.ZERO
+
+    def test_extremes(self):
+        assigned = {"a": 1.0, "b": 0.5, "c": 0.1}
+        assert classify(1.0, assigned, "a") is ValueBand.HIGHEST
+        assert classify(0.1, assigned, "c") is ValueBand.LOWEST
+
+    def test_middle_bands(self):
+        assigned = {"a": 1.0, "b": 0.7, "c": 0.3, "d": 0.1}
+        assert classify(0.7, assigned, "b") is ValueBand.HIGH
+        assert classify(0.3, assigned, "c") is ValueBand.LOW
+
+
+class TestExposureProfile(object):
+    def test_system_inputs_unassigned(self, profile):
+        for signal in ("PACNT", "TIC1", "TCNT", "ADC"):
+            assert profile.entry(signal).exposure_band is ValueBand.UNASSIGNED
+
+    def test_outvalue_highest_exposure(self, profile):
+        assert profile.entry("OutValue").exposure_band is ValueBand.HIGHEST
+
+    def test_zero_exposure_signals(self, profile):
+        for signal in ("IsValue", "mscnt", "stopped"):
+            assert profile.entry(signal).exposure_band is ValueBand.ZERO
+
+    def test_profile_rows_sorted_descending(self, profile):
+        rows = profile.exposure_profile()
+        values = [v for _, v, _ in rows if v is not None]
+        assert values == sorted(values, reverse=True)
+        # unassigned rows trail
+        assert rows[-1][1] is None
+
+
+class TestImpactProfile:
+    def test_output_unassigned(self, profile):
+        assert profile.entry("TOC2").impact_band is ValueBand.UNASSIGNED
+
+    def test_outvalue_highest_impact(self, profile):
+        assert profile.entry("OutValue").impact_band is ValueBand.HIGHEST
+
+    def test_ms_slot_nbr_zero_impact(self, profile):
+        assert profile.entry("ms_slot_nbr").impact_band is ValueBand.ZERO
+
+    def test_fig5_vs_fig6_contrast(self, profile):
+        """The paper's headline contrast: IsValue and mscnt have zero
+        exposure yet high impact; ms_slot_nbr the reverse."""
+        is_value = profile.entry("IsValue")
+        assert is_value.exposure_band is ValueBand.ZERO
+        assert is_value.impact_band in (ValueBand.HIGH, ValueBand.HIGHEST)
+        slot = profile.entry("ms_slot_nbr")
+        assert slot.exposure_band in (ValueBand.HIGH, ValueBand.HIGHEST)
+        assert slot.impact_band is ValueBand.ZERO
+
+
+class TestRendering:
+    def test_render_both_sections(self, profile):
+        text = profile.render("both")
+        assert "Exposure profile" in text and "Impact profile" in text
+
+    def test_render_single_section(self, profile):
+        assert "Impact" not in profile.render("exposure")
+
+    def test_render_invalid_selector(self, profile):
+        with pytest.raises(AnalysisError):
+            profile.render("nope")
+
+    def test_unknown_entry_rejected(self, profile):
+        with pytest.raises(AnalysisError):
+            profile.entry("nope")
+
+
+class TestWithCriticalities:
+    def test_criticalities_populated(self, matrix, graph):
+        oc = OutputCriticalities(graph, {"TOC2": 0.5})
+        profile = SystemProfile(matrix, graph, criticalities=oc)
+        entry = profile.entry("OutValue")
+        assert entry.criticality == pytest.approx(0.5 * 0.875)

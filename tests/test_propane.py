@@ -1,0 +1,171 @@
+"""Tests for the PROPANE-style orchestration layer."""
+
+import json
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.fi.campaign import (
+    DetectionResult,
+    MemoryCampaignResult,
+    PermeabilityEstimate,
+    RecoveryResult,
+)
+from repro.propane import (
+    CampaignKind,
+    ExperimentDatabase,
+    ExperimentDescription,
+    readout,
+    run_description,
+)
+
+
+def tiny(name, kind, **params):
+    return ExperimentDescription(
+        name=name,
+        kind=kind,
+        test_case_ids=(12,),
+        seed=7,
+        params=params,
+    )
+
+
+class TestDescription:
+    def test_roundtrip(self):
+        desc = tiny("d1", CampaignKind.DETECTION, runs_per_signal=4)
+        assert ExperimentDescription.from_dict(desc.to_dict()) == desc
+
+    def test_unknown_param_rejected(self):
+        with pytest.raises(ExperimentError, match="unknown parameters"):
+            tiny("d1", CampaignKind.DETECTION, runs_per_input=4)
+
+    def test_bad_name_rejected(self):
+        with pytest.raises(ExperimentError):
+            tiny("", CampaignKind.MEMORY)
+        with pytest.raises(ExperimentError):
+            tiny("a/b", CampaignKind.MEMORY)
+
+    def test_bad_test_case_rejected(self):
+        with pytest.raises(ExperimentError):
+            ExperimentDescription(
+                "d", CampaignKind.MEMORY, test_case_ids=(99,)
+            )
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ExperimentError):
+            ExperimentDescription.from_dict({"name": "x", "kind": "bogus"})
+
+    def test_resolve_test_cases(self):
+        desc = tiny("d", CampaignKind.MEMORY)
+        cases = desc.resolve_test_cases()
+        assert len(cases) == 1 and cases[0].case_id == 12
+        everything = ExperimentDescription("d", CampaignKind.MEMORY)
+        assert len(everything.resolve_test_cases()) == 25
+
+
+class TestRunner:
+    def test_permeability(self):
+        result = run_description(
+            tiny("p", CampaignKind.PERMEABILITY, runs_per_input=2)
+        )
+        assert isinstance(result, PermeabilityEstimate)
+        assert len(result.values) == 25
+
+    def test_detection(self):
+        result = run_description(
+            tiny("d", CampaignKind.DETECTION, runs_per_signal=2,
+                 targets=["PACNT"])
+        )
+        assert isinstance(result, DetectionResult)
+        assert result.targets == ["PACNT"]
+
+    def test_memory(self):
+        result = run_description(
+            tiny("m", CampaignKind.MEMORY, location_stride=40)
+        )
+        assert isinstance(result, MemoryCampaignResult)
+        assert result.records
+
+    def test_recovery(self):
+        result = run_description(
+            tiny("r", CampaignKind.RECOVERY, location_stride=60)
+        )
+        assert isinstance(result, RecoveryResult)
+
+    def test_bad_stride_rejected(self):
+        with pytest.raises(ExperimentError, match="location_stride"):
+            run_description(
+                tiny("m", CampaignKind.MEMORY, location_stride=0)
+            )
+
+
+class TestDatabase:
+    def test_add_and_list(self, tmp_path):
+        db = ExperimentDatabase(tmp_path)
+        db.add(tiny("m1", CampaignKind.MEMORY, location_stride=50))
+        db.add(tiny("p1", CampaignKind.PERMEABILITY, runs_per_input=2))
+        assert db.names() == ["m1", "p1"]
+        assert db.description("m1").kind is CampaignKind.MEMORY
+
+    def test_conflicting_redefinition_rejected(self, tmp_path):
+        db = ExperimentDatabase(tmp_path)
+        db.add(tiny("m1", CampaignKind.MEMORY, location_stride=50))
+        db.add(tiny("m1", CampaignKind.MEMORY, location_stride=50))  # same
+        with pytest.raises(ExperimentError, match="different description"):
+            db.add(tiny("m1", CampaignKind.MEMORY, location_stride=10))
+
+    def test_unknown_experiment_rejected(self, tmp_path):
+        db = ExperimentDatabase(tmp_path)
+        with pytest.raises(ExperimentError):
+            db.description("ghost")
+        with pytest.raises(ExperimentError):
+            db.result("ghost")
+
+    def test_run_persists_and_caches(self, tmp_path):
+        db = ExperimentDatabase(tmp_path)
+        db.add(tiny("m1", CampaignKind.MEMORY, location_stride=50))
+        first = db.run("m1")
+        assert db.is_complete("m1")
+        status = db.status("m1")
+        assert status["persisted"] and status["elapsed_seconds"] > 0
+        # second run loads from disk (same content)
+        second = db.run("m1")
+        assert len(second.records) == len(first.records)
+        loaded = db.result("m1")
+        assert len(loaded.records) == len(first.records)
+
+    def test_run_all(self, tmp_path):
+        db = ExperimentDatabase(tmp_path)
+        db.add(tiny("m1", CampaignKind.MEMORY, location_stride=60))
+        db.add(tiny("p1", CampaignKind.PERMEABILITY, runs_per_input=2))
+        results = db.run_all()
+        assert set(results) == {"m1", "p1"}
+
+    def test_recovery_not_persisted(self, tmp_path):
+        db = ExperimentDatabase(tmp_path)
+        db.add(tiny("r1", CampaignKind.RECOVERY, location_stride=60))
+        result = db.run("r1")
+        assert isinstance(result, RecoveryResult)
+        assert db.is_complete("r1")
+        assert not db.status("r1")["persisted"]
+        with pytest.raises(ExperimentError):
+            db.result("r1")
+
+
+class TestReadout:
+    def test_permeability_readout(self, ctx):
+        text = readout(ctx.permeability_estimate())
+        assert "Wilson" in text and "CLOCK" in text
+
+    def test_detection_readout(self, ctx):
+        text = readout(ctx.detection_result())
+        assert "EH-set" in text and "PA-set" in text
+        assert "latency" in text
+
+    def test_memory_readout(self, ctx):
+        text = readout(ctx.memory_result())
+        assert "ram" in text and "stack" in text and "total" in text
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ExperimentError):
+            readout(object())

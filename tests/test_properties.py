@@ -1,0 +1,339 @@
+"""Property-based tests (hypothesis) for the core data structures.
+
+Invariants exercised:
+
+* quantization and bit-flip algebra on the signal value model;
+* permeability/exposure/impact bounds on randomly weighted systems;
+* Eq. 2's monotonicity: raising any permeability can never lower an
+  impact;
+* criticality's single-output scaling law;
+* path enumeration acyclicity on randomly generated layered systems;
+* executable assertions never fire on compliant value series.
+"""
+
+import random as stdlib_random
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.criticality import OutputCriticalities, signal_criticality
+from repro.core.exposure import all_signal_exposures
+from repro.core.impact import all_impacts, impact
+from repro.core.permeability import PermeabilityMatrix
+from repro.edm.assertions import AssertionSpec, AssertionState, EAKind
+from repro.experiments.paper_data import PAPER_TABLE1
+from repro.model.graph import SignalGraph
+from repro.model.module import FunctionModule
+from repro.model.signal import SignalRole, SignalSpec, SignalType, flip_bit, quantize
+from repro.model.system import SystemModel
+
+# ----------------------------------------------------------------------
+# Signal value model.
+# ----------------------------------------------------------------------
+widths = st.integers(min_value=1, max_value=64)
+int_types = st.sampled_from([SignalType.UINT, SignalType.INT])
+
+
+@given(
+    value=st.integers(min_value=-(2**70), max_value=2**70),
+    width=widths,
+    sig_type=int_types,
+)
+def test_quantize_idempotent(value, width, sig_type):
+    once = quantize(value, sig_type, width)
+    assert quantize(once, sig_type, width) == once
+
+
+@given(
+    value=st.integers(min_value=0, max_value=2**64 - 1),
+    width=widths,
+    sig_type=int_types,
+    data=st.data(),
+)
+def test_flip_bit_involution(value, width, sig_type, data):
+    bit = data.draw(st.integers(min_value=0, max_value=width - 1))
+    start = quantize(value, sig_type, width)
+    flipped = flip_bit(start, bit, sig_type, width)
+    assert flipped != start
+    assert flip_bit(flipped, bit, sig_type, width) == start
+
+
+@given(
+    value=st.integers(min_value=-(2**40), max_value=2**40),
+    width=widths,
+)
+def test_quantize_uint_range(value, width):
+    result = quantize(value, SignalType.UINT, width)
+    assert 0 <= result < (1 << width)
+
+
+@given(
+    value=st.integers(min_value=-(2**40), max_value=2**40),
+    width=st.integers(min_value=2, max_value=64),
+)
+def test_quantize_int_range(value, width):
+    result = quantize(value, SignalType.INT, width)
+    assert -(1 << (width - 1)) <= result < (1 << (width - 1))
+
+
+@given(
+    value=st.integers(min_value=-(2**40), max_value=2**40),
+    width=st.integers(min_value=2, max_value=64),
+    sig_type=st.sampled_from(
+        [SignalType.UINT, SignalType.INT, SignalType.BOOL]
+    ),
+)
+def test_precompiled_quantizer_equals_quantize(value, width, sig_type):
+    """The hot-path quantizer closures must agree with the reference."""
+    from repro.model.signal import make_quantizer
+
+    if sig_type is SignalType.BOOL:
+        width = 8
+    quantizer = make_quantizer(sig_type, width)
+    assert quantizer(value) == quantize(value, sig_type, width)
+
+
+# ----------------------------------------------------------------------
+# Random permeability assignments on the target topology.
+# ----------------------------------------------------------------------
+def _random_matrix(system, rng):
+    return PermeabilityMatrix.from_values(
+        system,
+        {pair: rng.random() for pair in system.io_pairs()},
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10**6))
+def test_exposure_nonnegative_and_bounded(seed):
+    from repro.target.wiring import build_arrestment_system
+
+    system = build_arrestment_system()
+    matrix = _random_matrix(system, stdlib_random.Random(seed))
+    for name, value in all_signal_exposures(matrix).items():
+        if value is None:
+            continue
+        fan_in = len(system.pairs_into_signal(name))
+        assert 0.0 <= value <= fan_in
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10**6))
+def test_impact_in_unit_interval(seed):
+    from repro.target.wiring import build_arrestment_system
+
+    system = build_arrestment_system()
+    graph = SignalGraph(system)
+    matrix = _random_matrix(system, stdlib_random.Random(seed))
+    for name, value in all_impacts(matrix, graph, "TOC2").items():
+        if value is None:
+            continue
+        assert 0.0 <= value <= 1.0
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10**6),
+    data=st.data(),
+)
+def test_impact_monotone_in_permeability(seed, data):
+    """Raising one permeability can never lower any impact (Eq. 2)."""
+    from repro.target.wiring import build_arrestment_system
+
+    system = build_arrestment_system()
+    graph = SignalGraph(system)
+    rng = stdlib_random.Random(seed)
+    values = {pair: rng.random() for pair in system.io_pairs()}
+    matrix = PermeabilityMatrix.from_values(system, values)
+    base = all_impacts(matrix, graph, "TOC2")
+
+    pairs = list(values)
+    target = data.draw(st.sampled_from(pairs))
+    bumped = dict(values)
+    bumped[target] = min(1.0, values[target] + 0.3)
+    bumped_matrix = PermeabilityMatrix.from_values(system, bumped)
+    raised = all_impacts(bumped_matrix, graph, "TOC2")
+
+    for name in base:
+        if base[name] is None:
+            continue
+        assert raised[name] >= base[name] - 1e-12
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    scale=st.floats(min_value=0.0, max_value=1.0),
+    signal=st.sampled_from(["SetValue", "pulscnt", "mscnt", "OutValue"]),
+)
+def test_criticality_single_output_scaling(scale, signal):
+    """With one output, C_s = scale * impact(s) exactly (Section 8)."""
+    from repro.target.wiring import build_arrestment_system
+
+    system = build_arrestment_system()
+    graph = SignalGraph(system)
+    matrix = PermeabilityMatrix.from_values(
+        system,
+        {
+            pair: PAPER_TABLE1[(pair.module, pair.in_port, pair.out_port)]
+            for pair in system.io_pairs()
+        },
+    )
+    oc = OutputCriticalities(graph, {"TOC2": scale})
+    expected = scale * impact(matrix, graph, signal, "TOC2")
+    assert signal_criticality(
+        matrix, graph, oc, signal
+    ) == pytest.approx(expected)
+
+
+# ----------------------------------------------------------------------
+# Path enumeration on random layered systems.
+# ----------------------------------------------------------------------
+def _build_layered_system(rng, n_layers, width):
+    """Random layered system: every module reads signals from earlier
+    layers (guaranteeing validity), one final output module."""
+    system = SystemModel("random")
+    system.add_signal(SignalSpec("IN", role=SignalRole.SYSTEM_INPUT))
+    available = ["IN"]
+    counter = 0
+    for layer in range(n_layers):
+        new_signals = []
+        for w in range(width):
+            counter += 1
+            name = f"s{counter}"
+            n_inputs = rng.randint(1, min(3, len(available)))
+            sources = rng.sample(available, n_inputs)
+            module = FunctionModule(
+                f"M{counter}",
+                inputs=[f"in{j}" for j in range(n_inputs)],
+                outputs=["out"],
+                fn=lambda args, state: {"out": 0},
+            )
+            system.add_module(module)
+            system.add_signal(SignalSpec(name))
+            for j, src in enumerate(sources):
+                system.connect_input(src, f"M{counter}", f"in{j}")
+            system.bind_output(name, f"M{counter}", "out")
+            new_signals.append(name)
+        available.extend(new_signals)
+    # final output module consumes every dangling signal
+    dangling = [
+        s for s in system.signal_names()
+        if not system.consumers_of(s) and s != "IN"
+    ] or available[-1:]
+    out_mod = FunctionModule(
+        "OUT_M",
+        inputs=[f"in{j}" for j in range(len(dangling))],
+        outputs=["out"],
+        fn=lambda args, state: {"out": 0},
+    )
+    system.add_module(out_mod)
+    system.add_signal(SignalSpec("OUT", role=SignalRole.SYSTEM_OUTPUT))
+    for j, src in enumerate(dangling):
+        system.connect_input(src, "OUT_M", f"in{j}")
+    system.bind_output("OUT", "OUT_M", "out")
+    # IN must feed something
+    if not system.consumers_of("IN"):
+        return None
+    system.validate()
+    return system
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10**6),
+    n_layers=st.integers(min_value=1, max_value=3),
+    width=st.integers(min_value=1, max_value=3),
+)
+def test_random_system_paths_acyclic_and_bounded_impact(
+    seed, n_layers, width
+):
+    rng = stdlib_random.Random(seed)
+    system = _build_layered_system(rng, n_layers, width)
+    assume(system is not None)
+    graph = SignalGraph(system)
+    matrix = PermeabilityMatrix.from_values(
+        system, {pair: rng.random() for pair in system.io_pairs()}
+    )
+    assert not graph.has_cycle()
+    for path in graph.paths("IN", "OUT"):
+        assert len(set(path.signals)) == len(path.signals)
+    value = impact(matrix, graph, "IN", "OUT")
+    assert 0.0 <= value <= 1.0
+
+
+# ----------------------------------------------------------------------
+# Executable assertions on compliant series.
+# ----------------------------------------------------------------------
+@settings(max_examples=50, deadline=None)
+@given(
+    start=st.integers(min_value=0, max_value=500),
+    deltas=st.lists(
+        st.integers(min_value=-10, max_value=10), min_size=1, max_size=40
+    ),
+)
+def test_range_rate_never_fires_on_compliant_series(start, deltas):
+    spec = AssertionSpec(
+        "EA", "s", EAKind.RANGE_RATE, minimum=-10**6, maximum=10**6,
+        max_delta=10,
+    )
+    state = AssertionState(spec)
+    value = start
+    for tick, delta in enumerate(deltas):
+        value += delta
+        assert not state.evaluate(value, tick)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    start=st.integers(min_value=0, max_value=100),
+    steps=st.lists(
+        st.integers(min_value=0, max_value=5), min_size=1, max_size=40
+    ),
+)
+def test_monotonic_never_fires_on_compliant_series(start, steps):
+    spec = AssertionSpec(
+        "EA", "s", EAKind.MONOTONIC, minimum=0, maximum=10**6, max_delta=5,
+    )
+    state = AssertionState(spec)
+    value = start
+    for tick, step in enumerate(steps):
+        value += step
+        assert not state.evaluate(value, tick)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    start=st.integers(min_value=0, max_value=(1 << 16) - 1),
+    length=st.integers(min_value=1, max_value=60),
+    exact=st.integers(min_value=0, max_value=100),
+)
+def test_sequence_never_fires_on_exact_series(start, length, exact):
+    spec = AssertionSpec(
+        "EA", "s", EAKind.SEQUENCE, exact_delta=exact, modulus=1 << 16,
+    )
+    state = AssertionState(spec)
+    value = start
+    for tick in range(length):
+        assert not state.evaluate(value, tick)
+        value = (value + exact) % (1 << 16)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    series=st.lists(
+        st.integers(min_value=0, max_value=200), min_size=2, max_size=30
+    ),
+    data=st.data(),
+)
+def test_range_rate_fires_on_any_range_violation(series, data):
+    maximum = max(series)
+    spec = AssertionSpec(
+        "EA", "s", EAKind.RANGE_RATE, minimum=0, maximum=maximum,
+        max_delta=10**9,
+    )
+    state = AssertionState(spec)
+    for tick, value in enumerate(series):
+        state.evaluate(value, tick)
+    assert not state.fired
+    assert state.evaluate(maximum + 1, len(series))

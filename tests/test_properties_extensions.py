@@ -1,0 +1,186 @@
+"""Property-based tests for the extension subsystems.
+
+Invariants of the statistical estimators, the greedy EA subset
+selection, and the placement engines over randomized inputs.
+"""
+
+import random as stdlib_random
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.coverage import (
+    Stratum,
+    binomial_estimate,
+    stratified_coverage,
+    wilson_interval,
+)
+from repro.core.placement import extended_placement, pa_placement
+from repro.core.permeability import PermeabilityMatrix
+from repro.edm.subset import (
+    marginal_coverages,
+    overlap_matrix,
+    select_subset,
+)
+from repro.model.graph import SignalGraph
+
+EA_NAMES = ["EA1", "EA2", "EA3", "EA4", "EA5", "EA6", "EA7"]
+
+fired_sets = st.lists(
+    st.frozensets(st.sampled_from(EA_NAMES), max_size=4),
+    min_size=1,
+    max_size=40,
+)
+
+
+# ----------------------------------------------------------------------
+# Coverage statistics.
+# ----------------------------------------------------------------------
+@given(
+    n=st.integers(min_value=1, max_value=10**5),
+    data=st.data(),
+)
+def test_wilson_contains_point(n, data):
+    successes = data.draw(st.integers(min_value=0, max_value=n))
+    low, high = wilson_interval(successes, n)
+    assert 0.0 <= low <= successes / n <= high <= 1.0
+
+
+@given(
+    strata=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=50),  # n
+            st.floats(min_value=0.01, max_value=10.0),  # weight
+        ),
+        min_size=1,
+        max_size=6,
+    ),
+    data=st.data(),
+)
+def test_stratified_point_within_unit(strata, data):
+    built = []
+    for index, (n, weight) in enumerate(strata):
+        detected = data.draw(st.integers(min_value=0, max_value=n))
+        built.append(Stratum(f"s{index}", detected, n, weight))
+    estimate = stratified_coverage(built)
+    assert 0.0 <= estimate.low <= estimate.point <= estimate.high <= 1.0
+
+
+@given(
+    detected=st.integers(min_value=0, max_value=100),
+    extra=st.integers(min_value=0, max_value=100),
+)
+def test_binomial_monotone_in_successes(detected, extra):
+    n = detected + extra + 10
+    lower = binomial_estimate(detected, n)
+    higher = binomial_estimate(min(n, detected + extra), n)
+    assert higher.point >= lower.point
+
+
+# ----------------------------------------------------------------------
+# Subset selection.
+# ----------------------------------------------------------------------
+@settings(max_examples=60, deadline=None)
+@given(fired=fired_sets)
+def test_greedy_reaches_full_coverage(fired):
+    selection = select_subset(fired, EA_NAMES)
+    assert selection.coverage == pytest.approx(selection.full_coverage)
+    assert selection.cost_bytes <= selection.full_cost_bytes
+
+
+@settings(max_examples=60, deadline=None)
+@given(fired=fired_sets)
+def test_greedy_beats_any_single_ea(fired):
+    selection = select_subset(fired, EA_NAMES)
+    total = len(fired)
+    for name in EA_NAMES:
+        single = sum(1 for f in fired if name in f) / total
+        assert selection.coverage >= single - 1e-12
+
+
+@settings(max_examples=60, deadline=None)
+@given(fired=fired_sets)
+def test_selected_eas_all_contribute(fired):
+    """Greedy never picks an EA that added nothing at selection time,
+    so coverage strictly increases along the steps."""
+    selection = select_subset(fired, EA_NAMES)
+    coverages = [coverage for _, coverage, _ in selection.steps]
+    assert all(b > a for a, b in zip(coverages, coverages[1:]))
+
+
+@settings(max_examples=60, deadline=None)
+@given(fired=fired_sets, target=st.floats(min_value=0.0, max_value=1.0))
+def test_coverage_target_respected(fired, target):
+    selection = select_subset(fired, EA_NAMES, coverage_target=target)
+    full = select_subset(fired, EA_NAMES)
+    if full.full_coverage >= target:
+        assert selection.coverage >= min(target, full.full_coverage) - 1e-12
+    assert len(selection.selected) <= len(full.selected)
+
+
+@settings(max_examples=40, deadline=None)
+@given(fired=fired_sets)
+def test_overlap_diagonal_and_bounds(fired):
+    matrix = overlap_matrix(fired, EA_NAMES)
+    counts = {
+        name: sum(1 for f in fired if name in f) for name in EA_NAMES
+    }
+    for a in EA_NAMES:
+        for b in EA_NAMES:
+            assert 0.0 <= matrix[(a, b)] <= 1.0
+        expected = 1.0 if counts[a] else 0.0
+        assert matrix[(a, a)] == expected
+
+
+@settings(max_examples=40, deadline=None)
+@given(fired=fired_sets)
+def test_marginals_bounded_by_individual_coverage(fired):
+    marginals = marginal_coverages(fired, EA_NAMES)
+    total = len(fired)
+    for name in EA_NAMES:
+        individual = sum(1 for f in fired if name in f) / total
+        assert 0.0 <= marginals[name] <= individual + 1e-12
+
+
+# ----------------------------------------------------------------------
+# Placement engines on random permeabilities.
+# ----------------------------------------------------------------------
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10**6))
+def test_extended_always_superset_of_pa(seed):
+    from repro.target.wiring import build_arrestment_system
+
+    system = build_arrestment_system()
+    graph = SignalGraph(system)
+    rng = stdlib_random.Random(seed)
+    matrix = PermeabilityMatrix.from_values(
+        system, {pair: rng.random() for pair in system.io_pairs()}
+    )
+    pa = pa_placement(matrix, graph)
+    extended = extended_placement(
+        matrix, graph, output="TOC2", memory_error_model=True,
+    )
+    assert set(pa.selected) <= set(extended.selected)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10**6),
+    low=st.floats(min_value=0.05, max_value=0.5),
+    high=st.floats(min_value=0.5, max_value=1.5),
+)
+def test_pa_selection_antitone_in_threshold(seed, low, high):
+    """Raising the exposure threshold can only shrink the selection."""
+    from repro.target.wiring import build_arrestment_system
+
+    assume(low < high)
+    system = build_arrestment_system()
+    graph = SignalGraph(system)
+    rng = stdlib_random.Random(seed)
+    matrix = PermeabilityMatrix.from_values(
+        system, {pair: rng.random() for pair in system.io_pairs()}
+    )
+    loose = pa_placement(matrix, graph, exposure_threshold=low)
+    strict_sel = pa_placement(matrix, graph, exposure_threshold=high)
+    assert set(strict_sel.selected) <= set(loose.selected)

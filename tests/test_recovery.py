@@ -1,0 +1,146 @@
+"""Unit and integration tests for the recovery (ERM) substrate."""
+
+import pytest
+
+from repro.edm.assertions import AssertionSpec, EAKind
+from repro.edm.catalogue import EA_BY_NAME
+from repro.edm.recovery import (
+    RecoveringMonitorBank,
+    RecoveryPolicy,
+)
+from repro.errors import AssertionSpecError
+from repro.fi import (
+    FaultInjector,
+    MemoryMap,
+    PeriodicMemoryFlip,
+    RecoveryCampaign,
+    Region,
+)
+from repro.target.simulation import ArrestmentSimulator
+
+
+class TestRecoveringBank:
+    def test_unknown_policy_target_rejected(self):
+        with pytest.raises(AssertionSpecError):
+            RecoveringMonitorBank(
+                [EA_BY_NAME["EA1"]],
+                policies={"EA9": RecoveryPolicy.HOLD_LAST_GOOD},
+            )
+
+    def test_policy_defaulting(self):
+        bank = RecoveringMonitorBank(
+            [EA_BY_NAME["EA1"], EA_BY_NAME["EA4"]],
+            policies={"EA4": RecoveryPolicy.DETECT_ONLY},
+        )
+        assert bank.policy_for("EA4") is RecoveryPolicy.DETECT_ONLY
+        assert bank.policy_for("EA1") is RecoveryPolicy.HOLD_LAST_GOOD
+
+    def test_holds_last_good_on_store_corruption(self, mid_case):
+        """Corrupting pulscnt's store right before the EA slot: the
+        recovering bank must substitute the last good value."""
+        sim = ArrestmentSimulator(mid_case)
+        bank = RecoveringMonitorBank([EA_BY_NAME["EA4"]]).attach(sim)
+        observed = {}
+
+        def corrupt(tick):
+            if tick == 1018:
+                sim.executor.store.poke("pulscnt", 60000)
+            if tick == 1020:
+                # the EA slot (end of tick 1019) has run: recovered
+                observed["value"] = sim.executor.store["pulscnt"]
+        sim.add_pre_tick(corrupt)
+        sim.run()
+        assert bank.recovery_count >= 1
+        action = bank.actions[0]
+        assert action.signal == "pulscnt"
+        assert action.observed == 60000
+        assert action.substituted < 60000
+        assert observed["value"] == action.substituted
+
+    def test_detect_only_does_not_interfere(self, mid_case):
+        sim = ArrestmentSimulator(mid_case)
+        bank = RecoveringMonitorBank(
+            [EA_BY_NAME["EA4"]],
+            policies={"EA4": RecoveryPolicy.DETECT_ONLY},
+        ).attach(sim)
+        sim.add_pre_tick(
+            lambda tick: (
+                sim.executor.store.poke("pulscnt", 60000)
+                if tick == 1018 else None
+            )
+        )
+        sim.run()
+        assert bank.state("EA4").fired
+        assert bank.recovery_count == 0
+
+    def test_clamp_policy_clamps_range_violation(self, mid_case):
+        spec = AssertionSpec(
+            "EAX", "SetValue", EAKind.RANGE_RATE,
+            minimum=0, maximum=30000, max_delta=10**6,
+        )
+        sim = ArrestmentSimulator(mid_case)
+        bank = RecoveringMonitorBank(
+            [spec], policies={"EAX": RecoveryPolicy.CLAMP_TO_SPEC},
+        ).attach(sim)
+        sim.add_pre_tick(
+            lambda tick: (
+                sim.executor.store.poke("SetValue", 65000)
+                if tick == 2018 else None
+            )
+        )
+        sim.run()
+        assert bank.recovery_count >= 1
+        assert bank.actions[0].substituted == 30000
+
+    def test_silent_on_golden_run(self, mid_case):
+        sim = ArrestmentSimulator(mid_case)
+        bank = RecoveringMonitorBank(list(EA_BY_NAME.values())).attach(sim)
+        result = sim.run()
+        assert bank.recovery_count == 0
+        assert result.arrested and not result.failed
+
+
+class TestRecoveryCampaign:
+    @pytest.fixture(scope="class")
+    def recovery_result(self, test_cases):
+        system = ArrestmentSimulator(test_cases[0]).system
+        # pick locations whose corruption the EH EAs can both detect
+        # and contain, plus a few undetectable ones
+        locations = [
+            loc for loc in MemoryMap(system).locations()
+            if loc.cell in ("mscnt", "pulscnt_acc", "win3", "set_prev")
+        ]
+        campaign = RecoveryCampaign(
+            ArrestmentSimulator,
+            [test_cases[4], test_cases[20]],
+            list(EA_BY_NAME.values()),
+            locations=locations,
+            seed=9,
+        )
+        return campaign.run()
+
+    def test_outcomes_recorded(self, recovery_result):
+        assert recovery_result.outcomes
+        for outcome in recovery_result.outcomes:
+            assert outcome.region in (Region.RAM, Region.STACK)
+            assert outcome.recovery_actions >= 0
+
+    def test_recovery_never_on_undetected(self, recovery_result):
+        for outcome in recovery_result.outcomes:
+            if not outcome.detected:
+                # detection-only and recovering banks share the same
+                # assertions: undetected means uncontained
+                assert outcome.recovery_actions == 0
+
+    def test_failure_rates_bounded(self, recovery_result):
+        for with_recovery in (False, True):
+            rate = recovery_result.failure_rate(with_recovery)
+            assert 0.0 <= rate <= 1.0
+
+    def test_bookkeeping_consistent(self, recovery_result):
+        prevented = recovery_result.failures_prevented()
+        introduced = recovery_result.failures_introduced()
+        n = len(recovery_result.outcomes)
+        base = recovery_result.failure_rate(False) * n
+        rec = recovery_result.failure_rate(True) * n
+        assert rec == pytest.approx(base - prevented + introduced)

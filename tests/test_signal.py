@@ -1,0 +1,161 @@
+"""Unit tests for repro.model.signal."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.model.signal import (
+    SignalRole,
+    SignalSpec,
+    SignalType,
+    flip_bit,
+    quantize,
+)
+
+
+class TestQuantize:
+    def test_uint_passthrough_in_range(self):
+        assert quantize(1234, SignalType.UINT, 16) == 1234
+
+    def test_uint_wraps_at_width(self):
+        assert quantize(65536, SignalType.UINT, 16) == 0
+        assert quantize(65537, SignalType.UINT, 16) == 1
+
+    def test_uint_negative_wraps(self):
+        assert quantize(-1, SignalType.UINT, 16) == 65535
+
+    def test_uint_8bit(self):
+        assert quantize(256, SignalType.UINT, 8) == 0
+        assert quantize(300, SignalType.UINT, 8) == 44
+
+    def test_int_two_complement_positive(self):
+        assert quantize(32767, SignalType.INT, 16) == 32767
+
+    def test_int_two_complement_negative(self):
+        assert quantize(32768, SignalType.INT, 16) == -32768
+        assert quantize(-1, SignalType.INT, 16) == -1
+
+    def test_int_wraps(self):
+        assert quantize(65536, SignalType.INT, 16) == 0
+
+    def test_bool_collapses(self):
+        assert quantize(7, SignalType.BOOL, 8) == 1
+        assert quantize(0, SignalType.BOOL, 8) == 0
+        assert quantize(True, SignalType.BOOL, 8) == 1
+
+    def test_float_passthrough(self):
+        assert quantize(1.5, SignalType.FLOAT, 32) == 1.5
+
+    def test_float_converts_int(self):
+        result = quantize(3, SignalType.FLOAT, 32)
+        assert isinstance(result, float)
+        assert result == 3.0
+
+    def test_truncates_fractional_int(self):
+        assert quantize(3.9, SignalType.UINT, 16) == 3
+
+
+class TestFlipBit:
+    def test_flip_sets_bit(self):
+        assert flip_bit(0, 3, SignalType.UINT, 16) == 8
+
+    def test_flip_clears_bit(self):
+        assert flip_bit(8, 3, SignalType.UINT, 16) == 0
+
+    def test_flip_is_involution(self):
+        value = 0xBEEF
+        once = flip_bit(value, 7, SignalType.UINT, 16)
+        assert flip_bit(once, 7, SignalType.UINT, 16) == value
+
+    def test_flip_high_bit_of_int_changes_sign(self):
+        assert flip_bit(0, 15, SignalType.INT, 16) == -32768
+
+    def test_flip_bool_false_becomes_true(self):
+        # any set bit makes the stored boolean truthy
+        for bit in range(8):
+            assert flip_bit(0, bit, SignalType.BOOL, 8) == 1
+
+    def test_flip_bool_true_low_bit_clears(self):
+        assert flip_bit(1, 0, SignalType.BOOL, 8) == 0
+
+    def test_flip_bool_true_high_bit_stays_true(self):
+        # 1 ^ 0b10 = 0b11, still truthy
+        assert flip_bit(1, 1, SignalType.BOOL, 8) == 1
+
+    def test_flip_out_of_range_bit_rejected(self):
+        with pytest.raises(ModelError):
+            flip_bit(0, 16, SignalType.UINT, 16)
+
+    def test_flip_negative_bit_rejected(self):
+        with pytest.raises(ModelError):
+            flip_bit(0, -1, SignalType.UINT, 16)
+
+    def test_flip_float_fixed_point(self):
+        # bit 16 is the 1.0 bit at <<16 scaling: set it on 0.5, clear on 1.0
+        assert flip_bit(0.5, 16, SignalType.FLOAT, 32) == 1.5
+        assert flip_bit(1.0, 16, SignalType.FLOAT, 32) == 0.0
+
+
+class TestSignalSpec:
+    def test_basic_construction(self):
+        spec = SignalSpec("x", SignalType.UINT, width=8)
+        assert spec.name == "x"
+        assert spec.role is SignalRole.INTERNAL
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ModelError):
+            SignalSpec("")
+
+    def test_bad_width_rejected(self):
+        with pytest.raises(ModelError):
+            SignalSpec("x", width=0)
+        with pytest.raises(ModelError):
+            SignalSpec("x", width=65)
+
+    def test_bool_width_limited(self):
+        with pytest.raises(ModelError):
+            SignalSpec("x", SignalType.BOOL, width=16)
+
+    def test_min_above_max_rejected(self):
+        with pytest.raises(ModelError):
+            SignalSpec("x", minimum=10, maximum=5)
+
+    def test_role_predicates(self):
+        inp = SignalSpec("a", role=SignalRole.SYSTEM_INPUT)
+        out = SignalSpec("b", role=SignalRole.SYSTEM_OUTPUT)
+        mid = SignalSpec("c")
+        assert inp.is_system_input and not inp.is_system_output
+        assert out.is_system_output and not out.is_internal
+        assert mid.is_internal
+
+    def test_in_spec_bounds(self):
+        spec = SignalSpec("x", minimum=0, maximum=10)
+        assert spec.in_spec(0)
+        assert spec.in_spec(10)
+        assert not spec.in_spec(-1)
+        assert not spec.in_spec(11)
+
+    def test_in_spec_unbounded(self):
+        spec = SignalSpec("x")
+        assert spec.in_spec(10**9)
+
+    def test_quantize_delegates(self):
+        spec = SignalSpec("x", SignalType.UINT, width=8)
+        assert spec.quantize(257) == 1
+
+    def test_flip_bit_delegates(self):
+        spec = SignalSpec("x", SignalType.UINT, width=8)
+        assert spec.flip_bit(0, 7) == 128
+
+    def test_representable_range_uint(self):
+        assert SignalSpec("x", SignalType.UINT, width=8).representable_range() == (0, 255)
+
+    def test_representable_range_int(self):
+        assert SignalSpec("x", SignalType.INT, width=8).representable_range() == (-128, 127)
+
+    def test_representable_range_bool(self):
+        assert SignalSpec("x", SignalType.BOOL, width=8).representable_range() == (0, 1)
+
+    def test_frozen(self):
+        spec = SignalSpec("x")
+        with pytest.raises(AttributeError):
+            spec.name = "y"

@@ -1,0 +1,129 @@
+"""Integration tests for the closed-loop arrestment simulation."""
+
+import pytest
+
+from repro.target import constants as C
+from repro.target.simulation import ArrestmentSimulator, SignalTraces
+from repro.target.testcases import standard_test_cases
+
+
+class TestHealthyArrestment:
+    def test_mid_case_arrests_within_spec(self, golden_result):
+        assert golden_result.arrested
+        assert not golden_result.failed
+        assert golden_result.stop_distance_m < C.MAX_STOPPING_DISTANCE_M
+        assert golden_result.verdict.peak_retardation_g < C.MAX_RETARDATION_G
+
+    def test_completion_tick_before_end(self, golden_result):
+        assert 0 < golden_result.completion_tick <= golden_result.ticks_run
+
+    @pytest.mark.parametrize("index", [0, 4, 20, 24])
+    def test_envelope_corners_arrest_within_spec(self, test_cases, index):
+        result = ArrestmentSimulator(test_cases[index]).run()
+        assert result.arrested and not result.failed
+
+    def test_determinism(self, mid_case, golden_result):
+        again = ArrestmentSimulator(mid_case).run()
+        assert again.ticks_run == golden_result.ticks_run
+        assert again.stop_distance_m == golden_result.stop_distance_m
+        for signal in ("pulscnt", "SetValue", "TOC2"):
+            assert again.traces.first_difference(
+                golden_result.traces, signal
+            ) is None
+
+    def test_faster_engagement_longer_runout(self, test_cases):
+        slow = ArrestmentSimulator(test_cases[0]).run()   # 40 m/s
+        fast = ArrestmentSimulator(test_cases[4]).run()   # 70 m/s
+        assert fast.stop_distance_m > slow.stop_distance_m
+
+    def test_traces_recorded_for_all_signals(self, system, golden_result):
+        traced = set(golden_result.traces.signals())
+        assert traced == set(system.signal_names())
+
+    def test_trace_recording_can_be_disabled(self, mid_case):
+        sim = ArrestmentSimulator(mid_case, timeout_s=0.1)
+        sim.record_traces = False
+        result = sim.run()
+        assert result.traces.signals() == []
+
+    def test_timeout_without_arrest(self, mid_case):
+        result = ArrestmentSimulator(mid_case, timeout_s=0.05).run()
+        assert not result.arrested
+        assert result.failed  # not arrested -> distance failure
+
+
+class TestSlotDispatch:
+    def test_modules_run_in_their_slots(self, mid_case):
+        sim = ArrestmentSimulator(mid_case, timeout_s=0.1)
+        invocations = []
+        sim.add_post_invoke(
+            lambda record: invocations.append((record.tick, record.module))
+        )
+        sim.run()
+        for tick, module in invocations:
+            if module == "CLOCK":
+                continue
+            # module M at slot s runs at ticks == s - 1 (mod N_SLOTS),
+            # because CLOCK emits slot (tick + 1) at tick `tick`
+            slot = C.MODULE_SLOTS[module]
+            assert (tick + 1) % C.N_SLOTS == slot
+
+    def test_each_module_runs(self, mid_case):
+        sim = ArrestmentSimulator(mid_case, timeout_s=0.1)
+        modules = set()
+        sim.add_post_invoke(lambda r: modules.add(r.module))
+        sim.run()
+        assert modules == {
+            "CLOCK", "DIST_S", "CALC", "PRES_S", "V_REG", "PRES_A",
+        }
+
+
+class TestSignalTraces:
+    def test_first_difference_none_for_identical(self):
+        a, b = SignalTraces(), SignalTraces()
+        for traces in (a, b):
+            traces.record("s", 0, 1)
+            traces.record("s", 1, 2)
+        assert a.first_difference(b, "s") is None
+
+    def test_first_difference_value(self):
+        a, b = SignalTraces(), SignalTraces()
+        a.record("s", 0, 1)
+        a.record("s", 1, 2)
+        b.record("s", 0, 1)
+        b.record("s", 1, 99)
+        assert a.first_difference(b, "s") == 1
+
+    def test_first_difference_missing_write(self):
+        a, b = SignalTraces(), SignalTraces()
+        a.record("s", 0, 1)
+        a.record("s", 5, 2)
+        b.record("s", 0, 1)
+        assert a.first_difference(b, "s") == 5
+
+    def test_first_difference_tick_mismatch(self):
+        a, b = SignalTraces(), SignalTraces()
+        a.record("s", 0, 1)
+        b.record("s", 2, 1)
+        assert a.first_difference(b, "s") == 0
+
+    def test_unknown_signal_is_empty_stream(self):
+        traces = SignalTraces()
+        assert traces.stream("ghost") == []
+
+
+class TestCorruptInput:
+    def test_corrupt_input_flips_register_and_store(self, mid_case):
+        sim = ArrestmentSimulator(mid_case)
+        before, after = sim.corrupt_input("TCNT", 4)
+        assert after == before ^ 16
+        assert sim.sensors.tcnt == after
+        assert sim.executor.store["TCNT"] == after
+
+    def test_corrupt_adc_is_transient(self, mid_case):
+        """The ADC result register is refreshed at the next conversion."""
+        sim = ArrestmentSimulator(mid_case)
+        sim.corrupt_input("ADC", 9)
+        assert sim.sensors.adc == 512
+        sim.sensors.advance(0.0, 0.0)
+        assert sim.sensors.adc == 0

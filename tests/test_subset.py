@@ -1,0 +1,147 @@
+"""Tests for cost-optimal EA subset selection (paper ref [18])."""
+
+import pytest
+
+from repro.edm.subset import (
+    fired_sets_of,
+    marginal_coverages,
+    overlap_matrix,
+    select_subset,
+)
+from repro.errors import AnalysisError
+
+EAS = ("EA1", "EA4", "EA7")
+
+
+def runs(*sets):
+    return [frozenset(s) for s in sets]
+
+
+class TestOverlapMatrix:
+    def test_diagonal_one_when_firing(self):
+        matrix = overlap_matrix(runs({"EA1"}, {"EA1", "EA4"}), EAS)
+        assert matrix[("EA1", "EA1")] == 1.0
+
+    def test_silent_ea_all_zero(self):
+        matrix = overlap_matrix(runs({"EA1"}), EAS)
+        assert matrix[("EA7", "EA7")] == 0.0
+        assert matrix[("EA7", "EA1")] == 0.0
+
+    def test_dominance_shows_as_full_overlap(self):
+        """Paper Table 4: every EA1 detection was also an EA4
+        detection -> overlap(EA1 -> EA4) = 1.0, but not vice versa."""
+        fired = runs({"EA1", "EA4"}, {"EA1", "EA4"}, {"EA4"})
+        matrix = overlap_matrix(fired, EAS)
+        assert matrix[("EA1", "EA4")] == 1.0
+        assert matrix[("EA4", "EA1")] == pytest.approx(2 / 3)
+
+    def test_asymmetry(self):
+        fired = runs({"EA1"}, {"EA1", "EA7"})
+        matrix = overlap_matrix(fired, EAS)
+        assert matrix[("EA7", "EA1")] == 1.0
+        assert matrix[("EA1", "EA7")] == 0.5
+
+
+class TestMarginalCoverages:
+    def test_exclusive_detections_counted(self):
+        fired = runs({"EA1"}, {"EA1", "EA4"}, {"EA4"}, set())
+        marginal = marginal_coverages(fired, EAS)
+        assert marginal["EA1"] == 0.25
+        assert marginal["EA4"] == 0.25
+        assert marginal["EA7"] == 0.0
+
+    def test_empty_runs(self):
+        assert marginal_coverages([], EAS) == {
+            "EA1": 0.0, "EA4": 0.0, "EA7": 0.0,
+        }
+
+
+class TestSelectSubset:
+    def test_dominant_ea_selected_alone(self):
+        """When one EA covers everything the others cover, greedy
+        selection picks just that one (the paper's EA4 situation)."""
+        fired = runs(
+            {"EA1", "EA4"}, {"EA2", "EA4"}, {"EA4"}, {"EA4", "EA7"}, set(),
+        )
+        selection = select_subset(
+            fired, ["EA1", "EA2", "EA4", "EA7"],
+        )
+        assert selection.selected == ["EA4"]
+        assert selection.coverage == selection.full_coverage == 0.8
+        assert selection.cost_saving > 0.5
+
+    def test_complementary_eas_both_selected(self):
+        fired = runs({"EA1"}, {"EA7"}, {"EA1"}, {"EA7"})
+        selection = select_subset(fired, ["EA1", "EA7"])
+        assert set(selection.selected) == {"EA1", "EA7"}
+        assert selection.coverage == 1.0
+
+    def test_cost_breaks_ties(self):
+        # EA4 (38 bytes) and EA1 (64 bytes) detect the same runs:
+        # the cheaper one wins
+        fired = runs({"EA1", "EA4"}, {"EA1", "EA4"})
+        selection = select_subset(fired, ["EA1", "EA4"])
+        assert selection.selected == ["EA4"]
+
+    def test_coverage_target_stops_early(self):
+        fired = runs({"EA4"}, {"EA4"}, {"EA4"}, {"EA1"})
+        selection = select_subset(
+            fired, ["EA1", "EA4"], coverage_target=0.75,
+        )
+        assert selection.selected == ["EA4"]
+        assert selection.coverage == 0.75
+
+    def test_explicit_costs(self):
+        fired = runs({"A", "B"}, {"A", "B"})
+        selection = select_subset(
+            fired, ["A", "B"], costs={"A": 10, "B": 100},
+        )
+        assert selection.selected == ["A"]
+
+    def test_missing_cost_rejected(self):
+        with pytest.raises(AnalysisError, match="cost"):
+            select_subset(runs({"X"}), ["X"])
+        with pytest.raises(AnalysisError, match="no cost"):
+            select_subset(runs({"X"}), ["X"], costs={"Y": 1})
+
+    def test_bad_target_rejected(self):
+        with pytest.raises(AnalysisError):
+            select_subset(runs({"EA4"}), ["EA4"], coverage_target=1.5)
+
+    def test_render(self):
+        fired = runs({"EA4"}, {"EA1"})
+        text = select_subset(fired, ["EA1", "EA4"]).render()
+        assert "greedy" in text and "EA4" in text
+
+
+class TestOnCampaignResults:
+    def test_fired_sets_extraction(self, ctx):
+        detection_sets = fired_sets_of(ctx.detection_result())
+        memory_sets = fired_sets_of(ctx.memory_result())
+        assert all(isinstance(s, frozenset) for s in detection_sets)
+        assert len(memory_sets) == len(ctx.memory_result().records)
+
+    def test_unknown_result_rejected(self):
+        with pytest.raises(AnalysisError):
+            fired_sets_of(42)
+
+    def test_subset_on_memory_campaign(self, ctx):
+        result = ctx.memory_result()
+        selection = select_subset(
+            fired_sets_of(result), result.ea_names,
+        )
+        # the greedy subset reaches the full bank's coverage
+        assert selection.coverage == pytest.approx(
+            selection.full_coverage
+        )
+        assert selection.cost_bytes <= selection.full_cost_bytes
+
+    def test_ea4_dominates_input_model(self, ctx):
+        """The paper's Table-4 observation as a subset-selection fact:
+        under the input error model EA4 alone suffices."""
+        result = ctx.detection_result()
+        fired = fired_sets_of(result)
+        detected = [f for f in fired if f]
+        if detected:  # at test scale there are a few detections
+            selection = select_subset(fired, result.ea_names)
+            assert selection.selected == ["EA4"]

@@ -1,0 +1,293 @@
+"""Unit tests for the six software modules of the target system."""
+
+import pytest
+
+from repro.model.module import ExecutionContext
+from repro.target import constants as C
+from repro.target.modules import Calc, Clock, DistS, PresA, PresS, VReg
+
+
+def invoke(module, **args):
+    return module.invoke(ExecutionContext(module, args))
+
+
+class TestClock:
+    def test_slot_advances_through_table(self):
+        clock = Clock("CLOCK")
+        out = invoke(clock, ms_slot_nbr=0)
+        assert out["ms_slot_nbr"] == 1
+        out = invoke(clock, ms_slot_nbr=19)
+        assert out["ms_slot_nbr"] == 0
+
+    def test_mscnt_counts_invocations(self):
+        clock = Clock("CLOCK")
+        for n in range(1, 5):
+            out = invoke(clock, ms_slot_nbr=0)
+        assert out["mscnt"] == 4
+
+    def test_out_of_range_slot_restarts_cycle(self):
+        clock = Clock("CLOCK")
+        out = invoke(clock, ms_slot_nbr=5000)
+        assert out["ms_slot_nbr"] == 0
+
+    def test_corrupted_successor_table_rewires_sequence(self):
+        clock = Clock("CLOCK")
+        clock.state["slot_succ7"] = 3
+        out = invoke(clock, ms_slot_nbr=7)
+        assert out["ms_slot_nbr"] == 3
+
+    def test_full_cycle_returns_to_start(self):
+        clock = Clock("CLOCK")
+        slot = 0
+        for _ in range(C.N_SLOTS):
+            slot = invoke(clock, ms_slot_nbr=slot)["ms_slot_nbr"]
+        assert slot == 0
+
+
+class TestDistS:
+    def test_pulse_accumulation(self):
+        dist = DistS("DIST_S")
+        invoke(dist, PACNT=5, TIC1=0, TCNT=100)
+        out = invoke(dist, PACNT=9, TIC1=200, TCNT=300)
+        assert out["pulscnt"] == 9
+
+    def test_pacnt_wraparound_delta(self):
+        dist = DistS("DIST_S")
+        invoke(dist, PACNT=250, TIC1=0, TCNT=0)
+        out = invoke(dist, PACNT=4, TIC1=0, TCNT=0)  # wrapped: +10
+        assert out["pulscnt"] == 250 + 10
+
+    def test_slow_speed_needs_filled_window(self):
+        dist = DistS("DIST_S")
+        out = invoke(dist, PACNT=0, TIC1=0, TCNT=0)
+        assert out["slow_speed"] == 0  # window not yet valid
+
+    def test_slow_speed_from_low_pulse_rate(self):
+        dist = DistS("DIST_S")
+        pacnt = 0
+        for _ in range(C.SPEED_WINDOW + 2):
+            out = invoke(dist, PACNT=pacnt, TIC1=0, TCNT=0)
+        assert out["slow_speed"] == 1
+
+    def test_fast_pulse_rate_not_slow(self):
+        dist = DistS("DIST_S")
+        pacnt = 0
+        for _ in range(C.SPEED_WINDOW + 2):
+            pacnt = (pacnt + 5) % 256
+            out = invoke(dist, PACNT=pacnt, TIC1=0, TCNT=0)
+        assert out["slow_speed"] == 0
+
+    def test_interval_path_needs_two_confirmations(self):
+        """A single long capture interval must not assert slow_speed —
+        the debounce is what gives TIC1/TCNT their zero permeability."""
+        dist = DistS("DIST_S")
+        pacnt = 0
+        for _ in range(C.SPEED_WINDOW + 2):
+            pacnt = (pacnt + 5) % 256
+            invoke(dist, PACNT=pacnt, TIC1=0, TCNT=0)
+        # one corrupted (huge) interval
+        pacnt = (pacnt + 5) % 256
+        out = invoke(
+            dist, PACNT=pacnt, TIC1=0, TCNT=C.SLOW_INTERVAL_TCNT + 100
+        )
+        assert out["slow_speed"] == 0
+        # second consecutive long interval confirms
+        pacnt = (pacnt + 5) % 256
+        out = invoke(
+            dist, PACNT=pacnt, TIC1=0, TCNT=C.SLOW_INTERVAL_TCNT + 100
+        )
+        assert out["slow_speed"] == 1
+
+    def test_stopped_latches_after_quiet_period(self):
+        dist = DistS("DIST_S")
+        for _ in range(C.SPEED_WINDOW):
+            out = invoke(dist, PACNT=10, TIC1=0, TCNT=0)
+        for _ in range(C.STOPPED_QUIET_INVOCATIONS):
+            out = invoke(dist, PACNT=10, TIC1=0, TCNT=0)
+        assert out["stopped"] == 1
+        # latched: a stray pulse does not clear it
+        out = invoke(dist, PACNT=11, TIC1=0, TCNT=0)
+        assert out["stopped"] == 1
+
+    def test_corrupted_ring_position_is_bounded(self):
+        dist = DistS("DIST_S")
+        dist.state["win_pos"] = 137
+        invoke(dist, PACNT=1, TIC1=0, TCNT=0)  # must not raise
+
+
+class TestCalc:
+    def make(self):
+        return Calc("CALC", pressure_scale=40000)
+
+    def test_index_advances_with_distance_segment(self):
+        calc = self.make()
+        out = invoke(
+            calc, i=0, mscnt=20, pulscnt=(1 << C.SEG_SHIFT) + 1,
+            slow_speed=0, stopped=0,
+        )
+        assert out["i"] == 1
+
+    def test_index_advance_is_incremental(self):
+        calc = self.make()
+        out = invoke(
+            calc, i=0, mscnt=20, pulscnt=(5 << C.SEG_SHIFT),
+            slow_speed=0, stopped=0,
+        )
+        assert out["i"] == 1  # one step per invocation, not a jump
+
+    def test_stopped_freezes_index(self):
+        calc = self.make()
+        out = invoke(
+            calc, i=0, mscnt=20, pulscnt=(5 << C.SEG_SHIFT),
+            slow_speed=0, stopped=1,
+        )
+        assert out["i"] == 0
+
+    def test_corrupted_index_persists(self):
+        calc = self.make()
+        out = invoke(
+            calc, i=9999, mscnt=20, pulscnt=0, slow_speed=0, stopped=0,
+        )
+        assert out["i"] == 9999
+
+    def test_setvalue_rate_limited(self):
+        calc = self.make()
+        out1 = invoke(
+            calc, i=0, mscnt=100, pulscnt=0, slow_speed=0, stopped=0,
+        )
+        out2 = invoke(
+            calc, i=0, mscnt=120, pulscnt=0, slow_speed=0, stopped=0,
+        )
+        assert out2["SetValue"] - out1["SetValue"] <= \
+            C.SETVALUE_RATE_PER_MS * 20
+
+    def test_onset_ramp_limits_early_target(self):
+        calc = self.make()
+        out = invoke(
+            calc, i=0, mscnt=10, pulscnt=0, slow_speed=0, stopped=0,
+        )
+        assert out["SetValue"] <= 10 * C.TIME_RAMP_PER_MS
+
+    def test_slow_speed_retargets_low(self):
+        calc = self.make()
+        # drive SetValue up first
+        for ms in range(100, 4000, 20):
+            out = invoke(
+                calc, i=2, mscnt=ms, pulscnt=0, slow_speed=0, stopped=0,
+            )
+        high = out["SetValue"]
+        for ms in range(4000, 8000, 20):
+            out = invoke(
+                calc, i=2, mscnt=ms, pulscnt=0, slow_speed=1, stopped=0,
+            )
+        assert out["SetValue"] < high
+        assert out["SetValue"] == int(C.SLOW_SPEED_TARGET * 40000)
+
+    def test_table_lookup_masks_high_index_bits(self):
+        """A high-bit index error cannot disturb the table lookup."""
+        calc_a = self.make()
+        calc_b = self.make()
+        common = dict(mscnt=5000, pulscnt=0, slow_speed=0, stopped=0)
+        out_a = invoke(calc_a, i=2, **common)
+        out_b = invoke(calc_b, i=2 + (1 << 10), **common)
+        assert out_a["SetValue"] == out_b["SetValue"]
+
+    def test_default_pressure_scale_mid_envelope(self):
+        calc = Calc("CALC")
+        assert calc.pressure_scale == C.pressure_scale_counts(
+            C.TEST_MASSES_KG[2]
+        )
+
+
+class TestPresS:
+    @staticmethod
+    def settle(pres, adc, n=8):
+        """Feed a steady plausible reading (respecting the slew gate)."""
+        out = None
+        for _ in range(n):
+            out = invoke(pres, ADC=adc)
+        return out
+
+    def test_steady_reading_passes_through(self):
+        pres = PresS("PRES_S")
+        out = self.settle(pres, 40)
+        expected = (40 << 6) & ~(PresS.QUANTUM - 1)
+        assert out["IsValue"] == expected
+
+    def test_single_spike_masked(self):
+        pres = PresS("PRES_S")
+        clean = self.settle(pres, 40)["IsValue"]
+        spiked = invoke(pres, ADC=1023)["IsValue"]
+        assert spiked == clean
+
+    def test_startup_jump_gated_then_resynced(self):
+        """An implausible startup reading is first rejected, then the
+        gate re-synchronizes after a persistent streak."""
+        pres = PresS("PRES_S")
+        first = invoke(pres, ADC=512)["IsValue"]
+        assert first == 0  # 512<<6 is implausible from 0: rejected
+        out = self.settle(
+            pres, 512, n=PresS.MAX_REJECT_STREAK + PresS.DEPTH + 2
+        )
+        expected = (512 << 6) & ~(PresS.QUANTUM - 1)
+        assert out["IsValue"] == expected
+
+    def test_persistent_jump_resyncs(self):
+        pres = PresS("PRES_S")
+        self.settle(pres, 30)
+        out = self.settle(
+            pres, 900, n=PresS.MAX_REJECT_STREAK + PresS.DEPTH + 2
+        )
+        expected = (900 << 6) & ~(PresS.QUANTUM - 1)
+        assert out["IsValue"] == expected
+
+    def test_output_quantized(self):
+        pres = PresS("PRES_S")
+        out = self.settle(pres, 41)
+        assert out["IsValue"] % PresS.QUANTUM == 0
+
+
+class TestVReg:
+    def test_zero_error_zero_output(self):
+        vreg = VReg("V_REG")
+        out = invoke(vreg, SetValue=0, IsValue=0)
+        assert out["OutValue"] == 0
+
+    def test_positive_error_drives_up(self):
+        vreg = VReg("V_REG")
+        out = invoke(vreg, SetValue=20000, IsValue=0)
+        assert out["OutValue"] > 10000
+
+    def test_output_clamped(self):
+        vreg = VReg("V_REG")
+        for _ in range(50):
+            out = invoke(vreg, SetValue=65535, IsValue=0)
+        assert out["OutValue"] == C.VALUE_FULL_SCALE
+        out = invoke(VReg("V2"), SetValue=0, IsValue=65535)
+        assert out["OutValue"] == 0
+
+    def test_integrator_accumulates(self):
+        vreg = VReg("V_REG")
+        first = invoke(vreg, SetValue=10000, IsValue=0)["OutValue"]
+        second = invoke(vreg, SetValue=10000, IsValue=0)["OutValue"]
+        assert second > first
+
+    def test_integrator_clamped(self):
+        vreg = VReg("V_REG")
+        for _ in range(10000):
+            invoke(vreg, SetValue=65535, IsValue=0)
+        assert vreg.state["integ"] == C.VREG_INTEG_CLAMP * 16
+
+
+class TestPresA:
+    def test_drops_two_lsbs(self):
+        pres_a = PresA("PRES_A")
+        assert invoke(pres_a, OutValue=0)["TOC2"] == 0
+        assert invoke(pres_a, OutValue=3)["TOC2"] == 0
+        assert invoke(pres_a, OutValue=4)["TOC2"] == 1
+        assert invoke(pres_a, OutValue=65535)["TOC2"] == 16383
+
+    def test_lsb_errors_masked(self):
+        pres_a = PresA("PRES_A")
+        assert invoke(pres_a, OutValue=1000)["TOC2"] == \
+            invoke(pres_a, OutValue=1002)["TOC2"]

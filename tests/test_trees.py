@@ -1,0 +1,115 @@
+"""Unit tests for repro.core.trees (trace/backtrack/impact trees)."""
+
+import pytest
+
+from repro.core.trees import (
+    build_backtrack_tree,
+    build_impact_tree,
+    build_trace_tree,
+)
+from repro.errors import AnalysisError
+
+
+class TestImpactTree:
+    def test_fig4_structure(self, graph):
+        """The paper's Fig. 4: impact tree for pulscnt."""
+        tree = build_impact_tree(graph, "pulscnt")
+        assert tree.root.signal == "pulscnt"
+        # two children: via CALC to i and to SetValue
+        child_signals = sorted(c.signal for c in tree.root.children)
+        assert child_signals == ["SetValue", "i"]
+        paths = tree.paths_to("TOC2")
+        assert len(paths) == 2
+
+    def test_fig4_path_weights(self, graph, matrix):
+        tree = build_impact_tree(graph, "pulscnt")
+        weights = sorted(
+            path.weight(matrix.__getitem__) for path in tree.paths_to("TOC2")
+        )
+        assert weights[0] == pytest.approx(0.0)  # via P^CALC_{3,2} = 0
+        assert weights[1] == pytest.approx(0.021, abs=5e-4)
+
+    def test_rooted_at_system_input(self, graph):
+        tree = build_impact_tree(graph, "PACNT")
+        assert tree.root.signal == "PACNT"
+        assert tree.paths_to("TOC2")
+
+    def test_rooted_at_output_rejected(self, graph):
+        with pytest.raises(AnalysisError):
+            build_impact_tree(graph, "TOC2")
+
+    def test_no_signal_repeats_on_any_root_to_leaf_path(self, graph):
+        tree = build_impact_tree(graph, "i")
+        for path in tree.all_root_to_leaf_paths():
+            signals = path.signals
+            assert len(set(signals)) == len(signals)
+
+    def test_expansion_stops_at_outputs(self, graph):
+        tree = build_impact_tree(graph, "OutValue")
+        for node in tree.root.walk():
+            if node.signal == "TOC2":
+                assert node.is_leaf
+
+
+class TestTraceTree:
+    def test_trace_tree_from_pacnt(self, graph):
+        tree = build_trace_tree(graph, "PACNT")
+        leaves = {leaf.signal for leaf in tree.leaves()}
+        assert "TOC2" in leaves
+
+    def test_trace_tree_requires_system_input(self, graph):
+        with pytest.raises(AnalysisError):
+            build_trace_tree(graph, "pulscnt")
+
+    def test_direction_forward(self, graph):
+        tree = build_trace_tree(graph, "ADC")
+        assert tree.direction == "forward"
+        path = tree.paths_to("TOC2")[0]
+        assert path.source == "ADC" and path.destination == "TOC2"
+
+
+class TestBacktrackTree:
+    def test_backtrack_tree_from_toc2(self, graph):
+        tree = build_backtrack_tree(graph, "TOC2")
+        assert tree.root.signal == "TOC2"
+        leaf_signals = {leaf.signal for leaf in tree.leaves()}
+        # all four system inputs are reachable backwards
+        assert {"PACNT", "TIC1", "TCNT", "ADC"} <= leaf_signals
+
+    def test_backtrack_requires_system_output(self, graph):
+        with pytest.raises(AnalysisError):
+            build_backtrack_tree(graph, "SetValue")
+
+    def test_backtrack_paths_are_propagation_oriented(self, graph):
+        tree = build_backtrack_tree(graph, "TOC2")
+        for path in tree.paths_to("PACNT"):
+            assert path.source == "PACNT"
+            assert path.destination == "TOC2"
+
+
+class TestTreeQueries:
+    def test_depth(self, graph):
+        tree = build_impact_tree(graph, "OutValue")
+        assert tree.depth() == 1  # OutValue -> TOC2
+
+    def test_nodes_and_leaves(self, graph):
+        tree = build_impact_tree(graph, "pulscnt")
+        assert len(tree.nodes()) == 8  # per Fig. 4: root + 7 descendants
+        assert all(leaf.is_leaf for leaf in tree.leaves())
+
+    def test_render_contains_edge_labels(self, graph):
+        tree = build_impact_tree(graph, "pulscnt")
+        text = tree.render()
+        assert "P^CALC_{3,1}" in text
+        assert text.splitlines()[0] == "pulscnt"
+
+    def test_render_custom_label(self, graph, matrix):
+        tree = build_impact_tree(graph, "OutValue")
+        text = tree.render(label=lambda pair: f"{matrix[pair]:.3f}")
+        assert "0.875" in text
+
+    def test_invalid_direction_rejected(self, graph):
+        from repro.core.trees import PropagationTree, TreeNode
+
+        with pytest.raises(AnalysisError):
+            PropagationTree(TreeNode("x"), "sideways")

@@ -1,0 +1,152 @@
+"""Tests for the telemetry target variant and multi-output criticality."""
+
+import pytest
+
+from repro.core.criticality import (
+    OutputCriticalities,
+    all_criticalities,
+    criticality_ranking,
+)
+from repro.core.impact import impact, impact_on_all_outputs, impact_ranking
+from repro.core.permeability import PermeabilityMatrix
+from repro.experiments.paper_data import PAPER_TABLE1
+from repro.model.graph import SignalGraph
+from repro.target.variants import (
+    VARIANT_MODULE_SLOTS,
+    build_telemetry_arrestment_system,
+    telemetry_simulator,
+)
+
+
+@pytest.fixture(scope="module")
+def variant_system():
+    return build_telemetry_arrestment_system()
+
+
+@pytest.fixture(scope="module")
+def variant_graph(variant_system):
+    return SignalGraph(variant_system)
+
+
+@pytest.fixture(scope="module")
+def variant_matrix(variant_system):
+    """Paper permeabilities for the base pairs + designer values for
+    the REPORT pairs (from its packing quantization)."""
+    values = {}
+    for pair in variant_system.io_pairs():
+        key = (pair.module, pair.in_port, pair.out_port)
+        if key in PAPER_TABLE1:
+            values[pair] = PAPER_TABLE1[key]
+        else:
+            assert pair.module == "REPORT"
+            values[pair] = {
+                "pulscnt": 13 / 16,   # bits >= 3 preserved
+                "slow_speed": 0.9,
+                "stopped": 0.9,
+                "IsValue": 6 / 16,    # bits >= 10 preserved
+            }[pair.in_port]
+    return PermeabilityMatrix.from_values(variant_system, values)
+
+
+class TestVariantStructure:
+    def test_two_system_outputs(self, variant_system):
+        assert set(variant_system.system_outputs()) == {"TOC2", "STATUS"}
+
+    def test_29_pairs(self, variant_system):
+        assert len(variant_system.io_pairs()) == 29
+
+    def test_report_scheduled(self):
+        assert "REPORT" in VARIANT_MODULE_SLOTS
+        assert VARIANT_MODULE_SLOTS["REPORT"] not in (
+            set(VARIANT_MODULE_SLOTS.values())
+            - {VARIANT_MODULE_SLOTS["REPORT"]}
+        )
+
+    def test_variant_arrests_within_spec(self, test_cases):
+        result = telemetry_simulator(test_cases[12]).run()
+        assert result.arrested and not result.failed
+
+    def test_status_traced_and_packed(self, test_cases):
+        result = telemetry_simulator(test_cases[12]).run()
+        stream = result.traces.stream("STATUS")
+        assert stream
+        final = stream[-1][1]
+        assert final & 0x2  # stopped bit set at the end
+
+    def test_base_behaviour_unchanged(self, test_cases, golden_result):
+        """Adding a passive telemetry consumer must not perturb the
+        control loop."""
+        variant = telemetry_simulator(test_cases[12]).run()
+        assert variant.stop_distance_m == golden_result.stop_distance_m
+        assert variant.ticks_run == golden_result.ticks_run
+
+
+class TestMultiOutputEffectAnalysis:
+    def test_impact_per_output_differs(
+        self, variant_matrix, variant_graph
+    ):
+        per_output = impact_on_all_outputs(
+            variant_matrix, variant_graph, "stopped"
+        )
+        # stopped barely touches the brake command but is packed
+        # directly into the status word
+        assert per_output["TOC2"] < 0.05
+        assert per_output["STATUS"] > 0.5
+
+    def test_criticality_reorders_signals(
+        self, variant_matrix, variant_graph
+    ):
+        """Two signals with comparable total impact across outputs can
+        have very different criticalities (the paper's C3)."""
+        criticalities = OutputCriticalities(
+            variant_graph, {"TOC2": 1.0, "STATUS": 0.1}
+        )
+        crits = all_criticalities(
+            variant_matrix, variant_graph, criticalities
+        )
+        # stopped matters a lot for STATUS but STATUS barely matters
+        assert crits["stopped"] < 0.15
+        # IsValue matters for the brake command
+        assert crits["IsValue"] > 0.5
+        # ordering: impact ranking (uniform criticality) vs weighted
+        uniform = OutputCriticalities(
+            variant_graph, {"TOC2": 1.0, "STATUS": 1.0}
+        )
+        by_uniform = [
+            n for n, _ in criticality_ranking(
+                variant_matrix, variant_graph, uniform
+            )
+        ]
+        by_weighted = [
+            n for n, _ in criticality_ranking(
+                variant_matrix, variant_graph, criticalities
+            )
+        ]
+        assert by_uniform != by_weighted
+        assert by_uniform.index("stopped") < by_weighted.index("stopped")
+
+    def test_single_output_shortcut_rejected(
+        self, variant_matrix, variant_graph
+    ):
+        """all_impacts without an explicit output is ambiguous on a
+        two-output system."""
+        from repro.core.impact import all_impacts
+        from repro.errors import AnalysisError
+
+        with pytest.raises(AnalysisError):
+            all_impacts(variant_matrix, variant_graph)
+
+    def test_eq4_combines_outputs(self, variant_matrix, variant_graph):
+        """C_s >= each single-output criticality (Eq. 4 is a noisy-or)."""
+        criticalities = OutputCriticalities(
+            variant_graph, {"TOC2": 0.8, "STATUS": 0.5}
+        )
+        for signal in ("pulscnt", "IsValue", "slow_speed"):
+            total = all_criticalities(
+                variant_matrix, variant_graph, criticalities
+            )[signal]
+            for output, weight in (("TOC2", 0.8), ("STATUS", 0.5)):
+                single = weight * impact(
+                    variant_matrix, variant_graph, signal, output
+                )
+                assert total >= single - 1e-12

@@ -1,0 +1,255 @@
+"""Tests for the water-tank target — the framework's second system."""
+
+import pytest
+
+from repro.core.criticality import OutputCriticalities, all_criticalities
+from repro.core.exposure import all_signal_exposures
+from repro.core.impact import all_impacts
+from repro.core.placement import pa_placement
+from repro.analysis import matrix_from_estimate
+from repro.edm import MonitorBank
+from repro.errors import AssertionSpecError, ModelError
+from repro.fi import (
+    FaultInjector,
+    InputSignalFlip,
+    MemoryMap,
+    PermeabilityCampaign,
+    Region,
+)
+from repro.model.graph import SignalGraph
+from repro.watertank import (
+    InflowProfile,
+    TankPlant,
+    TankSensorSuite,
+    TankTestCase,
+    WaterTankSimulator,
+    build_watertank_system,
+    standard_tank_cases,
+    tank_assertions,
+)
+from repro.watertank import constants as TC
+
+
+@pytest.fixture(scope="module")
+def tank_system():
+    return build_watertank_system()
+
+
+@pytest.fixture(scope="module")
+def tank_golden():
+    return WaterTankSimulator(standard_tank_cases()[4]).run()
+
+
+@pytest.fixture(scope="module")
+def tank_estimate():
+    """Small shared permeability campaign on the tank."""
+    cases = standard_tank_cases()[::4]
+    return PermeabilityCampaign(
+        WaterTankSimulator, cases, runs_per_input=6, seed=5
+    ).run()
+
+
+class TestPlant:
+    def test_profile_square_wave(self):
+        profile = InflowProfile(0.02, 0.01, period_s=10.0)
+        assert profile.inflow_at(2.0) == 0.02
+        assert profile.inflow_at(7.0) == pytest.approx(0.03)
+
+    def test_invalid_profile_rejected(self):
+        with pytest.raises(ModelError):
+            InflowProfile(-1, 0)
+
+    def test_closed_valve_fills(self):
+        plant = TankPlant(InflowProfile(0.03, 0.0))
+        for _ in range(1000):
+            plant.step(0.0)
+        assert plant.state.level_m > TC.LEVEL_SETPOINT_M
+
+    def test_open_valve_drains(self):
+        plant = TankPlant(InflowProfile(0.0, 0.0))
+        for _ in range(5000):
+            plant.step(1.0)
+        assert plant.state.level_m < TC.LEVEL_SETPOINT_M
+
+    def test_sensor_scaling(self):
+        sensors = TankSensorSuite()
+        sensors.advance(TC.TANK_HEIGHT_M / 2, 0.0)
+        assert sensors.lvl_adc == pytest.approx(511, abs=2)
+
+    def test_flow_counter_wraps(self):
+        sensors = TankSensorSuite()
+        sensors.advance(0.0, 0.300)  # 300 pulses on an 8-bit counter
+        assert sensors.flow_cnt == 300 % 256
+
+    def test_commanded_valve_mapping(self):
+        assert TankSensorSuite.commanded_valve(0) == 0.0
+        assert TankSensorSuite.commanded_valve(4095) == 1.0
+
+
+class TestStructure:
+    def test_two_outputs_one_boolean(self, tank_system):
+        outputs = set(tank_system.system_outputs())
+        assert outputs == {"VALVE_POS", "ALARM_OUT"}
+
+    def test_nine_pairs(self, tank_system):
+        assert len(tank_system.io_pairs()) == 9
+
+    def test_memory_map_nonempty_regions(self, tank_system):
+        memory_map = MemoryMap(tank_system)
+        assert memory_map.ram_size() > 20
+        assert memory_map.stack_size() > 15
+
+    def test_invalid_case_rejected(self):
+        with pytest.raises(ModelError):
+            TankTestCase(0, -0.01, 0.0)
+
+
+class TestMission:
+    def test_all_missions_regulate_within_spec(self):
+        for tc in standard_tank_cases():
+            result = WaterTankSimulator(tc).run()
+            assert not result.failed, tc.label
+            assert abs(
+                result.verdict.peak_level_m - TC.LEVEL_SETPOINT_M
+            ) < 0.25
+
+    def test_no_ea_false_positives(self):
+        for tc in standard_tank_cases()[::4]:
+            sim = WaterTankSimulator(tc)
+            bank = MonitorBank(
+                tank_assertions(), period=TC.N_SLOTS
+            ).attach(sim)
+            sim.run()
+            assert not bank.any_fired(), tc.label
+
+    def test_determinism(self, tank_golden):
+        again = WaterTankSimulator(standard_tank_cases()[4]).run()
+        for signal in ("level_f", "valve_cmd", "VALVE_POS"):
+            assert again.traces.first_difference(
+                tank_golden.traces, signal
+            ) is None
+
+    def test_mission_completes_by_definition(self, tank_golden):
+        assert tank_golden.completion_tick == TC.MISSION_TICKS - 1
+
+
+class TestFailureModes:
+    @staticmethod
+    def _stuck_valve(sim, value):
+        """Force VALVE_A's command input (a stuck actuator driver)."""
+        sim.add_marshal(
+            lambda module, args: (
+                {"valve_cmd": value} if module == "VALVE_A" else args
+            )
+        )
+
+    def test_stuck_closed_valve_overflows(self):
+        tc = standard_tank_cases()[8]  # highest inflow
+        sim = WaterTankSimulator(tc, mission_ticks=15000)
+        self._stuck_valve(sim, 0)
+        result = sim.run()
+        assert result.failed
+        assert "overflow" in result.verdict.kinds
+
+    def test_stuck_open_valve_runs_dry(self):
+        tc = standard_tank_cases()[0]  # lowest inflow
+        sim = WaterTankSimulator(tc, mission_ticks=9000)
+        self._stuck_valve(sim, 65535)
+        result = sim.run()
+        assert result.failed
+        assert "dry_run" in result.verdict.kinds
+
+    def test_alarm_asserts_on_high_level(self):
+        """With the valve held shut, the alarm must latch before the
+        missed-alarm grace expires — no missed_alarm failure."""
+        tc = standard_tank_cases()[8]
+        sim = WaterTankSimulator(tc, mission_ticks=15000)
+        self._stuck_valve(sim, 0)
+        result = sim.run()
+        assert "missed_alarm" not in result.verdict.kinds
+        assert result.traces.stream("ALARM_OUT")[-1][1] == 1
+
+    def test_suppressed_alarm_is_a_failure(self):
+        """Forcing ALARM's level input low while the tank overflows
+        must produce the missed-alarm verdict."""
+        tc = standard_tank_cases()[8]
+        sim = WaterTankSimulator(tc, mission_ticks=15000)
+
+        def sabotage(module, args):
+            if module == "ALARM":
+                return {"level_f": 0}
+            if module == "VALVE_A":
+                return {"valve_cmd": 0}
+            return args
+
+        sim.add_marshal(sabotage)
+        result = sim.run()
+        assert "missed_alarm" in result.verdict.kinds
+
+
+class TestCampaignsOnTank:
+    def test_permeability_shape(self, tank_estimate):
+        values = tank_estimate.values
+        # the pulse chain and the regulator pass errors through
+        assert values[("FLOW_S", "FLOW_CNT", "inflow_rate")] >= 0.8
+        assert values[("CTRL", "level_f", "valve_cmd")] >= 0.8
+        # the filtered level chain masks transients
+        assert values[("LEVEL_S", "LVL_ADC", "level_f")] <= 0.3
+        # the time base is independent of the slot number
+        assert values[("TIMER", "tick_nbr", "ticks")] == 0.0
+
+    def test_pa_placement_on_tank(self, tank_system, tank_estimate):
+        matrix = matrix_from_estimate(tank_system, tank_estimate)
+        graph = SignalGraph(tank_system)
+        placement = pa_placement(matrix, graph)
+        # the regulator command chain carries the exposure
+        assert "valve_cmd" in placement.selected
+        # the boolean alarm output is never selected
+        assert "ALARM_OUT" not in placement.selected
+
+    def test_multi_output_criticality_on_tank(
+        self, tank_system, tank_estimate
+    ):
+        matrix = matrix_from_estimate(tank_system, tank_estimate)
+        graph = SignalGraph(tank_system)
+        impacts_valve = all_impacts(matrix, graph, "VALVE_POS")
+        impacts_alarm = all_impacts(matrix, graph, "ALARM_OUT")
+        # inflow_rate only matters for the valve; level_f for both
+        assert impacts_valve["inflow_rate"] > impacts_alarm["inflow_rate"]
+        crits = all_criticalities(
+            matrix, graph,
+            OutputCriticalities(
+                graph, {"VALVE_POS": 1.0, "ALARM_OUT": 0.6}
+            ),
+        )
+        for value in crits.values():
+            if value is not None:
+                assert 0.0 <= value <= 1.0
+
+    def test_input_injection_via_register(self, tank_golden):
+        sim = WaterTankSimulator(standard_tank_cases()[4])
+        injector = FaultInjector(
+            InputSignalFlip("FLOW_CNT", 2000, 7)
+        ).attach(sim)
+        result = sim.run()
+        assert injector.injected
+        diff = result.traces.first_difference(
+            tank_golden.traces, "inflow_rate"
+        )
+        assert diff is not None and diff >= 2000
+
+
+class TestTankCatalogue:
+    def test_all_guardable_signals_covered(self):
+        specs = tank_assertions()
+        assert len(specs) == 6
+        signals = {spec.signal for spec in specs}
+        assert "ALARM_OUT" not in signals  # boolean: unguardable
+
+    def test_subset_selection_by_signal(self):
+        specs = tank_assertions(["level_f", "valve_cmd"])
+        assert {s.name for s in specs} == {"TEA1", "TEA3"}
+
+    def test_unknown_signal_rejected(self):
+        with pytest.raises(AssertionSpecError):
+            tank_assertions(["ALARM_OUT"])
