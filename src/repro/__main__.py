@@ -14,6 +14,11 @@ Subcommands
 ``experiments``
     Regenerate the paper's tables and figures (see
     ``python -m repro.experiments --help`` for its options).
+``table1`` .. ``extended``
+    Run one experiment directly, e.g. ``python -m repro table1
+    --jobs 4``.  Accepts ``--scale``, ``--seed``, ``--target``,
+    ``--jobs``, ``--resume`` and ``--checkpoint-dir``; parallel runs
+    are bit-identical to serial ones for the same seed.
 """
 
 from __future__ import annotations
@@ -21,6 +26,14 @@ from __future__ import annotations
 import argparse
 import sys
 from typing import List, Optional
+
+#: ids accepted as direct subcommands (validated against the runner's
+#: EXPERIMENTS table at execution time; kept literal so the CLI parser
+#: builds without importing the experiment machinery)
+EXPERIMENT_IDS = (
+    "table1", "table2", "table3", "table4",
+    "figure3", "table5", "profiles", "extended",
+)
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
@@ -134,6 +147,25 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     return experiments_main(args.rest)
 
 
+def _cmd_one_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments.__main__ import report_telemetry
+    from repro.experiments.context import ExperimentContext, default_scale
+    from repro.experiments.runner import EXPERIMENTS
+
+    ctx = ExperimentContext(
+        scale=args.scale if args.scale is not None else default_scale(),
+        seed=args.seed,
+        target=args.target,
+        jobs=args.jobs,
+        resume=args.resume,
+        checkpoint_dir=args.checkpoint_dir,
+    )
+    result = EXPERIMENTS[args.command](ctx)
+    print(result.render())
+    report_telemetry(ctx)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -184,6 +216,28 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     p_exp.add_argument("rest", nargs=argparse.REMAINDER)
     p_exp.set_defaults(fn=_cmd_experiments)
+
+    for exp_id in EXPERIMENT_IDS:
+        p_one = sub.add_parser(exp_id, help=f"run the {exp_id} experiment")
+        p_one.add_argument(
+            "--scale", default=None,
+            help="workload scale (default: REPRO_SCALE or bench)",
+        )
+        p_one.add_argument("--seed", type=int, default=2002)
+        p_one.add_argument(
+            "--target", default="arrestment",
+            help="registered target system (default: arrestment)",
+        )
+        p_one.add_argument(
+            "--jobs", type=int, default=1, metavar="N",
+            help="worker processes for campaigns (default: 1 = serial)",
+        )
+        p_one.add_argument(
+            "--resume", action="store_true",
+            help="resume partially completed campaigns from checkpoints",
+        )
+        p_one.add_argument("--checkpoint-dir", default=None, metavar="DIR")
+        p_one.set_defaults(fn=_cmd_one_experiment)
 
     args = parser.parse_args(argv)
     return args.fn(args)

@@ -8,8 +8,6 @@ monitors, and the EA-set resource cost model.
 
 from repro.edm.assertions import AssertionSpec, AssertionState, EAKind
 from repro.edm.catalogue import (
-    EA_BY_NAME,
-    EA_BY_SIGNAL,
     EH_SET,
     EXTENDED_SET,
     PA_SET,
@@ -35,6 +33,16 @@ from repro.edm.subset import (
     overlap_matrix,
     select_subset,
 )
+
+
+def __getattr__(name: str):
+    # EA_BY_NAME / EA_BY_SIGNAL stay lazy (PEP 562) so that importing
+    # the EDM layer does not pull in the arrestment target's constants.
+    if name in ("EA_BY_NAME", "EA_BY_SIGNAL"):
+        from repro.edm import catalogue
+
+        return getattr(catalogue, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "AssertionSpec",

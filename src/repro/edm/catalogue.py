@@ -11,11 +11,10 @@ the test suite).
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.edm.assertions import AssertionSpec, EAKind
 from repro.errors import AssertionSpecError
-from repro.target import constants as C
 
 __all__ = [
     "EA_BY_NAME",
@@ -29,6 +28,11 @@ __all__ = [
 
 
 def _build_catalogue() -> Dict[str, AssertionSpec]:
+    # deferred import: the generic EDM layer must not hard-depend on
+    # one concrete target at import time (the parameters below are the
+    # arrestment target's, but only materialize on first access)
+    from repro.target import constants as C
+
     max_program_counts = int(max(C.PRESSURE_PROGRAM) * C.VALUE_FULL_SCALE)
     # largest legitimate SetValue step: slew rate x the clamped dt
     setvalue_step = C.SETVALUE_RATE_PER_MS * 100
@@ -91,13 +95,27 @@ def _build_catalogue() -> Dict[str, AssertionSpec]:
     return {spec.name: spec for spec in specs}
 
 
-#: EA name -> specification (EA1..EA7, costs per paper Table 3).
-EA_BY_NAME: Dict[str, AssertionSpec] = _build_catalogue()
+_CATALOGUE: Optional[Dict[str, AssertionSpec]] = None
 
-#: guarded signal -> specification.
-EA_BY_SIGNAL: Dict[str, AssertionSpec] = {
-    spec.signal: spec for spec in EA_BY_NAME.values()
-}
+
+def _catalogue() -> Dict[str, AssertionSpec]:
+    global _CATALOGUE
+    if _CATALOGUE is None:
+        _CATALOGUE = _build_catalogue()
+    return _CATALOGUE
+
+
+def __getattr__(name: str):
+    # PEP 562: EA_BY_NAME / EA_BY_SIGNAL are built on first access so
+    # importing this module does not import the arrestment target.
+    if name == "EA_BY_NAME":
+        #: EA name -> specification (EA1..EA7, costs per paper Table 3).
+        return dict(_catalogue())
+    if name == "EA_BY_SIGNAL":
+        #: guarded signal -> specification.
+        return {spec.signal: spec for spec in _catalogue().values()}
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 #: The EH-approach's selected signals (paper Section 5.1).
 EH_SET = (
@@ -113,15 +131,16 @@ EXTENDED_SET = EH_SET
 
 def assertions_for_signals(signals: Sequence[str]) -> List[AssertionSpec]:
     """The EA instances guarding *signals* (order: catalogue order)."""
-    unknown = [s for s in signals if s not in EA_BY_SIGNAL]
+    by_signal = {spec.signal: spec for spec in _catalogue().values()}
+    unknown = [s for s in signals if s not in by_signal]
     if unknown:
         raise AssertionSpecError(
             f"no executable assertion in the catalogue for signals "
-            f"{unknown}; guardable signals: {sorted(EA_BY_SIGNAL)}"
+            f"{unknown}; guardable signals: {sorted(by_signal)}"
         )
     wanted = set(signals)
     return [
-        spec for spec in EA_BY_NAME.values() if spec.signal in wanted
+        spec for spec in _catalogue().values() if spec.signal in wanted
     ]
 
 

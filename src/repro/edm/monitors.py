@@ -23,7 +23,6 @@ from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.edm.assertions import AssertionSpec, AssertionState
 from repro.errors import AssertionSpecError
-from repro.target import constants as _target_constants
 
 __all__ = ["DetectionRecord", "MonitorBank"]
 
@@ -47,22 +46,23 @@ class MonitorBank:
     specs:
         The assertion instances to run.
     period:
-        Evaluation period in scheduler ticks (default: the target's
-        slot-cycle length, i.e. the EAs run once per cycle like the
-        other application functions).
+        Evaluation period in scheduler ticks.  ``None`` (the default)
+        resolves to the attached simulator's slot-cycle length at
+        :meth:`attach` time, i.e. the EAs run once per cycle like the
+        other application functions — whatever the target's cycle is.
     """
 
     def __init__(
         self,
         specs: Sequence[AssertionSpec],
-        period: int = _target_constants.N_SLOTS,
+        period: Optional[int] = None,
     ):
         names = [spec.name for spec in specs]
         if len(set(names)) != len(names):
             raise AssertionSpecError(
                 f"duplicate assertion names in monitor bank: {names}"
             )
-        if period <= 0:
+        if period is not None and period <= 0:
             raise AssertionSpecError(
                 f"evaluation period must be positive, got {period}"
             )
@@ -82,6 +82,8 @@ class MonitorBank:
                     f"assertion {state.spec.name!r} guards unknown signal "
                     f"{state.spec.signal!r}"
                 )
+        if self.period is None:
+            self.period = simulator.executor.schedule.n_slots
         self._store = simulator.executor.store
         simulator.add_post_tick(self._on_tick)
         return self

@@ -6,6 +6,13 @@ Options
     Workload scale (default: ``REPRO_SCALE`` or ``bench``).
 ``--seed N``
     Campaign seed (default 2002).
+``--target NAME``
+    Registered target system (default ``arrestment``).
+``--jobs N``
+    Worker processes for the fault-injection campaigns (default 1,
+    i.e. serial; results are bit-identical either way).
+``--resume`` / ``--checkpoint-dir DIR``
+    Checkpoint campaigns to disk and resume partial ones.
 ``ids``
     Experiment ids to run (default: all).  Known ids:
     table1 table2 table3 table4 figure3 table5 profiles extended.
@@ -18,6 +25,48 @@ import sys
 
 from repro.experiments.context import ExperimentContext, SCALES, default_scale
 from repro.experiments.runner import EXPERIMENTS, run_all
+from repro.targets import available_targets
+
+
+def add_execution_options(parser: argparse.ArgumentParser) -> None:
+    """The campaign-execution flags shared by the CLI entry points."""
+    parser.add_argument(
+        "--scale", choices=sorted(SCALES), default=default_scale()
+    )
+    parser.add_argument("--seed", type=int, default=2002)
+    parser.add_argument(
+        "--target", choices=available_targets(), default="arrestment",
+        help="registered target system (default: arrestment)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for campaigns (default: 1 = serial)",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="resume partially completed campaigns from checkpoints",
+    )
+    parser.add_argument(
+        "--checkpoint-dir", default=None, metavar="DIR",
+        help="directory for campaign checkpoints "
+        "(default with --resume: .repro-checkpoints/<target>-<scale>-<seed>)",
+    )
+
+
+def context_from_args(args: argparse.Namespace) -> ExperimentContext:
+    return ExperimentContext(
+        scale=args.scale,
+        seed=args.seed,
+        target=args.target,
+        jobs=args.jobs,
+        resume=args.resume,
+        checkpoint_dir=args.checkpoint_dir,
+    )
+
+
+def report_telemetry(ctx: ExperimentContext) -> None:
+    for telemetry in ctx.telemetries.values():
+        print(telemetry.render(), file=sys.stderr)
 
 
 def main(argv=None) -> int:
@@ -31,13 +80,11 @@ def main(argv=None) -> int:
         choices=list(EXPERIMENTS) + [[]],
         help="experiments to run (default: all)",
     )
-    parser.add_argument(
-        "--scale", choices=sorted(SCALES), default=default_scale()
-    )
-    parser.add_argument("--seed", type=int, default=2002)
+    add_execution_options(parser)
     args = parser.parse_args(argv)
-    ctx = ExperimentContext(scale=args.scale, seed=args.seed)
+    ctx = context_from_args(args)
     run_all(ctx, only=args.ids or None)
+    report_telemetry(ctx)
     return 0
 
 

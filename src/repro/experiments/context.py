@@ -1,10 +1,11 @@
 """Shared context for the paper experiments.
 
-An :class:`ExperimentContext` fixes the workload scale (how many test
-cases, injection runs and memory locations), the random seed, and
-caches the expensive fault-injection campaigns so that the analytic
-experiments (Tables 2, 5, the profiles, the extended selection) reuse
-the Table-1 campaign instead of re-running it.
+An :class:`ExperimentContext` fixes the target system, the workload
+scale (how many test cases, injection runs and memory locations), the
+random seed, and the execution options (worker count, checkpointing),
+and caches the expensive fault-injection campaigns so that the
+analytic experiments (Tables 2, 5, the profiles, the extended
+selection) reuse the Table-1 campaign instead of re-running it.
 
 Scales
 ------
@@ -24,11 +25,10 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Union
 
 from repro.core.permeability import PermeabilityMatrix
 from repro.analysis.estimators import matrix_from_estimate
-from repro.edm.catalogue import EA_BY_NAME
 from repro.errors import ExperimentError
 from repro.fi.campaign import (
     DetectionCampaign,
@@ -38,10 +38,12 @@ from repro.fi.campaign import (
     PermeabilityCampaign,
     PermeabilityEstimate,
 )
+from repro.fi.executor import CampaignConfig, CampaignTelemetry
 from repro.fi.memory import MemoryMap
 from repro.model.graph import SignalGraph
 from repro.target.simulation import ArrestmentSimulator
-from repro.target.testcases import TestCase, standard_test_cases
+from repro.target.testcases import TestCase
+from repro.targets import TargetSystem, get_target
 
 __all__ = ["ScaleConfig", "SCALES", "ExperimentContext", "default_scale"]
 
@@ -81,18 +83,51 @@ def default_scale() -> str:
 
 
 class ExperimentContext:
-    """Caches campaigns and derived artefacts for one scale + seed."""
+    """Caches campaigns and derived artefacts for one target + scale
+    + seed.
 
-    def __init__(self, scale: str = "bench", seed: int = 2002):
+    *target* is a registered target name or a
+    :class:`~repro.targets.TargetSystem` (default: the paper's
+    arrestment system).  *jobs* > 1 runs the campaigns on a process
+    pool; *checkpoint_dir* enables checkpointing of partially
+    completed campaigns, and *resume* picks existing checkpoints up
+    instead of starting fresh.
+    """
+
+    def __init__(
+        self,
+        scale: str = "bench",
+        seed: int = 2002,
+        target: Union[str, TargetSystem] = "arrestment",
+        jobs: int = 1,
+        resume: bool = False,
+        checkpoint_dir: Optional[str] = None,
+    ):
         if scale not in SCALES:
             raise ExperimentError(
                 f"unknown scale {scale!r}; choose from {sorted(SCALES)}"
             )
         self.scale = SCALES[scale]
         self.seed = seed
-        self.test_cases: List[TestCase] = standard_test_cases()[
-            :: self.scale.test_case_stride
-        ]
+        self.target: TargetSystem = (
+            get_target(target) if isinstance(target, str) else target
+        )
+        self.jobs = jobs
+        self.resume = resume
+        if resume and checkpoint_dir is None:
+            checkpoint_dir = os.path.join(
+                ".repro-checkpoints",
+                f"{self.target.name}-{self.scale.name}-{seed}",
+            )
+        self.checkpoint_dir = checkpoint_dir
+        # shadows the class-level staticmethod: campaigns and
+        # benchmarks read ``ctx.simulator_factory`` as a plain callable
+        self.simulator_factory = self.target.simulator_factory
+        self.test_cases: List[TestCase] = list(
+            self.target.standard_test_cases()
+        )[:: self.scale.test_case_stride]
+        #: per-campaign execution telemetry of the campaigns run so far
+        self.telemetries: Dict[str, CampaignTelemetry] = {}
         self._estimate: Optional[PermeabilityEstimate] = None
         self._matrix: Optional[PermeabilityMatrix] = None
         self._detection: Optional[DetectionResult] = None
@@ -103,9 +138,22 @@ class ExperimentContext:
     # ------------------------------------------------------------------
     # Building blocks.
     # ------------------------------------------------------------------
-    @staticmethod
-    def simulator_factory(test_case: TestCase) -> ArrestmentSimulator:
-        return ArrestmentSimulator(test_case)
+    simulator_factory = staticmethod(ArrestmentSimulator)
+
+    def campaign_config(self, campaign: str) -> CampaignConfig:
+        """The shared execution config, with a per-campaign checkpoint."""
+        checkpoint_path = None
+        if self.checkpoint_dir is not None:
+            checkpoint_path = os.path.join(
+                self.checkpoint_dir, f"{campaign}.json"
+            )
+            if not self.resume and os.path.exists(checkpoint_path):
+                os.remove(checkpoint_path)  # fresh start requested
+        return CampaignConfig(
+            seed=self.seed,
+            jobs=self.jobs,
+            checkpoint_path=checkpoint_path,
+        )
 
     @property
     def system(self):
@@ -119,6 +167,9 @@ class ExperimentContext:
             self._graph = SignalGraph(self.system)
         return self._graph
 
+    def assertion_specs(self):
+        return list(self.target.assertion_specs())
+
     # ------------------------------------------------------------------
     # Campaign caches.
     # ------------------------------------------------------------------
@@ -128,9 +179,10 @@ class ExperimentContext:
                 self.simulator_factory,
                 self.test_cases,
                 runs_per_input=self.scale.runs_per_input,
-                seed=self.seed,
+                config=self.campaign_config("permeability"),
             )
             self._estimate = campaign.run()
+            self.telemetries["permeability"] = campaign.telemetry
         return self._estimate
 
     def measured_matrix(self) -> PermeabilityMatrix:
@@ -145,11 +197,12 @@ class ExperimentContext:
             campaign = DetectionCampaign(
                 self.simulator_factory,
                 self.test_cases,
-                list(EA_BY_NAME.values()),
+                self.assertion_specs(),
                 runs_per_signal=self.scale.runs_per_signal,
-                seed=self.seed,
+                config=self.campaign_config("detection"),
             )
             self._detection = campaign.run()
+            self.telemetries["detection"] = campaign.telemetry
         return self._detection
 
     def memory_result(self) -> MemoryCampaignResult:
@@ -160,9 +213,10 @@ class ExperimentContext:
             campaign = MemoryCampaign(
                 self.simulator_factory,
                 self.test_cases[:: self.scale.memory_case_stride],
-                list(EA_BY_NAME.values()),
+                self.assertion_specs(),
                 locations=locations,
-                seed=self.seed,
+                config=self.campaign_config("memory"),
             )
             self._memory = campaign.run()
+            self.telemetries["memory"] = campaign.telemetry
         return self._memory

@@ -1,8 +1,10 @@
 """Fault-injection substrate (paper Sections 5.3, 6.2, 7).
 
 Bit-flip error models over signals, module state (RAM) and the stack
-area; golden-run generation and first-difference comparison; and the
-three campaign drivers used by the paper's experiments.
+area; golden-run generation and first-difference comparison; the four
+campaign drivers used by the paper's experiments; and the campaign
+execution engine (serial/process backends, golden-run cache,
+checkpoint/resume, telemetry).
 """
 
 from repro.fi.campaign import (
@@ -18,6 +20,13 @@ from repro.fi.campaign import (
     RecoveryCampaign,
     RecoveryOutcome,
     RecoveryResult,
+)
+from repro.fi.executor import (
+    CampaignConfig,
+    CampaignExecutor,
+    CampaignTelemetry,
+    GoldenRunCache,
+    golden_cache,
 )
 from repro.fi.comparison import (
     PropagationTimeline,
@@ -42,8 +51,13 @@ from repro.fi.models import (
 )
 
 __all__ = [
+    "CampaignConfig",
+    "CampaignExecutor",
+    "CampaignTelemetry",
     "CellKind",
     "CoverageTriple",
+    "GoldenRunCache",
+    "golden_cache",
     "DEFAULT_PERIOD_TICKS",
     "DetectionCampaign",
     "DetectionResult",

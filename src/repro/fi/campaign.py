@@ -1,6 +1,6 @@
 """Fault-injection campaigns (paper Sections 5.3, 6.2 and 7).
 
-Three campaign drivers:
+Four campaign drivers:
 
 * :class:`PermeabilityCampaign` — estimates every ``P^M_{i,k}`` of the
   system (Table 1): inject one bit flip into one module input per run,
@@ -13,20 +13,55 @@ Three campaign drivers:
   periodic bit flip (20 ms period) into one RAM or stack location per
   run, record detections and the failure verdict, and derive
   ``c_tot`` / ``c_fail`` / ``c_nofail`` per region for any EA set.
+* :class:`RecoveryCampaign` — re-runs the memory error model with and
+  without containment wrappers and compares failure verdicts.
 
-All campaigns are deterministic given their seed, and every run is a
-fresh simulator instance (no state leaks between runs).
+Execution model
+---------------
+Every campaign separates into three phases: a serial *pre-draw* phase
+that draws all random parameters from the campaign RNG in the exact
+order the original single-loop drivers drew them, an *execution* phase
+that maps a pure per-run function over the pre-drawn parameter list
+through a :class:`~repro.fi.executor.CampaignExecutor` (serially or on
+a process pool), and a serial *aggregation* phase that folds results
+in task order.  Campaigns are therefore deterministic given their
+seed, **bit-identical between serial and parallel execution**, and
+every run is a fresh simulator instance (no state leaks between
+runs).  Golden runs are shared through the process-wide
+:data:`~repro.fi.executor.golden_cache`.
+
+Campaigns accept either a bare simulator factory or a registered
+:class:`~repro.targets.TargetSystem` (anything with a
+``simulator_factory`` attribute); the shared execution options live in
+a :class:`~repro.fi.executor.CampaignConfig` passed as ``config=``.
+Explicit constructor arguments win over config values.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.edm.assertions import AssertionSpec
 from repro.edm.monitors import MonitorBank
 from repro.errors import CampaignError
+from repro.fi.executor import (
+    CampaignConfig,
+    CampaignExecutor,
+    CampaignTelemetry,
+    fingerprint_of,
+    golden_cache,
+)
 from repro.fi.golden import (
     GoldenRun,
     GoldenRunStore,
@@ -58,6 +93,59 @@ __all__ = [
     "RecoveryOutcome",
     "RecoveryResult",
 ]
+
+
+# ======================================================================
+# Shared constructor plumbing.
+# ======================================================================
+def _resolve_factory(factory) -> SimulatorFactory:
+    """Accept a simulator factory or anything carrying one.
+
+    A :class:`~repro.targets.TargetSystem` (or any object with a
+    callable ``simulator_factory`` attribute) stands in for its
+    factory, so campaigns can be pointed at a registered target
+    directly.
+    """
+    if not callable(factory):
+        simulator_factory = getattr(factory, "simulator_factory", None)
+        if callable(simulator_factory):
+            return simulator_factory
+        raise CampaignError(
+            f"factory must be callable or provide a simulator_factory, "
+            f"got {factory!r}"
+        )
+    return factory
+
+
+def _resolve_test_cases(
+    factory,
+    test_cases: Optional[Sequence[TestCase]],
+    config: Optional[CampaignConfig],
+) -> List[TestCase]:
+    if test_cases is None and config is not None:
+        test_cases = config.test_cases
+    if test_cases is None and not callable(factory):
+        default_cases = getattr(factory, "standard_test_cases", None)
+        if callable(default_cases):
+            test_cases = default_cases()
+    if not test_cases:
+        raise CampaignError("at least one test case is required")
+    return list(test_cases)
+
+
+def _resolve_seed(
+    seed: Optional[int], config: Optional[CampaignConfig]
+) -> int:
+    if seed is not None:
+        return seed
+    return config.seed if config is not None else 2002
+
+
+def _target_label(factory) -> str:
+    name = getattr(factory, "name", None)
+    if isinstance(name, str):
+        return name
+    return getattr(factory, "__qualname__", type(factory).__name__)
 
 
 # ======================================================================
@@ -97,10 +185,11 @@ class PermeabilityCampaign:
     def __init__(
         self,
         factory: SimulatorFactory,
-        test_cases: Sequence[TestCase],
+        test_cases: Optional[Sequence[TestCase]] = None,
         runs_per_input: int = 32,
-        seed: int = 2002,
+        seed: Optional[int] = None,
         direct_only: bool = True,
+        config: Optional[CampaignConfig] = None,
     ):
         """*direct_only* selects the paper's accounting (Section 5.3:
         count only direct output errors, excluding errors that left
@@ -111,38 +200,76 @@ class PermeabilityCampaign:
             raise CampaignError(
                 f"runs_per_input must be positive, got {runs_per_input}"
             )
-        if not test_cases:
-            raise CampaignError("at least one test case is required")
-        self.factory = factory
-        self.test_cases = list(test_cases)
+        self.factory = _resolve_factory(factory)
+        self.test_cases = _resolve_test_cases(factory, test_cases, config)
         self.runs_per_input = runs_per_input
-        self.rng = random.Random(seed)
+        self.seed = _resolve_seed(seed, config)
+        self.rng = random.Random(self.seed)
         self.direct_only = direct_only
-        self.goldens = GoldenRunStore(factory)
+        self.config = config
+        self.goldens = golden_cache.store_for(
+            _target_label(factory), self.factory
+        )
+        self.telemetry: Optional[CampaignTelemetry] = None
 
     def run(self) -> PermeabilityEstimate:
+        executor = CampaignExecutor(self.config, campaign="permeability")
         probe = self.factory(self.test_cases[0])
         system = probe.system
-        direct: Dict[Tuple[str, str, str], int] = {}
-        active: Dict[Tuple[str, str], int] = {}
+
+        # Phase 1: pre-draw every random parameter in the legacy
+        # serial loop order (module -> in_port -> run_index).
+        pair_keys: List[Tuple[str, str]] = []
+        out_ports: Dict[Tuple[str, str], Tuple[str, ...]] = {}
+        tasks: List[Tuple[str, str, TestCase, int, int]] = []
+        task_pair: List[Tuple[str, str]] = []
         for module in system.modules():
             for in_port in module.inputs:
                 key_in = (module.name, in_port)
-                active[key_in] = 0
-                for out_port in module.outputs:
-                    direct[(module.name, in_port, out_port)] = 0
+                pair_keys.append(key_in)
+                out_ports[key_in] = tuple(module.outputs)
+                signal = system.signal_of_input(module.name, in_port)
+                width = system.signal(signal).width
                 for run_index in range(self.runs_per_input):
                     test_case = self.test_cases[
                         run_index % len(self.test_cases)
                     ]
-                    hits = self._one_run(
-                        module.name, in_port, test_case
+                    golden = self.goldens.get(test_case)
+                    from_tick = self.rng.randrange(0, golden.completion_tick)
+                    bit = self.rng.randrange(0, width)
+                    tasks.append(
+                        (module.name, in_port, test_case, from_tick, bit)
                     )
-                    if hits is None:
-                        continue
-                    active[key_in] += 1
-                    for out_port in hits:
-                        direct[(module.name, in_port, out_port)] += 1
+                    task_pair.append(key_in)
+
+        # Phase 2: execute the pure per-run function over the tasks.
+        def runner(index: int) -> Optional[List[str]]:
+            return self._one_run(*tasks[index])
+
+        results = executor.run_tasks(
+            runner,
+            len(tasks),
+            fingerprint_of(
+                "permeability", system.name, self.seed,
+                self.runs_per_input, self.direct_only,
+                [case.label for case in self.test_cases],
+            ),
+        )
+        self.telemetry = executor.telemetry
+
+        # Phase 3: aggregate in task order (== legacy loop order).
+        direct: Dict[Tuple[str, str, str], int] = {}
+        active: Dict[Tuple[str, str], int] = {}
+        for key_in in pair_keys:
+            active[key_in] = 0
+            for out_port in out_ports[key_in]:
+                direct[(key_in[0], key_in[1], out_port)] = 0
+        for key_in, hits in zip(task_pair, results):
+            if hits is None:
+                continue
+            active[key_in] += 1
+            for out_port in hits:
+                direct[(key_in[0], key_in[1], out_port)] += 1
         values = {
             (m, i, k): (
                 direct[(m, i, k)] / active[(m, i)] if active[(m, i)] else 0.0
@@ -154,7 +281,12 @@ class PermeabilityCampaign:
         )
 
     def _one_run(
-        self, module: str, in_port: str, test_case: TestCase
+        self,
+        module: str,
+        in_port: str,
+        test_case: TestCase,
+        from_tick: int,
+        bit: int,
     ) -> Optional[List[str]]:
         """One injection run; returns output ports hit directly.
 
@@ -164,10 +296,6 @@ class PermeabilityCampaign:
         golden = self.goldens.get(test_case)
         simulator = self.factory(test_case)
         mod = simulator.system.module(module)
-        signal = simulator.system.signal_of_input(module, in_port)
-        width = simulator.system.signal(signal).width
-        from_tick = self.rng.randrange(0, golden.completion_tick)
-        bit = self.rng.randrange(0, width)
         injector = FaultInjector(
             ModuleInputFlip(module, in_port, from_tick, bit)
         ).attach(simulator)
@@ -334,27 +462,32 @@ class DetectionCampaign:
     def __init__(
         self,
         factory: SimulatorFactory,
-        test_cases: Sequence[TestCase],
-        assertion_specs: Sequence[AssertionSpec],
+        test_cases: Optional[Sequence[TestCase]] = None,
+        assertion_specs: Sequence[AssertionSpec] = (),
         runs_per_signal: int = 80,
         targets: Optional[Sequence[str]] = None,
-        seed: int = 2002,
+        seed: Optional[int] = None,
+        config: Optional[CampaignConfig] = None,
     ):
         if runs_per_signal <= 0:
             raise CampaignError(
                 f"runs_per_signal must be positive, got {runs_per_signal}"
             )
-        if not test_cases:
-            raise CampaignError("at least one test case is required")
-        self.factory = factory
-        self.test_cases = list(test_cases)
+        self.factory = _resolve_factory(factory)
+        self.test_cases = _resolve_test_cases(factory, test_cases, config)
         self.specs = list(assertion_specs)
         self.runs_per_signal = runs_per_signal
         self.targets = list(targets) if targets is not None else None
-        self.rng = random.Random(seed)
-        self.goldens = GoldenRunStore(factory)
+        self.seed = _resolve_seed(seed, config)
+        self.rng = random.Random(self.seed)
+        self.config = config
+        self.goldens = golden_cache.store_for(
+            _target_label(factory), self.factory
+        )
+        self.telemetry: Optional[CampaignTelemetry] = None
 
     def run(self) -> DetectionResult:
+        executor = CampaignExecutor(self.config, campaign="detection")
         probe = self.factory(self.test_cases[0])
         targets = (
             self.targets
@@ -362,6 +495,34 @@ class DetectionCampaign:
             else probe.system.system_inputs()
         )
         ea_names = [spec.name for spec in self.specs]
+
+        # Phase 1: pre-draw (target -> run_index), legacy order.
+        tasks: List[Tuple[str, TestCase, int, int]] = []
+        for target in targets:
+            width = probe.system.signal(target).width
+            for run_index in range(self.runs_per_signal):
+                test_case = self.test_cases[run_index % len(self.test_cases)]
+                golden = self.goldens.get(test_case)
+                tick = self.rng.randrange(0, golden.completion_tick)
+                bit = self.rng.randrange(0, width)
+                tasks.append((target, test_case, tick, bit))
+
+        # Phase 2: execute.
+        def runner(index: int) -> Any:
+            return self._one_run(*tasks[index])
+
+        results = executor.run_tasks(
+            runner,
+            len(tasks),
+            fingerprint_of(
+                "detection", probe.system.name, self.seed,
+                self.runs_per_signal, list(targets), ea_names,
+                [case.label for case in self.test_cases],
+            ),
+        )
+        self.telemetry = executor.telemetry
+
+        # Phase 3: aggregate in task order.
         n_injected: Dict[str, int] = {t: 0 for t in targets}
         n_err: Dict[str, int] = {t: 0 for t in targets}
         detections: Dict[Tuple[str, str], int] = {}
@@ -370,40 +531,21 @@ class DetectionCampaign:
         run_latencies: Dict[str, List[Dict[str, int]]] = {
             t: [] for t in targets
         }
-        for target in targets:
-            for run_index in range(self.runs_per_signal):
-                test_case = self.test_cases[run_index % len(self.test_cases)]
-                golden = self.goldens.get(test_case)
-                simulator = self.factory(test_case)
-                simulator.record_traces = False
-                width = simulator.system.signal(target).width
-                tick = self.rng.randrange(0, golden.completion_tick)
-                bit = self.rng.randrange(0, width)
-                injector = FaultInjector(
-                    InputSignalFlip(target, tick, bit)
-                ).attach(simulator)
-                bank = MonitorBank(self.specs).attach(simulator)
-                result = simulator.run()
-                n_injected[target] += 1
-                if not injector.injected:
-                    continue
-                completed = result.completion_tick
-                if completed is not None and tick > completed:
-                    continue
-                n_err[target] += 1
-                fired = frozenset(bank.fired_eas(after_tick=tick))
-                run_records[target].append(fired)
-                latencies = {}
-                for ea in fired:
-                    first = bank.state(ea).first_fire_tick
-                    if first is not None:
-                        latencies[ea] = first - tick
-                run_latencies[target].append(latencies)
-                if fired:
-                    any_detections[target] += 1
-                for ea in fired:
-                    key = (target, ea)
-                    detections[key] = detections.get(key, 0) + 1
+        for (target, _, _, _), outcome in zip(tasks, results):
+            n_injected[target] += 1
+            if not isinstance(outcome, dict):
+                continue  # "inactive" / "late": injection not an error
+            fired = frozenset(outcome["fired"])
+            n_err[target] += 1
+            run_records[target].append(fired)
+            run_latencies[target].append(
+                {ea: int(lat) for ea, lat in outcome["latencies"].items()}
+            )
+            if fired:
+                any_detections[target] += 1
+            for ea in fired:
+                key = (target, ea)
+                detections[key] = detections.get(key, 0) + 1
         return DetectionResult(
             targets=list(targets),
             ea_names=ea_names,
@@ -414,6 +556,35 @@ class DetectionCampaign:
             run_records=run_records,
             run_latencies=run_latencies,
         )
+
+    def _one_run(
+        self, target: str, test_case: TestCase, tick: int, bit: int
+    ) -> Any:
+        """One injection run; JSON-encodable outcome.
+
+        ``"inactive"``: flip never applied; ``"late"``: applied after
+        completion (not an error); otherwise a dict with the fired EA
+        names and their latencies.
+        """
+        simulator = self.factory(test_case)
+        simulator.record_traces = False
+        injector = FaultInjector(
+            InputSignalFlip(target, tick, bit)
+        ).attach(simulator)
+        bank = MonitorBank(self.specs).attach(simulator)
+        result = simulator.run()
+        if not injector.injected:
+            return "inactive"
+        completed = result.completion_tick
+        if completed is not None and tick > completed:
+            return "late"
+        fired = sorted(bank.fired_eas(after_tick=tick))
+        latencies: Dict[str, int] = {}
+        for ea in fired:
+            first = bank.state(ea).first_fire_tick
+            if first is not None:
+                latencies[ea] = first - tick
+        return {"fired": fired, "latencies": latencies}
 
 
 # ======================================================================
@@ -552,26 +723,27 @@ class RecoveryCampaign:
     def __init__(
         self,
         factory: SimulatorFactory,
-        test_cases: Sequence[TestCase],
-        assertion_specs: Sequence[AssertionSpec],
+        test_cases: Optional[Sequence[TestCase]] = None,
+        assertion_specs: Sequence[AssertionSpec] = (),
         locations: Optional[Sequence[MemoryLocation]] = None,
         period_ticks: int = DEFAULT_PERIOD_TICKS,
-        seed: int = 2002,
+        seed: Optional[int] = None,
         policies=None,
+        config: Optional[CampaignConfig] = None,
     ):
-        if not test_cases:
-            raise CampaignError("at least one test case is required")
-        self.factory = factory
-        self.test_cases = list(test_cases)
+        self.factory = _resolve_factory(factory)
+        self.test_cases = _resolve_test_cases(factory, test_cases, config)
         self.specs = list(assertion_specs)
         self.period_ticks = period_ticks
-        self.seed = seed
+        self.seed = _resolve_seed(seed, config)
         self.policies = policies
+        self.config = config
         self._locations = list(locations) if locations is not None else None
+        self._target = _target_label(factory)
+        self.telemetry: Optional[CampaignTelemetry] = None
 
     def run(self) -> RecoveryResult:
-        from repro.edm.recovery import RecoveringMonitorBank
-
+        executor = CampaignExecutor(self.config, campaign="recovery")
         probe = self.factory(self.test_cases[0])
         locations = (
             self._locations
@@ -579,43 +751,85 @@ class RecoveryCampaign:
             else MemoryMap(probe.system).locations()
         )
         rng = random.Random(self.seed)
-        outcomes: List[RecoveryOutcome] = []
+
+        # Phase 1: pre-draw (location -> test case), legacy order.
+        tasks: List[Tuple[MemoryLocation, TestCase, int, int]] = []
         for location in locations:
             for test_case in self.test_cases:
                 bit = rng.randrange(0, location.valid_bits)
                 phase = rng.randrange(0, self.period_ticks)
-                spec = PeriodicMemoryFlip(
-                    location, bit,
-                    period_ticks=self.period_ticks, start_tick=phase,
+                tasks.append((location, test_case, bit, phase))
+
+        # Phase 2: execute.
+        def runner(index: int) -> Optional[Dict[str, Any]]:
+            return self._one_run(*tasks[index])
+
+        results = executor.run_tasks(
+            runner,
+            len(tasks),
+            fingerprint_of(
+                "recovery", probe.system.name, self.seed,
+                self.period_ticks, [spec.name for spec in self.specs],
+                [location.label for location in locations],
+                [case.label for case in self.test_cases],
+                self.policies,
+            ),
+        )
+        self.telemetry = executor.telemetry
+
+        # Phase 3: aggregate in task order.
+        outcomes: List[RecoveryOutcome] = []
+        for (location, _, _, _), outcome in zip(tasks, results):
+            if outcome is None:
+                continue
+            outcomes.append(
+                RecoveryOutcome(
+                    region=location.region,
+                    location_label=location.label,
+                    detected=bool(outcome["detected"]),
+                    baseline_failed=bool(outcome["baseline_failed"]),
+                    recovered_failed=bool(outcome["recovered_failed"]),
+                    recovery_actions=int(outcome["recovery_actions"]),
                 )
-
-                baseline_sim = self.factory(test_case)
-                baseline_sim.record_traces = False
-                baseline_inj = FaultInjector(spec).attach(baseline_sim)
-                baseline_bank = MonitorBank(self.specs).attach(baseline_sim)
-                baseline = baseline_sim.run()
-
-                wrapped_sim = self.factory(test_case)
-                wrapped_sim.record_traces = False
-                FaultInjector(spec).attach(wrapped_sim)
-                wrapped_bank = RecoveringMonitorBank(
-                    self.specs, policies=self.policies
-                ).attach(wrapped_sim)
-                wrapped = wrapped_sim.run()
-
-                if not baseline_inj.injected:
-                    continue
-                outcomes.append(
-                    RecoveryOutcome(
-                        region=location.region,
-                        location_label=location.label,
-                        detected=bool(baseline_bank.fired_eas()),
-                        baseline_failed=baseline.verdict.failed,
-                        recovered_failed=wrapped.verdict.failed,
-                        recovery_actions=wrapped_bank.recovery_count,
-                    )
-                )
+            )
         return RecoveryResult(outcomes=outcomes)
+
+    def _one_run(
+        self,
+        location: MemoryLocation,
+        test_case: TestCase,
+        bit: int,
+        phase: int,
+    ) -> Optional[Dict[str, Any]]:
+        from repro.edm.recovery import RecoveringMonitorBank
+
+        spec = PeriodicMemoryFlip(
+            location, bit,
+            period_ticks=self.period_ticks, start_tick=phase,
+        )
+
+        baseline_sim = self.factory(test_case)
+        baseline_sim.record_traces = False
+        baseline_inj = FaultInjector(spec).attach(baseline_sim)
+        baseline_bank = MonitorBank(self.specs).attach(baseline_sim)
+        baseline = baseline_sim.run()
+
+        wrapped_sim = self.factory(test_case)
+        wrapped_sim.record_traces = False
+        FaultInjector(spec).attach(wrapped_sim)
+        wrapped_bank = RecoveringMonitorBank(
+            self.specs, policies=self.policies
+        ).attach(wrapped_sim)
+        wrapped = wrapped_sim.run()
+
+        if not baseline_inj.injected:
+            return None
+        return {
+            "detected": bool(baseline_bank.fired_eas()),
+            "baseline_failed": baseline.verdict.failed,
+            "recovered_failed": wrapped.verdict.failed,
+            "recovery_actions": wrapped_bank.recovery_count,
+        }
 
 
 class MemoryCampaign:
@@ -631,29 +845,34 @@ class MemoryCampaign:
     def __init__(
         self,
         factory: SimulatorFactory,
-        test_cases: Sequence[TestCase],
-        assertion_specs: Sequence[AssertionSpec],
+        test_cases: Optional[Sequence[TestCase]] = None,
+        assertion_specs: Sequence[AssertionSpec] = (),
         locations: Optional[Sequence[MemoryLocation]] = None,
         period_ticks: int = DEFAULT_PERIOD_TICKS,
-        seed: int = 2002,
+        seed: Optional[int] = None,
+        config: Optional[CampaignConfig] = None,
     ):
-        if not test_cases:
-            raise CampaignError("at least one test case is required")
-        self.factory = factory
-        self.test_cases = list(test_cases)
+        self.factory = _resolve_factory(factory)
+        self.test_cases = _resolve_test_cases(factory, test_cases, config)
         self.specs = list(assertion_specs)
         self.period_ticks = period_ticks
-        self.rng = random.Random(seed)
+        self.seed = _resolve_seed(seed, config)
+        self.rng = random.Random(self.seed)
+        self.config = config
         self._locations = list(locations) if locations is not None else None
+        self.telemetry: Optional[CampaignTelemetry] = None
 
     def run(self) -> MemoryCampaignResult:
+        executor = CampaignExecutor(self.config, campaign="memory")
         probe = self.factory(self.test_cases[0])
         locations = (
             self._locations
             if self._locations is not None
             else MemoryMap(probe.system).locations()
         )
-        records: List[MemoryRunRecord] = []
+
+        # Phase 1: pre-draw (location -> test case), legacy order.
+        tasks: List[Tuple[MemoryLocation, TestCase, int, int]] = []
         for location in locations:
             for test_case in self.test_cases:
                 bit = self.rng.randrange(0, location.valid_bits)
@@ -662,29 +881,64 @@ class MemoryCampaign:
                 # schedule, or flips into producer-rewritten stores
                 # would always be overwritten before anyone reads them
                 phase = self.rng.randrange(0, self.period_ticks)
-                simulator = self.factory(test_case)
-                simulator.record_traces = False
-                injector = FaultInjector(
-                    PeriodicMemoryFlip(
-                        location,
-                        bit,
-                        period_ticks=self.period_ticks,
-                        start_tick=phase,
-                    )
-                ).attach(simulator)
-                bank = MonitorBank(self.specs).attach(simulator)
-                result = simulator.run()
-                if not injector.injected:
-                    continue
-                records.append(
-                    MemoryRunRecord(
-                        region=location.region,
-                        location_label=location.label,
-                        fired=frozenset(bank.fired_eas()),
-                        failed=result.verdict.failed,
-                    )
+                tasks.append((location, test_case, bit, phase))
+
+        # Phase 2: execute.
+        def runner(index: int) -> Optional[Dict[str, Any]]:
+            return self._one_run(*tasks[index])
+
+        results = executor.run_tasks(
+            runner,
+            len(tasks),
+            fingerprint_of(
+                "memory", probe.system.name, self.seed,
+                self.period_ticks, [spec.name for spec in self.specs],
+                [location.label for location in locations],
+                [case.label for case in self.test_cases],
+            ),
+        )
+        self.telemetry = executor.telemetry
+
+        # Phase 3: aggregate in task order.
+        records: List[MemoryRunRecord] = []
+        for (location, _, _, _), outcome in zip(tasks, results):
+            if outcome is None:
+                continue
+            records.append(
+                MemoryRunRecord(
+                    region=location.region,
+                    location_label=location.label,
+                    fired=frozenset(outcome["fired"]),
+                    failed=bool(outcome["failed"]),
                 )
+            )
         return MemoryCampaignResult(
             records=records,
             ea_names=[spec.name for spec in self.specs],
         )
+
+    def _one_run(
+        self,
+        location: MemoryLocation,
+        test_case: TestCase,
+        bit: int,
+        phase: int,
+    ) -> Optional[Dict[str, Any]]:
+        simulator = self.factory(test_case)
+        simulator.record_traces = False
+        injector = FaultInjector(
+            PeriodicMemoryFlip(
+                location,
+                bit,
+                period_ticks=self.period_ticks,
+                start_tick=phase,
+            )
+        ).attach(simulator)
+        bank = MonitorBank(self.specs).attach(simulator)
+        result = simulator.run()
+        if not injector.injected:
+            return None
+        return {
+            "fired": sorted(bank.fired_eas()),
+            "failed": result.verdict.failed,
+        }

@@ -1,0 +1,404 @@
+"""Parallel, cache-aware campaign execution engine.
+
+Fault-injection campaigns are embarrassingly parallel: thousands of
+single-flip runs, each a fresh simulator, sharing nothing but the
+golden runs.  This module factors the execution strategy out of the
+campaign drivers:
+
+* :class:`CampaignConfig` — the shared campaign configuration (seed,
+  test cases, worker count, backend, checkpoint path), accepted
+  uniformly by all campaign drivers.
+* :class:`CampaignExecutor` — maps a pure per-task function over a
+  pre-drawn task list, serially or on a fork-based process pool,
+  with checkpoint/resume to disk and per-campaign telemetry.
+* :class:`GoldenRunCache` — process-wide golden-run cache keyed by
+  (target, test case, factory), with single-flight semantics so a
+  golden run is computed exactly once no matter how many campaigns
+  (or concurrent callers) ask for it.
+
+Determinism contract
+--------------------
+Campaigns draw **all** random parameters up front, in the exact order
+the legacy serial loops drew them, and hand the executor a list of
+pure tasks.  Tasks may complete in any order; results are aggregated
+in task order.  Parallel execution is therefore bit-identical to
+serial execution for the same seed.
+
+Checkpoint format
+-----------------
+A JSON document ``{campaign, fingerprint, n_tasks, results}`` where
+``results`` maps task index to the task's JSON-encodable result.  A
+resume run with a matching fingerprint replays the stored results and
+executes only the missing tasks; a mismatched fingerprint (different
+seed, scale, or target) discards the checkpoint.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.errors import CampaignError
+from repro.fi.golden import GoldenRun, GoldenRunStore
+
+__all__ = [
+    "BACKENDS",
+    "CampaignConfig",
+    "CampaignTelemetry",
+    "CampaignExecutor",
+    "GoldenRunCache",
+    "golden_cache",
+    "fingerprint_of",
+]
+
+BACKENDS = ("serial", "process")
+
+
+# ======================================================================
+# Configuration.
+# ======================================================================
+@dataclass
+class CampaignConfig:
+    """Shared configuration accepted by every campaign driver.
+
+    Campaign-specific workload knobs (``runs_per_input``, assertion
+    specs, memory locations) remain constructor arguments of the
+    individual drivers; this dataclass carries what is common to all
+    of them.  Explicit constructor arguments win over config values.
+    """
+
+    #: campaign RNG seed (the paper's campaigns use 2002).
+    seed: int = 2002
+    #: test cases to cycle over; ``None`` = the driver's own default.
+    test_cases: Optional[Sequence[Any]] = None
+    #: worker processes; 1 = serial execution.
+    jobs: int = 1
+    #: ``"serial"`` or ``"process"``; ``None`` selects from ``jobs``.
+    backend: Optional[str] = None
+    #: checkpoint file; ``None`` disables checkpointing.
+    checkpoint_path: Optional[str] = None
+    #: flush the checkpoint every this many completed tasks.
+    checkpoint_every: int = 32
+
+    def __post_init__(self) -> None:
+        if self.jobs < 1:
+            raise CampaignError(f"jobs must be >= 1, got {self.jobs}")
+        if self.backend is not None and self.backend not in BACKENDS:
+            raise CampaignError(
+                f"unknown backend {self.backend!r}; choose from {BACKENDS}"
+            )
+        if self.checkpoint_every < 1:
+            raise CampaignError(
+                f"checkpoint_every must be >= 1, got {self.checkpoint_every}"
+            )
+
+    def resolved_backend(self) -> str:
+        if self.backend is not None:
+            return self.backend
+        return "process" if self.jobs > 1 else "serial"
+
+
+def fingerprint_of(*parts: Any) -> str:
+    """Stable fingerprint of a campaign's identity for checkpointing."""
+    blob = json.dumps([str(p) for p in parts], separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+
+# ======================================================================
+# Telemetry.
+# ======================================================================
+@dataclass
+class CampaignTelemetry:
+    """Execution statistics of one campaign run."""
+
+    campaign: str
+    backend: str
+    jobs: int
+    total_runs: int = 0
+    executed_runs: int = 0
+    resumed_runs: int = 0
+    wall_s: float = 0.0
+    busy_s: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    @property
+    def runs_per_sec(self) -> float:
+        return self.executed_runs / self.wall_s if self.wall_s > 0 else 0.0
+
+    @property
+    def worker_utilization(self) -> float:
+        """Fraction of worker capacity spent inside tasks."""
+        capacity = self.wall_s * self.jobs
+        return min(1.0, self.busy_s / capacity) if capacity > 0 else 0.0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
+
+    def render(self) -> str:
+        return (
+            f"[{self.campaign}] {self.executed_runs}/{self.total_runs} runs"
+            f" ({self.resumed_runs} resumed) in {self.wall_s:.2f} s"
+            f" | {self.runs_per_sec:.1f} runs/s"
+            f" | backend={self.backend} jobs={self.jobs}"
+            f" util={self.worker_utilization:.0%}"
+            f" | golden cache {self.cache_hits} hit"
+            f" / {self.cache_misses} miss"
+            f" ({self.cache_hit_rate:.0%})"
+        )
+
+
+# ======================================================================
+# Golden-run cache.
+# ======================================================================
+class GoldenRunCache:
+    """Process-wide golden-run cache with single-flight computation.
+
+    Keyed by ``(target name, factory, case id)``.  The factory object
+    itself is part of the key — two factories building differently
+    configured simulators of the same system never alias — and the
+    cache holds a strong reference to it, so a key is never reused for
+    a different configuration.  Entries persist for the life of the
+    process, so every campaign of an experiment session (and every
+    worker forked from it) reuses the same golden runs.
+    """
+
+    def __init__(self) -> None:
+        self._runs: Dict[Tuple[str, int, int], GoldenRun] = {}
+        self._flight: Dict[Tuple[str, int, int], threading.Lock] = {}
+        self._stores: Dict[Tuple[str, int], GoldenRunStore] = {}
+        self._factories: Dict[int, Any] = {}
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def store_for(self, target: str, factory) -> "CachedGoldenStore":
+        """A :class:`GoldenRunStore`-compatible view for one target."""
+        return CachedGoldenStore(self, target, factory)
+
+    def get(self, target: str, factory, test_case) -> GoldenRun:
+        key = (target, id(factory), test_case.case_id)
+        with self._lock:
+            run = self._runs.get(key)
+            if run is not None:
+                self.hits += 1
+                return run
+            flight = self._flight.setdefault(key, threading.Lock())
+        with flight:
+            with self._lock:
+                run = self._runs.get(key)
+                if run is not None:
+                    # someone else computed it while we waited
+                    self.hits += 1
+                    return run
+                self._factories[id(factory)] = factory
+                store = self._stores.setdefault(
+                    (target, id(factory)), GoldenRunStore(factory)
+                )
+            run = store.get(test_case)
+            with self._lock:
+                self._runs[key] = run
+                self.misses += 1
+            return run
+
+    def clear(self) -> None:
+        with self._lock:
+            self._runs.clear()
+            self._flight.clear()
+            self._stores.clear()
+            self._factories.clear()
+            self.hits = 0
+            self.misses = 0
+
+
+class CachedGoldenStore:
+    """Adapter giving one (target, factory) pair the
+    :class:`GoldenRunStore` interface over the shared cache."""
+
+    def __init__(self, cache: GoldenRunCache, target: str, factory):
+        self._cache = cache
+        self.target = target
+        self.factory = factory
+
+    def get(self, test_case) -> GoldenRun:
+        return self._cache.get(self.target, self.factory, test_case)
+
+
+#: the default process-wide cache used by all campaign drivers.
+golden_cache = GoldenRunCache()
+
+
+# ======================================================================
+# Worker-side trampoline for the fork pool.
+#
+# The active runner is published as a module global *before* the pool
+# is forked; workers inherit it through the fork and only task indices
+# (and JSON-encodable results) ever cross the pipe.  This keeps
+# factories, simulators and closures out of pickle entirely.
+# ======================================================================
+_ACTIVE_RUNNER: Optional[Callable[[int], Any]] = None
+
+
+def _pool_task(index: int) -> Tuple[int, Any, float]:
+    started = time.perf_counter()
+    result = _ACTIVE_RUNNER(index)  # type: ignore[misc]
+    return index, result, time.perf_counter() - started
+
+
+# ======================================================================
+# The executor.
+# ======================================================================
+class CampaignExecutor:
+    """Maps a pure task function over a task list, with checkpointing.
+
+    ``runner(index)`` must be a pure function of the pre-drawn task
+    parameters at ``index`` (no shared RNG, no mutation of campaign
+    state) and must return a JSON-encodable value when checkpointing
+    is enabled.  Results are returned in task order regardless of the
+    completion order, so parallel execution is bit-identical to
+    serial.
+    """
+
+    def __init__(
+        self,
+        config: Optional[CampaignConfig] = None,
+        campaign: str = "campaign",
+        cache: Optional[GoldenRunCache] = None,
+    ):
+        self.config = config or CampaignConfig()
+        self.campaign = campaign
+        self.cache = cache if cache is not None else golden_cache
+        #: telemetry of the most recent :meth:`run_tasks` call.
+        self.telemetry: Optional[CampaignTelemetry] = None
+        # cache stats count from executor construction, so golden runs
+        # fetched while the campaign pre-draws its parameters show up
+        self._cache_hits0 = self.cache.hits
+        self._cache_misses0 = self.cache.misses
+
+    # ------------------------------------------------------------------
+    # Checkpointing.
+    # ------------------------------------------------------------------
+    def _load_checkpoint(
+        self, fingerprint: str, n_tasks: int
+    ) -> Dict[int, Any]:
+        path = self.config.checkpoint_path
+        if not path or not os.path.exists(path):
+            return {}
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            return {}
+        if (
+            payload.get("campaign") != self.campaign
+            or payload.get("fingerprint") != fingerprint
+            or payload.get("n_tasks") != n_tasks
+        ):
+            return {}
+        return {
+            int(index): result
+            for index, result in payload.get("results", {}).items()
+            if 0 <= int(index) < n_tasks
+        }
+
+    def _flush_checkpoint(
+        self, fingerprint: str, n_tasks: int, done: Dict[int, Any]
+    ) -> None:
+        path = self.config.checkpoint_path
+        if not path:
+            return
+        payload = {
+            "campaign": self.campaign,
+            "fingerprint": fingerprint,
+            "n_tasks": n_tasks,
+            "results": {str(index): result for index, result in done.items()},
+        }
+        tmp = f"{path}.tmp"
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        os.replace(tmp, path)
+
+    # ------------------------------------------------------------------
+    # Execution.
+    # ------------------------------------------------------------------
+    def run_tasks(
+        self,
+        runner: Callable[[int], Any],
+        n_tasks: int,
+        fingerprint: str = "",
+    ) -> List[Any]:
+        """Execute ``runner`` over ``range(n_tasks)``; results in order."""
+        config = self.config
+        backend = config.resolved_backend()
+        if backend == "process" and (
+            "fork" not in multiprocessing.get_all_start_methods()
+        ):
+            backend = "serial"  # no fork on this platform
+        telemetry = CampaignTelemetry(
+            campaign=self.campaign,
+            backend=backend,
+            jobs=config.jobs if backend == "process" else 1,
+            total_runs=n_tasks,
+        )
+        done = self._load_checkpoint(fingerprint, n_tasks)
+        telemetry.resumed_runs = len(done)
+        pending = [i for i in range(n_tasks) if i not in done]
+        checkpointing = bool(config.checkpoint_path)
+        since_flush = 0
+        started = time.perf_counter()
+
+        def account(index: int, result: Any, busy: float) -> None:
+            nonlocal since_flush
+            done[index] = result
+            telemetry.executed_runs += 1
+            telemetry.busy_s += busy
+            since_flush += 1
+            if checkpointing and since_flush >= config.checkpoint_every:
+                self._flush_checkpoint(fingerprint, n_tasks, done)
+                since_flush = 0
+
+        if backend == "process" and len(pending) > 1:
+            global _ACTIVE_RUNNER
+            context = multiprocessing.get_context("fork")
+            chunksize = max(1, len(pending) // (config.jobs * 8))
+            _ACTIVE_RUNNER = runner
+            try:
+                with context.Pool(processes=config.jobs) as pool:
+                    for index, result, busy in pool.imap_unordered(
+                        _pool_task, pending, chunksize=chunksize
+                    ):
+                        account(index, result, busy)
+            finally:
+                _ACTIVE_RUNNER = None
+        else:
+            for index in pending:
+                task_start = time.perf_counter()
+                result = runner(index)
+                account(index, result, time.perf_counter() - task_start)
+
+        telemetry.wall_s = time.perf_counter() - started
+        telemetry.cache_hits = self.cache.hits - self._cache_hits0
+        telemetry.cache_misses = self.cache.misses - self._cache_misses0
+        if checkpointing:
+            self._flush_checkpoint(fingerprint, n_tasks, done)
+        self.telemetry = telemetry
+        return [done[index] for index in range(n_tasks)]

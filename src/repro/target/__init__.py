@@ -1,0 +1,25 @@
+"""The aircraft arrestment target system (paper Section 4).
+
+The embedded controller of an aircraft arrestment gear: six slot-
+scheduled software modules closing a pressure loop over a braked tape
+drum, plus the plant, sensor registers, test-case envelope, and
+failure classification needed to run full engagements and inject
+faults into them.
+"""
+
+from repro.target.simulation import (
+    ArrestmentResult,
+    ArrestmentSimulator,
+    SignalTraces,
+)
+from repro.target.testcases import TestCase, standard_test_cases
+from repro.target.wiring import build_arrestment_system
+
+__all__ = [
+    "ArrestmentResult",
+    "ArrestmentSimulator",
+    "SignalTraces",
+    "TestCase",
+    "build_arrestment_system",
+    "standard_test_cases",
+]

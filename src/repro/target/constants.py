@@ -1,0 +1,186 @@
+"""Constants of the aircraft arrestment target (paper Section 4).
+
+Everything the target needs in one place: scheduler timing, register
+widths, plant parameters, the pressure program, and the safety limits
+of MIL-A-38202C-style certification (Section 4.2).  The calibration
+rationale is documented in ``docs/target-system.md``.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "TICK_S",
+    "N_SLOTS",
+    "MODULE_SLOTS",
+    "TCNT_PER_TICK",
+    "PULSES_PER_M",
+    "ADC_BITS",
+    "PACNT_BITS",
+    "TOC2_BITS",
+    "VALUE_FULL_SCALE",
+    "G",
+    "MAX_RETARDATION_G",
+    "MAX_STOPPING_DISTANCE_M",
+    "OVERRUN_ABORT_MARGIN_M",
+    "DEFAULT_TIMEOUT_S",
+    "POST_STOP_TICKS",
+    "P_MAX_PA",
+    "ADC_FULL_SCALE_PA",
+    "BRAKE_GAIN_N_PER_PA",
+    "ACTUATOR_TAU_S",
+    "TAPE_DRAG_N",
+    "CALIB_RETARDATION_MS2",
+    "TEST_MASSES_KG",
+    "TEST_VELOCITIES_MS",
+    "PRESSURE_PROGRAM",
+    "SEG_SHIFT",
+    "SLOW_SPEED_TARGET",
+    "SETVALUE_RATE_PER_MS",
+    "SETVALUE_DT_CLAMP",
+    "TIME_RAMP_PER_MS",
+    "SPEED_WINDOW",
+    "SLOW_PULSE_THRESHOLD",
+    "SLOW_INTERVAL_TCNT",
+    "STOPPED_QUIET_INVOCATIONS",
+    "PRES_MAX_JUMP",
+    "VREG_KP_NUM",
+    "VREG_KI_NUM",
+    "VREG_INTEG_CLAMP",
+    "pressure_scale_counts",
+    "max_retardation_force_n",
+]
+
+# ----------------------------------------------------------------------
+# Scheduler timing (Section 4.1): 1 ms tick, 20-slot cycle.
+# ----------------------------------------------------------------------
+TICK_S = 0.001
+N_SLOTS = 20
+#: application modules run once per 20 ms cycle; CLOCK runs every tick.
+MODULE_SLOTS = {
+    "DIST_S": 2,
+    "CALC": 5,
+    "PRES_S": 8,
+    "V_REG": 11,
+    "PRES_A": 14,
+}
+
+# ----------------------------------------------------------------------
+# Peripheral registers (micro-controller semantics).
+# ----------------------------------------------------------------------
+#: free-running 16-bit timer: counts per 1 ms tick.
+TCNT_PER_TICK = 250
+#: run-out pulse encoder: pulses per metre of tape pay-out.
+PULSES_PER_M = 4
+ADC_BITS = 10
+PACNT_BITS = 8
+TOC2_BITS = 14
+#: full scale of the 16-bit internal engineering values.
+VALUE_FULL_SCALE = 65535
+
+# ----------------------------------------------------------------------
+# Safety limits (Section 4.2).
+# ----------------------------------------------------------------------
+G = 9.81
+MAX_RETARDATION_G = 3.5
+MAX_STOPPING_DISTANCE_M = 335.0
+#: simulation aborts this far past the distance limit (clear overrun).
+OVERRUN_ABORT_MARGIN_M = 40.0
+DEFAULT_TIMEOUT_S = 12.0
+#: ticks simulated after completion so the signal tail is traced.
+POST_STOP_TICKS = 2 * N_SLOTS
+
+# ----------------------------------------------------------------------
+# Plant and actuator.
+# ----------------------------------------------------------------------
+#: maximum hydraulic brake pressure.
+P_MAX_PA = 1.2e7
+ADC_FULL_SCALE_PA = P_MAX_PA
+#: braking force per pascal of applied pressure (both drums).
+BRAKE_GAIN_N_PER_PA = 0.045
+#: first-order actuator lag.
+ACTUATOR_TAU_S = 0.15
+#: passive drag of tape pay-out, always present while moving.
+TAPE_DRAG_N = 20000.0
+#: weight-setting calibration: program fraction 1.0 decelerates the
+#: configured mass at this rate.
+CALIB_RETARDATION_MS2 = 24.0
+
+# ----------------------------------------------------------------------
+# Certification envelope: 5 masses x 5 engaging velocities.
+# ----------------------------------------------------------------------
+TEST_MASSES_KG = (8000, 11000, 14000, 17000, 20000)
+TEST_VELOCITIES_MS = (40.0, 47.5, 55.0, 62.5, 70.0)
+
+# ----------------------------------------------------------------------
+# CALC: pressure program and set-value shaping.
+# ----------------------------------------------------------------------
+#: pressure fraction per 64-pulse (16 m) run-out segment: a soft onset
+#: ramp, then dithering around the working pressure (the real gear
+#: modulates tape tension over the run-out).
+PRESSURE_PROGRAM = (
+    0.08, 0.22, 0.36, 0.46,
+    0.50, 0.46, 0.50, 0.46, 0.50, 0.46,
+    0.50, 0.46, 0.50, 0.46, 0.50, 0.46,
+)
+#: pulscnt >> SEG_SHIFT selects the program segment (64 pulses each).
+SEG_SHIFT = 6
+#: program fraction held when the slow-speed flag is asserted.
+SLOW_SPEED_TARGET = 0.3
+#: SetValue slew limit, counts per elapsed millisecond.
+SETVALUE_RATE_PER_MS = 16
+#: upper clamp on the elapsed-time term of the slew step.
+SETVALUE_DT_CLAMP = 100
+#: onset ramp: SetValue is bounded by mscnt * TIME_RAMP_PER_MS.
+TIME_RAMP_PER_MS = 24
+
+# ----------------------------------------------------------------------
+# DIST_S: speed estimation and stop detection.
+# ----------------------------------------------------------------------
+#: pulse-delta window length (invocations; 20 ms each).
+SPEED_WINDOW = 8
+#: fewer pulses than this across the window => slow (v < 12.5 m/s).
+SLOW_PULSE_THRESHOLD = 8
+#: TCNT-TIC1 interval marking a slow pulse cadence (40 ms).
+SLOW_INTERVAL_TCNT = 10000
+#: consecutive pulse-free invocations before `stopped` latches (0.5 s).
+STOPPED_QUIET_INVOCATIONS = 25
+
+# ----------------------------------------------------------------------
+# PRES_S: plausibility gate.
+# ----------------------------------------------------------------------
+#: largest accepted jump of the scaled pressure between invocations.
+PRES_MAX_JUMP = 3000
+
+# ----------------------------------------------------------------------
+# V_REG: fixed-point PI regulator (gains are /256 numerators).
+# ----------------------------------------------------------------------
+VREG_KP_NUM = 160
+VREG_KI_NUM = 16
+#: anti-windup clamp on the integrator, in error units (x16 internal).
+VREG_INTEG_CLAMP = 48000
+
+
+def pressure_scale_counts(mass_kg: float) -> int:
+    """Weight-setting calibration (Section 4): SetValue counts at
+    program fraction 1.0 for the configured aircraft mass.
+
+    Chosen so full program pressure decelerates the configured mass at
+    :data:`CALIB_RETARDATION_MS2`, clamped at actuator full scale.
+    """
+    counts = int(
+        mass_kg
+        * CALIB_RETARDATION_MS2
+        / BRAKE_GAIN_N_PER_PA
+        / P_MAX_PA
+        * VALUE_FULL_SCALE
+    )
+    return min(VALUE_FULL_SCALE, counts)
+
+
+def max_retardation_force_n(mass_kg: float, velocity_ms: float) -> float:
+    """Certified retardation-force limit F_max(mass, engaging velocity).
+
+    Monotonically increasing in both arguments, as in the certification
+    tables: heavier and faster aircraft are allowed more cable force.
+    """
+    return mass_kg * G * (2.5 + 2.0 * velocity_ms / 70.0)

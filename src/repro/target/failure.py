@@ -1,0 +1,81 @@
+"""Failure classification (paper Section 4.2).
+
+"The system fails when it is unable to stop an aircraft within the
+maximal allowed distance, or if the retardation force exceeds safety
+limits" — three criteria, checked every tick:
+
+1. retardation below 3.5 g,
+2. retardation force below F_max(mass, engaging velocity),
+3. stop within 335 m (a run that never arrests is a distance failure).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import List, Tuple
+
+from repro.target import constants as C
+from repro.target.physics import PlantState
+from repro.target.testcases import TestCase
+
+__all__ = ["FailureKind", "FailureVerdict", "FailureClassifier"]
+
+
+class FailureKind(Enum):
+    RETARDATION = "retardation"
+    FORCE = "force"
+    DISTANCE = "distance"
+
+
+@dataclass(frozen=True)
+class FailureVerdict:
+    """Outcome of one run against the safety specification."""
+
+    failed: bool
+    kinds: Tuple[FailureKind, ...]
+    peak_retardation_g: float
+
+    def describe(self) -> str:
+        if not self.failed:
+            return f"OK (peak {self.peak_retardation_g:.2f} g)"
+        names = ", ".join(kind.value for kind in self.kinds)
+        return f"FAILURE [{names}] (peak {self.peak_retardation_g:.2f} g)"
+
+
+class FailureClassifier:
+    """Accumulates safety violations over the course of one run."""
+
+    def __init__(self, test_case: TestCase):
+        self.test_case = test_case
+        self.force_limit_n = C.max_retardation_force_n(
+            test_case.mass_kg, test_case.engaging_velocity_ms
+        )
+        self._kinds: List[FailureKind] = []
+        self._peak_retardation_ms2 = 0.0
+
+    def _mark(self, kind: FailureKind) -> None:
+        if kind not in self._kinds:
+            self._kinds.append(kind)
+
+    def observe(self, state: PlantState) -> None:
+        """Check one tick's plant state against the limits."""
+        if state.retardation_ms2 > self._peak_retardation_ms2:
+            self._peak_retardation_ms2 = state.retardation_ms2
+        if state.retardation_ms2 > C.MAX_RETARDATION_G * C.G:
+            self._mark(FailureKind.RETARDATION)
+        if state.force_n > self.force_limit_n:
+            self._mark(FailureKind.FORCE)
+        if state.distance_m > C.MAX_STOPPING_DISTANCE_M:
+            self._mark(FailureKind.DISTANCE)
+
+    def verdict(self, arrested: bool) -> FailureVerdict:
+        """Final verdict; a run that never arrested failed by distance."""
+        kinds = list(self._kinds)
+        if not arrested and FailureKind.DISTANCE not in kinds:
+            kinds.append(FailureKind.DISTANCE)
+        return FailureVerdict(
+            failed=bool(kinds),
+            kinds=tuple(kinds),
+            peak_retardation_g=self._peak_retardation_ms2 / C.G,
+        )

@@ -1,0 +1,265 @@
+"""Closed-loop arrestment simulation: software, plant, and verdict.
+
+One :class:`ArrestmentSimulator` owns one engagement: it drives the
+slot-scheduled software at the 1 ms tick, feeds the peripheral
+registers from the plant's true state, applies the commanded brake
+pressure back to the plant, and classifies the outcome.  Hooks expose
+every marshaling, local write, and invocation to the fault injector;
+:class:`SignalTraces` records the per-signal write streams that the
+golden-run comparison diffs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.model.signal import Number
+from repro.model.system import (
+    ExecutorHooks,
+    InvocationRecord,
+    SlotSchedule,
+    SystemExecutor,
+    SystemModel,
+)
+from repro.target import constants as C
+from repro.target.failure import FailureClassifier, FailureVerdict
+from repro.target.hardware import SensorSuite
+from repro.target.physics import ArrestmentPlant
+from repro.target.testcases import TestCase
+from repro.target.wiring import build_arrestment_system
+
+__all__ = ["SignalTraces", "ArrestmentResult", "ArrestmentSimulator"]
+
+
+class SignalTraces:
+    """Per-signal streams of (tick, value) writes."""
+
+    def __init__(self) -> None:
+        self._streams: Dict[str, List[Tuple[int, Number]]] = {}
+
+    def record(self, signal: str, tick: int, value: Number) -> None:
+        self._streams.setdefault(signal, []).append((tick, value))
+
+    def stream(self, signal: str) -> List[Tuple[int, Number]]:
+        """The recorded write stream; empty for unknown signals."""
+        return list(self._streams.get(signal, ()))
+
+    def signals(self) -> List[str]:
+        return list(self._streams)
+
+    def first_difference(
+        self, other: "SignalTraces", signal: str
+    ) -> Optional[int]:
+        """First tick at which the two streams of *signal* diverge.
+
+        A difference is a changed value, a shifted write tick, or a
+        write present in only one stream; ``None`` means the streams
+        are identical.
+        """
+        mine = self.stream(signal)
+        theirs = other.stream(signal)
+        for (tick_a, value_a), (tick_b, value_b) in zip(mine, theirs):
+            if (tick_a, value_a) != (tick_b, value_b):
+                return min(tick_a, tick_b)
+        if len(mine) != len(theirs):
+            longer = mine if len(mine) > len(theirs) else theirs
+            return longer[min(len(mine), len(theirs))][0]
+        return None
+
+
+@dataclass
+class ArrestmentResult:
+    """Outcome of one simulated engagement."""
+
+    test_case: TestCase
+    ticks_run: int
+    completion_tick: Optional[int]
+    verdict: FailureVerdict
+    traces: SignalTraces
+    stop_distance_m: float
+    stop_time_s: float
+
+    @property
+    def arrested(self) -> bool:
+        return self.completion_tick is not None
+
+    @property
+    def failed(self) -> bool:
+        return self.verdict.failed
+
+
+class ArrestmentSimulator:
+    """One engagement of the arrestment system."""
+
+    def __init__(
+        self,
+        test_case: TestCase,
+        timeout_s: float = C.DEFAULT_TIMEOUT_S,
+        record_traces: bool = True,
+        system: Optional[SystemModel] = None,
+        module_slots: Optional[Dict[str, int]] = None,
+    ):
+        self.test_case = test_case
+        self.timeout_s = timeout_s
+        self.record_traces = record_traces
+        if system is None:
+            system = build_arrestment_system(
+                pressure_scale=C.pressure_scale_counts(test_case.mass_kg)
+            )
+        self.system: SystemModel = system
+        if module_slots is None:
+            module_slots = dict(C.MODULE_SLOTS)
+        self.module_slots = dict(module_slots)
+        schedule = SlotSchedule(C.N_SLOTS)
+        schedule.every_tick("CLOCK")
+        for module, slot in self.module_slots.items():
+            schedule.assign(slot, module)
+        self._pre_tick: List[Callable[[int], None]] = []
+        self._marshal: List[
+            Callable[[str, Dict[str, Number]], Dict[str, Number]]
+        ] = []
+        self._local_write: List[Callable[[str, str, Number], Number]] = []
+        self._post_invoke: List[Callable[[InvocationRecord], None]] = []
+        self._post_tick: List[Callable[[int], None]] = []
+        hooks = ExecutorHooks(
+            pre_tick=self._run_pre_tick,
+            marshal=self._run_marshal,
+            local_write=self._run_local_write,
+            post_invoke=self._run_post_invoke,
+            post_tick=self._run_post_tick,
+        )
+        self.executor = SystemExecutor(self.system, schedule, hooks)
+        self.plant = ArrestmentPlant(
+            test_case.mass_kg, test_case.engaging_velocity_ms
+        )
+        self.sensors = SensorSuite()
+        self.classifier = FailureClassifier(test_case)
+        self.traces = SignalTraces()
+        self._slot_map: Dict[int, List[str]] = {}
+        for module, slot in self.module_slots.items():
+            self._slot_map.setdefault(slot, []).append(module)
+
+    # ------------------------------------------------------------------
+    # Hook plumbing (the fault injector's attachment points).
+    # ------------------------------------------------------------------
+    def add_pre_tick(self, handler) -> None:
+        self._pre_tick.append(handler)
+
+    def add_marshal(self, handler) -> None:
+        self._marshal.append(handler)
+
+    def add_local_write(self, handler) -> None:
+        self._local_write.append(handler)
+
+    def add_post_invoke(self, handler) -> None:
+        self._post_invoke.append(handler)
+
+    def add_post_tick(self, handler) -> None:
+        self._post_tick.append(handler)
+
+    def _run_pre_tick(self, tick: int) -> None:
+        for handler in self._pre_tick:
+            handler(tick)
+
+    def _run_marshal(self, module, args):
+        for handler in self._marshal:
+            args = handler(module, args)
+        return args
+
+    def _run_local_write(self, module, name, value):
+        for handler in self._local_write:
+            value = handler(module, name, value)
+        return value
+
+    def _run_post_invoke(self, record: InvocationRecord) -> None:
+        if self.record_traces:
+            for port, value in record.outputs.items():
+                signal = self.system.signal_of_output(record.module, port)
+                self.traces.record(signal, record.tick, value)
+        for handler in self._post_invoke:
+            handler(record)
+
+    def _run_post_tick(self, tick: int) -> None:
+        for handler in self._post_tick:
+            handler(tick)
+
+    # ------------------------------------------------------------------
+    # Injection support.
+    # ------------------------------------------------------------------
+    _REGISTER_OF = {
+        "PACNT": "pacnt",
+        "TIC1": "tic1",
+        "TCNT": "tcnt",
+        "ADC": "adc",
+    }
+
+    def corrupt_input(self, signal: str, bit: int) -> Tuple[Number, Number]:
+        """Flip a bit of a peripheral register (a system input signal).
+
+        The corruption lands in the register itself, so its persistence
+        follows the register's refresh semantics: counters carry the
+        error forward, the ADC result is overwritten at the next
+        conversion.  Returns (before, after).
+        """
+        attr = self._REGISTER_OF[signal]
+        spec = self.system.signal(signal)
+        before = getattr(self.sensors, attr)
+        after = spec.flip_bit(before, bit)
+        setattr(self.sensors, attr, after)
+        self.executor.store.poke(signal, after)
+        return before, after
+
+    # ------------------------------------------------------------------
+    # The engagement loop.
+    # ------------------------------------------------------------------
+    def _write_sensor_inputs(self, tick: int) -> None:
+        store = self.executor.store
+        for signal, attr in self._REGISTER_OF.items():
+            store[signal] = getattr(self.sensors, attr)
+            if self.record_traces:
+                self.traces.record(signal, tick, store[signal])
+
+    def run(self) -> ArrestmentResult:
+        executor = self.executor
+        store = executor.store
+        max_ticks = int(self.timeout_s / C.TICK_S)
+        abort_distance = C.MAX_STOPPING_DISTANCE_M + C.OVERRUN_ABORT_MARGIN_M
+        completion: Optional[int] = None
+        stop_tick: Optional[int] = None
+        ticks_run = 0
+        for tick in range(max_ticks):
+            self.sensors.advance(
+                self.plant.state.distance_m, self.plant.state.pressure_pa
+            )
+            self._write_sensor_inputs(tick)
+            executor.begin_tick()
+            executor.invoke("CLOCK")
+            slot = store["ms_slot_nbr"]
+            for module in self._slot_map.get(slot, ()):
+                executor.invoke(module)
+            executor.end_tick()
+            state = self.plant.step(
+                SensorSuite.commanded_pressure(store["TOC2"])
+            )
+            self.classifier.observe(state)
+            ticks_run = tick + 1
+            if stop_tick is None and self.plant.is_stopped:
+                stop_tick = tick
+            if completion is None and store["stopped"] and self.plant.is_stopped:
+                completion = tick
+            if completion is not None and tick >= completion + C.POST_STOP_TICKS:
+                break
+            if state.distance_m > abort_distance:
+                break
+        return ArrestmentResult(
+            test_case=self.test_case,
+            ticks_run=ticks_run,
+            completion_tick=completion,
+            verdict=self.classifier.verdict(arrested=completion is not None),
+            traces=self.traces,
+            stop_distance_m=self.plant.state.distance_m,
+            stop_time_s=(
+                stop_tick if stop_tick is not None else ticks_run
+            ) * C.TICK_S,
+        )

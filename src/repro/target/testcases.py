@@ -1,0 +1,58 @@
+"""The certification test-case envelope (paper Section 5.2).
+
+"25 different test cases ... combinations of five different masses and
+five different engaging velocities" — the corners and interior of the
+certified envelope.  Campaigns iterate these; the experiment context
+subsamples them by scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import ModelError
+from repro.target import constants as C
+
+__all__ = ["TestCase", "standard_test_cases"]
+
+
+@dataclass(frozen=True)
+class TestCase:
+    """One (mass, engaging velocity) combination."""
+
+    case_id: int
+    mass_kg: float
+    engaging_velocity_ms: float
+
+    # not a pytest test class
+    __test__ = False
+
+    def __post_init__(self) -> None:
+        if self.mass_kg <= 0:
+            raise ModelError(
+                f"test case mass must be positive, got {self.mass_kg}"
+            )
+        if self.engaging_velocity_ms <= 0:
+            raise ModelError(
+                f"engaging velocity must be positive, "
+                f"got {self.engaging_velocity_ms}"
+            )
+
+    @property
+    def label(self) -> str:
+        return (
+            f"tc{self.case_id:02d}[{self.mass_kg:g} kg @ "
+            f"{self.engaging_velocity_ms:g} m/s]"
+        )
+
+
+def standard_test_cases() -> List[TestCase]:
+    """The 5x5 envelope, mass-major (tc12 is 14 t at 55 m/s)."""
+    cases: List[TestCase] = []
+    case_id = 0
+    for mass in C.TEST_MASSES_KG:
+        for velocity in C.TEST_VELOCITIES_MS:
+            cases.append(TestCase(case_id, mass, velocity))
+            case_id += 1
+    return cases

@@ -1,0 +1,85 @@
+"""Target variants for the multi-output analyses (paper Eq. 4).
+
+The telemetry variant adds a passive REPORT module that packs a status
+word for the ground-support link, giving the system a second output
+(``STATUS``) whose criticality differs sharply from the brake
+command's — the setting where the paper's multi-output criticality
+(C3) diverges from single-output impact.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.model.module import CellSpec, ExecutionContext, Module
+from repro.model.signal import Number, SignalRole, SignalSpec, SignalType
+from repro.target import constants as C
+from repro.target.simulation import ArrestmentSimulator
+from repro.target.testcases import TestCase
+from repro.target.wiring import build_arrestment_system
+
+__all__ = [
+    "Report",
+    "VARIANT_MODULE_SLOTS",
+    "build_telemetry_arrestment_system",
+    "telemetry_simulator",
+]
+
+#: the REPORT module rides in an otherwise free slot of the cycle.
+VARIANT_MODULE_SLOTS: Dict[str, int] = {**C.MODULE_SLOTS, "REPORT": 17}
+
+STATUS_SIGNAL = SignalSpec(
+    "STATUS", SignalType.UINT, width=16,
+    role=SignalRole.SYSTEM_OUTPUT,
+    description="packed telemetry status word",
+)
+
+
+class Report(Module):
+    """Telemetry packer: quantizes run state into a 16-bit status word.
+
+    Layout: ``[15:8]`` pulscnt/8, ``[7:2]`` IsValue/1024, bit 1
+    ``stopped``, bit 0 ``slow_speed`` — so low-order input bits are
+    masked (the designer permeabilities used in the analyses).
+    """
+
+    INPUTS = ("pulscnt", "slow_speed", "stopped", "IsValue")
+    OUTPUTS = ("STATUS",)
+    STATE = (CellSpec("frames", width=16),)
+    LOCALS = (CellSpec("packed", width=16),)
+
+    def invoke(self, ctx: ExecutionContext) -> Dict[str, Number]:
+        self.state["frames"] = self.state["frames"] + 1
+        packed = (
+            (((ctx.arg("pulscnt") >> 3) & 0xFF) << 8)
+            | (((ctx.arg("IsValue") >> 10) & 0x3F) << 2)
+            | ((1 if ctx.arg("stopped") else 0) << 1)
+            | (1 if ctx.arg("slow_speed") else 0)
+        )
+        return {"STATUS": ctx.set_local("packed", packed)}
+
+
+def build_telemetry_arrestment_system(pressure_scale: Optional[int] = None):
+    """The base system plus the passive REPORT telemetry consumer."""
+    system = build_arrestment_system(pressure_scale=pressure_scale)
+    system.add_signal(STATUS_SIGNAL)
+    system.add_module(Report("REPORT"))
+    system.connect_input("pulscnt", "REPORT", "pulscnt")
+    system.connect_input("slow_speed", "REPORT", "slow_speed")
+    system.connect_input("stopped", "REPORT", "stopped")
+    system.connect_input("IsValue", "REPORT", "IsValue")
+    system.bind_output("STATUS", "REPORT", "STATUS")
+    system.validate()
+    return system
+
+
+def telemetry_simulator(test_case: TestCase, **kwargs) -> ArrestmentSimulator:
+    """An :class:`ArrestmentSimulator` running the telemetry variant."""
+    kwargs.setdefault(
+        "system",
+        build_telemetry_arrestment_system(
+            pressure_scale=C.pressure_scale_counts(test_case.mass_kg)
+        ),
+    )
+    kwargs.setdefault("module_slots", VARIANT_MODULE_SLOTS)
+    return ArrestmentSimulator(test_case, **kwargs)

@@ -1,0 +1,141 @@
+"""Wiring of the arrestment system model (paper Fig. 4).
+
+Fourteen signals over six modules; 25 module/input/output pairs, the
+rows of the paper's Table 1.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.model.signal import SignalRole, SignalSpec, SignalType
+from repro.model.system import SystemModel
+from repro.target import constants as C
+from repro.target.modules import Calc, Clock, DistS, PresA, PresS, VReg
+
+__all__ = ["build_arrestment_system", "ARRESTMENT_SIGNAL_SPECS"]
+
+ARRESTMENT_SIGNAL_SPECS: Dict[str, SignalSpec] = {
+    spec.name: spec
+    for spec in (
+        SignalSpec(
+            "PACNT", SignalType.UINT, width=C.PACNT_BITS,
+            role=SignalRole.SYSTEM_INPUT,
+            description="run-out pulse accumulator register",
+        ),
+        SignalSpec(
+            "TIC1", SignalType.UINT, width=16,
+            role=SignalRole.SYSTEM_INPUT,
+            description="input-capture register (TCNT at last pulse)",
+        ),
+        SignalSpec(
+            "TCNT", SignalType.UINT, width=16,
+            role=SignalRole.SYSTEM_INPUT,
+            description="free-running timer register",
+        ),
+        SignalSpec(
+            "ADC", SignalType.UINT, width=C.ADC_BITS,
+            role=SignalRole.SYSTEM_INPUT,
+            description="pressure sensor ADC counts",
+        ),
+        SignalSpec(
+            "ms_slot_nbr", SignalType.UINT, width=16,
+            minimum=0, maximum=C.N_SLOTS - 1,
+            description="current scheduler slot",
+        ),
+        SignalSpec(
+            "mscnt", SignalType.UINT, width=16,
+            description="millisecond tick counter",
+        ),
+        SignalSpec(
+            "pulscnt", SignalType.UINT, width=16,
+            description="accumulated run-out pulse count",
+        ),
+        SignalSpec(
+            "slow_speed", SignalType.BOOL, width=1,
+            description="slow-speed flag",
+        ),
+        SignalSpec(
+            "stopped", SignalType.BOOL, width=1,
+            description="aircraft-stopped flag (latched)",
+        ),
+        SignalSpec(
+            "i", SignalType.UINT, width=16,
+            minimum=0, maximum=len(C.PRESSURE_PROGRAM) - 1,
+            description="pressure program segment index",
+        ),
+        SignalSpec(
+            "SetValue", SignalType.UINT, width=16,
+            minimum=0, maximum=C.VALUE_FULL_SCALE,
+            description="pressure set-point (counts)",
+        ),
+        SignalSpec(
+            "IsValue", SignalType.UINT, width=16,
+            minimum=0, maximum=C.VALUE_FULL_SCALE,
+            description="filtered pressure feedback (counts)",
+        ),
+        SignalSpec(
+            "OutValue", SignalType.UINT, width=16,
+            minimum=0, maximum=C.VALUE_FULL_SCALE,
+            description="regulator output (counts)",
+        ),
+        SignalSpec(
+            "TOC2", SignalType.UINT, width=C.TOC2_BITS,
+            role=SignalRole.SYSTEM_OUTPUT,
+            description="output-compare register: brake pressure command",
+        ),
+    )
+}
+
+
+def build_arrestment_system(
+    pressure_scale: Optional[int] = None,
+) -> SystemModel:
+    """Construct and validate the six-module arrestment controller.
+
+    ``pressure_scale`` is the weight-setting calibration in SetValue
+    counts (defaults to the mid-envelope mass, see
+    :func:`repro.target.constants.pressure_scale_counts`).
+    """
+    system = SystemModel("arrestment")
+    for spec in ARRESTMENT_SIGNAL_SPECS.values():
+        system.add_signal(spec)
+
+    system.add_module(Clock("CLOCK"))
+    system.add_module(DistS("DIST_S"))
+    system.add_module(PresS("PRES_S"))
+    system.add_module(Calc("CALC", pressure_scale=pressure_scale))
+    system.add_module(VReg("V_REG"))
+    system.add_module(PresA("PRES_A"))
+
+    system.bind_output("ms_slot_nbr", "CLOCK", "ms_slot_nbr")
+    system.bind_output("mscnt", "CLOCK", "mscnt")
+    system.connect_input("ms_slot_nbr", "CLOCK", "ms_slot_nbr")
+
+    system.connect_input("PACNT", "DIST_S", "PACNT")
+    system.connect_input("TIC1", "DIST_S", "TIC1")
+    system.connect_input("TCNT", "DIST_S", "TCNT")
+    system.bind_output("pulscnt", "DIST_S", "pulscnt")
+    system.bind_output("slow_speed", "DIST_S", "slow_speed")
+    system.bind_output("stopped", "DIST_S", "stopped")
+
+    system.connect_input("ADC", "PRES_S", "ADC")
+    system.bind_output("IsValue", "PRES_S", "IsValue")
+
+    system.connect_input("i", "CALC", "i")
+    system.connect_input("mscnt", "CALC", "mscnt")
+    system.connect_input("pulscnt", "CALC", "pulscnt")
+    system.connect_input("slow_speed", "CALC", "slow_speed")
+    system.connect_input("stopped", "CALC", "stopped")
+    system.bind_output("i", "CALC", "i")
+    system.bind_output("SetValue", "CALC", "SetValue")
+
+    system.connect_input("SetValue", "V_REG", "SetValue")
+    system.connect_input("IsValue", "V_REG", "IsValue")
+    system.bind_output("OutValue", "V_REG", "OutValue")
+
+    system.connect_input("OutValue", "PRES_A", "OutValue")
+    system.bind_output("TOC2", "PRES_A", "TOC2")
+
+    system.validate()
+    return system

@@ -1,0 +1,164 @@
+"""Target-system registry: the systems campaigns can be pointed at.
+
+A :class:`TargetSystem` bundles everything a campaign or experiment
+needs to know about one system under test — how to build its model,
+how to simulate one test case, which test cases span its certified
+envelope, and which executable assertions guard it — so campaign and
+experiment code takes a target as a value instead of hardwiring
+``repro.target.*`` imports.
+
+Both shipped systems are registered here: ``arrestment`` (the paper's
+six-module aircraft arrestment controller) and ``watertank`` (the
+second, two-output system used to exercise the framework's
+generality).  Third-party targets register through
+:func:`register_target`; see ``docs/extending.md``.
+
+Campaigns accept a :class:`TargetSystem` anywhere a simulator factory
+is expected (the ``simulator_factory`` attribute is picked up
+automatically), so the old factory-based call sites keep working
+unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.errors import ModelError
+
+__all__ = [
+    "TargetSystem",
+    "register_target",
+    "get_target",
+    "available_targets",
+]
+
+
+@dataclass(frozen=True)
+class TargetSystem:
+    """Everything the framework needs to know about one target.
+
+    ``build_system``, ``standard_test_cases`` and ``assertion_specs``
+    are zero-argument callables (not values) so that registering a
+    target stays cheap: nothing is constructed until a campaign asks.
+    ``simulator_factory`` maps one test case to a fresh, runnable
+    simulator and is handed directly to the campaign drivers.
+    """
+
+    name: str
+    build_system: Callable[[], object]
+    simulator_factory: Callable[[object], object]
+    standard_test_cases: Callable[[], Sequence[object]]
+    assertion_specs: Callable[[], List[object]]
+    description: str = ""
+
+    def memory_map(self):
+        """The target's fault-injection memory map (RAM + stack)."""
+        from repro.fi.memory import MemoryMap
+
+        return MemoryMap(self.build_system())
+
+
+_REGISTRY: Dict[str, TargetSystem] = {}
+
+
+def register_target(target: TargetSystem, replace: bool = False) -> TargetSystem:
+    """Register *target* under its name; returns it for chaining."""
+    if not isinstance(target, TargetSystem):
+        raise ModelError(
+            f"expected a TargetSystem, got {type(target).__name__}"
+        )
+    if target.name in _REGISTRY and not replace:
+        raise ModelError(
+            f"target {target.name!r} is already registered "
+            f"(pass replace=True to override)"
+        )
+    _REGISTRY[target.name] = target
+    return target
+
+
+def get_target(name: str) -> TargetSystem:
+    """Look up a registered target by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ModelError(
+            f"unknown target {name!r}; registered: {available_targets()}"
+        ) from None
+
+
+def available_targets() -> List[str]:
+    return sorted(_REGISTRY)
+
+
+# ======================================================================
+# The two shipped targets.
+# ======================================================================
+def _build_arrestment():
+    from repro.target.wiring import build_arrestment_system
+
+    return build_arrestment_system()
+
+
+def _arrestment_simulator(test_case):
+    from repro.target.simulation import ArrestmentSimulator
+
+    return ArrestmentSimulator(test_case)
+
+
+def _arrestment_cases():
+    from repro.target.testcases import standard_test_cases
+
+    return standard_test_cases()
+
+
+def _arrestment_assertions():
+    from repro.edm import catalogue
+
+    return list(catalogue.EA_BY_NAME.values())
+
+
+def _build_watertank():
+    from repro.watertank import build_watertank_system
+
+    return build_watertank_system()
+
+
+def _watertank_simulator(test_case):
+    from repro.watertank import WaterTankSimulator
+
+    return WaterTankSimulator(test_case)
+
+
+def _watertank_cases():
+    from repro.watertank import standard_tank_cases
+
+    return standard_tank_cases()
+
+
+def _watertank_assertions():
+    from repro.watertank import tank_assertions
+
+    return tank_assertions()
+
+
+register_target(TargetSystem(
+    name="arrestment",
+    build_system=_build_arrestment,
+    simulator_factory=_arrestment_simulator,
+    standard_test_cases=_arrestment_cases,
+    assertion_specs=_arrestment_assertions,
+    description=(
+        "six-module aircraft arrestment controller "
+        "(the paper's target, Section 4)"
+    ),
+))
+
+register_target(TargetSystem(
+    name="watertank",
+    build_system=_build_watertank,
+    simulator_factory=_watertank_simulator,
+    standard_test_cases=_watertank_cases,
+    assertion_specs=_watertank_assertions,
+    description="two-output water-tank level controller",
+))

@@ -1,0 +1,215 @@
+"""Tests for the campaign execution engine.
+
+The core contract under test: parallel execution is bit-identical to
+serial execution for the same seed, and a checkpointed campaign that
+is killed and resumed converges to the same final result as an
+uninterrupted run.
+"""
+
+import json
+
+import pytest
+
+from repro.edm.catalogue import EA_BY_NAME
+from repro.errors import CampaignError
+from repro.fi import (
+    CampaignConfig,
+    CampaignExecutor,
+    DetectionCampaign,
+    MemoryCampaign,
+    MemoryMap,
+    PermeabilityCampaign,
+)
+from repro.target.simulation import ArrestmentSimulator
+
+
+def factory(tc):
+    return ArrestmentSimulator(tc)
+
+
+@pytest.fixture(scope="module")
+def two_cases(test_cases):
+    return [test_cases[4], test_cases[20]]
+
+
+class TestCampaignConfig:
+    def test_defaults(self):
+        config = CampaignConfig()
+        assert config.seed == 2002
+        assert config.resolved_backend() == "serial"
+
+    def test_jobs_select_process_backend(self):
+        assert CampaignConfig(jobs=4).resolved_backend() == "process"
+        assert CampaignConfig(jobs=4, backend="serial").resolved_backend() \
+            == "serial"
+
+    def test_validation(self):
+        with pytest.raises(CampaignError):
+            CampaignConfig(jobs=0)
+        with pytest.raises(CampaignError):
+            CampaignConfig(backend="threads")
+        with pytest.raises(CampaignError):
+            CampaignConfig(checkpoint_every=0)
+
+
+class TestExecutorMechanics:
+    def test_results_in_task_order(self):
+        executor = CampaignExecutor(CampaignConfig(), campaign="unit")
+        assert executor.run_tasks(lambda i: i * i, 5, "fp") == [
+            0, 1, 4, 9, 16,
+        ]
+        telemetry = executor.telemetry
+        assert telemetry.total_runs == 5
+        assert telemetry.executed_runs == 5
+        assert telemetry.resumed_runs == 0
+
+    def test_process_backend_matches_serial(self):
+        executor = CampaignExecutor(
+            CampaignConfig(jobs=2), campaign="unit"
+        )
+        assert executor.run_tasks(lambda i: i + 1, 8, "fp") == list(
+            range(1, 9)
+        )
+        # falls back to serial only where fork is unavailable
+        assert executor.telemetry.backend in ("process", "serial")
+
+    def test_checkpoint_written_and_resumed(self, tmp_path):
+        path = str(tmp_path / "cp.json")
+        config = CampaignConfig(checkpoint_path=path, checkpoint_every=1)
+        CampaignExecutor(config, campaign="unit").run_tasks(
+            lambda i: i * 2, 6, "fp"
+        )
+
+        # simulate a kill: drop the second half of the results
+        with open(path) as handle:
+            payload = json.load(handle)
+        payload["results"] = {
+            k: v for k, v in payload["results"].items() if int(k) < 3
+        }
+        with open(path, "w") as handle:
+            json.dump(payload, handle)
+
+        executed = []
+
+        def runner(index):
+            executed.append(index)
+            return index * 2
+
+        resumed = CampaignExecutor(config, campaign="unit")
+        assert resumed.run_tasks(runner, 6, "fp") == [0, 2, 4, 6, 8, 10]
+        assert sorted(executed) == [3, 4, 5]
+        assert resumed.telemetry.resumed_runs == 3
+        assert resumed.telemetry.executed_runs == 3
+
+    def test_fingerprint_mismatch_discards_checkpoint(self, tmp_path):
+        path = str(tmp_path / "cp.json")
+        config = CampaignConfig(checkpoint_path=path)
+        CampaignExecutor(config, campaign="unit").run_tasks(
+            lambda i: i, 4, "fp-a"
+        )
+        executor = CampaignExecutor(config, campaign="unit")
+        executor.run_tasks(lambda i: i, 4, "fp-b")
+        assert executor.telemetry.resumed_runs == 0
+        assert executor.telemetry.executed_runs == 4
+
+
+class TestSerialParallelDeterminism:
+    def test_permeability_bit_identical(self, two_cases):
+        serial = PermeabilityCampaign(
+            factory, two_cases, runs_per_input=2, seed=7
+        ).run()
+        parallel = PermeabilityCampaign(
+            factory, two_cases, runs_per_input=2, seed=7,
+            config=CampaignConfig(jobs=2),
+        ).run()
+        assert serial.values == parallel.values
+        assert serial.direct_counts == parallel.direct_counts
+        assert serial.active_runs == parallel.active_runs
+
+    def test_detection_counts_identical(self, two_cases):
+        specs = list(EA_BY_NAME.values())
+
+        def run(config=None):
+            return DetectionCampaign(
+                factory, two_cases, specs,
+                runs_per_signal=4, targets=["ADC", "PACNT"], seed=7,
+                config=config,
+            ).run()
+
+        serial = run()
+        parallel = run(CampaignConfig(jobs=2))
+        assert serial.n_injected == parallel.n_injected
+        assert serial.n_err == parallel.n_err
+        assert serial.detections == parallel.detections
+        assert serial.run_records == parallel.run_records
+        assert serial.run_latencies == parallel.run_latencies
+
+
+class TestCampaignCheckpointing:
+    def test_memory_campaign_kill_resume(self, two_cases, tmp_path):
+        path = str(tmp_path / "memory.json")
+        locations = MemoryMap(factory(two_cases[0]).system).locations()[::25]
+        specs = list(EA_BY_NAME.values())
+
+        def campaign(config=None):
+            return MemoryCampaign(
+                factory, two_cases[:1], specs,
+                locations=locations, seed=7, config=config,
+            )
+
+        fresh = campaign().run()
+        campaign(
+            CampaignConfig(checkpoint_path=path, checkpoint_every=1)
+        ).run()
+
+        # kill: keep only the first two completed tasks
+        with open(path) as handle:
+            payload = json.load(handle)
+        payload["results"] = {
+            k: v for k, v in payload["results"].items() if int(k) < 2
+        }
+        with open(path, "w") as handle:
+            json.dump(payload, handle)
+
+        resumed_campaign = campaign(CampaignConfig(checkpoint_path=path))
+        resumed = resumed_campaign.run()
+        assert resumed.records == fresh.records
+        assert resumed_campaign.telemetry.resumed_runs == 2
+
+    def test_seed_flows_from_config(self, two_cases):
+        specs = list(EA_BY_NAME.values())
+
+        def run(**kwargs):
+            return DetectionCampaign(
+                factory, two_cases, specs,
+                runs_per_signal=2, targets=["ADC"], **kwargs,
+            ).run()
+
+        assert run(seed=7).detections == run(
+            config=CampaignConfig(seed=7)
+        ).detections
+
+    def test_test_cases_flow_from_config(self, two_cases):
+        campaign = DetectionCampaign(
+            factory,
+            assertion_specs=list(EA_BY_NAME.values()),
+            runs_per_signal=2,
+            targets=["ADC"],
+            config=CampaignConfig(test_cases=two_cases),
+        )
+        assert campaign.test_cases == list(two_cases)
+
+    def test_telemetry_populated(self, two_cases):
+        campaign = DetectionCampaign(
+            factory, two_cases, list(EA_BY_NAME.values()),
+            runs_per_signal=2, targets=["ADC"], seed=7,
+        )
+        campaign.run()
+        telemetry = campaign.telemetry
+        assert telemetry is not None
+        assert telemetry.campaign == "detection"
+        assert telemetry.total_runs == 2
+        assert telemetry.executed_runs == 2
+        assert telemetry.wall_s > 0
+        assert 0.0 <= telemetry.worker_utilization <= 1.0
+        assert "runs" in telemetry.render()

@@ -1,0 +1,110 @@
+"""Tests for the target-system registry."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.experiments.context import ExperimentContext
+from repro.fi.campaign import DetectionCampaign, PermeabilityCampaign
+from repro.targets import (
+    TargetSystem,
+    available_targets,
+    get_target,
+    register_target,
+)
+
+
+class TestRegistry:
+    def test_both_shipped_targets_registered(self):
+        names = available_targets()
+        assert "arrestment" in names
+        assert "watertank" in names
+
+    def test_unknown_target_rejected(self):
+        with pytest.raises(ModelError):
+            get_target("toaster")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ModelError):
+            register_target(get_target("arrestment"))
+
+    def test_replace_allows_override(self):
+        target = get_target("arrestment")
+        assert register_target(target, replace=True) is target
+
+    def test_non_target_rejected(self):
+        with pytest.raises(ModelError):
+            register_target("arrestment")
+
+
+class TestArrestmentTarget:
+    def test_bundles_everything(self):
+        target = get_target("arrestment")
+        system = target.build_system()
+        assert system.name == "arrestment"
+        assert len(target.standard_test_cases()) == 25
+        assert [spec.name for spec in target.assertion_specs()] == [
+            f"EA{i}" for i in range(1, 8)
+        ]
+        memory_map = target.memory_map()
+        assert memory_map.ram_size() > 0
+        assert memory_map.stack_size() > 0
+
+    def test_simulator_factory_runs(self):
+        target = get_target("arrestment")
+        case = target.standard_test_cases()[12]
+        result = target.simulator_factory(case).run()
+        assert result.arrested and not result.failed
+
+
+class TestWatertankTarget:
+    def test_simulator_factory_runs(self):
+        target = get_target("watertank")
+        case = target.standard_test_cases()[4]
+        result = target.simulator_factory(case).run()
+        assert not result.failed
+
+    def test_assertions_guard_tank_signals(self):
+        specs = get_target("watertank").assertion_specs()
+        assert len(specs) == 6
+
+
+class TestCampaignsAcceptTargets:
+    def test_factory_resolution(self, test_cases):
+        campaign = PermeabilityCampaign(
+            get_target("arrestment"), [test_cases[12]],
+            runs_per_input=1, seed=3,
+        )
+        simulator = campaign.factory(test_cases[12])
+        assert simulator.system.name == "arrestment"
+
+    def test_default_cases_come_from_target(self):
+        target = get_target("watertank")
+        campaign = DetectionCampaign(
+            target,
+            assertion_specs=target.assertion_specs(),
+            runs_per_signal=1,
+        )
+        assert len(campaign.test_cases) == len(
+            target.standard_test_cases()
+        )
+
+
+class TestContextTargets:
+    def test_context_accepts_target_name(self):
+        ctx = ExperimentContext(scale="test", target="watertank")
+        assert ctx.target.name == "watertank"
+        assert ctx.test_cases
+        assert "VALVE_POS" in ctx.system.system_outputs()
+
+    def test_context_accepts_target_object(self):
+        ctx = ExperimentContext(
+            scale="test", target=get_target("arrestment")
+        )
+        assert ctx.target.name == "arrestment"
+
+    def test_default_target_is_arrestment(self):
+        ctx = ExperimentContext(scale="test")
+        assert ctx.target.name == "arrestment"
+        assert ctx.simulator_factory is get_target(
+            "arrestment"
+        ).simulator_factory
