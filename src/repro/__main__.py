@@ -17,8 +17,10 @@ Subcommands
 ``table1`` .. ``extended``
     Run one experiment directly, e.g. ``python -m repro table1
     --jobs 4``.  Accepts ``--scale``, ``--seed``, ``--target``,
-    ``--jobs``, ``--resume`` and ``--checkpoint-dir``; parallel runs
-    are bit-identical to serial ones for the same seed.
+    ``--jobs``, ``--resume``, ``--checkpoint-dir``, ``--task-timeout``,
+    ``--retries`` and ``--event-log``; parallel runs are bit-identical
+    to serial ones for the same seed, and failing runs are retried and
+    quarantined instead of aborting the campaign.
 """
 
 from __future__ import annotations
@@ -159,6 +161,9 @@ def _cmd_one_experiment(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         resume=args.resume,
         checkpoint_dir=args.checkpoint_dir,
+        task_timeout=args.task_timeout,
+        retries=args.retries,
+        event_log=args.event_log,
     )
     result = EXPERIMENTS[args.command](ctx)
     print(result.render())
@@ -237,6 +242,20 @@ def main(argv: Optional[List[str]] = None) -> int:
             help="resume partially completed campaigns from checkpoints",
         )
         p_one.add_argument("--checkpoint-dir", default=None, metavar="DIR")
+        p_one.add_argument(
+            "--task-timeout", type=float, default=None, metavar="S",
+            help="per-run wall-clock budget in seconds "
+            "(exceeded runs are retried, then quarantined)",
+        )
+        p_one.add_argument(
+            "--retries", type=int, default=None, metavar="N",
+            help="extra attempts for a failing run before quarantine "
+            "(default: 1)",
+        )
+        p_one.add_argument(
+            "--event-log", default=None, metavar="PATH",
+            help="append campaign run events to this JSONL file",
+        )
         p_one.set_defaults(fn=_cmd_one_experiment)
 
     args = parser.parse_args(argv)

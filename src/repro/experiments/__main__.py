@@ -13,6 +13,11 @@ Options
     i.e. serial; results are bit-identical either way).
 ``--resume`` / ``--checkpoint-dir DIR``
     Checkpoint campaigns to disk and resume partial ones.
+``--task-timeout S`` / ``--retries N``
+    Fault tolerance: per-run wall-clock budget and per-task attempt
+    budget; exhausted tasks are quarantined instead of aborting.
+``--event-log PATH``
+    Append a JSONL log of campaign run events for forensics.
 ``ids``
     Experiment ids to run (default: all).  Known ids:
     table1 table2 table3 table4 figure3 table5 profiles extended.
@@ -51,6 +56,21 @@ def add_execution_options(parser: argparse.ArgumentParser) -> None:
         help="directory for campaign checkpoints "
         "(default with --resume: .repro-checkpoints/<target>-<scale>-<seed>)",
     )
+    parser.add_argument(
+        "--task-timeout", type=float, default=None, metavar="S",
+        help="per-run wall-clock budget in seconds "
+        "(default: unlimited; exceeded runs are retried, then quarantined)",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="extra attempts for a failing run before it is "
+        "quarantined as a TaskFailure (default: 1)",
+    )
+    parser.add_argument(
+        "--event-log", default=None, metavar="PATH",
+        help="append campaign run events (task finish/retry/failure, "
+        "checkpoint flushes, pool respawns) to this JSONL file",
+    )
 
 
 def context_from_args(args: argparse.Namespace) -> ExperimentContext:
@@ -61,6 +81,9 @@ def context_from_args(args: argparse.Namespace) -> ExperimentContext:
         jobs=args.jobs,
         resume=args.resume,
         checkpoint_dir=args.checkpoint_dir,
+        task_timeout=args.task_timeout,
+        retries=args.retries,
+        event_log=args.event_log,
     )
 
 

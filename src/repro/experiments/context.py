@@ -92,6 +92,12 @@ class ExperimentContext:
     pool; *checkpoint_dir* enables checkpointing of partially
     completed campaigns, and *resume* picks existing checkpoints up
     instead of starting fresh.
+
+    Fault-tolerance knobs: *task_timeout* bounds each injection run's
+    wall clock, *retries* bounds the attempts a failing task gets
+    before quarantine (``None`` keeps the executor default), and
+    *event_log* appends a JSONL record of run events (shared by all
+    campaigns of the context; each record carries its campaign name).
     """
 
     def __init__(
@@ -102,6 +108,9 @@ class ExperimentContext:
         jobs: int = 1,
         resume: bool = False,
         checkpoint_dir: Optional[str] = None,
+        task_timeout: Optional[float] = None,
+        retries: Optional[int] = None,
+        event_log: Optional[str] = None,
     ):
         if scale not in SCALES:
             raise ExperimentError(
@@ -114,6 +123,9 @@ class ExperimentContext:
         )
         self.jobs = jobs
         self.resume = resume
+        self.task_timeout = task_timeout
+        self.retries = retries
+        self.event_log = event_log
         if resume and checkpoint_dir is None:
             checkpoint_dir = os.path.join(
                 ".repro-checkpoints",
@@ -149,10 +161,16 @@ class ExperimentContext:
             )
             if not self.resume and os.path.exists(checkpoint_path):
                 os.remove(checkpoint_path)  # fresh start requested
+        extra = {}
+        if self.retries is not None:
+            extra["retries"] = self.retries
         return CampaignConfig(
             seed=self.seed,
             jobs=self.jobs,
             checkpoint_path=checkpoint_path,
+            task_timeout=self.task_timeout,
+            event_log_path=self.event_log,
+            **extra,
         )
 
     @property

@@ -26,6 +26,8 @@ from repro.fi.executor import (
     CampaignExecutor,
     CampaignTelemetry,
     GoldenRunCache,
+    RunEventLog,
+    TaskFailure,
     golden_cache,
 )
 from repro.fi.comparison import (
@@ -83,7 +85,9 @@ __all__ = [
     "PermeabilityEstimate",
     "PropagationTimeline",
     "Region",
+    "RunEventLog",
     "SignalDivergence",
+    "TaskFailure",
     "compare_runs",
     "first_output_differences",
     "load_json",

@@ -43,7 +43,6 @@ import random
 from dataclasses import dataclass, field
 from typing import (
     Any,
-    Callable,
     Dict,
     Iterable,
     List,
@@ -59,12 +58,11 @@ from repro.fi.executor import (
     CampaignConfig,
     CampaignExecutor,
     CampaignTelemetry,
+    TaskFailure,
     fingerprint_of,
     golden_cache,
 )
 from repro.fi.golden import (
-    GoldenRun,
-    GoldenRunStore,
     InvocationLog,
     SimulatorFactory,
     first_output_differences,
@@ -148,6 +146,19 @@ def _target_label(factory) -> str:
     return getattr(factory, "__qualname__", type(factory).__name__)
 
 
+def _collect_failures(results: Sequence[Any]) -> List[TaskFailure]:
+    """The quarantined tasks of an executor result list.
+
+    Aggregation loops skip :class:`TaskFailure` entries (a quarantined
+    run contributes no observation — it is neither an active error nor
+    an inactive one) and surface them on the campaign result, so a
+    faulty campaign completes with the surviving runs while the losses
+    stay accounted for.  With no faults the list is empty and results
+    are bit-identical to a serial run.
+    """
+    return [r for r in results if isinstance(r, TaskFailure)]
+
+
 # ======================================================================
 # Permeability estimation (Table 1).
 # ======================================================================
@@ -161,6 +172,8 @@ class PermeabilityEstimate:
     active_runs: Dict[Tuple[str, str], int]
     #: (module, in_port, out_port) -> estimated permeability
     values: Dict[Tuple[str, str, str], float]
+    #: quarantined runs (empty on a fault-free campaign)
+    task_failures: List[TaskFailure] = field(default_factory=list)
 
     def value(self, module: str, in_port: str, out_port: str) -> float:
         try:
@@ -265,7 +278,7 @@ class PermeabilityCampaign:
             for out_port in out_ports[key_in]:
                 direct[(key_in[0], key_in[1], out_port)] = 0
         for key_in, hits in zip(task_pair, results):
-            if hits is None:
+            if hits is None or isinstance(hits, TaskFailure):
                 continue
             active[key_in] += 1
             for out_port in hits:
@@ -277,7 +290,10 @@ class PermeabilityCampaign:
             for (m, i, k) in direct
         }
         return PermeabilityEstimate(
-            direct_counts=direct, active_runs=active, values=values
+            direct_counts=direct,
+            active_runs=active,
+            values=values,
+            task_failures=_collect_failures(results),
         )
 
     def _one_run(
@@ -381,6 +397,8 @@ class DetectionResult:
     run_latencies: Dict[str, List[Dict[str, int]]] = field(
         default_factory=dict
     )
+    #: quarantined runs (empty on a fault-free campaign)
+    task_failures: List[TaskFailure] = field(default_factory=list)
 
     def latency_stats(
         self,
@@ -532,6 +550,8 @@ class DetectionCampaign:
             t: [] for t in targets
         }
         for (target, _, _, _), outcome in zip(tasks, results):
+            if isinstance(outcome, TaskFailure):
+                continue  # quarantined: no observation for this run
             n_injected[target] += 1
             if not isinstance(outcome, dict):
                 continue  # "inactive" / "late": injection not an error
@@ -555,6 +575,7 @@ class DetectionCampaign:
             any_detections=any_detections,
             run_records=run_records,
             run_latencies=run_latencies,
+            task_failures=_collect_failures(results),
         )
 
     def _one_run(
@@ -617,6 +638,8 @@ class MemoryCampaignResult:
 
     records: List[MemoryRunRecord]
     ea_names: List[str]
+    #: quarantined runs (empty on a fault-free campaign)
+    task_failures: List[TaskFailure] = field(default_factory=list)
 
     def coverage(
         self,
@@ -675,6 +698,8 @@ class RecoveryResult:
     """Outcome of one :class:`RecoveryCampaign`."""
 
     outcomes: List[RecoveryOutcome]
+    #: quarantined runs (empty on a fault-free campaign)
+    task_failures: List[TaskFailure] = field(default_factory=list)
 
     def failure_rate(
         self, with_recovery: bool, region: Optional[Region] = None
@@ -780,7 +805,7 @@ class RecoveryCampaign:
         # Phase 3: aggregate in task order.
         outcomes: List[RecoveryOutcome] = []
         for (location, _, _, _), outcome in zip(tasks, results):
-            if outcome is None:
+            if outcome is None or isinstance(outcome, TaskFailure):
                 continue
             outcomes.append(
                 RecoveryOutcome(
@@ -792,7 +817,10 @@ class RecoveryCampaign:
                     recovery_actions=int(outcome["recovery_actions"]),
                 )
             )
-        return RecoveryResult(outcomes=outcomes)
+        return RecoveryResult(
+            outcomes=outcomes,
+            task_failures=_collect_failures(results),
+        )
 
     def _one_run(
         self,
@@ -902,7 +930,7 @@ class MemoryCampaign:
         # Phase 3: aggregate in task order.
         records: List[MemoryRunRecord] = []
         for (location, _, _, _), outcome in zip(tasks, results):
-            if outcome is None:
+            if outcome is None or isinstance(outcome, TaskFailure):
                 continue
             records.append(
                 MemoryRunRecord(
@@ -915,6 +943,7 @@ class MemoryCampaign:
         return MemoryCampaignResult(
             records=records,
             ea_names=[spec.name for spec in self.specs],
+            task_failures=_collect_failures(results),
         )
 
     def _one_run(

@@ -1,4 +1,4 @@
-"""Parallel, cache-aware campaign execution engine.
+"""Parallel, cache-aware, fault-tolerant campaign execution engine.
 
 Fault-injection campaigns are embarrassingly parallel: thousands of
 single-flip runs, each a fresh simulator, sharing nothing but the
@@ -6,15 +6,25 @@ golden runs.  This module factors the execution strategy out of the
 campaign drivers:
 
 * :class:`CampaignConfig` — the shared campaign configuration (seed,
-  test cases, worker count, backend, checkpoint path), accepted
-  uniformly by all campaign drivers.
+  test cases, worker count, backend, checkpointing, fault-tolerance
+  knobs), accepted uniformly by all campaign drivers.
 * :class:`CampaignExecutor` — maps a pure per-task function over a
   pre-drawn task list, serially or on a fork-based process pool,
-  with checkpoint/resume to disk and per-campaign telemetry.
+  with checkpoint/resume to disk, per-campaign telemetry, and a
+  fault-tolerance layer (per-task timeout, bounded retry with
+  exponential backoff, poison-task quarantine, broken-pool respawn,
+  graceful degradation to serial execution).
+* :class:`TaskFailure` — the structured record of a quarantined task;
+  it takes the task's slot in the result list and in the checkpoint
+  instead of aborting the campaign.
+* :class:`RunEventLog` — an append-only JSONL log of run events (task
+  finish/retry/failure, checkpoint flushes, pool respawns) for
+  post-hoc campaign forensics.
 * :class:`GoldenRunCache` — process-wide golden-run cache keyed by
-  (target, test case, factory), with single-flight semantics so a
-  golden run is computed exactly once no matter how many campaigns
-  (or concurrent callers) ask for it.
+  (target, test case, factory), with single-flight semantics and
+  bounded LRU eviction, so a golden run is computed exactly once no
+  matter how many campaigns (or concurrent callers) ask for it and
+  long sessions over many targets do not grow without bound.
 
 Determinism contract
 --------------------
@@ -22,15 +32,34 @@ Campaigns draw **all** random parameters up front, in the exact order
 the legacy serial loops drew them, and hand the executor a list of
 pure tasks.  Tasks may complete in any order; results are aggregated
 in task order.  Parallel execution is therefore bit-identical to
-serial execution for the same seed.
+serial execution for the same seed.  Retries re-run the same pure
+task, so a fault-free campaign (no retries, no quarantines) remains
+bit-identical across backends; a faulty one is deterministic up to
+which tasks were quarantined.
+
+Failure handling
+----------------
+``runner(index)`` raising, timing out, or taking its worker process
+down no longer aborts the campaign.  Each task gets ``retries + 1``
+attempts (with exponential backoff between attempts); a task that
+exhausts its budget is *quarantined*: a :class:`TaskFailure` is
+recorded in its result slot and in the checkpoint, and the campaign
+completes with the surviving runs.  A worker death (or a wedged pool)
+is detected by a result watchdog; the pool is terminated, respawned
+(at most ``max_pool_respawns`` times) and the in-flight tasks are
+re-dispatched.  When the pool cannot be rebuilt, execution degrades
+to the serial backend for the remaining tasks.  The checkpoint is
+flushed on **every** exit path — success, exception and
+KeyboardInterrupt — so no completed run is ever lost.
 
 Checkpoint format
 -----------------
 A JSON document ``{campaign, fingerprint, n_tasks, results}`` where
-``results`` maps task index to the task's JSON-encodable result.  A
-resume run with a matching fingerprint replays the stored results and
-executes only the missing tasks; a mismatched fingerprint (different
-seed, scale, or target) discards the checkpoint.
+``results`` maps task index to the task's JSON-encodable result (or
+an encoded :class:`TaskFailure` for quarantined tasks).  A resume run
+with a matching fingerprint replays the stored results and executes
+only the missing tasks; a mismatched fingerprint — or a structurally
+corrupt checkpoint — discards the checkpoint instead of crashing.
 """
 
 from __future__ import annotations
@@ -39,14 +68,17 @@ import hashlib
 import json
 import multiprocessing
 import os
+import signal
 import threading
 import time
-from dataclasses import dataclass, field
-from pathlib import Path
+from collections import OrderedDict
+from contextlib import contextmanager
+from dataclasses import dataclass
 from typing import (
     Any,
     Callable,
     Dict,
+    Iterator,
     List,
     Optional,
     Sequence,
@@ -62,11 +94,20 @@ __all__ = [
     "CampaignTelemetry",
     "CampaignExecutor",
     "GoldenRunCache",
+    "RunEventLog",
+    "TaskFailure",
     "golden_cache",
     "fingerprint_of",
 ]
 
 BACKENDS = ("serial", "process")
+
+#: watchdog on pool results when no per-task timeout is configured: if
+#: *no* result arrives for this long, the pool is considered broken.
+DEFAULT_POOL_WATCHDOG_S = 300.0
+
+#: upper bound on one exponential-backoff sleep between attempts.
+MAX_BACKOFF_S = 30.0
 
 
 # ======================================================================
@@ -94,6 +135,19 @@ class CampaignConfig:
     checkpoint_path: Optional[str] = None
     #: flush the checkpoint every this many completed tasks.
     checkpoint_every: int = 32
+    #: per-task wall-clock budget in seconds; ``None`` = unlimited.
+    task_timeout: Optional[float] = None
+    #: extra attempts per task before quarantine (total = retries + 1).
+    retries: int = 1
+    #: base of the exponential backoff between attempts, in seconds.
+    retry_backoff_s: float = 0.25
+    #: pool rebuilds tolerated before degrading to serial execution.
+    max_pool_respawns: int = 2
+    #: stall watchdog on pool results; ``None`` derives it from
+    #: ``task_timeout`` (or :data:`DEFAULT_POOL_WATCHDOG_S`).
+    pool_watchdog_s: Optional[float] = None
+    #: JSONL run-event log; ``None`` disables event logging.
+    event_log_path: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
@@ -106,17 +160,147 @@ class CampaignConfig:
             raise CampaignError(
                 f"checkpoint_every must be >= 1, got {self.checkpoint_every}"
             )
+        if self.task_timeout is not None and self.task_timeout <= 0:
+            raise CampaignError(
+                f"task_timeout must be positive, got {self.task_timeout}"
+            )
+        if self.retries < 0:
+            raise CampaignError(f"retries must be >= 0, got {self.retries}")
+        if self.retry_backoff_s < 0:
+            raise CampaignError(
+                f"retry_backoff_s must be >= 0, got {self.retry_backoff_s}"
+            )
+        if self.max_pool_respawns < 0:
+            raise CampaignError(
+                f"max_pool_respawns must be >= 0, "
+                f"got {self.max_pool_respawns}"
+            )
+        if self.pool_watchdog_s is not None and self.pool_watchdog_s <= 0:
+            raise CampaignError(
+                f"pool_watchdog_s must be positive, "
+                f"got {self.pool_watchdog_s}"
+            )
 
     def resolved_backend(self) -> str:
         if self.backend is not None:
             return self.backend
         return "process" if self.jobs > 1 else "serial"
 
+    def resolved_watchdog(self) -> float:
+        """Seconds of result silence after which the pool is broken."""
+        if self.pool_watchdog_s is not None:
+            return self.pool_watchdog_s
+        if self.task_timeout is not None:
+            return self.task_timeout * 2 + 5.0
+        return DEFAULT_POOL_WATCHDOG_S
+
 
 def fingerprint_of(*parts: Any) -> str:
     """Stable fingerprint of a campaign's identity for checkpointing."""
     blob = json.dumps([str(p) for p in parts], separators=(",", ":"))
     return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+
+# ======================================================================
+# Structured task failure (poison-task quarantine).
+# ======================================================================
+_FAILURE_MARKER = "__task_failure__"
+
+
+@dataclass(frozen=True)
+class TaskFailure:
+    """A task that exhausted its attempt budget and was quarantined.
+
+    Takes the task's slot in the executor's result list (and in the
+    checkpoint) instead of aborting the campaign; aggregation code
+    skips these records and surfaces them as
+    ``result.task_failures``.
+    """
+
+    #: task index within the campaign's pre-drawn task list.
+    index: int
+    #: ``"exception"``, ``"timeout"`` or ``"lost"`` (worker death).
+    kind: str
+    #: human-readable description of the last error.
+    error: str
+    #: attempts consumed before quarantine.
+    attempts: int
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            _FAILURE_MARKER: 1,
+            "index": self.index,
+            "kind": self.kind,
+            "error": self.error,
+            "attempts": self.attempts,
+        }
+
+    @classmethod
+    def from_json(cls, payload: Dict[str, Any]) -> "TaskFailure":
+        return cls(
+            index=int(payload["index"]),
+            kind=str(payload["kind"]),
+            error=str(payload["error"]),
+            attempts=int(payload["attempts"]),
+        )
+
+    @staticmethod
+    def is_encoded(value: Any) -> bool:
+        return isinstance(value, dict) and value.get(_FAILURE_MARKER) == 1
+
+
+# ======================================================================
+# Run-event log.
+# ======================================================================
+class RunEventLog:
+    """Append-only JSONL log of campaign run events.
+
+    One JSON object per line: ``{ts, campaign, event, ...fields}``.
+    Event names: ``run_start``, ``task_start`` (serial backend only),
+    ``task_finish``, ``task_error``, ``task_retry``, ``task_failure``
+    (quarantine), ``checkpoint_flush``, ``pool_broken``,
+    ``pool_respawn``, ``backend_degraded``, ``run_end``.  With no
+    path, every call is a no-op.
+    """
+
+    def __init__(self, path: Optional[str] = None, campaign: str = ""):
+        self.path = path
+        self.campaign = campaign
+        self._handle = None
+        if path:
+            directory = os.path.dirname(os.path.abspath(path))
+            os.makedirs(directory, exist_ok=True)
+            self._handle = open(path, "a", encoding="utf-8")
+
+    @property
+    def enabled(self) -> bool:
+        return self._handle is not None
+
+    def emit(self, event: str, **fields: Any) -> None:
+        if self._handle is None:
+            return
+        record: Dict[str, Any] = {
+            "ts": round(time.time(), 3),
+            "campaign": self.campaign,
+            "event": event,
+        }
+        record.update(fields)
+        try:
+            self._handle.write(
+                json.dumps(record, separators=(",", ":"), default=str)
+                + "\n"
+            )
+            self._handle.flush()
+        except (OSError, ValueError):
+            pass  # never let observability take the campaign down
+
+    def close(self) -> None:
+        if self._handle is not None:
+            try:
+                self._handle.close()
+            except OSError:
+                pass
+            self._handle = None
 
 
 # ======================================================================
@@ -136,6 +320,17 @@ class CampaignTelemetry:
     busy_s: float = 0.0
     cache_hits: int = 0
     cache_misses: int = 0
+    #: re-dispatched attempts (a task retried twice counts twice).
+    retries: int = 0
+    #: quarantined tasks (structured :class:`TaskFailure` results).
+    failures: int = 0
+    #: attempts that exceeded the per-task timeout.
+    timeouts: int = 0
+    #: worker pools torn down and rebuilt after breakage.
+    pool_respawns: int = 0
+    #: True once the pool could not be rebuilt and the remaining
+    #: tasks ran on the serial backend.
+    degraded: bool = False
 
     @property
     def runs_per_sec(self) -> float:
@@ -152,8 +347,15 @@ class CampaignTelemetry:
         lookups = self.cache_hits + self.cache_misses
         return self.cache_hits / lookups if lookups else 0.0
 
+    @property
+    def faulted(self) -> bool:
+        return bool(
+            self.retries or self.failures or self.timeouts
+            or self.pool_respawns or self.degraded
+        )
+
     def render(self) -> str:
-        return (
+        text = (
             f"[{self.campaign}] {self.executed_runs}/{self.total_runs} runs"
             f" ({self.resumed_runs} resumed) in {self.wall_s:.2f} s"
             f" | {self.runs_per_sec:.1f} runs/s"
@@ -163,6 +365,14 @@ class CampaignTelemetry:
             f" / {self.cache_misses} miss"
             f" ({self.cache_hit_rate:.0%})"
         )
+        if self.faulted:
+            text += (
+                f" | retries={self.retries} failures={self.failures}"
+                f" timeouts={self.timeouts} respawns={self.pool_respawns}"
+            )
+            if self.degraded:
+                text += " degraded=serial"
+        return text
 
 
 # ======================================================================
@@ -174,20 +384,34 @@ class GoldenRunCache:
     Keyed by ``(target name, factory, case id)``.  The factory object
     itself is part of the key — two factories building differently
     configured simulators of the same system never alias — and the
-    cache holds a strong reference to it, so a key is never reused for
-    a different configuration.  Entries persist for the life of the
-    process, so every campaign of an experiment session (and every
-    worker forked from it) reuses the same golden runs.
+    cache holds a strong reference to it while any of its runs are
+    cached, so a live key is never reused for a different
+    configuration.
+
+    The cache is bounded: at most ``max_runs`` golden runs are kept,
+    evicted least-recently-used.  When a factory's last cached run is
+    evicted, its store and the factory reference are dropped too, and
+    single-flight locks are pruned as soon as their computation
+    completes — long sessions over many targets stay bounded.
     """
 
-    def __init__(self) -> None:
-        self._runs: Dict[Tuple[str, int, int], GoldenRun] = {}
+    def __init__(self, max_runs: int = 512) -> None:
+        if max_runs < 1:
+            raise CampaignError(f"max_runs must be >= 1, got {max_runs}")
+        self.max_runs = max_runs
+        self._runs: "OrderedDict[Tuple[str, int, int], GoldenRun]" = (
+            OrderedDict()
+        )
         self._flight: Dict[Tuple[str, int, int], threading.Lock] = {}
         self._stores: Dict[Tuple[str, int], GoldenRunStore] = {}
         self._factories: Dict[int, Any] = {}
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._runs)
 
     def store_for(self, target: str, factory) -> "CachedGoldenStore":
         """A :class:`GoldenRunStore`-compatible view for one target."""
@@ -198,6 +422,7 @@ class GoldenRunCache:
         with self._lock:
             run = self._runs.get(key)
             if run is not None:
+                self._runs.move_to_end(key)
                 self.hits += 1
                 return run
             flight = self._flight.setdefault(key, threading.Lock())
@@ -206,6 +431,8 @@ class GoldenRunCache:
                 run = self._runs.get(key)
                 if run is not None:
                     # someone else computed it while we waited
+                    self._runs.move_to_end(key)
+                    self._flight.pop(key, None)
                     self.hits += 1
                     return run
                 self._factories[id(factory)] = factory
@@ -216,7 +443,20 @@ class GoldenRunCache:
             with self._lock:
                 self._runs[key] = run
                 self.misses += 1
+                self._flight.pop(key, None)
+                self._evict_locked()
             return run
+
+    def _evict_locked(self) -> None:
+        """Drop LRU runs beyond the bound; GC orphaned stores/factories."""
+        while len(self._runs) > self.max_runs:
+            (target, factory_id, _), _ = self._runs.popitem(last=False)
+            if not any(
+                k[0] == target and k[1] == factory_id for k in self._runs
+            ):
+                self._stores.pop((target, factory_id), None)
+            if not any(k[1] == factory_id for k in self._runs):
+                self._factories.pop(factory_id, None)
 
     def clear(self) -> None:
         with self._lock:
@@ -248,25 +488,131 @@ golden_cache = GoldenRunCache()
 # ======================================================================
 # Worker-side trampoline for the fork pool.
 #
-# The active runner is published as a module global *before* the pool
-# is forked; workers inherit it through the fork and only task indices
-# (and JSON-encodable results) ever cross the pipe.  This keeps
-# factories, simulators and closures out of pickle entirely.
+# The active runner (and the fault-tolerance knobs) are published as
+# module globals *before* the pool is forked; workers inherit them
+# through the fork and only (index, attempt) pairs and JSON-encodable
+# payloads ever cross the pipe.  This keeps factories, simulators and
+# closures out of pickle entirely.  Worker exceptions are converted to
+# in-band error payloads, so anything escaping the result iterator is
+# pool infrastructure breakage, not a task failure.
 # ======================================================================
 _ACTIVE_RUNNER: Optional[Callable[[int], Any]] = None
+_ACTIVE_TIMEOUT: Optional[float] = None
+#: (fail_index, kill_index) chaos hooks; see ``_chaos_from_env``.
+_ACTIVE_CHAOS: Tuple[Optional[int], Optional[int]] = (None, None)
 
 
-def _pool_task(index: int) -> Tuple[int, Any, float]:
+class _TaskTimeout(Exception):
+    """Raised inside a task when its wall-clock budget expires."""
+
+
+def _chaos_from_env() -> Tuple[Optional[int], Optional[int]]:
+    """Test-only fault hooks, read from the environment.
+
+    ``REPRO_CHAOS_FAIL_INDEX=N`` makes the first attempt of task N
+    raise; ``REPRO_CHAOS_KILL_INDEX=N`` makes the first attempt of
+    task N hard-kill its worker process (process backend only).  Used
+    by the chaos tests and the CI chaos step to exercise the
+    retry/quarantine/respawn machinery against a real campaign.
+    """
+
+    def _index(name: str) -> Optional[int]:
+        value = os.environ.get(name)
+        if value is None:
+            return None
+        try:
+            return int(value)
+        except ValueError:
+            return None
+
+    return (
+        _index("REPRO_CHAOS_FAIL_INDEX"),
+        _index("REPRO_CHAOS_KILL_INDEX"),
+    )
+
+
+@contextmanager
+def _task_alarm(seconds: Optional[float]) -> Iterator[None]:
+    """Interrupt the current task after *seconds* via SIGALRM.
+
+    Only armed in the main thread of a process (the only place Python
+    delivers signals); elsewhere the timeout is not enforced rather
+    than broken.
+    """
+    if (
+        not seconds
+        or not hasattr(signal, "setitimer")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        yield
+        return
+
+    def _on_alarm(signum, frame):
+        raise _TaskTimeout()
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _execute_attempt(index: int, attempt: int) -> Tuple[int, Dict, float]:
+    """One attempt of one task; errors become in-band payloads."""
     started = time.perf_counter()
-    result = _ACTIVE_RUNNER(index)  # type: ignore[misc]
-    return index, result, time.perf_counter() - started
+    fail_index, _ = _ACTIVE_CHAOS
+    try:
+        if fail_index is not None and index == fail_index and attempt == 1:
+            raise RuntimeError(f"chaos: injected failure at task {index}")
+        with _task_alarm(_ACTIVE_TIMEOUT):
+            result = _ACTIVE_RUNNER(index)  # type: ignore[misc]
+        payload: Dict[str, Any] = {"ok": result}
+    except _TaskTimeout:
+        payload = {
+            "err": f"timed out after {_ACTIVE_TIMEOUT:g} s",
+            "kind": "timeout",
+        }
+    except Exception as exc:
+        payload = {"err": f"{type(exc).__name__}: {exc}", "kind": "exception"}
+    return index, payload, time.perf_counter() - started
+
+
+def _pool_task(item: Tuple[int, int]) -> Tuple[int, Dict, float]:
+    index, attempt = item
+    _, kill_index = _ACTIVE_CHAOS
+    if kill_index is not None and index == kill_index and attempt == 1:
+        os._exit(17)  # simulate a hard worker death (chaos testing)
+    return _execute_attempt(index, attempt)
+
+
+def _pool_chunk(
+    items: List[Tuple[int, int]]
+) -> List[Tuple[int, Dict, float]]:
+    """A batch of tasks as one pool work item.
+
+    Chunking is done here rather than via the pool's ``chunksize``:
+    ``imap_unordered(..., chunksize>1)`` returns a plain generator
+    without the ``next(timeout)`` needed by the watchdog, so the pool
+    always dispatches single work items and each item carries a batch.
+    """
+    return [_pool_task(item) for item in items]
+
+
+def _backoff_s(config: CampaignConfig, attempt: int) -> float:
+    """Exponential backoff before the given (>= 2nd) attempt."""
+    if attempt <= 1 or config.retry_backoff_s <= 0:
+        return 0.0
+    return min(config.retry_backoff_s * (2 ** (attempt - 2)), MAX_BACKOFF_S)
 
 
 # ======================================================================
 # The executor.
 # ======================================================================
 class CampaignExecutor:
-    """Maps a pure task function over a task list, with checkpointing.
+    """Maps a pure task function over a task list, with checkpointing
+    and fault tolerance.
 
     ``runner(index)`` must be a pure function of the pre-drawn task
     parameters at ``index`` (no shared RNG, no mutation of campaign
@@ -274,6 +620,11 @@ class CampaignExecutor:
     is enabled.  Results are returned in task order regardless of the
     completion order, so parallel execution is bit-identical to
     serial.
+
+    A task that raises, times out or kills its worker is retried up
+    to ``config.retries`` times and then quarantined: its result slot
+    holds a :class:`TaskFailure` instead of aborting the run.  The
+    checkpoint is flushed on every exit path.
     """
 
     def __init__(
@@ -287,6 +638,7 @@ class CampaignExecutor:
         self.cache = cache if cache is not None else golden_cache
         #: telemetry of the most recent :meth:`run_tasks` call.
         self.telemetry: Optional[CampaignTelemetry] = None
+        self._events = RunEventLog(None, campaign)
         # cache stats count from executor construction, so golden runs
         # fetched while the campaign pre-draws its parameters show up
         self._cache_hits0 = self.cache.hits
@@ -307,16 +659,27 @@ class CampaignExecutor:
         except (OSError, ValueError):
             return {}
         if (
-            payload.get("campaign") != self.campaign
+            not isinstance(payload, dict)
+            or payload.get("campaign") != self.campaign
             or payload.get("fingerprint") != fingerprint
             or payload.get("n_tasks") != n_tasks
         ):
             return {}
-        return {
-            int(index): result
-            for index, result in payload.get("results", {}).items()
-            if 0 <= int(index) < n_tasks
-        }
+        # a structurally corrupt checkpoint (non-numeric indices,
+        # results that aren't a mapping, mangled failure records) is
+        # discarded like a mismatched one — never crash the campaign
+        try:
+            done: Dict[int, Any] = {}
+            for index, result in payload.get("results", {}).items():
+                i = int(index)
+                if not 0 <= i < n_tasks:
+                    continue
+                if TaskFailure.is_encoded(result):
+                    result = TaskFailure.from_json(result)
+                done[i] = result
+        except (AttributeError, KeyError, TypeError, ValueError):
+            return {}
+        return done
 
     def _flush_checkpoint(
         self, fingerprint: str, n_tasks: int, done: Dict[int, Any]
@@ -328,7 +691,14 @@ class CampaignExecutor:
             "campaign": self.campaign,
             "fingerprint": fingerprint,
             "n_tasks": n_tasks,
-            "results": {str(index): result for index, result in done.items()},
+            "results": {
+                str(index): (
+                    result.to_json()
+                    if isinstance(result, TaskFailure)
+                    else result
+                )
+                for index, result in done.items()
+            },
         }
         tmp = f"{path}.tmp"
         directory = os.path.dirname(os.path.abspath(path))
@@ -336,6 +706,7 @@ class CampaignExecutor:
         with open(tmp, "w", encoding="utf-8") as handle:
             json.dump(payload, handle)
         os.replace(tmp, path)
+        self._events.emit("checkpoint_flush", done=len(done))
 
     # ------------------------------------------------------------------
     # Execution.
@@ -346,59 +717,254 @@ class CampaignExecutor:
         n_tasks: int,
         fingerprint: str = "",
     ) -> List[Any]:
-        """Execute ``runner`` over ``range(n_tasks)``; results in order."""
+        """Execute ``runner`` over ``range(n_tasks)``; results in order.
+
+        Quarantined tasks yield :class:`TaskFailure` entries in the
+        returned list; everything else is the runner's return value.
+        """
         config = self.config
+        done = self._load_checkpoint(fingerprint, n_tasks)
+        pending = [i for i in range(n_tasks) if i not in done]
+        # report the backend actually used: the process backend falls
+        # back to serial when fork is unavailable or the workload is
+        # too small to be worth a pool
         backend = config.resolved_backend()
         if backend == "process" and (
             "fork" not in multiprocessing.get_all_start_methods()
+            or len(pending) <= 1
         ):
-            backend = "serial"  # no fork on this platform
+            backend = "serial"
         telemetry = CampaignTelemetry(
             campaign=self.campaign,
             backend=backend,
             jobs=config.jobs if backend == "process" else 1,
             total_runs=n_tasks,
+            resumed_runs=len(done),
         )
-        done = self._load_checkpoint(fingerprint, n_tasks)
-        telemetry.resumed_runs = len(done)
-        pending = [i for i in range(n_tasks) if i not in done]
+        events = RunEventLog(config.event_log_path, self.campaign)
+        self._events = events
         checkpointing = bool(config.checkpoint_path)
         since_flush = 0
+        attempts: Dict[int, int] = {index: 0 for index in pending}
         started = time.perf_counter()
+        events.emit(
+            "run_start",
+            backend=backend,
+            jobs=telemetry.jobs,
+            total=n_tasks,
+            resumed=len(done),
+        )
 
-        def account(index: int, result: Any, busy: float) -> None:
+        def record(index: int, value: Any) -> None:
             nonlocal since_flush
-            done[index] = result
-            telemetry.executed_runs += 1
-            telemetry.busy_s += busy
+            done[index] = value
             since_flush += 1
             if checkpointing and since_flush >= config.checkpoint_every:
                 self._flush_checkpoint(fingerprint, n_tasks, done)
                 since_flush = 0
 
-        if backend == "process" and len(pending) > 1:
-            global _ACTIVE_RUNNER
-            context = multiprocessing.get_context("fork")
-            chunksize = max(1, len(pending) // (config.jobs * 8))
-            _ACTIVE_RUNNER = runner
-            try:
-                with context.Pool(processes=config.jobs) as pool:
-                    for index, result, busy in pool.imap_unordered(
-                        _pool_task, pending, chunksize=chunksize
-                    ):
-                        account(index, result, busy)
-            finally:
-                _ACTIVE_RUNNER = None
-        else:
-            for index in pending:
-                task_start = time.perf_counter()
-                result = runner(index)
-                account(index, result, time.perf_counter() - task_start)
+        def succeed(index: int, result: Any, busy: float) -> None:
+            telemetry.executed_runs += 1
+            telemetry.busy_s += busy
+            record(index, result)
+            events.emit(
+                "task_finish",
+                index=index,
+                attempt=attempts.get(index, 1),
+                busy_s=round(busy, 6),
+            )
 
-        telemetry.wall_s = time.perf_counter() - started
-        telemetry.cache_hits = self.cache.hits - self._cache_hits0
-        telemetry.cache_misses = self.cache.misses - self._cache_misses0
-        if checkpointing:
-            self._flush_checkpoint(fingerprint, n_tasks, done)
-        self.telemetry = telemetry
+        def quarantine(index: int, kind: str, error: str) -> None:
+            failure = TaskFailure(
+                index=index,
+                kind=kind,
+                error=str(error),
+                attempts=max(attempts.get(index, 1), 1),
+            )
+            telemetry.failures += 1
+            record(index, failure)
+            events.emit(
+                "task_failure",
+                index=index,
+                kind=kind,
+                attempts=failure.attempts,
+                error=failure.error,
+            )
+
+        def fail_attempt(index: int, payload: Dict, busy: float) -> None:
+            """Account one failed attempt; quarantine when exhausted."""
+            telemetry.busy_s += busy
+            kind = payload.get("kind", "exception")
+            if kind == "timeout":
+                telemetry.timeouts += 1
+            events.emit(
+                "task_error",
+                index=index,
+                attempt=attempts[index],
+                kind=kind,
+                error=payload.get("err", ""),
+            )
+            if attempts[index] >= config.retries + 1:
+                quarantine(index, kind, payload.get("err", ""))
+
+        def run_serial(indices: Sequence[int]) -> None:
+            for index in indices:
+                while index not in done:
+                    attempts[index] += 1
+                    attempt = attempts[index]
+                    if attempt > 1:
+                        telemetry.retries += 1
+                        events.emit(
+                            "task_retry", index=index, attempt=attempt
+                        )
+                        time.sleep(_backoff_s(config, attempt))
+                    events.emit("task_start", index=index, attempt=attempt)
+                    _, payload, busy = _execute_attempt(index, attempt)
+                    if "ok" in payload:
+                        succeed(index, payload["ok"], busy)
+                    else:
+                        fail_attempt(index, payload, busy)
+
+        def run_pool(indices: Sequence[int]) -> None:
+            context = multiprocessing.get_context("fork")
+            respawns_left = config.max_pool_respawns
+            watchdog = config.resolved_watchdog()
+            remaining = [i for i in indices if i not in done]
+            pool = context.Pool(processes=config.jobs)
+            try:
+                while remaining:
+                    wave_attempt = 1
+                    for index in remaining:
+                        attempts[index] += 1
+                        wave_attempt = max(wave_attempt, attempts[index])
+                        if attempts[index] > 1:
+                            telemetry.retries += 1
+                            events.emit(
+                                "task_retry",
+                                index=index,
+                                attempt=attempts[index],
+                            )
+                    if wave_attempt > 1:
+                        time.sleep(_backoff_s(config, wave_attempt))
+                    items = [(i, attempts[i]) for i in remaining]
+                    # chunking amortizes pipe traffic, but a lost
+                    # worker loses its whole chunk — dispatch singly
+                    # once per-task timeouts are in play
+                    chunk_n = (
+                        1
+                        if config.task_timeout is not None
+                        else max(1, len(items) // (config.jobs * 8))
+                    )
+                    chunks = [
+                        items[k:k + chunk_n]
+                        for k in range(0, len(items), chunk_n)
+                    ]
+                    iterator = pool.imap_unordered(
+                        _pool_chunk, chunks, chunksize=1
+                    )
+                    broken: Optional[str] = None
+                    received = 0
+                    while received < len(chunks):
+                        try:
+                            results = iterator.next(watchdog)
+                        except StopIteration:
+                            break
+                        except multiprocessing.TimeoutError:
+                            broken = (
+                                f"no result within the {watchdog:.0f} s "
+                                f"watchdog (worker death or wedged pool)"
+                            )
+                            break
+                        except Exception as exc:
+                            broken = (
+                                f"pool failure: "
+                                f"{type(exc).__name__}: {exc}"
+                            )
+                            break
+                        received += 1
+                        for index, payload, busy in results:
+                            if "ok" in payload:
+                                succeed(index, payload["ok"], busy)
+                            else:
+                                fail_attempt(index, payload, busy)
+                    # in-flight tasks of a broken pool were lost; any
+                    # task not done re-enters the next wave until its
+                    # attempt budget runs out
+                    remaining = []
+                    for index in indices:
+                        if index in done:
+                            continue
+                        if attempts[index] >= config.retries + 1:
+                            quarantine(
+                                index,
+                                "lost",
+                                "task lost to a worker or pool failure",
+                            )
+                        else:
+                            remaining.append(index)
+                    if broken is not None:
+                        pool.terminate()
+                        pool.join()
+                        events.emit("pool_broken", reason=broken)
+                        if not remaining:
+                            break
+                        if respawns_left <= 0:
+                            telemetry.degraded = True
+                            events.emit(
+                                "backend_degraded",
+                                reason="pool respawn budget exhausted",
+                                remaining=len(remaining),
+                            )
+                            run_serial(remaining)
+                            return
+                        respawns_left -= 1
+                        telemetry.pool_respawns += 1
+                        pool = context.Pool(processes=config.jobs)
+                        events.emit(
+                            "pool_respawn",
+                            jobs=config.jobs,
+                            remaining=len(remaining),
+                        )
+            finally:
+                pool.terminate()
+                pool.join()
+
+        global _ACTIVE_RUNNER, _ACTIVE_TIMEOUT, _ACTIVE_CHAOS
+        _ACTIVE_RUNNER = runner
+        _ACTIVE_TIMEOUT = config.task_timeout
+        _ACTIVE_CHAOS = _chaos_from_env()
+        status = "ok"
+        try:
+            if backend == "process":
+                run_pool(pending)
+            else:
+                run_serial(pending)
+        except BaseException as exc:  # KeyboardInterrupt included
+            status = type(exc).__name__
+            raise
+        finally:
+            _ACTIVE_RUNNER = None
+            _ACTIVE_TIMEOUT = None
+            _ACTIVE_CHAOS = (None, None)
+            telemetry.wall_s = time.perf_counter() - started
+            telemetry.cache_hits = self.cache.hits - self._cache_hits0
+            telemetry.cache_misses = self.cache.misses - self._cache_misses0
+            # the no-lost-progress guarantee: flush on every exit path
+            if checkpointing:
+                self._flush_checkpoint(fingerprint, n_tasks, done)
+            self.telemetry = telemetry
+            events.emit(
+                "run_end",
+                status=status,
+                executed=telemetry.executed_runs,
+                resumed=telemetry.resumed_runs,
+                retries=telemetry.retries,
+                failures=telemetry.failures,
+                timeouts=telemetry.timeouts,
+                respawns=telemetry.pool_respawns,
+                degraded=telemetry.degraded,
+                wall_s=round(telemetry.wall_s, 3),
+            )
+            events.close()
+            self._events = RunEventLog(None, self.campaign)
         return [done[index] for index in range(n_tasks)]
