@@ -18,9 +18,11 @@ Subcommands
     Run one experiment directly, e.g. ``python -m repro table1
     --jobs 4``.  Accepts ``--scale``, ``--seed``, ``--target``,
     ``--jobs``, ``--resume``, ``--checkpoint-dir``, ``--task-timeout``,
-    ``--retries`` and ``--event-log``; parallel runs are bit-identical
-    to serial ones for the same seed, and failing runs are retried and
-    quarantined instead of aborting the campaign.
+    ``--retries``, ``--event-log``, ``--checkpoint-stride`` and
+    ``--no-fast-forward``; parallel and fast-forwarded runs are
+    bit-identical to serial full-replay ones for the same seed, and
+    failing runs are retried and quarantined instead of aborting the
+    campaign.
 """
 
 from __future__ import annotations
@@ -164,6 +166,8 @@ def _cmd_one_experiment(args: argparse.Namespace) -> int:
         task_timeout=args.task_timeout,
         retries=args.retries,
         event_log=args.event_log,
+        fast_forward=not args.no_fast_forward,
+        checkpoint_stride=args.checkpoint_stride,
     )
     result = EXPERIMENTS[args.command](ctx)
     print(result.render())
@@ -255,6 +259,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         p_one.add_argument(
             "--event-log", default=None, metavar="PATH",
             help="append campaign run events to this JSONL file",
+        )
+        p_one.add_argument(
+            "--checkpoint-stride", type=int, default=None, metavar="N",
+            help="ticks between golden snapshots for fast-forwarded "
+            "injection runs (default: engine default)",
+        )
+        p_one.add_argument(
+            "--no-fast-forward", action="store_true",
+            help="disable the snapshot/fast-forward engine "
+            "(results are bit-identical)",
         )
         p_one.set_defaults(fn=_cmd_one_experiment)
 

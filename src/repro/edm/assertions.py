@@ -137,6 +137,15 @@ class AssertionState:
         self.fire_count = 0
         self.first_fire_tick = None
 
+    def snapshot(self) -> tuple:
+        """(reference value, fire accumulators) for checkpoint capture.
+        Only ``_prev`` influences future evaluations; the accumulators
+        are pure outcome bookkeeping."""
+        return (self._prev, self.fire_count, self.first_fire_tick)
+
+    def restore(self, snapshot: tuple) -> None:
+        self._prev, self.fire_count, self.first_fire_tick = snapshot
+
     # ------------------------------------------------------------------
     def _violates_range(self, value: Number) -> bool:
         spec = self.spec

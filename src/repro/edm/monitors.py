@@ -97,6 +97,53 @@ class MonitorBank:
             state.evaluate(store[state.spec.signal], tick)
 
     # ------------------------------------------------------------------
+    # Checkpointing (fast-forward support).
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, tuple]:
+        """Per-EA state snapshots, for checkpoint capture."""
+        return {name: state.snapshot() for name, state in self._states.items()}
+
+    def restore(self, snapshot: Dict[str, tuple]) -> None:
+        for name, state in self._states.items():
+            state.restore(snapshot[name])
+
+    def resyncable_with(
+        self, at: Dict[str, tuple], final: Dict[str, tuple]
+    ) -> bool:
+        """Whether this bank's future evolution is provably identical
+        to the golden bank's from the checkpoint with snapshot *at*.
+
+        Only each EA's reference value (``_prev``) influences future
+        fire decisions, so matching reference values suffice — the
+        injected run's own fire accumulators ride along.  The one
+        exception: if the *golden* bank fired after the checkpoint
+        (``final`` accumulators differ from ``at``), the merged
+        accumulators are only derivable when this bank's state equals
+        the golden checkpoint state exactly.
+        """
+        for name, state in self._states.items():
+            mine = state.snapshot()
+            if mine[0] != at[name][0]:
+                return False
+            if final[name][1:] != at[name][1:] and mine != at[name]:
+                return False
+        return True
+
+    def fast_forward_to(
+        self, at: Dict[str, tuple], final: Dict[str, tuple]
+    ) -> None:
+        """Jump to run-end state from a checkpoint where
+        :meth:`resyncable_with` held: take the golden final reference
+        values, keep this bank's own fire accumulators (or the golden
+        final ones where the states were exactly equal and golden fired
+        after the checkpoint)."""
+        for name, state in self._states.items():
+            if final[name][1:] != at[name][1:]:
+                state.restore(final[name])
+            else:
+                state.rebase(final[name][0])
+
+    # ------------------------------------------------------------------
     # Results.
     # ------------------------------------------------------------------
     def state(self, ea_name: str) -> AssertionState:

@@ -18,6 +18,9 @@ Options
     budget; exhausted tasks are quarantined instead of aborting.
 ``--event-log PATH``
     Append a JSONL log of campaign run events for forensics.
+``--checkpoint-stride N`` / ``--no-fast-forward``
+    Snapshot engine: distance between golden checkpoints in ticks,
+    and an off switch (results are bit-identical either way).
 ``ids``
     Experiment ids to run (default: all).  Known ids:
     table1 table2 table3 table4 figure3 table5 profiles extended.
@@ -71,6 +74,16 @@ def add_execution_options(parser: argparse.ArgumentParser) -> None:
         help="append campaign run events (task finish/retry/failure, "
         "checkpoint flushes, pool respawns) to this JSONL file",
     )
+    parser.add_argument(
+        "--checkpoint-stride", type=int, default=None, metavar="N",
+        help="ticks between golden snapshots for fast-forwarded "
+        "injection runs (default: engine default)",
+    )
+    parser.add_argument(
+        "--no-fast-forward", action="store_true",
+        help="disable the snapshot/fast-forward engine and simulate "
+        "every injected run from tick 0 (results are bit-identical)",
+    )
 
 
 def context_from_args(args: argparse.Namespace) -> ExperimentContext:
@@ -84,6 +97,8 @@ def context_from_args(args: argparse.Namespace) -> ExperimentContext:
         task_timeout=args.task_timeout,
         retries=args.retries,
         event_log=args.event_log,
+        fast_forward=not args.no_fast_forward,
+        checkpoint_stride=args.checkpoint_stride,
     )
 
 

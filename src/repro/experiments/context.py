@@ -98,6 +98,12 @@ class ExperimentContext:
     before quarantine (``None`` keeps the executor default), and
     *event_log* appends a JSONL record of run events (shared by all
     campaigns of the context; each record carries its campaign name).
+
+    Fast-forward knobs: *fast_forward* toggles the snapshot engine
+    (golden checkpoints + prefix skipping + resynchronization; results
+    are bit-identical either way), *checkpoint_stride* sets the
+    distance between golden checkpoints in ticks (``None`` keeps the
+    engine default).
     """
 
     def __init__(
@@ -111,6 +117,8 @@ class ExperimentContext:
         task_timeout: Optional[float] = None,
         retries: Optional[int] = None,
         event_log: Optional[str] = None,
+        fast_forward: bool = True,
+        checkpoint_stride: Optional[int] = None,
     ):
         if scale not in SCALES:
             raise ExperimentError(
@@ -126,6 +134,8 @@ class ExperimentContext:
         self.task_timeout = task_timeout
         self.retries = retries
         self.event_log = event_log
+        self.fast_forward = fast_forward
+        self.checkpoint_stride = checkpoint_stride
         if resume and checkpoint_dir is None:
             checkpoint_dir = os.path.join(
                 ".repro-checkpoints",
@@ -164,12 +174,15 @@ class ExperimentContext:
         extra = {}
         if self.retries is not None:
             extra["retries"] = self.retries
+        if self.checkpoint_stride is not None:
+            extra["checkpoint_stride"] = self.checkpoint_stride
         return CampaignConfig(
             seed=self.seed,
             jobs=self.jobs,
             checkpoint_path=checkpoint_path,
             task_timeout=self.task_timeout,
             event_log_path=self.event_log,
+            fast_forward=self.fast_forward,
             **extra,
         )
 

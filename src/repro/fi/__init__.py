@@ -51,15 +51,31 @@ from repro.fi.models import (
     ModuleInputFlip,
     PeriodicMemoryFlip,
 )
+from repro.fi.snapshot import (
+    DEFAULT_CHECKPOINT_STRIDE,
+    CheckpointStore,
+    CheckpointTrack,
+    FastForward,
+    FastForwardStats,
+    checkpoint_cache,
+    ff_stats,
+)
 
 __all__ = [
     "CampaignConfig",
     "CampaignExecutor",
     "CampaignTelemetry",
     "CellKind",
+    "CheckpointStore",
+    "CheckpointTrack",
     "CoverageTriple",
+    "FastForward",
+    "FastForwardStats",
     "GoldenRunCache",
+    "checkpoint_cache",
+    "ff_stats",
     "golden_cache",
+    "DEFAULT_CHECKPOINT_STRIDE",
     "DEFAULT_PERIOD_TICKS",
     "DetectionCampaign",
     "DetectionResult",

@@ -75,6 +75,7 @@ from repro.fi.models import (
     ModuleInputFlip,
     PeriodicMemoryFlip,
 )
+from repro.fi.snapshot import FastForward
 from repro.target.testcases import TestCase
 
 __all__ = [
@@ -144,6 +145,23 @@ def _target_label(factory) -> str:
     if isinstance(name, str):
         return name
     return getattr(factory, "__qualname__", type(factory).__name__)
+
+
+def _preload_tracks(
+    ff: FastForward, tasks: Sequence[Tuple], case_of, tick_of
+) -> None:
+    """Record the checkpoint tracks a task list will need, up front.
+
+    Runs in the campaign's serial pre-draw phase — before the process
+    pool forks — so workers inherit the tracks through copy-on-write
+    instead of each recording their own.
+    """
+    needed: Dict[int, Any] = {}
+    for task in tasks:
+        if ff.wants_track(tick_of(task)):
+            test_case = case_of(task)
+            needed.setdefault(test_case.case_id, test_case)
+    ff.preload(list(needed.values()))
 
 
 def _collect_failures(results: Sequence[Any]) -> List[TaskFailure]:
@@ -223,6 +241,9 @@ class PermeabilityCampaign:
         self.goldens = golden_cache.store_for(
             _target_label(factory), self.factory
         )
+        self._ff = FastForward(
+            self.factory, _target_label(factory), config=config,
+        )
         self.telemetry: Optional[CampaignTelemetry] = None
 
     def run(self) -> PermeabilityEstimate:
@@ -254,6 +275,9 @@ class PermeabilityCampaign:
                         (module.name, in_port, test_case, from_tick, bit)
                     )
                     task_pair.append(key_in)
+        _preload_tracks(
+            self._ff, tasks, case_of=lambda t: t[2], tick_of=lambda t: t[3]
+        )
 
         # Phase 2: execute the pure per-run function over the tasks.
         def runner(index: int) -> Optional[List[str]]:
@@ -310,13 +334,17 @@ class PermeabilityCampaign:
         not applied before the run ended).
         """
         golden = self.goldens.get(test_case)
-        simulator = self.factory(test_case)
+        simulator, _, arm = self._ff.launch(test_case, from_tick)
         mod = simulator.system.module(module)
         injector = FaultInjector(
             ModuleInputFlip(module, in_port, from_tick, bit)
         ).attach(simulator)
         log = InvocationLog([module]).attach(simulator)
-        simulator.record_traces = False
+        # a fast-forwarded run never executed the prefix, so seed its
+        # log with the golden invocations before the resume tick to
+        # keep the lock-step comparison aligned
+        log.prime(golden.invocations, simulator.executor.tick)
+        arm(injector)
         result = simulator.run()
         if not injector.injected:
             return None
@@ -502,6 +530,10 @@ class DetectionCampaign:
         self.goldens = golden_cache.store_for(
             _target_label(factory), self.factory
         )
+        self._ff = FastForward(
+            self.factory, _target_label(factory), config=config,
+            bank_specs=self.specs,
+        )
         self.telemetry: Optional[CampaignTelemetry] = None
 
     def run(self) -> DetectionResult:
@@ -524,6 +556,9 @@ class DetectionCampaign:
                 tick = self.rng.randrange(0, golden.completion_tick)
                 bit = self.rng.randrange(0, width)
                 tasks.append((target, test_case, tick, bit))
+        _preload_tracks(
+            self._ff, tasks, case_of=lambda t: t[1], tick_of=lambda t: t[2]
+        )
 
         # Phase 2: execute.
         def runner(index: int) -> Any:
@@ -587,12 +622,11 @@ class DetectionCampaign:
         completion (not an error); otherwise a dict with the fired EA
         names and their latencies.
         """
-        simulator = self.factory(test_case)
-        simulator.record_traces = False
+        simulator, bank, arm = self._ff.launch(test_case, tick)
         injector = FaultInjector(
             InputSignalFlip(target, tick, bit)
         ).attach(simulator)
-        bank = MonitorBank(self.specs).attach(simulator)
+        arm(injector)
         result = simulator.run()
         if not injector.injected:
             return "inactive"
@@ -831,6 +865,10 @@ class RecoveryCampaign:
     ) -> Optional[Dict[str, Any]]:
         from repro.edm.recovery import RecoveringMonitorBank
 
+        # no fast-forward here: the recovering bank rewrites store
+        # values (the run is not a pure function of the golden prefix),
+        # and the periodic injection starts within the first period
+        # anyway, so there is no redundant prefix to skip
         spec = PeriodicMemoryFlip(
             location, bit,
             period_ticks=self.period_ticks, start_tick=phase,
@@ -888,6 +926,14 @@ class MemoryCampaign:
         self.rng = random.Random(self.seed)
         self.config = config
         self._locations = list(locations) if locations is not None else None
+        # periodic flips never quiesce, so only the prefix before the
+        # first period boundary can be skipped; with the default period
+        # (20 ticks) every phase lands before the first checkpoint and
+        # the engine stays entirely out of the way
+        self._ff = FastForward(
+            self.factory, _target_label(factory), config=config,
+            bank_specs=self.specs, resync=False,
+        )
         self.telemetry: Optional[CampaignTelemetry] = None
 
     def run(self) -> MemoryCampaignResult:
@@ -910,6 +956,9 @@ class MemoryCampaign:
                 # would always be overwritten before anyone reads them
                 phase = self.rng.randrange(0, self.period_ticks)
                 tasks.append((location, test_case, bit, phase))
+        _preload_tracks(
+            self._ff, tasks, case_of=lambda t: t[1], tick_of=lambda t: t[3]
+        )
 
         # Phase 2: execute.
         def runner(index: int) -> Optional[Dict[str, Any]]:
@@ -953,8 +1002,7 @@ class MemoryCampaign:
         bit: int,
         phase: int,
     ) -> Optional[Dict[str, Any]]:
-        simulator = self.factory(test_case)
-        simulator.record_traces = False
+        simulator, bank, _ = self._ff.launch(test_case, phase)
         injector = FaultInjector(
             PeriodicMemoryFlip(
                 location,
@@ -963,7 +1011,6 @@ class MemoryCampaign:
                 start_tick=phase,
             )
         ).attach(simulator)
-        bank = MonitorBank(self.specs).attach(simulator)
         result = simulator.run()
         if not injector.injected:
             return None

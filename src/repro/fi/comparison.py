@@ -22,6 +22,7 @@ graph.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set
 
@@ -110,9 +111,10 @@ class PropagationTimeline:
             if origin is not None and origin in predecessors:
                 continue
             explained = any(
-                other.signal in predecessors
-                and other.tick <= divergence.tick
-                for other in self.divergences
+                other is not None and other.tick <= divergence.tick
+                for other in (
+                    self._by_signal.get(pred) for pred in predecessors
+                )
             )
             if not explained:
                 problems.append(signal)
@@ -163,9 +165,8 @@ def compare_runs(
 
 def _value_at(traces: SignalTraces, signal: str, tick: int):
     """The value written at *tick* (or the nearest earlier write)."""
-    last = None
-    for write_tick, value in traces.stream(signal):
-        if write_tick > tick:
-            break
-        last = value
-    return last
+    ticks = traces.ticks_of(signal)
+    idx = bisect_right(ticks, tick)
+    if not idx:
+        return None
+    return traces.values_of(signal)[idx - 1]

@@ -87,6 +87,7 @@ from typing import (
 
 from repro.errors import CampaignError
 from repro.fi.golden import GoldenRun, GoldenRunStore
+from repro.fi.snapshot import DEFAULT_CHECKPOINT_STRIDE, ff_stats
 
 __all__ = [
     "BACKENDS",
@@ -148,6 +149,11 @@ class CampaignConfig:
     pool_watchdog_s: Optional[float] = None
     #: JSONL run-event log; ``None`` disables event logging.
     event_log_path: Optional[str] = None
+    #: ticks between golden checkpoints for fast-forwarded runs.
+    checkpoint_stride: int = DEFAULT_CHECKPOINT_STRIDE
+    #: restore golden checkpoints instead of re-simulating the prefix
+    #: (bit-identical either way; off = always simulate from tick 0).
+    fast_forward: bool = True
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
@@ -179,6 +185,11 @@ class CampaignConfig:
             raise CampaignError(
                 f"pool_watchdog_s must be positive, "
                 f"got {self.pool_watchdog_s}"
+            )
+        if self.checkpoint_stride < 1:
+            raise CampaignError(
+                f"checkpoint_stride must be >= 1, "
+                f"got {self.checkpoint_stride}"
             )
 
     def resolved_backend(self) -> str:
@@ -331,6 +342,15 @@ class CampaignTelemetry:
     #: True once the pool could not be rebuilt and the remaining
     #: tasks ran on the serial backend.
     degraded: bool = False
+    #: injected runs started from a restored golden checkpoint.
+    ff_restores: int = 0
+    #: injected runs that reconverged with the golden run and exited
+    #: early (suffix skipped).
+    ff_resyncs: int = 0
+    #: simulation ticks skipped by fast-forwarding (prefix + suffix).
+    ff_ticks_saved: int = 0
+    #: checkpoint tracks recorded (one extra golden-style run each).
+    ff_tracks: int = 0
 
     @property
     def runs_per_sec(self) -> float:
@@ -365,6 +385,12 @@ class CampaignTelemetry:
             f" / {self.cache_misses} miss"
             f" ({self.cache_hit_rate:.0%})"
         )
+        if self.ff_restores or self.ff_resyncs or self.ff_tracks:
+            text += (
+                f" | fast-forward {self.ff_ticks_saved} ticks saved"
+                f" ({self.ff_restores} restores, {self.ff_resyncs} resyncs,"
+                f" {self.ff_tracks} tracks)"
+            )
         if self.faulted:
             text += (
                 f" | retries={self.retries} failures={self.failures}"
@@ -563,12 +589,22 @@ def _execute_attempt(index: int, attempt: int) -> Tuple[int, Dict, float]:
     """One attempt of one task; errors become in-band payloads."""
     started = time.perf_counter()
     fail_index, _ = _ACTIVE_CHAOS
+    ff_before = ff_stats.as_tuple()
     try:
         if fail_index is not None and index == fail_index and attempt == 1:
             raise RuntimeError(f"chaos: injected failure at task {index}")
         with _task_alarm(_ACTIVE_TIMEOUT):
             result = _ACTIVE_RUNNER(index)  # type: ignore[misc]
         payload: Dict[str, Any] = {"ok": result}
+        # fast-forward savings travel beside the result — never inside
+        # it, so checkpoints and aggregates stay bit-identical whether
+        # fast-forwarding is on or off
+        ff_delta = tuple(
+            after - before
+            for before, after in zip(ff_before, ff_stats.as_tuple())
+        )
+        if any(ff_delta):
+            payload["ff"] = ff_delta
     except _TaskTimeout:
         payload = {
             "err": f"timed out after {_ACTIVE_TIMEOUT:g} s",
@@ -639,10 +675,12 @@ class CampaignExecutor:
         #: telemetry of the most recent :meth:`run_tasks` call.
         self.telemetry: Optional[CampaignTelemetry] = None
         self._events = RunEventLog(None, campaign)
-        # cache stats count from executor construction, so golden runs
-        # fetched while the campaign pre-draws its parameters show up
+        # cache and fast-forward stats count from executor
+        # construction, so golden runs and checkpoint tracks built
+        # while the campaign pre-draws its parameters show up
         self._cache_hits0 = self.cache.hits
         self._cache_misses0 = self.cache.misses
+        self._ff0 = ff_stats.as_tuple()
 
     # ------------------------------------------------------------------
     # Checkpointing.
@@ -763,10 +801,24 @@ class CampaignExecutor:
                 self._flush_checkpoint(fingerprint, n_tasks, done)
                 since_flush = 0
 
-        def succeed(index: int, result: Any, busy: float) -> None:
+        def absorb_ff(ff_delta: Optional[Tuple[int, ...]]) -> None:
+            """Fold a pool worker's fast-forward delta into telemetry.
+
+            Only pool results are absorbed this way: in-process work
+            (serial tasks, degraded tasks, track preloads) mutates the
+            parent's ``ff_stats`` directly and is accounted once, as
+            the process-wide delta, when the run finishes.
+            """
+            if ff_delta:
+                telemetry.ff_restores += ff_delta[0]
+                telemetry.ff_resyncs += ff_delta[1]
+                telemetry.ff_ticks_saved += ff_delta[2]
+                telemetry.ff_tracks += ff_delta[3]
+
+        def succeed(index: int, payload: Dict, busy: float) -> None:
             telemetry.executed_runs += 1
             telemetry.busy_s += busy
-            record(index, result)
+            record(index, payload["ok"])
             events.emit(
                 "task_finish",
                 index=index,
@@ -821,7 +873,7 @@ class CampaignExecutor:
                     events.emit("task_start", index=index, attempt=attempt)
                     _, payload, busy = _execute_attempt(index, attempt)
                     if "ok" in payload:
-                        succeed(index, payload["ok"], busy)
+                        succeed(index, payload, busy)
                     else:
                         fail_attempt(index, payload, busy)
 
@@ -884,7 +936,8 @@ class CampaignExecutor:
                         received += 1
                         for index, payload, busy in results:
                             if "ok" in payload:
-                                succeed(index, payload["ok"], busy)
+                                absorb_ff(payload.get("ff"))
+                                succeed(index, payload, busy)
                             else:
                                 fail_attempt(index, payload, busy)
                     # in-flight tasks of a broken pool were lost; any
@@ -949,6 +1002,14 @@ class CampaignExecutor:
             telemetry.wall_s = time.perf_counter() - started
             telemetry.cache_hits = self.cache.hits - self._cache_hits0
             telemetry.cache_misses = self.cache.misses - self._cache_misses0
+            ff_now = ff_stats.as_tuple()
+            absorb_ff(
+                tuple(
+                    after - before
+                    for before, after in zip(self._ff0, ff_now)
+                )
+            )
+            self._ff0 = ff_now
             # the no-lost-progress guarantee: flush on every exit path
             if checkpointing:
                 self._flush_checkpoint(fingerprint, n_tasks, done)

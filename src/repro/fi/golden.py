@@ -25,6 +25,7 @@ This module provides:
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -86,6 +87,26 @@ class InvocationLog:
 
     def stream(self, module: str) -> List[Invocation]:
         return self._streams.get(module, [])
+
+    def prime(self, source: "InvocationLog", before_tick: int) -> None:
+        """Seed this log with *source*'s invocations strictly before
+        *before_tick*.
+
+        A fast-forwarded run skips the golden prefix, so its own log
+        starts at the restored checkpoint; priming with the golden
+        log's prefix keeps the lock-step golden comparison aligned.
+        Entries are copied (slices of immutable tuples) — *source*
+        stays untouched.
+        """
+        if before_tick <= 0:
+            return
+        for module in self._port_order:
+            entries = source._streams.get(module)
+            if not entries:
+                continue
+            cut = bisect_left(entries, before_tick, key=lambda e: e[0])
+            if cut:
+                self._streams[module] = entries[:cut]
 
     def modules(self) -> List[str]:
         return list(self._streams)

@@ -129,6 +129,17 @@ class FaultInjector:
     def first_injection_tick(self) -> Optional[int]:
         return self.events[0].tick if self.events else None
 
+    @property
+    def ff_quiescent(self) -> bool:
+        """Whether this injector can no longer perturb the run: its
+        one-shot flip has been applied and nothing is armed.  Periodic
+        specs never quiesce, so fast-forward resynchronization (which
+        requires a provably undisturbed future) stays disabled for
+        them."""
+        if isinstance(self.spec, PeriodicMemoryFlip):
+            return False
+        return self._done and not self._armed
+
     def _record(self, tick: int, target: str, before: Number, after: Number) -> None:
         self.events.append(InjectionEvent(tick, target, before, after))
 

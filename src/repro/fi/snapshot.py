@@ -1,0 +1,434 @@
+"""Snapshot/fast-forward engine for deterministic simulators.
+
+An injected run is bit-identical to the golden run until its injection
+tick, so re-simulating that prefix from tick 0 is pure redundancy —
+and for one-shot flips whose disturbance dies out, the *suffix* after
+the last divergence is redundant too.  This module eliminates both:
+
+* **Checkpoint tracks.**  While (re-)running a test case's golden
+  simulation, :class:`CheckpointStore` records a
+  :class:`~repro.target.simulation.SimulatorState` every
+  ``checkpoint_stride`` ticks (plus the final state and the golden
+  traces).  Tracks live in a process-wide, LRU-bounded, single-flight
+  cache beside the golden-run cache, and forked pool workers inherit
+  them pre-warmed.
+* **Prefix fast-forward.**  :meth:`FastForward.launch` builds the
+  injected run's simulator already restored to the nearest checkpoint
+  at-or-before the injection tick; only the remaining ticks are
+  simulated.  Restoration covers the full closed loop — signal store,
+  module locals, plant, sensor registers, classifier accumulators,
+  loop bookkeeping — so the result is bit-identical to a
+  full-from-tick-0 run.
+* **Golden resynchronization.**  For a quiescent one-shot injector
+  (flip applied, nothing armed), a top-of-tick probe compares the
+  simulator state against the golden checkpoint at each stride
+  boundary.  On an exact match the run's future is provably identical
+  to the golden run's (the simulators are deterministic functions of
+  their state), so the probe restores the golden *final* state,
+  fast-forwards the monitor bank, and stops the run — skipping the
+  entire remaining suffix.  Persistently corrupted state (disturbed
+  counter registers) never matches, and such runs simply simulate to
+  the end.
+
+Both mechanisms preserve results bit-for-bit; they only trade redundant
+simulation for snapshot comparisons.  ``ff_stats`` counts restores,
+resynchronizations and skipped ticks; the campaign executor folds the
+per-task deltas into :class:`~repro.fi.executor.CampaignTelemetry`.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Sequence, Tuple
+
+from repro.edm.monitors import MonitorBank
+from repro.errors import CampaignError
+from repro.target.simulation import SignalTraces, SimulatorState
+
+__all__ = [
+    "DEFAULT_CHECKPOINT_STRIDE",
+    "CheckpointTrack",
+    "CheckpointStore",
+    "FastForward",
+    "FastForwardStats",
+    "checkpoint_cache",
+    "ff_stats",
+]
+
+#: default distance between golden checkpoints, in ticks.  Denser
+#: strides shorten the simulated remainder per injected run (less
+#: wasted prefix below the injection tick, earlier resynchronization
+#: exits) but grow the per-case track (one full closed-loop snapshot
+#: per checkpoint) and the number of resynchronization probes.
+DEFAULT_CHECKPOINT_STRIDE = 64
+
+
+# ======================================================================
+# Statistics.
+# ======================================================================
+class FastForwardStats:
+    """Process-local fast-forward counters.
+
+    Kept module-global (not per-campaign) so forked pool workers can
+    account their savings into a plain object; the executor snapshots
+    the counters around each task and ships the delta home with the
+    task result.
+    """
+
+    __slots__ = ("restores", "resyncs", "ticks_skipped", "tracks_recorded")
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self.restores = 0
+        self.resyncs = 0
+        self.ticks_skipped = 0
+        self.tracks_recorded = 0
+
+    def as_tuple(self) -> Tuple[int, int, int, int]:
+        return (
+            self.restores,
+            self.resyncs,
+            self.ticks_skipped,
+            self.tracks_recorded,
+        )
+
+
+#: the process-wide counters used by all fast-forward machinery.
+ff_stats = FastForwardStats()
+
+
+# ======================================================================
+# Checkpoint tracks.
+# ======================================================================
+@dataclass
+class CheckpointTrack:
+    """Everything recorded along one test case's golden run.
+
+    ``states`` maps checkpoint tick (multiples of ``stride``) to the
+    full simulator state at the top of that tick; ``final_state`` is
+    the state right after the golden run's last tick.  When the track
+    was recorded with a monitor bank attached, ``bank_states`` and
+    ``bank_final`` carry the bank's per-checkpoint/final snapshots so
+    fast-forwarded runs restore consistent EA reference values.
+    """
+
+    stride: int
+    states: Dict[int, SimulatorState]
+    final_state: SimulatorState
+    traces: SignalTraces
+    end_ticks: int
+    bank_states: Optional[Dict[int, Dict[str, tuple]]] = None
+    bank_final: Optional[Dict[str, tuple]] = None
+
+    def nearest(self, tick: int) -> SimulatorState:
+        """The checkpoint at-or-before *tick* (tick 0 always exists)."""
+        checkpoint = (tick // self.stride) * self.stride
+        while checkpoint > 0 and checkpoint not in self.states:
+            checkpoint -= self.stride
+        return self.states[checkpoint]
+
+
+def record_track(
+    factory,
+    test_case,
+    stride: int,
+    bank_specs: Optional[Sequence] = None,
+) -> CheckpointTrack:
+    """Run one golden simulation, capturing checkpoints every *stride*
+    ticks.  A monitor bank built from *bank_specs* rides along (it only
+    observes the store, never perturbs the run), so campaigns that
+    carry a bank get matching bank snapshots.
+
+    The track run records no signal traces: injected runs restore with
+    ``restore_traces=False`` (they never record traces themselves), so
+    trace recording here would only slow the recording run down.
+    ``track.traces`` is therefore empty; callers that need prefix
+    splicing capture their own states from a trace-recording simulator.
+    """
+    if stride < 1:
+        raise CampaignError(f"checkpoint stride must be >= 1, got {stride}")
+    simulator = factory(test_case)
+    simulator.record_traces = False
+    bank = (
+        MonitorBank(list(bank_specs)).attach(simulator)
+        if bank_specs is not None
+        else None
+    )
+    states: Dict[int, SimulatorState] = {}
+    bank_states: Optional[Dict[int, Dict[str, tuple]]] = (
+        {} if bank is not None else None
+    )
+
+    def probe(tick: int) -> bool:
+        if tick % stride == 0:
+            states[tick] = simulator.capture_state()
+            if bank is not None:
+                bank_states[tick] = bank.snapshot()
+        return False
+
+    simulator.set_tick_probe(probe)
+    result = simulator.run()
+    simulator.set_tick_probe(None)
+    ff_stats.tracks_recorded += 1
+    return CheckpointTrack(
+        stride=stride,
+        states=states,
+        final_state=simulator.capture_state(),
+        traces=simulator.traces,
+        end_ticks=result.ticks_run,
+        bank_states=bank_states,
+        bank_final=bank.snapshot() if bank is not None else None,
+    )
+
+
+# ======================================================================
+# The process-wide track cache.
+# ======================================================================
+class CheckpointStore:
+    """Process-wide checkpoint-track cache with single-flight
+    computation, mirroring :class:`~repro.fi.executor.GoldenRunCache`.
+
+    Keyed by (target, factory, case id, stride, bank signature): two
+    factories — or two assertion banks — never alias.  The store holds
+    a strong reference to each factory while any of its tracks are
+    cached.  Bounded LRU: tracks are an order of magnitude heavier than
+    golden runs (dozens of full-state snapshots each), so the default
+    bound is smaller.
+    """
+
+    def __init__(self, max_tracks: int = 128) -> None:
+        if max_tracks < 1:
+            raise CampaignError(f"max_tracks must be >= 1, got {max_tracks}")
+        self.max_tracks = max_tracks
+        self._tracks: "OrderedDict[Tuple, CheckpointTrack]" = OrderedDict()
+        self._flight: Dict[Tuple, threading.Lock] = {}
+        self._factories: Dict[int, Any] = {}
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._tracks)
+
+    @staticmethod
+    def _bank_key(bank_specs: Optional[Sequence]) -> Optional[Tuple]:
+        # dataclass reprs capture every spec parameter — banks with
+        # equal names but different thresholds never alias
+        if bank_specs is None:
+            return None
+        return tuple(repr(spec) for spec in bank_specs)
+
+    def get(
+        self,
+        target: str,
+        factory,
+        test_case,
+        stride: int,
+        bank_specs: Optional[Sequence] = None,
+    ) -> CheckpointTrack:
+        key = (
+            target,
+            id(factory),
+            test_case.case_id,
+            stride,
+            self._bank_key(bank_specs),
+        )
+        with self._lock:
+            track = self._tracks.get(key)
+            if track is not None:
+                self._tracks.move_to_end(key)
+                self.hits += 1
+                return track
+            flight = self._flight.setdefault(key, threading.Lock())
+        with flight:
+            with self._lock:
+                track = self._tracks.get(key)
+                if track is not None:
+                    self._tracks.move_to_end(key)
+                    self._flight.pop(key, None)
+                    self.hits += 1
+                    return track
+                self._factories[id(factory)] = factory
+            track = record_track(factory, test_case, stride, bank_specs)
+            with self._lock:
+                self._tracks[key] = track
+                self.misses += 1
+                self._flight.pop(key, None)
+                self._evict_locked()
+            return track
+
+    def _evict_locked(self) -> None:
+        while len(self._tracks) > self.max_tracks:
+            (_, factory_id, _, _, _), _ = self._tracks.popitem(last=False)
+            if not any(k[1] == factory_id for k in self._tracks):
+                self._factories.pop(factory_id, None)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._tracks.clear()
+            self._flight.clear()
+            self._factories.clear()
+            self.hits = 0
+            self.misses = 0
+
+
+#: the default process-wide track cache used by all campaign drivers.
+checkpoint_cache = CheckpointStore()
+
+
+# ======================================================================
+# The per-campaign coordinator.
+# ======================================================================
+#: full-capture comparison failures tolerated before a run's resync
+#: probe uninstalls itself.  A reconverging transient matches within
+#: the first boundary or two after it dies out; state that is still
+#: diverged after this many full comparisons is effectively persistent
+#: (a disturbed counter register), and further probing is pure cost.
+_RESYNC_GIVE_UP = 8
+
+
+class _ResyncWatcher:
+    """Top-of-tick probe that exits an injected run early once its
+    state provably reconverged with the golden run."""
+
+    __slots__ = ("simulator", "bank", "injector", "track", "attempts")
+
+    def __init__(self, simulator, bank, injector, track: CheckpointTrack):
+        self.simulator = simulator
+        self.bank = bank
+        self.injector = injector
+        self.track = track
+        self.attempts = 0
+
+    def probe(self, tick: int) -> bool:
+        track = self.track
+        if tick % track.stride or tick == 0:
+            return False
+        if not self.injector.ff_quiescent:
+            return False
+        golden = track.states.get(tick)
+        if golden is None:
+            return False
+        # cheap gate first: a persistently corrupted sensor register
+        # (the common non-reconverging case) fails this small dict
+        # comparison, sparing the full closed-loop capture below
+        if self.simulator.sensors.snapshot() != golden.sensors:
+            return False
+        if not self.simulator.capture_state().matches(golden):
+            self.attempts += 1
+            if self.attempts >= _RESYNC_GIVE_UP:
+                # diverged-but-sensor-identical state this persistent
+                # will not reconverge; stop probing (the run simply
+                # simulates to its end, still bit-identical)
+                self.simulator.set_tick_probe(None)
+            return False
+        bank = self.bank
+        if bank is not None:
+            at = track.bank_states[tick]
+            final = track.bank_final
+            if not bank.resyncable_with(at, final):
+                return False
+            bank.fast_forward_to(at, final)
+        # deterministic simulator + identical state + quiescent injector
+        # => the remaining trajectory is the golden run's, verbatim
+        self.simulator.restore_state(track.final_state, restore_traces=False)
+        ff_stats.resyncs += 1
+        ff_stats.ticks_skipped += max(0, track.end_ticks - tick)
+        return True
+
+
+def _noop_arm(injector) -> None:
+    return None
+
+
+class FastForward:
+    """One campaign's handle on the fast-forward machinery.
+
+    ``launch(test_case, from_tick)`` replaces the campaign's
+    ``factory(test_case)`` call for an injected run: it returns a
+    simulator already restored to the nearest golden checkpoint
+    at-or-before *from_tick* (traces off, as in all injected runs), a
+    monitor bank consistent with that state when the campaign carries
+    one, and an ``arm(injector)`` callable that installs the
+    resynchronization probe once the run's injector exists.
+
+    ``resync=False`` (periodic error models, which never quiesce)
+    limits the engine to prefix skipping; runs whose injection tick
+    precedes the first non-trivial checkpoint bypass the engine
+    entirely, so campaigns stay bit-identical — and overhead-free —
+    where fast-forwarding cannot help.
+    """
+
+    def __init__(
+        self,
+        factory,
+        target: str,
+        config=None,
+        bank_specs: Optional[Sequence] = None,
+        resync: bool = True,
+        store: Optional[CheckpointStore] = None,
+    ):
+        self.factory = factory
+        self.target = target
+        self.bank_specs = list(bank_specs) if bank_specs is not None else None
+        self.resync = resync
+        self.store = store if store is not None else checkpoint_cache
+        stride = getattr(config, "checkpoint_stride", None)
+        self.stride = stride if stride else DEFAULT_CHECKPOINT_STRIDE
+        self.enabled = bool(getattr(config, "fast_forward", True))
+
+    def wants_track(self, from_tick: int) -> bool:
+        """Whether an injection at *from_tick* benefits from a track
+        (a non-trivial prefix to skip, or a suffix to resync away)."""
+        return self.enabled and (self.resync or from_tick >= self.stride)
+
+    def preload(self, test_cases: Sequence) -> None:
+        """Record the tracks for *test_cases* up front (pre-fork, so
+        pool workers inherit them through copy-on-write)."""
+        if not self.enabled:
+            return
+        for test_case in test_cases:
+            self.store.get(
+                self.target, self.factory, test_case,
+                self.stride, self.bank_specs,
+            )
+
+    def launch(
+        self, test_case, from_tick: int
+    ) -> Tuple[Any, Optional[MonitorBank], Callable[[Any], None]]:
+        """Build the simulator (and bank) for one injected run."""
+        if not self.wants_track(from_tick):
+            simulator = self.factory(test_case)
+            simulator.record_traces = False
+            return simulator, self._fresh_bank(simulator), _noop_arm
+        track = self.store.get(
+            self.target, self.factory, test_case, self.stride, self.bank_specs
+        )
+        checkpoint = track.nearest(from_tick)
+        simulator = self.factory(test_case)
+        simulator.record_traces = False
+        if checkpoint.tick:
+            simulator.restore_state(checkpoint, restore_traces=False)
+            ff_stats.restores += 1
+            ff_stats.ticks_skipped += checkpoint.tick
+        bank = self._fresh_bank(simulator)
+        if bank is not None and checkpoint.tick:
+            bank.restore(track.bank_states[checkpoint.tick])
+        if not self.resync:
+            return simulator, bank, _noop_arm
+
+        def arm(injector) -> None:
+            watcher = _ResyncWatcher(simulator, bank, injector, track)
+            simulator.set_tick_probe(watcher.probe)
+
+        return simulator, bank, arm
+
+    def _fresh_bank(self, simulator) -> Optional[MonitorBank]:
+        if self.bank_specs is None:
+            return None
+        return MonitorBank(list(self.bank_specs)).attach(simulator)

@@ -334,6 +334,12 @@ class SignalStore:
     def snapshot(self) -> Dict[str, Number]:
         return dict(self._values)
 
+    def restore(self, snapshot: Dict[str, Number]) -> None:
+        """Overwrite every value from a :meth:`snapshot` of the same
+        system.  Values bypass re-quantization: a snapshot only ever
+        holds already-quantized values."""
+        self._values = dict(snapshot)
+
 
 class SlotSchedule:
     """Slot-based, non-preemptive schedule.

@@ -69,6 +69,15 @@ class FailureClassifier:
         if state.distance_m > C.MAX_STOPPING_DISTANCE_M:
             self._mark(FailureKind.DISTANCE)
 
+    def snapshot(self) -> Tuple[Tuple[FailureKind, ...], float]:
+        """Violation accumulators, for checkpoint capture."""
+        return (tuple(self._kinds), self._peak_retardation_ms2)
+
+    def restore(self, snapshot: Tuple[Tuple[FailureKind, ...], float]) -> None:
+        kinds, peak = snapshot
+        self._kinds = list(kinds)
+        self._peak_retardation_ms2 = peak
+
     def verdict(self, arrested: bool) -> FailureVerdict:
         """Final verdict; a run that never arrested failed by distance."""
         kinds = list(self._kinds)

@@ -61,3 +61,18 @@ class SensorSuite:
         self.adc = 0
         self.total_pulses = 0
         self._pulse_mirror = 0
+
+    def snapshot(self) -> dict:
+        """Every register (incl. the pulse mirror), for checkpoint capture."""
+        return {
+            "tcnt": self.tcnt,
+            "pacnt": self.pacnt,
+            "tic1": self.tic1,
+            "adc": self.adc,
+            "total_pulses": self.total_pulses,
+            "_pulse_mirror": self._pulse_mirror,
+        }
+
+    def restore(self, snapshot: dict) -> None:
+        for name, value in snapshot.items():
+            setattr(self, name, value)

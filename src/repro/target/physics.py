@@ -78,3 +78,22 @@ class ArrestmentPlant:
         self.state = PlantState(velocity_ms=self.engaging_velocity_ms)
         self.peak_force_n = 0.0
         self.peak_retardation_ms2 = 0.0
+
+    def snapshot(self) -> dict:
+        """Plant state plus peak accumulators, for checkpoint capture."""
+        state = self.state
+        return {
+            "velocity_ms": state.velocity_ms,
+            "distance_m": state.distance_m,
+            "pressure_pa": state.pressure_pa,
+            "force_n": state.force_n,
+            "retardation_ms2": state.retardation_ms2,
+            "peak_force_n": self.peak_force_n,
+            "peak_retardation_ms2": self.peak_retardation_ms2,
+        }
+
+    def restore(self, snapshot: dict) -> None:
+        values = dict(snapshot)
+        self.peak_force_n = values.pop("peak_force_n")
+        self.peak_retardation_ms2 = values.pop("peak_retardation_ms2")
+        self.state = PlantState(**values)

@@ -7,12 +7,20 @@ pressure back to the plant, and classifies the outcome.  Hooks expose
 every marshaling, local write, and invocation to the fault injector;
 :class:`SignalTraces` records the per-signal write streams that the
 golden-run comparison diffs.
+
+The simulator is checkpointable: :meth:`ArrestmentSimulator.capture_state`
+freezes the full closed loop (store, module locals, plant, registers,
+classifier accumulators, loop bookkeeping) at the top of a tick and
+:meth:`ArrestmentSimulator.restore_state` resumes from it
+bit-identically — the substrate of the fast-forward engine in
+``repro.fi.snapshot``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from bisect import bisect_left
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.model.signal import Number
 from repro.model.system import (
@@ -29,24 +37,92 @@ from repro.target.physics import ArrestmentPlant
 from repro.target.testcases import TestCase
 from repro.target.wiring import build_arrestment_system
 
-__all__ = ["SignalTraces", "ArrestmentResult", "ArrestmentSimulator"]
+__all__ = [
+    "SignalTraces",
+    "SimulatorState",
+    "ArrestmentResult",
+    "ArrestmentSimulator",
+]
+
+_EMPTY: Tuple = ()
 
 
 class SignalTraces:
-    """Per-signal streams of (tick, value) writes."""
+    """Per-signal streams of (tick, value) writes.
+
+    Stored as parallel tick/value arrays per signal, so the golden-run
+    comparison can diff whole streams at C speed without materializing
+    pair lists, and the fast-forward engine can splice golden prefixes
+    and suffixes by index (ticks within one stream are nondecreasing).
+    """
+
+    __slots__ = ("_ticks", "_values")
 
     def __init__(self) -> None:
-        self._streams: Dict[str, List[Tuple[int, Number]]] = {}
+        self._ticks: Dict[str, List[int]] = {}
+        self._values: Dict[str, List[Number]] = {}
 
     def record(self, signal: str, tick: int, value: Number) -> None:
-        self._streams.setdefault(signal, []).append((tick, value))
+        ticks = self._ticks.get(signal)
+        if ticks is None:
+            ticks = self._ticks[signal] = []
+            self._values[signal] = []
+        ticks.append(tick)
+        self._values[signal].append(value)
 
     def stream(self, signal: str) -> List[Tuple[int, Number]]:
-        """The recorded write stream; empty for unknown signals."""
-        return list(self._streams.get(signal, ()))
+        """The recorded write stream as (tick, value) pairs (a fresh
+        list); empty for unknown signals."""
+        return list(
+            zip(self._ticks.get(signal, _EMPTY), self._values.get(signal, _EMPTY))
+        )
 
     def signals(self) -> List[str]:
-        return list(self._streams)
+        return list(self._ticks)
+
+    # ------------------------------------------------------------------
+    # No-copy accessors (comparison hot path).
+    # ------------------------------------------------------------------
+    def ticks_of(self, signal: str) -> Sequence[int]:
+        """Write ticks of *signal*, nondecreasing.  The internal array:
+        treat as read-only."""
+        return self._ticks.get(signal, _EMPTY)
+
+    def values_of(self, signal: str) -> Sequence[Number]:
+        """Write values of *signal*, parallel to :meth:`ticks_of`.
+        The internal array: treat as read-only."""
+        return self._values.get(signal, _EMPTY)
+
+    def lengths(self) -> Dict[str, int]:
+        """Per-signal stream lengths (a checkpoint's trace cut marks)."""
+        return {signal: len(ticks) for signal, ticks in self._ticks.items()}
+
+    # ------------------------------------------------------------------
+    # Fast-forward splicing.
+    # ------------------------------------------------------------------
+    def splice_prefix(
+        self, source: "SignalTraces", lengths: Mapping[str, int]
+    ) -> None:
+        """Replace this trace's streams with *source*'s first
+        ``lengths[signal]`` writes (the golden prefix up to a
+        checkpoint)."""
+        for signal, n in lengths.items():
+            if n:
+                self._ticks[signal] = source._ticks[signal][:n]
+                self._values[signal] = source._values[signal][:n]
+
+    def extend_suffix(self, source: "SignalTraces", from_tick: int) -> None:
+        """Append *source*'s writes at or after *from_tick* (the golden
+        suffix after a resynchronization point)."""
+        for signal, ticks in source._ticks.items():
+            start = bisect_left(ticks, from_tick)
+            if start < len(ticks):
+                mine = self._ticks.get(signal)
+                if mine is None:
+                    mine = self._ticks[signal] = []
+                    self._values[signal] = []
+                mine.extend(ticks[start:])
+                self._values[signal].extend(source._values[signal][start:])
 
     def first_difference(
         self, other: "SignalTraces", signal: str
@@ -57,15 +133,55 @@ class SignalTraces:
         write present in only one stream; ``None`` means the streams
         are identical.
         """
-        mine = self.stream(signal)
-        theirs = other.stream(signal)
-        for (tick_a, value_a), (tick_b, value_b) in zip(mine, theirs):
-            if (tick_a, value_a) != (tick_b, value_b):
-                return min(tick_a, tick_b)
-        if len(mine) != len(theirs):
-            longer = mine if len(mine) > len(theirs) else theirs
-            return longer[min(len(mine), len(theirs))][0]
-        return None
+        mine_t = self._ticks.get(signal, _EMPTY)
+        mine_v = self._values.get(signal, _EMPTY)
+        theirs_t = other._ticks.get(signal, _EMPTY)
+        theirs_v = other._values.get(signal, _EMPTY)
+        # identical streams (the overwhelmingly common case) compare as
+        # two array equalities at C speed
+        if mine_t == theirs_t and mine_v == theirs_v:
+            return None
+        shorter = min(len(mine_t), len(theirs_t))
+        for i in range(shorter):
+            if mine_t[i] != theirs_t[i] or mine_v[i] != theirs_v[i]:
+                return min(mine_t[i], theirs_t[i])
+        longer = mine_t if len(mine_t) > len(theirs_t) else theirs_t
+        return longer[shorter]
+
+
+@dataclass
+class SimulatorState:
+    """Full closed-loop simulator state at the top of one tick.
+
+    Captured before the sensor advance of ``tick``; restoring into a
+    fresh simulator of the same test case and resuming ``run()``
+    replays the remaining ticks bit-identically.  ``traces`` is a
+    reference to the capturing simulator's trace object (golden
+    checkpoints keep it so a restorer can splice the recorded prefix);
+    :meth:`matches` ignores trace bookkeeping.
+    """
+
+    tick: int
+    signals: Dict[str, Number]
+    modules: Dict[str, Dict[str, Number]]
+    plant: dict
+    sensors: dict
+    classifier: object
+    loop: dict
+    trace_lengths: Dict[str, int] = field(default_factory=dict)
+    traces: Optional[SignalTraces] = None
+
+    def matches(self, other: "SimulatorState") -> bool:
+        """Exact state equality, ignoring trace bookkeeping."""
+        return (
+            self.tick == other.tick
+            and self.signals == other.signals
+            and self.modules == other.modules
+            and self.plant == other.plant
+            and self.sensors == other.sensors
+            and self.classifier == other.classifier
+            and self.loop == other.loop
+        )
 
 
 @dataclass
@@ -102,7 +218,7 @@ class ArrestmentSimulator:
     ):
         self.test_case = test_case
         self.timeout_s = timeout_s
-        self.record_traces = record_traces
+        self._record_traces = record_traces
         if system is None:
             system = build_arrestment_system(
                 pressure_scale=C.pressure_scale_counts(test_case.mass_kg)
@@ -122,14 +238,8 @@ class ArrestmentSimulator:
         self._local_write: List[Callable[[str, str, Number], Number]] = []
         self._post_invoke: List[Callable[[InvocationRecord], None]] = []
         self._post_tick: List[Callable[[int], None]] = []
-        hooks = ExecutorHooks(
-            pre_tick=self._run_pre_tick,
-            marshal=self._run_marshal,
-            local_write=self._run_local_write,
-            post_invoke=self._run_post_invoke,
-            post_tick=self._run_post_tick,
-        )
-        self.executor = SystemExecutor(self.system, schedule, hooks)
+        self._hooks = ExecutorHooks()
+        self.executor = SystemExecutor(self.system, schedule, self._hooks)
         self.plant = ArrestmentPlant(
             test_case.mass_kg, test_case.engaging_velocity_ms
         )
@@ -139,24 +249,71 @@ class ArrestmentSimulator:
         self._slot_map: Dict[int, List[str]] = {}
         for module, slot in self.module_slots.items():
             self._slot_map.setdefault(slot, []).append(module)
+        self._completion: Optional[int] = None
+        self._stop_tick: Optional[int] = None
+        self._ticks_run = 0
+        self._start_tick = 0
+        self._tick_probe: Optional[Callable[[int], bool]] = None
+        self._rewire_hooks()
 
     # ------------------------------------------------------------------
     # Hook plumbing (the fault injector's attachment points).
     # ------------------------------------------------------------------
+    def _rewire_hooks(self) -> None:
+        """Install only the dispatchers with work to do.
+
+        Hook dispatch costs a call (and a handler loop) per tick or
+        per invocation; an empty handler list instead leaves the
+        executor's ``hook is None`` fast path in place.
+        """
+        hooks = self._hooks
+        hooks.pre_tick = self._run_pre_tick if self._pre_tick else None
+        hooks.marshal = self._run_marshal if self._marshal else None
+        hooks.local_write = (
+            self._run_local_write if self._local_write else None
+        )
+        hooks.post_invoke = (
+            self._run_post_invoke
+            if self._record_traces or self._post_invoke
+            else None
+        )
+        hooks.post_tick = self._run_post_tick if self._post_tick else None
+
+    @property
+    def record_traces(self) -> bool:
+        return self._record_traces
+
+    @record_traces.setter
+    def record_traces(self, enabled: bool) -> None:
+        self._record_traces = bool(enabled)
+        self._rewire_hooks()
+
     def add_pre_tick(self, handler) -> None:
         self._pre_tick.append(handler)
+        self._rewire_hooks()
 
     def add_marshal(self, handler) -> None:
         self._marshal.append(handler)
+        self._rewire_hooks()
 
     def add_local_write(self, handler) -> None:
         self._local_write.append(handler)
+        self._rewire_hooks()
 
     def add_post_invoke(self, handler) -> None:
         self._post_invoke.append(handler)
+        self._rewire_hooks()
 
     def add_post_tick(self, handler) -> None:
         self._post_tick.append(handler)
+        self._rewire_hooks()
+
+    def set_tick_probe(self, probe: Optional[Callable[[int], bool]]) -> None:
+        """Install a callable run at the top of every tick, before any
+        simulation work.  Returning True stops the run immediately (the
+        fast-forward engine's resynchronization exit); checkpoint
+        recorders return False to keep the run going."""
+        self._tick_probe = probe
 
     def _run_pre_tick(self, tick: int) -> None:
         for handler in self._pre_tick:
@@ -173,7 +330,7 @@ class ArrestmentSimulator:
         return value
 
     def _run_post_invoke(self, record: InvocationRecord) -> None:
-        if self.record_traces:
+        if self._record_traces:
             for port, value in record.outputs.items():
                 signal = self.system.signal_of_output(record.module, port)
                 self.traces.record(signal, record.tick, value)
@@ -211,13 +368,60 @@ class ArrestmentSimulator:
         return before, after
 
     # ------------------------------------------------------------------
+    # Checkpointing.
+    # ------------------------------------------------------------------
+    def capture_state(self) -> SimulatorState:
+        """Freeze the full closed loop at the top of the current tick."""
+        return SimulatorState(
+            tick=self.executor.tick,
+            signals=self.executor.store.snapshot(),
+            modules={
+                module.name: module.state.snapshot()
+                for module in self.system.modules()
+            },
+            plant=self.plant.snapshot(),
+            sensors=self.sensors.snapshot(),
+            classifier=self.classifier.snapshot(),
+            loop={
+                "completion": self._completion,
+                "stop_tick": self._stop_tick,
+                "ticks_run": self._ticks_run,
+            },
+            trace_lengths=self.traces.lengths() if self._record_traces else {},
+            traces=self.traces if self._record_traces else None,
+        )
+
+    def restore_state(
+        self, state: SimulatorState, restore_traces: bool = True
+    ) -> None:
+        """Resume from a :meth:`capture_state` snapshot: the next
+        :meth:`run` starts at ``state.tick`` and replays the remaining
+        ticks bit-identically.  With ``restore_traces`` (and recording
+        enabled on both sides) the recorded prefix is spliced in, so
+        the final traces equal an uninterrupted run's."""
+        self.executor.tick = state.tick
+        self._start_tick = state.tick
+        self.executor.store.restore(state.signals)
+        for module in self.system.modules():
+            module.state.restore(state.modules[module.name])
+        self.plant.restore(state.plant)
+        self.sensors.restore(state.sensors)
+        self.classifier.restore(state.classifier)
+        loop = state.loop
+        self._completion = loop["completion"]
+        self._stop_tick = loop["stop_tick"]
+        self._ticks_run = loop["ticks_run"]
+        if restore_traces and self._record_traces and state.traces is not None:
+            self.traces.splice_prefix(state.traces, state.trace_lengths)
+
+    # ------------------------------------------------------------------
     # The engagement loop.
     # ------------------------------------------------------------------
     def _write_sensor_inputs(self, tick: int) -> None:
         store = self.executor.store
         for signal, attr in self._REGISTER_OF.items():
             store[signal] = getattr(self.sensors, attr)
-            if self.record_traces:
+            if self._record_traces:
                 self.traces.record(signal, tick, store[signal])
 
     def run(self) -> ArrestmentResult:
@@ -225,10 +429,11 @@ class ArrestmentSimulator:
         store = executor.store
         max_ticks = int(self.timeout_s / C.TICK_S)
         abort_distance = C.MAX_STOPPING_DISTANCE_M + C.OVERRUN_ABORT_MARGIN_M
-        completion: Optional[int] = None
-        stop_tick: Optional[int] = None
-        ticks_run = 0
-        for tick in range(max_ticks):
+        probe = self._tick_probe
+        tick = self._start_tick
+        while tick < max_ticks:
+            if probe is not None and probe(tick):
+                break
             self.sensors.advance(
                 self.plant.state.distance_m, self.plant.state.pressure_pa
             )
@@ -243,20 +448,32 @@ class ArrestmentSimulator:
                 SensorSuite.commanded_pressure(store["TOC2"])
             )
             self.classifier.observe(state)
-            ticks_run = tick + 1
-            if stop_tick is None and self.plant.is_stopped:
-                stop_tick = tick
-            if completion is None and store["stopped"] and self.plant.is_stopped:
-                completion = tick
-            if completion is not None and tick >= completion + C.POST_STOP_TICKS:
+            self._ticks_run = tick + 1
+            if self._stop_tick is None and self.plant.is_stopped:
+                self._stop_tick = tick
+            if (
+                self._completion is None
+                and store["stopped"]
+                and self.plant.is_stopped
+            ):
+                self._completion = tick
+            if (
+                self._completion is not None
+                and tick >= self._completion + C.POST_STOP_TICKS
+            ):
                 break
             if state.distance_m > abort_distance:
                 break
+            tick += 1
+        ticks_run = self._ticks_run
+        stop_tick = self._stop_tick
         return ArrestmentResult(
             test_case=self.test_case,
             ticks_run=ticks_run,
-            completion_tick=completion,
-            verdict=self.classifier.verdict(arrested=completion is not None),
+            completion_tick=self._completion,
+            verdict=self.classifier.verdict(
+                arrested=self._completion is not None
+            ),
             traces=self.traces,
             stop_distance_m=self.plant.state.distance_m,
             stop_time_s=(

@@ -70,6 +70,27 @@ class TankPlant:
         s.time_s += dt_s
         return s
 
+    def snapshot(self) -> dict:
+        """Tank state plus accumulators, for checkpoint capture."""
+        s = self.state
+        return {
+            "time_s": s.time_s,
+            "level_m": s.level_m,
+            "valve_pos": s.valve_pos,
+            "inflow_m3s": s.inflow_m3s,
+            "outflow_m3s": s.outflow_m3s,
+            "peak_level_m": self.peak_level_m,
+            "min_level_m": self.min_level_m,
+            "total_inflow_m3": self.total_inflow_m3,
+        }
+
+    def restore(self, snapshot: dict) -> None:
+        values = dict(snapshot)
+        self.peak_level_m = values.pop("peak_level_m")
+        self.min_level_m = values.pop("min_level_m")
+        self.total_inflow_m3 = values.pop("total_inflow_m3")
+        self.state = TankState(**values)
+
 
 @dataclass
 class TankSensorSuite:
@@ -94,6 +115,18 @@ class TankSensorSuite:
                 self.flow_cnt + (pulses - self._pulse_mirror)
             ) & ((1 << C.FLOW_CNT_BITS) - 1)
             self._pulse_mirror = pulses
+
+    def snapshot(self) -> dict:
+        """Every register (incl. the pulse mirror), for checkpoint capture."""
+        return {
+            "lvl_adc": self.lvl_adc,
+            "flow_cnt": self.flow_cnt,
+            "_pulse_mirror": self._pulse_mirror,
+        }
+
+    def restore(self, snapshot: dict) -> None:
+        for name, value in snapshot.items():
+            setattr(self, name, value)
 
     @staticmethod
     def commanded_valve(valve_pos_register: int) -> float:

@@ -27,7 +27,7 @@ from repro.model.system import (
     SystemExecutor,
     SystemModel,
 )
-from repro.target.simulation import SignalTraces
+from repro.target.simulation import SignalTraces, SimulatorState
 from repro.watertank import constants as C
 from repro.watertank.physics import InflowProfile, TankPlant, TankSensorSuite
 from repro.watertank.testcases import TankTestCase
@@ -84,7 +84,7 @@ class WaterTankSimulator:
     ):
         self.test_case = test_case
         self.mission_ticks = mission_ticks
-        self.record_traces = record_traces
+        self._record_traces = record_traces
         self.system: SystemModel = build_watertank_system()
         schedule = SlotSchedule(C.N_SLOTS)
         schedule.every_tick("TIMER")
@@ -97,14 +97,8 @@ class WaterTankSimulator:
         self._local_write: List[Callable[[str, str, Number], Number]] = []
         self._post_invoke: List[Callable[[InvocationRecord], None]] = []
         self._post_tick: List[Callable[[int], None]] = []
-        hooks = ExecutorHooks(
-            pre_tick=self._run_pre_tick,
-            marshal=self._run_marshal,
-            local_write=self._run_local_write,
-            post_invoke=self._run_post_invoke,
-            post_tick=self._run_post_tick,
-        )
-        self.executor = SystemExecutor(self.system, schedule, hooks)
+        self._hooks = ExecutorHooks()
+        self.executor = SystemExecutor(self.system, schedule, self._hooks)
         self.plant = TankPlant(
             InflowProfile(test_case.base_inflow_m3s, test_case.step_m3s)
         )
@@ -117,24 +111,63 @@ class WaterTankSimulator:
         #: the alarm line is deasserted
         self._missed_alarm_ticks = 0
         self._failure_kinds: List[str] = []
+        self._start_tick = 0
+        self._tick_probe: Optional[Callable[[int], bool]] = None
+        self._rewire_hooks()
 
     # ------------------------------------------------------------------
     # Hook plumbing (same shape as ArrestmentSimulator).
     # ------------------------------------------------------------------
+    def _rewire_hooks(self) -> None:
+        """Install only the dispatchers with work to do (see the
+        arrestment simulator: empty handler lists keep the executor's
+        ``hook is None`` fast path)."""
+        hooks = self._hooks
+        hooks.pre_tick = self._run_pre_tick if self._pre_tick else None
+        hooks.marshal = self._run_marshal if self._marshal else None
+        hooks.local_write = (
+            self._run_local_write if self._local_write else None
+        )
+        hooks.post_invoke = (
+            self._run_post_invoke
+            if self._record_traces or self._post_invoke
+            else None
+        )
+        hooks.post_tick = self._run_post_tick if self._post_tick else None
+
+    @property
+    def record_traces(self) -> bool:
+        return self._record_traces
+
+    @record_traces.setter
+    def record_traces(self, enabled: bool) -> None:
+        self._record_traces = bool(enabled)
+        self._rewire_hooks()
+
     def add_pre_tick(self, handler) -> None:
         self._pre_tick.append(handler)
+        self._rewire_hooks()
 
     def add_marshal(self, handler) -> None:
         self._marshal.append(handler)
+        self._rewire_hooks()
 
     def add_local_write(self, handler) -> None:
         self._local_write.append(handler)
+        self._rewire_hooks()
 
     def add_post_invoke(self, handler) -> None:
         self._post_invoke.append(handler)
+        self._rewire_hooks()
 
     def add_post_tick(self, handler) -> None:
         self._post_tick.append(handler)
+        self._rewire_hooks()
+
+    def set_tick_probe(self, probe: Optional[Callable[[int], bool]]) -> None:
+        """Install a top-of-tick callable; returning True stops the run
+        (see ArrestmentSimulator.set_tick_probe)."""
+        self._tick_probe = probe
 
     def _run_pre_tick(self, tick: int) -> None:
         for handler in self._pre_tick:
@@ -151,7 +184,7 @@ class WaterTankSimulator:
         return value
 
     def _run_post_invoke(self, record: InvocationRecord) -> None:
-        if self.record_traces:
+        if self._record_traces:
             for port, value in record.outputs.items():
                 signal = self.system.signal_of_output(record.module, port)
                 self.traces.record(signal, record.tick, value)
@@ -185,7 +218,7 @@ class WaterTankSimulator:
         store = self.executor.store
         for signal, attr in self._REGISTER_OF.items():
             store[signal] = getattr(self.sensors, attr)
-            if self.record_traces:
+            if self._record_traces:
                 self.traces.record(signal, tick, store[signal])
 
     def _observe_safety(self, tick: int) -> None:
@@ -205,10 +238,55 @@ class WaterTankSimulator:
         else:
             self._missed_alarm_ticks = 0
 
+    # ------------------------------------------------------------------
+    # Checkpointing (same contract as ArrestmentSimulator).
+    # ------------------------------------------------------------------
+    def capture_state(self) -> SimulatorState:
+        """Freeze the full closed loop at the top of the current tick."""
+        return SimulatorState(
+            tick=self.executor.tick,
+            signals=self.executor.store.snapshot(),
+            modules={
+                module.name: module.state.snapshot()
+                for module in self.system.modules()
+            },
+            plant=self.plant.snapshot(),
+            sensors=self.sensors.snapshot(),
+            classifier=None,
+            loop={
+                "missed_alarm_ticks": self._missed_alarm_ticks,
+                "failure_kinds": tuple(self._failure_kinds),
+            },
+            trace_lengths=self.traces.lengths() if self._record_traces else {},
+            traces=self.traces if self._record_traces else None,
+        )
+
+    def restore_state(
+        self, state: SimulatorState, restore_traces: bool = True
+    ) -> None:
+        """Resume from a :meth:`capture_state` snapshot (see the
+        arrestment simulator for the contract)."""
+        self.executor.tick = state.tick
+        self._start_tick = state.tick
+        self.executor.store.restore(state.signals)
+        for module in self.system.modules():
+            module.state.restore(state.modules[module.name])
+        self.plant.restore(state.plant)
+        self.sensors.restore(state.sensors)
+        loop = state.loop
+        self._missed_alarm_ticks = loop["missed_alarm_ticks"]
+        self._failure_kinds = list(loop["failure_kinds"])
+        if restore_traces and self._record_traces and state.traces is not None:
+            self.traces.splice_prefix(state.traces, state.trace_lengths)
+
     def run(self) -> TankMissionResult:
         executor = self.executor
         store = executor.store
-        for tick in range(self.mission_ticks):
+        probe = self._tick_probe
+        tick = self._start_tick
+        while tick < self.mission_ticks:
+            if probe is not None and probe(tick):
+                break
             self.sensors.advance(
                 self.plant.state.level_m, self.plant.total_inflow_m3
             )
@@ -222,6 +300,7 @@ class WaterTankSimulator:
             commanded = TankSensorSuite.commanded_valve(store["VALVE_POS"])
             self.plant.step(commanded)
             self._observe_safety(tick)
+            tick += 1
         return TankMissionResult(
             test_case=self.test_case,
             ticks_run=self.mission_ticks,
