@@ -18,8 +18,9 @@ Subcommands
     Run one experiment directly, e.g. ``python -m repro table1
     --jobs 4``.  Accepts ``--scale``, ``--seed``, ``--target``,
     ``--jobs``, ``--resume``, ``--checkpoint-dir``, ``--task-timeout``,
-    ``--retries``, ``--event-log``, ``--checkpoint-stride`` and
-    ``--no-fast-forward``; parallel and fast-forwarded runs are
+    ``--retries``, ``--event-log``, ``--checkpoint-stride``,
+    ``--no-fast-forward``, ``--audit-fraction``, ``--audit-seed`` and
+    ``--integrity-policy``; parallel and fast-forwarded runs are
     bit-identical to serial full-replay ones for the same seed, and
     failing runs are retried and quarantined instead of aborting the
     campaign.
@@ -168,6 +169,9 @@ def _cmd_one_experiment(args: argparse.Namespace) -> int:
         event_log=args.event_log,
         fast_forward=not args.no_fast_forward,
         checkpoint_stride=args.checkpoint_stride,
+        audit_fraction=args.audit_fraction,
+        audit_seed=args.audit_seed,
+        integrity_policy=args.integrity_policy,
     )
     result = EXPERIMENTS[args.command](ctx)
     print(result.render())
@@ -269,6 +273,21 @@ def main(argv: Optional[List[str]] = None) -> int:
             "--no-fast-forward", action="store_true",
             help="disable the snapshot/fast-forward engine "
             "(results are bit-identical)",
+        )
+        p_one.add_argument(
+            "--audit-fraction", type=float, default=0.0, metavar="F",
+            help="fraction of fast-forwarded runs re-executed "
+            "full-length and field-diffed (default: 0)",
+        )
+        p_one.add_argument(
+            "--audit-seed", type=int, default=None, metavar="N",
+            help="seed of the audit sample (default: campaign seed)",
+        )
+        p_one.add_argument(
+            "--integrity-policy", choices=("strict", "repair", "off"),
+            default=None, metavar="P",
+            help="integrity violation handling: strict aborts, repair "
+            "self-heals (default), off disables verification",
         )
         p_one.set_defaults(fn=_cmd_one_experiment)
 

@@ -16,6 +16,7 @@ __all__ = [
     "SchedulingError",
     "InjectionError",
     "CampaignError",
+    "IntegrityError",
     "AssertionSpecError",
     "PlacementError",
     "AnalysisError",
@@ -69,6 +70,11 @@ class InjectionError(ReproError):
 
 class CampaignError(ReproError):
     """A fault-injection campaign was configured inconsistently."""
+
+
+class IntegrityError(ReproError):
+    """A campaign artefact failed its integrity verification (digest
+    mismatch, audit-replay divergence, worker drift)."""
 
 
 class AssertionSpecError(ReproError):

@@ -21,6 +21,11 @@ Options
 ``--checkpoint-stride N`` / ``--no-fast-forward``
     Snapshot engine: distance between golden checkpoints in ticks,
     and an off switch (results are bit-identical either way).
+``--audit-fraction F`` / ``--audit-seed N`` / ``--integrity-policy P``
+    Result integrity: re-execute a seeded fraction of fast-forwarded
+    runs full-length and field-diff the outcomes; ``strict`` aborts
+    on a violation, ``repair`` (default) self-heals, ``off`` disables
+    verification (audits, checkpoint digests and drift sentinels).
 ``ids``
     Experiment ids to run (default: all).  Known ids:
     table1 table2 table3 table4 figure3 table5 profiles extended.
@@ -84,6 +89,23 @@ def add_execution_options(parser: argparse.ArgumentParser) -> None:
         help="disable the snapshot/fast-forward engine and simulate "
         "every injected run from tick 0 (results are bit-identical)",
     )
+    parser.add_argument(
+        "--audit-fraction", type=float, default=0.0, metavar="F",
+        help="fraction of fast-forwarded runs re-executed full-length "
+        "and field-diffed against the fast-forward result (default: 0)",
+    )
+    parser.add_argument(
+        "--audit-seed", type=int, default=None, metavar="N",
+        help="seed of the deterministic audit sample "
+        "(default: the campaign seed)",
+    )
+    parser.add_argument(
+        "--integrity-policy", choices=("strict", "repair", "off"),
+        default=None, metavar="P",
+        help="how integrity violations are handled: strict aborts, "
+        "repair self-heals from a trusted recomputation (default), "
+        "off disables verification",
+    )
 
 
 def context_from_args(args: argparse.Namespace) -> ExperimentContext:
@@ -99,6 +121,9 @@ def context_from_args(args: argparse.Namespace) -> ExperimentContext:
         event_log=args.event_log,
         fast_forward=not args.no_fast_forward,
         checkpoint_stride=args.checkpoint_stride,
+        audit_fraction=args.audit_fraction,
+        audit_seed=args.audit_seed,
+        integrity_policy=args.integrity_policy,
     )
 
 

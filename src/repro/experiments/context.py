@@ -104,6 +104,14 @@ class ExperimentContext:
     are bit-identical either way), *checkpoint_stride* sets the
     distance between golden checkpoints in ticks (``None`` keeps the
     engine default).
+
+    Integrity knobs: *audit_fraction* re-executes that fraction of
+    fast-forwarded runs full-length and field-diffs the results,
+    *audit_seed* fixes the audit sample (``None`` uses the campaign
+    seed), and *integrity_policy* selects how violations — audit
+    mismatches, checkpoint digest failures, worker drift — are
+    handled (``strict`` aborts, ``repair`` self-heals, ``off``
+    disables verification; ``None`` keeps the executor default).
     """
 
     def __init__(
@@ -119,6 +127,9 @@ class ExperimentContext:
         event_log: Optional[str] = None,
         fast_forward: bool = True,
         checkpoint_stride: Optional[int] = None,
+        audit_fraction: float = 0.0,
+        audit_seed: Optional[int] = None,
+        integrity_policy: Optional[str] = None,
     ):
         if scale not in SCALES:
             raise ExperimentError(
@@ -136,6 +147,9 @@ class ExperimentContext:
         self.event_log = event_log
         self.fast_forward = fast_forward
         self.checkpoint_stride = checkpoint_stride
+        self.audit_fraction = audit_fraction
+        self.audit_seed = audit_seed
+        self.integrity_policy = integrity_policy
         if resume and checkpoint_dir is None:
             checkpoint_dir = os.path.join(
                 ".repro-checkpoints",
@@ -176,6 +190,8 @@ class ExperimentContext:
             extra["retries"] = self.retries
         if self.checkpoint_stride is not None:
             extra["checkpoint_stride"] = self.checkpoint_stride
+        if self.integrity_policy is not None:
+            extra["integrity_policy"] = self.integrity_policy
         return CampaignConfig(
             seed=self.seed,
             jobs=self.jobs,
@@ -183,6 +199,8 @@ class ExperimentContext:
             task_timeout=self.task_timeout,
             event_log_path=self.event_log,
             fast_forward=self.fast_forward,
+            audit_fraction=self.audit_fraction,
+            audit_seed=self.audit_seed,
             **extra,
         )
 

@@ -22,13 +22,26 @@ from repro.fi.campaign import (
     RecoveryResult,
 )
 from repro.fi.executor import (
+    CHECKPOINT_SCHEMA_REVISION,
     CampaignConfig,
     CampaignExecutor,
     CampaignTelemetry,
     GoldenRunCache,
     RunEventLog,
     TaskFailure,
+    fingerprint_of,
     golden_cache,
+)
+from repro.fi.integrity import (
+    POLICIES,
+    IntegrityStats,
+    IntegrityViolation,
+    RunAuditor,
+    canonical_digest,
+    field_diff,
+    golden_sentinel,
+    integrity_stats,
+    run_digest,
 )
 from repro.fi.comparison import (
     PropagationTimeline,
@@ -62,6 +75,7 @@ from repro.fi.snapshot import (
 )
 
 __all__ = [
+    "CHECKPOINT_SCHEMA_REVISION",
     "CampaignConfig",
     "CampaignExecutor",
     "CampaignTelemetry",
@@ -72,9 +86,19 @@ __all__ = [
     "FastForward",
     "FastForwardStats",
     "GoldenRunCache",
+    "IntegrityStats",
+    "IntegrityViolation",
+    "POLICIES",
+    "RunAuditor",
+    "canonical_digest",
     "checkpoint_cache",
     "ff_stats",
+    "field_diff",
+    "fingerprint_of",
     "golden_cache",
+    "golden_sentinel",
+    "integrity_stats",
+    "run_digest",
     "DEFAULT_CHECKPOINT_STRIDE",
     "DEFAULT_PERIOD_TICKS",
     "DetectionCampaign",

@@ -67,6 +67,11 @@ from repro.fi.golden import (
     SimulatorFactory,
     first_output_differences,
 )
+from repro.fi.integrity import (
+    IntegrityViolation,
+    RunAuditor,
+    golden_sentinel,
+)
 from repro.fi.injector import FaultInjector
 from repro.fi.memory import MemoryLocation, MemoryMap, Region
 from repro.fi.models import (
@@ -245,6 +250,7 @@ class PermeabilityCampaign:
             self.factory, _target_label(factory), config=config,
         )
         self.telemetry: Optional[CampaignTelemetry] = None
+        self.integrity_violations: List[IntegrityViolation] = []
 
     def run(self) -> PermeabilityEstimate:
         executor = CampaignExecutor(self.config, campaign="permeability")
@@ -279,9 +285,17 @@ class PermeabilityCampaign:
             self._ff, tasks, case_of=lambda t: t[2], tick_of=lambda t: t[3]
         )
 
-        # Phase 2: execute the pure per-run function over the tasks.
+        # Phase 2: execute the pure per-run function over the tasks;
+        # a sampled audit replay re-checks fast-forwarded runs.
+        auditor = RunAuditor(
+            self._ff, self.config, campaign="permeability"
+        )
+
         def runner(index: int) -> Optional[List[str]]:
-            return self._one_run(*tasks[index])
+            task = tasks[index]
+            return auditor.run(
+                index, lambda ff: self._one_run(*task, ff=ff)
+            )
 
         results = executor.run_tasks(
             runner,
@@ -291,8 +305,10 @@ class PermeabilityCampaign:
                 self.runs_per_input, self.direct_only,
                 [case.label for case in self.test_cases],
             ),
+            sentinel=golden_sentinel(self.factory, self.test_cases[0]),
         )
         self.telemetry = executor.telemetry
+        self.integrity_violations = list(executor.violations)
 
         # Phase 3: aggregate in task order (== legacy loop order).
         direct: Dict[Tuple[str, str, str], int] = {}
@@ -327,14 +343,18 @@ class PermeabilityCampaign:
         test_case: TestCase,
         from_tick: int,
         bit: int,
+        ff: Optional[FastForward] = None,
     ) -> Optional[List[str]]:
         """One injection run; returns output ports hit directly.
 
         ``None`` means the injection never became active (the flip was
-        not applied before the run ended).
+        not applied before the run ended).  *ff* overrides the
+        campaign's fast-forward handle (the audit replay passes a
+        disabled twin to force a full run from tick 0).
         """
         golden = self.goldens.get(test_case)
-        simulator, _, arm = self._ff.launch(test_case, from_tick)
+        engine = ff if ff is not None else self._ff
+        simulator, _, arm = engine.launch(test_case, from_tick)
         mod = simulator.system.module(module)
         injector = FaultInjector(
             ModuleInputFlip(module, in_port, from_tick, bit)
@@ -535,6 +555,7 @@ class DetectionCampaign:
             bank_specs=self.specs,
         )
         self.telemetry: Optional[CampaignTelemetry] = None
+        self.integrity_violations: List[IntegrityViolation] = []
 
     def run(self) -> DetectionResult:
         executor = CampaignExecutor(self.config, campaign="detection")
@@ -560,9 +581,14 @@ class DetectionCampaign:
             self._ff, tasks, case_of=lambda t: t[1], tick_of=lambda t: t[2]
         )
 
-        # Phase 2: execute.
+        # Phase 2: execute, audit-replaying a sampled fraction.
+        auditor = RunAuditor(self._ff, self.config, campaign="detection")
+
         def runner(index: int) -> Any:
-            return self._one_run(*tasks[index])
+            task = tasks[index]
+            return auditor.run(
+                index, lambda ff: self._one_run(*task, ff=ff)
+            )
 
         results = executor.run_tasks(
             runner,
@@ -572,8 +598,10 @@ class DetectionCampaign:
                 self.runs_per_signal, list(targets), ea_names,
                 [case.label for case in self.test_cases],
             ),
+            sentinel=golden_sentinel(self.factory, self.test_cases[0]),
         )
         self.telemetry = executor.telemetry
+        self.integrity_violations = list(executor.violations)
 
         # Phase 3: aggregate in task order.
         n_injected: Dict[str, int] = {t: 0 for t in targets}
@@ -614,15 +642,22 @@ class DetectionCampaign:
         )
 
     def _one_run(
-        self, target: str, test_case: TestCase, tick: int, bit: int
+        self,
+        target: str,
+        test_case: TestCase,
+        tick: int,
+        bit: int,
+        ff: Optional[FastForward] = None,
     ) -> Any:
         """One injection run; JSON-encodable outcome.
 
         ``"inactive"``: flip never applied; ``"late"``: applied after
         completion (not an error); otherwise a dict with the fired EA
-        names and their latencies.
+        names and their latencies.  *ff* overrides the campaign's
+        fast-forward handle (the audit replay passes a disabled twin).
         """
-        simulator, bank, arm = self._ff.launch(test_case, tick)
+        engine = ff if ff is not None else self._ff
+        simulator, bank, arm = engine.launch(test_case, tick)
         injector = FaultInjector(
             InputSignalFlip(target, tick, bit)
         ).attach(simulator)
@@ -800,6 +835,7 @@ class RecoveryCampaign:
         self._locations = list(locations) if locations is not None else None
         self._target = _target_label(factory)
         self.telemetry: Optional[CampaignTelemetry] = None
+        self.integrity_violations: List[IntegrityViolation] = []
 
     def run(self) -> RecoveryResult:
         executor = CampaignExecutor(self.config, campaign="recovery")
@@ -833,8 +869,12 @@ class RecoveryCampaign:
                 [case.label for case in self.test_cases],
                 self.policies,
             ),
+            # no fast-forward (and so no audit replay) here, but the
+            # drift sentinel still guards every pool worker
+            sentinel=golden_sentinel(self.factory, self.test_cases[0]),
         )
         self.telemetry = executor.telemetry
+        self.integrity_violations = list(executor.violations)
 
         # Phase 3: aggregate in task order.
         outcomes: List[RecoveryOutcome] = []
@@ -935,6 +975,7 @@ class MemoryCampaign:
             bank_specs=self.specs, resync=False,
         )
         self.telemetry: Optional[CampaignTelemetry] = None
+        self.integrity_violations: List[IntegrityViolation] = []
 
     def run(self) -> MemoryCampaignResult:
         executor = CampaignExecutor(self.config, campaign="memory")
@@ -960,9 +1001,15 @@ class MemoryCampaign:
             self._ff, tasks, case_of=lambda t: t[1], tick_of=lambda t: t[3]
         )
 
-        # Phase 2: execute.
+        # Phase 2: execute, audit-replaying a sampled fraction (only
+        # runs that actually fast-forwarded are ever re-executed).
+        auditor = RunAuditor(self._ff, self.config, campaign="memory")
+
         def runner(index: int) -> Optional[Dict[str, Any]]:
-            return self._one_run(*tasks[index])
+            task = tasks[index]
+            return auditor.run(
+                index, lambda ff: self._one_run(*task, ff=ff)
+            )
 
         results = executor.run_tasks(
             runner,
@@ -973,8 +1020,10 @@ class MemoryCampaign:
                 [location.label for location in locations],
                 [case.label for case in self.test_cases],
             ),
+            sentinel=golden_sentinel(self.factory, self.test_cases[0]),
         )
         self.telemetry = executor.telemetry
+        self.integrity_violations = list(executor.violations)
 
         # Phase 3: aggregate in task order.
         records: List[MemoryRunRecord] = []
@@ -1001,8 +1050,10 @@ class MemoryCampaign:
         test_case: TestCase,
         bit: int,
         phase: int,
+        ff: Optional[FastForward] = None,
     ) -> Optional[Dict[str, Any]]:
-        simulator, bank, _ = self._ff.launch(test_case, phase)
+        engine = ff if ff is not None else self._ff
+        simulator, bank, _ = engine.launch(test_case, phase)
         injector = FaultInjector(
             PeriodicMemoryFlip(
                 location,

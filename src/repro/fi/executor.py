@@ -54,12 +54,31 @@ KeyboardInterrupt — so no completed run is ever lost.
 
 Checkpoint format
 -----------------
-A JSON document ``{campaign, fingerprint, n_tasks, results}`` where
-``results`` maps task index to the task's JSON-encodable result (or
-an encoded :class:`TaskFailure` for quarantined tasks).  A resume run
+A JSON document ``{campaign, fingerprint, n_tasks, results, digests}``
+where ``results`` maps task index to the task's JSON-encodable result
+(or an encoded :class:`TaskFailure` for quarantined tasks) and
+``digests`` maps the same indices to each record's canonical content
+digest (:func:`~repro.fi.integrity.canonical_digest`).  A resume run
 with a matching fingerprint replays the stored results and executes
 only the missing tasks; a mismatched fingerprint — or a structurally
 corrupt checkpoint — discards the checkpoint instead of crashing.
+Records whose digest does not verify are handled per the integrity
+policy: dropped and re-executed (``repair``, the default), fatal
+(``strict``), or accepted unverified (``off``).  Pre-digest
+checkpoints (no ``digests`` map) still load.
+
+Result integrity
+----------------
+The executor carries the runtime self-checking layer of
+:mod:`repro.fi.integrity`: per-record checkpoint digests (above),
+sampled audit replay (campaign drivers wrap their task function in a
+:class:`~repro.fi.integrity.RunAuditor`; the executor ships audit
+counters and :class:`~repro.fi.integrity.IntegrityViolation` records
+home from pool workers in-band), and worker drift sentinels — before
+dispatching tasks to a fresh pool, every worker digests a locally
+computed golden run and the parent compares the digests against its
+own, treating any divergence as a broken pool (respawn, then degrade
+to serial).
 """
 
 from __future__ import annotations
@@ -85,12 +104,20 @@ from typing import (
     Tuple,
 )
 
-from repro.errors import CampaignError
+from repro.errors import CampaignError, IntegrityError
 from repro.fi.golden import GoldenRun, GoldenRunStore
+from repro.fi.integrity import (
+    POLICIES,
+    IntegrityViolation,
+    canonical_digest,
+    drain_violations,
+    integrity_stats,
+)
 from repro.fi.snapshot import DEFAULT_CHECKPOINT_STRIDE, ff_stats
 
 __all__ = [
     "BACKENDS",
+    "CHECKPOINT_SCHEMA_REVISION",
     "CampaignConfig",
     "CampaignTelemetry",
     "CampaignExecutor",
@@ -102,6 +129,10 @@ __all__ = [
 ]
 
 BACKENDS = ("serial", "process")
+
+#: bumped whenever the checkpoint document layout changes; salted into
+#: every fingerprint so old files mismatch instead of half-loading.
+CHECKPOINT_SCHEMA_REVISION = 2
 
 #: watchdog on pool results when no per-task timeout is configured: if
 #: *no* result arrives for this long, the pool is considered broken.
@@ -154,6 +185,15 @@ class CampaignConfig:
     #: restore golden checkpoints instead of re-simulating the prefix
     #: (bit-identical either way; off = always simulate from tick 0).
     fast_forward: bool = True
+    #: fraction of fast-forwarded runs re-executed full-length and
+    #: field-diffed against the fast-forward result (0.0 = no audits).
+    audit_fraction: float = 0.0
+    #: seed of the deterministic audit sample; ``None`` uses ``seed``.
+    audit_seed: Optional[int] = None
+    #: ``"strict"`` (violations abort), ``"repair"`` (violations are
+    #: healed from a trusted recomputation) or ``"off"`` (no
+    #: verification: no checkpoint digest checks, audits or sentinels).
+    integrity_policy: str = "repair"
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
@@ -191,6 +231,16 @@ class CampaignConfig:
                 f"checkpoint_stride must be >= 1, "
                 f"got {self.checkpoint_stride}"
             )
+        if not 0.0 <= self.audit_fraction <= 1.0:
+            raise CampaignError(
+                f"audit_fraction must be within [0, 1], "
+                f"got {self.audit_fraction}"
+            )
+        if self.integrity_policy not in POLICIES:
+            raise CampaignError(
+                f"unknown integrity policy {self.integrity_policy!r}; "
+                f"choose from {POLICIES}"
+            )
 
     def resolved_backend(self) -> str:
         if self.backend is not None:
@@ -207,8 +257,20 @@ class CampaignConfig:
 
 
 def fingerprint_of(*parts: Any) -> str:
-    """Stable fingerprint of a campaign's identity for checkpointing."""
-    blob = json.dumps([str(p) for p in parts], separators=(",", ":"))
+    """Stable fingerprint of a campaign's identity for checkpointing.
+
+    The package version and the checkpoint schema revision are salted
+    in: resuming a checkpoint written by different code is rejected as
+    a fingerprint mismatch instead of silently merging stale results.
+    """
+    try:
+        from repro import __version__ as version
+    except Exception:  # pragma: no cover - the package always has one
+        version = "unknown"
+    salt = [f"repro={version}", f"schema={CHECKPOINT_SCHEMA_REVISION}"]
+    blob = json.dumps(
+        salt + [str(p) for p in parts], separators=(",", ":")
+    )
     return hashlib.sha256(blob.encode()).hexdigest()[:16]
 
 
@@ -270,14 +332,22 @@ class RunEventLog:
     Event names: ``run_start``, ``task_start`` (serial backend only),
     ``task_finish``, ``task_error``, ``task_retry``, ``task_failure``
     (quarantine), ``checkpoint_flush``, ``pool_broken``,
-    ``pool_respawn``, ``backend_degraded``, ``run_end``.  With no
-    path, every call is a no-op.
+    ``pool_respawn``, ``backend_degraded``, ``integrity_violation``,
+    ``worker_drift``, ``run_end``.  With no path, every call is a
+    no-op.
+
+    Every record is flushed to the OS as it is written, so a crashed
+    campaign's log ends at the event that preceded the death, not at
+    an arbitrary buffer boundary.  Set ``REPRO_EVENT_LOG_FSYNC=1`` to
+    additionally ``fsync`` per record — durable against power loss,
+    at a per-event cost only forensics-critical runs should pay.
     """
 
     def __init__(self, path: Optional[str] = None, campaign: str = ""):
         self.path = path
         self.campaign = campaign
         self._handle = None
+        self._fsync = os.environ.get("REPRO_EVENT_LOG_FSYNC") == "1"
         if path:
             directory = os.path.dirname(os.path.abspath(path))
             os.makedirs(directory, exist_ok=True)
@@ -302,6 +372,8 @@ class RunEventLog:
                 + "\n"
             )
             self._handle.flush()
+            if self._fsync:
+                os.fsync(self._handle.fileno())
         except (OSError, ValueError):
             pass  # never let observability take the campaign down
 
@@ -351,6 +423,17 @@ class CampaignTelemetry:
     ff_ticks_saved: int = 0
     #: checkpoint tracks recorded (one extra golden-style run each).
     ff_tracks: int = 0
+    #: sampled runs re-executed full-length for the audit replay.
+    audits: int = 0
+    #: audited runs whose full replay diverged from the fast-forward
+    #: result (each one is a recorded :class:`IntegrityViolation`).
+    audit_mismatches: int = 0
+    #: mismatched runs healed by adopting the full-replay result.
+    audit_repairs: int = 0
+    #: pools torn down because a worker's golden digest diverged.
+    drift_events: int = 0
+    #: checkpoint records dropped on load after a digest mismatch.
+    checkpoint_rejects: int = 0
 
     @property
     def runs_per_sec(self) -> float:
@@ -391,6 +474,19 @@ class CampaignTelemetry:
                 f" ({self.ff_restores} restores, {self.ff_resyncs} resyncs,"
                 f" {self.ff_tracks} tracks)"
             )
+        if (
+            self.audits or self.audit_mismatches
+            or self.drift_events or self.checkpoint_rejects
+        ):
+            text += (
+                f" | integrity audits={self.audits}"
+                f" mismatches={self.audit_mismatches}"
+                f" repairs={self.audit_repairs}"
+            )
+            if self.drift_events:
+                text += f" drift={self.drift_events}"
+            if self.checkpoint_rejects:
+                text += f" ckpt-rejects={self.checkpoint_rejects}"
         if self.faulted:
             text += (
                 f" | retries={self.retries} failures={self.failures}"
@@ -526,6 +622,9 @@ _ACTIVE_RUNNER: Optional[Callable[[int], Any]] = None
 _ACTIVE_TIMEOUT: Optional[float] = None
 #: (fail_index, kill_index) chaos hooks; see ``_chaos_from_env``.
 _ACTIVE_CHAOS: Tuple[Optional[int], Optional[int]] = (None, None)
+#: the drift sentinel published before the pool forks: a callable
+#: computing a fresh golden-run digest, and the parent's own digest.
+_ACTIVE_SENTINEL: Optional[Tuple[Callable[[], str], str]] = None
 
 
 class _TaskTimeout(Exception):
@@ -585,11 +684,28 @@ def _task_alarm(seconds: Optional[float]) -> Iterator[None]:
         signal.signal(signal.SIGALRM, previous)
 
 
+def _sentinel_probe(worker: int) -> str:
+    """Worker-side half of the drift sentinel: a fresh golden digest.
+
+    Dispatched to a new pool before any real task.  The digest is
+    computed from scratch (no caches), so it reflects what *this*
+    worker's arithmetic and code actually produce.
+    ``REPRO_CHAOS_DRIFT_WORKER=1`` deliberately corrupts the probe —
+    in forked children only — to exercise the broken-pool path.
+    """
+    compute, _ = _ACTIVE_SENTINEL  # type: ignore[misc]
+    digest = compute()
+    if os.environ.get("REPRO_CHAOS_DRIFT_WORKER") == "1":
+        digest = f"chaos-drift-{digest[:8]}"
+    return digest
+
+
 def _execute_attempt(index: int, attempt: int) -> Tuple[int, Dict, float]:
     """One attempt of one task; errors become in-band payloads."""
     started = time.perf_counter()
     fail_index, _ = _ACTIVE_CHAOS
     ff_before = ff_stats.as_tuple()
+    integ_before = integrity_stats.as_tuple()
     try:
         if fail_index is not None and index == fail_index and attempt == 1:
             raise RuntimeError(f"chaos: injected failure at task {index}")
@@ -610,8 +726,23 @@ def _execute_attempt(index: int, attempt: int) -> Tuple[int, Dict, float]:
             "err": f"timed out after {_ACTIVE_TIMEOUT:g} s",
             "kind": "timeout",
         }
+    except IntegrityError as exc:
+        # a strict-policy audit mismatch: deterministic, so a retry
+        # would only repeat it — the parent aborts instead
+        payload = {"err": str(exc), "kind": "integrity"}
     except Exception as exc:
         payload = {"err": f"{type(exc).__name__}: {exc}", "kind": "exception"}
+    # audit counters and structured violations travel beside the
+    # result, like the fast-forward delta above
+    integ_delta = tuple(
+        after - before
+        for before, after in zip(integ_before, integrity_stats.as_tuple())
+    )
+    if any(integ_delta):
+        payload["integ"] = integ_delta
+    violations = drain_violations()
+    if violations:
+        payload["viol"] = [violation.to_json() for violation in violations]
     return index, payload, time.perf_counter() - started
 
 
@@ -674,35 +805,55 @@ class CampaignExecutor:
         self.cache = cache if cache is not None else golden_cache
         #: telemetry of the most recent :meth:`run_tasks` call.
         self.telemetry: Optional[CampaignTelemetry] = None
+        #: integrity violations observed by the most recent run
+        #: (audit mismatches, rejected checkpoint records, drift).
+        self.violations: List[IntegrityViolation] = []
         self._events = RunEventLog(None, campaign)
+        self._digests: Dict[int, str] = {}
         # cache and fast-forward stats count from executor
         # construction, so golden runs and checkpoint tracks built
         # while the campaign pre-draws its parameters show up
         self._cache_hits0 = self.cache.hits
         self._cache_misses0 = self.cache.misses
         self._ff0 = ff_stats.as_tuple()
+        self._integ0 = integrity_stats.as_tuple()
 
     # ------------------------------------------------------------------
     # Checkpointing.
     # ------------------------------------------------------------------
     def _load_checkpoint(
         self, fingerprint: str, n_tasks: int
-    ) -> Dict[int, Any]:
+    ) -> Tuple[Dict[int, Any], int]:
+        """Load matching records; returns (done, rejected-record count).
+
+        Every record that ships with a digest is re-verified against
+        it before being merged.  A mismatch means the file was
+        corrupted (or hand-edited) after it was written: under
+        ``repair`` the record is dropped and its task re-executed,
+        under ``strict`` the resume aborts, under ``off`` the record
+        is accepted unverified.  Records without digests (pre-digest
+        checkpoints) load unverified on any policy.
+        """
         path = self.config.checkpoint_path
         if not path or not os.path.exists(path):
-            return {}
+            return {}, 0
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 payload = json.load(handle)
         except (OSError, ValueError):
-            return {}
+            return {}, 0
         if (
             not isinstance(payload, dict)
             or payload.get("campaign") != self.campaign
             or payload.get("fingerprint") != fingerprint
             or payload.get("n_tasks") != n_tasks
         ):
-            return {}
+            return {}, 0
+        policy = self.config.integrity_policy
+        digests = payload.get("digests")
+        if not isinstance(digests, dict):
+            digests = {}
+        rejects = 0
         # a structurally corrupt checkpoint (non-numeric indices,
         # results that aren't a mapping, mangled failure records) is
         # discarded like a mismatched one — never crash the campaign
@@ -712,12 +863,45 @@ class CampaignExecutor:
                 i = int(index)
                 if not 0 <= i < n_tasks:
                     continue
+                stored = digests.get(index)
+                if stored is not None and policy != "off":
+                    try:
+                        computed = canonical_digest(result)
+                    except IntegrityError:
+                        computed = "<undigestable>"
+                    if computed != stored:
+                        rejects += 1
+                        violation = IntegrityViolation(
+                            kind="checkpoint_digest",
+                            campaign=self.campaign,
+                            index=i,
+                            detail=(
+                                "stored record does not match its digest"
+                            ),
+                            expected=str(stored),
+                            observed=computed,
+                        )
+                        self.violations.append(violation)
+                        self._events.emit(
+                            "integrity_violation",
+                            kind=violation.kind,
+                            index=i,
+                            detail=violation.detail,
+                        )
+                        if policy == "strict":
+                            raise IntegrityError(
+                                f"checkpoint {path} failed verification: "
+                                f"{violation.describe()}"
+                            )
+                        continue  # repair: drop it, re-execute the task
+                if isinstance(stored, str):
+                    self._digests[i] = stored
                 if TaskFailure.is_encoded(result):
                     result = TaskFailure.from_json(result)
                 done[i] = result
         except (AttributeError, KeyError, TypeError, ValueError):
-            return {}
-        return done
+            return {}, rejects
+        return done, rejects
 
     def _flush_checkpoint(
         self, fingerprint: str, n_tasks: int, done: Dict[int, Any]
@@ -725,17 +909,28 @@ class CampaignExecutor:
         path = self.config.checkpoint_path
         if not path:
             return
+        results: Dict[str, Any] = {}
+        for index, result in done.items():
+            encoded = (
+                result.to_json()
+                if isinstance(result, TaskFailure)
+                else result
+            )
+            results[str(index)] = encoded
+            if index not in self._digests:
+                try:
+                    self._digests[index] = canonical_digest(encoded)
+                except IntegrityError:
+                    pass  # non-JSON results cannot be verified later
         payload = {
             "campaign": self.campaign,
             "fingerprint": fingerprint,
             "n_tasks": n_tasks,
-            "results": {
-                str(index): (
-                    result.to_json()
-                    if isinstance(result, TaskFailure)
-                    else result
-                )
-                for index, result in done.items()
+            "results": results,
+            "digests": {
+                str(index): digest
+                for index, digest in self._digests.items()
+                if index in done
             },
         }
         tmp = f"{path}.tmp"
@@ -754,14 +949,34 @@ class CampaignExecutor:
         runner: Callable[[int], Any],
         n_tasks: int,
         fingerprint: str = "",
+        sentinel: Optional[Callable[[], str]] = None,
     ) -> List[Any]:
         """Execute ``runner`` over ``range(n_tasks)``; results in order.
 
         Quarantined tasks yield :class:`TaskFailure` entries in the
         returned list; everything else is the runner's return value.
+
+        *sentinel*, when given (and the integrity policy is not
+        ``off``), is a callable computing a fresh golden-run digest;
+        before any tasks are dispatched to a process pool, every
+        worker runs it and the parent compares the digests with its
+        own.  A divergent worker marks the pool broken — it is
+        respawned (and eventually degraded to serial) without any
+        task attempt budgets being consumed.
         """
         config = self.config
-        done = self._load_checkpoint(fingerprint, n_tasks)
+        self.violations = []
+        self._digests = {}
+        events = RunEventLog(config.event_log_path, self.campaign)
+        self._events = events
+        try:
+            done, checkpoint_rejects = self._load_checkpoint(
+                fingerprint, n_tasks
+            )
+        except IntegrityError:
+            events.close()
+            self._events = RunEventLog(None, self.campaign)
+            raise
         pending = [i for i in range(n_tasks) if i not in done]
         # report the backend actually used: the process backend falls
         # back to serial when fork is unavailable or the workload is
@@ -778,9 +993,8 @@ class CampaignExecutor:
             jobs=config.jobs if backend == "process" else 1,
             total_runs=n_tasks,
             resumed_runs=len(done),
+            checkpoint_rejects=checkpoint_rejects,
         )
-        events = RunEventLog(config.event_log_path, self.campaign)
-        self._events = events
         checkpointing = bool(config.checkpoint_path)
         since_flush = 0
         attempts: Dict[int, int] = {index: 0 for index in pending}
@@ -815,9 +1029,40 @@ class CampaignExecutor:
                 telemetry.ff_ticks_saved += ff_delta[2]
                 telemetry.ff_tracks += ff_delta[3]
 
+        def absorb_integrity(integ_delta: Optional[Tuple[int, ...]]) -> None:
+            """Fold a pool worker's audit counters into telemetry.
+
+            Pool results only, mirroring :func:`absorb_ff`: in-process
+            audits mutate the parent's ``integrity_stats`` directly
+            and are accounted once, as the process-wide delta, when
+            the run finishes.
+            """
+            if integ_delta:
+                telemetry.audits += integ_delta[0]
+                telemetry.audit_mismatches += integ_delta[1]
+                telemetry.audit_repairs += integ_delta[2]
+
+        def absorb_violations(payload: Dict) -> None:
+            """Collect a task's structured violations (any backend).
+
+            Violations are drained exactly once, inside
+            :func:`_execute_attempt`, so absorbing them from the
+            payload is double-count-free on both backends.
+            """
+            for encoded in payload.get("viol", ()):
+                violation = IntegrityViolation.from_json(encoded)
+                self.violations.append(violation)
+                events.emit(
+                    "integrity_violation",
+                    kind=violation.kind,
+                    index=violation.index,
+                    detail=violation.detail,
+                )
+
         def succeed(index: int, payload: Dict, busy: float) -> None:
             telemetry.executed_runs += 1
             telemetry.busy_s += busy
+            absorb_violations(payload)
             record(index, payload["ok"])
             events.emit(
                 "task_finish",
@@ -847,6 +1092,7 @@ class CampaignExecutor:
             """Account one failed attempt; quarantine when exhausted."""
             telemetry.busy_s += busy
             kind = payload.get("kind", "exception")
+            absorb_violations(payload)
             if kind == "timeout":
                 telemetry.timeouts += 1
             events.emit(
@@ -856,6 +1102,13 @@ class CampaignExecutor:
                 kind=kind,
                 error=payload.get("err", ""),
             )
+            if kind == "integrity":
+                # a strict-policy violation is deterministic: retrying
+                # replays the identical mismatch, so abort the campaign
+                # (the checkpoint still flushes on the way out)
+                raise IntegrityError(
+                    payload.get("err", "integrity violation")
+                )
             if attempts[index] >= config.retries + 1:
                 quarantine(index, kind, payload.get("err", ""))
 
@@ -877,14 +1130,90 @@ class CampaignExecutor:
                     else:
                         fail_attempt(index, payload, busy)
 
+        def verify_pool(pool, watchdog: float) -> Optional[str]:
+            """Drift-sentinel check of a fresh pool; ``None`` = healthy.
+
+            Dispatches one probe per worker slot (probes may not land
+            one-per-process, but the drift scenarios that matter —
+            FP environment drift, mismatched code — affect every
+            child of the same parent alike, so any probe detects
+            them).  Returns the reason the pool cannot be trusted.
+            """
+            if _ACTIVE_SENTINEL is None:
+                return None
+            _, expected = _ACTIVE_SENTINEL
+            try:
+                probes = pool.map_async(
+                    _sentinel_probe, range(config.jobs), chunksize=1
+                ).get(watchdog)
+            except multiprocessing.TimeoutError:
+                return (
+                    f"sentinel probes produced no result within the "
+                    f"{watchdog:.0f} s watchdog"
+                )
+            except Exception as exc:
+                return f"sentinel probe failed: {type(exc).__name__}: {exc}"
+            drifted = [d for d in probes if d != expected]
+            if not drifted:
+                return None
+            telemetry.drift_events += 1
+            violation = IntegrityViolation(
+                kind="worker_drift",
+                campaign=self.campaign,
+                detail=(
+                    f"{len(drifted)}/{len(probes)} worker golden "
+                    f"digests diverged from the parent's"
+                ),
+                expected=expected,
+                observed=drifted[0],
+            )
+            self.violations.append(violation)
+            events.emit(
+                "worker_drift",
+                drifted=len(drifted),
+                probes=len(probes),
+                expected=expected,
+                observed=drifted[0],
+            )
+            return violation.detail
+
         def run_pool(indices: Sequence[int]) -> None:
             context = multiprocessing.get_context("fork")
             respawns_left = config.max_pool_respawns
             watchdog = config.resolved_watchdog()
             remaining = [i for i in indices if i not in done]
             pool = context.Pool(processes=config.jobs)
+            unhealthy = verify_pool(pool, watchdog)
             try:
                 while remaining:
+                    if unhealthy is not None:
+                        # a drifted pool never ran a task, so no
+                        # attempt budget was consumed; tear it down
+                        # like any other broken pool
+                        pool.terminate()
+                        pool.join()
+                        events.emit("pool_broken", reason=unhealthy)
+                        if respawns_left <= 0:
+                            telemetry.degraded = True
+                            events.emit(
+                                "backend_degraded",
+                                reason=(
+                                    "pool respawn budget exhausted"
+                                ),
+                                remaining=len(remaining),
+                            )
+                            run_serial(remaining)
+                            return
+                        respawns_left -= 1
+                        telemetry.pool_respawns += 1
+                        pool = context.Pool(processes=config.jobs)
+                        events.emit(
+                            "pool_respawn",
+                            jobs=config.jobs,
+                            remaining=len(remaining),
+                        )
+                        unhealthy = verify_pool(pool, watchdog)
+                        continue
                     wave_attempt = 1
                     for index in remaining:
                         attempts[index] += 1
@@ -935,6 +1264,7 @@ class CampaignExecutor:
                             break
                         received += 1
                         for index, payload, busy in results:
+                            absorb_integrity(payload.get("integ"))
                             if "ok" in payload:
                                 absorb_ff(payload.get("ff"))
                                 succeed(index, payload, busy)
@@ -978,14 +1308,25 @@ class CampaignExecutor:
                             jobs=config.jobs,
                             remaining=len(remaining),
                         )
+                        unhealthy = verify_pool(pool, watchdog)
             finally:
                 pool.terminate()
                 pool.join()
 
         global _ACTIVE_RUNNER, _ACTIVE_TIMEOUT, _ACTIVE_CHAOS
+        global _ACTIVE_SENTINEL
         _ACTIVE_RUNNER = runner
         _ACTIVE_TIMEOUT = config.task_timeout
         _ACTIVE_CHAOS = _chaos_from_env()
+        _ACTIVE_SENTINEL = None
+        if (
+            backend == "process"
+            and sentinel is not None
+            and config.integrity_policy != "off"
+        ):
+            # the parent's own digest, computed before the fork, is
+            # the reference every worker probe is compared against
+            _ACTIVE_SENTINEL = (sentinel, sentinel())
         status = "ok"
         try:
             if backend == "process":
@@ -999,6 +1340,7 @@ class CampaignExecutor:
             _ACTIVE_RUNNER = None
             _ACTIVE_TIMEOUT = None
             _ACTIVE_CHAOS = (None, None)
+            _ACTIVE_SENTINEL = None
             telemetry.wall_s = time.perf_counter() - started
             telemetry.cache_hits = self.cache.hits - self._cache_hits0
             telemetry.cache_misses = self.cache.misses - self._cache_misses0
@@ -1010,6 +1352,14 @@ class CampaignExecutor:
                 )
             )
             self._ff0 = ff_now
+            integ_now = integrity_stats.as_tuple()
+            absorb_integrity(
+                tuple(
+                    after - before
+                    for before, after in zip(self._integ0, integ_now)
+                )
+            )
+            self._integ0 = integ_now
             # the no-lost-progress guarantee: flush on every exit path
             if checkpointing:
                 self._flush_checkpoint(fingerprint, n_tasks, done)
@@ -1024,6 +1374,12 @@ class CampaignExecutor:
                 timeouts=telemetry.timeouts,
                 respawns=telemetry.pool_respawns,
                 degraded=telemetry.degraded,
+                audits=telemetry.audits,
+                audit_mismatches=telemetry.audit_mismatches,
+                audit_repairs=telemetry.audit_repairs,
+                drift_events=telemetry.drift_events,
+                checkpoint_rejects=telemetry.checkpoint_rejects,
+                violations=len(self.violations),
                 wall_s=round(telemetry.wall_s, 3),
             )
             events.close()

@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import CampaignError
+from repro.fi.integrity import run_digest
 from repro.model.system import InvocationRecord
 from repro.target.simulation import ArrestmentResult, ArrestmentSimulator
 from repro.target.testcases import TestCase
@@ -128,6 +129,15 @@ class GoldenRun:
                 f"the fault-free system must always arrest the aircraft"
             )
         return self.result.completion_tick
+
+    def digest(self) -> str:
+        """Canonical content digest of the golden run's observables.
+
+        Every downstream comparison (first differences, EA reference
+        values, resynchronization) derives from these; two golden runs
+        with equal digests are interchangeable references.
+        """
+        return run_digest(self.result)
 
 
 class GoldenRunStore:

@@ -7,7 +7,13 @@ files) so that a campaign run once — possibly on another machine —
 can feed any number of later analyses.
 
 The format is versioned; loading rejects unknown versions rather than
-guessing.
+guessing.  Every saved envelope carries a canonical content digest
+(:func:`~repro.fi.integrity.canonical_digest`); :func:`load_json`
+re-verifies it and raises :class:`~repro.errors.IntegrityError` on a
+mismatch, so a campaign file corrupted at rest (bit rot, truncated
+copy, hand edit) is detected instead of silently feeding wrong numbers
+into the analyses.  Files written before digests existed load
+unverified.
 """
 
 from __future__ import annotations
@@ -16,7 +22,8 @@ import json
 from pathlib import Path
 from typing import Dict, List, Union
 
-from repro.errors import CampaignError
+from repro.errors import CampaignError, IntegrityError
+from repro.fi.integrity import canonical_digest
 from repro.fi.campaign import (
     DetectionResult,
     MemoryCampaignResult,
@@ -202,20 +209,42 @@ AnyResult = Union[PermeabilityEstimate, DetectionResult, MemoryCampaignResult]
 
 
 def save_json(result: AnyResult, path: Union[str, Path]) -> Path:
-    """Serialize a campaign result to a JSON file; returns the path."""
+    """Serialize a campaign result to a JSON file; returns the path.
+
+    The envelope gains a ``digest`` field — the canonical content
+    digest of everything else in it — which :func:`load_json`
+    re-verifies.
+    """
     converter = _TO_DICT.get(type(result))
     if converter is None:
         raise CampaignError(
             f"cannot serialize a {type(result).__name__}"
         )
+    data = converter(result)
+    data["digest"] = canonical_digest(data)
     path = Path(path)
-    path.write_text(json.dumps(converter(result), indent=2))
+    path.write_text(json.dumps(data, indent=2))
     return path
 
 
 def load_json(path: Union[str, Path]) -> AnyResult:
-    """Load any campaign result saved by :func:`save_json`."""
+    """Load any campaign result saved by :func:`save_json`.
+
+    Raises :class:`~repro.errors.IntegrityError` when the file's
+    content does not match its stored digest; files saved before
+    digests existed (no ``digest`` field) load unverified.
+    """
     data = json.loads(Path(path).read_text())
+    stored = data.pop("digest", None)
+    if stored is not None:
+        computed = canonical_digest(data)
+        if computed != stored:
+            raise IntegrityError(
+                f"campaign file {path} failed verification: stored "
+                f"digest {str(stored)[:16]}… does not match content "
+                f"digest {computed[:16]}… — the file was modified or "
+                f"corrupted after it was saved"
+            )
     loader = _FROM_DICT.get(data.get("kind"))
     if loader is None:
         raise CampaignError(

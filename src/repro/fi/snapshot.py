@@ -38,6 +38,7 @@ per-task deltas into :class:`~repro.fi.executor.CampaignTelemetry`.
 
 from __future__ import annotations
 
+import os
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -346,6 +347,39 @@ def _noop_arm(injector) -> None:
     return None
 
 
+#: restores seen by this process, for the targeted chaos hook below.
+_restore_count = 0
+
+
+def _chaos_corrupt_restore(simulator) -> None:
+    """Test-only silent-corruption hook for the integrity layer.
+
+    ``REPRO_CHAOS_CORRUPT_FF_RESTORE=all`` perturbs the signal store
+    after *every* checkpoint restore; ``=N`` perturbs only the Nth
+    restore of this process (0-based).  The perturbation — a +1 bump
+    of every store cell — models a stale or bit-rotted snapshot: the
+    restored run silently diverges from a true full replay, which is
+    exactly the failure mode the sampled audit replay must catch.
+    Full replays (fast-forward off) never restore, so they stay clean
+    and remain the trusted reference.
+    """
+    global _restore_count
+    value = os.environ.get("REPRO_CHAOS_CORRUPT_FF_RESTORE")
+    if not value:
+        return
+    nth = _restore_count
+    _restore_count += 1
+    if value != "all":
+        try:
+            if nth != int(value):
+                return
+        except ValueError:
+            return
+    store = simulator.executor.store
+    for signal, current in sorted(store.snapshot().items()):
+        store.poke(signal, current + 1)
+
+
 class FastForward:
     """One campaign's handle on the fast-forward machinery.
 
@@ -414,6 +448,7 @@ class FastForward:
         simulator.record_traces = False
         if checkpoint.tick:
             simulator.restore_state(checkpoint, restore_traces=False)
+            _chaos_corrupt_restore(simulator)
             ff_stats.restores += 1
             ff_stats.ticks_skipped += checkpoint.tick
         bank = self._fresh_bank(simulator)

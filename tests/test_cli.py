@@ -81,3 +81,28 @@ class TestExperimentsCLI:
             ["experiments", "table3", "--scale", "test"]
         ) == 0
         assert "Table 3" in capsys.readouterr().out
+
+    def test_integrity_flags_reach_the_config(self):
+        import argparse
+
+        from repro.experiments.__main__ import (
+            add_execution_options,
+            context_from_args,
+        )
+
+        parser = argparse.ArgumentParser()
+        add_execution_options(parser)
+        args = parser.parse_args([
+            "--scale", "test", "--audit-fraction", "0.25",
+            "--audit-seed", "11", "--integrity-policy", "strict",
+        ])
+        config = context_from_args(args).campaign_config("detection")
+        assert config.audit_fraction == 0.25
+        assert config.audit_seed == 11
+        assert config.integrity_policy == "strict"
+
+    def test_bad_integrity_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            experiments_main(
+                ["table3", "--integrity-policy", "paranoid"]
+            )
