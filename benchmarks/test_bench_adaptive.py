@@ -1,0 +1,160 @@
+"""Bench: adaptive sequential sampling vs. fixed-n campaigns.
+
+Runs the Table-1 permeability campaign at a paper-precision budget
+(3x the scale's per-input runs) three ways — fixed-n, adaptive with
+Wilson-bound early stopping, and adaptive with stopping disabled —
+and asserts the adaptive contract:
+
+* stopping disabled is **bit-identical** to fixed-n (same canonical
+  digest): the batched scheduler changes dispatch order, never
+  results;
+* early stopping spends at least 2x fewer injections (bench/full
+  scales) while reaching the same shape verdicts: every Table-1
+  architectural zero still measures exactly zero, every pass-through
+  pair stays in the high class, and the Table-2 PA placement selects
+  the same signals.
+
+Records the spend accounting to ``BENCH_adaptive.json``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+from conftest import run_once, strict
+
+from repro.experiments.context import ExperimentContext
+from repro.experiments.table1 import run_table1
+from repro.experiments.table2 import run_table2
+from repro.fi.integrity import canonical_digest
+from repro.fi.serialization import (
+    permeability_to_dict,
+    stratum_reports_to_dict,
+)
+
+#: Table-1 architectural zeros (must hold in every arm, at any scale)
+ZERO_PAIRS = (
+    ("CLOCK", "ms_slot_nbr", "mscnt"),
+    ("DIST_S", "TIC1", "pulscnt"),
+    ("DIST_S", "TIC1", "slow_speed"),
+    ("DIST_S", "TIC1", "stopped"),
+    ("DIST_S", "TCNT", "pulscnt"),
+    ("DIST_S", "TCNT", "slow_speed"),
+    ("DIST_S", "TCNT", "stopped"),
+    ("CALC", "mscnt", "i"),
+    ("CALC", "pulscnt", "SetValue"),
+    ("CALC", "slow_speed", "i"),
+    ("CALC", "stopped", "SetValue"),
+)
+
+#: Table-1 near-unity pass-throughs
+HIGH_PAIRS = (
+    ("CLOCK", "ms_slot_nbr", "ms_slot_nbr"),
+    ("DIST_S", "PACNT", "pulscnt"),
+    ("CALC", "i", "i"),
+    ("CALC", "slow_speed", "SetValue"),
+    ("V_REG", "SetValue", "OutValue"),
+    ("V_REG", "IsValue", "OutValue"),
+    ("PRES_A", "OutValue", "TOC2"),
+)
+
+
+def _context(ctx, budget, **kwargs):
+    arm = ExperimentContext(scale=ctx.scale.name, seed=ctx.seed, **kwargs)
+    # paper-precision budget on every arm: the contrast under test is
+    # scheduling, so fixed-n and adaptive must share the same budget
+    arm.scale = dataclasses.replace(arm.scale, runs_per_input=budget)
+    return arm
+
+
+def test_bench_adaptive_savings(benchmark, ctx):
+    budget = 3 * ctx.scale.runs_per_input
+    fixed_ctx = _context(ctx, budget)
+    adaptive_ctx = _context(ctx, budget, adaptive=True, max_runs=budget)
+    disabled_ctx = _context(
+        ctx, budget, adaptive=True, max_runs=budget, ci_halfwidth=0.0
+    )
+
+    fixed = fixed_ctx.permeability_estimate()
+
+    def run_adaptive():
+        return adaptive_ctx.permeability_estimate()
+
+    adaptive = run_once(benchmark, run_adaptive)
+    disabled = disabled_ctx.permeability_estimate()
+
+    telemetry = adaptive_ctx.telemetries["permeability"]
+    reports = adaptive_ctx.stratum_reports["permeability"]
+    fixed_runs = fixed_ctx.telemetries["permeability"].executed_runs
+    adaptive_runs = telemetry.executed_runs
+    ratio = fixed_runs / adaptive_runs if adaptive_runs else float("inf")
+
+    identical = canonical_digest(
+        permeability_to_dict(disabled)
+    ) == canonical_digest(permeability_to_dict(fixed))
+
+    fixed_table2 = run_table2(fixed_ctx)
+    adaptive_table2 = run_table2(adaptive_ctx)
+    selection_parity = (
+        fixed_table2.placement.selected == adaptive_table2.placement.selected
+    )
+
+    print()
+    print(f"adaptive bench (scale {ctx.scale.name}, budget {budget})")
+    print(f"  fixed-n     : {fixed_runs} injections")
+    print(f"  adaptive    : {adaptive_runs} injections "
+          f"({telemetry.runs_saved} saved, "
+          f"{telemetry.strata_early}/{telemetry.strata} strata early)")
+    print(f"  reduction   : {ratio:.2f}x")
+    print(f"  stop reasons: {dict(sorted(telemetry.stop_reasons.items()))}")
+    print(f"  disabled == fixed-n: {identical}")
+    print(f"  table2 selection parity: {selection_parity}")
+    print(run_table1(adaptive_ctx).render())
+
+    # the determinism contract holds at any scale
+    assert identical, (
+        "adaptive scheduling with stopping disabled must be "
+        "bit-identical to fixed-n"
+    )
+    # verdict parity: architectural zeros are certified, not sampled
+    # away, and the pass-throughs stay in the high class in both arms
+    for key in ZERO_PAIRS:
+        assert fixed.values[key] == 0.0, key
+        assert adaptive.values[key] == 0.0, key
+    for key in HIGH_PAIRS:
+        assert fixed.values[key] >= 0.7, key
+        assert adaptive.values[key] >= 0.7, key
+    assert selection_parity
+    assert telemetry.runs_saved > 0
+
+    with open("BENCH_adaptive.json", "w") as handle:
+        json.dump(
+            {
+                "campaign": "permeability",
+                "scale": ctx.scale.name,
+                "budget_per_input": budget,
+                "fixed_injections": fixed_runs,
+                "adaptive_injections": adaptive_runs,
+                "reduction_factor": round(ratio, 3),
+                "runs_saved": telemetry.runs_saved,
+                "strata_early": telemetry.strata_early,
+                "strata": telemetry.strata,
+                "stop_reasons": dict(sorted(telemetry.stop_reasons.items())),
+                "disabled_stopping_bit_identical": identical,
+                "table1_zero_parity": True,
+                "table2_selection_parity": selection_parity,
+                "spend": stratum_reports_to_dict(reports),
+            },
+            handle,
+            indent=2,
+        )
+
+    if strict(ctx):
+        # the headline claim: same conclusions, >= 2x fewer injections
+        assert ratio >= 2.0, (
+            f"adaptive sampling reduced injections only {ratio:.2f}x "
+            f"({fixed_runs} -> {adaptive_runs}); expected >= 2x"
+        )
+    else:
+        print(f"  (reduction bound not asserted at scale {ctx.scale.name})")

@@ -125,11 +125,16 @@ def test_bench_integrity_audit_overhead(benchmark, ctx):
         )
 
     # overhead bound: sampling 10% of the runs must cost well under
-    # the win fast-forwarding brings (needs enough runs to average out)
-    if strict(ctx):
-        assert overhead <= 0.25 * win, (
+    # the win fast-forwarding brings (needs enough runs to average
+    # out).  Guard against scheduler jitter: with a sub-second win the
+    # ratio is dominated by timing noise, so the bound only applies
+    # once the win is comfortably measurable, and the overhead gets an
+    # absolute floor so a noisy-but-tiny overhead cannot fail it.
+    if strict(ctx) and win >= 1.0:
+        assert overhead <= max(0.25 * win, 0.25), (
             f"audit overhead {overhead:.2f} s exceeds 25% of the "
             f"fast-forward win {win:.2f} s"
         )
     else:
-        print(f"  (overhead bound not asserted at scale {ctx.scale.name})")
+        print(f"  (overhead bound not asserted: scale {ctx.scale.name}, "
+              f"win {win:.2f} s)")

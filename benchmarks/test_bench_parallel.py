@@ -59,11 +59,14 @@ def test_bench_parallel_table1(benchmark, ctx):
     assert parallel.direct_counts == serial.direct_counts
     assert parallel.active_runs == serial.active_runs
 
-    # the throughput bound needs the cores to be there
-    if cores >= jobs:
+    # the throughput bound needs the cores to be there AND a serial
+    # baseline long enough that the ratio measures throughput rather
+    # than scheduler jitter and pool startup
+    if cores >= jobs and serial_s >= 1.0:
         assert speedup >= 2.0, (
             f"expected >=2x speedup at {jobs} workers on {cores} cores, "
             f"measured {speedup:.2f}x"
         )
     else:
-        print(f"  (speedup bound not asserted: only {cores} core(s))")
+        print(f"  (speedup bound not asserted: {cores} core(s), "
+              f"serial baseline {serial_s:.2f} s)")

@@ -110,11 +110,14 @@ def test_bench_snapshot_fast_forward(benchmark, ctx):
             indent=2,
         )
 
-    # the throughput bound needs enough runs to amortize track recording
-    if strict(ctx):
+    # the throughput bound needs enough runs to amortize track
+    # recording, and a full-replay baseline long enough that the ratio
+    # is not dominated by timing jitter on a loaded CI box
+    if strict(ctx) and full_s >= 1.0:
         assert speedup >= 3.0, (
             f"expected >=3x fast-forward speedup at stride "
             f"{DEFAULT_CHECKPOINT_STRIDE}, measured {speedup:.2f}x"
         )
     else:
-        print(f"  (speedup bound not asserted at scale {ctx.scale.name})")
+        print(f"  (speedup bound not asserted: scale {ctx.scale.name}, "
+              f"baseline {full_s:.2f} s)")

@@ -19,8 +19,10 @@ Subcommands
     --jobs 4``.  Accepts ``--scale``, ``--seed``, ``--target``,
     ``--jobs``, ``--resume``, ``--checkpoint-dir``, ``--task-timeout``,
     ``--retries``, ``--event-log``, ``--checkpoint-stride``,
-    ``--no-fast-forward``, ``--audit-fraction``, ``--audit-seed`` and
-    ``--integrity-policy``; parallel and fast-forwarded runs are
+    ``--no-fast-forward``, ``--audit-fraction``, ``--audit-seed``,
+    ``--integrity-policy``, ``--adaptive``/``--fixed-n``,
+    ``--ci-level``, ``--ci-halfwidth``, ``--min-batch`` and
+    ``--max-runs``; parallel and fast-forwarded runs are
     bit-identical to serial full-replay ones for the same seed, and
     failing runs are retried and quarantined instead of aborting the
     campaign.
@@ -172,6 +174,11 @@ def _cmd_one_experiment(args: argparse.Namespace) -> int:
         audit_fraction=args.audit_fraction,
         audit_seed=args.audit_seed,
         integrity_policy=args.integrity_policy,
+        adaptive=args.adaptive,
+        ci_level=args.ci_level,
+        ci_halfwidth=args.ci_halfwidth,
+        min_batch=args.min_batch,
+        max_runs=args.max_runs,
     )
     result = EXPERIMENTS[args.command](ctx)
     print(result.render())
@@ -288,6 +295,37 @@ def main(argv: Optional[List[str]] = None) -> int:
             default=None, metavar="P",
             help="integrity violation handling: strict aborts, repair "
             "self-heals (default), off disables verification",
+        )
+        scheduling = p_one.add_mutually_exclusive_group()
+        scheduling.add_argument(
+            "--adaptive", action="store_true",
+            help="sequential Wilson-bound scheduling with per-stratum "
+            "early stopping for the sampled campaigns",
+        )
+        scheduling.add_argument(
+            "--fixed-n", action="store_true",
+            help="run the full per-stratum budget unconditionally "
+            "(the default)",
+        )
+        p_one.add_argument(
+            "--ci-level", type=float, default=None, metavar="L",
+            help="confidence level of the adaptive stopping intervals "
+            "(default: 0.95)",
+        )
+        p_one.add_argument(
+            "--ci-halfwidth", type=float, default=None, metavar="W",
+            help="Wilson half-width target stopping a stratum "
+            "(default: 0.2; 0 disables early stopping entirely)",
+        )
+        p_one.add_argument(
+            "--min-batch", type=int, default=None, metavar="N",
+            help="runs dispatched per stratum per adaptive round "
+            "(default: 4)",
+        )
+        p_one.add_argument(
+            "--max-runs", type=int, default=None, metavar="N",
+            help="per-stratum budget cap for adaptive campaigns "
+            "(default: the scale's per-stratum run count)",
         )
         p_one.set_defaults(fn=_cmd_one_experiment)
 

@@ -1,16 +1,38 @@
-"""Estimation bridging and report rendering."""
+"""Estimation statistics, bridging and report rendering."""
 
 from repro.analysis.estimators import (
     EstimateConfidence,
     estimate_confidence,
+    estimate_intervals,
     matrix_from_estimate,
+)
+from repro.analysis.intervals import (
+    certifies_saturation,
+    certifies_zero,
+    clopper_pearson_interval,
+    jeffreys_interval,
+    wilson_halfwidth,
+    wilson_interval,
+    wilson_lower_bound,
+    wilson_upper_bound,
+    z_value,
 )
 from repro.analysis.tables import fmt, render_table
 
 __all__ = [
     "EstimateConfidence",
+    "certifies_saturation",
+    "certifies_zero",
+    "clopper_pearson_interval",
     "estimate_confidence",
+    "estimate_intervals",
     "fmt",
+    "jeffreys_interval",
     "matrix_from_estimate",
     "render_table",
+    "wilson_halfwidth",
+    "wilson_interval",
+    "wilson_lower_bound",
+    "wilson_upper_bound",
+    "z_value",
 ]

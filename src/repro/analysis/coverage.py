@@ -24,6 +24,7 @@ import math
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.analysis.intervals import _wilson_bounds
 from repro.errors import AnalysisError
 from repro.fi.campaign import DetectionResult, MemoryCampaignResult
 from repro.fi.memory import Region
@@ -45,32 +46,12 @@ def wilson_interval(
     """Wilson score interval for a binomial proportion.
 
     Returns ``(low, high)``; for ``n == 0`` the interval is the whole
-    unit interval (no information).
+    unit interval (no information).  This is the legacy z-parameterized
+    entry point; the shared implementation (level-parameterized, with
+    one-sided bounds and half-width helpers) lives in
+    :mod:`repro.analysis.intervals`.
     """
-    if successes < 0 or n < 0 or successes > n:
-        raise AnalysisError(
-            f"invalid binomial counts: {successes} successes of {n}"
-        )
-    if n == 0:
-        return (0.0, 1.0)
-    phat = successes / n
-    z2 = z * z
-    denom = 1.0 + z2 / n
-    centre = (phat + z2 / (2 * n)) / denom
-    half = (
-        z
-        * math.sqrt(phat * (1 - phat) / n + z2 / (4 * n * n))
-        / denom
-    )
-    low = max(0.0, centre - half)
-    high = min(1.0, centre + half)
-    # at the degenerate proportions the bounds are exactly 0/1 in
-    # theory; keep them so despite floating-point rounding
-    if successes == 0:
-        low = 0.0
-    if successes == n:
-        high = 1.0
-    return (low, high)
+    return _wilson_bounds(successes, n, z)
 
 
 @dataclass(frozen=True)

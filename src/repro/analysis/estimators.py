@@ -1,11 +1,22 @@
-"""Bridging fault-injection estimates into the analysis framework.
+"""Statistics for fault-injection estimates.
 
-A :class:`~repro.fi.campaign.PermeabilityEstimate` is keyed by
-``(module, in_port, out_port)``; the analysis core's
-:class:`~repro.core.permeability.PermeabilityMatrix` is keyed by the
-paper's ``(module, in_index, out_index)``.  This module converts
-between the two and computes simple confidence information for the
-estimates.
+Two responsibilities live here:
+
+* **Interval estimation** — every campaign-measured quantity is a
+  binomial proportion, and this module is the public surface of the
+  interval machinery in :mod:`repro.analysis.intervals`: Wilson score
+  intervals (two-sided and one-sided), Jeffreys and exact
+  Clopper-Pearson intervals, half-width precision measures, and the
+  zero/saturation certification predicates the adaptive campaign
+  engine (:mod:`repro.fi.adaptive`) stops strata on.
+
+* **Bridging** — a :class:`~repro.fi.campaign.PermeabilityEstimate`
+  is keyed by ``(module, in_port, out_port)``; the analysis core's
+  :class:`~repro.core.permeability.PermeabilityMatrix` is keyed by the
+  paper's ``(module, in_index, out_index)``.
+  :func:`matrix_from_estimate` converts between the two, and
+  :func:`estimate_confidence` / :func:`estimate_intervals` attach
+  confidence information to every pair of an estimate.
 """
 
 from __future__ import annotations
@@ -14,6 +25,19 @@ import math
 from dataclasses import dataclass
 from typing import Dict, Tuple
 
+from repro.analysis.intervals import (
+    beta_quantile,
+    certifies_saturation,
+    certifies_zero,
+    clopper_pearson_interval,
+    jeffreys_interval,
+    regularized_incomplete_beta,
+    wilson_halfwidth,
+    wilson_interval,
+    wilson_lower_bound,
+    wilson_upper_bound,
+    z_value,
+)
 from repro.core.permeability import PermeabilityMatrix
 from repro.errors import AnalysisError
 from repro.fi.campaign import PermeabilityEstimate
@@ -22,7 +46,20 @@ from repro.model.system import SystemModel
 __all__ = [
     "matrix_from_estimate",
     "estimate_confidence",
+    "estimate_intervals",
     "EstimateConfidence",
+    # interval machinery (re-exported from repro.analysis.intervals)
+    "z_value",
+    "wilson_interval",
+    "wilson_halfwidth",
+    "wilson_lower_bound",
+    "wilson_upper_bound",
+    "jeffreys_interval",
+    "clopper_pearson_interval",
+    "certifies_zero",
+    "certifies_saturation",
+    "regularized_incomplete_beta",
+    "beta_quantile",
 ]
 
 
@@ -78,3 +115,22 @@ def estimate_confidence(
         half = 1.96 * math.sqrt(max(value * (1.0 - value), 1e-12) / n)
         result[key] = EstimateConfidence(value, n, half)
     return result
+
+
+def estimate_intervals(
+    estimate: PermeabilityEstimate, level: float = 0.95
+) -> Dict[Tuple[str, str, str], Tuple[float, float]]:
+    """Wilson score intervals for every pair of an estimate.
+
+    Unlike :func:`estimate_confidence` (normal approximation, kept for
+    backward compatibility), these intervals stay honest at the
+    extreme proportions — exact zeros and saturated pass-throughs —
+    that dominate a permeability matrix.
+    """
+    intervals: Dict[Tuple[str, str, str], Tuple[float, float]] = {}
+    for key in estimate.values:
+        module, in_port, out_port = key
+        n = estimate.active_runs.get((module, in_port), 0)
+        k = estimate.direct_counts.get(key, 0)
+        intervals[key] = wilson_interval(min(k, n), n, level)
+    return intervals

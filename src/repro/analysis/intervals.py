@@ -1,0 +1,315 @@
+"""Binomial interval estimation for sequential campaigns.
+
+Every quantity a fault-injection campaign estimates — permeability,
+detection coverage — is a binomial proportion, and the sequential
+(adaptive) campaign engine stops sampling a stratum as soon as its
+interval is tight enough.  This module is the statistics core behind
+those decisions:
+
+* :func:`wilson_interval` / :func:`wilson_halfwidth` — the Wilson
+  score interval, the workhorse for two-sided precision targets (it
+  behaves sanely at the small n and extreme proportions FI campaigns
+  produce);
+* :func:`wilson_lower_bound` / :func:`wilson_upper_bound` — one-sided
+  Wilson bounds, used to certify "architectural zero" and "saturated
+  pass-through" pairs (:func:`certifies_zero`,
+  :func:`certifies_saturation`);
+* :func:`jeffreys_interval` — the Bayesian Jeffreys interval
+  (equal-tailed Beta(k+1/2, n-k+1/2) credible interval), an
+  alternative with near-nominal frequentist coverage;
+* :func:`clopper_pearson_interval` — the exact (conservative)
+  interval, kept as the reference the property tests compare against;
+* :func:`regularized_incomplete_beta` / :func:`beta_quantile` — the
+  special functions behind the Beta-quantile intervals, implemented in
+  pure Python (modified Lentz continued fraction plus bisection) so no
+  SciPy dependency is needed.
+
+The module deliberately imports nothing from :mod:`repro.fi` so the
+campaign engine can import it without cycles; the public statistics
+surface is re-exported through :mod:`repro.analysis.estimators`.
+"""
+
+from __future__ import annotations
+
+import math
+from statistics import NormalDist
+from typing import Tuple
+
+from repro.errors import AnalysisError
+
+__all__ = [
+    "z_value",
+    "wilson_interval",
+    "wilson_halfwidth",
+    "wilson_lower_bound",
+    "wilson_upper_bound",
+    "jeffreys_interval",
+    "clopper_pearson_interval",
+    "certifies_zero",
+    "certifies_saturation",
+    "regularized_incomplete_beta",
+    "beta_quantile",
+]
+
+
+def _check_counts(successes: int, n: int) -> None:
+    if successes < 0 or n < 0 or successes > n:
+        raise AnalysisError(
+            f"invalid binomial counts: {successes} successes of {n}"
+        )
+
+
+def _check_level(level: float) -> None:
+    if not 0.0 < level < 1.0:
+        raise AnalysisError(
+            f"confidence level must be within (0, 1), got {level}"
+        )
+
+
+def z_value(level: float, two_sided: bool = True) -> float:
+    """Standard-normal quantile for a confidence *level*.
+
+    ``two_sided=True`` gives the familiar interval quantile (1.96 at
+    95 %); ``two_sided=False`` the one-sided bound quantile (1.645 at
+    95 %).
+    """
+    _check_level(level)
+    quantile = (1.0 + level) / 2.0 if two_sided else level
+    return NormalDist().inv_cdf(quantile)
+
+
+def _wilson_bounds(successes: int, n: int, z: float) -> Tuple[float, float]:
+    """Wilson score bounds for a given normal quantile *z*."""
+    _check_counts(successes, n)
+    if n == 0:
+        return (0.0, 1.0)
+    phat = successes / n
+    z2 = z * z
+    denom = 1.0 + z2 / n
+    centre = (phat + z2 / (2 * n)) / denom
+    half = (
+        z
+        * math.sqrt(phat * (1 - phat) / n + z2 / (4 * n * n))
+        / denom
+    )
+    low = max(0.0, centre - half)
+    high = min(1.0, centre + half)
+    # at the degenerate proportions the bounds are exactly 0/1 in
+    # theory; keep them so despite floating-point rounding
+    if successes == 0:
+        low = 0.0
+    if successes == n:
+        high = 1.0
+    return (low, high)
+
+
+def wilson_interval(
+    successes: int, n: int, level: float = 0.95
+) -> Tuple[float, float]:
+    """Two-sided Wilson score interval at confidence *level*.
+
+    Returns ``(low, high)``; for ``n == 0`` the interval is the whole
+    unit interval (no information).
+    """
+    return _wilson_bounds(successes, n, z_value(level, two_sided=True))
+
+
+def wilson_halfwidth(successes: int, n: int, level: float = 0.95) -> float:
+    """Half-width of the two-sided Wilson interval.
+
+    The adaptive engine's precision measure: a stratum meets a
+    ``--ci-halfwidth`` target once this drops below it.  ``n == 0``
+    yields the maximal half-width 0.5.
+    """
+    low, high = wilson_interval(successes, n, level)
+    return (high - low) / 2.0
+
+
+def wilson_lower_bound(
+    successes: int, n: int, level: float = 0.95
+) -> float:
+    """One-sided lower Wilson bound: ``P(p >= bound) >= level``."""
+    low, _ = _wilson_bounds(successes, n, z_value(level, two_sided=False))
+    return low
+
+
+def wilson_upper_bound(
+    successes: int, n: int, level: float = 0.95
+) -> float:
+    """One-sided upper Wilson bound: ``P(p <= bound) >= level``."""
+    _, high = _wilson_bounds(successes, n, z_value(level, two_sided=False))
+    return high
+
+
+def certifies_zero(
+    successes: int, n: int, level: float, threshold: float
+) -> bool:
+    """Whether the data certify an architectural-zero proportion.
+
+    True when no success was ever observed **and** the one-sided upper
+    bound excludes every proportion above *threshold* — i.e. the pair
+    is, at confidence *level*, at most a rare-propagation pair, and no
+    observation contradicts an exact zero.
+    """
+    _check_counts(successes, n)
+    if successes != 0 or n == 0:
+        return False
+    return wilson_upper_bound(0, n, level) <= threshold
+
+
+def certifies_saturation(
+    successes: int, n: int, level: float, threshold: float
+) -> bool:
+    """Whether the data certify a saturated (pass-through) proportion.
+
+    True when the one-sided lower bound puts the proportion above
+    *threshold* at confidence *level*.
+    """
+    _check_counts(successes, n)
+    if n == 0:
+        return False
+    return wilson_lower_bound(successes, n, level) >= threshold
+
+
+# ----------------------------------------------------------------------
+# Beta special functions (pure Python; no SciPy dependency).
+# ----------------------------------------------------------------------
+def _log_beta(a: float, b: float) -> float:
+    return math.lgamma(a) + math.lgamma(b) - math.lgamma(a + b)
+
+
+def _beta_continued_fraction(
+    a: float, b: float, x: float, max_iter: int = 300, eps: float = 3e-14
+) -> float:
+    """Modified Lentz evaluation of the incomplete-beta continued
+    fraction (Numerical Recipes 6.4)."""
+    tiny = 1e-300
+    qab = a + b
+    qap = a + 1.0
+    qam = a - 1.0
+    c = 1.0
+    d = 1.0 - qab * x / qap
+    if abs(d) < tiny:
+        d = tiny
+    d = 1.0 / d
+    h = d
+    for m in range(1, max_iter + 1):
+        m2 = 2 * m
+        aa = m * (b - m) * x / ((qam + m2) * (a + m2))
+        d = 1.0 + aa * d
+        if abs(d) < tiny:
+            d = tiny
+        c = 1.0 + aa / c
+        if abs(c) < tiny:
+            c = tiny
+        d = 1.0 / d
+        h *= d * c
+        aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2))
+        d = 1.0 + aa * d
+        if abs(d) < tiny:
+            d = tiny
+        c = 1.0 + aa / c
+        if abs(c) < tiny:
+            c = tiny
+        d = 1.0 / d
+        delta = d * c
+        h *= delta
+        if abs(delta - 1.0) < eps:
+            break
+    return h
+
+
+def regularized_incomplete_beta(a: float, b: float, x: float) -> float:
+    """``I_x(a, b)``, the CDF of the Beta(a, b) distribution at *x*."""
+    if a <= 0 or b <= 0:
+        raise AnalysisError(
+            f"beta shape parameters must be positive, got ({a}, {b})"
+        )
+    if x <= 0.0:
+        return 0.0
+    if x >= 1.0:
+        return 1.0
+    ln_front = (
+        a * math.log(x) + b * math.log1p(-x) - _log_beta(a, b)
+    )
+    front = math.exp(ln_front)
+    # the continued fraction converges fast for x below the mean
+    if x < (a + 1.0) / (a + b + 2.0):
+        return front * _beta_continued_fraction(a, b, x) / a
+    return 1.0 - front * _beta_continued_fraction(b, a, 1.0 - x) / b
+
+
+def beta_quantile(a: float, b: float, q: float, tol: float = 0.0) -> float:
+    """Inverse Beta CDF by bisection (monotone, always converges).
+
+    By default bisects until the bracket collapses to adjacent floats
+    — the CDF can be extremely steep near 0/1 (small shape
+    parameters), where any fixed x-tolerance translates into a large
+    quantile error.  Pass *tol* > 0 to stop earlier.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise AnalysisError(f"quantile level must be within [0, 1], got {q}")
+    if q == 0.0:
+        return 0.0
+    if q == 1.0:
+        return 1.0
+    low, high = 0.0, 1.0
+    while True:
+        mid = (low + high) / 2.0
+        if mid == low or mid == high or (tol and high - low < tol):
+            return mid
+        if regularized_incomplete_beta(a, b, mid) < q:
+            low = mid
+        else:
+            high = mid
+
+
+def jeffreys_interval(
+    successes: int, n: int, level: float = 0.95
+) -> Tuple[float, float]:
+    """Equal-tailed Jeffreys interval (Beta(k+1/2, n-k+1/2) prior).
+
+    The standard Bayesian interval for a binomial proportion; its
+    frequentist coverage is close to nominal even at small n.  The
+    boundary conventions of Brown/Cai/DasGupta apply: the lower bound
+    is exactly 0 at ``k == 0`` and the upper exactly 1 at ``k == n``.
+    """
+    _check_counts(successes, n)
+    _check_level(level)
+    if n == 0:
+        return (0.0, 1.0)
+    alpha = 1.0 - level
+    a = successes + 0.5
+    b = n - successes + 0.5
+    low = 0.0 if successes == 0 else beta_quantile(a, b, alpha / 2.0)
+    high = (
+        1.0 if successes == n else beta_quantile(a, b, 1.0 - alpha / 2.0)
+    )
+    return (low, high)
+
+
+def clopper_pearson_interval(
+    successes: int, n: int, level: float = 0.95
+) -> Tuple[float, float]:
+    """Exact (Clopper-Pearson) interval — conservative by construction.
+
+    Kept as the reference interval the property tests compare the
+    approximate intervals against: its coverage never drops below the
+    nominal level, and Jeffreys is contained in it.
+    """
+    _check_counts(successes, n)
+    _check_level(level)
+    if n == 0:
+        return (0.0, 1.0)
+    alpha = 1.0 - level
+    low = (
+        0.0
+        if successes == 0
+        else beta_quantile(successes, n - successes + 1, alpha / 2.0)
+    )
+    high = (
+        1.0
+        if successes == n
+        else beta_quantile(successes + 1, n - successes, 1.0 - alpha / 2.0)
+    )
+    return (low, high)

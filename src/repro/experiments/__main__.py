@@ -26,6 +26,17 @@ Options
     runs full-length and field-diff the outcomes; ``strict`` aborts
     on a violation, ``repair`` (default) self-heals, ``off`` disables
     verification (audits, checkpoint digests and drift sentinels).
+``--adaptive`` / ``--fixed-n``
+    Campaign scheduling: ``--adaptive`` switches the sampled
+    campaigns to sequential Wilson-bound batching with early
+    stopping; ``--fixed-n`` (default) runs the full per-stratum
+    budget unconditionally.
+``--ci-level L`` / ``--ci-halfwidth W`` / ``--min-batch N`` / ``--max-runs N``
+    Adaptive-sampling tuning: confidence level (default 0.95),
+    two-sided half-width target (default 0.2; 0 disables early
+    stopping while keeping the batched scheduler), per-stratum batch
+    size per round (default 4), and per-stratum budget override
+    (default: the scale's run count).
 ``ids``
     Experiment ids to run (default: all).  Known ids:
     table1 table2 table3 table4 figure3 table5 profiles extended.
@@ -106,6 +117,40 @@ def add_execution_options(parser: argparse.ArgumentParser) -> None:
         "repair self-heals from a trusted recomputation (default), "
         "off disables verification",
     )
+    scheduling = parser.add_mutually_exclusive_group()
+    scheduling.add_argument(
+        "--adaptive", action="store_true",
+        help="sequential Wilson-bound scheduling: dispatch the "
+        "sampled campaigns in per-stratum batches and stop each "
+        "stratum once its estimates are certified (architectural "
+        "zero, saturated, or within the half-width target)",
+    )
+    scheduling.add_argument(
+        "--fixed-n", action="store_true",
+        help="run the full per-stratum budget unconditionally "
+        "(the default)",
+    )
+    parser.add_argument(
+        "--ci-level", type=float, default=None, metavar="L",
+        help="confidence level of the adaptive stopping intervals "
+        "(default: 0.95)",
+    )
+    parser.add_argument(
+        "--ci-halfwidth", type=float, default=None, metavar="W",
+        help="two-sided Wilson half-width target that stops a "
+        "stratum (default: 0.2; 0 disables early stopping entirely, "
+        "making the adaptive schedule bit-identical to fixed-n)",
+    )
+    parser.add_argument(
+        "--min-batch", type=int, default=None, metavar="N",
+        help="injection runs dispatched per stratum per adaptive "
+        "round (default: 4)",
+    )
+    parser.add_argument(
+        "--max-runs", type=int, default=None, metavar="N",
+        help="per-stratum budget cap for adaptive campaigns "
+        "(default: the scale's per-stratum run count)",
+    )
 
 
 def context_from_args(args: argparse.Namespace) -> ExperimentContext:
@@ -124,6 +169,11 @@ def context_from_args(args: argparse.Namespace) -> ExperimentContext:
         audit_fraction=args.audit_fraction,
         audit_seed=args.audit_seed,
         integrity_policy=args.integrity_policy,
+        adaptive=args.adaptive,
+        ci_level=args.ci_level,
+        ci_halfwidth=args.ci_halfwidth,
+        min_batch=args.min_batch,
+        max_runs=args.max_runs,
     )
 
 

@@ -30,6 +30,7 @@ from typing import Dict, List, Optional, Union
 from repro.core.permeability import PermeabilityMatrix
 from repro.analysis.estimators import matrix_from_estimate
 from repro.errors import ExperimentError
+from repro.fi.adaptive import StratumReport
 from repro.fi.campaign import (
     DetectionCampaign,
     DetectionResult,
@@ -112,6 +113,14 @@ class ExperimentContext:
     mismatches, checkpoint digest failures, worker drift — are
     handled (``strict`` aborts, ``repair`` self-heals, ``off``
     disables verification; ``None`` keeps the executor default).
+
+    Adaptive-sampling knobs: *adaptive* switches the sampled
+    campaigns (permeability, detection) to sequential Wilson-bound
+    scheduling; *ci_level* and *ci_halfwidth* set the confidence
+    level and two-sided precision target (half-width 0 disables early
+    stopping while keeping the batched scheduler — bit-identical to
+    fixed-n); *min_batch* is the per-stratum batch size per round and
+    *max_runs* overrides the scale's per-stratum budget.
     """
 
     def __init__(
@@ -130,6 +139,11 @@ class ExperimentContext:
         audit_fraction: float = 0.0,
         audit_seed: Optional[int] = None,
         integrity_policy: Optional[str] = None,
+        adaptive: bool = False,
+        ci_level: Optional[float] = None,
+        ci_halfwidth: Optional[float] = None,
+        min_batch: Optional[int] = None,
+        max_runs: Optional[int] = None,
     ):
         if scale not in SCALES:
             raise ExperimentError(
@@ -150,6 +164,11 @@ class ExperimentContext:
         self.audit_fraction = audit_fraction
         self.audit_seed = audit_seed
         self.integrity_policy = integrity_policy
+        self.adaptive = adaptive
+        self.ci_level = ci_level
+        self.ci_halfwidth = ci_halfwidth
+        self.min_batch = min_batch
+        self.max_runs = max_runs
         if resume and checkpoint_dir is None:
             checkpoint_dir = os.path.join(
                 ".repro-checkpoints",
@@ -164,6 +183,8 @@ class ExperimentContext:
         )[:: self.scale.test_case_stride]
         #: per-campaign execution telemetry of the campaigns run so far
         self.telemetries: Dict[str, CampaignTelemetry] = {}
+        #: per-campaign stratum spend reports (adaptive campaigns only)
+        self.stratum_reports: Dict[str, List[StratumReport]] = {}
         self._estimate: Optional[PermeabilityEstimate] = None
         self._matrix: Optional[PermeabilityMatrix] = None
         self._detection: Optional[DetectionResult] = None
@@ -192,7 +213,16 @@ class ExperimentContext:
             extra["checkpoint_stride"] = self.checkpoint_stride
         if self.integrity_policy is not None:
             extra["integrity_policy"] = self.integrity_policy
+        if self.ci_level is not None:
+            extra["ci_level"] = self.ci_level
+        if self.ci_halfwidth is not None:
+            extra["ci_halfwidth"] = self.ci_halfwidth
+        if self.min_batch is not None:
+            extra["min_batch"] = self.min_batch
+        if self.max_runs is not None:
+            extra["max_runs"] = self.max_runs
         return CampaignConfig(
+            adaptive=self.adaptive,
             seed=self.seed,
             jobs=self.jobs,
             checkpoint_path=checkpoint_path,
@@ -232,6 +262,10 @@ class ExperimentContext:
             )
             self._estimate = campaign.run()
             self.telemetries["permeability"] = campaign.telemetry
+            if campaign.stratum_reports:
+                self.stratum_reports["permeability"] = (
+                    campaign.stratum_reports
+                )
         return self._estimate
 
     def measured_matrix(self) -> PermeabilityMatrix:
@@ -252,6 +286,10 @@ class ExperimentContext:
             )
             self._detection = campaign.run()
             self.telemetries["detection"] = campaign.telemetry
+            if campaign.stratum_reports:
+                self.stratum_reports["detection"] = (
+                    campaign.stratum_reports
+                )
         return self._detection
 
     def memory_result(self) -> MemoryCampaignResult:

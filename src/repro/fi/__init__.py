@@ -4,9 +4,17 @@ Bit-flip error models over signals, module state (RAM) and the stack
 area; golden-run generation and first-difference comparison; the four
 campaign drivers used by the paper's experiments; and the campaign
 execution engine (serial/process backends, golden-run cache,
-checkpoint/resume, telemetry).
+checkpoint/resume, telemetry, adaptive sequential sampling).
 """
 
+from repro.fi.adaptive import (
+    SKIPPED,
+    AdaptiveSampler,
+    AdaptiveStratum,
+    StoppingRule,
+    StratumReport,
+    stopping_rule_from,
+)
 from repro.fi.campaign import (
     CoverageTriple,
     DetectionCampaign,
@@ -75,6 +83,12 @@ from repro.fi.snapshot import (
 )
 
 __all__ = [
+    "AdaptiveSampler",
+    "AdaptiveStratum",
+    "SKIPPED",
+    "StoppingRule",
+    "StratumReport",
+    "stopping_rule_from",
     "CHECKPOINT_SCHEMA_REVISION",
     "CampaignConfig",
     "CampaignExecutor",

@@ -30,6 +30,15 @@ every run is a fresh simulator instance (no state leaks between
 runs).  Golden runs are shared through the process-wide
 :data:`~repro.fi.executor.golden_cache`.
 
+The sampled campaigns (permeability and detection) additionally
+support **adaptive scheduling** (``config.adaptive``): the pre-drawn
+task list is unchanged, but batches are dispatched per stratum through
+an :class:`~repro.fi.adaptive.AdaptiveSampler`, which stops a stratum
+as soon as its Wilson intervals certify the estimates (architectural
+zero, saturated, or within the half-width target).  The enumerative
+campaigns (memory and recovery) visit every (location, test case)
+pair exactly once and ignore the adaptive options.
+
 Campaigns accept either a bare simulator factory or a registered
 :class:`~repro.targets.TargetSystem` (anything with a
 ``simulator_factory`` attribute); the shared execution options live in
@@ -54,6 +63,13 @@ from typing import (
 from repro.edm.assertions import AssertionSpec
 from repro.edm.monitors import MonitorBank
 from repro.errors import CampaignError
+from repro.fi.adaptive import (
+    SKIPPED,
+    AdaptiveSampler,
+    AdaptiveStratum,
+    StratumReport,
+    stopping_rule_from,
+)
 from repro.fi.executor import (
     CampaignConfig,
     CampaignExecutor,
@@ -251,14 +267,30 @@ class PermeabilityCampaign:
         )
         self.telemetry: Optional[CampaignTelemetry] = None
         self.integrity_violations: List[IntegrityViolation] = []
+        #: per-stratum spend reports (adaptive campaigns only).
+        self.stratum_reports: List[StratumReport] = []
+
+    def _runs_budget(self) -> int:
+        """Per-input budget: ``max_runs`` caps adaptive campaigns."""
+        if (
+            self.config is not None
+            and self.config.adaptive
+            and self.config.max_runs is not None
+        ):
+            return self.config.max_runs
+        return self.runs_per_input
 
     def run(self) -> PermeabilityEstimate:
         executor = CampaignExecutor(self.config, campaign="permeability")
         probe = self.factory(self.test_cases[0])
         system = probe.system
+        adaptive = self.config is not None and self.config.adaptive
+        runs_budget = self._runs_budget()
 
         # Phase 1: pre-draw every random parameter in the legacy
-        # serial loop order (module -> in_port -> run_index).
+        # serial loop order (module -> in_port -> run_index).  The
+        # adaptive path pre-draws the identical full-budget list — a
+        # stopped stratum simply never dispatches its tail.
         pair_keys: List[Tuple[str, str]] = []
         out_ports: Dict[Tuple[str, str], Tuple[str, ...]] = {}
         tasks: List[Tuple[str, str, TestCase, int, int]] = []
@@ -270,7 +302,7 @@ class PermeabilityCampaign:
                 out_ports[key_in] = tuple(module.outputs)
                 signal = system.signal_of_input(module.name, in_port)
                 width = system.signal(signal).width
-                for run_index in range(self.runs_per_input):
+                for run_index in range(runs_budget):
                     test_case = self.test_cases[
                         run_index % len(self.test_cases)
                     ]
@@ -297,18 +329,61 @@ class PermeabilityCampaign:
                 index, lambda ff: self._one_run(*task, ff=ff)
             )
 
-        results = executor.run_tasks(
-            runner,
-            len(tasks),
-            fingerprint_of(
-                "permeability", system.name, self.seed,
-                self.runs_per_input, self.direct_only,
-                [case.label for case in self.test_cases],
-            ),
-            sentinel=golden_sentinel(self.factory, self.test_cases[0]),
+        fingerprint = fingerprint_of(
+            "permeability", system.name, self.seed,
+            runs_budget, self.direct_only,
+            [case.label for case in self.test_cases],
         )
-        self.telemetry = executor.telemetry
-        self.integrity_violations = list(executor.violations)
+        sentinel = golden_sentinel(self.factory, self.test_cases[0])
+        if adaptive:
+            strata = [
+                AdaptiveStratum(
+                    label=f"{key_in[0]}.{key_in[1]}",
+                    indices=tuple(
+                        range(i * runs_budget, (i + 1) * runs_budget)
+                    ),
+                )
+                for i, key_in in enumerate(pair_keys)
+            ]
+            ports_of = {
+                f"{key_in[0]}.{key_in[1]}": out_ports[key_in]
+                for key_in in pair_keys
+            }
+
+            def counts_of(stratum, executed):
+                active_n = 0
+                hits_per_port = {port: 0 for port in ports_of[stratum.label]}
+                for hits in executed:
+                    if hits is None or isinstance(hits, TaskFailure):
+                        continue
+                    active_n += 1
+                    for out_port in hits:
+                        hits_per_port[out_port] += 1
+                return {
+                    port: (count, active_n)
+                    for port, count in hits_per_port.items()
+                }
+
+            sampler = AdaptiveSampler(
+                executor,
+                strata,
+                counts_of,
+                rule=stopping_rule_from(self.config),
+                min_batch=self.config.min_batch,
+            )
+            results = sampler.run(
+                runner, len(tasks), fingerprint, sentinel=sentinel
+            )
+            self.telemetry = sampler.telemetry
+            self.integrity_violations = list(sampler.violations)
+            self.stratum_reports = list(sampler.reports)
+        else:
+            results = executor.run_tasks(
+                runner, len(tasks), fingerprint, sentinel=sentinel
+            )
+            self.telemetry = executor.telemetry
+            self.integrity_violations = list(executor.violations)
+            self.stratum_reports = []
 
         # Phase 3: aggregate in task order (== legacy loop order).
         direct: Dict[Tuple[str, str, str], int] = {}
@@ -318,7 +393,11 @@ class PermeabilityCampaign:
             for out_port in out_ports[key_in]:
                 direct[(key_in[0], key_in[1], out_port)] = 0
         for key_in, hits in zip(task_pair, results):
-            if hits is None or isinstance(hits, TaskFailure):
+            if (
+                hits is None
+                or hits is SKIPPED
+                or isinstance(hits, TaskFailure)
+            ):
                 continue
             active[key_in] += 1
             for out_port in hits:
@@ -556,6 +635,18 @@ class DetectionCampaign:
         )
         self.telemetry: Optional[CampaignTelemetry] = None
         self.integrity_violations: List[IntegrityViolation] = []
+        #: per-stratum spend reports (adaptive campaigns only).
+        self.stratum_reports: List[StratumReport] = []
+
+    def _runs_budget(self) -> int:
+        """Per-signal budget: ``max_runs`` caps adaptive campaigns."""
+        if (
+            self.config is not None
+            and self.config.adaptive
+            and self.config.max_runs is not None
+        ):
+            return self.config.max_runs
+        return self.runs_per_signal
 
     def run(self) -> DetectionResult:
         executor = CampaignExecutor(self.config, campaign="detection")
@@ -566,12 +657,14 @@ class DetectionCampaign:
             else probe.system.system_inputs()
         )
         ea_names = [spec.name for spec in self.specs]
+        adaptive = self.config is not None and self.config.adaptive
+        runs_budget = self._runs_budget()
 
         # Phase 1: pre-draw (target -> run_index), legacy order.
         tasks: List[Tuple[str, TestCase, int, int]] = []
         for target in targets:
             width = probe.system.signal(target).width
-            for run_index in range(self.runs_per_signal):
+            for run_index in range(runs_budget):
                 test_case = self.test_cases[run_index % len(self.test_cases)]
                 golden = self.goldens.get(test_case)
                 tick = self.rng.randrange(0, golden.completion_tick)
@@ -590,18 +683,56 @@ class DetectionCampaign:
                 index, lambda ff: self._one_run(*task, ff=ff)
             )
 
-        results = executor.run_tasks(
-            runner,
-            len(tasks),
-            fingerprint_of(
-                "detection", probe.system.name, self.seed,
-                self.runs_per_signal, list(targets), ea_names,
-                [case.label for case in self.test_cases],
-            ),
-            sentinel=golden_sentinel(self.factory, self.test_cases[0]),
+        fingerprint = fingerprint_of(
+            "detection", probe.system.name, self.seed,
+            runs_budget, list(targets), ea_names,
+            [case.label for case in self.test_cases],
         )
-        self.telemetry = executor.telemetry
-        self.integrity_violations = list(executor.violations)
+        sentinel = golden_sentinel(self.factory, self.test_cases[0])
+        if adaptive:
+            strata = [
+                AdaptiveStratum(
+                    label=target,
+                    indices=tuple(
+                        range(i * runs_budget, (i + 1) * runs_budget)
+                    ),
+                )
+                for i, target in enumerate(targets)
+            ]
+
+            def counts_of(stratum, executed):
+                # monitored proportion: any-EA detection coverage over
+                # the *active* errors (dict outcomes) of the stratum
+                active_n = 0
+                detected = 0
+                for outcome in executed:
+                    if not isinstance(outcome, dict):
+                        continue
+                    active_n += 1
+                    if outcome["fired"]:
+                        detected += 1
+                return {"coverage": (detected, active_n)}
+
+            sampler = AdaptiveSampler(
+                executor,
+                strata,
+                counts_of,
+                rule=stopping_rule_from(self.config),
+                min_batch=self.config.min_batch,
+            )
+            results = sampler.run(
+                runner, len(tasks), fingerprint, sentinel=sentinel
+            )
+            self.telemetry = sampler.telemetry
+            self.integrity_violations = list(sampler.violations)
+            self.stratum_reports = list(sampler.reports)
+        else:
+            results = executor.run_tasks(
+                runner, len(tasks), fingerprint, sentinel=sentinel
+            )
+            self.telemetry = executor.telemetry
+            self.integrity_violations = list(executor.violations)
+            self.stratum_reports = []
 
         # Phase 3: aggregate in task order.
         n_injected: Dict[str, int] = {t: 0 for t in targets}
@@ -613,8 +744,8 @@ class DetectionCampaign:
             t: [] for t in targets
         }
         for (target, _, _, _), outcome in zip(tasks, results):
-            if isinstance(outcome, TaskFailure):
-                continue  # quarantined: no observation for this run
+            if outcome is SKIPPED or isinstance(outcome, TaskFailure):
+                continue  # skipped or quarantined: no observation
             n_injected[target] += 1
             if not isinstance(outcome, dict):
                 continue  # "inactive" / "late": injection not an error
@@ -812,6 +943,11 @@ class RecoveryCampaign:
     injection train: once with a detect-only bank (the paper's
     experiments) and once with a :class:`RecoveringMonitorBank`; the
     failure verdicts are compared.
+
+    The campaign enumerates its fault space exhaustively (one run per
+    pair), so the adaptive-sampling options of
+    :class:`~repro.fi.executor.CampaignConfig` do not apply and are
+    ignored.
     """
 
     def __init__(
@@ -946,6 +1082,11 @@ class MemoryCampaign:
     location's byte, flipped every ``period_ticks`` for the entire
     arrestment.  An error is detected if an EA fires at least once
     during the run.
+
+    The campaign enumerates its fault space exhaustively (one run per
+    (location, test case) pair), so the adaptive-sampling options of
+    :class:`~repro.fi.executor.CampaignConfig` do not apply and are
+    ignored.
     """
 
     def __init__(

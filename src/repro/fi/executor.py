@@ -93,6 +93,7 @@ import time
 from collections import OrderedDict
 from contextlib import contextmanager
 from dataclasses import dataclass
+from dataclasses import field as dataclasses_field
 from typing import (
     Any,
     Callable,
@@ -194,6 +195,30 @@ class CampaignConfig:
     #: healed from a trusted recomputation) or ``"off"`` (no
     #: verification: no checkpoint digest checks, audits or sentinels).
     integrity_policy: str = "repair"
+    #: confidence-driven sequential sampling: campaigns that support
+    #: stratified estimation (permeability, detection) dispatch batches
+    #: per stratum and stop early once the interval targets below are
+    #: met.  Campaigns that enumerate their fault space (memory,
+    #: recovery) ignore the flag.
+    adaptive: bool = False
+    #: confidence level of the stopping intervals and bounds.
+    ci_level: float = 0.95
+    #: two-sided Wilson half-width at which a stratum's estimate is
+    #: precise enough to stop.  ``0`` disables early stopping entirely
+    #: (the adaptive engine then runs the full budget in batches and is
+    #: bit-identical to fixed-n scheduling).
+    ci_halfwidth: float = 0.2
+    #: injections dispatched per stratum per adaptive round.
+    min_batch: int = 4
+    #: per-stratum injection budget for adaptive campaigns; ``None``
+    #: uses the driver's fixed-n run count (``runs_per_input`` /
+    #: ``runs_per_signal``).
+    max_runs: Optional[int] = None
+    #: one-sided upper bound below which an all-miss stratum pair is
+    #: certified an architectural zero.
+    zero_threshold: float = 0.3
+    #: one-sided lower bound above which a pair is certified saturated.
+    saturation_threshold: float = 0.6
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
@@ -240,6 +265,33 @@ class CampaignConfig:
             raise CampaignError(
                 f"unknown integrity policy {self.integrity_policy!r}; "
                 f"choose from {POLICIES}"
+            )
+        if not 0.0 < self.ci_level < 1.0:
+            raise CampaignError(
+                f"ci_level must be within (0, 1), got {self.ci_level}"
+            )
+        if not 0.0 <= self.ci_halfwidth < 1.0:
+            raise CampaignError(
+                f"ci_halfwidth must be within [0, 1), "
+                f"got {self.ci_halfwidth}"
+            )
+        if self.min_batch < 1:
+            raise CampaignError(
+                f"min_batch must be >= 1, got {self.min_batch}"
+            )
+        if self.max_runs is not None and self.max_runs < 1:
+            raise CampaignError(
+                f"max_runs must be >= 1, got {self.max_runs}"
+            )
+        if not 0.0 <= self.zero_threshold < 1.0:
+            raise CampaignError(
+                f"zero_threshold must be within [0, 1), "
+                f"got {self.zero_threshold}"
+            )
+        if not 0.0 < self.saturation_threshold <= 1.0:
+            raise CampaignError(
+                f"saturation_threshold must be within (0, 1], "
+                f"got {self.saturation_threshold}"
             )
 
     def resolved_backend(self) -> str:
@@ -434,6 +486,16 @@ class CampaignTelemetry:
     drift_events: int = 0
     #: checkpoint records dropped on load after a digest mismatch.
     checkpoint_rejects: int = 0
+    #: True when the run was scheduled by the adaptive sampler.
+    adaptive: bool = False
+    #: strata the adaptive sampler scheduled.
+    strata: int = 0
+    #: strata stopped before exhausting their injection budget.
+    strata_early: int = 0
+    #: pre-drawn injections never dispatched thanks to early stopping.
+    runs_saved: int = 0
+    #: stop reason -> stratum count (zero/saturated/halfwidth/budget).
+    stop_reasons: Dict[str, int] = dataclasses_field(default_factory=dict)
 
     @property
     def runs_per_sec(self) -> float:
@@ -487,6 +549,18 @@ class CampaignTelemetry:
                 text += f" drift={self.drift_events}"
             if self.checkpoint_rejects:
                 text += f" ckpt-rejects={self.checkpoint_rejects}"
+        if self.adaptive:
+            text += (
+                f" | adaptive runs_saved={self.runs_saved}"
+                f" ({self.strata_early}/{self.strata} strata early"
+            )
+            if self.stop_reasons:
+                reasons = " ".join(
+                    f"{reason}={count}"
+                    for reason, count in sorted(self.stop_reasons.items())
+                )
+                text += f"; {reasons}"
+            text += ")"
         if self.faulted:
             text += (
                 f" | retries={self.retries} failures={self.failures}"
@@ -950,6 +1024,7 @@ class CampaignExecutor:
         n_tasks: int,
         fingerprint: str = "",
         sentinel: Optional[Callable[[], str]] = None,
+        indices: Optional[Sequence[int]] = None,
     ) -> List[Any]:
         """Execute ``runner`` over ``range(n_tasks)``; results in order.
 
@@ -963,6 +1038,13 @@ class CampaignExecutor:
         own.  A divergent worker marks the pool broken — it is
         respawned (and eventually degraded to serial) without any
         task attempt budgets being consumed.
+
+        *indices*, when given, restricts execution to that subset of
+        the task space (the adaptive sampler dispatches one batch per
+        call this way); the returned list is aligned with *indices*.
+        The checkpoint keeps indexing the full ``n_tasks`` space, so
+        batched and whole-campaign runs share checkpoints and resume
+        interchangeably.
         """
         config = self.config
         self.violations = []
@@ -977,7 +1059,18 @@ class CampaignExecutor:
             events.close()
             self._events = RunEventLog(None, self.campaign)
             raise
-        pending = [i for i in range(n_tasks) if i not in done]
+        if indices is None:
+            wanted: Sequence[int] = range(n_tasks)
+        else:
+            wanted = list(indices)
+            for index in wanted:
+                if not 0 <= index < n_tasks:
+                    raise CampaignError(
+                        f"task index {index} outside the campaign's "
+                        f"{n_tasks}-task space"
+                    )
+        resumed = sum(1 for i in wanted if i in done)
+        pending = [i for i in wanted if i not in done]
         # report the backend actually used: the process backend falls
         # back to serial when fork is unavailable or the workload is
         # too small to be worth a pool
@@ -992,20 +1085,22 @@ class CampaignExecutor:
             backend=backend,
             jobs=config.jobs if backend == "process" else 1,
             total_runs=n_tasks,
-            resumed_runs=len(done),
+            resumed_runs=resumed,
             checkpoint_rejects=checkpoint_rejects,
         )
         checkpointing = bool(config.checkpoint_path)
         since_flush = 0
         attempts: Dict[int, int] = {index: 0 for index in pending}
         started = time.perf_counter()
-        events.emit(
-            "run_start",
-            backend=backend,
-            jobs=telemetry.jobs,
-            total=n_tasks,
-            resumed=len(done),
-        )
+        start_fields: Dict[str, Any] = {
+            "backend": backend,
+            "jobs": telemetry.jobs,
+            "total": n_tasks,
+            "resumed": resumed,
+        }
+        if indices is not None:
+            start_fields["batch"] = len(wanted)
+        events.emit("run_start", **start_fields)
 
         def record(index: int, value: Any) -> None:
             nonlocal since_flush
@@ -1384,4 +1479,4 @@ class CampaignExecutor:
             )
             events.close()
             self._events = RunEventLog(None, self.campaign)
-        return [done[index] for index in range(n_tasks)]
+        return [done[index] for index in wanted]

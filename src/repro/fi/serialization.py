@@ -23,6 +23,7 @@ from pathlib import Path
 from typing import Dict, List, Union
 
 from repro.errors import CampaignError, IntegrityError
+from repro.fi.adaptive import StratumReport
 from repro.fi.integrity import canonical_digest
 from repro.fi.campaign import (
     DetectionResult,
@@ -40,6 +41,8 @@ __all__ = [
     "detection_from_dict",
     "memory_to_dict",
     "memory_from_dict",
+    "stratum_reports_to_dict",
+    "stratum_reports_from_dict",
     "save_json",
     "load_json",
 ]
@@ -189,6 +192,41 @@ def memory_from_dict(data: dict) -> MemoryCampaignResult:
             for row in data["records"]
         ],
     )
+
+
+# ----------------------------------------------------------------------
+# Adaptive stratum reports (spend accounting, not campaign results).
+# ----------------------------------------------------------------------
+def stratum_reports_to_dict(reports: List[StratumReport]) -> dict:
+    """JSON-encodable summary of an adaptive campaign's spend.
+
+    Not a campaign-result kind (no :func:`save_json` envelope): the
+    reports describe how the budget was spent, not what was measured,
+    and ride along inside benchmark/telemetry artefacts.
+    """
+    return {
+        "strata": [report.to_json() for report in reports],
+        "budget": sum(report.budget for report in reports),
+        "spent": sum(report.spent for report in reports),
+        "saved": sum(report.saved for report in reports),
+    }
+
+
+def stratum_reports_from_dict(data: dict) -> List[StratumReport]:
+    return [
+        StratumReport(
+            label=row["label"],
+            budget=row["budget"],
+            spent=row["spent"],
+            stop_reason=row["stop_reason"],
+            counts={
+                name: (pair[0], pair[1])
+                for name, pair in row.get("counts", {}).items()
+            },
+            decisions=dict(row.get("decisions", {})),
+        )
+        for row in data["strata"]
+    ]
 
 
 # ----------------------------------------------------------------------

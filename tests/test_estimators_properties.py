@@ -1,0 +1,262 @@
+"""Property-based tests of the binomial interval machinery.
+
+The adaptive campaign engine stops strata on these intervals, so they
+carry statistical load: a too-narrow interval stops campaigns before
+the estimates deserve it.  Hypothesis sweeps the (k, n, level) space
+for the structural properties — containment against the exact
+Clopper-Pearson reference, monotonicity, boundary degeneracy — and a
+pure-Python exact-binomial computation checks frequentist coverage at
+the nominal level.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+import pytest
+
+from repro.analysis.estimators import estimate_confidence
+from repro.analysis.intervals import (
+    beta_quantile,
+    certifies_saturation,
+    certifies_zero,
+    clopper_pearson_interval,
+    jeffreys_interval,
+    regularized_incomplete_beta,
+    wilson_halfwidth,
+    wilson_interval,
+    wilson_lower_bound,
+    wilson_upper_bound,
+    z_value,
+)
+from repro.errors import AnalysisError
+from repro.fi.campaign import PermeabilityEstimate
+
+
+counts = st.integers(min_value=0, max_value=200).flatmap(
+    lambda n: st.tuples(st.integers(min_value=0, max_value=n), st.just(n))
+)
+levels = st.sampled_from([0.8, 0.9, 0.95, 0.99])
+
+
+def _binomial_pmf(n, p):
+    """Exact pmf over 0..n (pure Python, log-space for stability)."""
+    if p == 0.0:
+        return [1.0] + [0.0] * n
+    if p == 1.0:
+        return [0.0] * n + [1.0]
+    log_p, log_q = math.log(p), math.log1p(-p)
+    return [
+        math.exp(
+            math.lgamma(n + 1)
+            - math.lgamma(k + 1)
+            - math.lgamma(n - k + 1)
+            + k * log_p
+            + (n - k) * log_q
+        )
+        for k in range(n + 1)
+    ]
+
+
+class TestIntervalShape:
+    @given(counts, levels)
+    def test_intervals_are_ordered_and_contain_point(self, kn, level):
+        k, n = kn
+        for interval_fn in (
+            wilson_interval, jeffreys_interval, clopper_pearson_interval
+        ):
+            low, high = interval_fn(k, n, level)
+            assert 0.0 <= low <= high <= 1.0
+            if n:
+                assert low - 1e-12 <= k / n <= high + 1e-12
+
+    @given(counts, levels)
+    def test_degenerate_counts_pin_bounds(self, kn, level):
+        k, n = kn
+        for interval_fn in (
+            wilson_interval, jeffreys_interval, clopper_pearson_interval
+        ):
+            low, high = interval_fn(k, n, level)
+            if k == 0:
+                assert low == 0.0
+            if k == n:
+                assert high == 1.0
+
+    @given(counts, levels)
+    def test_jeffreys_within_clopper_pearson(self, kn, level):
+        k, n = kn
+        j_low, j_high = jeffreys_interval(k, n, level)
+        cp_low, cp_high = clopper_pearson_interval(k, n, level)
+        assert j_low >= cp_low - 1e-9
+        assert j_high <= cp_high + 1e-9
+
+    @given(counts, levels)
+    def test_halfwidth_nonincreasing_in_n(self, kn, level):
+        # doubling the sample at the same proportion never widens the
+        # interval — the monotonicity the stopping criterion relies on
+        k, n = kn
+        if n == 0:
+            return
+        assert wilson_halfwidth(2 * k, 2 * n, level) <= (
+            wilson_halfwidth(k, n, level) + 1e-12
+        )
+
+    @given(counts)
+    def test_higher_level_is_wider(self, kn):
+        k, n = kn
+        assert wilson_halfwidth(k, n, 0.99) >= (
+            wilson_halfwidth(k, n, 0.90) - 1e-12
+        )
+
+    @given(counts, levels)
+    def test_one_sided_bounds_bracket_point(self, kn, level):
+        k, n = kn
+        if n == 0:
+            return
+        assert wilson_lower_bound(k, n, level) <= k / n + 1e-12
+        assert wilson_upper_bound(k, n, level) >= k / n - 1e-12
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(AnalysisError):
+            wilson_interval(3, 2)
+        with pytest.raises(AnalysisError):
+            wilson_interval(-1, 2)
+        with pytest.raises(AnalysisError):
+            wilson_interval(1, 2, level=1.0)
+        with pytest.raises(AnalysisError):
+            z_value(0.0)
+
+
+class TestExactCoverage:
+    @settings(deadline=None, max_examples=25)
+    @given(
+        st.integers(min_value=1, max_value=40),
+        st.floats(min_value=0.02, max_value=0.98),
+    )
+    def test_clopper_pearson_coverage_at_least_nominal(self, n, p):
+        """P(p in CP interval) >= level, exactly, for every (n, p)."""
+        level = 0.95
+        pmf = _binomial_pmf(n, p)
+        coverage = sum(
+            prob
+            for k, prob in enumerate(pmf)
+            if clopper_pearson_interval(k, n, level)[0] - 1e-12
+            <= p
+            <= clopper_pearson_interval(k, n, level)[1] + 1e-12
+        )
+        assert coverage >= level - 1e-9
+
+    @settings(deadline=None, max_examples=25)
+    @given(
+        st.integers(min_value=4, max_value=40),
+        st.floats(min_value=0.35, max_value=0.98),
+    )
+    def test_zero_certification_error_bounded(self, n, p):
+        """If a proportion truly exceeds the zero threshold + margin,
+        the chance of a (wrong) zero certificate is at most 1-level:
+        certification requires k=0, whose probability (1-p)^n is below
+        alpha whenever the upper bound admits p."""
+        level, threshold = 0.95, 0.3
+        if not certifies_zero(0, n, level, threshold):
+            return
+        if p <= threshold:
+            return
+        # the certificate fires only on k=0; bound its probability
+        # under the true p using the Wilson upper bound's guarantee
+        upper = wilson_upper_bound(0, n, level)
+        if p > upper:
+            assert (1 - p) ** n <= (1 - level) + 1e-9
+
+
+class TestBetaSpecialFunctions:
+    @settings(deadline=None)
+    @given(
+        st.floats(min_value=0.5, max_value=50),
+        st.floats(min_value=0.5, max_value=50),
+        st.floats(min_value=0.001, max_value=0.999),
+    )
+    def test_quantile_inverts_cdf(self, a, b, q):
+        x = beta_quantile(a, b, q)
+        assert regularized_incomplete_beta(a, b, x) == pytest.approx(
+            q, abs=1e-8
+        )
+
+    @given(
+        st.floats(min_value=0.5, max_value=50),
+        st.floats(min_value=0.5, max_value=50),
+    )
+    def test_cdf_monotone_and_bounded(self, a, b):
+        values = [
+            regularized_incomplete_beta(a, b, x / 10.0) for x in range(11)
+        ]
+        assert values[0] == 0.0
+        assert values[-1] == 1.0
+        assert all(lo <= hi + 1e-12 for lo, hi in zip(values, values[1:]))
+
+    def test_known_values(self):
+        # Beta(1, 1) is uniform
+        assert regularized_incomplete_beta(1, 1, 0.3) == pytest.approx(0.3)
+        assert beta_quantile(1, 1, 0.7) == pytest.approx(0.7)
+        # symmetric Beta(2, 2) median
+        assert beta_quantile(2, 2, 0.5) == pytest.approx(0.5, abs=1e-9)
+
+    def test_invalid_shapes_rejected(self):
+        with pytest.raises(AnalysisError):
+            regularized_incomplete_beta(0.0, 1.0, 0.5)
+        with pytest.raises(AnalysisError):
+            beta_quantile(1.0, 1.0, 1.5)
+
+
+class TestCertificationPredicates:
+    @given(st.integers(min_value=1, max_value=200), levels)
+    def test_zero_needs_no_successes(self, n, level):
+        assert not certifies_zero(1, n, level, 0.99)
+
+    @given(counts, levels)
+    def test_saturation_monotone_in_threshold(self, kn, level):
+        k, n = kn
+        if certifies_saturation(k, n, level, 0.6):
+            assert certifies_saturation(k, n, level, 0.3)
+
+    def test_no_data_certifies_nothing(self):
+        assert not certifies_zero(0, 0, 0.95, 0.5)
+        assert not certifies_saturation(0, 0, 0.95, 0.5)
+
+
+class TestEstimateConfidenceEdges:
+    def _estimate(self, values, active, counts=None):
+        return PermeabilityEstimate(
+            direct_counts=counts or {}, active_runs=active, values=values
+        )
+
+    def test_no_active_runs_gives_maximal_halfwidth(self):
+        estimate = self._estimate(
+            {("M", "i", "o"): 0.0}, {("M", "i"): 0}
+        )
+        confidence = estimate_confidence(estimate)[("M", "i", "o")]
+        assert confidence.n == 0
+        assert confidence.half_width_95 == 1.0
+        assert (confidence.low, confidence.high) == (0.0, 1.0)
+
+    def test_saturated_estimate_clips_to_unit_interval(self):
+        estimate = self._estimate(
+            {("M", "i", "o"): 1.0}, {("M", "i"): 10}
+        )
+        confidence = estimate_confidence(estimate)[("M", "i", "o")]
+        assert confidence.high == 1.0
+        assert confidence.low <= 1.0
+
+    @given(counts)
+    def test_halfwidth_shrinks_with_n(self, kn):
+        k, n = kn
+        if n == 0:
+            return
+        estimate = self._estimate(
+            {("M", "i", "o"): k / n}, {("M", "i"): n}
+        )
+        small = estimate_confidence(estimate)[("M", "i", "o")]
+        bigger = self._estimate(
+            {("M", "i", "o"): k / n}, {("M", "i"): 4 * n}
+        )
+        large = estimate_confidence(bigger)[("M", "i", "o")]
+        assert large.half_width_95 <= small.half_width_95 + 1e-12
