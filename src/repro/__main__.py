@@ -21,11 +21,15 @@ Subcommands
     ``--retries``, ``--event-log``, ``--checkpoint-stride``,
     ``--no-fast-forward``, ``--audit-fraction``, ``--audit-seed``,
     ``--integrity-policy``, ``--adaptive``/``--fixed-n``,
-    ``--ci-level``, ``--ci-halfwidth``, ``--min-batch`` and
-    ``--max-runs``; parallel and fast-forwarded runs are
-    bit-identical to serial full-replay ones for the same seed, and
-    failing runs are retried and quarantined instead of aborting the
-    campaign.
+    ``--ci-level``, ``--ci-halfwidth``, ``--min-batch``,
+    ``--max-runs``, ``--store``, ``--results-db`` and ``--run-name``;
+    parallel and fast-forwarded runs are bit-identical to serial
+    full-replay ones for the same seed, and failing runs are retried
+    and quarantined instead of aborting the campaign.
+``analyze``
+    Query a campaign results database: ``list`` its contents, ``show``
+    one stored result, ``diff`` two runs proportion-by-proportion with
+    Wilson intervals, or ``import`` a legacy JSON checkpoint.
 """
 
 from __future__ import annotations
@@ -154,6 +158,126 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     return experiments_main(args.rest)
 
 
+def _render_result(result, run: str, meta: dict) -> str:
+    """Human-readable summary of a stored campaign result."""
+    from repro.fi.campaign import (
+        DetectionResult,
+        MemoryCampaignResult,
+        PermeabilityEstimate,
+    )
+
+    lines = [f"run {run}"]
+    if meta:
+        pairs = ", ".join(f"{k}={meta[k]}" for k in sorted(meta))
+        lines.append(f"  meta: {pairs}")
+    if isinstance(result, PermeabilityEstimate):
+        lines.append(
+            f"  permeability estimate: {len(result.values)} "
+            f"module-port pairs"
+        )
+        for (module, in_port, out_port), value in sorted(
+            result.values.items()
+        ):
+            count = result.direct_counts.get((module, in_port, out_port), 0)
+            runs = result.active_runs.get((module, in_port), 0)
+            lines.append(
+                f"    {module}.{in_port}->{out_port:<10} "
+                f"{value:6.3f}  ({count}/{runs})"
+            )
+    elif isinstance(result, DetectionResult):
+        lines.append(
+            f"  detection result: {len(result.targets)} targets x "
+            f"{len(result.ea_names)} EAs"
+        )
+        for target in result.targets:
+            n = result.n_err.get(target, 0)
+            any_count = result.any_detections.get(target, 0)
+            coverage = any_count / n if n else 0.0
+            per_ea = "  ".join(
+                f"{ea}={result.detections.get((target, ea), 0)}"
+                for ea in result.ea_names
+            )
+            lines.append(
+                f"    {target:<10} any {coverage:6.3f} "
+                f"({any_count}/{n})  {per_ea}"
+            )
+    elif isinstance(result, MemoryCampaignResult):
+        fired = sum(1 for r in result.records if r.fired)
+        failed = sum(1 for r in result.records if r.failed)
+        lines.append(
+            f"  memory campaign result: {len(result.records)} runs, "
+            f"{fired} with detections, {failed} failed; "
+            f"EAs: {', '.join(result.ea_names)}"
+        )
+    else:
+        lines.append(f"  {type(result).__name__}")
+    return "\n".join(lines)
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.analysis.compare import compare_results
+    from repro.errors import AnalysisError, CampaignError, IntegrityError
+    from repro.fi.store import SqliteResultStore
+
+    try:
+        with SqliteResultStore(args.db) as store:
+            if args.action == "list":
+                runs = store.list_results()
+                campaigns = store.list_campaigns()
+                if not runs and not campaigns:
+                    print(f"{args.db}: empty results database")
+                    return 0
+                if runs:
+                    print(f"results ({len(runs)}):")
+                    for stored in runs:
+                        meta = store.result_meta(stored.run)
+                        pairs = ", ".join(
+                            f"{k}={meta[k]}" for k in sorted(meta)
+                        )
+                        suffix = f"  [{pairs}]" if pairs else ""
+                        print(
+                            f"  {stored.run:<40} {stored.kind}{suffix}"
+                        )
+                if campaigns:
+                    print(f"campaign checkpoints ({len(campaigns)}):")
+                    for stored in campaigns:
+                        print(
+                            f"  {stored.campaign:<40} "
+                            f"{stored.completed}/{stored.n_tasks} "
+                            f"tasks, {stored.failures} quarantined "
+                            f"(fingerprint {stored.fingerprint[:12]}…)"
+                        )
+                return 0
+            if args.action == "show":
+                result = store.load_result(args.run)
+                print(
+                    _render_result(
+                        result, args.run, store.result_meta(args.run)
+                    )
+                )
+                return 0
+            if args.action == "diff":
+                a = store.load_result(args.run_a)
+                b = store.load_result(args.run_b)
+                comparison = compare_results(
+                    a, b, args.run_a, args.run_b, level=args.level
+                )
+                print(comparison.render())
+                return 1 if comparison.regressions else 0
+            # import
+            stored = store.import_checkpoint(args.checkpoint)
+            print(
+                f"imported campaign {stored.campaign!r} from "
+                f"{args.checkpoint} into {args.db}: "
+                f"{stored.completed}/{stored.n_tasks} tasks, "
+                f"{stored.failures} quarantined"
+            )
+            return 0
+    except (AnalysisError, CampaignError, IntegrityError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
 def _cmd_one_experiment(args: argparse.Namespace) -> int:
     from repro.experiments.__main__ import report_telemetry
     from repro.experiments.context import ExperimentContext, default_scale
@@ -179,6 +303,9 @@ def _cmd_one_experiment(args: argparse.Namespace) -> int:
         ci_halfwidth=args.ci_halfwidth,
         min_batch=args.min_batch,
         max_runs=args.max_runs,
+        store_backend=args.store,
+        results_db=args.results_db,
+        run_name=args.run_name,
     )
     result = EXPERIMENTS[args.command](ctx)
     print(result.render())
@@ -327,7 +454,54 @@ def main(argv: Optional[List[str]] = None) -> int:
             help="per-stratum budget cap for adaptive campaigns "
             "(default: the scale's per-stratum run count)",
         )
+        p_one.add_argument(
+            "--store", choices=("json", "sqlite"), default=None,
+            help="checkpoint store backend (default: by path suffix; "
+            "json for the legacy per-campaign files)",
+        )
+        p_one.add_argument(
+            "--results-db", default=None, metavar="PATH",
+            help="also save finished campaign results into this sqlite "
+            "results database (see 'repro analyze')",
+        )
+        p_one.add_argument(
+            "--run-name", default=None, metavar="NAME",
+            help="run name for saved results "
+            "(default: <target>-<scale>-seed<seed>)",
+        )
         p_one.set_defaults(fn=_cmd_one_experiment)
+
+    p_an = sub.add_parser(
+        "analyze",
+        help="query and diff a campaign results database",
+    )
+    p_an.add_argument(
+        "--db", default="results.db", metavar="PATH",
+        help="sqlite results database (default: results.db)",
+    )
+    an_sub = p_an.add_subparsers(dest="action", required=True)
+    an_sub.add_parser(
+        "list", help="list stored results and campaign checkpoints"
+    )
+    p_show = an_sub.add_parser("show", help="summarize one stored result")
+    p_show.add_argument("run", help="run name, e.g. arrestment-test-seed2002/detection")
+    p_diff = an_sub.add_parser(
+        "diff",
+        help="compare two runs proportion-by-proportion with Wilson CIs "
+        "(exit 1 when a significant regression is found)",
+    )
+    p_diff.add_argument("run_a")
+    p_diff.add_argument("run_b")
+    p_diff.add_argument(
+        "--level", type=float, default=0.95, metavar="L",
+        help="confidence level of the Wilson intervals (default: 0.95)",
+    )
+    p_imp = an_sub.add_parser(
+        "import",
+        help="migrate a legacy JSON checkpoint into the database",
+    )
+    p_imp.add_argument("checkpoint", help="path of the checkpoint .json file")
+    p_an.set_defaults(fn=_cmd_analyze)
 
     args = parser.parse_args(argv)
     return args.fn(args)

@@ -1,5 +1,12 @@
 """Estimation statistics, bridging and report rendering."""
 
+from repro.analysis.compare import (
+    ProportionDelta,
+    RunComparison,
+    compare_detection,
+    compare_permeability,
+    compare_results,
+)
 from repro.analysis.estimators import (
     EstimateConfidence,
     estimate_confidence,
@@ -21,6 +28,11 @@ from repro.analysis.tables import fmt, render_table
 
 __all__ = [
     "EstimateConfidence",
+    "ProportionDelta",
+    "RunComparison",
+    "compare_detection",
+    "compare_permeability",
+    "compare_results",
     "certifies_saturation",
     "certifies_zero",
     "clopper_pearson_interval",

@@ -1,0 +1,292 @@
+"""Cross-campaign analytics over a results database.
+
+The paper's placement decisions (Tables 1-5) are only as durable as
+the campaign data behind them: change the code revision, the error
+model or the EA set and every permeability and detection number can
+move.  This module compares two saved campaign results — typically
+two runs stored in one :class:`~repro.fi.store.SqliteResultStore` —
+proportion by proportion, attaching the Wilson score interval
+(:mod:`repro.analysis.intervals`) to each side so a delta is only
+*flagged* when the intervals actually separate, not when sampling
+noise wiggles a point estimate.
+
+Comparable kinds:
+
+* permeability estimates — per ``module.in_port->out_port`` pair,
+  direct-error count over active runs;
+* detection results — per ``target/EA`` pair (and the per-target
+  "any EA" coverage), detections over active errors.
+
+A significant decrease of detection coverage, or a significant
+increase of permeability, is a **regression** (the system got worse
+at containing or catching errors); the opposite direction is an
+improvement.  :class:`RunComparison` carries the full per-key delta
+list; ``repro analyze diff`` renders it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.analysis.intervals import wilson_interval
+from repro.errors import AnalysisError
+from repro.fi.campaign import (
+    DetectionResult,
+    MemoryCampaignResult,
+    PermeabilityEstimate,
+)
+
+__all__ = [
+    "ProportionDelta",
+    "RunComparison",
+    "compare_permeability",
+    "compare_detection",
+    "compare_results",
+]
+
+
+@dataclass(frozen=True)
+class ProportionDelta:
+    """One compared proportion (a key present in either run)."""
+
+    #: what the proportion measures, e.g. ``CLOCK.tic->pulscnt``.
+    key: str
+    #: ``"permeability"`` or ``"detection"``.
+    metric: str
+    #: (successes, trials) in run A / run B.
+    counts_a: Tuple[int, int]
+    counts_b: Tuple[int, int]
+    #: Wilson intervals at the comparison's confidence level.
+    ci_a: Tuple[float, float]
+    ci_b: Tuple[float, float]
+    #: +1 when a larger proportion is *better* (detection coverage),
+    #: -1 when it is worse (permeability: more propagation).
+    polarity: int = 1
+
+    @property
+    def value_a(self) -> float:
+        k, n = self.counts_a
+        return k / n if n else 0.0
+
+    @property
+    def value_b(self) -> float:
+        k, n = self.counts_b
+        return k / n if n else 0.0
+
+    @property
+    def delta(self) -> float:
+        """Run B minus run A."""
+        return self.value_b - self.value_a
+
+    @property
+    def significant(self) -> bool:
+        """The two Wilson intervals do not overlap."""
+        (lo_a, hi_a), (lo_b, hi_b) = self.ci_a, self.ci_b
+        return hi_a < lo_b or hi_b < lo_a
+
+    @property
+    def regression(self) -> bool:
+        """Run B is significantly *worse* than run A."""
+        return self.significant and self.delta * self.polarity < 0
+
+    @property
+    def improvement(self) -> bool:
+        """Run B is significantly *better* than run A."""
+        return self.significant and self.delta * self.polarity > 0
+
+    def describe(self) -> str:
+        ka, na = self.counts_a
+        kb, nb = self.counts_b
+        marker = "  "
+        if self.regression:
+            marker = "!!"
+        elif self.improvement:
+            marker = "++"
+        return (
+            f"{marker} {self.key:<34} "
+            f"{self.value_a:6.3f} [{self.ci_a[0]:.3f},{self.ci_a[1]:.3f}]"
+            f" ({ka}/{na})  ->  "
+            f"{self.value_b:6.3f} [{self.ci_b[0]:.3f},{self.ci_b[1]:.3f}]"
+            f" ({kb}/{nb})  "
+            f"{self.delta:+.3f}"
+        )
+
+
+@dataclass
+class RunComparison:
+    """All proportion deltas between two campaign runs."""
+
+    run_a: str
+    run_b: str
+    metric: str
+    level: float
+    deltas: List[ProportionDelta] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[ProportionDelta]:
+        return [d for d in self.deltas if d.regression]
+
+    @property
+    def improvements(self) -> List[ProportionDelta]:
+        return [d for d in self.deltas if d.improvement]
+
+    @property
+    def significant(self) -> List[ProportionDelta]:
+        return [d for d in self.deltas if d.significant]
+
+    def render(self) -> str:
+        head = (
+            f"{self.metric} diff: {self.run_a} -> {self.run_b} "
+            f"(Wilson {self.level:.0%} CIs; "
+            f"!! regression, ++ improvement)"
+        )
+        lines = [head, "-" * len(head)]
+        lines += [d.describe() for d in self.deltas]
+        lines.append(
+            f"{len(self.deltas)} keys compared: "
+            f"{len(self.regressions)} regressions, "
+            f"{len(self.improvements)} improvements, "
+            f"{len(self.deltas) - len(self.significant)} within noise"
+        )
+        return "\n".join(lines)
+
+
+def _delta(
+    key: str,
+    metric: str,
+    a: Tuple[int, int],
+    b: Tuple[int, int],
+    level: float,
+    polarity: int,
+) -> ProportionDelta:
+    def interval(counts: Tuple[int, int]) -> Tuple[float, float]:
+        k, n = counts
+        if n <= 0:
+            return (0.0, 1.0)  # nothing measured: maximally uncertain
+        return wilson_interval(k, n, level)
+
+    return ProportionDelta(
+        key=key,
+        metric=metric,
+        counts_a=a,
+        counts_b=b,
+        ci_a=interval(a),
+        ci_b=interval(b),
+        polarity=polarity,
+    )
+
+
+def compare_permeability(
+    a: PermeabilityEstimate,
+    b: PermeabilityEstimate,
+    run_a: str = "A",
+    run_b: str = "B",
+    level: float = 0.95,
+) -> RunComparison:
+    """Per ``module.in_port->out_port`` permeability deltas.
+
+    Higher permeability means more error propagation, so a significant
+    *increase* is the regression direction.
+    """
+    comparison = RunComparison(
+        run_a=run_a, run_b=run_b, metric="permeability", level=level
+    )
+    keys = sorted(set(a.direct_counts) | set(b.direct_counts))
+    for module, in_port, out_port in keys:
+        counts_a = (
+            a.direct_counts.get((module, in_port, out_port), 0),
+            a.active_runs.get((module, in_port), 0),
+        )
+        counts_b = (
+            b.direct_counts.get((module, in_port, out_port), 0),
+            b.active_runs.get((module, in_port), 0),
+        )
+        comparison.deltas.append(
+            _delta(
+                f"{module}.{in_port}->{out_port}",
+                "permeability",
+                counts_a,
+                counts_b,
+                level,
+                polarity=-1,
+            )
+        )
+    return comparison
+
+
+def compare_detection(
+    a: DetectionResult,
+    b: DetectionResult,
+    run_a: str = "A",
+    run_b: str = "B",
+    level: float = 0.95,
+) -> RunComparison:
+    """Per ``target/EA`` detection-coverage deltas.
+
+    Covers every (target, EA) pair of either run plus the per-target
+    "any EA fired" coverage (keyed ``target/*``).  The trial count is
+    the target's active-error count, so runs with different EA sets —
+    or different budgets — stay comparable.  A significant *decrease*
+    is the regression direction.
+    """
+    comparison = RunComparison(
+        run_a=run_a, run_b=run_b, metric="detection", level=level
+    )
+    targets = sorted(set(a.targets) | set(b.targets))
+    eas = sorted(set(a.ea_names) | set(b.ea_names))
+    for target in targets:
+        n_a = a.n_err.get(target, 0)
+        n_b = b.n_err.get(target, 0)
+        for ea in eas:
+            counts_a = (a.detections.get((target, ea), 0), n_a)
+            counts_b = (b.detections.get((target, ea), 0), n_b)
+            if counts_a[1] == 0 and counts_b[1] == 0:
+                continue
+            comparison.deltas.append(
+                _delta(
+                    f"{target}/{ea}",
+                    "detection",
+                    counts_a,
+                    counts_b,
+                    level,
+                    polarity=1,
+                )
+            )
+        comparison.deltas.append(
+            _delta(
+                f"{target}/*",
+                "detection",
+                (a.any_detections.get(target, 0), n_a),
+                (b.any_detections.get(target, 0), n_b),
+                level,
+                polarity=1,
+            )
+        )
+    return comparison
+
+
+def compare_results(
+    a: Any,
+    b: Any,
+    run_a: str = "A",
+    run_b: str = "B",
+    level: float = 0.95,
+) -> RunComparison:
+    """Dispatch on the result kind shared by both runs."""
+    if isinstance(a, PermeabilityEstimate) and isinstance(
+        b, PermeabilityEstimate
+    ):
+        return compare_permeability(a, b, run_a, run_b, level)
+    if isinstance(a, DetectionResult) and isinstance(b, DetectionResult):
+        return compare_detection(a, b, run_a, run_b, level)
+    if isinstance(a, MemoryCampaignResult) or isinstance(
+        b, MemoryCampaignResult
+    ):
+        raise AnalysisError(
+            "memory campaign results have no per-proportion diff yet; "
+            "compare their detection tables instead"
+        )
+    raise AnalysisError(
+        f"cannot compare a {type(a).__name__} with a {type(b).__name__}"
+    )

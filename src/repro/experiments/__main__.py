@@ -37,6 +37,12 @@ Options
     stopping while keeping the batched scheduler), per-stratum batch
     size per round (default 4), and per-stratum budget override
     (default: the scale's run count).
+``--store {json,sqlite}`` / ``--results-db PATH`` / ``--run-name NAME``
+    Result store: checkpoint backend selection (sqlite streams every
+    campaign into one ``results.db``; results are bit-identical to
+    the json backend), plus a results database that archives finished
+    campaign results under ``<run-name>/<campaign>`` for
+    ``python -m repro analyze`` to list, show and diff.
 ``ids``
     Experiment ids to run (default: all).  Known ids:
     table1 table2 table3 table4 figure3 table5 profiles extended.
@@ -151,6 +157,23 @@ def add_execution_options(parser: argparse.ArgumentParser) -> None:
         help="per-stratum budget cap for adaptive campaigns "
         "(default: the scale's per-stratum run count)",
     )
+    parser.add_argument(
+        "--store", choices=("json", "sqlite"), default=None,
+        help="checkpoint store backend: json keeps one legacy "
+        "<campaign>.json file per campaign, sqlite streams every "
+        "campaign into one <checkpoint-dir>/results.db database "
+        "(default: by path suffix, i.e. json)",
+    )
+    parser.add_argument(
+        "--results-db", default=None, metavar="PATH",
+        help="also save finished campaign results into this sqlite "
+        "results database, queryable with 'python -m repro analyze'",
+    )
+    parser.add_argument(
+        "--run-name", default=None, metavar="NAME",
+        help="run name for results saved to --results-db "
+        "(default: <target>-<scale>-seed<seed>)",
+    )
 
 
 def context_from_args(args: argparse.Namespace) -> ExperimentContext:
@@ -174,6 +197,9 @@ def context_from_args(args: argparse.Namespace) -> ExperimentContext:
         ci_halfwidth=args.ci_halfwidth,
         min_batch=args.min_batch,
         max_runs=args.max_runs,
+        store_backend=args.store,
+        results_db=args.results_db,
+        run_name=args.run_name,
     )
 
 

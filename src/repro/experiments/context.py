@@ -39,7 +39,16 @@ from repro.fi.campaign import (
     PermeabilityCampaign,
     PermeabilityEstimate,
 )
-from repro.fi.executor import CampaignConfig, CampaignTelemetry
+from repro.fi.executor import (
+    AdaptivePolicy,
+    CampaignConfig,
+    CampaignTelemetry,
+    CheckpointPolicy,
+    FastForwardPolicy,
+    FaultTolerancePolicy,
+    IntegrityPolicy,
+)
+from repro.fi.store import STORE_BACKENDS, SqliteResultStore
 from repro.fi.memory import MemoryMap
 from repro.model.graph import SignalGraph
 from repro.target.simulation import ArrestmentSimulator
@@ -144,10 +153,18 @@ class ExperimentContext:
         ci_halfwidth: Optional[float] = None,
         min_batch: Optional[int] = None,
         max_runs: Optional[int] = None,
+        store_backend: Optional[str] = None,
+        results_db: Optional[str] = None,
+        run_name: Optional[str] = None,
     ):
         if scale not in SCALES:
             raise ExperimentError(
                 f"unknown scale {scale!r}; choose from {sorted(SCALES)}"
+            )
+        if store_backend is not None and store_backend not in STORE_BACKENDS:
+            raise ExperimentError(
+                f"unknown store backend {store_backend!r}; "
+                f"choose from {STORE_BACKENDS}"
             )
         self.scale = SCALES[scale]
         self.seed = seed
@@ -175,6 +192,11 @@ class ExperimentContext:
                 f"{self.target.name}-{self.scale.name}-{seed}",
             )
         self.checkpoint_dir = checkpoint_dir
+        self.store_backend = store_backend
+        self.results_db = results_db
+        self.run_name = run_name or (
+            f"{self.target.name}-{self.scale.name}-seed{seed}"
+        )
         # shadows the class-level staticmethod: campaigns and
         # benchmarks read ``ctx.simulator_factory`` as a plain callable
         self.simulator_factory = self.target.simulator_factory
@@ -198,41 +220,77 @@ class ExperimentContext:
     simulator_factory = staticmethod(ArrestmentSimulator)
 
     def campaign_config(self, campaign: str) -> CampaignConfig:
-        """The shared execution config, with a per-campaign checkpoint."""
-        checkpoint_path = None
+        """The shared execution config, with a per-campaign checkpoint.
+
+        The JSON backend keeps one ``<campaign>.json`` file per
+        campaign (the legacy layout); the sqlite backend keeps every
+        campaign of the context in one shared ``results.db`` database.
+        """
+        checkpoint = None
         if self.checkpoint_dir is not None:
-            checkpoint_path = os.path.join(
-                self.checkpoint_dir, f"{campaign}.json"
+            if self.store_backend == "sqlite":
+                path = os.path.join(self.checkpoint_dir, "results.db")
+                if not self.resume and os.path.exists(path):
+                    # fresh start requested: drop this campaign's
+                    # records, keep the rest of the database
+                    with SqliteResultStore(path) as store:
+                        store.discard_campaign(campaign)
+            else:
+                path = os.path.join(self.checkpoint_dir, f"{campaign}.json")
+                if not self.resume and os.path.exists(path):
+                    os.remove(path)  # fresh start requested
+            checkpoint = CheckpointPolicy(
+                path=path, backend=self.store_backend
             )
-            if not self.resume and os.path.exists(checkpoint_path):
-                os.remove(checkpoint_path)  # fresh start requested
-        extra = {}
+        ft_kwargs = {"task_timeout": self.task_timeout}
         if self.retries is not None:
-            extra["retries"] = self.retries
+            ft_kwargs["retries"] = self.retries
+        ff_kwargs = {"enabled": self.fast_forward}
         if self.checkpoint_stride is not None:
-            extra["checkpoint_stride"] = self.checkpoint_stride
+            ff_kwargs["checkpoint_stride"] = self.checkpoint_stride
+        integrity_kwargs = {
+            "audit_fraction": self.audit_fraction,
+            "audit_seed": self.audit_seed,
+        }
         if self.integrity_policy is not None:
-            extra["integrity_policy"] = self.integrity_policy
+            integrity_kwargs["policy"] = self.integrity_policy
+        sampling_kwargs = {"enabled": self.adaptive}
         if self.ci_level is not None:
-            extra["ci_level"] = self.ci_level
+            sampling_kwargs["ci_level"] = self.ci_level
         if self.ci_halfwidth is not None:
-            extra["ci_halfwidth"] = self.ci_halfwidth
+            sampling_kwargs["ci_halfwidth"] = self.ci_halfwidth
         if self.min_batch is not None:
-            extra["min_batch"] = self.min_batch
+            sampling_kwargs["min_batch"] = self.min_batch
         if self.max_runs is not None:
-            extra["max_runs"] = self.max_runs
+            sampling_kwargs["max_runs"] = self.max_runs
         return CampaignConfig(
-            adaptive=self.adaptive,
             seed=self.seed,
             jobs=self.jobs,
-            checkpoint_path=checkpoint_path,
-            task_timeout=self.task_timeout,
             event_log_path=self.event_log,
-            fast_forward=self.fast_forward,
-            audit_fraction=self.audit_fraction,
-            audit_seed=self.audit_seed,
-            **extra,
+            checkpoint=checkpoint,
+            fault_tolerance=FaultTolerancePolicy(**ft_kwargs),
+            fastforward=FastForwardPolicy(**ff_kwargs),
+            integrity=IntegrityPolicy(**integrity_kwargs),
+            sampling=AdaptivePolicy(**sampling_kwargs),
         )
+
+    def _save_result(self, campaign: str, result) -> None:
+        """Mirror a finished campaign's result into the results
+        database (``results_db``) under ``<run_name>/<campaign>``."""
+        if self.results_db is None:
+            return
+        with SqliteResultStore(self.results_db) as store:
+            store.save_result(
+                result,
+                run=f"{self.run_name}/{campaign}",
+                meta={
+                    "target": self.target.name,
+                    "scale": self.scale.name,
+                    "seed": self.seed,
+                    "adaptive": self.adaptive,
+                    "campaign": campaign,
+                },
+            )
 
     @property
     def system(self):
@@ -261,6 +319,7 @@ class ExperimentContext:
                 config=self.campaign_config("permeability"),
             )
             self._estimate = campaign.run()
+            self._save_result("permeability", self._estimate)
             self.telemetries["permeability"] = campaign.telemetry
             if campaign.stratum_reports:
                 self.stratum_reports["permeability"] = (
@@ -285,6 +344,7 @@ class ExperimentContext:
                 config=self.campaign_config("detection"),
             )
             self._detection = campaign.run()
+            self._save_result("detection", self._detection)
             self.telemetries["detection"] = campaign.telemetry
             if campaign.stratum_reports:
                 self.stratum_reports["detection"] = (
@@ -305,5 +365,6 @@ class ExperimentContext:
                 config=self.campaign_config("memory"),
             )
             self._memory = campaign.run()
+            self._save_result("memory", self._memory)
             self.telemetries["memory"] = campaign.telemetry
         return self._memory

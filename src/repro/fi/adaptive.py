@@ -304,6 +304,17 @@ class AdaptiveSampler:
         # whole campaign
         aggregate.cache_hits = round_telemetry.cache_hits
         aggregate.cache_misses = round_telemetry.cache_misses
+        # store statistics are cumulative over the executor's store
+        # instance, which every round shares — assign, don't sum
+        aggregate.store_backend = round_telemetry.store_backend
+        aggregate.store_flushes = round_telemetry.store_flushes
+        aggregate.store_flushes_skipped = (
+            round_telemetry.store_flushes_skipped
+        )
+        aggregate.store_records_written = (
+            round_telemetry.store_records_written
+        )
+        aggregate.store_bytes_written = round_telemetry.store_bytes_written
 
     # ------------------------------------------------------------------
     def run(
@@ -317,7 +328,9 @@ class AdaptiveSampler:
         order, with :data:`SKIPPED` in never-dispatched slots."""
         config = self.executor.config
         events = RunEventLog(
-            config.event_log_path, self.executor.campaign
+            config.event_log_path,
+            self.executor.campaign,
+            sink=self.executor.store,
         )
         results: List[Any] = [SKIPPED] * n_tasks
         cursor: Dict[str, int] = {s.label: 0 for s in self.strata}

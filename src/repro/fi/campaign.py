@@ -384,6 +384,7 @@ class PermeabilityCampaign:
             self.telemetry = executor.telemetry
             self.integrity_violations = list(executor.violations)
             self.stratum_reports = []
+        executor.close()
 
         # Phase 3: aggregate in task order (== legacy loop order).
         direct: Dict[Tuple[str, str, str], int] = {}
@@ -733,6 +734,7 @@ class DetectionCampaign:
             self.telemetry = executor.telemetry
             self.integrity_violations = list(executor.violations)
             self.stratum_reports = []
+        executor.close()
 
         # Phase 3: aggregate in task order.
         n_injected: Dict[str, int] = {t: 0 for t in targets}
@@ -1011,6 +1013,7 @@ class RecoveryCampaign:
         )
         self.telemetry = executor.telemetry
         self.integrity_violations = list(executor.violations)
+        executor.close()
 
         # Phase 3: aggregate in task order.
         outcomes: List[RecoveryOutcome] = []
@@ -1165,6 +1168,7 @@ class MemoryCampaign:
         )
         self.telemetry = executor.telemetry
         self.integrity_violations = list(executor.violations)
+        executor.close()
 
         # Phase 3: aggregate in task order.
         records: List[MemoryRunRecord] = []

@@ -52,20 +52,25 @@ to the serial backend for the remaining tasks.  The checkpoint is
 flushed on **every** exit path — success, exception and
 KeyboardInterrupt — so no completed run is ever lost.
 
-Checkpoint format
------------------
-A JSON document ``{campaign, fingerprint, n_tasks, results, digests}``
-where ``results`` maps task index to the task's JSON-encodable result
-(or an encoded :class:`TaskFailure` for quarantined tasks) and
-``digests`` maps the same indices to each record's canonical content
-digest (:func:`~repro.fi.integrity.canonical_digest`).  A resume run
-with a matching fingerprint replays the stored results and executes
-only the missing tasks; a mismatched fingerprint — or a structurally
-corrupt checkpoint — discards the checkpoint instead of crashing.
-Records whose digest does not verify are handled per the integrity
-policy: dropped and re-executed (``repair``, the default), fatal
-(``strict``), or accepted unverified (``off``).  Pre-digest
-checkpoints (no ``digests`` map) still load.
+Checkpointing and the result store
+----------------------------------
+Campaign persistence lives behind the
+:class:`~repro.fi.store.ResultStore` interface
+(:mod:`repro.fi.store`): the executor opens the store named by
+``config.checkpoint.path`` (the path's suffix — or
+``checkpoint.backend`` — selects the legacy single-file JSON
+checkpoint or the sqlite results database), binds it to the campaign
+identity ``(campaign, fingerprint, n_tasks)``, streams each finished
+task record into it and flushes every ``checkpoint.every`` tasks and
+on every exit path.  A resume run with a matching fingerprint
+schedules only the tasks the store has no verified record for; a
+mismatched fingerprint — or a structurally corrupt checkpoint —
+discards the stored records instead of crashing.  Digest stamping and
+verification are store-level concerns: records whose stored canonical
+digest does not verify on load are handled per the integrity policy —
+dropped and re-executed (``repair``, the default), fatal (``strict``),
+or accepted unverified (``off``) — and pre-digest checkpoints (no
+``digests`` map) still load.
 
 Result integrity
 ----------------
@@ -90,6 +95,7 @@ import os
 import signal
 import threading
 import time
+import warnings
 from collections import OrderedDict
 from contextlib import contextmanager
 from dataclasses import dataclass
@@ -102,6 +108,7 @@ from typing import (
     List,
     Optional,
     Sequence,
+    Set,
     Tuple,
 )
 
@@ -110,19 +117,24 @@ from repro.fi.golden import GoldenRun, GoldenRunStore
 from repro.fi.integrity import (
     POLICIES,
     IntegrityViolation,
-    canonical_digest,
     drain_violations,
     integrity_stats,
 )
 from repro.fi.snapshot import DEFAULT_CHECKPOINT_STRIDE, ff_stats
+from repro.fi.store import STORE_BACKENDS, ResultStore, open_store
 
 __all__ = [
     "BACKENDS",
     "CHECKPOINT_SCHEMA_REVISION",
+    "AdaptivePolicy",
     "CampaignConfig",
     "CampaignTelemetry",
     "CampaignExecutor",
+    "CheckpointPolicy",
+    "FastForwardPolicy",
+    "FaultTolerancePolicy",
     "GoldenRunCache",
+    "IntegrityPolicy",
     "RunEventLog",
     "TaskFailure",
     "golden_cache",
@@ -146,28 +158,39 @@ MAX_BACKOFF_S = 30.0
 # ======================================================================
 # Configuration.
 # ======================================================================
-@dataclass
-class CampaignConfig:
-    """Shared configuration accepted by every campaign driver.
+@dataclass(frozen=True)
+class CheckpointPolicy:
+    """Where and how campaign progress is persisted.
 
-    Campaign-specific workload knobs (``runs_per_input``, assertion
-    specs, memory locations) remain constructor arguments of the
-    individual drivers; this dataclass carries what is common to all
-    of them.  Explicit constructor arguments win over config values.
+    *path* names the campaign's result store; its suffix selects the
+    store backend (``.db``/``.sqlite``/``.sqlite3`` → sqlite,
+    anything else → the legacy JSON document) unless *backend* pins
+    one explicitly.
     """
 
-    #: campaign RNG seed (the paper's campaigns use 2002).
-    seed: int = 2002
-    #: test cases to cycle over; ``None`` = the driver's own default.
-    test_cases: Optional[Sequence[Any]] = None
-    #: worker processes; 1 = serial execution.
-    jobs: int = 1
-    #: ``"serial"`` or ``"process"``; ``None`` selects from ``jobs``.
+    #: checkpoint / results-store file; ``None`` disables persistence.
+    path: Optional[str] = None
+    #: flush the store every this many completed tasks.
+    every: int = 32
+    #: ``"json"`` or ``"sqlite"``; ``None`` derives from the suffix.
     backend: Optional[str] = None
-    #: checkpoint file; ``None`` disables checkpointing.
-    checkpoint_path: Optional[str] = None
-    #: flush the checkpoint every this many completed tasks.
-    checkpoint_every: int = 32
+
+    def __post_init__(self) -> None:
+        if self.every < 1:
+            raise CampaignError(
+                f"checkpoint_every must be >= 1, got {self.every}"
+            )
+        if self.backend is not None and self.backend not in STORE_BACKENDS:
+            raise CampaignError(
+                f"unknown store backend {self.backend!r}; "
+                f"choose from {STORE_BACKENDS}"
+            )
+
+
+@dataclass(frozen=True)
+class FaultTolerancePolicy:
+    """Retry, timeout and pool-survival knobs."""
+
     #: per-task wall-clock budget in seconds; ``None`` = unlimited.
     task_timeout: Optional[float] = None
     #: extra attempts per task before quarantine (total = retries + 1).
@@ -179,58 +202,8 @@ class CampaignConfig:
     #: stall watchdog on pool results; ``None`` derives it from
     #: ``task_timeout`` (or :data:`DEFAULT_POOL_WATCHDOG_S`).
     pool_watchdog_s: Optional[float] = None
-    #: JSONL run-event log; ``None`` disables event logging.
-    event_log_path: Optional[str] = None
-    #: ticks between golden checkpoints for fast-forwarded runs.
-    checkpoint_stride: int = DEFAULT_CHECKPOINT_STRIDE
-    #: restore golden checkpoints instead of re-simulating the prefix
-    #: (bit-identical either way; off = always simulate from tick 0).
-    fast_forward: bool = True
-    #: fraction of fast-forwarded runs re-executed full-length and
-    #: field-diffed against the fast-forward result (0.0 = no audits).
-    audit_fraction: float = 0.0
-    #: seed of the deterministic audit sample; ``None`` uses ``seed``.
-    audit_seed: Optional[int] = None
-    #: ``"strict"`` (violations abort), ``"repair"`` (violations are
-    #: healed from a trusted recomputation) or ``"off"`` (no
-    #: verification: no checkpoint digest checks, audits or sentinels).
-    integrity_policy: str = "repair"
-    #: confidence-driven sequential sampling: campaigns that support
-    #: stratified estimation (permeability, detection) dispatch batches
-    #: per stratum and stop early once the interval targets below are
-    #: met.  Campaigns that enumerate their fault space (memory,
-    #: recovery) ignore the flag.
-    adaptive: bool = False
-    #: confidence level of the stopping intervals and bounds.
-    ci_level: float = 0.95
-    #: two-sided Wilson half-width at which a stratum's estimate is
-    #: precise enough to stop.  ``0`` disables early stopping entirely
-    #: (the adaptive engine then runs the full budget in batches and is
-    #: bit-identical to fixed-n scheduling).
-    ci_halfwidth: float = 0.2
-    #: injections dispatched per stratum per adaptive round.
-    min_batch: int = 4
-    #: per-stratum injection budget for adaptive campaigns; ``None``
-    #: uses the driver's fixed-n run count (``runs_per_input`` /
-    #: ``runs_per_signal``).
-    max_runs: Optional[int] = None
-    #: one-sided upper bound below which an all-miss stratum pair is
-    #: certified an architectural zero.
-    zero_threshold: float = 0.3
-    #: one-sided lower bound above which a pair is certified saturated.
-    saturation_threshold: float = 0.6
 
     def __post_init__(self) -> None:
-        if self.jobs < 1:
-            raise CampaignError(f"jobs must be >= 1, got {self.jobs}")
-        if self.backend is not None and self.backend not in BACKENDS:
-            raise CampaignError(
-                f"unknown backend {self.backend!r}; choose from {BACKENDS}"
-            )
-        if self.checkpoint_every < 1:
-            raise CampaignError(
-                f"checkpoint_every must be >= 1, got {self.checkpoint_every}"
-            )
         if self.task_timeout is not None and self.task_timeout <= 0:
             raise CampaignError(
                 f"task_timeout must be positive, got {self.task_timeout}"
@@ -251,21 +224,85 @@ class CampaignConfig:
                 f"pool_watchdog_s must be positive, "
                 f"got {self.pool_watchdog_s}"
             )
+
+
+@dataclass(frozen=True)
+class FastForwardPolicy:
+    """The snapshot fast-forward engine's knobs."""
+
+    #: restore golden checkpoints instead of re-simulating the prefix
+    #: (bit-identical either way; off = always simulate from tick 0).
+    enabled: bool = True
+    #: ticks between golden checkpoints for fast-forwarded runs.
+    checkpoint_stride: int = DEFAULT_CHECKPOINT_STRIDE
+
+    def __post_init__(self) -> None:
         if self.checkpoint_stride < 1:
             raise CampaignError(
                 f"checkpoint_stride must be >= 1, "
                 f"got {self.checkpoint_stride}"
             )
+
+
+@dataclass(frozen=True)
+class IntegrityPolicy:
+    """Runtime self-verification of campaign results."""
+
+    #: ``"strict"`` (violations abort), ``"repair"`` (violations are
+    #: healed from a trusted recomputation) or ``"off"`` (no
+    #: verification: no checkpoint digest checks, audits or sentinels).
+    policy: str = "repair"
+    #: fraction of fast-forwarded runs re-executed full-length and
+    #: field-diffed against the fast-forward result (0.0 = no audits).
+    audit_fraction: float = 0.0
+    #: seed of the deterministic audit sample; ``None`` uses ``seed``.
+    audit_seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
         if not 0.0 <= self.audit_fraction <= 1.0:
             raise CampaignError(
                 f"audit_fraction must be within [0, 1], "
                 f"got {self.audit_fraction}"
             )
-        if self.integrity_policy not in POLICIES:
+        if self.policy not in POLICIES:
             raise CampaignError(
-                f"unknown integrity policy {self.integrity_policy!r}; "
+                f"unknown integrity policy {self.policy!r}; "
                 f"choose from {POLICIES}"
             )
+
+
+@dataclass(frozen=True)
+class AdaptivePolicy:
+    """Confidence-driven sequential sampling.
+
+    Campaigns that support stratified estimation (permeability,
+    detection) dispatch batches per stratum and stop early once the
+    interval targets are met; campaigns that enumerate their fault
+    space (memory, recovery) ignore the policy.
+    """
+
+    #: master switch for adaptive scheduling.
+    enabled: bool = False
+    #: confidence level of the stopping intervals and bounds.
+    ci_level: float = 0.95
+    #: two-sided Wilson half-width at which a stratum's estimate is
+    #: precise enough to stop.  ``0`` disables early stopping entirely
+    #: (the adaptive engine then runs the full budget in batches and is
+    #: bit-identical to fixed-n scheduling).
+    ci_halfwidth: float = 0.2
+    #: injections dispatched per stratum per adaptive round.
+    min_batch: int = 4
+    #: per-stratum injection budget for adaptive campaigns; ``None``
+    #: uses the driver's fixed-n run count (``runs_per_input`` /
+    #: ``runs_per_signal``).
+    max_runs: Optional[int] = None
+    #: one-sided upper bound below which an all-miss stratum pair is
+    #: certified an architectural zero.
+    zero_threshold: float = 0.3
+    #: one-sided lower bound above which a pair is certified saturated.
+    saturation_threshold: float = 0.6
+
+    def __post_init__(self) -> None:
         if not 0.0 < self.ci_level < 1.0:
             raise CampaignError(
                 f"ci_level must be within (0, 1), got {self.ci_level}"
@@ -294,6 +331,146 @@ class CampaignConfig:
                 f"got {self.saturation_threshold}"
             )
 
+
+#: flat constructor kwarg -> (policy attribute, field) mapping.  The
+#: flat spellings remain readable as properties forever; *passing*
+#: them to the constructor is deprecated (``store_backend`` excepted,
+#: which was never a flat field and carries no legacy).
+_FLAT_FIELDS: Dict[str, Tuple[str, str]] = {
+    "checkpoint_path": ("checkpoint", "path"),
+    "checkpoint_every": ("checkpoint", "every"),
+    "store_backend": ("checkpoint", "backend"),
+    "task_timeout": ("fault_tolerance", "task_timeout"),
+    "retries": ("fault_tolerance", "retries"),
+    "retry_backoff_s": ("fault_tolerance", "retry_backoff_s"),
+    "max_pool_respawns": ("fault_tolerance", "max_pool_respawns"),
+    "pool_watchdog_s": ("fault_tolerance", "pool_watchdog_s"),
+    "fast_forward": ("fastforward", "enabled"),
+    "checkpoint_stride": ("fastforward", "checkpoint_stride"),
+    "integrity_policy": ("integrity", "policy"),
+    "audit_fraction": ("integrity", "audit_fraction"),
+    "audit_seed": ("integrity", "audit_seed"),
+    "adaptive": ("sampling", "enabled"),
+    "ci_level": ("sampling", "ci_level"),
+    "ci_halfwidth": ("sampling", "ci_halfwidth"),
+    "min_batch": ("sampling", "min_batch"),
+    "max_runs": ("sampling", "max_runs"),
+    "zero_threshold": ("sampling", "zero_threshold"),
+    "saturation_threshold": ("sampling", "saturation_threshold"),
+}
+
+#: flat kwargs accepted without a deprecation warning.
+_FLAT_NO_WARN = frozenset({"store_backend"})
+
+_POLICY_TYPES = {
+    "checkpoint": CheckpointPolicy,
+    "fault_tolerance": FaultTolerancePolicy,
+    "fastforward": FastForwardPolicy,
+    "integrity": IntegrityPolicy,
+    "sampling": AdaptivePolicy,
+}
+
+
+class CampaignConfig:
+    """Shared configuration accepted by every campaign driver.
+
+    Campaign-specific workload knobs (``runs_per_input``, assertion
+    specs, memory locations) remain constructor arguments of the
+    individual drivers; this class carries what is common to all of
+    them.  Explicit constructor arguments win over config values.
+
+    The execution options are grouped into nested policies::
+
+        CampaignConfig(
+            seed=2002, jobs=4,
+            checkpoint=CheckpointPolicy(path="run.db", every=16),
+            fault_tolerance=FaultTolerancePolicy(retries=2),
+            fastforward=FastForwardPolicy(checkpoint_stride=64),
+            integrity=IntegrityPolicy(policy="strict"),
+            sampling=AdaptivePolicy(enabled=True, ci_halfwidth=0.1),
+        )
+
+    The pre-redesign flat keyword arguments (``checkpoint_path=...``,
+    ``audit_fraction=...``, ...) are still accepted — they are mapped
+    onto the nested policies and emit a :class:`DeprecationWarning` —
+    and every flat spelling remains readable as a property
+    (``config.checkpoint_every`` == ``config.checkpoint.every``), so
+    existing call sites keep working unchanged.
+    """
+
+    def __init__(
+        self,
+        seed: int = 2002,
+        test_cases: Optional[Sequence[Any]] = None,
+        jobs: int = 1,
+        backend: Optional[str] = None,
+        event_log_path: Optional[str] = None,
+        checkpoint: Optional[CheckpointPolicy] = None,
+        fault_tolerance: Optional[FaultTolerancePolicy] = None,
+        fastforward: Optional[FastForwardPolicy] = None,
+        integrity: Optional[IntegrityPolicy] = None,
+        sampling: Optional[AdaptivePolicy] = None,
+        **flat: Any,
+    ) -> None:
+        unknown = sorted(set(flat) - set(_FLAT_FIELDS))
+        if unknown:
+            raise CampaignError(
+                f"unknown CampaignConfig fields: {', '.join(unknown)}"
+            )
+        explicit: Dict[str, Any] = {
+            "checkpoint": checkpoint,
+            "fault_tolerance": fault_tolerance,
+            "fastforward": fastforward,
+            "integrity": integrity,
+            "sampling": sampling,
+        }
+        overrides: Dict[str, Dict[str, Any]] = {
+            group: {} for group in _POLICY_TYPES
+        }
+        legacy: List[str] = []
+        for name, value in flat.items():
+            group, attr = _FLAT_FIELDS[name]
+            if explicit[group] is not None:
+                raise CampaignError(
+                    f"{name}= conflicts with the explicit {group}= "
+                    f"policy; set {group}.{attr} instead"
+                )
+            overrides[group][attr] = value
+            if name not in _FLAT_NO_WARN:
+                legacy.append(name)
+        if legacy:
+            warnings.warn(
+                f"flat CampaignConfig fields "
+                f"({', '.join(sorted(legacy))}) are deprecated; pass "
+                f"nested policies (CheckpointPolicy, "
+                f"FaultTolerancePolicy, FastForwardPolicy, "
+                f"IntegrityPolicy, AdaptivePolicy) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        #: campaign RNG seed (the paper's campaigns use 2002).
+        self.seed = seed
+        #: test cases to cycle over; ``None`` = the driver's default.
+        self.test_cases = test_cases
+        #: worker processes; 1 = serial execution.
+        self.jobs = jobs
+        #: ``"serial"`` or ``"process"``; ``None`` selects from jobs.
+        self.backend = backend
+        #: JSONL run-event log; ``None`` disables file event logging.
+        self.event_log_path = event_log_path
+        for group, policy_type in _POLICY_TYPES.items():
+            policy = explicit[group]
+            if policy is None:
+                policy = policy_type(**overrides[group])
+            object.__setattr__(self, group, policy)
+        if self.jobs < 1:
+            raise CampaignError(f"jobs must be >= 1, got {self.jobs}")
+        if self.backend is not None and self.backend not in BACKENDS:
+            raise CampaignError(
+                f"unknown backend {self.backend!r}; choose from {BACKENDS}"
+            )
+
+    # -- resolution helpers ---------------------------------------------
     def resolved_backend(self) -> str:
         if self.backend is not None:
             return self.backend
@@ -301,11 +478,40 @@ class CampaignConfig:
 
     def resolved_watchdog(self) -> float:
         """Seconds of result silence after which the pool is broken."""
-        if self.pool_watchdog_s is not None:
-            return self.pool_watchdog_s
-        if self.task_timeout is not None:
-            return self.task_timeout * 2 + 5.0
+        if self.fault_tolerance.pool_watchdog_s is not None:
+            return self.fault_tolerance.pool_watchdog_s
+        if self.fault_tolerance.task_timeout is not None:
+            return self.fault_tolerance.task_timeout * 2 + 5.0
         return DEFAULT_POOL_WATCHDOG_S
+
+    def __eq__(self, other: Any) -> Any:
+        if not isinstance(other, CampaignConfig):
+            return NotImplemented
+        return self.__dict__ == other.__dict__
+
+    def __repr__(self) -> str:
+        return (
+            f"CampaignConfig(seed={self.seed!r}, jobs={self.jobs!r}, "
+            f"backend={self.backend!r}, "
+            f"event_log_path={self.event_log_path!r}, "
+            f"checkpoint={self.checkpoint!r}, "
+            f"fault_tolerance={self.fault_tolerance!r}, "
+            f"fastforward={self.fastforward!r}, "
+            f"integrity={self.integrity!r}, sampling={self.sampling!r})"
+        )
+
+
+def _flat_property(group: str, attr: str) -> property:
+    def read(self: CampaignConfig) -> Any:
+        return getattr(getattr(self, group), attr)
+
+    read.__doc__ = f"Read-only alias of ``{group}.{attr}``."
+    return property(read)
+
+
+for _flat_name, (_group, _attr) in _FLAT_FIELDS.items():
+    setattr(CampaignConfig, _flat_name, _flat_property(_group, _attr))
+del _flat_name, _group, _attr
 
 
 def fingerprint_of(*parts: Any) -> str:
@@ -393,11 +599,22 @@ class RunEventLog:
     an arbitrary buffer boundary.  Set ``REPRO_EVENT_LOG_FSYNC=1`` to
     additionally ``fsync`` per record — durable against power loss,
     at a per-event cost only forensics-critical runs should pay.
+
+    *sink*, when given, mirrors every record into a
+    :class:`~repro.fi.store.ResultStore` (the sqlite backend persists
+    them in its ``events`` table; the JSON backend ignores them), so
+    a results database carries its own event history.
     """
 
-    def __init__(self, path: Optional[str] = None, campaign: str = ""):
+    def __init__(
+        self,
+        path: Optional[str] = None,
+        campaign: str = "",
+        sink: Optional[ResultStore] = None,
+    ):
         self.path = path
         self.campaign = campaign
+        self.sink = sink
         self._handle = None
         self._fsync = os.environ.get("REPRO_EVENT_LOG_FSYNC") == "1"
         if path:
@@ -407,10 +624,10 @@ class RunEventLog:
 
     @property
     def enabled(self) -> bool:
-        return self._handle is not None
+        return self._handle is not None or self.sink is not None
 
     def emit(self, event: str, **fields: Any) -> None:
-        if self._handle is None:
+        if self._handle is None and self.sink is None:
             return
         record: Dict[str, Any] = {
             "ts": round(time.time(), 3),
@@ -418,16 +635,22 @@ class RunEventLog:
             "event": event,
         }
         record.update(fields)
-        try:
-            self._handle.write(
-                json.dumps(record, separators=(",", ":"), default=str)
-                + "\n"
-            )
-            self._handle.flush()
-            if self._fsync:
-                os.fsync(self._handle.fileno())
-        except (OSError, ValueError):
-            pass  # never let observability take the campaign down
+        if self._handle is not None:
+            try:
+                self._handle.write(
+                    json.dumps(record, separators=(",", ":"), default=str)
+                    + "\n"
+                )
+                self._handle.flush()
+                if self._fsync:
+                    os.fsync(self._handle.fileno())
+            except (OSError, ValueError):
+                pass  # never let observability take the campaign down
+        if self.sink is not None:
+            try:
+                self.sink.log_event(record)
+            except Exception:
+                pass  # observability must never take the campaign down
 
     def close(self) -> None:
         if self._handle is not None:
@@ -486,6 +709,17 @@ class CampaignTelemetry:
     drift_events: int = 0
     #: checkpoint records dropped on load after a digest mismatch.
     checkpoint_rejects: int = 0
+    #: result-store backend persisting the campaign ("" = no store).
+    store_backend: str = ""
+    #: store flushes that actually wrote data.
+    store_flushes: int = 0
+    #: store flushes skipped because no new records had arrived.
+    store_flushes_skipped: int = 0
+    #: records persisted by the store (new records, not rewrites).
+    store_records_written: int = 0
+    #: payload bytes the store wrote (whole-document rewrites for the
+    #: JSON backend, streamed inserts for sqlite).
+    store_bytes_written: int = 0
     #: True when the run was scheduled by the adaptive sampler.
     adaptive: bool = False
     #: strata the adaptive sampler scheduled.
@@ -549,6 +783,14 @@ class CampaignTelemetry:
                 text += f" drift={self.drift_events}"
             if self.checkpoint_rejects:
                 text += f" ckpt-rejects={self.checkpoint_rejects}"
+        if self.store_backend:
+            text += (
+                f" | store={self.store_backend}"
+                f" flushes={self.store_flushes}"
+                f"+{self.store_flushes_skipped} skipped,"
+                f" {self.store_records_written} records"
+                f" / {self.store_bytes_written} B"
+            )
         if self.adaptive:
             text += (
                 f" | adaptive runs_saved={self.runs_saved}"
@@ -883,7 +1125,7 @@ class CampaignExecutor:
         #: (audit mismatches, rejected checkpoint records, drift).
         self.violations: List[IntegrityViolation] = []
         self._events = RunEventLog(None, campaign)
-        self._digests: Dict[int, str] = {}
+        self._store: Optional[ResultStore] = None
         # cache and fast-forward stats count from executor
         # construction, so golden runs and checkpoint tracks built
         # while the campaign pre-draws its parameters show up
@@ -893,127 +1135,38 @@ class CampaignExecutor:
         self._integ0 = integrity_stats.as_tuple()
 
     # ------------------------------------------------------------------
-    # Checkpointing.
+    # The result store.
     # ------------------------------------------------------------------
-    def _load_checkpoint(
-        self, fingerprint: str, n_tasks: int
-    ) -> Tuple[Dict[int, Any], int]:
-        """Load matching records; returns (done, rejected-record count).
+    @property
+    def store(self) -> Optional[ResultStore]:
+        """The campaign's result store, opened lazily from
+        ``config.checkpoint`` (``None`` when persistence is off).
 
-        Every record that ships with a digest is re-verified against
-        it before being merged.  A mismatch means the file was
-        corrupted (or hand-edited) after it was written: under
-        ``repair`` the record is dropped and its task re-executed,
-        under ``strict`` the resume aborts, under ``off`` the record
-        is accepted unverified.  Records without digests (pre-digest
-        checkpoints) load unverified on any policy.
+        The store's backend follows the checkpoint path's suffix
+        (``.db``/``.sqlite``/``.sqlite3`` → sqlite, anything else →
+        the legacy JSON document) unless ``checkpoint.backend`` pins
+        one.  The instance is kept for the executor's lifetime, so
+        adaptive rounds and repeated :meth:`run_tasks` calls share
+        one verified view of the campaign's records.
         """
-        path = self.config.checkpoint_path
-        if not path or not os.path.exists(path):
-            return {}, 0
-        try:
-            with open(path, "r", encoding="utf-8") as handle:
-                payload = json.load(handle)
-        except (OSError, ValueError):
-            return {}, 0
-        if (
-            not isinstance(payload, dict)
-            or payload.get("campaign") != self.campaign
-            or payload.get("fingerprint") != fingerprint
-            or payload.get("n_tasks") != n_tasks
-        ):
-            return {}, 0
-        policy = self.config.integrity_policy
-        digests = payload.get("digests")
-        if not isinstance(digests, dict):
-            digests = {}
-        rejects = 0
-        # a structurally corrupt checkpoint (non-numeric indices,
-        # results that aren't a mapping, mangled failure records) is
-        # discarded like a mismatched one — never crash the campaign
-        try:
-            done: Dict[int, Any] = {}
-            for index, result in payload.get("results", {}).items():
-                i = int(index)
-                if not 0 <= i < n_tasks:
-                    continue
-                stored = digests.get(index)
-                if stored is not None and policy != "off":
-                    try:
-                        computed = canonical_digest(result)
-                    except IntegrityError:
-                        computed = "<undigestable>"
-                    if computed != stored:
-                        rejects += 1
-                        violation = IntegrityViolation(
-                            kind="checkpoint_digest",
-                            campaign=self.campaign,
-                            index=i,
-                            detail=(
-                                "stored record does not match its digest"
-                            ),
-                            expected=str(stored),
-                            observed=computed,
-                        )
-                        self.violations.append(violation)
-                        self._events.emit(
-                            "integrity_violation",
-                            kind=violation.kind,
-                            index=i,
-                            detail=violation.detail,
-                        )
-                        if policy == "strict":
-                            raise IntegrityError(
-                                f"checkpoint {path} failed verification: "
-                                f"{violation.describe()}"
-                            )
-                        continue  # repair: drop it, re-execute the task
-                if isinstance(stored, str):
-                    self._digests[i] = stored
-                if TaskFailure.is_encoded(result):
-                    result = TaskFailure.from_json(result)
-                done[i] = result
-        except (AttributeError, KeyError, TypeError, ValueError):
-            return {}, rejects
-        return done, rejects
-
-    def _flush_checkpoint(
-        self, fingerprint: str, n_tasks: int, done: Dict[int, Any]
-    ) -> None:
-        path = self.config.checkpoint_path
-        if not path:
-            return
-        results: Dict[str, Any] = {}
-        for index, result in done.items():
-            encoded = (
-                result.to_json()
-                if isinstance(result, TaskFailure)
-                else result
+        if self._store is None and self.config.checkpoint.path:
+            self._store = open_store(
+                self.config.checkpoint.path,
+                self.config.checkpoint.backend,
             )
-            results[str(index)] = encoded
-            if index not in self._digests:
-                try:
-                    self._digests[index] = canonical_digest(encoded)
-                except IntegrityError:
-                    pass  # non-JSON results cannot be verified later
-        payload = {
-            "campaign": self.campaign,
-            "fingerprint": fingerprint,
-            "n_tasks": n_tasks,
-            "results": results,
-            "digests": {
-                str(index): digest
-                for index, digest in self._digests.items()
-                if index in done
-            },
-        }
-        tmp = f"{path}.tmp"
-        directory = os.path.dirname(os.path.abspath(path))
-        os.makedirs(directory, exist_ok=True)
-        with open(tmp, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle)
-        os.replace(tmp, path)
-        self._events.emit("checkpoint_flush", done=len(done))
+        return self._store
+
+    def close(self) -> None:
+        """Flush and release the result store (idempotent)."""
+        if self._store is not None:
+            self._store.close()
+            self._store = None
+
+    def __enter__(self) -> "CampaignExecutor":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # Execution.
@@ -1048,17 +1201,39 @@ class CampaignExecutor:
         """
         config = self.config
         self.violations = []
-        self._digests = {}
-        events = RunEventLog(config.event_log_path, self.campaign)
+        store = self.store
+        checkpointing = store is not None
+        events = RunEventLog(
+            config.event_log_path, self.campaign, sink=store
+        )
         self._events = events
-        try:
-            done, checkpoint_rejects = self._load_checkpoint(
-                fingerprint, n_tasks
+
+        def on_violation(violation: IntegrityViolation) -> None:
+            self.violations.append(violation)
+            events.emit(
+                "integrity_violation",
+                kind=violation.kind,
+                index=violation.index,
+                detail=violation.detail,
             )
-        except IntegrityError:
-            events.close()
-            self._events = RunEventLog(None, self.campaign)
-            raise
+
+        checkpoint_rejects = 0
+        prior: Set[int] = set()
+        if store is not None:
+            try:
+                checkpoint_rejects = store.open_campaign(
+                    self.campaign,
+                    fingerprint,
+                    n_tasks,
+                    policy=config.integrity.policy,
+                    on_violation=on_violation,
+                )
+            except IntegrityError:
+                events.close()
+                self._events = RunEventLog(None, self.campaign)
+                raise
+            prior = store.completed_indices()
+        done: Dict[int, Any] = {}
         if indices is None:
             wanted: Sequence[int] = range(n_tasks)
         else:
@@ -1069,8 +1244,8 @@ class CampaignExecutor:
                         f"task index {index} outside the campaign's "
                         f"{n_tasks}-task space"
                     )
-        resumed = sum(1 for i in wanted if i in done)
-        pending = [i for i in wanted if i not in done]
+        resumed = sum(1 for i in wanted if i in prior)
+        pending = [i for i in wanted if i not in prior]
         # report the backend actually used: the process backend falls
         # back to serial when fork is unavailable or the workload is
         # too small to be worth a pool
@@ -1088,7 +1263,6 @@ class CampaignExecutor:
             resumed_runs=resumed,
             checkpoint_rejects=checkpoint_rejects,
         )
-        checkpointing = bool(config.checkpoint_path)
         since_flush = 0
         attempts: Dict[int, int] = {index: 0 for index in pending}
         started = time.perf_counter()
@@ -1102,12 +1276,27 @@ class CampaignExecutor:
             start_fields["batch"] = len(wanted)
         events.emit("run_start", **start_fields)
 
+        def flush_store() -> None:
+            if store is not None and store.flush():
+                events.emit(
+                    "checkpoint_flush",
+                    done=len(store.completed_indices()),
+                )
+
         def record(index: int, value: Any) -> None:
             nonlocal since_flush
             done[index] = value
+            if not checkpointing:
+                return
+            encoded = (
+                value.to_json()
+                if isinstance(value, TaskFailure)
+                else value
+            )
+            store.put_record(index, encoded)
             since_flush += 1
-            if checkpointing and since_flush >= config.checkpoint_every:
-                self._flush_checkpoint(fingerprint, n_tasks, done)
+            if since_flush >= config.checkpoint.every:
+                flush_store()
                 since_flush = 0
 
         def absorb_ff(ff_delta: Optional[Tuple[int, ...]]) -> None:
@@ -1456,8 +1645,17 @@ class CampaignExecutor:
             )
             self._integ0 = integ_now
             # the no-lost-progress guarantee: flush on every exit path
-            if checkpointing:
-                self._flush_checkpoint(fingerprint, n_tasks, done)
+            if store is not None:
+                flush_store()
+                telemetry.store_backend = store.backend
+                telemetry.store_flushes = store.stats.flushes
+                telemetry.store_flushes_skipped = (
+                    store.stats.skipped_flushes
+                )
+                telemetry.store_records_written = (
+                    store.stats.records_written
+                )
+                telemetry.store_bytes_written = store.stats.bytes_written
             self.telemetry = telemetry
             events.emit(
                 "run_end",
@@ -1479,4 +1677,15 @@ class CampaignExecutor:
             )
             events.close()
             self._events = RunEventLog(None, self.campaign)
-        return [done[index] for index in wanted]
+        output: List[Any] = []
+        for index in wanted:
+            if index in done:
+                output.append(done[index])
+                continue
+            # resumed records are fetched from the store lazily, so
+            # the full result set is never materialized twice
+            value = store.get_record(index)
+            if TaskFailure.is_encoded(value):
+                value = TaskFailure.from_json(value)
+            output.append(value)
+        return output

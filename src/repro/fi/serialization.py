@@ -19,6 +19,7 @@ unverified.
 from __future__ import annotations
 
 import json
+import warnings
 from pathlib import Path
 from typing import Dict, List, Union
 
@@ -43,6 +44,8 @@ __all__ = [
     "memory_from_dict",
     "stratum_reports_to_dict",
     "stratum_reports_from_dict",
+    "result_to_document",
+    "document_to_result",
     "save_json",
     "load_json",
 ]
@@ -246,12 +249,13 @@ _FROM_DICT = {
 AnyResult = Union[PermeabilityEstimate, DetectionResult, MemoryCampaignResult]
 
 
-def save_json(result: AnyResult, path: Union[str, Path]) -> Path:
-    """Serialize a campaign result to a JSON file; returns the path.
+def result_to_document(result: AnyResult) -> dict:
+    """The digest-stamped JSON envelope of a campaign result.
 
-    The envelope gains a ``digest`` field — the canonical content
-    digest of everything else in it — which :func:`load_json`
-    re-verifies.
+    This is the persistence format shared by every
+    :class:`~repro.fi.store.ResultStore` backend: the envelope gains
+    a ``digest`` field — the canonical content digest of everything
+    else in it — which :func:`document_to_result` re-verifies.
     """
     converter = _TO_DICT.get(type(result))
     if converter is None:
@@ -260,25 +264,24 @@ def save_json(result: AnyResult, path: Union[str, Path]) -> Path:
         )
     data = converter(result)
     data["digest"] = canonical_digest(data)
-    path = Path(path)
-    path.write_text(json.dumps(data, indent=2))
-    return path
+    return data
 
 
-def load_json(path: Union[str, Path]) -> AnyResult:
-    """Load any campaign result saved by :func:`save_json`.
+def document_to_result(data: dict, source: str = "<document>") -> AnyResult:
+    """Decode (and digest-verify) a result envelope.
 
-    Raises :class:`~repro.errors.IntegrityError` when the file's
-    content does not match its stored digest; files saved before
-    digests existed (no ``digest`` field) load unverified.
+    *source* names the document's origin in error messages.  Raises
+    :class:`~repro.errors.IntegrityError` when the content does not
+    match its stored digest; envelopes saved before digests existed
+    (no ``digest`` field) load unverified.
     """
-    data = json.loads(Path(path).read_text())
+    data = dict(data)
     stored = data.pop("digest", None)
     if stored is not None:
         computed = canonical_digest(data)
         if computed != stored:
             raise IntegrityError(
-                f"campaign file {path} failed verification: stored "
+                f"campaign file {source} failed verification: stored "
                 f"digest {str(stored)[:16]}… does not match content "
                 f"digest {computed[:16]}… — the file was modified or "
                 f"corrupted after it was saved"
@@ -289,3 +292,46 @@ def load_json(path: Union[str, Path]) -> AnyResult:
             f"campaign file has unknown kind {data.get('kind')!r}"
         )
     return loader(data)
+
+
+_shim_warned = False
+
+
+def _warn_shim_once(name: str, replacement: str) -> None:
+    global _shim_warned
+    if _shim_warned:
+        return
+    _shim_warned = True
+    warnings.warn(
+        f"{name}() is deprecated; use {replacement} "
+        f"(repro.fi.store) instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def save_json(result: AnyResult, path: Union[str, Path]) -> Path:
+    """Deprecated shim over ``ResultStore.save_result``.
+
+    Serializes a campaign result to a JSON file; returns the path.
+    Prefer ``JsonCheckpointStore(path).save_result(result)`` (or the
+    sqlite store for a queryable results database).
+    """
+    _warn_shim_once("save_json", "ResultStore.save_result")
+    from repro.fi.store import JsonCheckpointStore
+
+    path = Path(path)
+    JsonCheckpointStore(str(path)).save_result(result)
+    return path
+
+
+def load_json(path: Union[str, Path]) -> AnyResult:
+    """Deprecated shim over ``ResultStore.load_result``.
+
+    Loads any campaign result saved by :func:`save_json`.  Prefer
+    ``JsonCheckpointStore(path).load_result()``.
+    """
+    _warn_shim_once("load_json", "ResultStore.load_result")
+    from repro.fi.store import JsonCheckpointStore
+
+    return JsonCheckpointStore(str(Path(path))).load_result()

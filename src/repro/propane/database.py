@@ -1,8 +1,8 @@
 """Directory-backed experiment database.
 
 One directory holds, per experiment, a description file
-(``<name>.desc.json``), a result file (``<name>.result.json``, written
-by :mod:`repro.fi.serialization`) and a status file
+(``<name>.desc.json``), a result file (``<name>.result.json``, a
+:class:`~repro.fi.store.JsonCheckpointStore` result envelope) and a status file
 (``<name>.status.json`` with timing and completion metadata) — so a
 long injection plan survives interruptions and re-runs skip completed
 experiments unless forced.
@@ -21,7 +21,7 @@ from pathlib import Path
 from typing import Callable, Dict, List, Optional, Union
 
 from repro.errors import ExperimentError
-from repro.fi.serialization import load_json, save_json
+from repro.fi.store import JsonCheckpointStore
 from repro.propane.description import CampaignKind, ExperimentDescription
 from repro.propane.runner import run_description
 
@@ -104,12 +104,16 @@ class ExperimentDatabase:
             and self.is_complete(name)
             and description.kind is not CampaignKind.RECOVERY
         ):
-            return load_json(self._result_path(name))
+            return JsonCheckpointStore(
+                str(self._result_path(name))
+            ).load_result()
         started = time.time()
         result = run_description(description, factory)
         elapsed = time.time() - started
         if description.kind is not CampaignKind.RECOVERY:
-            save_json(result, self._result_path(name))
+            JsonCheckpointStore(
+                str(self._result_path(name))
+            ).save_result(result)
         self._status_path(name).write_text(
             json.dumps(
                 {
@@ -143,4 +147,4 @@ class ExperimentDatabase:
             raise ExperimentError(
                 f"experiment {name!r} has no persisted result"
             )
-        return load_json(path)
+        return JsonCheckpointStore(str(path)).load_result()
