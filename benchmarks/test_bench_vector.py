@@ -1,0 +1,138 @@
+"""Vectorized batch core: speedup and bit-identity.
+
+Runs a water-tank detection campaign (full 6000-tick missions, no
+fast-forward, so the baseline is an honest serial full replay) with
+``batch_width`` off and on, asserts the results are bit-identical on
+the serial *and* process backends, and records the wall-clock speedup
+to ``BENCH_vector.json``.  The >=10x speedup bound is asserted at the
+bench and full scales; the smoke scale still verifies identity and
+reports the measured ratio.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from conftest import run_once, strict
+
+from repro.fi.campaign import DetectionCampaign
+from repro.fi.executor import (
+    CampaignConfig,
+    FastForwardPolicy,
+    VectorPolicy,
+)
+from repro.watertank.catalogue import tank_assertions
+from repro.watertank.simulation import WaterTankSimulator
+from repro.watertank.testcases import standard_tank_cases
+
+BATCH_WIDTH = 256
+
+
+def _factory(test_case):
+    return WaterTankSimulator(test_case)
+
+
+def _campaign(ctx, batch_width, backend="serial", jobs=1):
+    runs = ctx.scale.runs_per_signal
+    return DetectionCampaign(
+        _factory,
+        standard_tank_cases()[:3],
+        tank_assertions(),
+        runs_per_signal=max(runs, 8),
+        seed=ctx.seed,
+        config=CampaignConfig(
+            seed=ctx.seed,
+            backend=backend,
+            jobs=jobs,
+            # an honest full-replay baseline: fast-forward off on
+            # both sides, so the ratio isolates the vectorized core
+            fastforward=FastForwardPolicy(enabled=False),
+            vector=VectorPolicy(batch_width=batch_width),
+        ),
+    )
+
+
+def _digest(result):
+    return (
+        result.n_injected,
+        result.n_err,
+        result.detections,
+        result.run_records,
+        result.run_latencies,
+    )
+
+
+def test_bench_vector_batch(benchmark, ctx):
+    """Detection campaign, scalar vs vectorized: identical bits on
+    both backends, an order of magnitude less wall."""
+    # warm the golden cache so both timings start from the same place
+    goldens = _campaign(ctx, 0).goldens
+    for test_case in standard_tank_cases()[:3]:
+        goldens.get(test_case)
+
+    started = time.perf_counter()
+    scalar = _campaign(ctx, 0).run()
+    scalar_s = time.perf_counter() - started
+
+    def run_batched():
+        campaign = _campaign(ctx, BATCH_WIDTH)
+        return campaign, campaign.run()
+
+    campaign, batched = run_once(benchmark, run_batched)
+    telemetry = campaign.telemetry
+    batched_s = telemetry.wall_s
+    speedup = scalar_s / batched_s if batched_s > 0 else 0.0
+
+    # bit-identity, serial backend
+    assert _digest(batched) == _digest(scalar)
+    assert telemetry.vec_rows > 0
+    assert telemetry.vec_batched_ticks > 0
+
+    # bit-identity, process backend (groups computed whole in workers)
+    pool_campaign = _campaign(ctx, BATCH_WIDTH, backend="process", jobs=2)
+    pooled = pool_campaign.run()
+    assert _digest(pooled) == _digest(scalar)
+    assert pool_campaign.telemetry.vec_rows > 0
+
+    print()
+    print(f"vector bench (batch width {BATCH_WIDTH}, "
+          f"scale {ctx.scale.name})")
+    print(f"  scalar full replay: {scalar_s:.2f} s")
+    print(f"  vectorized        : {batched_s:.2f} s "
+          f"({telemetry.vec_rows} rows in {telemetry.vec_groups} groups, "
+          f"{telemetry.vec_batched_ticks} batched ticks, "
+          f"{telemetry.vec_retired_rows} retired)")
+    print(f"  speedup           : {speedup:.2f}x")
+
+    with open("BENCH_vector.json", "w") as handle:
+        json.dump(
+            {
+                "campaign": "detection",
+                "target": "watertank",
+                "scale": ctx.scale.name,
+                "batch_width": BATCH_WIDTH,
+                "scalar_full_replay_s": round(scalar_s, 3),
+                "vectorized_s": round(batched_s, 3),
+                "speedup": round(speedup, 2),
+                "bit_identical_serial": True,
+                "bit_identical_process": True,
+                "vec_rows": telemetry.vec_rows,
+                "vec_groups": telemetry.vec_groups,
+                "vec_batched_ticks": telemetry.vec_batched_ticks,
+                "vec_retired_rows": telemetry.vec_retired_rows,
+            },
+            handle,
+            indent=2,
+        )
+
+    # the throughput bound needs a baseline long enough that the
+    # ratio is not dominated by timing jitter on a loaded CI box
+    if strict(ctx) and scalar_s >= 1.0:
+        assert speedup >= 10.0, (
+            f"expected >=10x vectorized speedup at batch width "
+            f"{BATCH_WIDTH}, measured {speedup:.2f}x"
+        )
+    else:
+        print(f"  (speedup bound not asserted: scale {ctx.scale.name}, "
+              f"baseline {scalar_s:.2f} s)")

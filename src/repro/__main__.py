@@ -192,13 +192,13 @@ def _render_result(result, run: str, meta: dict) -> str:
         for target in result.targets:
             n = result.n_err.get(target, 0)
             any_count = result.any_detections.get(target, 0)
-            coverage = any_count / n if n else 0.0
+            coverage = f"{any_count / n:6.3f}" if n else f"{'—':>6}"
             per_ea = "  ".join(
                 f"{ea}={result.detections.get((target, ea), 0)}"
                 for ea in result.ea_names
             )
             lines.append(
-                f"    {target:<10} any {coverage:6.3f} "
+                f"    {target:<10} any {coverage} "
                 f"({any_count}/{n})  {per_ea}"
             )
     elif isinstance(result, MemoryCampaignResult):
@@ -215,10 +215,17 @@ def _render_result(result, run: str, meta: dict) -> str:
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
+    import os
+
     from repro.analysis.compare import compare_results
     from repro.errors import AnalysisError, CampaignError, IntegrityError
     from repro.fi.store import SqliteResultStore
 
+    # list/show/diff are read-only queries: pointing them at a missing
+    # path must not silently create an empty database there
+    if args.action != "import" and not os.path.exists(args.db):
+        print(f"error: {args.db}: no such results database", file=sys.stderr)
+        return 2
     try:
         with SqliteResultStore(args.db) as store:
             if args.action == "list":
@@ -295,6 +302,7 @@ def _cmd_one_experiment(args: argparse.Namespace) -> int:
         event_log=args.event_log,
         fast_forward=not args.no_fast_forward,
         checkpoint_stride=args.checkpoint_stride,
+        batch_width=args.batch_width,
         audit_fraction=args.audit_fraction,
         audit_seed=args.audit_seed,
         integrity_policy=args.integrity_policy,
@@ -407,6 +415,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             "--no-fast-forward", action="store_true",
             help="disable the snapshot/fast-forward engine "
             "(results are bit-identical)",
+        )
+        p_one.add_argument(
+            "--batch-width", type=int, default=0, metavar="N",
+            help="advance up to N injected runs per vectorized tick "
+            "in each worker (default: 0 = scalar; results are "
+            "bit-identical)",
         )
         p_one.add_argument(
             "--audit-fraction", type=float, default=0.0, metavar="F",

@@ -26,6 +26,7 @@ list; ``repro analyze diff`` renders it.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -65,23 +66,34 @@ class ProportionDelta:
     polarity: int = 1
 
     @property
+    def measured(self) -> bool:
+        """Both runs actually sampled this proportion."""
+        return self.counts_a[1] > 0 and self.counts_b[1] > 0
+
+    @property
     def value_a(self) -> float:
         k, n = self.counts_a
-        return k / n if n else 0.0
+        return k / n if n else math.nan
 
     @property
     def value_b(self) -> float:
         k, n = self.counts_b
-        return k / n if n else 0.0
+        return k / n if n else math.nan
 
     @property
     def delta(self) -> float:
-        """Run B minus run A."""
+        """Run B minus run A (NaN when either stratum is unsampled)."""
         return self.value_b - self.value_a
 
     @property
     def significant(self) -> bool:
-        """The two Wilson intervals do not overlap."""
+        """The two Wilson intervals do not overlap.
+
+        An unsampled stratum (``n == 0``) is *unknown*, not a certified
+        zero, so it can never separate from anything.
+        """
+        if not self.measured:
+            return False
         (lo_a, hi_a), (lo_b, hi_b) = self.ci_a, self.ci_b
         return hi_a < lo_b or hi_b < lo_a
 
@@ -103,13 +115,18 @@ class ProportionDelta:
             marker = "!!"
         elif self.improvement:
             marker = "++"
+
+        def side(value: float, ci: Tuple[float, float], k: int, n: int) -> str:
+            if n <= 0:
+                return f"{'—':>6} [  —  ,  —  ] ({k}/{n})"
+            return f"{value:6.3f} [{ci[0]:.3f},{ci[1]:.3f}] ({k}/{n})"
+
+        tail = f"{self.delta:+.3f}" if self.measured else "    —"
         return (
             f"{marker} {self.key:<34} "
-            f"{self.value_a:6.3f} [{self.ci_a[0]:.3f},{self.ci_a[1]:.3f}]"
-            f" ({ka}/{na})  ->  "
-            f"{self.value_b:6.3f} [{self.ci_b[0]:.3f},{self.ci_b[1]:.3f}]"
-            f" ({kb}/{nb})  "
-            f"{self.delta:+.3f}"
+            f"{side(self.value_a, self.ci_a, ka, na)}  ->  "
+            f"{side(self.value_b, self.ci_b, kb, nb)}  "
+            f"{tail}"
         )
 
 

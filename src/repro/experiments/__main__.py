@@ -107,6 +107,12 @@ def add_execution_options(parser: argparse.ArgumentParser) -> None:
         "every injected run from tick 0 (results are bit-identical)",
     )
     parser.add_argument(
+        "--batch-width", type=int, default=0, metavar="N",
+        help="vectorized batch core: advance up to N injected runs "
+        "per tick in each worker (default: 0 = scalar path; results "
+        "are bit-identical)",
+    )
+    parser.add_argument(
         "--audit-fraction", type=float, default=0.0, metavar="F",
         help="fraction of fast-forwarded runs re-executed full-length "
         "and field-diffed against the fast-forward result (default: 0)",
@@ -189,6 +195,7 @@ def context_from_args(args: argparse.Namespace) -> ExperimentContext:
         event_log=args.event_log,
         fast_forward=not args.no_fast_forward,
         checkpoint_stride=args.checkpoint_stride,
+        batch_width=args.batch_width,
         audit_fraction=args.audit_fraction,
         audit_seed=args.audit_seed,
         integrity_policy=args.integrity_policy,

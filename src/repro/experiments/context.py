@@ -47,6 +47,7 @@ from repro.fi.executor import (
     FastForwardPolicy,
     FaultTolerancePolicy,
     IntegrityPolicy,
+    VectorPolicy,
 )
 from repro.fi.store import STORE_BACKENDS, SqliteResultStore
 from repro.fi.memory import MemoryMap
@@ -145,6 +146,7 @@ class ExperimentContext:
         event_log: Optional[str] = None,
         fast_forward: bool = True,
         checkpoint_stride: Optional[int] = None,
+        batch_width: int = 0,
         audit_fraction: float = 0.0,
         audit_seed: Optional[int] = None,
         integrity_policy: Optional[str] = None,
@@ -178,6 +180,7 @@ class ExperimentContext:
         self.event_log = event_log
         self.fast_forward = fast_forward
         self.checkpoint_stride = checkpoint_stride
+        self.batch_width = batch_width
         self.audit_fraction = audit_fraction
         self.audit_seed = audit_seed
         self.integrity_policy = integrity_policy
@@ -272,6 +275,7 @@ class ExperimentContext:
             fastforward=FastForwardPolicy(**ff_kwargs),
             integrity=IntegrityPolicy(**integrity_kwargs),
             sampling=AdaptivePolicy(**sampling_kwargs),
+            vector=VectorPolicy(batch_width=self.batch_width),
         )
 
     def _save_result(self, campaign: str, result) -> None:

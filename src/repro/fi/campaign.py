@@ -97,6 +97,7 @@ from repro.fi.models import (
     PeriodicMemoryFlip,
 )
 from repro.fi.snapshot import FastForward
+from repro.fi.vector import close_runner, wrap_runner
 from repro.target.testcases import TestCase
 
 __all__ = [
@@ -329,6 +330,14 @@ class PermeabilityCampaign:
                 index, lambda ff: self._one_run(*task, ff=ff)
             )
 
+        # batch_width > 0: answer contiguous same-module task spans
+        # from the vectorized core (bit-identical; see repro.fi.vector)
+        runner = wrap_runner(
+            "permeability", runner, tasks, self.config, self.factory,
+            auditor=auditor, goldens=self.goldens,
+            direct_only=self.direct_only,
+        )
+
         fingerprint = fingerprint_of(
             "permeability", system.name, self.seed,
             runs_budget, self.direct_only,
@@ -385,6 +394,7 @@ class PermeabilityCampaign:
             self.integrity_violations = list(executor.violations)
             self.stratum_reports = []
         executor.close()
+        close_runner(runner)
 
         # Phase 3: aggregate in task order (== legacy loop order).
         direct: Dict[Tuple[str, str, str], int] = {}
@@ -684,6 +694,13 @@ class DetectionCampaign:
                 index, lambda ff: self._one_run(*task, ff=ff)
             )
 
+        # batch_width > 0: advance contiguous spans of injected runs
+        # through the vectorized core (bit-identical; repro.fi.vector)
+        runner = wrap_runner(
+            "detection", runner, tasks, self.config, self.factory,
+            auditor=auditor, specs=self.specs,
+        )
+
         fingerprint = fingerprint_of(
             "detection", probe.system.name, self.seed,
             runs_budget, list(targets), ea_names,
@@ -735,6 +752,7 @@ class DetectionCampaign:
             self.integrity_violations = list(executor.violations)
             self.stratum_reports = []
         executor.close()
+        close_runner(runner)
 
         # Phase 3: aggregate in task order.
         n_injected: Dict[str, int] = {t: 0 for t in targets}

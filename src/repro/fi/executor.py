@@ -122,6 +122,7 @@ from repro.fi.integrity import (
 )
 from repro.fi.snapshot import DEFAULT_CHECKPOINT_STRIDE, ff_stats
 from repro.fi.store import STORE_BACKENDS, ResultStore, open_store
+from repro.fi.vector import vector_stats
 
 __all__ = [
     "BACKENDS",
@@ -137,6 +138,7 @@ __all__ = [
     "IntegrityPolicy",
     "RunEventLog",
     "TaskFailure",
+    "VectorPolicy",
     "golden_cache",
     "fingerprint_of",
 ]
@@ -332,6 +334,28 @@ class AdaptivePolicy:
             )
 
 
+@dataclass(frozen=True)
+class VectorPolicy:
+    """Vectorized batch execution (``repro.fi.vector``).
+
+    ``batch_width`` > 0 lets campaigns that publish a batch planner
+    advance up to that many injected runs per numpy tick inside one
+    worker; rows whose control flow departs the golden slot schedule
+    retire to the scalar path, so results stay bit-identical to
+    scalar execution.  ``0`` (the default) keeps the scalar path for
+    everything.  Campaigns without a planner ignore the policy.
+    """
+
+    #: injected runs advanced per vectorized tick; 0 disables batching.
+    batch_width: int = 0
+
+    def __post_init__(self) -> None:
+        if self.batch_width < 0:
+            raise CampaignError(
+                f"batch_width must be >= 0, got {self.batch_width}"
+            )
+
+
 #: flat constructor kwarg -> (policy attribute, field) mapping.  The
 #: flat spellings remain readable as properties forever; *passing*
 #: them to the constructor is deprecated (``store_backend`` excepted,
@@ -357,10 +381,11 @@ _FLAT_FIELDS: Dict[str, Tuple[str, str]] = {
     "max_runs": ("sampling", "max_runs"),
     "zero_threshold": ("sampling", "zero_threshold"),
     "saturation_threshold": ("sampling", "saturation_threshold"),
+    "batch_width": ("vector", "batch_width"),
 }
 
 #: flat kwargs accepted without a deprecation warning.
-_FLAT_NO_WARN = frozenset({"store_backend"})
+_FLAT_NO_WARN = frozenset({"store_backend", "batch_width"})
 
 _POLICY_TYPES = {
     "checkpoint": CheckpointPolicy,
@@ -368,6 +393,7 @@ _POLICY_TYPES = {
     "fastforward": FastForwardPolicy,
     "integrity": IntegrityPolicy,
     "sampling": AdaptivePolicy,
+    "vector": VectorPolicy,
 }
 
 
@@ -410,6 +436,7 @@ class CampaignConfig:
         fastforward: Optional[FastForwardPolicy] = None,
         integrity: Optional[IntegrityPolicy] = None,
         sampling: Optional[AdaptivePolicy] = None,
+        vector: Optional["VectorPolicy"] = None,
         **flat: Any,
     ) -> None:
         unknown = sorted(set(flat) - set(_FLAT_FIELDS))
@@ -423,6 +450,7 @@ class CampaignConfig:
             "fastforward": fastforward,
             "integrity": integrity,
             "sampling": sampling,
+            "vector": vector,
         }
         overrides: Dict[str, Dict[str, Any]] = {
             group: {} for group in _POLICY_TYPES
@@ -497,7 +525,8 @@ class CampaignConfig:
             f"checkpoint={self.checkpoint!r}, "
             f"fault_tolerance={self.fault_tolerance!r}, "
             f"fastforward={self.fastforward!r}, "
-            f"integrity={self.integrity!r}, sampling={self.sampling!r})"
+            f"integrity={self.integrity!r}, sampling={self.sampling!r}, "
+            f"vector={self.vector!r})"
         )
 
 
@@ -720,6 +749,18 @@ class CampaignTelemetry:
     #: payload bytes the store wrote (whole-document rewrites for the
     #: JSON backend, streamed inserts for sqlite).
     store_bytes_written: int = 0
+    #: runs answered by the vectorized batch core.
+    vec_rows: int = 0
+    #: task groups the vectorized core advanced together.
+    vec_groups: int = 0
+    #: row-ticks advanced in lockstep (rows x ticks, summed).
+    vec_batched_ticks: int = 0
+    #: rows retired from a batch to the scalar path after their
+    #: control flow diverged from the golden trace.
+    vec_retired_rows: int = 0
+    #: batch-eligible tasks that fell back to the scalar runner
+    #: (audit-selected, chaos env, retired, or unsupported).
+    vec_scalar_fallbacks: int = 0
     #: True when the run was scheduled by the adaptive sampler.
     adaptive: bool = False
     #: strata the adaptive sampler scheduled.
@@ -790,6 +831,14 @@ class CampaignTelemetry:
                 f"+{self.store_flushes_skipped} skipped,"
                 f" {self.store_records_written} records"
                 f" / {self.store_bytes_written} B"
+            )
+        if self.vec_rows or self.vec_groups or self.vec_scalar_fallbacks:
+            text += (
+                f" | vector {self.vec_rows} rows"
+                f" in {self.vec_groups} groups"
+                f" ({self.vec_batched_ticks} batched ticks,"
+                f" {self.vec_retired_rows} retired,"
+                f" {self.vec_scalar_fallbacks} scalar)"
             )
         if self.adaptive:
             text += (
@@ -992,12 +1041,22 @@ def _task_alarm(seconds: Optional[float]) -> Iterator[None]:
         raise _TaskTimeout()
 
     previous = signal.signal(signal.SIGALRM, _on_alarm)
-    signal.setitimer(signal.ITIMER_REAL, seconds)
+    started = time.monotonic()
+    prev_value, prev_interval = signal.setitimer(signal.ITIMER_REAL, seconds)
     try:
         yield
     finally:
         signal.setitimer(signal.ITIMER_REAL, 0.0)
         signal.signal(signal.SIGALRM, previous)
+        if prev_value:
+            # an outer timer (e.g. a batch-level deadline wrapping this
+            # per-task timeout) was running: re-arm it with whatever
+            # budget it has left, after its handler is back in place so
+            # the rest of its deadline fires into the right handler
+            remaining = prev_value - (time.monotonic() - started)
+            signal.setitimer(
+                signal.ITIMER_REAL, max(remaining, 1e-6), prev_interval
+            )
 
 
 def _sentinel_probe(worker: int) -> str:
@@ -1022,10 +1081,18 @@ def _execute_attempt(index: int, attempt: int) -> Tuple[int, Dict, float]:
     fail_index, _ = _ACTIVE_CHAOS
     ff_before = ff_stats.as_tuple()
     integ_before = integrity_stats.as_tuple()
+    vec_before = vector_stats.as_tuple()
+    # a batched runner answers a whole group of runs from the first
+    # task that touches it, so that attempt gets the group's worth of
+    # timeout budget
+    timeout = _ACTIVE_TIMEOUT
+    scale_of = getattr(_ACTIVE_RUNNER, "timeout_scale_for", None)
+    if timeout is not None and scale_of is not None:
+        timeout = timeout * max(1, scale_of(index))
     try:
         if fail_index is not None and index == fail_index and attempt == 1:
             raise RuntimeError(f"chaos: injected failure at task {index}")
-        with _task_alarm(_ACTIVE_TIMEOUT):
+        with _task_alarm(timeout):
             result = _ACTIVE_RUNNER(index)  # type: ignore[misc]
         payload: Dict[str, Any] = {"ok": result}
         # fast-forward savings travel beside the result — never inside
@@ -1037,9 +1104,16 @@ def _execute_attempt(index: int, attempt: int) -> Tuple[int, Dict, float]:
         )
         if any(ff_delta):
             payload["ff"] = ff_delta
+        # vectorized-core counters travel the same way
+        vec_delta = tuple(
+            after - before
+            for before, after in zip(vec_before, vector_stats.as_tuple())
+        )
+        if any(vec_delta):
+            payload["vec"] = vec_delta
     except _TaskTimeout:
         payload = {
-            "err": f"timed out after {_ACTIVE_TIMEOUT:g} s",
+            "err": f"timed out after {timeout:g} s",
             "kind": "timeout",
         }
     except IntegrityError as exc:
@@ -1133,6 +1207,7 @@ class CampaignExecutor:
         self._cache_misses0 = self.cache.misses
         self._ff0 = ff_stats.as_tuple()
         self._integ0 = integrity_stats.as_tuple()
+        self._vec0 = vector_stats.as_tuple()
 
     # ------------------------------------------------------------------
     # The result store.
@@ -1231,6 +1306,7 @@ class CampaignExecutor:
             except IntegrityError:
                 events.close()
                 self._events = RunEventLog(None, self.campaign)
+                self.close()
                 raise
             prior = store.completed_indices()
         done: Dict[int, Any] = {}
@@ -1325,6 +1401,17 @@ class CampaignExecutor:
                 telemetry.audits += integ_delta[0]
                 telemetry.audit_mismatches += integ_delta[1]
                 telemetry.audit_repairs += integ_delta[2]
+
+        def absorb_vec(vec_delta: Optional[Tuple[int, ...]]) -> None:
+            """Fold a pool worker's vectorized-core counters into
+            telemetry.  Pool results only, mirroring :func:`absorb_ff`.
+            """
+            if vec_delta:
+                telemetry.vec_batched_ticks += vec_delta[0]
+                telemetry.vec_retired_rows += vec_delta[1]
+                telemetry.vec_groups += vec_delta[2]
+                telemetry.vec_rows += vec_delta[3]
+                telemetry.vec_scalar_fallbacks += vec_delta[4]
 
         def absorb_violations(payload: Dict) -> None:
             """Collect a task's structured violations (any backend).
@@ -1512,18 +1599,30 @@ class CampaignExecutor:
                     if wave_attempt > 1:
                         time.sleep(_backoff_s(config, wave_attempt))
                     items = [(i, attempts[i]) for i in remaining]
-                    # chunking amortizes pipe traffic, but a lost
-                    # worker loses its whole chunk — dispatch singly
-                    # once per-task timeouts are in play
-                    chunk_n = (
-                        1
-                        if config.task_timeout is not None
-                        else max(1, len(items) // (config.jobs * 8))
-                    )
-                    chunks = [
-                        items[k:k + chunk_n]
-                        for k in range(0, len(items), chunk_n)
-                    ]
+                    plan = getattr(runner, "chunk_plan", None)
+                    if plan is not None:
+                        # a batched runner answers whole groups of
+                        # tasks at once: keep each group inside one
+                        # work item so the batch computes in a single
+                        # worker instead of once per member
+                        attempt_of = dict(items)
+                        chunks = [
+                            [(i, attempt_of[i]) for i in chunk]
+                            for chunk in plan(remaining)
+                        ]
+                    else:
+                        # chunking amortizes pipe traffic, but a lost
+                        # worker loses its whole chunk — dispatch
+                        # singly once per-task timeouts are in play
+                        chunk_n = (
+                            1
+                            if config.task_timeout is not None
+                            else max(1, len(items) // (config.jobs * 8))
+                        )
+                        chunks = [
+                            items[k:k + chunk_n]
+                            for k in range(0, len(items), chunk_n)
+                        ]
                     iterator = pool.imap_unordered(
                         _pool_chunk, chunks, chunksize=1
                     )
@@ -1551,6 +1650,7 @@ class CampaignExecutor:
                             absorb_integrity(payload.get("integ"))
                             if "ok" in payload:
                                 absorb_ff(payload.get("ff"))
+                                absorb_vec(payload.get("vec"))
                                 succeed(index, payload, busy)
                             else:
                                 fail_attempt(index, payload, busy)
@@ -1644,6 +1744,14 @@ class CampaignExecutor:
                 )
             )
             self._integ0 = integ_now
+            vec_now = vector_stats.as_tuple()
+            absorb_vec(
+                tuple(
+                    after - before
+                    for before, after in zip(self._vec0, vec_now)
+                )
+            )
+            self._vec0 = vec_now
             # the no-lost-progress guarantee: flush on every exit path
             if store is not None:
                 flush_store()
@@ -1677,6 +1785,11 @@ class CampaignExecutor:
             )
             events.close()
             self._events = RunEventLog(None, self.campaign)
+            if status != "ok":
+                # a failed campaign must not leave a hot WAL journal
+                # (or any open store handle) behind; the store reopens
+                # lazily if the executor is reused after the error
+                self.close()
         output: List[Any] = []
         for index in wanted:
             if index in done:

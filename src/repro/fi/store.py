@@ -650,11 +650,23 @@ class SqliteResultStore(ResultStore):
             directory = os.path.dirname(os.path.abspath(self.path))
             os.makedirs(directory, exist_ok=True)
             conn = sqlite3.connect(self.path, timeout=30.0)
-            conn.execute("PRAGMA journal_mode=WAL")
-            conn.execute("PRAGMA synchronous=NORMAL")
-            conn.execute("PRAGMA foreign_keys=ON")
-            conn.executescript(_SCHEMA)
-            conn.commit()
+            try:
+                conn.execute("PRAGMA journal_mode=WAL")
+                conn.execute("PRAGMA synchronous=NORMAL")
+                conn.execute("PRAGMA foreign_keys=ON")
+                conn.executescript(_SCHEMA)
+                conn.commit()
+            except sqlite3.Error as exc:
+                # close the half-open handle before surfacing a clean
+                # one-line error (a hot WAL journal must not linger)
+                try:
+                    conn.close()
+                except sqlite3.Error:
+                    pass
+                raise CampaignError(
+                    f"{self.path}: not a usable sqlite results "
+                    f"database ({exc})"
+                ) from exc
             self._conn = conn
         return self._conn
 

@@ -1,0 +1,685 @@
+"""Vectorized batch simulation core for injection campaigns.
+
+The scalar campaign path simulates every injected run on its own:
+one Python interpreter loop over ticks, module invocations, quantized
+stores and hook dispatches per run.  For the two *sampled* campaigns
+(permeability and detection) almost all of that work is identical
+across runs — same target system, same schedule, same golden dispatch
+— and only the tiny injected disturbance differs.  This module batches
+such runs: plant state, module state cells, sensor registers and the
+signal store become numpy arrays with **one row per run**, and a
+target-specific kernel (``repro.watertank.vectorize`` /
+``repro.target.vectorize``) advances *all* rows of a batch through
+each tick at once.
+
+Correctness contract
+--------------------
+Batching is a pure execution strategy: outcomes are **bit-identical**
+to the scalar path.  Three mechanisms keep that true:
+
+* every kernel is a transcription of the scalar simulator's per-tick
+  arithmetic onto int64/float64 arrays (same operation order, same
+  quantization points), seeded from the same tick-0
+  ``capture_state()`` snapshots;
+* dispatch-divergent rows are *retired*: the golden slot schedule is
+  asserted after every CLOCK/TIMER invocation, and a row whose control
+  flow departs it (a flipped slot number) leaves the batch and is
+  recomputed wholesale by the scalar path;
+* rows selected for an integrity audit, or running under chaos-test
+  instrumentation, never enter a batch at all.
+
+Golden invocation streams — the reference side of the permeability
+comparison — are packed once into shared memory
+(:class:`repro.fi.shm.ShmArrayPack`) before the worker pool forks.
+
+Enabled with ``CampaignConfig(batch_width=N)`` / ``--batch-width N``
+(default 0 = scalar path).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+try:
+    import numpy as np
+except Exception:  # pragma: no cover - numpy ships with the toolchain
+    np = None
+
+__all__ = [
+    "VectorStats",
+    "vector_stats",
+    "RowInjection",
+    "VectorRow",
+    "GroupJob",
+    "GroupResult",
+    "BankArrays",
+    "BatchRunner",
+    "wrap_runner",
+    "close_runner",
+]
+
+
+# ======================================================================
+# Process-wide counters (mirrors ff_stats / integrity_stats).
+# ======================================================================
+class VectorStats:
+    """Counters of the vectorized core, aggregated into telemetry."""
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        #: row-ticks advanced in batch mode (rows x ticks)
+        self.batched_ticks = 0
+        #: rows retired to the scalar path after dispatch divergence
+        self.retired_rows = 0
+        #: batches computed
+        self.groups = 0
+        #: rows whose outcome came from a batch
+        self.rows = 0
+        #: rows answered by the scalar path (audited, chaos, ungrouped)
+        self.scalar_fallbacks = 0
+
+    def as_tuple(self) -> Tuple[int, int, int, int, int]:
+        return (
+            self.batched_ticks,
+            self.retired_rows,
+            self.groups,
+            self.rows,
+            self.scalar_fallbacks,
+        )
+
+
+#: the process-wide counters used by all batching machinery.
+vector_stats = VectorStats()
+
+
+# ======================================================================
+# Work descriptions exchanged with the target kernels.
+# ======================================================================
+@dataclass(frozen=True)
+class RowInjection:
+    """One row's injection: an ``"input"`` (system-input register
+    flip at tick ``tick``) or an ``"arg"`` (module-input flip at the
+    first invocation at or after ``tick``)."""
+
+    kind: str
+    tick: int
+    bit: int
+    signal: Optional[str] = None  #: input kind: the target signal
+    port: Optional[str] = None  #: arg kind: the module input port
+
+
+@dataclass(frozen=True)
+class VectorRow:
+    """One run of a batch: which test case, which injection."""
+
+    case_id: int
+    injection: RowInjection
+
+
+@dataclass
+class GroupJob:
+    """One batch handed to a target kernel."""
+
+    kind: str  #: "permeability" | "detection"
+    module: Optional[str]  #: permeability: flipped/recorded module
+    rows: List[VectorRow]
+    cases: Dict[int, Any]  #: case_id -> test case
+    templates: Dict[int, Any]  #: case_id -> tick-0 SimulatorState
+    specs: Sequence[Any] = ()  #: assertion specs (detection)
+
+
+@dataclass
+class GroupResult:
+    """Per-row outcomes of one kernel batch (parallel lists)."""
+
+    retired: List[bool]
+    injected: List[bool]
+    first_injection_tick: List[Optional[int]]
+    completion_tick: List[Optional[int]]
+    #: permeability: recorded invocation streams of the target module —
+    #: (rows, n_inv, n_in/n_out) int64 arrays plus per-row lengths
+    rec_len: Optional[List[int]] = None
+    rec_ins: Optional[Any] = None
+    rec_outs: Optional[Any] = None
+    #: detection: per-row {ea name -> (fire_count, first_fire_tick)}
+    bank: Optional[List[Dict[str, Tuple[int, Optional[int]]]]] = None
+
+
+# ======================================================================
+# Vectorized quantization (see repro.model.signal.quantize).
+# ======================================================================
+def q_uint(values, width: int):
+    """Vectorized UINT quantization: wrap modulo ``2**width``."""
+    return values & ((1 << width) - 1)
+
+
+def q_int(values, width: int):
+    """Vectorized two's-complement INT quantization."""
+    full = 1 << width
+    sign = full >> 1
+    masked = values & (full - 1)
+    return np.where(masked >= sign, masked - full, masked)
+
+
+def q_bool(values):
+    """Vectorized BOOL quantization: collapse to 0/1."""
+    return (values != 0).astype(np.int64)
+
+
+# ======================================================================
+# Vectorized executable-assertion bank (see repro.edm.assertions).
+# ======================================================================
+class BankArrays:
+    """Per-row state of a monitor bank, evaluated on array stores.
+
+    A transcription of :meth:`repro.edm.assertions.AssertionState`:
+    one ``_prev`` / fire-accumulator set per (assertion, row), checked
+    against the row's signal-store arrays at every evaluation tick.
+    """
+
+    def __init__(self, specs: Sequence[Any], n_rows: int):
+        self._specs = list(specs)
+        self._prev = {
+            s.name: np.zeros(n_rows, dtype=np.int64) for s in self._specs
+        }
+        self._has_prev = {
+            s.name: np.zeros(n_rows, dtype=bool) for s in self._specs
+        }
+        self._fire_count = {
+            s.name: np.zeros(n_rows, dtype=np.int64) for s in self._specs
+        }
+        self._first_fire = {
+            s.name: np.full(n_rows, -1, dtype=np.int64) for s in self._specs
+        }
+
+    def evaluate(self, store: Dict[str, Any], tick: int, mask=None) -> None:
+        """Evaluate every assertion against *store* at *tick*.
+
+        *mask* restricts the evaluation to still-running rows (rows
+        outside the mask keep their state untouched, like a scalar run
+        that already left its mission loop).
+        """
+        from repro.edm.assertions import EAKind
+
+        for spec in self._specs:
+            value = store[spec.signal]
+            name = spec.name
+            if spec.kind is EAKind.BOOLEAN:
+                fired = (value != 0) & (value != 1)
+            else:
+                fired = np.zeros(value.shape, dtype=bool)
+                if spec.minimum is not None:
+                    fired |= value < spec.minimum
+                if spec.maximum is not None:
+                    fired |= value > spec.maximum
+                prev = self._prev[name]
+                has_prev = self._has_prev[name]
+                if spec.kind is EAKind.RANGE_RATE:
+                    rate = np.abs(value - prev) > spec.max_delta
+                    fired |= has_prev & rate
+                elif spec.kind is EAKind.MONOTONIC:
+                    delta = value - prev
+                    bad = (delta < 0) | (delta > spec.max_delta)
+                    fired |= has_prev & bad
+                elif spec.kind is EAKind.SEQUENCE:
+                    delta = value - prev
+                    if spec.modulus is not None:
+                        delta = delta % spec.modulus
+                    fired |= has_prev & (delta != spec.exact_delta)
+            if mask is not None:
+                fired = fired & mask
+                update = mask
+            else:
+                update = None
+            count = self._fire_count[name]
+            first = self._first_fire[name]
+            count += fired
+            first[:] = np.where(fired & (first < 0), tick, first)
+            if update is None:
+                self._prev[name][:] = value
+                self._has_prev[name][:] = True
+            else:
+                prev = self._prev[name]
+                prev[:] = np.where(update, value, prev)
+                self._has_prev[name] |= update
+
+    def row_records(
+        self, row: int
+    ) -> Dict[str, Tuple[int, Optional[int]]]:
+        """One row's per-EA (fire_count, first_fire_tick)."""
+        out: Dict[str, Tuple[int, Optional[int]]] = {}
+        for spec in self._specs:
+            count = int(self._fire_count[spec.name][row])
+            first = int(self._first_fire[spec.name][row])
+            out[spec.name] = (count, first if first >= 0 else None)
+        return out
+
+
+# ======================================================================
+# Group planning.
+# ======================================================================
+@dataclass
+class _Group:
+    gid: int
+    module: Optional[str]
+    indices: List[int] = field(default_factory=list)
+
+
+def _task_shape(kind: str, task: tuple):
+    """(group key, case, injection) of one campaign task tuple."""
+    if kind == "permeability":
+        module, in_port, case, from_tick, bit = task
+        return (
+            module,
+            case,
+            RowInjection(
+                kind="arg", tick=from_tick, bit=bit, port=in_port
+            ),
+        )
+    target, case, tick, bit = task
+    return (
+        None,
+        case,
+        RowInjection(kind="input", tick=tick, bit=bit, signal=target),
+    )
+
+
+def _plan_groups(
+    kind: str, tasks: Sequence[tuple], batch_width: int
+) -> Tuple[Dict[int, _Group], List[_Group]]:
+    """Contiguous runs of same-key tasks, capped at *batch_width*.
+
+    Singleton groups are dropped — a batch of one is strictly worse
+    than the scalar path.
+    """
+    groups: List[_Group] = []
+    current: Optional[_Group] = None
+    current_key: Any = object()
+    for index, task in enumerate(tasks):
+        key = _task_shape(kind, task)[0]
+        if (
+            current is None
+            or key != current_key
+            or len(current.indices) >= batch_width
+        ):
+            current = _Group(gid=len(groups), module=key)
+            current_key = key
+            groups.append(current)
+        current.indices.append(index)
+    kept = [g for g in groups if len(g.indices) >= 2]
+    index_of: Dict[int, _Group] = {}
+    for group in kept:
+        for index in group.indices:
+            index_of[index] = group
+    return index_of, kept
+
+
+# ======================================================================
+# The batch runner.
+# ======================================================================
+_RETIRED = object()
+#: scalar rows per chunk when the chunk plan batches ungrouped indices.
+_SCALAR_CHUNK = 32
+
+
+def _kernel_for(probe):
+    """The vector kernel class supporting *probe*, or ``None``."""
+    if np is None:
+        return None
+    kernels = []
+    try:
+        from repro.watertank.vectorize import WatertankVectorKernel
+
+        kernels.append(WatertankVectorKernel)
+    except Exception:  # pragma: no cover - partial install
+        pass
+    try:
+        from repro.target.vectorize import ArrestmentVectorKernel
+
+        kernels.append(ArrestmentVectorKernel)
+    except Exception:  # pragma: no cover - partial install
+        pass
+    for kernel in kernels:
+        try:
+            if kernel.supports(probe):
+                return kernel
+        except Exception:
+            continue
+    return None
+
+
+class BatchRunner:
+    """Answers campaign task indices from vectorized batches.
+
+    Wraps a campaign's scalar ``runner(index)`` callable.  Task
+    indices that belong to a plannable batch are answered by running
+    the whole batch through the target's vector kernel once (cached
+    per process); everything else — audited rows, chaos runs, rows of
+    unsupported targets, retired rows — falls through to the wrapped
+    scalar runner, which remains the semantic reference.
+
+    Also exposes the two executor integration hooks:
+
+    * :meth:`timeout_scale_for` — a batch leader computes up to
+      ``len(group)`` runs under one per-task alarm, so its budget is
+      scaled accordingly;
+    * :meth:`chunk_plan` — pool chunks are aligned to batch
+      boundaries, so exactly one worker computes each batch.
+    """
+
+    def __init__(
+        self,
+        kind: str,
+        tasks: Sequence[tuple],
+        inner: Callable[[int], Any],
+        batch_width: int,
+        factory: Callable[[Any], Any],
+        auditor: Optional[Any] = None,
+        goldens: Optional[Any] = None,
+        direct_only: bool = True,
+        specs: Sequence[Any] = (),
+    ):
+        self._kind = kind
+        self._tasks = list(tasks)
+        self._inner = inner
+        self._auditor = auditor
+        self._factory = factory
+        self._goldens = goldens
+        self._direct_only = direct_only
+        self._specs = list(specs)
+        self._chaos = any(
+            name.startswith("REPRO_CHAOS_") for name in os.environ
+        )
+        self._cache: Dict[int, Dict[int, Any]] = {}
+        self._served: Dict[int, int] = {}
+        self._group_of: Dict[int, _Group] = {}
+        self._groups: List[_Group] = []
+        self._kernel = None
+        self._templates: Dict[int, Any] = {}
+        self._cases: Dict[int, Any] = {}
+        self._pack = None
+        self._golden_meta: Dict[Tuple[int, str], Tuple[int, int, int]] = {}
+        if batch_width > 0 and len(self._tasks) >= 2:
+            self._prepare(batch_width)
+
+    # ------------------------------------------------------------------
+    # Pre-fork preparation: plan, templates, golden shm pack.
+    # ------------------------------------------------------------------
+    def _prepare(self, batch_width: int) -> None:
+        for task in self._tasks:
+            _, case, _ = _task_shape(self._kind, task)
+            self._cases.setdefault(case.case_id, case)
+        first_case = next(iter(self._cases.values()))
+        probe = self._factory(first_case)
+        kernel_cls = _kernel_for(probe)
+        if kernel_cls is None:
+            return
+        self._kernel = kernel_cls(probe)
+        self._group_of, self._groups = _plan_groups(
+            self._kind, self._tasks, batch_width
+        )
+        if not self._groups:
+            self._kernel = None
+            return
+        # tick-0 seeds, one per test case: captured before the pool
+        # forks so workers share them copy-on-write
+        for case_id, case in self._cases.items():
+            self._templates[case_id] = self._factory(case).capture_state()
+        if self._kind == "permeability" and self._goldens is not None:
+            self._publish_golden_streams(probe)
+
+    def _publish_golden_streams(self, probe) -> None:
+        """Pack the golden invocation streams the batches will diff
+        against into shared memory, once, pre-fork."""
+        from repro.fi.shm import ShmArrayPack
+
+        self._pack = ShmArrayPack()
+        needed = set()
+        for group in self._groups:
+            for index in group.indices:
+                _, case, _ = _task_shape(self._kind, self._tasks[index])
+                needed.add((case.case_id, group.module))
+        for case_id, module in sorted(needed):
+            golden = self._goldens.get(self._cases[case_id])
+            stream = golden.invocations.stream(module)
+            mod = probe.system.module(module)
+            n = len(stream)
+            n_in = len(mod.inputs)
+            n_out = len(mod.outputs)
+            ins = np.zeros((n, n_in), dtype=np.int64)
+            outs = np.zeros((n, n_out), dtype=np.int64)
+            for i, (_, in_tuple, out_tuple) in enumerate(stream):
+                ins[i] = in_tuple
+                outs[i] = out_tuple
+            key = f"g{case_id}:{module}"
+            self._pack.publish(key + ":ins", ins)
+            self._pack.publish(key + ":outs", outs)
+            self._golden_meta[(case_id, module)] = (n, n_in, n_out)
+
+    def close(self) -> None:
+        if self._pack is not None:
+            self._pack.close()
+            self._pack = None
+
+    # ------------------------------------------------------------------
+    # Executor integration hooks (duck-typed).
+    # ------------------------------------------------------------------
+    def timeout_scale_for(self, index: int) -> int:
+        """Per-task timeout multiplier: a batch leader simulates the
+        whole group under its own alarm."""
+        group = self._batchable(index)
+        if group is None or group.gid in self._cache:
+            return 1
+        return len(group.indices)
+
+    def chunk_plan(self, indices: Sequence[int]) -> List[List[int]]:
+        """Pool chunks aligned to batch boundaries."""
+        buckets: Dict[int, List[int]] = {}
+        order: List[int] = []
+        scalars: List[int] = []
+        for index in indices:
+            group = self._group_of.get(index)
+            if group is None or self._kernel is None:
+                scalars.append(index)
+                continue
+            bucket = buckets.get(group.gid)
+            if bucket is None:
+                bucket = buckets[group.gid] = []
+                order.append(group.gid)
+            bucket.append(index)
+        chunks = [buckets[gid] for gid in order]
+        chunks.extend(
+            scalars[i:i + _SCALAR_CHUNK]
+            for i in range(0, len(scalars), _SCALAR_CHUNK)
+        )
+        return chunks
+
+    # ------------------------------------------------------------------
+    # Dispatch.
+    # ------------------------------------------------------------------
+    def _batchable(self, index: int) -> Optional[_Group]:
+        if self._kernel is None or self._chaos:
+            return None
+        group = self._group_of.get(index)
+        if group is None:
+            return None
+        if self._auditor is not None and self._auditor.should_audit(index):
+            # audited rows re-run under the integrity machinery — the
+            # scalar path stays their single source of truth
+            return None
+        return group
+
+    def __call__(self, index: int) -> Any:
+        group = self._batchable(index)
+        if group is None:
+            vector_stats.scalar_fallbacks += 1
+            return self._inner(index)
+        outcomes = self._cache.get(group.gid)
+        if outcomes is None:
+            outcomes = self._compute_group(group)
+            self._cache[group.gid] = outcomes
+        outcome = outcomes.get(index, _RETIRED)
+        served = self._served.get(group.gid, 0) + 1
+        self._served[group.gid] = served
+        if served >= len(group.indices):
+            # every row answered: drop the batch from the cache
+            self._cache.pop(group.gid, None)
+            self._served.pop(group.gid, None)
+        if outcome is _RETIRED:
+            return self._inner(index)
+        vector_stats.rows += 1
+        return outcome
+
+    # ------------------------------------------------------------------
+    # Batch computation and outcome assembly.
+    # ------------------------------------------------------------------
+    def _compute_group(self, group: _Group) -> Dict[int, Any]:
+        rows = []
+        for index in group.indices:
+            _, case, injection = _task_shape(
+                self._kind, self._tasks[index]
+            )
+            rows.append(
+                VectorRow(case_id=case.case_id, injection=injection)
+            )
+        job = GroupJob(
+            kind=self._kind,
+            module=group.module,
+            rows=rows,
+            cases=self._cases,
+            templates=self._templates,
+            specs=self._specs if self._kind == "detection" else (),
+        )
+        result = self._kernel.run_group(job)
+        vector_stats.groups += 1
+        outcomes: Dict[int, Any] = {}
+        for row, index in enumerate(group.indices):
+            if result.retired[row]:
+                vector_stats.retired_rows += 1
+                continue
+            if self._kind == "permeability":
+                outcomes[index] = self._permeability_outcome(
+                    group, rows[row], result, row
+                )
+            else:
+                outcomes[index] = self._detection_outcome(
+                    rows[row], result, row
+                )
+        return outcomes
+
+    def _permeability_outcome(
+        self, group: _Group, row: VectorRow, result: GroupResult, r: int
+    ) -> Optional[List[str]]:
+        if not result.injected[r]:
+            return None
+        completed = result.completion_tick[r]
+        first = result.first_injection_tick[r]
+        if completed is not None and first is not None and first > completed:
+            return None
+        meta = self._golden_meta[(row.case_id, group.module)]
+        n_golden, n_in, _ = meta
+        key = f"g{row.case_id}:{group.module}"
+        g_ins = self._pack.get(key + ":ins")
+        g_outs = self._pack.get(key + ":outs")
+        mod = self._kernel.module_ports(group.module)
+        in_ports, out_ports = mod
+        injected_idx = in_ports.index(row.injection.port)
+        length = min(n_golden, result.rec_len[r])
+        r_ins = result.rec_ins[r]
+        r_outs = result.rec_outs[r]
+        # first differing invocation per output port, then the ports
+        # ordered by (invocation index, port order) — exactly the
+        # discovery order of first_output_differences
+        hits: List[Tuple[int, int, str]] = []
+        for k, port in enumerate(out_ports):
+            unequal = np.nonzero(
+                g_outs[:length, k] != r_outs[:length, k]
+            )[0]
+            if unequal.size == 0:
+                continue
+            first_idx = int(unequal[0])
+            direct = all(
+                g_ins[first_idx, j] == r_ins[first_idx, j]
+                for j in range(n_in)
+                if j != injected_idx
+            )
+            if direct or not self._direct_only:
+                hits.append((first_idx, k, port))
+        hits.sort()
+        return [port for _, _, port in hits]
+
+    def _detection_outcome(
+        self, row: VectorRow, result: GroupResult, r: int
+    ) -> Any:
+        if not result.injected[r]:
+            return "inactive"
+        tick = row.injection.tick
+        completed = result.completion_tick[r]
+        if completed is not None and tick > completed:
+            return "late"
+        records = result.bank[r]
+        fired = sorted(
+            name
+            for name, (count, first) in records.items()
+            if count > 0 and first is not None and first >= tick
+        )
+        latencies: Dict[str, int] = {}
+        for ea in fired:
+            first = records[ea][1]
+            if first is not None:
+                latencies[ea] = first - tick
+        return {"fired": fired, "latencies": latencies}
+
+
+# ======================================================================
+# Campaign-facing helpers.
+# ======================================================================
+def wrap_runner(
+    kind: str,
+    runner: Callable[[int], Any],
+    tasks: Sequence[tuple],
+    config: Optional[Any],
+    factory: Callable[[Any], Any],
+    auditor: Optional[Any] = None,
+    goldens: Optional[Any] = None,
+    direct_only: bool = True,
+    specs: Sequence[Any] = (),
+) -> Callable[[int], Any]:
+    """The campaign's runner, batched when the config asks for it.
+
+    Returns *runner* unchanged when batching is off (``batch_width``
+    0), numpy is unavailable, or no batch could be planned — the
+    scalar path needs no wrapper to stay correct.
+    """
+    width = 0
+    if config is not None:
+        vector = getattr(config, "vector", None)
+        width = getattr(vector, "batch_width", 0) if vector else 0
+    if width <= 0 or np is None:
+        return runner
+    batched = BatchRunner(
+        kind=kind,
+        tasks=tasks,
+        inner=runner,
+        batch_width=width,
+        factory=factory,
+        auditor=auditor,
+        goldens=goldens,
+        direct_only=direct_only,
+        specs=specs,
+    )
+    if batched._kernel is None:
+        batched.close()
+        return runner
+    return batched
+
+
+def close_runner(runner: Any) -> None:
+    """Release a wrapped runner's shared-memory segments (no-op for
+    plain scalar runners)."""
+    if isinstance(runner, BatchRunner):
+        runner.close()

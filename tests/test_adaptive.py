@@ -202,6 +202,7 @@ class TestSamplerMechanics:
 # ======================================================================
 # A/B determinism: stopping disabled == fixed-n, bit for bit.
 # ======================================================================
+@pytest.mark.slow
 class TestAdaptiveDeterminism:
     @pytest.mark.parametrize("jobs", [1, 2])
     def test_permeability_disabled_stopping_matches_fixed_n(
@@ -253,6 +254,7 @@ class TestAdaptiveDeterminism:
 # ======================================================================
 # Early stopping on the real target: spend less, conclude the same.
 # ======================================================================
+@pytest.mark.slow
 class TestAdaptiveSavings:
     def test_saves_runs_and_preserves_shape(self, two_cases):
         fixed = PermeabilityCampaign(
@@ -292,6 +294,7 @@ class TestAdaptiveSavings:
 # ======================================================================
 # Crash/resume and integrity interplay.
 # ======================================================================
+@pytest.mark.slow
 class TestAdaptiveResume:
     def test_kill_resume_matches_uninterrupted(
         self, monkeypatch, tmp_path, two_cases

@@ -7,6 +7,8 @@ reachable end-to-end through ``python -m repro analyze`` on a results
 database populated by a real experiment run.
 """
 
+import math
+
 import pytest
 
 from repro.__main__ import main as repro_main
@@ -94,6 +96,25 @@ class TestProportionDelta:
         assert delta.ci_a == (0.0, 1.0)
         assert not delta.significant
 
+    def test_empty_stratum_is_unknown_not_zero(self):
+        # a stratum nobody sampled must never separate from a sampled
+        # one: 0/0 is "unknown", not a certified 0.0 that a healthy
+        # 8/10 would then read as a regression against
+        delta = self._delta((0, 0), (8, 10))
+        assert not delta.measured
+        assert math.isnan(delta.value_a)
+        assert math.isnan(delta.delta)
+        assert not delta.significant
+        assert not delta.regression and not delta.improvement
+
+    def test_empty_stratum_describe_renders_dashes(self):
+        text = self._delta((0, 0), (8, 10)).describe()
+        assert text.startswith("  ")  # no !! / ++ marker
+        assert "—" in text
+        assert "nan" not in text
+        # the sampled side still renders its numbers
+        assert "0.800" in text
+
     def test_describe_markers(self):
         assert self._delta((95, 100), (5, 100)).describe().startswith("!!")
         assert self._delta(
@@ -115,6 +136,17 @@ class TestComparePermeability:
     def test_identical_runs_all_noise(self):
         a = _estimate({("M", "i", "o"): (3, 6)})
         assert compare_permeability(a, a).significant == []
+
+    def test_empty_stratum_not_reported_as_regression(self):
+        # run A never exercised M.i->o (0 active runs); run B measured
+        # a high permeability there — the diff must stay quiet rather
+        # than compare B against a phantom 0.0
+        a = _estimate({("M", "i", "o"): (0, 0), ("N", "x", "y"): (2, 8)})
+        b = _estimate({("M", "i", "o"): (8, 10), ("N", "x", "y"): (2, 8)})
+        comparison = compare_permeability(a, b, "ra", "rb")
+        assert comparison.regressions == []
+        assert comparison.significant == []
+        assert "0 regressions" in comparison.render()
 
 
 class TestCompareDetection:
@@ -226,6 +258,27 @@ class TestAnalyzeCLI:
         assert "3/3 tasks" in capsys.readouterr().out
         assert repro_main(["analyze", "--db", results_db, "list"]) == 0
         assert "unit" in capsys.readouterr().out
+
+    def test_missing_db_is_one_clean_error_line(self, tmp_path, capsys):
+        missing = str(tmp_path / "nope.db")
+        assert repro_main(["analyze", "--db", missing, "list"]) == 2
+        err = capsys.readouterr().err
+        assert err == f"error: {missing}: no such results database\n"
+        assert repro_main(
+            ["analyze", "--db", missing, "diff", "a", "b"]
+        ) == 2
+        assert "no such results database" in capsys.readouterr().err
+
+    def test_non_database_file_is_one_clean_error_line(
+        self, tmp_path, capsys
+    ):
+        bogus = tmp_path / "notes.txt"
+        bogus.write_text("this is not a sqlite database\n" * 20)
+        assert repro_main(["analyze", "--db", str(bogus), "list"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert err.count("\n") == 1  # one line, no traceback
+        assert "not a usable sqlite results database" in err
 
     def test_saved_results_survive_in_sqlite(self, results_db):
         with SqliteResultStore(results_db) as store:

@@ -331,6 +331,40 @@ class TestQuarantine:
         assert results[1].kind == "timeout"
         assert executor.telemetry.timeouts == 1
 
+    def test_task_alarm_restores_outer_timer(self):
+        # a per-task alarm nested inside an outer ITIMER_REAL deadline
+        # (e.g. a batch-level watchdog) must hand the timer back with
+        # its remaining budget instead of silently cancelling it
+        import signal
+
+        from repro.fi.executor import _task_alarm
+
+        fired = []
+        previous = signal.signal(
+            signal.SIGALRM, lambda s, f: fired.append(s)
+        )
+        signal.setitimer(signal.ITIMER_REAL, 30.0)
+        try:
+            with _task_alarm(5.0):
+                inner, _ = signal.getitimer(signal.ITIMER_REAL)
+                assert 0.0 < inner <= 5.0
+            remaining, _ = signal.getitimer(signal.ITIMER_REAL)
+            assert 0.0 < remaining <= 30.0
+            assert signal.getsignal(signal.SIGALRM) is not previous
+        finally:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, previous)
+        assert fired == []
+
+    def test_task_alarm_leaves_timer_clear_when_none_ran(self):
+        import signal
+
+        from repro.fi.executor import _task_alarm
+
+        with _task_alarm(5.0):
+            pass
+        assert signal.getitimer(signal.ITIMER_REAL) == (0.0, 0.0)
+
     def test_failure_checkpointed_and_resumed(self, tmp_path):
         path = str(tmp_path / "cp.json")
 

@@ -353,6 +353,7 @@ class TestCampaignFastForwardAB:
         assert parallel.run_latencies == off.run_latencies
         assert t_par.ff_ticks_saved > 0
 
+    @pytest.mark.slow
     def test_permeability_bit_identical(self, two_cases):
         def run(ff, **kwargs):
             return PermeabilityCampaign(
@@ -369,6 +370,7 @@ class TestCampaignFastForwardAB:
         assert parallel.values == off.values
         assert parallel.direct_counts == off.direct_counts
 
+    @pytest.mark.slow
     def test_memory_and_recovery_bit_identical(self, two_cases):
         specs = list(EA_BY_NAME.values())
         locations = MemoryMap(factory(two_cases[0]).system).locations()[::25]

@@ -215,6 +215,7 @@ class TestStoreProtocol:
                 strict.open_campaign("unit", "fp", 3, policy="strict")
 
 
+@pytest.mark.slow
 class TestBackendEquivalence:
     """A/B: the sqlite store must reproduce the JSON store bit for
     bit — same campaign results, same resume schedules, same

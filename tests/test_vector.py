@@ -1,0 +1,269 @@
+"""The vectorized batch core: bit-identical to the scalar path.
+
+Two layers of A/B coverage: :class:`~repro.fi.vector.BatchRunner`
+directly against the campaigns' scalar ``_one_run`` (fast, surgical —
+including forced tick-0 dispatch divergence), and whole campaigns with
+``batch_width`` on vs off (serial in the default suite, the process
+backend under the ``slow`` marker).
+"""
+
+import pytest
+
+from repro.fi.campaign import DetectionCampaign, PermeabilityCampaign
+from repro.fi.executor import CampaignConfig
+from repro.fi.vector import BatchRunner, vector_stats, wrap_runner
+from repro.edm.catalogue import EA_BY_NAME
+from repro.target.simulation import ArrestmentSimulator
+from repro.target.testcases import standard_test_cases
+from repro.watertank.catalogue import tank_assertions
+from repro.watertank.simulation import WaterTankSimulator
+from repro.watertank.testcases import standard_tank_cases
+
+
+def tank_factory(tc):
+    return WaterTankSimulator(tc, mission_ticks=300)
+
+
+def arrestment_factory(tc):
+    return ArrestmentSimulator(tc, timeout_s=6.0)
+
+
+@pytest.fixture(scope="module")
+def tank_cases():
+    return standard_tank_cases()[:2]
+
+
+@pytest.fixture(scope="module")
+def arrestment_cases():
+    cases = standard_test_cases()
+    return [cases[4], cases[20]]
+
+
+def batch_vs_scalar(kind, campaign, tasks, width=16, **kwargs):
+    """Outcomes of a BatchRunner over *tasks* next to the scalar
+    reference, plus the vector-stats delta of the batched pass."""
+
+    def scalar(index):
+        return campaign._one_run(*tasks[index])
+
+    runner = BatchRunner(
+        kind, tasks, scalar, width, campaign.factory, **kwargs
+    )
+    assert runner._kernel is not None, "kernel refused the target"
+    before = vector_stats.as_tuple()
+    try:
+        batched = [runner(i) for i in range(len(tasks))]
+    finally:
+        runner.close()
+    delta = tuple(
+        after - b for b, after in zip(before, vector_stats.as_tuple())
+    )
+    reference = [scalar(i) for i in range(len(tasks))]
+    return batched, reference, delta
+
+
+class TestWatertankKernel:
+    def test_permeability_rows_match_scalar(self, tank_cases):
+        campaign = PermeabilityCampaign(
+            tank_factory, tank_cases, runs_per_input=1, seed=3
+        )
+        tasks = [
+            ("LEVEL_S", "LVL_ADC", tank_cases[0], 40, 2),
+            ("LEVEL_S", "LVL_ADC", tank_cases[1], 120, 9),
+            ("LEVEL_S", "LVL_ADC", tank_cases[0], 299, 0),
+            ("CTRL", "level_f", tank_cases[0], 7, 14),
+            ("CTRL", "inflow_rate", tank_cases[1], 55, 3),
+            ("CTRL", "ticks", tank_cases[0], 90, 1),
+            ("FLOW_S", "FLOW_CNT", tank_cases[1], 33, 7),
+            ("FLOW_S", "FLOW_CNT", tank_cases[0], 34, 0),
+        ]
+        batched, reference, delta = batch_vs_scalar(
+            "permeability", campaign, tasks, goldens=campaign.goldens
+        )
+        assert batched == reference
+        assert delta[3] == len(tasks)  # every row answered by a batch
+
+    def test_timer_divergence_retires_to_scalar(self, tank_cases):
+        """A tick-0 flip of the dispatch slot leaves the golden
+        schedule immediately: the rows retire and are recomputed by
+        the scalar path, so outcomes still match exactly."""
+        campaign = PermeabilityCampaign(
+            tank_factory, tank_cases, runs_per_input=1, seed=3
+        )
+        tasks = [
+            ("TIMER", "tick_nbr", tank_cases[0], 0, 0),
+            ("TIMER", "tick_nbr", tank_cases[0], 0, 1),
+            ("TIMER", "tick_nbr", tank_cases[1], 150, 2),
+        ]
+        batched, reference, delta = batch_vs_scalar(
+            "permeability", campaign, tasks, goldens=campaign.goldens
+        )
+        assert batched == reference
+        assert delta[1] == len(tasks)  # all rows dispatch-diverged
+        assert delta[3] == 0
+
+    def test_detection_rows_match_scalar(self, tank_cases):
+        specs = tank_assertions()
+        campaign = DetectionCampaign(
+            tank_factory, tank_cases, specs, runs_per_signal=1, seed=3
+        )
+        tasks = [
+            ("LVL_ADC", tank_cases[0], 0, 9),
+            ("LVL_ADC", tank_cases[1], 60, 5),
+            ("FLOW_CNT", tank_cases[0], 120, 7),
+            ("FLOW_CNT", tank_cases[1], 299, 0),
+        ]
+        batched, reference, delta = batch_vs_scalar(
+            "detection", campaign, tasks, specs=specs
+        )
+        assert batched == reference
+        assert delta[3] == len(tasks)
+
+
+class TestArrestmentKernel:
+    def test_permeability_rows_match_scalar(self, arrestment_cases):
+        campaign = PermeabilityCampaign(
+            arrestment_factory, arrestment_cases, runs_per_input=1, seed=3
+        )
+        tasks = [
+            ("DIST_S", "PACNT", arrestment_cases[0], 500, 3),
+            ("DIST_S", "TIC1", arrestment_cases[1], 1200, 11),
+            ("DIST_S", "TCNT", arrestment_cases[0], 40, 0),
+            ("CALC", "pulscnt", arrestment_cases[1], 2500, 8),
+            ("CALC", "i", arrestment_cases[0], 700, 1),
+            ("CALC", "stopped", arrestment_cases[1], 900, 0),
+            ("V_REG", "SetValue", arrestment_cases[0], 3000, 13),
+            ("V_REG", "IsValue", arrestment_cases[1], 100, 6),
+        ]
+        batched, reference, delta = batch_vs_scalar(
+            "permeability", campaign, tasks, goldens=campaign.goldens
+        )
+        assert batched == reference
+        assert delta[3] == len(tasks)
+
+    def test_clock_divergence_retires_to_scalar(self, arrestment_cases):
+        campaign = PermeabilityCampaign(
+            arrestment_factory, arrestment_cases, runs_per_input=1, seed=3
+        )
+        tasks = [
+            ("CLOCK", "ms_slot_nbr", arrestment_cases[0], 0, 0),
+            ("CLOCK", "ms_slot_nbr", arrestment_cases[1], 0, 4),
+        ]
+        batched, reference, delta = batch_vs_scalar(
+            "permeability", campaign, tasks, goldens=campaign.goldens
+        )
+        assert batched == reference
+        assert delta[1] == len(tasks)
+
+    def test_detection_rows_match_scalar(self, arrestment_cases):
+        specs = list(EA_BY_NAME.values())
+        campaign = DetectionCampaign(
+            arrestment_factory, arrestment_cases, specs,
+            runs_per_signal=1, seed=3,
+        )
+        tasks = [
+            ("PACNT", arrestment_cases[0], 0, 2),
+            ("ADC", arrestment_cases[1], 800, 9),
+            ("TCNT", arrestment_cases[0], 3000, 15),
+            ("TIC1", arrestment_cases[1], 5500, 1),
+        ]
+        batched, reference, delta = batch_vs_scalar(
+            "detection", campaign, tasks, specs=specs
+        )
+        assert batched == reference
+        assert delta[3] == len(tasks)
+
+
+class TestCampaignAB:
+    """Whole campaigns: batch_width on vs off is invisible in results."""
+
+    def test_tank_permeability_identical(self, tank_cases):
+        def run(config):
+            estimate = PermeabilityCampaign(
+                tank_factory, tank_cases, runs_per_input=4, seed=11,
+                config=config,
+            ).run()
+            return estimate.direct_counts, estimate.active_runs
+
+        assert run(None) == run(CampaignConfig(batch_width=32))
+
+    def test_tank_detection_identical(self, tank_cases):
+        def run(config):
+            result = DetectionCampaign(
+                tank_factory, tank_cases, tank_assertions(),
+                runs_per_signal=8, seed=11, config=config,
+            ).run()
+            return (
+                result.n_injected, result.n_err, result.detections,
+                result.run_records, result.run_latencies,
+            )
+
+        assert run(None) == run(CampaignConfig(batch_width=32))
+
+    def test_telemetry_counts_batched_rows(self, tank_cases):
+        campaign = DetectionCampaign(
+            tank_factory, tank_cases, tank_assertions(),
+            runs_per_signal=8, seed=11,
+            config=CampaignConfig(batch_width=32),
+        )
+        campaign.run()
+        telemetry = campaign.telemetry
+        assert telemetry.vec_rows > 0
+        assert telemetry.vec_groups > 0
+        assert telemetry.vec_batched_ticks > 0
+        assert "vector" in telemetry.render()
+
+    def test_default_config_stays_scalar(self, tank_cases):
+        campaign = DetectionCampaign(
+            tank_factory, tank_cases, tank_assertions(),
+            runs_per_signal=2, seed=11, config=CampaignConfig(),
+        )
+        campaign.run()
+        assert campaign.telemetry.vec_rows == 0
+        assert campaign.telemetry.vec_groups == 0
+
+    def test_wrap_runner_passthrough_when_off(self):
+        def runner(index):
+            return index
+
+        assert wrap_runner(
+            "detection", runner, [], None, tank_factory
+        ) is runner
+        assert wrap_runner(
+            "detection", runner, [], CampaignConfig(), tank_factory
+        ) is runner
+
+
+@pytest.mark.slow
+class TestCampaignABProcess:
+    """The batched core composes with the process pool: groups are
+    computed whole inside one worker and results stay bit-identical."""
+
+    def test_arrestment_detection_identical(self, arrestment_cases):
+        def run(batch_width):
+            result = DetectionCampaign(
+                arrestment_factory, arrestment_cases,
+                list(EA_BY_NAME.values()),
+                runs_per_signal=6, seed=11,
+                config=CampaignConfig(
+                    backend="process", jobs=2, batch_width=batch_width
+                ),
+            ).run()
+            return (
+                result.n_injected, result.n_err, result.detections,
+                result.run_records, result.run_latencies,
+            )
+
+        assert run(0) == run(16)
+
+    def test_tank_permeability_identical(self, tank_cases):
+        def run(batch_width):
+            estimate = PermeabilityCampaign(
+                tank_factory, tank_cases, runs_per_input=4, seed=11,
+                config=CampaignConfig(
+                    backend="process", jobs=2, batch_width=batch_width
+                ),
+            ).run()
+            return estimate.direct_counts, estimate.active_runs
+
+        assert run(0) == run(16)

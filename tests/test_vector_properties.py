@@ -1,0 +1,234 @@
+"""Property tests: a batch of N rows equals N scalar runs.
+
+Hypothesis drives random modules/ports/signals, injection ticks, bits
+and batch widths through :class:`~repro.fi.vector.BatchRunner` on both
+targets and requires bit-identical outcomes against the campaigns'
+scalar ``_one_run``.  Explicit examples pin the two structural edge
+cases: tick-0 dispatch divergence (the whole batch retires) and rows
+whose flip lands on the very last tick.
+"""
+
+import pytest
+from hypothesis import HealthCheck, example, given, settings
+from hypothesis import strategies as st
+
+from repro.fi.campaign import DetectionCampaign, PermeabilityCampaign
+from repro.fi.vector import BatchRunner
+from repro.edm.catalogue import EA_BY_NAME
+from repro.target.simulation import ArrestmentSimulator
+from repro.target.testcases import standard_test_cases
+from repro.watertank.catalogue import tank_assertions
+from repro.watertank.simulation import WaterTankSimulator
+from repro.watertank.testcases import standard_tank_cases
+
+TANK_TICKS = 200
+ARREST_TIMEOUT_S = 6.0
+ARREST_TICKS = 6000
+
+
+def tank_prop_factory(tc):
+    return WaterTankSimulator(tc, mission_ticks=TANK_TICKS)
+
+
+def arrest_prop_factory(tc):
+    return ArrestmentSimulator(tc, timeout_s=ARREST_TIMEOUT_S)
+
+
+TANK_PORTS = {
+    "TIMER": ["tick_nbr"],
+    "LEVEL_S": ["LVL_ADC"],
+    "FLOW_S": ["FLOW_CNT"],
+    "CTRL": ["level_f", "inflow_rate", "ticks"],
+    "ALARM": ["level_f"],
+    "VALVE_A": ["valve_cmd"],
+}
+ARREST_PORTS = {
+    "CLOCK": ["ms_slot_nbr"],
+    "DIST_S": ["PACNT", "TIC1", "TCNT"],
+    "CALC": ["i", "mscnt", "pulscnt", "slow_speed", "stopped"],
+    "PRES_S": ["ADC"],
+    "V_REG": ["SetValue", "IsValue"],
+    "PRES_A": ["OutValue"],
+}
+
+
+@pytest.fixture(scope="module")
+def tank_perm():
+    return PermeabilityCampaign(
+        tank_prop_factory, standard_tank_cases()[:2],
+        runs_per_input=1, seed=5,
+    )
+
+
+@pytest.fixture(scope="module")
+def tank_det():
+    return DetectionCampaign(
+        tank_prop_factory, standard_tank_cases()[:2], tank_assertions(),
+        runs_per_signal=1, seed=5,
+    )
+
+
+@pytest.fixture(scope="module")
+def arrest_perm():
+    cases = standard_test_cases()
+    return PermeabilityCampaign(
+        arrest_prop_factory, [cases[4], cases[20]],
+        runs_per_input=1, seed=5,
+    )
+
+
+@pytest.fixture(scope="module")
+def arrest_det():
+    cases = standard_test_cases()
+    return DetectionCampaign(
+        arrest_prop_factory, [cases[4], cases[20]],
+        list(EA_BY_NAME.values()), runs_per_signal=1, seed=5,
+    )
+
+
+def check_batch(kind, campaign, tasks, width, **kwargs):
+    def scalar(index):
+        return campaign._one_run(*tasks[index])
+
+    runner = BatchRunner(
+        kind, tasks, scalar, width, campaign.factory, **kwargs
+    )
+    try:
+        batched = [runner(i) for i in range(len(tasks))]
+    finally:
+        runner.close()
+    assert batched == [scalar(i) for i in range(len(tasks))]
+
+
+def perm_rows(ports, max_tick):
+    """(module, rows of (port_i, case_i, tick, bit_i), width)."""
+    modules = sorted(ports)
+    return st.tuples(
+        st.sampled_from(modules),
+        st.lists(
+            st.tuples(
+                st.integers(0, 7),  # port index (mod len(ports))
+                st.integers(0, 1),  # test-case index
+                st.integers(0, max_tick - 1),
+                st.integers(0, 63),  # bit (mod signal width)
+            ),
+            min_size=2,
+            max_size=5,
+        ),
+        st.integers(2, 6),  # batch width
+    )
+
+
+def build_perm_tasks(campaign, ports, module, rows):
+    system = campaign.factory(campaign.test_cases[0]).system
+    tasks = []
+    for port_i, case_i, tick, bit in rows:
+        port = ports[module][port_i % len(ports[module])]
+        signal = system.signal_of_input(module, port)
+        width = system.signal(signal).width
+        tasks.append(
+            (module, port, campaign.test_cases[case_i], tick, bit % width)
+        )
+    return tasks
+
+
+def det_rows(max_tick):
+    return st.tuples(
+        st.lists(
+            st.tuples(
+                st.integers(0, 7),  # signal index (mod len(signals))
+                st.integers(0, 1),
+                st.integers(0, max_tick - 1),
+                st.integers(0, 63),
+            ),
+            min_size=2,
+            max_size=5,
+        ),
+        st.integers(2, 6),
+    )
+
+
+def build_det_tasks(campaign, rows):
+    system = campaign.factory(campaign.test_cases[0]).system
+    signals = list(system.system_inputs())
+    tasks = []
+    for sig_i, case_i, tick, bit in rows:
+        signal = signals[sig_i % len(signals)]
+        width = system.signal(signal).width
+        tasks.append(
+            (signal, campaign.test_cases[case_i], tick, bit % width)
+        )
+    return tasks
+
+
+class TestWatertankProperties:
+    @settings(
+        max_examples=12, deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(drawn=perm_rows(TANK_PORTS, TANK_TICKS))
+    @example(drawn=("TIMER", [(0, 0, 0, 0), (0, 1, 0, 1)], 4))
+    @example(
+        drawn=(
+            "CTRL",
+            [(0, 0, TANK_TICKS - 1, 2), (1, 1, 0, 0), (2, 0, 77, 5)],
+            2,
+        )
+    )
+    def test_permeability_batch_equals_scalar(self, tank_perm, drawn):
+        module, rows, width = drawn
+        tasks = build_perm_tasks(tank_perm, TANK_PORTS, module, rows)
+        check_batch(
+            "permeability", tank_perm, tasks, width,
+            goldens=tank_perm.goldens,
+        )
+
+    @settings(
+        max_examples=10, deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(drawn=det_rows(TANK_TICKS))
+    @example(drawn=([(0, 0, 0, 9), (1, 1, TANK_TICKS - 1, 0)], 3))
+    def test_detection_batch_equals_scalar(self, tank_det, drawn):
+        rows, width = drawn
+        tasks = build_det_tasks(tank_det, rows)
+        check_batch(
+            "detection", tank_det, tasks, width, specs=tank_det.specs
+        )
+
+
+@pytest.mark.slow
+class TestArrestmentProperties:
+    @settings(
+        max_examples=6, deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(drawn=perm_rows(ARREST_PORTS, ARREST_TICKS))
+    @example(drawn=("CLOCK", [(0, 0, 0, 0), (0, 1, 0, 3)], 4))
+    @example(
+        drawn=(
+            "DIST_S",
+            [(0, 0, ARREST_TICKS - 1, 1), (1, 1, 10, 0)],
+            2,
+        )
+    )
+    def test_permeability_batch_equals_scalar(self, arrest_perm, drawn):
+        module, rows, width = drawn
+        tasks = build_perm_tasks(arrest_perm, ARREST_PORTS, module, rows)
+        check_batch(
+            "permeability", arrest_perm, tasks, width,
+            goldens=arrest_perm.goldens,
+        )
+
+    @settings(
+        max_examples=6, deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(drawn=det_rows(ARREST_TICKS))
+    @example(drawn=([(3, 0, 0, 2), (0, 1, ARREST_TICKS - 1, 0)], 3))
+    def test_detection_batch_equals_scalar(self, arrest_det, drawn):
+        rows, width = drawn
+        tasks = build_det_tasks(arrest_det, rows)
+        check_batch(
+            "detection", arrest_det, tasks, width, specs=arrest_det.specs
+        )
