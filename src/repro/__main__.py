@@ -302,6 +302,7 @@ def _cmd_one_experiment(args: argparse.Namespace) -> int:
         event_log=args.event_log,
         fast_forward=not args.no_fast_forward,
         checkpoint_stride=args.checkpoint_stride,
+        track_pool=not args.no_track_pool,
         batch_width=args.batch_width,
         audit_fraction=args.audit_fraction,
         audit_seed=args.audit_seed,
@@ -415,6 +416,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             "--no-fast-forward", action="store_true",
             help="disable the snapshot/fast-forward engine "
             "(results are bit-identical)",
+        )
+        p_one.add_argument(
+            "--no-track-pool", action="store_true",
+            help="keep golden checkpoint tracks as plain dicts "
+            "instead of shared-memory columns (results are "
+            "bit-identical)",
         )
         p_one.add_argument(
             "--batch-width", type=int, default=0, metavar="N",

@@ -107,6 +107,11 @@ def add_execution_options(parser: argparse.ArgumentParser) -> None:
         "every injected run from tick 0 (results are bit-identical)",
     )
     parser.add_argument(
+        "--no-track-pool", action="store_true",
+        help="keep golden checkpoint tracks as plain dicts instead "
+        "of shared-memory columns (results are bit-identical)",
+    )
+    parser.add_argument(
         "--batch-width", type=int, default=0, metavar="N",
         help="vectorized batch core: advance up to N injected runs "
         "per tick in each worker (default: 0 = scalar path; results "
@@ -195,6 +200,7 @@ def context_from_args(args: argparse.Namespace) -> ExperimentContext:
         event_log=args.event_log,
         fast_forward=not args.no_fast_forward,
         checkpoint_stride=args.checkpoint_stride,
+        track_pool=not args.no_track_pool,
         batch_width=args.batch_width,
         audit_fraction=args.audit_fraction,
         audit_seed=args.audit_seed,

@@ -114,7 +114,9 @@ class ExperimentContext:
     (golden checkpoints + prefix skipping + resynchronization; results
     are bit-identical either way), *checkpoint_stride* sets the
     distance between golden checkpoints in ticks (``None`` keeps the
-    engine default).
+    engine default), and *track_pool* flattens golden tracks into
+    shared-memory columns pre-fork so checkpoint restores read out of
+    shared segments (bit-identical either way).
 
     Integrity knobs: *audit_fraction* re-executes that fraction of
     fast-forwarded runs full-length and field-diffs the results,
@@ -146,6 +148,7 @@ class ExperimentContext:
         event_log: Optional[str] = None,
         fast_forward: bool = True,
         checkpoint_stride: Optional[int] = None,
+        track_pool: bool = True,
         batch_width: int = 0,
         audit_fraction: float = 0.0,
         audit_seed: Optional[int] = None,
@@ -180,6 +183,7 @@ class ExperimentContext:
         self.event_log = event_log
         self.fast_forward = fast_forward
         self.checkpoint_stride = checkpoint_stride
+        self.track_pool = track_pool
         self.batch_width = batch_width
         self.audit_fraction = audit_fraction
         self.audit_seed = audit_seed
@@ -248,7 +252,10 @@ class ExperimentContext:
         ft_kwargs = {"task_timeout": self.task_timeout}
         if self.retries is not None:
             ft_kwargs["retries"] = self.retries
-        ff_kwargs = {"enabled": self.fast_forward}
+        ff_kwargs = {
+            "enabled": self.fast_forward,
+            "track_pool": self.track_pool,
+        }
         if self.checkpoint_stride is not None:
             ff_kwargs["checkpoint_stride"] = self.checkpoint_stride
         integrity_kwargs = {

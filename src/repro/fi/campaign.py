@@ -1015,6 +1015,11 @@ class RecoveryCampaign:
         def runner(index: int) -> Optional[Dict[str, Any]]:
             return self._one_run(*tasks[index])
 
+        runner = wrap_runner(
+            "recovery", runner, tasks, self.config, self.factory,
+            specs=self.specs, policies=self.policies,
+            period_ticks=self.period_ticks,
+        )
         results = executor.run_tasks(
             runner,
             len(tasks),
@@ -1032,6 +1037,7 @@ class RecoveryCampaign:
         self.telemetry = executor.telemetry
         self.integrity_violations = list(executor.violations)
         executor.close()
+        close_runner(runner)
 
         # Phase 3: aggregate in task order.
         outcomes: List[RecoveryOutcome] = []
@@ -1173,6 +1179,11 @@ class MemoryCampaign:
                 index, lambda ff: self._one_run(*task, ff=ff)
             )
 
+        runner = wrap_runner(
+            "memory", runner, tasks, self.config, self.factory,
+            auditor=auditor, specs=self.specs,
+            period_ticks=self.period_ticks,
+        )
         results = executor.run_tasks(
             runner,
             len(tasks),
@@ -1187,6 +1198,7 @@ class MemoryCampaign:
         self.telemetry = executor.telemetry
         self.integrity_violations = list(executor.violations)
         executor.close()
+        close_runner(runner)
 
         # Phase 3: aggregate in task order.
         records: List[MemoryRunRecord] = []

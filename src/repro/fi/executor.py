@@ -237,6 +237,10 @@ class FastForwardPolicy:
     enabled: bool = True
     #: ticks between golden checkpoints for fast-forwarded runs.
     checkpoint_stride: int = DEFAULT_CHECKPOINT_STRIDE
+    #: flatten golden tracks into shared-memory columns pre-fork and
+    #: restore checkpoints out of the shared segments (bit-identical
+    #: either way; also killable via ``REPRO_NO_TRACK_POOL=1``).
+    track_pool: bool = True
 
     def __post_init__(self) -> None:
         if self.checkpoint_stride < 1:
@@ -340,10 +344,12 @@ class VectorPolicy:
 
     ``batch_width`` > 0 lets campaigns that publish a batch planner
     advance up to that many injected runs per numpy tick inside one
-    worker; rows whose control flow departs the golden slot schedule
-    retire to the scalar path, so results stay bit-identical to
-    scalar execution.  ``0`` (the default) keeps the scalar path for
-    everything.  Campaigns without a planner ignore the policy.
+    worker; rows follow their own — possibly corrupted — dispatch
+    schedule via masked invocations where the kernel supports it, and
+    otherwise retire to the scalar path, so results stay
+    bit-identical to scalar execution.  ``0`` (the default) keeps the
+    scalar path for everything.  Campaigns without a planner ignore
+    the policy.
     """
 
     #: injected runs advanced per vectorized tick; 0 disables batching.
@@ -371,6 +377,7 @@ _FLAT_FIELDS: Dict[str, Tuple[str, str]] = {
     "pool_watchdog_s": ("fault_tolerance", "pool_watchdog_s"),
     "fast_forward": ("fastforward", "enabled"),
     "checkpoint_stride": ("fastforward", "checkpoint_stride"),
+    "track_pool": ("fastforward", "track_pool"),
     "integrity_policy": ("integrity", "policy"),
     "audit_fraction": ("integrity", "audit_fraction"),
     "audit_seed": ("integrity", "audit_seed"),
@@ -385,7 +392,7 @@ _FLAT_FIELDS: Dict[str, Tuple[str, str]] = {
 }
 
 #: flat kwargs accepted without a deprecation warning.
-_FLAT_NO_WARN = frozenset({"store_backend", "batch_width"})
+_FLAT_NO_WARN = frozenset({"store_backend", "batch_width", "track_pool"})
 
 _POLICY_TYPES = {
     "checkpoint": CheckpointPolicy,
@@ -761,6 +768,12 @@ class CampaignTelemetry:
     #: batch-eligible tasks that fell back to the scalar runner
     #: (audit-selected, chaos env, retired, or unsupported).
     vec_scalar_fallbacks: int = 0
+    #: groups whose rows span more than one test case (cross-case
+    #: batching sharing one lockstep pass over several goldens).
+    vec_cross_case_groups: int = 0
+    #: total row slots the dispatched groups offered (groups x width);
+    #: ``vec_rows / vec_group_capacity`` is the group occupancy.
+    vec_group_capacity: int = 0
     #: True when the run was scheduled by the adaptive sampler.
     adaptive: bool = False
     #: strata the adaptive sampler scheduled.
@@ -775,6 +788,13 @@ class CampaignTelemetry:
     @property
     def runs_per_sec(self) -> float:
         return self.executed_runs / self.wall_s if self.wall_s > 0 else 0.0
+
+    @property
+    def vec_occupancy(self) -> float:
+        """Fraction of dispatched batch slots that carried a row."""
+        if not self.vec_group_capacity:
+            return 0.0
+        return self.vec_rows / self.vec_group_capacity
 
     @property
     def worker_utilization(self) -> float:
@@ -840,6 +860,11 @@ class CampaignTelemetry:
                 f" {self.vec_retired_rows} retired,"
                 f" {self.vec_scalar_fallbacks} scalar)"
             )
+            if self.vec_group_capacity:
+                text += (
+                    f" occupancy={self.vec_occupancy:.0%}"
+                    f" cross-case={self.vec_cross_case_groups}"
+                )
         if self.adaptive:
             text += (
                 f" | adaptive runs_saved={self.runs_saved}"
@@ -1412,6 +1437,9 @@ class CampaignExecutor:
                 telemetry.vec_groups += vec_delta[2]
                 telemetry.vec_rows += vec_delta[3]
                 telemetry.vec_scalar_fallbacks += vec_delta[4]
+                if len(vec_delta) > 6:
+                    telemetry.vec_cross_case_groups += vec_delta[5]
+                    telemetry.vec_group_capacity += vec_delta[6]
 
         def absorb_violations(payload: Dict) -> None:
             """Collect a task's structured violations (any backend).
@@ -1781,6 +1809,10 @@ class CampaignExecutor:
                 drift_events=telemetry.drift_events,
                 checkpoint_rejects=telemetry.checkpoint_rejects,
                 violations=len(self.violations),
+                vec_rows=telemetry.vec_rows,
+                vec_groups=telemetry.vec_groups,
+                vec_cross_case_groups=telemetry.vec_cross_case_groups,
+                vec_occupancy=round(telemetry.vec_occupancy, 4),
                 wall_s=round(telemetry.wall_s, 3),
             )
             events.close()

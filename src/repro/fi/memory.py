@@ -76,6 +76,24 @@ class MemoryLocation:
             )
         return 8 * self.byte_offset + bit_in_byte
 
+    def vector_descriptor(self, bit_in_byte: int) -> tuple:
+        """The ``(cell kind, module, cell, cell-relative bit)`` tuple
+        the vectorized batch planner keys a memory-flip row on.
+
+        Centralized here so the planner and the scalar injector agree
+        on how a byte location resolves to an owning cell: the kind
+        string decides which kernel flip bucket applies the strike
+        (state array, signal store, marshaled argument, or declared
+        local), and the bit is translated to cell-relative numbering
+        exactly like the scalar :class:`PeriodicMemoryFlip` does.
+        """
+        return (
+            self.kind.value,
+            self.module,
+            self.cell,
+            self.bit_in_cell(bit_in_byte),
+        )
+
     @property
     def label(self) -> str:
         suffix = f"+{self.byte_offset}" if self.byte_offset else ""

@@ -20,8 +20,8 @@ the plain in-process arrays inherited through fork copy-on-write).
 
 from __future__ import annotations
 
-import atexit
 import os
+import weakref
 from typing import Dict, Optional, Tuple
 
 try:  # numpy is required for packing; the caller gates on this too
@@ -35,6 +35,29 @@ except Exception:  # pragma: no cover - stdlib module missing
     _shm = None
 
 __all__ = ["ShmArrayPack", "shm_available"]
+
+
+def _release_segments(handles: Dict[str, object], owner_pid: int) -> None:
+    """Detach (and, in the owning process, unlink) *handles*.
+
+    Module-level so a :func:`weakref.finalize` can hold it without
+    keeping the pack itself alive: segments are released when the pack
+    is garbage-collected, when :meth:`ShmArrayPack.close` runs, or —
+    crucially for campaigns that die mid-run — at interpreter exit,
+    whichever comes first.  Never leaves orphans in ``/dev/shm``.
+    """
+    owner = os.getpid() == owner_pid
+    for handle in list(handles.values()):
+        try:
+            handle.close()
+        except Exception:
+            pass
+        if owner:
+            try:
+                handle.unlink()
+            except Exception:
+                pass
+    handles.clear()
 
 
 def shm_available() -> bool:
@@ -61,7 +84,13 @@ class ShmArrayPack:
         self._handles: Dict[str, object] = {}
         self._owner_pid = os.getpid()
         self._closed = False
-        atexit.register(self.close)
+        # a finalizer, not atexit.register(self.close): no strong
+        # reference pinning the pack for the process lifetime, and the
+        # segments are released on garbage collection AND interpreter
+        # exit (finalize hooks run atexit for still-alive objects)
+        self._finalizer = weakref.finalize(
+            self, _release_segments, self._handles, self._owner_pid
+        )
 
     @property
     def is_owner(self) -> bool:
@@ -135,17 +164,6 @@ class ShmArrayPack:
         if self._closed:
             return
         self._closed = True
-        owner = self.is_owner
-        for key, handle in list(self._handles.items()):
-            try:
-                handle.close()
-            except Exception:
-                pass
-            if owner:
-                try:
-                    handle.unlink()
-                except Exception:
-                    pass
-        self._handles.clear()
+        self._finalizer()
         self._local.clear()
         self._segments.clear()

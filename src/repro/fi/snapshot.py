@@ -30,6 +30,20 @@ the last divergence is redundant too.  This module eliminates both:
   counter registers) never matches, and such runs simply simulate to
   the end.
 
+* **Shared-memory track pool.**  A checkpoint track is a pile of
+  nested python dicts; forked workers inherit it through copy-on-write
+  and then dirty the pages just by touching refcounts.
+  :class:`TrackPool` flattens each golden track **once, pre-fork** into
+  two flat numpy columns (one ``int64``, one ``float64``) plus a tiny
+  path schema, publishes the columns through
+  :class:`~repro.fi.shm.ShmArrayPack`, and rebuilds checkpoint states
+  row-by-row out of the shared segments at restore time.  Leaves that
+  are not plain ints/floats/bools (``None`` markers, failure-kind
+  tuples, classifier accumulators) ride a small per-row side channel.
+  The rebuild round-trips every leaf exactly — pooled restores are
+  bit-identical to dict restores — and any track whose shape resists
+  flattening simply stays on the dict path.
+
 Both mechanisms preserve results bit-for-bit; they only trade redundant
 simulation for snapshot comparisons.  ``ff_stats`` counts restores,
 resynchronizations and skipped ticks; the campaign executor folds the
@@ -38,14 +52,16 @@ per-task deltas into :class:`~repro.fi.executor.CampaignTelemetry`.
 
 from __future__ import annotations
 
+import copy
 import os
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.edm.monitors import MonitorBank
 from repro.errors import CampaignError
+from repro.fi.shm import ShmArrayPack, shm_available
 from repro.target.simulation import SignalTraces, SimulatorState
 
 __all__ = [
@@ -54,9 +70,15 @@ __all__ = [
     "CheckpointStore",
     "FastForward",
     "FastForwardStats",
+    "PooledTrack",
+    "TrackPool",
     "checkpoint_cache",
     "ff_stats",
 ]
+
+#: environment kill-switch for the shared-memory checkpoint pool
+#: (mirrors the ``track_pool`` policy flag; either disables it).
+_NO_TRACK_POOL_ENV = "REPRO_NO_TRACK_POOL"
 
 #: default distance between golden checkpoints, in ticks.  Denser
 #: strides shorten the simulated remainder per injected run (less
@@ -283,6 +305,288 @@ checkpoint_cache = CheckpointStore()
 
 
 # ======================================================================
+# The shared-memory track pool.
+# ======================================================================
+try:  # numpy backs the flattened columns; pooling is gated on it
+    import numpy as _np
+except Exception:  # pragma: no cover - numpy is part of the toolchain
+    _np = None
+
+#: restorable SimulatorState sections, walked in this fixed order so
+#: every state of a track flattens to the same leaf sequence.
+_STATE_SECTIONS = (
+    "tick", "signals", "modules", "plant", "sensors", "classifier", "loop",
+)
+
+
+def _state_leaves(state: SimulatorState) -> List[Tuple[Tuple, Any]]:
+    """Deterministic ``(path, value)`` flattening of the restorable
+    fields of *state* (traces are never restored by fast-forward, so
+    trace bookkeeping is excluded).  Dicts recurse in sorted-key order;
+    everything else — plain scalars and opaque blobs alike — is a leaf.
+    """
+    leaves: List[Tuple[Tuple, Any]] = []
+
+    def walk(path: Tuple, value: Any) -> None:
+        if isinstance(value, dict) and value:
+            try:
+                keys = sorted(value)
+            except TypeError:
+                leaves.append((path, value))
+                return
+            for key in keys:
+                walk(path + (key,), value[key])
+        else:
+            leaves.append((path, value))
+
+    for section in _STATE_SECTIONS:
+        walk((section,), getattr(state, section))
+    return leaves
+
+
+class _PooledStates:
+    """Mapping facade over a pooled track's checkpoint rows, so the
+    resynchronization watcher can keep saying ``track.states.get(t)``."""
+
+    __slots__ = ("_track",)
+
+    def __init__(self, track: "PooledTrack"):
+        self._track = track
+
+    def get(self, tick: int) -> Optional[SimulatorState]:
+        return self._track.state_at_tick(tick)
+
+    def __getitem__(self, tick: int) -> SimulatorState:
+        state = self._track.state_at_tick(tick)
+        if state is None:
+            raise KeyError(tick)
+        return state
+
+    def __contains__(self, tick: int) -> bool:
+        return tick in self._track.checkpoint_ticks
+
+
+class PooledTrack:
+    """Read side of one pooled golden track.
+
+    Duck-types the slice of :class:`CheckpointTrack` that
+    :meth:`FastForward.launch` and the resynchronization watcher
+    consume (``nearest``/``states``/``final_state``/``stride``/
+    ``end_ticks``/``bank_states``/``bank_final``), but materializes
+    each :class:`SimulatorState` on demand out of the shared columns
+    instead of holding a dict per checkpoint.  Rebuilt leaves
+    round-trip exactly (``int64``/``float64`` are lossless for the
+    quantized simulator domain), so a pooled restore is bit-identical
+    to a dict restore.
+    """
+
+    __slots__ = (
+        "stride", "end_ticks", "bank_states", "bank_final",
+        "checkpoint_ticks", "states",
+        "_pack", "_int_key", "_float_key", "_schema", "_opaque",
+    )
+
+    def __init__(
+        self,
+        pack: ShmArrayPack,
+        int_key: Optional[str],
+        float_key: Optional[str],
+        schema: Tuple[Tuple[Tuple, str, int], ...],
+        opaque: Tuple[Tuple, ...],
+        checkpoint_ticks: Tuple[int, ...],
+        stride: int,
+        end_ticks: int,
+        bank_states: Optional[Dict[int, Dict[str, tuple]]],
+        bank_final: Optional[Dict[str, tuple]],
+    ):
+        self._pack = pack
+        self._int_key = int_key
+        self._float_key = float_key
+        self._schema = schema
+        self._opaque = opaque
+        self.checkpoint_ticks = checkpoint_ticks
+        self.stride = stride
+        self.end_ticks = end_ticks
+        self.bank_states = bank_states
+        self.bank_final = bank_final
+        self.states = _PooledStates(self)
+
+    # -- row rebuild ----------------------------------------------------
+    def _state_at_row(self, row: int) -> SimulatorState:
+        ints = (
+            self._pack.get(self._int_key)
+            if self._int_key is not None else None
+        )
+        floats = (
+            self._pack.get(self._float_key)
+            if self._float_key is not None else None
+        )
+        if (self._int_key is not None and ints is None) or (
+            self._float_key is not None and floats is None
+        ):  # pragma: no cover - attach failure; publisher keeps a local
+            raise CampaignError("pooled track columns are unavailable")
+        root: Dict[str, Any] = {}
+        for path, kind, column in self._schema:
+            if kind == "i":
+                value: Any = int(ints[row, column])
+            elif kind == "b":
+                value = bool(ints[row, column])
+            elif kind == "f":
+                value = float(floats[row, column])
+            else:
+                # opaque blobs may be mutated by restorers downstream;
+                # hand every rebuild its own copy
+                value = copy.deepcopy(self._opaque[row][column])
+            node = root
+            for part in path[:-1]:
+                child = node.get(part)
+                if child is None:
+                    child = node[part] = {}
+                node = child
+            node[path[-1]] = value
+        return SimulatorState(
+            tick=root["tick"],
+            signals=root.get("signals") or {},
+            modules=root.get("modules") or {},
+            plant=root.get("plant") or {},
+            sensors=root.get("sensors") or {},
+            classifier=root.get("classifier"),
+            loop=root.get("loop") or {},
+            trace_lengths={},
+            traces=None,
+        )
+
+    # -- CheckpointTrack-compatible surface -----------------------------
+    def state_at_tick(self, tick: int) -> Optional[SimulatorState]:
+        """The checkpoint state captured at exactly *tick* (``None``
+        when no checkpoint landed there).  The final row is addressed
+        through :attr:`final_state` only, never by tick."""
+        try:
+            row = self.checkpoint_ticks.index(tick)
+        except ValueError:
+            return None
+        return self._state_at_row(row)
+
+    @property
+    def final_state(self) -> SimulatorState:
+        return self._state_at_row(len(self.checkpoint_ticks))
+
+    def nearest(self, tick: int) -> SimulatorState:
+        """The checkpoint at-or-before *tick* (tick 0 always exists)."""
+        row = 0
+        for index, checkpoint in enumerate(self.checkpoint_ticks):
+            if checkpoint > tick:
+                break
+            row = index
+        return self._state_at_row(row)
+
+
+class TrackPool:
+    """Write-once pool of flattened golden tracks.
+
+    The campaign owner publishes tracks pre-fork (:meth:`publish`);
+    workers — and the owner itself — read checkpoint rows back through
+    :meth:`get`.  A track whose states do not share one leaf shape, or
+    whose numeric leaves overflow the flat columns, is simply not
+    pooled: callers fall back to the inherited dict track and stay
+    bit-identical either way.
+    """
+
+    def __init__(self, pack: Optional[ShmArrayPack] = None):
+        self._pack = pack if pack is not None else ShmArrayPack()
+        self._tracks: Dict[Any, PooledTrack] = {}
+        self._sequence = 0
+
+    @property
+    def is_owner(self) -> bool:
+        return self._pack.is_owner
+
+    def __len__(self) -> int:
+        return len(self._tracks)
+
+    def get(self, case_id: Any) -> Optional[PooledTrack]:
+        return self._tracks.get(case_id)
+
+    def close(self) -> None:
+        self._tracks.clear()
+        self._pack.close()
+
+    def publish(self, case_id: Any, track: CheckpointTrack) -> bool:
+        """Flatten *track* into shared columns under *case_id*.
+        Returns ``False`` (leaving the pool unchanged) for tracks the
+        flat layout cannot represent exactly."""
+        if case_id in self._tracks:
+            return True
+        if _np is None:
+            return False
+        ticks = tuple(sorted(track.states))
+        states = [track.states[t] for t in ticks] + [track.final_state]
+        rows = [_state_leaves(state) for state in states]
+        shape = [path for path, _ in rows[0]]
+        if any([path for path, _ in row] != shape for row in rows[1:]):
+            return False
+
+        schema: List[Tuple[Tuple, str, int]] = []
+        int_columns: List[List[Any]] = []
+        float_columns: List[List[Any]] = []
+        opaque_columns: List[List[Any]] = []
+        for column, path in enumerate(shape):
+            values = [row[column][1] for row in rows]
+            if all(type(v) is bool for v in values):
+                kind, store = "b", int_columns
+            elif all(type(v) is int for v in values):
+                kind, store = "i", int_columns
+            elif all(type(v) is float for v in values):
+                kind, store = "f", float_columns
+            else:
+                kind, store = "o", opaque_columns
+            schema.append((path, kind, len(store)))
+            store.append(values)
+
+        ints = floats = None
+        try:
+            if int_columns:
+                ints = _np.array(int_columns, dtype=_np.int64).T
+                if ints.T.tolist() != [
+                    [int(v) for v in column] for column in int_columns
+                ]:
+                    return False  # a leaf does not round-trip int64
+                ints = _np.ascontiguousarray(ints)
+            if float_columns:
+                floats = _np.array(float_columns, dtype=_np.float64).T
+                if floats.T.tolist() != float_columns:
+                    return False  # NaN or non-roundtripping leaf
+                floats = _np.ascontiguousarray(floats)
+        except (OverflowError, TypeError, ValueError):
+            return False
+        prefix, self._sequence = f"ckpt{self._sequence}", self._sequence + 1
+        int_key = float_key = None
+        if ints is not None:
+            int_key = f"{prefix}:i"
+            self._pack.publish(int_key, ints)
+        if floats is not None:
+            float_key = f"{prefix}:f"
+            self._pack.publish(float_key, floats)
+        opaque = tuple(
+            tuple(column[row] for column in opaque_columns)
+            for row in range(len(rows))
+        )
+        self._tracks[case_id] = PooledTrack(
+            pack=self._pack,
+            int_key=int_key,
+            float_key=float_key,
+            schema=tuple(schema),
+            opaque=opaque,
+            checkpoint_ticks=ticks,
+            stride=track.stride,
+            end_ticks=track.end_ticks,
+            bank_states=track.bank_states,
+            bank_final=track.bank_final,
+        )
+        return True
+
+
+# ======================================================================
 # The per-campaign coordinator.
 # ======================================================================
 #: full-capture comparison failures tolerated before a run's resync
@@ -415,6 +719,20 @@ class FastForward:
         stride = getattr(config, "checkpoint_stride", None)
         self.stride = stride if stride else DEFAULT_CHECKPOINT_STRIDE
         self.enabled = bool(getattr(config, "fast_forward", True))
+        self.track_pool_enabled = (
+            self.enabled
+            and bool(getattr(config, "track_pool", True))
+            and not os.environ.get(_NO_TRACK_POOL_ENV)
+            and shm_available()
+        )
+        self._pool: Optional[TrackPool] = (
+            TrackPool() if self.track_pool_enabled else None
+        )
+
+    @property
+    def pooled_tracks(self) -> int:
+        """How many golden tracks live in the shared-memory pool."""
+        return len(self._pool) if self._pool is not None else 0
 
     def wants_track(self, from_tick: int) -> bool:
         """Whether an injection at *from_tick* benefits from a track
@@ -427,10 +745,12 @@ class FastForward:
         if not self.enabled:
             return
         for test_case in test_cases:
-            self.store.get(
+            track = self.store.get(
                 self.target, self.factory, test_case,
                 self.stride, self.bank_specs,
             )
+            if self._pool is not None and self._pool.is_owner:
+                self._pool.publish(test_case.case_id, track)
 
     def launch(
         self, test_case, from_tick: int
@@ -440,9 +760,17 @@ class FastForward:
             simulator = self.factory(test_case)
             simulator.record_traces = False
             return simulator, self._fresh_bank(simulator), _noop_arm
-        track = self.store.get(
-            self.target, self.factory, test_case, self.stride, self.bank_specs
+        # prefer the pre-fork shared-memory flattening of the track;
+        # unpublished cases fall back to the inherited dict track
+        track = (
+            self._pool.get(test_case.case_id)
+            if self._pool is not None else None
         )
+        if track is None:
+            track = self.store.get(
+                self.target, self.factory, test_case,
+                self.stride, self.bank_specs,
+            )
         checkpoint = track.nearest(from_tick)
         simulator = self.factory(test_case)
         simulator.record_traces = False

@@ -2,15 +2,23 @@
 
 The scalar campaign path simulates every injected run on its own:
 one Python interpreter loop over ticks, module invocations, quantized
-stores and hook dispatches per run.  For the two *sampled* campaigns
-(permeability and detection) almost all of that work is identical
-across runs — same target system, same schedule, same golden dispatch
-— and only the tiny injected disturbance differs.  This module batches
-such runs: plant state, module state cells, sensor registers and the
-signal store become numpy arrays with **one row per run**, and a
-target-specific kernel (``repro.watertank.vectorize`` /
+stores and hook dispatches per run.  Across all four campaigns —
+permeability, detection, and the enumerative memory and recovery
+sweeps — almost all of that work is identical across runs, even runs
+of *different test cases*: same target system, same schedule, same
+per-tick arithmetic; only the tiny injected disturbance and the
+per-case seed state differ.  This module batches such runs: plant
+state, module state cells, sensor registers and the signal store
+become numpy arrays with **one row per run** (rows of a group may mix
+test cases; each row is seeded from its own case's tick-0 snapshot
+and diffed against its own golden stream via per-row indirection),
+and a target-specific kernel (``repro.watertank.vectorize`` /
 ``repro.target.vectorize``) advances *all* rows of a batch through
-each tick at once.
+each tick at once.  Memory/recovery rows vectorize the periodic
+single-bit flips of :class:`repro.fi.injector.PeriodicMemoryFlip`
+(:class:`MemoryFlipPlan`), and recovery groups run twice — a plain
+detection pass and a containment pass with a
+:class:`RecoveringBankArrays` poking substitutions into the store.
 
 Correctness contract
 --------------------
@@ -55,6 +63,9 @@ __all__ = [
     "GroupJob",
     "GroupResult",
     "BankArrays",
+    "RecoveringBankArrays",
+    "MemoryFlipPlan",
+    "flip_cells",
     "BatchRunner",
     "wrap_runner",
     "close_runner",
@@ -81,14 +92,20 @@ class VectorStats:
         self.rows = 0
         #: rows answered by the scalar path (audited, chaos, ungrouped)
         self.scalar_fallbacks = 0
+        #: computed groups whose rows span more than one test case
+        self.cross_case_groups = 0
+        #: total row capacity of computed groups (groups x batch width)
+        self.group_capacity = 0
 
-    def as_tuple(self) -> Tuple[int, int, int, int, int]:
+    def as_tuple(self) -> Tuple[int, int, int, int, int, int, int]:
         return (
             self.batched_ticks,
             self.retired_rows,
             self.groups,
             self.rows,
             self.scalar_fallbacks,
+            self.cross_case_groups,
+            self.group_capacity,
         )
 
 
@@ -102,14 +119,22 @@ vector_stats = VectorStats()
 @dataclass(frozen=True)
 class RowInjection:
     """One row's injection: an ``"input"`` (system-input register
-    flip at tick ``tick``) or an ``"arg"`` (module-input flip at the
-    first invocation at or after ``tick``)."""
+    flip at tick ``tick``), an ``"arg"`` (module-input flip at the
+    first invocation at or after ``tick``), or a ``"memory"``
+    (periodic single-bit flip of one memory cell, phase ``tick``,
+    every ``period`` ticks — see
+    :class:`repro.fi.injector.PeriodicMemoryFlip`)."""
 
     kind: str
     tick: int
     bit: int
     signal: Optional[str] = None  #: input kind: the target signal
     port: Optional[str] = None  #: arg kind: the module input port
+    #: memory kind: cell class ("state" | "signal" | "arg" | "local")
+    memory_kind: Optional[str] = None
+    module: Optional[str] = None  #: memory kind: owning module
+    cell: Optional[str] = None  #: memory kind: cell/signal/port name
+    period: int = 0  #: memory kind: flip period in ticks
 
 
 @dataclass(frozen=True)
@@ -124,12 +149,14 @@ class VectorRow:
 class GroupJob:
     """One batch handed to a target kernel."""
 
-    kind: str  #: "permeability" | "detection"
+    kind: str  #: "permeability" | "detection" | "memory" | "recovery"
     module: Optional[str]  #: permeability: flipped/recorded module
     rows: List[VectorRow]
     cases: Dict[int, Any]  #: case_id -> test case
     templates: Dict[int, Any]  #: case_id -> tick-0 SimulatorState
-    specs: Sequence[Any] = ()  #: assertion specs (detection)
+    specs: Sequence[Any] = ()  #: assertion specs (detection/memory)
+    policies: Any = None  #: recovery: {ea name -> RecoveryPolicy}
+    recover: bool = False  #: recovery: containment pass (vs baseline)
 
 
 @dataclass
@@ -147,6 +174,10 @@ class GroupResult:
     rec_outs: Optional[Any] = None
     #: detection: per-row {ea name -> (fire_count, first_fire_tick)}
     bank: Optional[List[Dict[str, Tuple[int, Optional[int]]]]] = None
+    #: memory/recovery: per-row mission verdict (safety failure)
+    failed: Optional[List[bool]] = None
+    #: recovery containment pass: per-row recovery action counts
+    actions: Optional[List[int]] = None
 
 
 # ======================================================================
@@ -168,6 +199,19 @@ def q_int(values, width: int):
 def q_bool(values):
     """Vectorized BOOL quantization: collapse to 0/1."""
     return (values != 0).astype(np.int64)
+
+
+def flip_cells(values, bitmask, sig_type, width: int):
+    """Vectorized :func:`repro.model.signal.flip_bit` for int-backed
+    cells (UINT/INT/BOOL; FLOAT cells never enter a batch)."""
+    from repro.model.signal import SignalType
+
+    raw = (np.asarray(values, dtype=np.int64) & ((1 << width) - 1)) ^ bitmask
+    if sig_type is SignalType.BOOL:
+        return q_bool(raw)
+    if sig_type is SignalType.INT:
+        return q_int(raw, width)
+    return raw
 
 
 # ======================================================================
@@ -196,6 +240,34 @@ class BankArrays:
             s.name: np.full(n_rows, -1, dtype=np.int64) for s in self._specs
         }
 
+    def _fired_mask(self, spec, value):
+        """The per-row fire decision for *spec* at *value*, read
+        against the current reference state (``_prev`` untouched)."""
+        from repro.edm.assertions import EAKind
+
+        if spec.kind is EAKind.BOOLEAN:
+            return (value != 0) & (value != 1)
+        fired = np.zeros(value.shape, dtype=bool)
+        if spec.minimum is not None:
+            fired |= value < spec.minimum
+        if spec.maximum is not None:
+            fired |= value > spec.maximum
+        prev = self._prev[spec.name]
+        has_prev = self._has_prev[spec.name]
+        if spec.kind is EAKind.RANGE_RATE:
+            rate = np.abs(value - prev) > spec.max_delta
+            fired |= has_prev & rate
+        elif spec.kind is EAKind.MONOTONIC:
+            delta = value - prev
+            bad = (delta < 0) | (delta > spec.max_delta)
+            fired |= has_prev & bad
+        elif spec.kind is EAKind.SEQUENCE:
+            delta = value - prev
+            if spec.modulus is not None:
+                delta = delta % spec.modulus
+            fired |= has_prev & (delta != spec.exact_delta)
+        return fired
+
     def evaluate(self, store: Dict[str, Any], tick: int, mask=None) -> None:
         """Evaluate every assertion against *store* at *tick*.
 
@@ -203,33 +275,10 @@ class BankArrays:
         outside the mask keep their state untouched, like a scalar run
         that already left its mission loop).
         """
-        from repro.edm.assertions import EAKind
-
         for spec in self._specs:
             value = store[spec.signal]
             name = spec.name
-            if spec.kind is EAKind.BOOLEAN:
-                fired = (value != 0) & (value != 1)
-            else:
-                fired = np.zeros(value.shape, dtype=bool)
-                if spec.minimum is not None:
-                    fired |= value < spec.minimum
-                if spec.maximum is not None:
-                    fired |= value > spec.maximum
-                prev = self._prev[name]
-                has_prev = self._has_prev[name]
-                if spec.kind is EAKind.RANGE_RATE:
-                    rate = np.abs(value - prev) > spec.max_delta
-                    fired |= has_prev & rate
-                elif spec.kind is EAKind.MONOTONIC:
-                    delta = value - prev
-                    bad = (delta < 0) | (delta > spec.max_delta)
-                    fired |= has_prev & bad
-                elif spec.kind is EAKind.SEQUENCE:
-                    delta = value - prev
-                    if spec.modulus is not None:
-                        delta = delta % spec.modulus
-                    fired |= has_prev & (delta != spec.exact_delta)
+            fired = self._fired_mask(spec, value)
             if mask is not None:
                 fired = fired & mask
                 update = mask
@@ -259,6 +308,303 @@ class BankArrays:
         return out
 
 
+class RecoveringBankArrays(BankArrays):
+    """Vectorized :class:`repro.edm.recovery.RecoveringMonitorBank`:
+    detection plus per-row containment pokes into the batch's store.
+
+    Each assertion is evaluated in spec order; fired rows are poked
+    back to a last-good (HOLD_LAST_GOOD) or clamped (CLAMP_TO_SPEC)
+    value — quantized exactly like ``store.poke`` — and the reference
+    state is rebased on the raw substituted value, so later specs and
+    ticks see the substituted signal just as in the scalar bank.
+    """
+
+    def __init__(
+        self,
+        specs: Sequence[Any],
+        n_rows: int,
+        policies: Optional[Dict[str, Any]] = None,
+        q_store: Optional[Callable[[str, Any], Any]] = None,
+    ):
+        super().__init__(specs, n_rows)
+        from repro.edm.recovery import RecoveryPolicy
+
+        policies = dict(policies or {})
+        self._policy = {
+            s.name: policies.get(s.name, RecoveryPolicy.HOLD_LAST_GOOD)
+            for s in self._specs
+        }
+        self._q_store = q_store
+        self._last_good = {
+            s.name: np.zeros(n_rows, dtype=np.int64) for s in self._specs
+        }
+        self._has_good = {
+            s.name: np.zeros(n_rows, dtype=bool) for s in self._specs
+        }
+        #: per-row count of recovery substitutions performed
+        self.actions = np.zeros(n_rows, dtype=np.int64)
+
+    def evaluate(self, store: Dict[str, Any], tick: int, mask=None) -> None:
+        from repro.edm.recovery import RecoveryPolicy
+
+        for spec in self._specs:
+            name = spec.name
+            value = store[spec.signal]
+            fired = self._fired_mask(spec, value)
+            if mask is not None:
+                fired = fired & mask
+                update = mask
+            else:
+                update = np.ones(value.shape, dtype=bool)
+            count = self._fire_count[name]
+            first = self._first_fire[name]
+            count += fired
+            first[:] = np.where(fired & (first < 0), tick, first)
+            prev = self._prev[name]
+            prev[:] = np.where(update, value, prev)
+            self._has_prev[name] |= update
+            # containment (RecoveringMonitorBank._on_tick): last-good
+            # tracks non-fired observations only
+            good = self._last_good[name]
+            has_good = self._has_good[name]
+            not_fired = update & ~fired
+            good[:] = np.where(not_fired, value, good)
+            has_good |= not_fired
+            policy = self._policy[name]
+            if policy is RecoveryPolicy.DETECT_ONLY:
+                continue
+            if policy is RecoveryPolicy.CLAMP_TO_SPEC:
+                clamped = value
+                if spec.minimum is not None:
+                    clamped = np.maximum(clamped, spec.minimum)
+                if spec.maximum is not None:
+                    clamped = np.minimum(clamped, spec.maximum)
+                changed = clamped != value
+                substituted = np.where(changed, clamped, good)
+                valid = fired & (changed | has_good)
+            else:  # HOLD_LAST_GOOD
+                substituted = good
+                valid = fired & has_good
+            if valid.any():
+                quantized = self._q_store(spec.signal, substituted)
+                store[spec.signal] = np.where(
+                    valid, quantized, store[spec.signal]
+                )
+                prev[:] = np.where(valid, substituted, prev)
+                self.actions += valid
+
+
+# ======================================================================
+# Vectorized periodic memory flips (see PeriodicMemoryFlip).
+# ======================================================================
+class MemoryFlipPlan:
+    """The per-row flip schedule of one memory/recovery batch.
+
+    A transcription of the scalar injector's three strike paths
+    (:class:`repro.fi.injector.FaultInjector` with a
+    ``PeriodicMemoryFlip`` spec): RAM flips — state cells and signal
+    backing stores — land in the pre-tick phase at every period
+    boundary; stack flips — module args and locals — are *armed* at
+    the boundary and strike the owning module's next marshal or local
+    write, then disarm.
+    """
+
+    def __init__(self, kernel, rows: Sequence[VectorRow], first_inj):
+        n = len(rows)
+        self._first_inj = first_inj
+        self._phase = np.array(
+            [row.injection.tick for row in rows], dtype=np.int64
+        )
+        self._period = np.array(
+            [max(1, row.injection.period) for row in rows], dtype=np.int64
+        )
+        self._armed = np.zeros(n, dtype=bool)
+        self._live = None
+        self._tick = 0
+        stack = np.zeros(n, dtype=bool)
+        state_rows: Dict[Tuple[str, str], List[Tuple[int, int]]] = {}
+        signal_rows: Dict[str, List[Tuple[int, int]]] = {}
+        arg_rows: Dict[str, Dict[str, List[Tuple[int, int]]]] = {}
+        local_rows: Dict[Tuple[str, str], List[Tuple[int, int]]] = {}
+        for r, row in enumerate(rows):
+            inj = row.injection
+            pair = (r, 1 << inj.bit)
+            if inj.memory_kind == "state":
+                state_rows.setdefault((inj.module, inj.cell), []).append(pair)
+            elif inj.memory_kind == "signal":
+                signal_rows.setdefault(inj.cell, []).append(pair)
+            elif inj.memory_kind == "arg":
+                arg_rows.setdefault(inj.module, {}).setdefault(
+                    inj.cell, []
+                ).append(pair)
+                stack[r] = True
+            else:  # local
+                local_rows.setdefault((inj.module, inj.cell), []).append(pair)
+                stack[r] = True
+        self._stack = stack
+
+        def _bucket(pairs):
+            idx = np.array([p[0] for p in pairs], dtype=np.int64)
+            bms = np.array([p[1] for p in pairs], dtype=np.int64)
+            return idx, bms
+
+        self._state = []
+        for (module, cell), pairs in state_rows.items():
+            ctype, width = kernel.state_spec[(module, cell)]
+            self._state.append((module, cell, *_bucket(pairs), ctype, width))
+        self._signal = []
+        for cell, pairs in signal_rows.items():
+            stype, width = kernel.quant[cell]
+            self._signal.append((cell, *_bucket(pairs), stype, width))
+        self._arg: Dict[str, list] = {}
+        for module, ports in arg_rows.items():
+            in_ports, _, in_sigs, _ = kernel.ports[module]
+            entries = []
+            for cell, pairs in ports.items():
+                j = in_ports.index(cell)
+                stype, width = kernel.quant[in_sigs[j]]
+                entries.append((j, *_bucket(pairs), stype, width))
+            self._arg[module] = entries
+        self._local: Dict[Tuple[str, str], tuple] = {}
+        for (module, cell), pairs in local_rows.items():
+            ctype, width = kernel.local_spec[(module, cell)]
+            self._local[(module, cell)] = (*_bucket(pairs), ctype, width)
+        self._succ_cells = frozenset(getattr(kernel, "succ_cells", ()))
+        self._any_armed = False
+        self._build_schedule()
+
+    def _build_schedule(self) -> None:
+        """Precompute, per (period, tick residue), which RAM flip
+        buckets can fire.  A full sweep plans one bucket per memory
+        location, so scanning every bucket every tick dwarfs the
+        handful that actually flip; the boundary condition collapses
+        to ``tick % period == phase % period``, letting
+        :meth:`pre_tick` visit only the current residue's buckets."""
+        tables = {
+            int(P): [[] for _ in range(int(P))]
+            for P in np.unique(self._period)
+        }
+
+        def _split(entry):
+            is_state = len(entry) == 6
+            if is_state:
+                module, cell, idx, bms, type_, width = entry
+                rebuild = (module, cell) in self._succ_cells
+                key = (module, cell)
+            else:
+                key, idx, bms, type_, width = entry
+                rebuild = False
+            periods = self._period[idx]
+            phases = self._phase[idx]
+            for P, table in tables.items():
+                for residue in np.unique(phases[periods == P] % P):
+                    m = (periods == P) & ((phases % P) == residue)
+                    table[int(residue)].append((
+                        is_state, key, idx[m], bms[m], phases[m],
+                        type_, width, rebuild,
+                    ))
+
+        for entry in self._state:
+            _split(entry)
+        for entry in self._signal:
+            _split(entry)
+        self._schedules = list(tables.items())
+
+    def _record(self, rsel, tick: int) -> None:
+        first = self._first_inj
+        first[rsel] = np.where(first[rsel] < 0, tick, first[rsel])
+
+    def pre_tick(self, tick: int, S, M, live=None) -> bool:
+        """Apply RAM flips / arm stack rows at this tick's period
+        boundaries.  Returns True when a dispatch-successor state cell
+        was flipped (the kernel must re-stack its gathered schedule)."""
+        boundary = (tick >= self._phase) & (
+            (tick - self._phase) % self._period == 0
+        )
+        if live is not None:
+            boundary = boundary & live
+        self._tick = tick
+        self._live = live
+        if not boundary.any():
+            return False
+        rebuild = False
+        for P, table in self._schedules:
+            for entry in table[tick % P]:
+                (is_state, key, idx, bms, phases,
+                 type_, width, is_succ) = entry
+                sel = tick >= phases
+                if live is not None:
+                    sel = sel & live[idx]
+                if not sel.any():
+                    continue
+                rsel = idx[sel]
+                arr = M[key[0]][key[1]] if is_state else S[key]
+                arr[rsel] = flip_cells(arr[rsel], bms[sel], type_, width)
+                self._record(rsel, tick)
+                if is_succ:
+                    rebuild = True
+        armed_now = boundary & self._stack
+        if armed_now.any():
+            self._armed |= armed_now
+            self._any_armed = True
+        return rebuild
+
+    def marshal(self, module: str, args: List[Any]) -> None:
+        """Strike armed arg rows at *module*'s marshaling, in place on
+        the freshly copied arg arrays."""
+        if not self._any_armed:
+            return
+        entries = self._arg.get(module)
+        if entries is None:
+            return
+        for j, idx, bms, stype, width in entries:
+            sel = self._armed[idx]
+            if self._live is not None:
+                sel = sel & self._live[idx]
+            if not sel.any():
+                continue
+            rsel = idx[sel]
+            arr = args[j]
+            arr[rsel] = flip_cells(arr[rsel], bms[sel], stype, width)
+            self._record(rsel, self._tick)
+            self._armed[rsel] = False
+            self._any_armed = bool(self._armed.any())
+
+    def scoped_live(self, mask):
+        """Narrow the live-row mask to *mask* for one masked module
+        invocation (per-row dispatch: only the rows whose schedule
+        dispatched the module may take arg/local strikes); returns the
+        previous mask for :meth:`restore_live`."""
+        prev = self._live
+        self._live = mask if prev is None else (prev & mask)
+        return prev
+
+    def restore_live(self, prev) -> None:
+        self._live = prev
+
+    def local(self, module: str, name: str, values):
+        """Strike armed local rows at the (module, local) write point;
+        returns the (possibly copied and flipped) values array."""
+        if not self._any_armed:
+            return values
+        bucket = self._local.get((module, name))
+        if bucket is None:
+            return values
+        idx, bms, ctype, width = bucket
+        sel = self._armed[idx]
+        if self._live is not None:
+            sel = sel & self._live[idx]
+        if not sel.any():
+            return values
+        rsel = idx[sel]
+        out = np.array(values, dtype=np.int64, copy=True)
+        out[rsel] = flip_cells(out[rsel], bms[sel], ctype, width)
+        self._record(rsel, self._tick)
+        self._armed[rsel] = False
+        self._any_armed = bool(self._armed.any())
+        return out
+
+
 # ======================================================================
 # Group planning.
 # ======================================================================
@@ -269,7 +615,7 @@ class _Group:
     indices: List[int] = field(default_factory=list)
 
 
-def _task_shape(kind: str, task: tuple):
+def _task_shape(kind: str, task: tuple, period_ticks: int = 0):
     """(group key, case, injection) of one campaign task tuple."""
     if kind == "permeability":
         module, in_port, case, from_tick, bit = task
@@ -278,6 +624,22 @@ def _task_shape(kind: str, task: tuple):
             case,
             RowInjection(
                 kind="arg", tick=from_tick, bit=bit, port=in_port
+            ),
+        )
+    if kind in ("memory", "recovery"):
+        location, case, bit, phase = task
+        memory_kind, module, cell, cell_bit = location.vector_descriptor(bit)
+        return (
+            None,
+            case,
+            RowInjection(
+                kind="memory",
+                tick=phase,
+                bit=cell_bit,
+                memory_kind=memory_kind,
+                module=module,
+                cell=cell,
+                period=period_ticks,
             ),
         )
     target, case, tick, bit = task
@@ -289,18 +651,28 @@ def _task_shape(kind: str, task: tuple):
 
 
 def _plan_groups(
-    kind: str, tasks: Sequence[tuple], batch_width: int
+    kind: str,
+    tasks: Sequence[tuple],
+    batch_width: int,
+    period_ticks: int = 0,
+    supported: Optional[Callable[[RowInjection], bool]] = None,
 ) -> Tuple[Dict[int, _Group], List[_Group]]:
     """Contiguous runs of same-key tasks, capped at *batch_width*.
 
     Singleton groups are dropped — a batch of one is strictly worse
-    than the scalar path.
+    than the scalar path.  Injections the kernel cannot strike inside
+    a batch (*supported* says no — e.g. float-backed memory cells)
+    stay on the scalar path and break the contiguous run.
     """
     groups: List[_Group] = []
     current: Optional[_Group] = None
     current_key: Any = object()
     for index, task in enumerate(tasks):
-        key = _task_shape(kind, task)[0]
+        key, _, injection = _task_shape(kind, task, period_ticks)
+        if supported is not None and not supported(injection):
+            current = None
+            current_key = object()
+            continue
         if (
             current is None
             or key != current_key
@@ -382,6 +754,8 @@ class BatchRunner:
         goldens: Optional[Any] = None,
         direct_only: bool = True,
         specs: Sequence[Any] = (),
+        policies: Optional[Any] = None,
+        period_ticks: int = 0,
     ):
         self._kind = kind
         self._tasks = list(tasks)
@@ -391,6 +765,9 @@ class BatchRunner:
         self._goldens = goldens
         self._direct_only = direct_only
         self._specs = list(specs)
+        self._policies = policies
+        self._period = period_ticks
+        self._width = batch_width
         self._chaos = any(
             name.startswith("REPRO_CHAOS_") for name in os.environ
         )
@@ -411,7 +788,7 @@ class BatchRunner:
     # ------------------------------------------------------------------
     def _prepare(self, batch_width: int) -> None:
         for task in self._tasks:
-            _, case, _ = _task_shape(self._kind, task)
+            _, case, _ = _task_shape(self._kind, task, self._period)
             self._cases.setdefault(case.case_id, case)
         first_case = next(iter(self._cases.values()))
         probe = self._factory(first_case)
@@ -420,7 +797,11 @@ class BatchRunner:
             return
         self._kernel = kernel_cls(probe)
         self._group_of, self._groups = _plan_groups(
-            self._kind, self._tasks, batch_width
+            self._kind,
+            self._tasks,
+            batch_width,
+            period_ticks=self._period,
+            supported=getattr(self._kernel, "supports_injection", None),
         )
         if not self._groups:
             self._kernel = None
@@ -538,10 +919,12 @@ class BatchRunner:
     # Batch computation and outcome assembly.
     # ------------------------------------------------------------------
     def _compute_group(self, group: _Group) -> Dict[int, Any]:
+        import dataclasses
+
         rows = []
         for index in group.indices:
             _, case, injection = _task_shape(
-                self._kind, self._tasks[index]
+                self._kind, self._tasks[index], self._period
             )
             rows.append(
                 VectorRow(case_id=case.case_id, injection=injection)
@@ -552,18 +935,43 @@ class BatchRunner:
             rows=rows,
             cases=self._cases,
             templates=self._templates,
-            specs=self._specs if self._kind == "detection" else (),
+            specs=(
+                self._specs
+                if self._kind in ("detection", "memory", "recovery")
+                else ()
+            ),
+            policies=self._policies if self._kind == "recovery" else None,
+            recover=False,
         )
         result = self._kernel.run_group(job)
+        wrapped = None
+        if self._kind == "recovery":
+            # the containment pass: same rows, same injections, but a
+            # recovering bank poking substitutions into the store
+            wrapped = self._kernel.run_group(
+                dataclasses.replace(job, recover=True)
+            )
         vector_stats.groups += 1
+        vector_stats.group_capacity += self._width
+        if len({row.case_id for row in rows}) > 1:
+            vector_stats.cross_case_groups += 1
         outcomes: Dict[int, Any] = {}
         for row, index in enumerate(group.indices):
-            if result.retired[row]:
+            retired = result.retired[row] or (
+                wrapped is not None and wrapped.retired[row]
+            )
+            if retired:
                 vector_stats.retired_rows += 1
                 continue
             if self._kind == "permeability":
                 outcomes[index] = self._permeability_outcome(
                     group, rows[row], result, row
+                )
+            elif self._kind == "memory":
+                outcomes[index] = self._memory_outcome(result, row)
+            elif self._kind == "recovery":
+                outcomes[index] = self._recovery_outcome(
+                    result, wrapped, row
                 )
             else:
                 outcomes[index] = self._detection_outcome(
@@ -612,6 +1020,34 @@ class BatchRunner:
         hits.sort()
         return [port for _, _, port in hits]
 
+    def _memory_outcome(self, result: GroupResult, r: int) -> Any:
+        if not result.injected[r]:
+            return None
+        records = result.bank[r]
+        return {
+            "fired": sorted(
+                name
+                for name, (count, _) in records.items()
+                if count > 0
+            ),
+            "failed": bool(result.failed[r]),
+        }
+
+    def _recovery_outcome(
+        self, baseline: GroupResult, wrapped: GroupResult, r: int
+    ) -> Any:
+        if not baseline.injected[r]:
+            return None
+        records = baseline.bank[r]
+        return {
+            "detected": bool(
+                any(count > 0 for count, _ in records.values())
+            ),
+            "baseline_failed": bool(baseline.failed[r]),
+            "recovered_failed": bool(wrapped.failed[r]),
+            "recovery_actions": int(wrapped.actions[r]),
+        }
+
     def _detection_outcome(
         self, row: VectorRow, result: GroupResult, r: int
     ) -> Any:
@@ -648,6 +1084,8 @@ def wrap_runner(
     goldens: Optional[Any] = None,
     direct_only: bool = True,
     specs: Sequence[Any] = (),
+    policies: Optional[Any] = None,
+    period_ticks: int = 0,
 ) -> Callable[[int], Any]:
     """The campaign's runner, batched when the config asks for it.
 
@@ -671,6 +1109,8 @@ def wrap_runner(
         goldens=goldens,
         direct_only=direct_only,
         specs=specs,
+        policies=policies,
+        period_ticks=period_ticks,
     )
     if batched._kernel is None:
         batched.close()

@@ -21,6 +21,9 @@ from repro.fi.vector import (
     BankArrays,
     GroupJob,
     GroupResult,
+    MemoryFlipPlan,
+    RecoveringBankArrays,
+    RowInjection,
     q_bool,
     q_int,
     q_uint,
@@ -73,11 +76,56 @@ class ArrestmentVectorKernel:
             name: (system.signal(name).sig_type, system.signal(name).width)
             for name in system.signal_names()
         }
+        #: (module, cell) -> (cell_type, width), for memory-row flips
+        self.state_spec = {}
+        self.local_spec = {}
+        for module in system.modules():
+            for spec in module.state.specs():
+                self.state_spec[(module.name, spec.name)] = (
+                    spec.cell_type, spec.width
+                )
+            for spec in module.local_specs:
+                self.local_spec[(module.name, spec.name)] = (
+                    spec.cell_type, spec.width
+                )
+        #: state cells feeding the gathered dispatch schedule
+        self.succ_cells = frozenset(
+            ("CLOCK", f"slot_succ{j}") for j in range(self.n_slots)
+        )
+        self._mem = None
         self._scale = None  #: per-row CALC pressure scale, set per group
 
     def module_ports(self, module: str):
         ins, outs, _, _ = self.ports[module]
         return ins, outs
+
+    def supports_injection(self, inj: RowInjection) -> bool:
+        """Whether a row's injection can strike inside a batch
+        (memory rows: int-backed cells the kernel hooks only)."""
+        kind = inj.memory_kind
+        if kind is None:
+            return True
+        if kind == "state":
+            spec = self.state_spec.get((inj.module, inj.cell))
+        elif kind == "signal":
+            spec = self.quant.get(inj.cell)
+        elif kind == "arg":
+            ports = self.ports.get(inj.module)
+            if ports is None or inj.cell not in ports[0]:
+                return False
+            spec = self.quant.get(ports[2][ports[0].index(inj.cell)])
+        elif kind == "local":
+            spec = self.local_spec.get((inj.module, inj.cell))
+        else:
+            return False
+        return spec is not None and spec[0] is not SignalType.FLOAT
+
+    def _mem_local(self, module: str, name: str, values):
+        """Hook point of one scalar ``set_local``: armed memory rows
+        strike the freshly quantized local value here."""
+        if self._mem is None:
+            return values
+        return self._mem.local(module, name, values)
 
     def _q_store(self, signal: str, values):
         sig_type, width = self.quant[signal]
@@ -145,6 +193,10 @@ class ArrestmentVectorKernel:
         inj = [row.injection for row in rows]
         bitmask = np.array([1 << i.bit for i in inj], dtype=np.int64)
         first_inj = np.full(n, -1, dtype=np.int64)
+        mem = None
+        inj_tick = inj_sig = None
+        port_idx = from_tick = pending = None
+        target = None
         if job.kind == "permeability":
             in_ports = self.ports[job.module][0]
             port_idx = np.array(
@@ -152,8 +204,9 @@ class ArrestmentVectorKernel:
             )
             from_tick = np.array([i.tick for i in inj], dtype=np.int64)
             pending = np.ones(n, dtype=bool)
-            inj_tick = inj_sig = None
             target = job.module
+        elif job.kind in ("memory", "recovery"):
+            mem = MemoryFlipPlan(self, rows, first_inj)
         else:
             inj_tick = np.array([i.tick for i in inj], dtype=np.int64)
             inj_sig = {
@@ -162,8 +215,6 @@ class ArrestmentVectorKernel:
                 )
                 for signal in regs
             }
-            port_idx = from_tick = pending = None
-            target = None
 
         rec_ins = rec_outs = None
         rec_k = 0
@@ -183,7 +234,32 @@ class ArrestmentVectorKernel:
             rec_ins = np.zeros((n, cap, len(ins)), dtype=np.int64)
             rec_outs = np.zeros((n, cap, len(outs)), dtype=np.int64)
 
-        bank = BankArrays(job.specs, n) if job.specs else None
+        bank = None
+        if job.specs:
+            if job.recover:
+                bank = RecoveringBankArrays(
+                    job.specs, n,
+                    policies=job.policies, q_store=self._q_store,
+                )
+            else:
+                bank = BankArrays(job.specs, n)
+
+        # ---- failure-classifier accumulators (memory/recovery rows)
+        if mem is not None:
+            kinds = np.zeros(n, dtype=bool)
+            force_limit = np.array(
+                [
+                    C.max_retardation_force_n(
+                        case_of(r.case_id).mass_kg,
+                        case_of(r.case_id).engaging_velocity_ms,
+                    )
+                    for r in rows
+                ],
+                np.float64,
+            )
+        else:
+            kinds = force_limit = None
+        self._mem = mem
 
         succ = np.stack(
             [M["CLOCK"][f"slot_succ{j}"] for j in range(self.n_slots)],
@@ -239,6 +315,16 @@ class ArrestmentVectorKernel:
                             S[signal][m] ^= bitmask[m]
                     first_inj = np.where(fire, t, first_inj)
 
+            # --- pre-tick periodic memory flips (live rows)
+            if mem is not None and mem.pre_tick(t, S, M, entered):
+                succ = np.stack(
+                    [
+                        M["CLOCK"][f"slot_succ{j}"]
+                        for j in range(self.n_slots)
+                    ],
+                    axis=1,
+                )
+
             # --- CLOCK (every tick)
             arg = S["ms_slot_nbr"].copy()
             if target == "CLOCK":
@@ -247,9 +333,14 @@ class ArrestmentVectorKernel:
                     arg[sel] ^= bitmask[sel]
                     pending &= ~sel
                     first_inj = np.where(sel, t, first_inj)
+            if mem is not None:
+                mem.marshal("CLOCK", [arg])
             in_range = (arg >= 0) & (arg < self.n_slots)
             gathered = succ[row_ix, arg % self.n_slots]
-            nxt = np.where(in_range, gathered, 0) & _U8  # local u8
+            nxt = self._mem_local(  # local u8
+                "CLOCK", "next_slot",
+                np.where(in_range, gathered, 0) & _U8,
+            )
             clock = M["CLOCK"]
             clock["mscnt"] = (clock["mscnt"] + 1) & _U16
             S["ms_slot_nbr"] = self._q_store("ms_slot_nbr", nxt)
@@ -312,6 +403,17 @@ class ArrestmentVectorKernel:
             )
             velocity = np.where(moving, new_velocity, velocity)
 
+            # --- FailureClassifier.observe (memory/recovery, live rows;
+            # a stopped plant reports zero force and retardation)
+            if mem is not None:
+                obs_ret = np.where(moving, retardation, 0.0)
+                obs_force = np.where(moving, force, 0.0)
+                kinds |= entered & (
+                    (obs_ret > C.MAX_RETARDATION_G * C.G)
+                    | (obs_force > force_limit)
+                    | (distance > C.MAX_STOPPING_DISTANCE_M)
+                )
+
             # --- completion latch and loop exits (live rows only)
             is_stopped = velocity == 0.0
             newly_complete = (
@@ -331,9 +433,11 @@ class ArrestmentVectorKernel:
             running &= ~leave
             t += 1
 
+        self._mem = None
         vector_stats.batched_ticks += batched
 
         injected = first_inj >= 0
+        failed = kinds | (completion < 0) if kinds is not None else None
         return GroupResult(
             retired=retired.tolist(),
             injected=injected.tolist(),
@@ -347,6 +451,12 @@ class ArrestmentVectorKernel:
             rec_ins=rec_ins,
             rec_outs=rec_outs,
             bank=[bank.row_records(r) for r in range(n)] if bank else None,
+            failed=failed.tolist() if failed is not None else None,
+            actions=(
+                bank.actions.tolist()
+                if bank is not None and hasattr(bank, "actions")
+                else None
+            ),
         )
 
     # ------------------------------------------------------------------
@@ -362,6 +472,8 @@ class ArrestmentVectorKernel:
                     m = sel & (port_idx == j)
                     if m.any():
                         args[j][m] ^= bitmask[m]
+        if self._mem is not None:
+            self._mem.marshal(module, args)
         body = self._BODIES[module]
         results = body(self, args, M[module])
         out_arrays = []
@@ -375,7 +487,9 @@ class ArrestmentVectorKernel:
     # ------------------------------------------------------------------
     def _body_dist_s(self, args, st):
         pacnt, tic1, tcnt = args
-        delta = (pacnt - st["last_cnt"]) & _U8  # local u8
+        delta = self._mem_local(  # local u8
+            "DIST_S", "delta", (pacnt - st["last_cnt"]) & _U8
+        )
         st["last_cnt"] = pacnt & _U8
         st["pulscnt_acc"] = (st["pulscnt_acc"] + delta) & _U16
         pos = st["win_pos"] % C.SPEED_WINDOW
@@ -428,7 +542,9 @@ class ArrestmentVectorKernel:
             (fraction * self._scale).astype(np.int64),
         )
         target = np.minimum(target, mscnt * C.TIME_RAMP_PER_MS)
-        target = target & _U16  # local u16
+        target = self._mem_local(  # local u16
+            "CALC", "target", target & _U16
+        )
         prev = st["set_prev"]
         dt = (mscnt - st["last_mscnt"]) & _U16
         step = C.SETVALUE_RATE_PER_MS * np.minimum(
@@ -447,7 +563,9 @@ class ArrestmentVectorKernel:
 
     def _body_pres_s(self, args, st):
         (adc,) = args
-        scaled = (adc << 6) & _U16  # local u16
+        scaled = self._mem_local(  # local u16
+            "PRES_S", "scaled", (adc << 6) & _U16
+        )
         jump = np.abs(scaled - st["last"]) > C.PRES_MAX_JUMP
         rejects_b = (st["rejects"] + 1) & _U8
         resync = jump & (rejects_b > 5)  # PresS.MAX_REJECT_STREAK
@@ -469,7 +587,9 @@ class ArrestmentVectorKernel:
 
     def _body_v_reg(self, args, st):
         set_value, is_value = args
-        err = q_int(set_value - is_value, 32)  # local i32
+        err = self._mem_local(  # local i32
+            "V_REG", "err", q_int(set_value - is_value, 32)
+        )
         clamp = C.VREG_INTEG_CLAMP * 16
         integ = np.maximum(
             -clamp, np.minimum(clamp, st["integ"] + err)
@@ -480,7 +600,11 @@ class ArrestmentVectorKernel:
 
     def _body_pres_a(self, args, st):
         (out_value,) = args
-        return [(out_value >> 2) & ((1 << C.TOC2_BITS) - 1)]  # local u14
+        return [
+            self._mem_local(  # local u14
+                "PRES_A", "toc", (out_value >> 2) & ((1 << C.TOC2_BITS) - 1)
+            )
+        ]
 
     _BODIES = {
         "DIST_S": _body_dist_s,

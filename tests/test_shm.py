@@ -1,0 +1,150 @@
+"""Tests for shared-memory array publication (``repro.fi.shm``).
+
+The pack's lifecycle contract: segments are released on ``close()``,
+on garbage collection, and — the hard case — when the owning process
+dies without any cleanup running (a chaos-killed campaign).  Orphaned
+``/dev/shm`` entries would accumulate across campaigns until the
+machine runs out of shared memory, so the finalizer coverage here is
+load-bearing.
+"""
+
+import gc
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.fi.shm import ShmArrayPack, shm_available
+
+pytestmark = pytest.mark.skipif(
+    not shm_available(), reason="shared memory unavailable"
+)
+
+
+def _segment_names(pack):
+    return [name for name, _, _ in pack._segments.values()]
+
+
+def _alive(names):
+    """Which of *names* still exist as shared-memory segments."""
+    from multiprocessing import shared_memory
+
+    found = []
+    for name in names:
+        try:
+            segment = shared_memory.SharedMemory(name=name)
+        except FileNotFoundError:
+            continue
+        segment.close()
+        found.append(name)
+    return found
+
+
+class TestShmArrayPack:
+    def test_publish_get_roundtrip(self):
+        pack = ShmArrayPack()
+        try:
+            array = np.arange(64, dtype=np.int64)
+            pack.publish("a", array)
+            view = pack.get("a")
+            assert view is not None
+            assert not view.flags.writeable
+            assert view.tolist() == array.tolist()
+            assert pack.get("missing") is None
+        finally:
+            pack.close()
+
+    def test_close_unlinks_segments(self):
+        pack = ShmArrayPack()
+        pack.publish("a", np.arange(16, dtype=np.int64))
+        names = _segment_names(pack)
+        pack.close()
+        assert _alive(names) == []
+        pack.close()  # idempotent
+
+    def test_garbage_collection_unlinks_segments(self):
+        pack = ShmArrayPack()
+        pack.publish("a", np.ones(32, dtype=np.float64))
+        names = _segment_names(pack)
+        if not names:
+            pytest.skip("segment creation degraded to in-process")
+        del pack
+        gc.collect()
+        assert _alive(names) == []
+
+    def test_chaos_killed_owner_leaves_no_orphans(self, tmp_path):
+        """A process that publishes segments and dies abruptly (no
+        close(), no graceful interpreter exit) must not leave entries
+        behind: the finalizer runs atexit, and os._exit is the one
+        hole the chaos script must NOT use — so the script exercises
+        the realistic crash (unhandled exception) and a hard kill of
+        a *forked child* (which must never unlink the parent's data).
+        """
+        script = tmp_path / "chaos.py"
+        script.write_text(
+            "import os, sys\n"
+            "import numpy as np\n"
+            "from repro.fi.shm import ShmArrayPack\n"
+            "pack = ShmArrayPack()\n"
+            "pack.publish('x', np.arange(1024, dtype=np.int64))\n"
+            "pack.publish('y', np.zeros(512, dtype=np.float64))\n"
+            "names = [n for n, _, _ in pack._segments.values()]\n"
+            "print(' '.join(names), flush=True)\n"
+            "pid = os.fork()\n"
+            "if pid == 0:\n"
+            "    # child attaches, then dies hard: it must not unlink\n"
+            "    pack.get('x')\n"
+            "    os._exit(0)\n"
+            "os.waitpid(pid, 0)\n"
+            "assert pack.get('x') is not None\n"
+            "raise RuntimeError('campaign died mid-run')\n"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in ("src", env.get("PYTHONPATH")) if p
+        )
+        proc = subprocess.run(
+            [sys.executable, str(script)],
+            capture_output=True, text=True, env=env,
+            cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        )
+        names = proc.stdout.split()
+        assert proc.returncode != 0  # it really did crash
+        assert "campaign died mid-run" in proc.stderr
+        if not names:
+            pytest.skip("segment creation degraded to in-process")
+        assert _alive(names) == []
+
+    def test_forked_worker_close_keeps_parent_segments(self):
+        """Workers detach on close but never unlink: the parent's
+        data survives a worker's full lifecycle."""
+        pack = ShmArrayPack()
+        try:
+            pack.publish("a", np.arange(8, dtype=np.int64))
+            names = _segment_names(pack)
+            if not names:
+                pytest.skip("segment creation degraded to in-process")
+            pid = os.fork()
+            if pid == 0:
+                try:
+                    ok = pack.get("a") is not None
+                    pack.close()
+                finally:
+                    os._exit(0 if ok else 1)
+            _, status = os.waitpid(pid, 0)
+            assert os.waitstatus_to_exitcode(status) == 0
+            assert sorted(_alive(names)) == sorted(names)
+            assert pack.get("a") is not None
+        finally:
+            pack.close()
+
+    def test_duplicate_key_rejected(self):
+        pack = ShmArrayPack()
+        try:
+            pack.publish("a", np.zeros(4))
+            with pytest.raises(KeyError):
+                pack.publish("a", np.ones(4))
+        finally:
+            pack.close()

@@ -473,6 +473,118 @@ class TestCampaignFastForwardAB:
         assert resumed_campaign.telemetry.resumed_runs == 4
 
 
+class TestTrackPool:
+    """The shared-memory checkpoint pool: flattened tracks rebuild
+    bit-identical states, and campaigns are invisible to pooling."""
+
+    def _track_and_pool(self, test_cases):
+        from repro.fi.snapshot import TrackPool
+
+        specs = list(EA_BY_NAME.values())
+        track = record_track(factory, test_cases[4], 64, specs)
+        pool = TrackPool()
+        assert pool.publish(test_cases[4].case_id, track)
+        return track, pool.get(test_cases[4].case_id)
+
+    def test_pooled_states_roundtrip_exactly(self, test_cases):
+        from repro.fi.snapshot import _state_leaves
+
+        track, pooled = self._track_and_pool(test_cases)
+        for tick, golden in sorted(track.states.items()):
+            rebuilt = pooled.states[tick]
+            assert rebuilt.matches(golden)
+            # matches() compares values; the leaves comparison also
+            # pins the exact python types (int vs float vs bool)
+            assert _state_leaves(rebuilt) == _state_leaves(golden)
+        assert pooled.final_state.matches(track.final_state)
+        assert pooled.bank_states == track.bank_states
+        assert pooled.bank_final == track.bank_final
+        assert pooled.end_ticks == track.end_ticks
+
+    def test_pooled_nearest_agrees_with_dict_track(self, test_cases):
+        track, pooled = self._track_and_pool(test_cases)
+        last = max(track.states)
+        for tick in (0, 1, 63, 64, 65, 127, last, last + 5):
+            assert pooled.nearest(tick).matches(track.nearest(tick))
+        assert pooled.states.get(7) is None
+        with pytest.raises(KeyError):
+            pooled.states[7]
+
+    def test_rebuilt_states_are_independent(self, test_cases):
+        """Opaque leaves are copied per rebuild: mutating one restored
+        state never leaks into the next restore."""
+        track, pooled = self._track_and_pool(test_cases)
+        tick = max(track.states)
+        first = pooled.states[tick]
+        first.signals["ADC"] = -999
+        first.loop["ticks_run"] = -1
+        assert pooled.states[tick].matches(track.states[tick])
+
+    def test_unpoolable_track_is_refused(self, test_cases):
+        """States with differing leaf shapes fall back to dicts."""
+        from repro.fi.snapshot import TrackPool
+
+        track = record_track(factory, test_cases[4], 256)
+        mangled = track.states[0]
+        mangled.loop["extra"] = 1  # shape now differs from the rest
+        pool = TrackPool()
+        assert not pool.publish(test_cases[4].case_id, track)
+        assert pool.get(test_cases[4].case_id) is None
+
+    def test_campaign_bit_identical_pool_on_off(self, two_cases):
+        specs = list(EA_BY_NAME.values())
+
+        def run(**kwargs):
+            campaign = DetectionCampaign(
+                factory, two_cases, specs,
+                runs_per_signal=3, targets=["ADC", "TCNT"],
+                config=CampaignConfig(seed=7, **kwargs),
+            )
+            result = campaign.run()
+            return (
+                result.n_injected, result.n_err, result.detections,
+                result.run_records, result.run_latencies,
+            ), campaign.telemetry
+
+        on, t_on = run(track_pool=True)
+        off, t_off = run(track_pool=False)
+        assert on == off
+        # both runs really fast-forwarded (the pool changes where the
+        # checkpoint bytes live, not whether restores happen)
+        assert t_on.ff_restores > 0
+        assert t_off.ff_restores > 0
+
+    def test_env_kill_switch_disables_pool(self, test_cases, monkeypatch):
+        from repro.fi.snapshot import FastForward
+
+        monkeypatch.setenv("REPRO_NO_TRACK_POOL", "1")
+        engine = FastForward(factory, "arrestment")
+        assert not engine.track_pool_enabled
+        assert engine.pooled_tracks == 0
+        monkeypatch.delenv("REPRO_NO_TRACK_POOL")
+        assert FastForward(factory, "arrestment").track_pool_enabled
+
+    def test_policy_flag_disables_pool(self, test_cases):
+        from repro.fi.snapshot import FastForward
+
+        config = CampaignConfig(track_pool=False)
+        engine = FastForward(factory, "arrestment", config=config)
+        assert not engine.track_pool_enabled
+
+    def test_preload_fills_the_pool(self, two_cases):
+        from repro.fi.snapshot import CheckpointStore, FastForward
+
+        engine = FastForward(
+            factory, "arrestment", store=CheckpointStore(max_tracks=4)
+        )
+        if not engine.track_pool_enabled:
+            pytest.skip("shared memory unavailable")
+        engine.preload(two_cases)
+        assert engine.pooled_tracks == len(two_cases)
+        for case in two_cases:
+            assert engine._pool.get(case.case_id) is not None
+
+
 class TestConfigKnobs:
     def test_stride_validation(self):
         with pytest.raises(CampaignError):
@@ -482,11 +594,13 @@ class TestConfigKnobs:
         from repro.experiments.context import ExperimentContext
 
         ctx = ExperimentContext(
-            scale="test", fast_forward=False, checkpoint_stride=512
+            scale="test", fast_forward=False, checkpoint_stride=512,
+            track_pool=False,
         )
         config = ctx.campaign_config("detection")
         assert config.fast_forward is False
         assert config.checkpoint_stride == 512
+        assert config.fastforward.track_pool is False
 
     def test_cli_flags_reach_the_context(self):
         from repro.experiments.__main__ import (
@@ -498,8 +612,10 @@ class TestConfigKnobs:
         parser = argparse.ArgumentParser()
         add_execution_options(parser)
         args = parser.parse_args(
-            ["--no-fast-forward", "--checkpoint-stride", "128"]
+            ["--no-fast-forward", "--checkpoint-stride", "128",
+             "--no-track-pool"]
         )
         ctx = context_from_args(args)
         assert ctx.fast_forward is False
         assert ctx.checkpoint_stride == 128
+        assert ctx.track_pool is False

@@ -7,10 +7,18 @@ including forced tick-0 dispatch divergence), and whole campaigns with
 backend under the ``slow`` marker).
 """
 
+import random
+
 import pytest
 
-from repro.fi.campaign import DetectionCampaign, PermeabilityCampaign
+from repro.fi.campaign import (
+    DetectionCampaign,
+    MemoryCampaign,
+    PermeabilityCampaign,
+    RecoveryCampaign,
+)
 from repro.fi.executor import CampaignConfig
+from repro.fi.memory import MemoryMap
 from repro.fi.vector import BatchRunner, vector_stats, wrap_runner
 from repro.edm.catalogue import EA_BY_NAME
 from repro.target.simulation import ArrestmentSimulator
@@ -60,6 +68,24 @@ def batch_vs_scalar(kind, campaign, tasks, width=16, **kwargs):
     )
     reference = [scalar(i) for i in range(len(tasks))]
     return batched, reference, delta
+
+
+def memory_tasks(campaign, cases, count, seed):
+    """Randomized ``(location, case, bit, phase)`` tuples mixing both
+    test cases, the way the memory/recovery campaigns pre-draw them."""
+    probe = campaign.factory(cases[0])
+    locations = MemoryMap(probe.system).locations()
+    rng = random.Random(seed)
+    tasks = []
+    for index in range(count):
+        location = locations[rng.randrange(len(locations))]
+        tasks.append((
+            location,
+            cases[index % len(cases)],
+            rng.randrange(location.valid_bits),
+            rng.randrange(campaign.period_ticks),
+        ))
+    return tasks
 
 
 class TestWatertankKernel:
@@ -119,6 +145,55 @@ class TestWatertankKernel:
         assert batched == reference
         assert delta[3] == len(tasks)
 
+    def test_memory_rows_match_scalar(self, tank_cases):
+        specs = tank_assertions()
+        campaign = MemoryCampaign(
+            tank_factory, tank_cases, specs, seed=5
+        )
+        tasks = memory_tasks(campaign, tank_cases, 12, seed=5)
+        batched, reference, delta = batch_vs_scalar(
+            "memory", campaign, tasks, specs=specs,
+            period_ticks=campaign.period_ticks,
+        )
+        assert batched == reference
+        assert delta[3] > 0  # some rows really ran batched
+
+    def test_memory_cross_case_group(self, tank_cases):
+        """Two cases sharing one (location, bit, phase) land in the
+        same group: per-row golden indirection in action."""
+        specs = tank_assertions()
+        campaign = MemoryCampaign(
+            tank_factory, tank_cases, specs, seed=5
+        )
+        probe = campaign.factory(tank_cases[0])
+        location = MemoryMap(probe.system).locations()[0]
+        tasks = [
+            (location, tank_cases[0], 0, 3),
+            (location, tank_cases[1], 0, 3),
+        ]
+        batched, reference, delta = batch_vs_scalar(
+            "memory", campaign, tasks, specs=specs,
+            period_ticks=campaign.period_ticks,
+        )
+        assert batched == reference
+        assert delta[2] == 1  # one group for both cases
+        assert delta[5] == 1  # counted as cross-case
+        assert delta[6] == 16  # one group's slots at width 16
+
+    def test_recovery_rows_match_scalar(self, tank_cases):
+        specs = tank_assertions()
+        campaign = RecoveryCampaign(
+            tank_factory, tank_cases, specs, seed=5
+        )
+        tasks = memory_tasks(campaign, tank_cases, 10, seed=7)
+        batched, reference, delta = batch_vs_scalar(
+            "recovery", campaign, tasks, specs=specs,
+            policies=campaign.policies,
+            period_ticks=campaign.period_ticks,
+        )
+        assert batched == reference
+        assert delta[3] > 0
+
 
 class TestArrestmentKernel:
     def test_permeability_rows_match_scalar(self, arrestment_cases):
@@ -173,6 +248,33 @@ class TestArrestmentKernel:
         assert batched == reference
         assert delta[3] == len(tasks)
 
+    def test_memory_rows_match_scalar(self, arrestment_cases):
+        specs = list(EA_BY_NAME.values())
+        campaign = MemoryCampaign(
+            arrestment_factory, arrestment_cases, specs, seed=5
+        )
+        tasks = memory_tasks(campaign, arrestment_cases, 10, seed=5)
+        batched, reference, delta = batch_vs_scalar(
+            "memory", campaign, tasks, specs=specs,
+            period_ticks=campaign.period_ticks,
+        )
+        assert batched == reference
+        assert delta[3] > 0
+
+    def test_recovery_rows_match_scalar(self, arrestment_cases):
+        specs = list(EA_BY_NAME.values())
+        campaign = RecoveryCampaign(
+            arrestment_factory, arrestment_cases, specs, seed=5
+        )
+        tasks = memory_tasks(campaign, arrestment_cases, 8, seed=9)
+        batched, reference, delta = batch_vs_scalar(
+            "recovery", campaign, tasks, specs=specs,
+            policies=campaign.policies,
+            period_ticks=campaign.period_ticks,
+        )
+        assert batched == reference
+        assert delta[3] > 0
+
 
 class TestCampaignAB:
     """Whole campaigns: batch_width on vs off is invisible in results."""
@@ -200,6 +302,36 @@ class TestCampaignAB:
 
         assert run(None) == run(CampaignConfig(batch_width=32))
 
+    def test_tank_memory_identical(self, tank_cases):
+        def run(config):
+            result = MemoryCampaign(
+                tank_factory, tank_cases, tank_assertions(),
+                seed=11, config=config,
+            ).run()
+            return [
+                (r.region, r.location_label, r.fired, r.failed)
+                for r in result.records
+            ]
+
+        assert run(None) == run(CampaignConfig(batch_width=32))
+
+    def test_tank_recovery_identical(self, tank_cases):
+        def run(config):
+            result = RecoveryCampaign(
+                tank_factory, tank_cases, tank_assertions(),
+                seed=11, config=config,
+            ).run()
+            return [
+                (
+                    o.region, o.location_label, o.detected,
+                    o.baseline_failed, o.recovered_failed,
+                    o.recovery_actions,
+                )
+                for o in result.outcomes
+            ]
+
+        assert run(None) == run(CampaignConfig(batch_width=32))
+
     def test_telemetry_counts_batched_rows(self, tank_cases):
         campaign = DetectionCampaign(
             tank_factory, tank_cases, tank_assertions(),
@@ -212,6 +344,42 @@ class TestCampaignAB:
         assert telemetry.vec_groups > 0
         assert telemetry.vec_batched_ticks > 0
         assert "vector" in telemetry.render()
+
+    def test_telemetry_occupancy_and_cross_case(self, tank_cases):
+        """Group occupancy (rows over offered slots) and cross-case
+        group counts reach the telemetry line and run-event log."""
+        campaign = MemoryCampaign(
+            tank_factory, tank_cases, tank_assertions(),
+            seed=11, config=CampaignConfig(batch_width=32),
+        )
+        campaign.run()
+        telemetry = campaign.telemetry
+        assert telemetry.vec_group_capacity >= telemetry.vec_rows > 0
+        assert 0.0 < telemetry.vec_occupancy <= 1.0
+        # a memory sweep pairs every location with every case: the
+        # planner must have packed cross-case groups
+        assert telemetry.vec_cross_case_groups > 0
+        rendered = telemetry.render()
+        assert "occupancy=" in rendered
+        assert "cross-case=" in rendered
+
+    def test_run_event_carries_vector_fields(self, tank_cases, tmp_path):
+        import json
+
+        log = tmp_path / "events.jsonl"
+        MemoryCampaign(
+            tank_factory, tank_cases, tank_assertions(), seed=11,
+            config=CampaignConfig(
+                batch_width=32, event_log_path=str(log)
+            ),
+        ).run()
+        events = [
+            json.loads(line) for line in log.read_text().splitlines()
+        ]
+        run_end = [e for e in events if e["event"] == "run_end"][-1]
+        assert run_end["vec_rows"] > 0
+        assert run_end["vec_cross_case_groups"] > 0
+        assert 0.0 < run_end["vec_occupancy"] <= 1.0
 
     def test_default_config_stays_scalar(self, tank_cases):
         campaign = DetectionCampaign(
@@ -265,5 +433,40 @@ class TestCampaignABProcess:
                 ),
             ).run()
             return estimate.direct_counts, estimate.active_runs
+
+        assert run(0) == run(16)
+
+    def test_tank_memory_identical(self, tank_cases):
+        def run(batch_width):
+            result = MemoryCampaign(
+                tank_factory, tank_cases, tank_assertions(), seed=11,
+                config=CampaignConfig(
+                    backend="process", jobs=2, batch_width=batch_width
+                ),
+            ).run()
+            return [
+                (r.region, r.location_label, r.fired, r.failed)
+                for r in result.records
+            ]
+
+        assert run(0) == run(16)
+
+    def test_arrestment_recovery_identical(self, arrestment_cases):
+        def run(batch_width):
+            result = RecoveryCampaign(
+                arrestment_factory, arrestment_cases,
+                list(EA_BY_NAME.values()), seed=11,
+                config=CampaignConfig(
+                    backend="process", jobs=2, batch_width=batch_width
+                ),
+            ).run()
+            return [
+                (
+                    o.region, o.location_label, o.detected,
+                    o.baseline_failed, o.recovered_failed,
+                    o.recovery_actions,
+                )
+                for o in result.outcomes
+            ]
 
         assert run(0) == run(16)

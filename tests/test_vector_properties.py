@@ -12,7 +12,12 @@ import pytest
 from hypothesis import HealthCheck, example, given, settings
 from hypothesis import strategies as st
 
-from repro.fi.campaign import DetectionCampaign, PermeabilityCampaign
+from repro.fi.campaign import (
+    DetectionCampaign,
+    MemoryCampaign,
+    PermeabilityCampaign,
+)
+from repro.fi.memory import MemoryMap
 from repro.fi.vector import BatchRunner
 from repro.edm.catalogue import EA_BY_NAME
 from repro.target.simulation import ArrestmentSimulator
@@ -65,6 +70,14 @@ def tank_det():
     return DetectionCampaign(
         tank_prop_factory, standard_tank_cases()[:2], tank_assertions(),
         runs_per_signal=1, seed=5,
+    )
+
+
+@pytest.fixture(scope="module")
+def tank_mem():
+    return MemoryCampaign(
+        tank_prop_factory, standard_tank_cases()[:2], tank_assertions(),
+        seed=5,
     )
 
 
@@ -148,6 +161,41 @@ def det_rows(max_tick):
     )
 
 
+def mem_rows():
+    """(rows of (location_i, case_i, bit_i, phase_i), width)."""
+    return st.tuples(
+        st.lists(
+            st.tuples(
+                st.integers(0, 511),  # location (mod len(locations))
+                st.integers(0, 1),  # test-case index
+                st.integers(0, 7),  # bit (mod valid_bits)
+                st.integers(0, 511),  # phase (mod period)
+            ),
+            min_size=2,
+            max_size=5,
+        ),
+        st.integers(2, 6),
+    )
+
+
+def build_mem_tasks(campaign, rows):
+    """Memory tasks mixing test cases freely: the batch planner must
+    resolve each row against its own case's golden run (per-row golden
+    indirection), exactly like per-case scalar execution does."""
+    probe = campaign.factory(campaign.test_cases[0])
+    locations = MemoryMap(probe.system).locations()
+    tasks = []
+    for loc_i, case_i, bit_i, phase_i in rows:
+        location = locations[loc_i % len(locations)]
+        tasks.append((
+            location,
+            campaign.test_cases[case_i],
+            bit_i % location.valid_bits,
+            phase_i % campaign.period_ticks,
+        ))
+    return tasks
+
+
 def build_det_tasks(campaign, rows):
     system = campaign.factory(campaign.test_cases[0]).system
     signals = list(system.system_inputs())
@@ -194,6 +242,21 @@ class TestWatertankProperties:
         tasks = build_det_tasks(tank_det, rows)
         check_batch(
             "detection", tank_det, tasks, width, specs=tank_det.specs
+        )
+
+    @settings(
+        max_examples=10, deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(drawn=mem_rows())
+    @example(drawn=([(0, 0, 0, 0), (0, 1, 0, 0)], 4))  # cross-case pair
+    @example(drawn=([(79, 0, 3, 19), (79, 1, 3, 19), (200, 0, 1, 0)], 2))
+    def test_memory_batch_equals_scalar(self, tank_mem, drawn):
+        rows, width = drawn
+        tasks = build_mem_tasks(tank_mem, rows)
+        check_batch(
+            "memory", tank_mem, tasks, width, specs=tank_mem.specs,
+            period_ticks=tank_mem.period_ticks,
         )
 
 
