@@ -1,0 +1,154 @@
+"""Campaign service scheduling overhead.
+
+Pushes four concurrent small campaigns through an in-process service
+daemon and compares the wall-clock against the best hand-scheduled
+baseline (the same four campaigns run back-to-back, each given the
+whole worker budget).  The daemon's admission control, fair-share
+splitting, forking, heartbeats and checkpoint plumbing must cost at
+most 30% over that baseline; queue and fault counters are recorded to
+``BENCH_service.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+
+from conftest import run_once
+
+from repro.experiments.context import SCALES
+from repro.fi.campaign import PermeabilityCampaign, _target_label
+from repro.fi.executor import CampaignConfig, golden_cache
+from repro.service import ServiceClient, ServiceDaemon
+from repro.service.scheduler import SchedulerConfig
+from repro.targets import get_target
+
+N_JOBS = 4
+
+
+def _warm_golden_cache(scale_name):
+    """Same warm-up the daemon's prewarm performs, done up front so
+    neither contender pays golden-run cost inside the timed window."""
+    target = get_target("arrestment")
+    stride = (
+        SCALES[scale_name].test_case_stride
+        if scale_name in SCALES
+        else 1
+    )
+    factory = target.simulator_factory
+    label = _target_label(factory)
+    for case in list(target.standard_test_cases())[::stride]:
+        golden_cache.get(label, factory, case)
+
+
+def test_bench_service_scheduling(benchmark, ctx, tmp_path):
+    budget = min(N_JOBS, os.cpu_count() or 1)
+    _warm_golden_cache(ctx.scale.name)
+
+    # -- hand-scheduled baseline: back-to-back, full width each ------
+    started = time.perf_counter()
+    for i in range(N_JOBS):
+        PermeabilityCampaign(
+            ctx.simulator_factory,
+            ctx.test_cases,
+            runs_per_input=ctx.scale.runs_per_input,
+            seed=2002 + i,
+            config=CampaignConfig(jobs=budget),
+        ).run()
+    baseline_s = time.perf_counter() - started
+
+    # -- the same four campaigns, concurrently, through the daemon ---
+    spool = str(tmp_path / "spool")
+    daemon = ServiceDaemon(
+        spool,
+        SchedulerConfig(budget=budget, max_jobs=N_JOBS),
+        status_interval_s=0.1,
+        echo=lambda *_: None,
+    )
+    thread = threading.Thread(target=daemon.serve, daemon=True)
+    thread.start()
+    client = ServiceClient(spool)
+    deadline = time.time() + 30
+    while not client.alive() and time.time() < deadline:
+        time.sleep(0.05)
+    assert client.alive(), "daemon did not come up"
+
+    def through_service():
+        for i in range(N_JOBS):
+            client.submit({
+                "experiment": "table1",
+                "scale": ctx.scale.name,
+                "seed": 2002 + i,
+                "jobs": budget,
+                "run_name": f"svc{i}",
+            })
+        while True:
+            payload = client.status()
+            depth = payload["queue"]
+            if depth["queued"] == 0 and depth["running"] == 0:
+                return payload
+            time.sleep(0.1)
+
+    started = time.perf_counter()
+    payload = run_once(benchmark, through_service)
+    service_s = time.perf_counter() - started
+    client.drain()
+    thread.join(timeout=60)
+    assert not thread.is_alive()
+
+    states = sorted(job["state"] for job in payload["jobs"])
+    counters = payload["counters"]
+    ratio = service_s / baseline_s if baseline_s > 0 else 0.0
+    cores = os.cpu_count() or 1
+
+    print()
+    print(
+        f"service bench ({N_JOBS} campaigns, budget {budget}, "
+        f"scale {ctx.scale.name})"
+    )
+    print(f"  hand-scheduled: {baseline_s:.2f} s")
+    print(f"  via daemon    : {service_s:.2f} s ({ratio:.2f}x)")
+    print(f"  queue         : {payload['queue']}")
+    print(f"  counters      : {counters}")
+
+    # the core contract holds on any machine: everything completes,
+    # nothing was silently retried or degraded
+    assert states == ["done"] * N_JOBS
+    assert payload["queue"]["done"] == N_JOBS
+    assert counters.get("jobs_failed", 0) == 0
+    for job in payload["jobs"]:
+        output = os.path.join(
+            spool, "jobs", str(job["id"]), "output.txt"
+        )
+        assert os.path.getsize(output) > 0
+
+    with open("BENCH_service.json", "w") as handle:
+        json.dump(
+            {
+                "jobs": N_JOBS,
+                "budget": budget,
+                "scale": ctx.scale.name,
+                "baseline_s": round(baseline_s, 3),
+                "service_s": round(service_s, 3),
+                "overhead_ratio": round(ratio, 3),
+                "queue": payload["queue"],
+                "counters": counters,
+            },
+            handle,
+            indent=2,
+        )
+
+    # the overhead bound needs a baseline long enough that the ratio
+    # measures scheduling cost rather than fork startup and jitter
+    if baseline_s >= 5.0 and cores >= 2:
+        assert ratio <= 1.3, (
+            f"service run took {ratio:.2f}x the hand-scheduled "
+            f"baseline (budget {budget}, {cores} cores)"
+        )
+    else:
+        print(
+            f"  (overhead bound not asserted: {cores} core(s), "
+            f"baseline {baseline_s:.2f} s)"
+        )

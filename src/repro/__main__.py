@@ -30,6 +30,11 @@ Subcommands
     Query a campaign results database: ``list`` its contents, ``show``
     one stored result, ``diff`` two runs proportion-by-proportion with
     Wilson intervals, or ``import`` a legacy JSON checkpoint.
+``serve`` / ``submit`` / ``status`` / ``cancel`` / ``drain``
+    The campaign service (see ``docs/service.md``): a long-running
+    daemon scheduling submitted campaign jobs over a shared worker
+    budget with a durable sqlite queue, job-level retry, graceful
+    drain and ``kill -9`` recovery from checkpoints.
 """
 
 from __future__ import annotations
@@ -285,6 +290,173 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         return 2
 
 
+def _render_status(payload: dict) -> str:
+    """Human-readable rendering of one status payload."""
+    lines = []
+    if payload.get("offline"):
+        lines.append("daemon: not running (offline queue view)")
+    else:
+        suffix = " (draining)" if payload.get("draining") else ""
+        lines.append(f"daemon: pid {payload.get('pid')}{suffix}")
+    depth = payload.get("queue", {})
+    lines.append(
+        "queue : "
+        + ", ".join(f"{depth.get(s, 0)} {s}" for s in (
+            "queued", "running", "done", "failed", "cancelled"
+        ))
+    )
+    counters = payload.get("counters", {})
+    if counters:
+        lines.append(
+            "faults: "
+            + " ".join(f"{k}={v}" for k, v in sorted(counters.items()))
+        )
+    for job in payload.get("jobs", []):
+        note = f" [{job['degraded']}]" if job.get("degraded") else ""
+        err = f"  ({job['error']})" if job.get("error") else ""
+        lines.append(
+            f"  #{job['id']:<3} {job['experiment']:<10} "
+            f"{job['state']:<9} attempts={job['attempts']} "
+            f"workers={job['workers']}{note}{err}"
+        )
+        for row in job.get("progress", []):
+            lines.append(
+                f"        {row['campaign']:<14} "
+                f"{row['done']}/{row['total']} tasks, "
+                f"{row['failures']} quarantined"
+            )
+    return "\n".join(lines)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.errors import ServiceError
+    from repro.service import ServiceDaemon
+    from repro.service.scheduler import SchedulerConfig
+
+    try:
+        kwargs = {}
+        if args.budget is not None:
+            kwargs["budget"] = args.budget
+        config = SchedulerConfig(
+            max_jobs=args.max_jobs,
+            job_retries=args.job_retries,
+            lease_timeout_s=args.lease_timeout,
+            stop_grace_s=args.stop_grace,
+            prewarm=not args.no_prewarm,
+            **kwargs,
+        )
+        daemon = ServiceDaemon(
+            args.spool,
+            config,
+            max_queued=args.max_queued,
+            drain_when_idle=args.drain_when_idle,
+        )
+        return daemon.serve()
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.errors import ServiceError
+    from repro.service import ServiceClient
+
+    spec = {"experiment": args.experiment}
+    for key in (
+        "scale", "seed", "target", "jobs", "backend", "store",
+        "batch_width", "run_name", "retries", "task_timeout",
+        "audit_fraction", "integrity_policy",
+    ):
+        value = getattr(args, key)
+        if value is not None:
+            spec[key] = value
+    if args.adaptive:
+        spec["adaptive"] = True
+    client = ServiceClient(args.spool)
+    try:
+        reply = client.submit(spec)
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    job_id = reply["job"]
+    where = "queued offline" if reply.get("offline") else "submitted"
+    print(f"job #{job_id} {where} ({args.experiment})")
+    if not args.wait:
+        return 0
+    if reply.get("offline"):
+        print(
+            "error: --wait needs a live daemon "
+            f"(start one with 'repro serve --spool {args.spool}')",
+            file=sys.stderr,
+        )
+        return 2
+    final = None
+    try:
+        for payload in client.status_stream(job_id):
+            final = payload
+            rows = payload.get("jobs", [])
+            mine_done = rows and rows[0]["state"] in (
+                "done", "failed", "cancelled"
+            )
+            if mine_done or payload.get("final"):
+                break
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if final is None:
+        print("error: daemon went away while waiting", file=sys.stderr)
+        return 2
+    print(_render_status(final))
+    states = [job["state"] for job in final.get("jobs", [])]
+    return 0 if states and all(s == "done" for s in states) else 1
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    from repro.errors import ServiceError
+    from repro.service import ServiceClient
+
+    client = ServiceClient(args.spool)
+    try:
+        if not args.follow:
+            print(_render_status(client.status(args.job)))
+            return 0
+        for payload in client.status_stream(args.job):
+            print(_render_status(payload))
+            if payload.get("final"):
+                break
+            print()
+        return 0
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _cmd_cancel(args: argparse.Namespace) -> int:
+    from repro.errors import ServiceError
+    from repro.service import ServiceClient
+
+    try:
+        reply = ServiceClient(args.spool).cancel(args.job)
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"job #{args.job}: {reply.get('state', 'cancel requested')}")
+    return 0
+
+
+def _cmd_drain(args: argparse.Namespace) -> int:
+    from repro.errors import ServiceError
+    from repro.service import ServiceClient
+
+    try:
+        ServiceClient(args.spool).drain()
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print("daemon draining (running jobs flush and requeue)")
+    return 0
+
+
 def _cmd_one_experiment(args: argparse.Namespace) -> int:
     from repro.experiments.__main__ import report_telemetry
     from repro.experiments.context import ExperimentContext, default_scale
@@ -295,6 +467,7 @@ def _cmd_one_experiment(args: argparse.Namespace) -> int:
         seed=args.seed,
         target=args.target,
         jobs=args.jobs,
+        backend=args.backend,
         resume=args.resume,
         checkpoint_dir=args.checkpoint_dir,
         task_timeout=args.task_timeout,
@@ -387,6 +560,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         p_one.add_argument(
             "--jobs", type=int, default=1, metavar="N",
             help="worker processes for campaigns (default: 1 = serial)",
+        )
+        p_one.add_argument(
+            "--backend", choices=("serial", "process"), default=None,
+            help="pin the execution backend (default: derived from "
+            "--jobs; results are bit-identical either way)",
         )
         p_one.add_argument(
             "--resume", action="store_true",
@@ -491,6 +669,124 @@ def main(argv: Optional[List[str]] = None) -> int:
             "(default: <target>-<scale>-seed<seed>)",
         )
         p_one.set_defaults(fn=_cmd_one_experiment)
+
+    def add_spool(p: argparse.ArgumentParser) -> None:
+        from repro.service.client import default_spool
+
+        p.add_argument(
+            "--spool", default=default_spool(), metavar="DIR",
+            help="service spool directory "
+            "(default: REPRO_SPOOL or .repro-service)",
+        )
+
+    p_serve = sub.add_parser(
+        "serve", help="run the campaign-service daemon"
+    )
+    add_spool(p_serve)
+    p_serve.add_argument(
+        "--budget", type=int, default=None, metavar="N",
+        help="total worker-process budget shared by all jobs "
+        "(default: cpu count)",
+    )
+    p_serve.add_argument(
+        "--max-jobs", type=int, default=4, metavar="N",
+        help="concurrently running jobs (default: 4)",
+    )
+    p_serve.add_argument(
+        "--job-retries", type=int, default=2, metavar="N",
+        help="extra attempts a failing job gets (default: 2)",
+    )
+    p_serve.add_argument(
+        "--max-queued", type=int, default=64, metavar="N",
+        help="admission bound on queued+running jobs (default: 64)",
+    )
+    p_serve.add_argument(
+        "--lease-timeout", type=float, default=30.0, metavar="S",
+        help="heartbeat age before a dead scheduler's lease is "
+        "reclaimed (default: 30)",
+    )
+    p_serve.add_argument(
+        "--stop-grace", type=float, default=30.0, metavar="S",
+        help="grace between SIGTERM and SIGKILL when stopping a "
+        "job child (default: 30)",
+    )
+    p_serve.add_argument(
+        "--no-prewarm", action="store_true",
+        help="do not pre-warm the golden-run cache for submitted "
+        "targets",
+    )
+    p_serve.add_argument(
+        "--drain-when-idle", action="store_true",
+        help="exit once every submitted job is terminal (CI mode)",
+    )
+    p_serve.set_defaults(fn=_cmd_serve)
+
+    p_sub = sub.add_parser(
+        "submit", help="submit one experiment job to the service"
+    )
+    p_sub.add_argument("experiment", choices=EXPERIMENT_IDS)
+    add_spool(p_sub)
+    p_sub.add_argument("--scale", default=None)
+    p_sub.add_argument("--seed", type=int, default=None)
+    p_sub.add_argument("--target", default=None)
+    p_sub.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="requested worker width (the scheduler grants a fair "
+        "share of the daemon's budget)",
+    )
+    p_sub.add_argument(
+        "--backend", choices=("serial", "process"), default=None,
+    )
+    p_sub.add_argument(
+        "--store", choices=("json", "sqlite"), default=None,
+    )
+    p_sub.add_argument(
+        "--batch-width", type=int, default=None, metavar="N",
+    )
+    p_sub.add_argument("--adaptive", action="store_true")
+    p_sub.add_argument("--run-name", default=None, metavar="NAME")
+    p_sub.add_argument("--retries", type=int, default=None, metavar="N")
+    p_sub.add_argument(
+        "--task-timeout", type=float, default=None, metavar="S",
+    )
+    p_sub.add_argument(
+        "--audit-fraction", type=float, default=None, metavar="F",
+    )
+    p_sub.add_argument(
+        "--integrity-policy", choices=("strict", "repair", "off"),
+        default=None,
+    )
+    p_sub.add_argument(
+        "--wait", action="store_true",
+        help="follow the job until it is terminal (exit 0 only if "
+        "it is done)",
+    )
+    p_sub.set_defaults(fn=_cmd_submit)
+
+    p_stat = sub.add_parser(
+        "status", help="show service queue and job progress"
+    )
+    add_spool(p_stat)
+    p_stat.add_argument(
+        "--job", type=int, default=None, metavar="N",
+        help="restrict to one job id",
+    )
+    p_stat.add_argument(
+        "--follow", action="store_true",
+        help="stream status until every job is terminal",
+    )
+    p_stat.set_defaults(fn=_cmd_status)
+
+    p_cancel = sub.add_parser("cancel", help="cancel one service job")
+    p_cancel.add_argument("job", type=int)
+    add_spool(p_cancel)
+    p_cancel.set_defaults(fn=_cmd_cancel)
+
+    p_drain = sub.add_parser(
+        "drain", help="ask the daemon to drain and exit"
+    )
+    add_spool(p_drain)
+    p_drain.set_defaults(fn=_cmd_drain)
 
     p_an = sub.add_parser(
         "analyze",

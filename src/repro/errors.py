@@ -21,6 +21,7 @@ __all__ = [
     "PlacementError",
     "AnalysisError",
     "ExperimentError",
+    "ServiceError",
 ]
 
 
@@ -92,3 +93,8 @@ class AnalysisError(ReproError):
 
 class ExperimentError(ReproError):
     """A paper experiment could not be reproduced as requested."""
+
+
+class ServiceError(ReproError):
+    """The campaign service refused or failed a request (queue full,
+    unreachable daemon, malformed job specification...)."""

@@ -8,9 +8,10 @@ Options
     Campaign seed (default 2002).
 ``--target NAME``
     Registered target system (default ``arrestment``).
-``--jobs N``
+``--jobs N`` / ``--backend {serial,process}``
     Worker processes for the fault-injection campaigns (default 1,
-    i.e. serial; results are bit-identical either way).
+    i.e. serial; results are bit-identical either way), and an
+    explicit backend pin overriding the jobs-derived default.
 ``--resume`` / ``--checkpoint-dir DIR``
     Checkpoint campaigns to disk and resume partial ones.
 ``--task-timeout S`` / ``--retries N``
@@ -71,6 +72,11 @@ def add_execution_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--jobs", type=int, default=1, metavar="N",
         help="worker processes for campaigns (default: 1 = serial)",
+    )
+    parser.add_argument(
+        "--backend", choices=("serial", "process"), default=None,
+        help="pin the execution backend (default: derived from "
+        "--jobs; results are bit-identical either way)",
     )
     parser.add_argument(
         "--resume", action="store_true",
@@ -193,6 +199,7 @@ def context_from_args(args: argparse.Namespace) -> ExperimentContext:
         seed=args.seed,
         target=args.target,
         jobs=args.jobs,
+        backend=args.backend,
         resume=args.resume,
         checkpoint_dir=args.checkpoint_dir,
         task_timeout=args.task_timeout,

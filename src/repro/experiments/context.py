@@ -40,6 +40,7 @@ from repro.fi.campaign import (
     PermeabilityEstimate,
 )
 from repro.fi.executor import (
+    BACKENDS,
     AdaptivePolicy,
     CampaignConfig,
     CampaignTelemetry,
@@ -100,9 +101,11 @@ class ExperimentContext:
     *target* is a registered target name or a
     :class:`~repro.targets.TargetSystem` (default: the paper's
     arrestment system).  *jobs* > 1 runs the campaigns on a process
-    pool; *checkpoint_dir* enables checkpointing of partially
-    completed campaigns, and *resume* picks existing checkpoints up
-    instead of starting fresh.
+    pool; *backend* pins the execution backend (``serial`` or
+    ``process``; ``None`` derives it from *jobs*); *checkpoint_dir*
+    enables checkpointing of partially completed campaigns, and
+    *resume* picks existing checkpoints up instead of starting
+    fresh.
 
     Fault-tolerance knobs: *task_timeout* bounds each injection run's
     wall clock, *retries* bounds the attempts a failing task gets
@@ -141,6 +144,7 @@ class ExperimentContext:
         seed: int = 2002,
         target: Union[str, TargetSystem] = "arrestment",
         jobs: int = 1,
+        backend: Optional[str] = None,
         resume: bool = False,
         checkpoint_dir: Optional[str] = None,
         task_timeout: Optional[float] = None,
@@ -171,12 +175,18 @@ class ExperimentContext:
                 f"unknown store backend {store_backend!r}; "
                 f"choose from {STORE_BACKENDS}"
             )
+        if backend is not None and backend not in BACKENDS:
+            raise ExperimentError(
+                f"unknown execution backend {backend!r}; "
+                f"choose from {BACKENDS}"
+            )
         self.scale = SCALES[scale]
         self.seed = seed
         self.target: TargetSystem = (
             get_target(target) if isinstance(target, str) else target
         )
         self.jobs = jobs
+        self.backend = backend
         self.resume = resume
         self.task_timeout = task_timeout
         self.retries = retries
@@ -276,6 +286,7 @@ class ExperimentContext:
         return CampaignConfig(
             seed=self.seed,
             jobs=self.jobs,
+            backend=self.backend,
             event_log_path=self.event_log,
             checkpoint=checkpoint,
             fault_tolerance=FaultTolerancePolicy(**ft_kwargs),

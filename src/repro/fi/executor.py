@@ -89,9 +89,11 @@ to serial).
 from __future__ import annotations
 
 import hashlib
+import itertools
 import json
 import multiprocessing
 import os
+import random
 import signal
 import threading
 import time
@@ -139,6 +141,7 @@ __all__ = [
     "RunEventLog",
     "TaskFailure",
     "VectorPolicy",
+    "decorrelated_backoff",
     "golden_cache",
     "fingerprint_of",
 ]
@@ -197,8 +200,15 @@ class FaultTolerancePolicy:
     task_timeout: Optional[float] = None
     #: extra attempts per task before quarantine (total = retries + 1).
     retries: int = 1
-    #: base of the exponential backoff between attempts, in seconds.
+    #: base of the retry backoff between attempts, in seconds.
     retry_backoff_s: float = 0.25
+    #: decorrelate the retry backoff with seeded jitter so concurrent
+    #: campaigns (and their workers) do not stampede in lockstep;
+    #: ``False`` restores the legacy deterministic exponential ramp.
+    retry_jitter: bool = True
+    #: seed of the backoff jitter stream; ``None`` uses the campaign
+    #: seed, so test runs stay reproducible.
+    backoff_seed: Optional[int] = None
     #: pool rebuilds tolerated before degrading to serial execution.
     max_pool_respawns: int = 2
     #: stall watchdog on pool results; ``None`` derives it from
@@ -373,6 +383,8 @@ _FLAT_FIELDS: Dict[str, Tuple[str, str]] = {
     "task_timeout": ("fault_tolerance", "task_timeout"),
     "retries": ("fault_tolerance", "retries"),
     "retry_backoff_s": ("fault_tolerance", "retry_backoff_s"),
+    "retry_jitter": ("fault_tolerance", "retry_jitter"),
+    "backoff_seed": ("fault_tolerance", "backoff_seed"),
     "max_pool_respawns": ("fault_tolerance", "max_pool_respawns"),
     "pool_watchdog_s": ("fault_tolerance", "pool_watchdog_s"),
     "fast_forward": ("fastforward", "enabled"),
@@ -392,7 +404,10 @@ _FLAT_FIELDS: Dict[str, Tuple[str, str]] = {
 }
 
 #: flat kwargs accepted without a deprecation warning.
-_FLAT_NO_WARN = frozenset({"store_backend", "batch_width", "track_pool"})
+_FLAT_NO_WARN = frozenset(
+    {"store_backend", "batch_width", "track_pool",
+     "retry_jitter", "backoff_seed"}
+)
 
 _POLICY_TYPES = {
     "checkpoint": CheckpointPolicy,
@@ -979,6 +994,15 @@ class GoldenRunCache:
             self.hits = 0
             self.misses = 0
 
+    def resize(self, max_runs: int) -> None:
+        """Re-bound the cache (long-running daemons tune memory);
+        shrinking evicts least-recently-used runs immediately."""
+        if max_runs < 1:
+            raise CampaignError(f"max_runs must be >= 1, got {max_runs}")
+        with self._lock:
+            self.max_runs = max_runs
+            self._evict_locked()
+
 
 class CachedGoldenStore:
     """Adapter giving one (target, factory) pair the
@@ -1000,21 +1024,36 @@ golden_cache = GoldenRunCache()
 # ======================================================================
 # Worker-side trampoline for the fork pool.
 #
-# The active runner (and the fault-tolerance knobs) are published as
-# module globals *before* the pool is forked; workers inherit them
-# through the fork and only (index, attempt) pairs and JSON-encodable
-# payloads ever cross the pipe.  This keeps factories, simulators and
-# closures out of pickle entirely.  Worker exceptions are converted to
-# in-band error payloads, so anything escaping the result iterator is
-# pool infrastructure breakage, not a task failure.
+# Each running campaign registers an :class:`_ActiveCampaign` (its
+# runner, fault-tolerance knobs, chaos hooks and drift sentinel) in
+# the process-wide ``_ACTIVE`` registry *before* its pool is forked;
+# workers inherit the whole registry through the fork and look their
+# campaign up by the key travelling inside each work item, so only
+# (key, index, attempt) tuples and JSON-encodable payloads ever cross
+# the pipe.  This keeps factories, simulators and closures out of
+# pickle entirely — and, because every campaign owns its own registry
+# entry, any number of campaigns can run concurrently in one process
+# (the service daemon schedules many) without clobbering each other's
+# runner.  Worker exceptions are converted to in-band error payloads,
+# so anything escaping the result iterator is pool infrastructure
+# breakage, not a task failure.
 # ======================================================================
-_ACTIVE_RUNNER: Optional[Callable[[int], Any]] = None
-_ACTIVE_TIMEOUT: Optional[float] = None
-#: (fail_index, kill_index) chaos hooks; see ``_chaos_from_env``.
-_ACTIVE_CHAOS: Tuple[Optional[int], Optional[int]] = (None, None)
-#: the drift sentinel published before the pool forks: a callable
-#: computing a fresh golden-run digest, and the parent's own digest.
-_ACTIVE_SENTINEL: Optional[Tuple[Callable[[], str], str]] = None
+@dataclass
+class _ActiveCampaign:
+    """One campaign's worker-side execution context."""
+
+    runner: Callable[[int], Any]
+    timeout: Optional[float] = None
+    #: (fail_index, kill_index) chaos hooks; see ``_chaos_from_env``.
+    chaos: Tuple[Optional[int], Optional[int]] = (None, None)
+    #: the drift sentinel published before the pool forks: a callable
+    #: computing a fresh golden-run digest, and the parent's digest.
+    sentinel: Optional[Tuple[Callable[[], str], str]] = None
+
+
+_ACTIVE: Dict[str, _ActiveCampaign] = {}
+_ACTIVE_LOCK = threading.Lock()
+_ACTIVE_SEQ = itertools.count(1)
 
 
 class _TaskTimeout(Exception):
@@ -1084,7 +1123,22 @@ def _task_alarm(seconds: Optional[float]) -> Iterator[None]:
             )
 
 
-def _sentinel_probe(worker: int) -> str:
+def _worker_init() -> None:
+    """Pool-worker initializer: restore default signal handling.
+
+    Workers are forked from whatever process runs the campaign — a
+    CLI, a test, or a service job child that converts SIGTERM into
+    ``KeyboardInterrupt`` for its own flush-on-drain path.  A worker
+    must not inherit that conversion (or a custom SIGINT handler):
+    ``Pool.terminate`` SIGTERMs workers on every normal teardown, and
+    an inherited handler turns that routine kill into a spurious
+    traceback.
+    """
+    signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+
+
+def _sentinel_probe(item: Tuple[str, int]) -> str:
     """Worker-side half of the drift sentinel: a fresh golden digest.
 
     Dispatched to a new pool before any real task.  The digest is
@@ -1093,32 +1147,35 @@ def _sentinel_probe(worker: int) -> str:
     ``REPRO_CHAOS_DRIFT_WORKER=1`` deliberately corrupts the probe —
     in forked children only — to exercise the broken-pool path.
     """
-    compute, _ = _ACTIVE_SENTINEL  # type: ignore[misc]
+    key, _ = item
+    compute, _ = _ACTIVE[key].sentinel  # type: ignore[union-attr]
     digest = compute()
     if os.environ.get("REPRO_CHAOS_DRIFT_WORKER") == "1":
         digest = f"chaos-drift-{digest[:8]}"
     return digest
 
 
-def _execute_attempt(index: int, attempt: int) -> Tuple[int, Dict, float]:
+def _execute_attempt(
+    active: _ActiveCampaign, index: int, attempt: int
+) -> Tuple[int, Dict, float]:
     """One attempt of one task; errors become in-band payloads."""
     started = time.perf_counter()
-    fail_index, _ = _ACTIVE_CHAOS
+    fail_index, _ = active.chaos
     ff_before = ff_stats.as_tuple()
     integ_before = integrity_stats.as_tuple()
     vec_before = vector_stats.as_tuple()
     # a batched runner answers a whole group of runs from the first
     # task that touches it, so that attempt gets the group's worth of
     # timeout budget
-    timeout = _ACTIVE_TIMEOUT
-    scale_of = getattr(_ACTIVE_RUNNER, "timeout_scale_for", None)
+    timeout = active.timeout
+    scale_of = getattr(active.runner, "timeout_scale_for", None)
     if timeout is not None and scale_of is not None:
         timeout = timeout * max(1, scale_of(index))
     try:
         if fail_index is not None and index == fail_index and attempt == 1:
             raise RuntimeError(f"chaos: injected failure at task {index}")
         with _task_alarm(timeout):
-            result = _ACTIVE_RUNNER(index)  # type: ignore[misc]
+            result = active.runner(index)
         payload: Dict[str, Any] = {"ok": result}
         # fast-forward savings travel beside the result — never inside
         # it, so checkpoints and aggregates stay bit-identical whether
@@ -1161,25 +1218,28 @@ def _execute_attempt(index: int, attempt: int) -> Tuple[int, Dict, float]:
     return index, payload, time.perf_counter() - started
 
 
-def _pool_task(item: Tuple[int, int]) -> Tuple[int, Dict, float]:
+def _pool_task(key: str, item: Tuple[int, int]) -> Tuple[int, Dict, float]:
     index, attempt = item
-    _, kill_index = _ACTIVE_CHAOS
+    active = _ACTIVE[key]
+    _, kill_index = active.chaos
     if kill_index is not None and index == kill_index and attempt == 1:
         os._exit(17)  # simulate a hard worker death (chaos testing)
-    return _execute_attempt(index, attempt)
+    return _execute_attempt(active, index, attempt)
 
 
 def _pool_chunk(
-    items: List[Tuple[int, int]]
+    work: Tuple[str, List[Tuple[int, int]]]
 ) -> List[Tuple[int, Dict, float]]:
     """A batch of tasks as one pool work item.
 
     Chunking is done here rather than via the pool's ``chunksize``:
     ``imap_unordered(..., chunksize>1)`` returns a plain generator
     without the ``next(timeout)`` needed by the watchdog, so the pool
-    always dispatches single work items and each item carries a batch.
+    always dispatches single work items and each item carries a batch
+    (prefixed by its campaign's registry key).
     """
-    return [_pool_task(item) for item in items]
+    key, items = work
+    return [_pool_task(key, item) for item in items]
 
 
 def _backoff_s(config: CampaignConfig, attempt: int) -> float:
@@ -1187,6 +1247,26 @@ def _backoff_s(config: CampaignConfig, attempt: int) -> float:
     if attempt <= 1 or config.retry_backoff_s <= 0:
         return 0.0
     return min(config.retry_backoff_s * (2 ** (attempt - 2)), MAX_BACKOFF_S)
+
+
+def decorrelated_backoff(
+    base: float,
+    previous: float,
+    rng: random.Random,
+    cap: float = MAX_BACKOFF_S,
+) -> float:
+    """One decorrelated-jitter backoff sleep, in seconds.
+
+    The classic "exponential backoff and decorrelated jitter"
+    recurrence: each sleep is drawn uniformly from ``[base, 3 *
+    previous]`` (clamped to ``cap``), so concurrently retrying
+    clients spread out instead of stampeding in lockstep, while the
+    expected sleep still grows geometrically.  A non-positive *base*
+    disables backoff entirely (returns 0).
+    """
+    if base <= 0:
+        return 0.0
+    return min(cap, rng.uniform(base, max(base, previous * 3.0)))
 
 
 # ======================================================================
@@ -1511,6 +1591,31 @@ class CampaignExecutor:
             if attempts[index] >= config.retries + 1:
                 quarantine(index, kind, payload.get("err", ""))
 
+        ft = config.fault_tolerance
+        backoff_rng = random.Random(
+            ft.backoff_seed if ft.backoff_seed is not None else config.seed
+        )
+        backoff_prev = config.retry_backoff_s
+
+        def backoff_sleep(attempt: int) -> None:
+            """Sleep before a (>= 2nd) retry attempt.
+
+            Jittered retries draw from the decorrelated recurrence so
+            campaigns retrying concurrently spread out; with jitter
+            off the legacy deterministic exponential ramp applies.
+            """
+            nonlocal backoff_prev
+            if attempt <= 1:
+                return
+            if not ft.retry_jitter:
+                time.sleep(_backoff_s(config, attempt))
+                return
+            sleep_s = decorrelated_backoff(
+                config.retry_backoff_s, backoff_prev, backoff_rng
+            )
+            backoff_prev = max(sleep_s, config.retry_backoff_s)
+            time.sleep(sleep_s)
+
         def run_serial(indices: Sequence[int]) -> None:
             for index in indices:
                 while index not in done:
@@ -1521,9 +1626,11 @@ class CampaignExecutor:
                         events.emit(
                             "task_retry", index=index, attempt=attempt
                         )
-                        time.sleep(_backoff_s(config, attempt))
+                        backoff_sleep(attempt)
                     events.emit("task_start", index=index, attempt=attempt)
-                    _, payload, busy = _execute_attempt(index, attempt)
+                    _, payload, busy = _execute_attempt(
+                        active, index, attempt
+                    )
                     if "ok" in payload:
                         succeed(index, payload, busy)
                     else:
@@ -1538,12 +1645,14 @@ class CampaignExecutor:
             child of the same parent alike, so any probe detects
             them).  Returns the reason the pool cannot be trusted.
             """
-            if _ACTIVE_SENTINEL is None:
+            if active.sentinel is None:
                 return None
-            _, expected = _ACTIVE_SENTINEL
+            _, expected = active.sentinel
             try:
                 probes = pool.map_async(
-                    _sentinel_probe, range(config.jobs), chunksize=1
+                    _sentinel_probe,
+                    [(key, slot) for slot in range(config.jobs)],
+                    chunksize=1,
                 ).get(watchdog)
             except multiprocessing.TimeoutError:
                 return (
@@ -1581,7 +1690,9 @@ class CampaignExecutor:
             respawns_left = config.max_pool_respawns
             watchdog = config.resolved_watchdog()
             remaining = [i for i in indices if i not in done]
-            pool = context.Pool(processes=config.jobs)
+            pool = context.Pool(
+                processes=config.jobs, initializer=_worker_init
+            )
             unhealthy = verify_pool(pool, watchdog)
             try:
                 while remaining:
@@ -1605,7 +1716,9 @@ class CampaignExecutor:
                             return
                         respawns_left -= 1
                         telemetry.pool_respawns += 1
-                        pool = context.Pool(processes=config.jobs)
+                        pool = context.Pool(
+                            processes=config.jobs, initializer=_worker_init
+                        )
                         events.emit(
                             "pool_respawn",
                             jobs=config.jobs,
@@ -1625,7 +1738,7 @@ class CampaignExecutor:
                                 attempt=attempts[index],
                             )
                     if wave_attempt > 1:
-                        time.sleep(_backoff_s(config, wave_attempt))
+                        backoff_sleep(wave_attempt)
                     items = [(i, attempts[i]) for i in remaining]
                     plan = getattr(runner, "chunk_plan", None)
                     if plan is not None:
@@ -1652,7 +1765,8 @@ class CampaignExecutor:
                             for k in range(0, len(items), chunk_n)
                         ]
                     iterator = pool.imap_unordered(
-                        _pool_chunk, chunks, chunksize=1
+                        _pool_chunk, [(key, chunk) for chunk in chunks],
+                        chunksize=1,
                     )
                     broken: Optional[str] = None
                     received = 0
@@ -1714,7 +1828,9 @@ class CampaignExecutor:
                             return
                         respawns_left -= 1
                         telemetry.pool_respawns += 1
-                        pool = context.Pool(processes=config.jobs)
+                        pool = context.Pool(
+                            processes=config.jobs, initializer=_worker_init
+                        )
                         events.emit(
                             "pool_respawn",
                             jobs=config.jobs,
@@ -1725,12 +1841,11 @@ class CampaignExecutor:
                 pool.terminate()
                 pool.join()
 
-        global _ACTIVE_RUNNER, _ACTIVE_TIMEOUT, _ACTIVE_CHAOS
-        global _ACTIVE_SENTINEL
-        _ACTIVE_RUNNER = runner
-        _ACTIVE_TIMEOUT = config.task_timeout
-        _ACTIVE_CHAOS = _chaos_from_env()
-        _ACTIVE_SENTINEL = None
+        active = _ActiveCampaign(
+            runner=runner,
+            timeout=config.task_timeout,
+            chaos=_chaos_from_env(),
+        )
         if (
             backend == "process"
             and sentinel is not None
@@ -1738,7 +1853,16 @@ class CampaignExecutor:
         ):
             # the parent's own digest, computed before the fork, is
             # the reference every worker probe is compared against
-            _ACTIVE_SENTINEL = (sentinel, sentinel())
+            active.sentinel = (sentinel, sentinel())
+        # the registry key travels inside every pool work item, so
+        # workers forked for any concurrently running campaign (late
+        # respawns included) resolve their own campaign's context —
+        # concurrent campaigns in one process no longer clobber each
+        # other's module state
+        key = f"{self.campaign}#{next(_ACTIVE_SEQ)}"
+        if backend == "process":
+            with _ACTIVE_LOCK:
+                _ACTIVE[key] = active
         status = "ok"
         try:
             if backend == "process":
@@ -1749,10 +1873,9 @@ class CampaignExecutor:
             status = type(exc).__name__
             raise
         finally:
-            _ACTIVE_RUNNER = None
-            _ACTIVE_TIMEOUT = None
-            _ACTIVE_CHAOS = (None, None)
-            _ACTIVE_SENTINEL = None
+            if backend == "process":
+                with _ACTIVE_LOCK:
+                    _ACTIVE.pop(key, None)
             telemetry.wall_s = time.perf_counter() - started
             telemetry.cache_hits = self.cache.hits - self._cache_hits0
             telemetry.cache_misses = self.cache.misses - self._cache_misses0

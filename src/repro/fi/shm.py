@@ -34,7 +34,24 @@ try:
 except Exception:  # pragma: no cover - stdlib module missing
     _shm = None
 
-__all__ = ["ShmArrayPack", "shm_available"]
+__all__ = ["ShmArrayPack", "release_all", "shm_available"]
+
+#: every live pack, for :func:`release_all` (weak: the registry must
+#: not keep packs alive past their last strong reference).
+_LIVE_PACKS: "weakref.WeakSet[ShmArrayPack]" = weakref.WeakSet()
+
+
+def release_all() -> None:
+    """Close every live pack this process owns or is attached to.
+
+    Interpreter-exit finalizers do not run in ``multiprocessing``
+    children (their bootstrap leaves via ``os._exit``), so a process
+    that runs campaigns as a forked child — the campaign service's
+    job children — must call this before exiting, or its shared
+    segments outlive it as ``/dev/shm`` orphans.
+    """
+    for pack in list(_LIVE_PACKS):
+        pack.close()
 
 
 def _release_segments(handles: Dict[str, object], owner_pid: int) -> None:
@@ -91,6 +108,7 @@ class ShmArrayPack:
         self._finalizer = weakref.finalize(
             self, _release_segments, self._handles, self._owner_pid
         )
+        _LIVE_PACKS.add(self)
 
     @property
     def is_owner(self) -> bool:

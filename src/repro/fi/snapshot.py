@@ -299,6 +299,17 @@ class CheckpointStore:
             self.hits = 0
             self.misses = 0
 
+    def resize(self, max_tracks: int) -> None:
+        """Re-bound the cache (long-running daemons tune memory);
+        shrinking evicts least-recently-used tracks immediately."""
+        if max_tracks < 1:
+            raise CampaignError(
+                f"max_tracks must be >= 1, got {max_tracks}"
+            )
+        with self._lock:
+            self.max_tracks = max_tracks
+            self._evict_locked()
+
 
 #: the default process-wide track cache used by all campaign drivers.
 checkpoint_cache = CheckpointStore()

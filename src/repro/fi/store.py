@@ -91,6 +91,38 @@ _FAILURE_MARKER = "__task_failure__"
 
 _VIOLATION_CALLBACK = Callable[[IntegrityViolation], None]
 
+#: bounded retry of a flush transaction that hits ``SQLITE_BUSY``
+#: (concurrent campaigns sharing one results database).
+_BUSY_RETRIES = 5
+_BUSY_BACKOFF_S = 0.05
+
+#: flushes started by this process, counted only while the
+#: ``REPRO_CHAOS_KILL_FLUSH`` chaos hook is armed.
+_CHAOS_FLUSH_N = 0
+
+
+def _chaos_kill_flush() -> None:
+    """Simulated ``kill -9`` at a flush's most vulnerable point.
+
+    ``REPRO_CHAOS_KILL_FLUSH=<n>`` hard-exits the process during this
+    process's *n*-th flush — after the new bytes are staged (temp file
+    written / rows inserted) but before they become durable (rename /
+    commit).  A crash in this window must leave the previously
+    persisted state intact and loadable; the recovery tests and the
+    service chaos job drive exactly that.
+    """
+    target = os.environ.get("REPRO_CHAOS_KILL_FLUSH")
+    if not target:
+        return
+    try:
+        nth = int(target)
+    except ValueError:
+        return
+    global _CHAOS_FLUSH_N
+    _CHAOS_FLUSH_N += 1
+    if _CHAOS_FLUSH_N == nth:
+        os._exit(137)
+
 
 def backend_for_path(path: str, backend: Optional[str] = None) -> str:
     """Resolve a store backend name for *path*.
@@ -132,6 +164,8 @@ class StoreStats:
     skipped_flushes: int = 0
     records_written: int = 0
     bytes_written: int = 0
+    #: flush transactions retried after SQLITE_BUSY contention.
+    busy_retries: int = 0
 
 
 @dataclass(frozen=True)
@@ -471,6 +505,7 @@ class JsonCheckpointStore(ResultStore):
         os.makedirs(directory, exist_ok=True)
         with open(tmp, "w", encoding="utf-8") as handle:
             handle.write(text)
+        _chaos_kill_flush()  # die after the temp write, before the rename
         os.replace(tmp, self.path)
         self._dirty = False
         self.stats.flushes += 1
@@ -654,6 +689,12 @@ class SqliteResultStore(ResultStore):
                 conn.execute("PRAGMA journal_mode=WAL")
                 conn.execute("PRAGMA synchronous=NORMAL")
                 conn.execute("PRAGMA foreign_keys=ON")
+                # the connect timeout above only guards the python
+                # layer; an explicit busy_timeout makes sqlite itself
+                # wait out writer contention instead of surfacing
+                # SQLITE_BUSY immediately (concurrent campaigns share
+                # one results database under the service daemon)
+                conn.execute("PRAGMA busy_timeout=30000")
                 conn.executescript(_SCHEMA)
                 conn.commit()
             except sqlite3.Error as exc:
@@ -674,7 +715,7 @@ class SqliteResultStore(ResultStore):
         if self._conn is not None:
             try:
                 self.flush()
-            except sqlite3.Error:
+            except (sqlite3.Error, CampaignError):
                 pass
             try:
                 self._conn.close()
@@ -818,6 +859,76 @@ class SqliteResultStore(ResultStore):
         events = self._pending_events
         self._pending = {}
         self._pending_events = []
+        try:
+            written = self._flush_with_busy_retry(
+                conn, campaign_id, pending, events
+            )
+        except BaseException:
+            # whatever interrupted the flush (SQLITE_BUSY exhaustion,
+            # KeyboardInterrupt during drain, an I/O error): the
+            # staged records are not lost — they re-enter the next
+            # flush, behind anything staged meanwhile
+            self._restage(pending, events)
+            raise
+        self.stats.flushes += 1
+        self.stats.records_written += len(pending)
+        self.stats.bytes_written += written
+        return True
+
+    def _restage(
+        self,
+        pending: Dict[int, Tuple[str, Optional[str], Optional[Tuple]]],
+        events: List[Tuple[float, str, str]],
+    ) -> None:
+        for idx, row in pending.items():
+            self._pending.setdefault(idx, row)
+        self._pending_events[:0] = events
+
+    def _flush_with_busy_retry(
+        self,
+        conn: sqlite3.Connection,
+        campaign_id: Optional[int],
+        pending: Dict[int, Tuple[str, Optional[str], Optional[Tuple]]],
+        events: List[Tuple[float, str, str]],
+    ) -> int:
+        """One flush transaction, retried through ``SQLITE_BUSY``.
+
+        ``busy_timeout`` already makes sqlite wait out short writer
+        contention; this bounded retry covers the residual cases that
+        still surface as ``database is locked`` (a writer holding the
+        lock past the timeout, lock escalation races), so concurrent
+        campaigns sharing one database degrade to a delay, not a
+        crash.
+        """
+        for attempt in range(1, _BUSY_RETRIES + 1):
+            try:
+                return self._flush_transaction(
+                    conn, campaign_id, pending, events
+                )
+            except sqlite3.OperationalError as exc:
+                message = str(exc).lower()
+                if "locked" not in message and "busy" not in message:
+                    raise
+                try:
+                    conn.rollback()
+                except sqlite3.Error:
+                    pass
+                if attempt == _BUSY_RETRIES:
+                    raise CampaignError(
+                        f"{self.path}: flush still SQLITE_BUSY after "
+                        f"{_BUSY_RETRIES} attempts ({exc})"
+                    ) from exc
+                self.stats.busy_retries += 1
+                time.sleep(_BUSY_BACKOFF_S * (2 ** (attempt - 1)))
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _flush_transaction(
+        self,
+        conn: sqlite3.Connection,
+        campaign_id: Optional[int],
+        pending: Dict[int, Tuple[str, Optional[str], Optional[Tuple]]],
+        events: List[Tuple[float, str, str]],
+    ) -> int:
         written = 0
         if pending:
             if campaign_id is None:  # pragma: no cover - guarded by put
@@ -863,11 +974,9 @@ class SqliteResultStore(ResultStore):
                     for ts, event, payload in events
                 ],
             )
+        _chaos_kill_flush()  # die after the inserts, before the commit
         conn.commit()
-        self.stats.flushes += 1
-        self.stats.records_written += len(pending)
-        self.stats.bytes_written += written
-        return True
+        return written
 
     def discard_campaign(self, campaign: str) -> None:
         conn = self.connection

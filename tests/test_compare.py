@@ -204,6 +204,15 @@ def results_db(tmp_path_factory):
 
 
 class TestAnalyzeCLI:
+    def test_list_empty_db(self, tmp_path, capsys):
+        from repro.fi.store import SqliteResultStore
+
+        path = str(tmp_path / "results.db")
+        with SqliteResultStore(path) as store:
+            store.list_results()  # forces schema creation, no content
+        assert repro_main(["analyze", "--db", path, "list"]) == 0
+        assert "empty results database" in capsys.readouterr().out
+
     def test_list(self, results_db, capsys):
         assert repro_main(["analyze", "--db", results_db, "list"]) == 0
         out = capsys.readouterr().out
