@@ -30,6 +30,12 @@ Subcommands
     Query a campaign results database: ``list`` its contents, ``show``
     one stored result, ``diff`` two runs proportion-by-proportion with
     Wilson intervals, or ``import`` a legacy JSON checkpoint.
+``place``
+    Solve the budgeted EDM-placement problem over measured
+    permeabilities: greedy + branch-and-bound ILP coverage
+    maximization through the compositional per-module cache (see
+    ``docs/placement.md``).  Exits 0 only when the solved set
+    dominates both hand-derived sets on coverage per byte.
 ``serve`` / ``submit`` / ``status`` / ``cancel`` / ``drain``
     The campaign service (see ``docs/service.md``): a long-running
     daemon scheduling submitted campaign jobs over a shared worker
@@ -286,6 +292,138 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
             )
             return 0
     except (AnalysisError, CampaignError, IntegrityError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _cmd_place(args: argparse.Namespace) -> int:
+    from repro.edm.catalogue import EH_SET, PA_SET
+    from repro.errors import (
+        AnalysisError,
+        CampaignError,
+        ExperimentError,
+        ModelError,
+        PlacementError,
+    )
+    from repro.experiments.context import SCALES, default_scale
+    from repro.fi.campaign import PermeabilityEstimate
+    from repro.place import (
+        Budget,
+        PlacementCache,
+        build_report,
+        cached_estimate,
+        greedy_solve,
+        ilp_solve,
+        instance_from_estimate,
+        items_for_signals,
+    )
+    from repro.targets import get_target
+
+    try:
+        target = get_target(args.target)
+        system = target.build_system()
+        specs = target.assertion_specs()
+
+        telemetry = None
+        if args.run is not None:
+            import os
+
+            from repro.fi.store import SqliteResultStore
+
+            # read-only query: must not create an empty database
+            if not os.path.exists(args.db):
+                print(
+                    f"error: {args.db}: no such results database",
+                    file=sys.stderr,
+                )
+                return 2
+            with SqliteResultStore(args.db) as store:
+                estimate = store.load_result(args.run)
+            if not isinstance(estimate, PermeabilityEstimate):
+                print(
+                    f"error: stored run {args.run!r} is a "
+                    f"{type(estimate).__name__}, not a permeability "
+                    f"estimate",
+                    file=sys.stderr,
+                )
+                return 2
+        else:
+            scale_name = (
+                args.scale if args.scale is not None else default_scale()
+            )
+            if scale_name not in SCALES:
+                print(
+                    f"error: --scale must be one of {sorted(SCALES)}, "
+                    f"got {scale_name!r}",
+                    file=sys.stderr,
+                )
+                return 2
+            scale = SCALES[scale_name]
+            cases = list(target.standard_test_cases())
+            cases = cases[:: scale.test_case_stride]
+            runs = (
+                args.runs if args.runs is not None else scale.runs_per_input
+            )
+            with PlacementCache(args.cache) as cache:
+                estimate, telemetry = cached_estimate(
+                    target,
+                    cases,
+                    cache,
+                    runs_per_input=runs,
+                    seed=args.seed,
+                    invalidate=tuple(args.invalidate),
+                )
+
+        by_signal = {spec.signal: spec for spec in specs}
+        if args.budget_rom is None and args.budget_ram is None \
+                and args.budget_time is None:
+            # default budget: the PA hand set's Table 3 footprint, so
+            # "dominates PA" is an apples-to-apples claim
+            pa_specs = [by_signal[s] for s in PA_SET if s in by_signal]
+            budget = Budget(
+                rom_bytes=sum(spec.rom_bytes for spec in pa_specs),
+                ram_bytes=sum(spec.ram_bytes for spec in pa_specs),
+            )
+        else:
+            budget = Budget(
+                rom_bytes=args.budget_rom,
+                ram_bytes=args.budget_ram,
+                time_slots=args.budget_time,
+            )
+
+        instance = instance_from_estimate(
+            system, estimate, specs, budget, level=args.level
+        )
+        greedy = ilp = None
+        if args.solver in ("greedy", "both"):
+            greedy = greedy_solve(instance)
+        if args.solver in ("ilp", "both"):
+            ilp = ilp_solve(instance)
+        result = ilp if ilp is not None else greedy
+
+        hand_sets = []
+        for name, signals in (("EH", EH_SET), ("PA", PA_SET)):
+            members = [s for s in signals if s in by_signal]
+            if members:
+                hand_sets.append(
+                    (name, items_for_signals(instance, members))
+                )
+        report = build_report(target.name, instance, result, hand_sets)
+        print(report.render())
+        if greedy is not None and ilp is not None:
+            agree = greedy.selected == ilp.selected
+            print(
+                f"Greedy cross-check: {'agrees' if agree else 'differs'} "
+                f"(greedy coverage {greedy.coverage:.6f}, "
+                f"certified >= {greedy.certified_fraction:.4f} of bound)"
+            )
+        if telemetry is not None:
+            print(telemetry.describe())
+        return 0 if report.dominates_all else 1
+    except (
+        AnalysisError, CampaignError, ExperimentError, ModelError,
+        PlacementError,
+    ) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
@@ -787,6 +925,69 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     add_spool(p_drain)
     p_drain.set_defaults(fn=_cmd_drain)
+
+    p_place = sub.add_parser(
+        "place",
+        help="solve the budgeted EDM placement (greedy + ILP over the "
+        "compositional permeability cache)",
+    )
+    p_place.add_argument(
+        "--target", default="arrestment",
+        help="registered target system (default: arrestment)",
+    )
+    p_place.add_argument(
+        "--budget-rom", type=int, default=None, metavar="BYTES",
+        help="ROM budget in bytes (default: the PA hand set's ROM cost)",
+    )
+    p_place.add_argument(
+        "--budget-ram", type=int, default=None, metavar="BYTES",
+        help="RAM budget in bytes (default: the PA hand set's RAM cost)",
+    )
+    p_place.add_argument(
+        "--budget-time", type=int, default=None, metavar="N",
+        help="time budget: maximum number of EAs (default: none)",
+    )
+    p_place.add_argument(
+        "--solver", choices=("greedy", "ilp", "both"), default="both",
+        help="greedy (1-1/e certificate), ilp (proves optimality), or "
+        "both with a cross-check line (the default)",
+    )
+    p_place.add_argument(
+        "--cache", default="place-cache.json", metavar="PATH",
+        help="compositional per-module permeability cache; .json or "
+        ".db/.sqlite/.sqlite3 suffix picks the backend "
+        "(default: place-cache.json)",
+    )
+    p_place.add_argument(
+        "--invalidate", action="append", default=[], metavar="MODULE",
+        help="force this module's cache entry stale so it is "
+        "re-injected (repeatable)",
+    )
+    p_place.add_argument(
+        "--scale", default=None,
+        help="campaign scale for fresh injections "
+        "(default: REPRO_SCALE or bench)",
+    )
+    p_place.add_argument("--seed", type=int, default=2002)
+    p_place.add_argument(
+        "--runs", type=int, default=None, metavar="N",
+        help="override the scale's injection runs per module input",
+    )
+    p_place.add_argument(
+        "--level", type=float, default=0.95, metavar="L",
+        help="confidence level of the Wilson coverage bounds "
+        "(default: 0.95)",
+    )
+    p_place.add_argument(
+        "--db", default="results.db", metavar="PATH",
+        help="results database for --run (default: results.db)",
+    )
+    p_place.add_argument(
+        "--run", default=None, metavar="NAME",
+        help="solve over this stored permeability estimate instead of "
+        "injecting, e.g. arrestment-test-seed2002/permeability",
+    )
+    p_place.set_defaults(fn=_cmd_place)
 
     p_an = sub.add_parser(
         "analyze",

@@ -9,6 +9,7 @@ from repro.analysis.compare import (
 )
 from repro.analysis.estimators import (
     EstimateConfidence,
+    bound_matrices_from_estimate,
     estimate_confidence,
     estimate_intervals,
     matrix_from_estimate,
@@ -29,6 +30,7 @@ from repro.analysis.tables import fmt, render_table
 __all__ = [
     "EstimateConfidence",
     "ProportionDelta",
+    "bound_matrices_from_estimate",
     "RunComparison",
     "compare_detection",
     "compare_permeability",

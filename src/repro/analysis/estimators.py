@@ -45,6 +45,7 @@ from repro.model.system import SystemModel
 
 __all__ = [
     "matrix_from_estimate",
+    "bound_matrices_from_estimate",
     "estimate_confidence",
     "estimate_intervals",
     "EstimateConfidence",
@@ -76,6 +77,34 @@ def matrix_from_estimate(
             )
         values[pair] = estimate.values[key]
     return PermeabilityMatrix.from_values(system, values)
+
+
+def bound_matrices_from_estimate(
+    system: SystemModel,
+    estimate: PermeabilityEstimate,
+    level: float = 0.95,
+) -> Tuple[PermeabilityMatrix, PermeabilityMatrix]:
+    """``(lower, upper)`` Wilson-bound matrices for every pair.
+
+    Each permeability is replaced by the endpoint of its Wilson score
+    interval at confidence *level*; downstream measures that are
+    monotone in every permeability (exposure, impact, placement
+    coverage) evaluated on these matrices bound the measured value.
+    """
+    intervals = estimate_intervals(estimate, level=level)
+    lows: Dict[object, float] = {}
+    highs: Dict[object, float] = {}
+    for pair in system.io_pairs():
+        key = (pair.module, pair.in_port, pair.out_port)
+        if key not in intervals:
+            raise AnalysisError(
+                f"campaign produced no estimate for pair {key}"
+            )
+        lows[pair], highs[pair] = intervals[key]
+    return (
+        PermeabilityMatrix.from_values(system, lows),
+        PermeabilityMatrix.from_values(system, highs),
+    )
 
 
 @dataclass(frozen=True)

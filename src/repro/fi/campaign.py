@@ -243,12 +243,20 @@ class PermeabilityCampaign:
         seed: Optional[int] = None,
         direct_only: bool = True,
         config: Optional[CampaignConfig] = None,
+        modules: Optional[Sequence[str]] = None,
     ):
         """*direct_only* selects the paper's accounting (Section 5.3:
         count only direct output errors, excluding errors that left
         through another output and came back).  Setting it to False
         counts every first difference — the ablation of design
-        decision D2 in DESIGN.md."""
+        decision D2 in DESIGN.md.
+
+        *modules* restricts injection to the named modules (the
+        compositional-reuse path of ``repro.place.cache``: only
+        modules whose fingerprint changed are re-injected).  ``None``
+        injects every module.  The restriction is part of the campaign
+        fingerprint, so restricted and full campaigns never share
+        checkpoints."""
         if runs_per_input <= 0:
             raise CampaignError(
                 f"runs_per_input must be positive, got {runs_per_input}"
@@ -259,6 +267,7 @@ class PermeabilityCampaign:
         self.seed = _resolve_seed(seed, config)
         self.rng = random.Random(self.seed)
         self.direct_only = direct_only
+        self.modules = tuple(modules) if modules is not None else None
         self.config = config
         self.goldens = golden_cache.store_for(
             _target_label(factory), self.factory
@@ -292,11 +301,21 @@ class PermeabilityCampaign:
         # serial loop order (module -> in_port -> run_index).  The
         # adaptive path pre-draws the identical full-budget list — a
         # stopped stratum simply never dispatches its tail.
+        if self.modules is not None:
+            known = {module.name for module in system.modules()}
+            unknown = [m for m in self.modules if m not in known]
+            if unknown:
+                raise CampaignError(
+                    f"unknown modules {unknown}; "
+                    f"system has {sorted(known)}"
+                )
         pair_keys: List[Tuple[str, str]] = []
         out_ports: Dict[Tuple[str, str], Tuple[str, ...]] = {}
         tasks: List[Tuple[str, str, TestCase, int, int]] = []
         task_pair: List[Tuple[str, str]] = []
         for module in system.modules():
+            if self.modules is not None and module.name not in self.modules:
+                continue
             for in_port in module.inputs:
                 key_in = (module.name, in_port)
                 pair_keys.append(key_in)
@@ -338,11 +357,14 @@ class PermeabilityCampaign:
             direct_only=self.direct_only,
         )
 
-        fingerprint = fingerprint_of(
+        fingerprint_parts = [
             "permeability", system.name, self.seed,
             runs_budget, self.direct_only,
             [case.label for case in self.test_cases],
-        )
+        ]
+        if self.modules is not None:
+            fingerprint_parts.append(sorted(self.modules))
+        fingerprint = fingerprint_of(*fingerprint_parts)
         sentinel = golden_sentinel(self.factory, self.test_cases[0])
         if adaptive:
             strata = [

@@ -1,0 +1,70 @@
+"""Optimal EDM placement search (ROADMAP item 5).
+
+The paper compares two hand-derived EA sets; this package *solves*
+for the placement instead: :mod:`repro.place.model` turns measured
+permeability estimates plus the Table 3 cost catalogue into a
+budgeted coverage-maximization instance, :mod:`repro.place.solvers`
+maximizes it (lazy greedy with a (1 - 1/e) certificate, and a
+branch-and-bound ILP that proves optimality on bounded instances),
+:mod:`repro.place.cache` reuses per-module campaign results
+FastFlip-style so a re-solve only re-injects changed modules, and
+:mod:`repro.place.report` renders the ``repro place`` table with
+Wilson-CI coverage bounds and the coverage-per-byte dominance check
+against the EH and PA hand sets.
+"""
+
+from repro.place.cache import (
+    CacheTelemetry,
+    PlacementCache,
+    cached_estimate,
+    module_fingerprint,
+    system_fingerprints,
+)
+from repro.place.model import (
+    Budget,
+    PlacementInstance,
+    PlacementItem,
+    Stratum,
+    build_instance,
+    instance_from_estimate,
+    items_for_signals,
+)
+from repro.place.report import (
+    HandSetComparison,
+    PlacementReport,
+    build_report,
+)
+from repro.place.solvers import (
+    EPS,
+    GREEDY_GUARANTEE,
+    MarginalExplanation,
+    SolverResult,
+    explain_selection,
+    greedy_solve,
+    ilp_solve,
+)
+
+__all__ = [
+    "Budget",
+    "CacheTelemetry",
+    "EPS",
+    "GREEDY_GUARANTEE",
+    "HandSetComparison",
+    "MarginalExplanation",
+    "PlacementCache",
+    "PlacementInstance",
+    "PlacementItem",
+    "PlacementReport",
+    "SolverResult",
+    "Stratum",
+    "build_instance",
+    "build_report",
+    "cached_estimate",
+    "explain_selection",
+    "greedy_solve",
+    "ilp_solve",
+    "instance_from_estimate",
+    "items_for_signals",
+    "module_fingerprint",
+    "system_fingerprints",
+]

@@ -1,0 +1,360 @@
+"""The budgeted coverage-maximization placement model.
+
+Turns measured per-module permeability estimates plus the Table 3
+cost catalogue into a combinatorial optimization instance:
+
+* **Strata** — the error sources of the propagation error model, one
+  per (module, input port) pair: a fault-injection run flips one bit
+  of one module-input value, so each stratum is exactly one row of
+  the permeability campaign's sampling plan.  Strata are weighted
+  uniformly by default (every error source equally likely, matching
+  the campaigns' uniform sampling).
+
+* **Items** — the executable assertions of the EA catalogue.  Each EA
+  guards one signal and costs its Table 3 ROM/RAM bytes plus one
+  dispatch time slot.
+
+* **Coverage** — an EA guarding signal ``g`` detects a stratum
+  ``(M, i)`` error with probability 1 when ``g`` is the signal wired
+  to that input (the corrupted value is checked directly), and
+  otherwise with the probability that the error *propagates* from the
+  input signal to ``g``: the impact measure of Eq. 2,
+  ``1 - prod_paths(1 - w_path)``, evaluated over the propagation
+  paths whose first edge crosses module ``M``.  A set of EAs detects
+  a stratum error under the noisy-or model, so total coverage
+
+  .. math::
+
+      f(S) = \\sum_s w_s \\Big(1 - \\prod_{a \\in S} (1 - p_{a,s})\\Big)
+
+  is monotone submodular — the property the solvers in
+  :mod:`repro.place.solvers` exploit.
+
+Wilson confidence bounds on the campaign counts propagate through the
+same formula: evaluating coverage with every permeability replaced by
+its Wilson lower (upper) bound yields a coverage lower (upper) bound,
+because ``f`` is monotone in every ``p``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import PlacementError
+from repro.analysis.estimators import (
+    bound_matrices_from_estimate,
+    matrix_from_estimate,
+)
+from repro.core.permeability import PermeabilityMatrix
+from repro.core.trees import build_impact_tree
+from repro.model.graph import SignalGraph
+from repro.model.system import SystemModel
+
+__all__ = [
+    "Stratum",
+    "PlacementItem",
+    "Budget",
+    "PlacementInstance",
+    "build_instance",
+    "instance_from_estimate",
+    "items_for_signals",
+]
+
+
+@dataclass(frozen=True)
+class Stratum:
+    """One error source: a bit flip entering (module, in_port)."""
+
+    module: str
+    in_port: str
+    signal: str  #: the signal wired to the input port
+    weight: float
+
+    @property
+    def label(self) -> str:
+        return f"{self.module}.{self.in_port}"
+
+
+@dataclass(frozen=True)
+class PlacementItem:
+    """One selectable EA with its cost and per-stratum coverage."""
+
+    name: str
+    signal: str
+    rom_bytes: int
+    ram_bytes: int
+    time_cost: int
+    #: detection probability per stratum (instance order), at the
+    #: nominal / Wilson-lower / Wilson-upper permeability estimates
+    p: Tuple[float, ...]
+    p_low: Tuple[float, ...]
+    p_high: Tuple[float, ...]
+
+    @property
+    def total_bytes(self) -> int:
+        return self.rom_bytes + self.ram_bytes
+
+
+@dataclass(frozen=True)
+class Budget:
+    """Resource ceilings; ``None`` leaves a dimension unconstrained."""
+
+    rom_bytes: Optional[int] = None
+    ram_bytes: Optional[int] = None
+    time_slots: Optional[int] = None
+
+    def dims(self) -> List[Tuple[str, int]]:
+        out = []
+        if self.rom_bytes is not None:
+            out.append(("rom_bytes", self.rom_bytes))
+        if self.ram_bytes is not None:
+            out.append(("ram_bytes", self.ram_bytes))
+        if self.time_slots is not None:
+            out.append(("time_slots", self.time_slots))
+        return out
+
+
+_ITEM_COST = {
+    "rom_bytes": lambda item: item.rom_bytes,
+    "ram_bytes": lambda item: item.ram_bytes,
+    "time_slots": lambda item: item.time_cost,
+}
+
+
+@dataclass(frozen=True)
+class PlacementInstance:
+    """A complete budgeted coverage-maximization instance."""
+
+    strata: Tuple[Stratum, ...]
+    items: Tuple[PlacementItem, ...]
+    budget: Budget
+
+    def __post_init__(self) -> None:
+        names = [item.name for item in self.items]
+        if len(set(names)) != len(names):
+            raise PlacementError(f"duplicate item names in {names}")
+        for item in self.items:
+            for level in (item.p, item.p_low, item.p_high):
+                if len(level) != len(self.strata):
+                    raise PlacementError(
+                        f"item {item.name!r} has {len(level)} coverage "
+                        f"entries for {len(self.strata)} strata"
+                    )
+
+    def item(self, name: str) -> PlacementItem:
+        for item in self.items:
+            if item.name == name:
+                return item
+        raise PlacementError(
+            f"no item {name!r}; instance has "
+            f"{[item.name for item in self.items]}"
+        )
+
+    # ------------------------------------------------------------------
+    # Cost and feasibility.
+    # ------------------------------------------------------------------
+    def cost_of(self, names: Sequence[str]) -> Dict[str, int]:
+        items = [self.item(name) for name in names]
+        return {
+            dim: sum(cost(item) for item in items)
+            for dim, cost in _ITEM_COST.items()
+        }
+
+    def item_cost(self, item: PlacementItem, dim: str) -> int:
+        return _ITEM_COST[dim](item)
+
+    def feasible(self, names: Sequence[str]) -> bool:
+        cost = self.cost_of(names)
+        return all(cost[dim] <= limit for dim, limit in self.budget.dims())
+
+    def fits(self, names: Sequence[str], item: PlacementItem) -> bool:
+        """Whether *item* still fits after *names* are selected."""
+        cost = self.cost_of(names)
+        return all(
+            cost[dim] + _ITEM_COST[dim](item) <= limit
+            for dim, limit in self.budget.dims()
+        )
+
+    # ------------------------------------------------------------------
+    # The objective.
+    # ------------------------------------------------------------------
+    def coverage(self, names: Sequence[str], level: str = "nominal") -> float:
+        """Noisy-or coverage of the named EA set.
+
+        *level* selects the permeability table: ``nominal``, ``low``
+        (Wilson lower bounds — a coverage lower bound) or ``high``.
+        """
+        attr = {"nominal": "p", "low": "p_low", "high": "p_high"}
+        try:
+            tables = [
+                getattr(self.item(name), attr[level]) for name in names
+            ]
+        except KeyError:
+            raise PlacementError(
+                f"unknown coverage level {level!r}; "
+                f"expected one of {sorted(attr)}"
+            ) from None
+        total = 0.0
+        for s, stratum in enumerate(self.strata):
+            miss = 1.0
+            for p in tables:
+                miss *= 1.0 - p[s]
+            total += stratum.weight * (1.0 - miss)
+        return total
+
+    def marginal(self, names: Sequence[str], candidate: str) -> float:
+        return self.coverage(list(names) + [candidate]) - self.coverage(names)
+
+    def coverage_per_byte(self, names: Sequence[str]) -> float:
+        """Coverage per ROM+RAM byte — the dominance metric."""
+        if not names:
+            return 0.0
+        total = sum(self.item(name).total_bytes for name in names)
+        return self.coverage(names) / total if total else float("inf")
+
+
+# ======================================================================
+# Instance construction.
+# ======================================================================
+def _propagation(
+    matrix: PermeabilityMatrix,
+    tree,
+    module: str,
+    dest: str,
+) -> float:
+    """Probability that an error entering *module* on the tree's root
+    signal reaches *dest* (Eq. 2 over the impact-tree paths whose
+    first edge crosses *module*)."""
+    product = 1.0
+
+    def visit(node, weight: float) -> None:
+        nonlocal product
+        if node.signal == dest and node.edge is not None:
+            product *= 1.0 - weight
+        for child in node.children:
+            visit(child, weight * matrix[child.edge])
+
+    for child in tree.root.children:
+        if child.edge.module != module:
+            continue
+        visit(child, matrix[child.edge])
+    return 1.0 - product
+
+
+def build_instance(
+    system: SystemModel,
+    matrix: PermeabilityMatrix,
+    specs: Sequence,
+    budget: Budget,
+    matrix_low: Optional[PermeabilityMatrix] = None,
+    matrix_high: Optional[PermeabilityMatrix] = None,
+    weights: Optional[Mapping[Tuple[str, str], float]] = None,
+) -> PlacementInstance:
+    """Build the instance for *system* under *matrix*.
+
+    *specs* are :class:`~repro.edm.assertions.AssertionSpec`-shaped
+    objects (``name``/``signal``/``rom_bytes``/``ram_bytes``).  When
+    the Wilson-bound matrices are omitted the nominal matrix is used
+    for all three coverage levels (point estimates, e.g. the paper's
+    published Table 1).  *weights* overrides the uniform stratum
+    weighting with per-(module, in_port) values (normalized here).
+    """
+    graph = SignalGraph(system)
+    keys: List[Tuple[str, str, str]] = []
+    for module in system.modules():
+        for in_port in module.inputs:
+            signal = system.signal_of_input(module.name, in_port)
+            keys.append((module.name, in_port, signal))
+    if not keys:
+        raise PlacementError(f"system {system.name!r} has no module inputs")
+    if weights is None:
+        raw = {(m, i): 1.0 for (m, i, _) in keys}
+    else:
+        raw = {(m, i): float(weights[(m, i)]) for (m, i, _) in keys}
+        if any(w < 0.0 for w in raw.values()):
+            raise PlacementError("stratum weights must be non-negative")
+    total = sum(raw.values())
+    if total <= 0.0:
+        raise PlacementError("stratum weights sum to zero")
+    strata = tuple(
+        Stratum(m, i, signal, raw[(m, i)] / total) for (m, i, signal) in keys
+    )
+
+    low = matrix_low if matrix_low is not None else matrix
+    high = matrix_high if matrix_high is not None else matrix
+    # one impact tree per distinct source signal, shared across every
+    # item and all three permeability tables
+    trees = {
+        signal: build_impact_tree(graph, signal)
+        for signal in {stratum.signal for stratum in strata}
+    }
+    items = []
+    for spec in sorted(specs, key=lambda sp: sp.name):
+        p_rows = []
+        for mat in (matrix, low, high):
+            row = []
+            for stratum in strata:
+                if spec.signal == stratum.signal:
+                    row.append(1.0)
+                else:
+                    row.append(
+                        _propagation(
+                            mat, trees[stratum.signal],
+                            stratum.module, spec.signal,
+                        )
+                    )
+            p_rows.append(tuple(row))
+        items.append(
+            PlacementItem(
+                name=spec.name,
+                signal=spec.signal,
+                rom_bytes=spec.rom_bytes,
+                ram_bytes=spec.ram_bytes,
+                time_cost=1,
+                p=p_rows[0],
+                p_low=p_rows[1],
+                p_high=p_rows[2],
+            )
+        )
+    return PlacementInstance(
+        strata=strata, items=tuple(items), budget=budget
+    )
+
+
+def instance_from_estimate(
+    system: SystemModel,
+    estimate,
+    specs: Sequence,
+    budget: Budget,
+    level: float = 0.95,
+    weights: Optional[Mapping[Tuple[str, str], float]] = None,
+) -> PlacementInstance:
+    """Instance from a measured :class:`PermeabilityEstimate`, with
+    Wilson interval bounds at confidence *level* feeding the coverage
+    bound tables."""
+    matrix = matrix_from_estimate(system, estimate)
+    low, high = bound_matrices_from_estimate(system, estimate, level=level)
+    return build_instance(
+        system,
+        matrix,
+        specs,
+        budget,
+        matrix_low=low,
+        matrix_high=high,
+        weights=weights,
+    )
+
+
+def items_for_signals(
+    instance: PlacementInstance, signals: Sequence[str]
+) -> List[str]:
+    """The instance item names guarding *signals* (the hand sets)."""
+    by_signal = {item.signal: item.name for item in instance.items}
+    unknown = [s for s in signals if s not in by_signal]
+    if unknown:
+        raise PlacementError(
+            f"no placement item guards {unknown}; "
+            f"guardable: {sorted(by_signal)}"
+        )
+    return [by_signal[s] for s in signals]

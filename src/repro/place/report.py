@@ -1,0 +1,159 @@
+"""Placement reporting: the ``repro place`` table and dominance check.
+
+Renders a solved :class:`~repro.place.solvers.SolverResult` as the
+placement table the CLI prints — one row per catalogue EA with its
+Table 3 cost, selection mark and marginal coverage — followed by the
+Wilson-CI coverage bounds of the solved set and the coverage-per-byte
+comparison against the two hand-derived sets (EH and PA).  The
+rendering is deliberately deterministic (fixed field formats, sorted
+rows) so a cold solve and a cache-hit re-solve can be compared byte
+for byte.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from repro.place.model import PlacementInstance
+from repro.place.solvers import SolverResult
+
+__all__ = ["HandSetComparison", "PlacementReport", "build_report"]
+
+
+@dataclass(frozen=True)
+class HandSetComparison:
+    """Coverage-per-byte of one hand-derived set vs the solved set."""
+
+    name: str  #: "EH" or "PA"
+    members: Tuple[str, ...]
+    coverage: float
+    total_bytes: int
+    coverage_per_byte: float
+    dominated: bool  #: solved set's coverage/byte >= this set's
+
+
+@dataclass(frozen=True)
+class PlacementReport:
+    """Everything ``repro place`` prints for one solve."""
+
+    target: str
+    instance: PlacementInstance
+    result: SolverResult
+    coverage_low: float
+    coverage_high: float
+    hand_sets: Tuple[HandSetComparison, ...]
+
+    @property
+    def dominates_all(self) -> bool:
+        return all(comparison.dominated for comparison in self.hand_sets)
+
+    def render(self) -> str:
+        instance, result = self.instance, self.result
+        budget = instance.budget
+        marks = {name: i for i, name in enumerate(result.selected)}
+        explained = {exp.name: exp for exp in result.explanations}
+
+        def limit(value) -> str:
+            return "-" if value is None else str(value)
+
+        lines = [
+            f"Budgeted EDM placement (target={self.target}, "
+            f"solver={result.solver}"
+            + (", optimal" if result.optimal else "")
+            + ")",
+            f"Budget: ROM<={limit(budget.rom_bytes)} "
+            f"RAM<={limit(budget.ram_bytes)} "
+            f"EAs<={limit(budget.time_slots)}  strata={len(instance.strata)}",
+            "  EA    signal        ROM  RAM  sel  marginal",
+        ]
+        for item in sorted(instance.items, key=lambda it: it.name):
+            if item.name in marks:
+                mark = "yes"
+                marginal = explained[item.name].marginal
+            else:
+                mark = "no "
+                marginal = instance.marginal(list(result.selected), item.name)
+            lines.append(
+                f"  {item.name:<5} {item.signal:<12} "
+                f"{item.rom_bytes:>4} {item.ram_bytes:>4}  {mark}  "
+                f"{marginal:.6f}"
+            )
+        cost = instance.cost_of(result.selected)
+        total = cost["rom_bytes"] + cost["ram_bytes"]
+        lines.append(
+            f"Coverage(solved) = {result.coverage:.6f} "
+            f"[{self.coverage_low:.6f}, {self.coverage_high:.6f}] (Wilson)"
+        )
+        lines.append(
+            f"Cost(solved): ROM={cost['rom_bytes']} RAM={cost['ram_bytes']} "
+            f"bytes={total} EAs={cost['time_slots']}"
+        )
+        certificate = (
+            "optimality proven"
+            if result.optimal
+            else (
+                f"within {result.certified_fraction:.4f} of bound "
+                f"{result.upper_bound:.6f}"
+                + (
+                    f" (guarantee {result.guarantee:.4f})"
+                    if result.guarantee is not None
+                    else ""
+                )
+            )
+        )
+        lines.append(f"Certificate: {certificate}")
+        solved_cpb = (
+            result.coverage / total if total else 0.0
+        )
+        lines.append(f"Coverage/byte: solved={solved_cpb:.8f}")
+        for comparison in self.hand_sets:
+            verdict = "dominated" if comparison.dominated else "NOT dominated"
+            lines.append(
+                f"  vs {comparison.name}: coverage={comparison.coverage:.6f} "
+                f"bytes={comparison.total_bytes} "
+                f"coverage/byte={comparison.coverage_per_byte:.8f} "
+                f"-> {verdict}"
+            )
+        return "\n".join(lines)
+
+
+def build_report(
+    target: str,
+    instance: PlacementInstance,
+    result: SolverResult,
+    hand_sets: Sequence[Tuple[str, Sequence[str]]],
+    eps: float = 1e-12,
+) -> PlacementReport:
+    """Assemble the report: Wilson coverage bounds for the solved set
+    plus the coverage-per-byte dominance verdict against each
+    ``(name, members)`` hand set."""
+    selected = list(result.selected)
+    total = sum(instance.item(name).total_bytes for name in selected)
+    solved_cpb = result.coverage / total if total else 0.0
+    comparisons = []
+    for name, members in hand_sets:
+        members = tuple(members)
+        coverage = instance.coverage(members)
+        hand_bytes = sum(
+            instance.item(member).total_bytes for member in members
+        )
+        cpb = coverage / hand_bytes if hand_bytes else 0.0
+        comparisons.append(
+            HandSetComparison(
+                name=name,
+                members=members,
+                coverage=coverage,
+                total_bytes=hand_bytes,
+                coverage_per_byte=cpb,
+                dominated=solved_cpb + eps >= cpb,
+            )
+        )
+    return PlacementReport(
+        target=target,
+        instance=instance,
+        result=result,
+        coverage_low=instance.coverage(selected, level="low"),
+        coverage_high=instance.coverage(selected, level="high"),
+        hand_sets=tuple(comparisons),
+    )

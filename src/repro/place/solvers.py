@@ -1,0 +1,382 @@
+"""Placement solvers: lazy greedy and branch-and-bound ILP.
+
+Two exact-arithmetic-free, pure-python solvers over a
+:class:`~repro.place.model.PlacementInstance`:
+
+* :func:`greedy_solve` — the classic budgeted-submodular recipe
+  (Khuller/Moss/Naor, Sviridenko): enumerate all feasible seed sets
+  of up to ``seed_size`` items, complete each seed with a lazy greedy
+  that picks the best marginal-coverage-per-normalized-cost item, and
+  return the best completion.  With ``seed_size >= 3`` the result is
+  guaranteed within ``1 - 1/e`` of the optimum for monotone
+  submodular coverage under a knapsack budget; the returned
+  :class:`SolverResult` carries that guarantee plus a data-dependent
+  upper bound, so callers get a per-instance certificate
+  ``coverage >= guarantee * upper_bound`` without running the ILP.
+
+* :func:`ilp_solve` — depth-first branch-and-bound over the 0/1
+  selection variables.  The node bound is the minimum of the
+  monotonicity bound ``f(S ∪ remaining)`` and, per finite budget
+  dimension, a fractional-knapsack bound on the remaining items'
+  current marginals (valid because submodular marginals only shrink
+  as the set grows).  The search is exhaustive, so a completed run
+  *proves* optimality (``optimal=True``); ties are broken toward
+  fewer total bytes, then lexicographically smaller selections, so
+  results are deterministic and independent of item order.
+
+Both solvers emit per-EA marginal-coverage explanations: the coverage
+each selected assertion added at the moment it entered the solution.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from itertools import combinations
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import PlacementError
+from repro.place.model import PlacementInstance, PlacementItem
+
+__all__ = [
+    "EPS",
+    "GREEDY_GUARANTEE",
+    "MarginalExplanation",
+    "SolverResult",
+    "greedy_solve",
+    "ilp_solve",
+    "explain_selection",
+]
+
+#: tolerance below which a marginal coverage gain counts as zero.
+EPS = 1e-12
+#: the (1 - 1/e) approximation factor of the seeded greedy.
+GREEDY_GUARANTEE = 1.0 - 1.0 / math.e
+
+
+@dataclass(frozen=True)
+class MarginalExplanation:
+    """Why one EA entered the solution: its marginal contribution."""
+
+    name: str
+    signal: str
+    marginal: float  #: coverage added when this EA was selected
+    coverage_after: float  #: cumulative coverage including this EA
+    rom_bytes: int
+    ram_bytes: int
+
+
+@dataclass(frozen=True)
+class SolverResult:
+    """A solved placement with its certificate."""
+
+    solver: str
+    selected: Tuple[str, ...]  #: item names, sorted
+    coverage: float
+    upper_bound: float  #: data-dependent bound on the optimum
+    optimal: bool  #: True when the bound proves optimality
+    guarantee: Optional[float]  #: approximation factor, if any
+    explanations: Tuple[MarginalExplanation, ...]
+    nodes: int = 0  #: branch-and-bound nodes explored (ILP only)
+
+    @property
+    def certified_fraction(self) -> float:
+        """coverage / upper_bound — 1.0 means provably optimal."""
+        if self.upper_bound <= EPS:
+            return 1.0
+        return min(1.0, self.coverage / self.upper_bound)
+
+
+def _sorted_items(instance: PlacementInstance) -> List[PlacementItem]:
+    """Items in name order: the canonical order every solver uses, so
+    solutions are invariant under permutations of ``instance.items``."""
+    return sorted(instance.items, key=lambda item: item.name)
+
+
+def explain_selection(
+    instance: PlacementInstance, names: Sequence[str]
+) -> Tuple[MarginalExplanation, ...]:
+    """Greedy-order marginal explanations for an arbitrary set: items
+    are peeled off in order of largest marginal w.r.t. the already
+    explained prefix (ties toward the smaller name)."""
+    remaining = sorted(names)
+    chosen: List[str] = []
+    out: List[MarginalExplanation] = []
+    while remaining:
+        best = max(
+            remaining,
+            key=lambda name: (instance.marginal(chosen, name), name),
+        )
+        marginal = instance.marginal(chosen, best)
+        chosen.append(best)
+        item = instance.item(best)
+        out.append(
+            MarginalExplanation(
+                name=item.name,
+                signal=item.signal,
+                marginal=marginal,
+                coverage_after=instance.coverage(chosen),
+                rom_bytes=item.rom_bytes,
+                ram_bytes=item.ram_bytes,
+            )
+        )
+        remaining.remove(best)
+    return tuple(out)
+
+
+# ======================================================================
+# Shared bounding machinery.
+# ======================================================================
+def _upper_bound(
+    instance: PlacementInstance,
+    selected: List[str],
+    remaining: List[PlacementItem],
+) -> float:
+    """Upper bound on the best coverage reachable from *selected*
+    using any feasible subset of *remaining*."""
+    base = instance.coverage(selected)
+    if not remaining:
+        return base
+    # monotonicity bound: no completion beats taking everything
+    bound = instance.coverage(selected + [item.name for item in remaining])
+    if bound - base <= EPS:
+        return base
+    cost_now = instance.cost_of(selected)
+    marginals = [
+        (item, instance.marginal(selected, item.name)) for item in remaining
+    ]
+    for dim, limit in instance.budget.dims():
+        slack = limit - cost_now[dim]
+        if slack < 0:
+            return base  # already infeasible; caller prunes on this
+        # fractional knapsack on current marginals: valid because
+        # submodular marginals only shrink as the set grows
+        ranked = sorted(
+            marginals,
+            key=lambda pair: (
+                -(pair[1] / max(1, instance.item_cost(pair[0], dim)))
+            ),
+        )
+        total = base
+        room = slack
+        for item, marginal in ranked:
+            if marginal <= 0.0:
+                continue
+            cost = instance.item_cost(item, dim)
+            if cost <= 0:
+                total += marginal
+                continue
+            if cost <= room:
+                total += marginal
+                room -= cost
+            else:
+                total += marginal * (room / cost)
+                break
+        bound = min(bound, total)
+    return max(bound, base)
+
+
+# ======================================================================
+# Lazy greedy with seed enumeration.
+# ======================================================================
+def _greedy_complete(
+    instance: PlacementInstance, seed: List[str]
+) -> List[str]:
+    """Complete *seed* with the lazy-greedy density rule."""
+    selected = list(seed)
+    dims = instance.budget.dims()
+
+    def density(item: PlacementItem, marginal: float) -> float:
+        if not dims:
+            return marginal
+        norm = sum(
+            instance.item_cost(item, dim) / limit if limit > 0 else math.inf
+            for dim, limit in dims
+        )
+        if norm <= 0.0:
+            return math.inf if marginal > EPS else 0.0
+        return marginal / norm
+
+    chosen = set(selected)
+    # lazy evaluation: cached (stale) marginals only shrink, so the
+    # heap head needs refreshing only until a refreshed entry stays on
+    # top.  n is small; a sorted list is the simplest exact heap.
+    stale = {
+        item.name: math.inf
+        for item in _sorted_items(instance)
+        if item.name not in chosen
+    }
+    while True:
+        best_name = None
+        best_key = (0.0, 0.0)
+        for name in sorted(stale, key=lambda n: (-stale[n], n)):
+            item = instance.item(name)
+            if not instance.fits(selected, item):
+                continue
+            marginal = instance.marginal(selected, name)
+            score = density(item, marginal)
+            stale[name] = score
+            if marginal <= EPS:
+                continue
+            key = (score, marginal)
+            if best_name is None or key > best_key:
+                best_name, best_key = name, key
+            # lazy exit: every later entry's cached score is already
+            # below the refreshed best, and true scores only shrink
+            if all(
+                stale[other] <= best_key[0]
+                for other in stale
+                if other != best_name
+            ):
+                break
+        if best_name is None:
+            return selected
+        selected.append(best_name)
+        del stale[best_name]
+
+
+def greedy_solve(
+    instance: PlacementInstance, seed_size: int = 3
+) -> SolverResult:
+    """Budgeted-coverage greedy with partial seed enumeration.
+
+    Enumerates every feasible seed of at most *seed_size* items
+    (including the empty seed), greedily completes each, and keeps
+    the best completion — the (1 - 1/e) recipe for submodular
+    maximization under a knapsack budget.  Deterministic: candidate
+    orders and tie-breaks are by item name throughout.
+    """
+    if seed_size < 0:
+        raise PlacementError(f"seed_size must be >= 0, got {seed_size}")
+    items = _sorted_items(instance)
+    names = [item.name for item in items]
+    best: Optional[List[str]] = None
+    best_key = None
+    seeds: List[Tuple[str, ...]] = [()]
+    for size in range(1, min(seed_size, len(names)) + 1):
+        seeds.extend(combinations(names, size))
+    for seed in seeds:
+        if not instance.feasible(list(seed)):
+            continue
+        candidate = _greedy_complete(instance, list(seed))
+        cost = instance.cost_of(candidate)
+        key = (
+            instance.coverage(candidate),
+            -(cost["rom_bytes"] + cost["ram_bytes"]),
+            tuple(sorted(candidate)),
+        )
+        # prefer higher coverage, then fewer bytes, then the
+        # lexicographically smaller selection (stable determinism)
+        if best is None:
+            best, best_key = candidate, key
+        elif key[0] > best_key[0] + EPS:
+            best, best_key = candidate, key
+        elif abs(key[0] - best_key[0]) <= EPS:
+            if key[1] > best_key[1] or (
+                key[1] == best_key[1] and key[2] < best_key[2]
+            ):
+                best, best_key = candidate, key
+    if best is None:
+        raise PlacementError(
+            "no feasible placement: even the empty set violates a budget"
+        )
+    selected = tuple(sorted(best))
+    upper = _upper_bound(
+        instance, [],
+        [item for item in items if instance.fits([], item)],
+    )
+    coverage = instance.coverage(selected)
+    return SolverResult(
+        solver="greedy",
+        selected=selected,
+        coverage=coverage,
+        upper_bound=max(upper, coverage),
+        optimal=coverage + EPS >= upper,
+        guarantee=GREEDY_GUARANTEE,
+        explanations=explain_selection(instance, selected),
+    )
+
+
+# ======================================================================
+# Branch-and-bound ILP.
+# ======================================================================
+def ilp_solve(
+    instance: PlacementInstance, max_items: int = 24
+) -> SolverResult:
+    """Prove-optimal placement by depth-first branch and bound.
+
+    Bounded instances only: *max_items* caps the number of selectable
+    items (the search is exponential in the worst case; the paper's
+    target has 7).  A completed search certifies optimality — the
+    returned result has ``optimal=True`` and
+    ``upper_bound == coverage``.
+    """
+    items = _sorted_items(instance)
+    if len(items) > max_items:
+        raise PlacementError(
+            f"instance has {len(items)} items; branch-and-bound is "
+            f"capped at {max_items} (raise max_items explicitly)"
+        )
+    # branch on high root density first: good incumbents early
+    root_order = sorted(
+        items,
+        key=lambda item: (
+            -(instance.marginal([], item.name) / max(1, item.total_bytes)),
+            item.name,
+        ),
+    )
+    best_selected: List[str] = []
+    best_coverage = instance.coverage([])
+    best_bytes = 0
+    nodes = 0
+
+    def consider(selected: List[str]) -> None:
+        nonlocal best_selected, best_coverage, best_bytes
+        coverage = instance.coverage(selected)
+        cost = instance.cost_of(selected)
+        total = cost["rom_bytes"] + cost["ram_bytes"]
+        if coverage > best_coverage + EPS:
+            best_selected = sorted(selected)
+            best_coverage, best_bytes = coverage, total
+        elif abs(coverage - best_coverage) <= EPS:
+            if total < best_bytes or (
+                total == best_bytes and sorted(selected) < best_selected
+            ):
+                best_selected = sorted(selected)
+                best_coverage, best_bytes = coverage, total
+
+    def search(depth: int, selected: List[str]) -> None:
+        nonlocal nodes
+        nodes += 1
+        remaining = [
+            item
+            for item in root_order[depth:]
+            if instance.fits(selected, item)
+        ]
+        if not remaining:
+            return
+        # prune only subtrees that cannot even tie the incumbent:
+        # coverage ties are still explored so byte-minimal sets win
+        if _upper_bound(instance, selected, remaining) < best_coverage - EPS:
+            return
+        item = root_order[depth]
+        if instance.fits(selected, item):
+            selected.append(item.name)
+            consider(selected)
+            search(depth + 1, selected)
+            selected.pop()
+        search(depth + 1, selected)
+
+    consider([])
+    search(0, [])
+    selected = tuple(sorted(best_selected))
+    return SolverResult(
+        solver="ilp",
+        selected=selected,
+        coverage=best_coverage,
+        upper_bound=best_coverage,
+        optimal=True,
+        guarantee=None,
+        explanations=explain_selection(instance, selected),
+        nodes=nodes,
+    )

@@ -8,7 +8,10 @@ stop window or overrun abort), so the kernel keeps a ``running`` mask:
 rows that left the engagement loop stop evaluating their monitor bank,
 stop recording invocations, and freeze their completion latches, while
 the batch advances the remaining rows.  Outcomes are bit-identical to
-the scalar path; dispatch-divergent rows retire to it wholesale.
+the scalar path; memory/recovery/detection rows dispatch per row
+(masked invocations follow each row's own — possibly corrupted —
+schedule), and only permeability rows retire on dispatch divergence,
+because their recorded invocation streams assume the golden schedule.
 """
 
 from __future__ import annotations
@@ -353,31 +356,51 @@ class ArrestmentVectorKernel:
                 rec_len[live] = rec_k + 1
                 rec_k += 1
 
-            # --- retire live rows whose dispatch left the schedule
+            # --- the slot's module(s)
             slot = (t + 1) % self.n_slots
-            diverged = entered & (~retired) & (S["ms_slot_nbr"] != slot)
-            if diverged.any():
-                retired |= diverged
-
-            # --- the slot's module
-            for module in self.slot_modules.get(slot, ()):
-                flip = None
-                if module == target:
-                    sel = pending & (t >= from_tick) & entered
-                    flip = (sel, port_idx, bitmask)
-                args, outs_arrays = self._invoke(module, S, M, flip)
-                if flip is not None and flip[0].any():
-                    sel = flip[0]
-                    pending &= ~sel
-                    first_inj = np.where(sel, t, first_inj)
-                if module == target:
-                    live = np.nonzero(entered)[0]
-                    for j, a in enumerate(args):
-                        rec_ins[live, rec_k, j] = a[live]
-                    for k, o in enumerate(outs_arrays):
-                        rec_outs[live, rec_k, k] = o[live]
-                    rec_len[live] = rec_k + 1
-                    rec_k += 1
+            cur = S["ms_slot_nbr"]
+            if target is None:
+                # per-row dispatch (memory/recovery/detection rows):
+                # exactly like the scalar engagement loop, each row
+                # runs the modules of its own — possibly corrupted —
+                # ms_slot_nbr slot, so dispatch-divergent rows stay
+                # in the batch instead of retiring to the scalar path
+                if (cur == slot).all():
+                    for module in self.slot_modules.get(slot, ()):
+                        self._invoke(module, S, M, None)
+                else:
+                    for value in np.unique(cur):
+                        modules = self.slot_modules.get(int(value), ())
+                        if not modules:
+                            continue
+                        row_mask = cur == value
+                        for module in modules:
+                            self._invoke(module, S, M, None, mask=row_mask)
+            else:
+                # permeability rows: the recorded invocation stream
+                # assumes the golden schedule — retire live rows whose
+                # dispatch diverged from it
+                diverged = entered & (~retired) & (cur != slot)
+                if diverged.any():
+                    retired |= diverged
+                for module in self.slot_modules.get(slot, ()):
+                    flip = None
+                    if module == target:
+                        sel = pending & (t >= from_tick) & entered
+                        flip = (sel, port_idx, bitmask)
+                    args, outs_arrays = self._invoke(module, S, M, flip)
+                    if flip is not None and flip[0].any():
+                        sel = flip[0]
+                        pending &= ~sel
+                        first_inj = np.where(sel, t, first_inj)
+                    if module == target:
+                        live = np.nonzero(entered)[0]
+                        for j, a in enumerate(args):
+                            rec_ins[live, rec_k, j] = a[live]
+                        for k, o in enumerate(outs_arrays):
+                            rec_outs[live, rec_k, k] = o[live]
+                        rec_len[live] = rec_k + 1
+                        rec_k += 1
 
             # --- monitor bank (end of each dispatch cycle, live rows)
             if bank is not None and t % self.n_slots == self.n_slots - 1:
@@ -460,9 +483,15 @@ class ArrestmentVectorKernel:
         )
 
     # ------------------------------------------------------------------
-    def _invoke(self, module, S, M, flip):
+    def _invoke(self, module, S, M, flip, mask=None):
         """Args from the store, marshal flips, module body, quantized
-        store write-back — returning the recorded (inputs, outputs)."""
+        store write-back — returning the recorded (inputs, outputs).
+
+        With *mask*, only the masked rows take the invocation: the
+        body runs at full width, but outputs and state cells of rows
+        outside the mask are merged back unchanged — those rows'
+        (possibly corrupted) schedules did not dispatch *module* this
+        tick — and armed memory strikes are confined to the mask."""
         ins, outs, in_sigs, out_sigs = self.ports[module]
         args = [S[sig].copy() for sig in in_sigs]
         if flip is not None:
@@ -472,14 +501,38 @@ class ArrestmentVectorKernel:
                     m = sel & (port_idx == j)
                     if m.any():
                         args[j][m] ^= bitmask[m]
+        prev_live = None
         if self._mem is not None:
+            if mask is not None:
+                prev_live = self._mem.scoped_live(mask)
             self._mem.marshal(module, args)
         body = self._BODIES[module]
-        results = body(self, args, M[module])
+        st = M[module]
         out_arrays = []
-        for sig, values in zip(out_sigs, results):
-            S[sig] = self._q_store(sig, values)
-            out_arrays.append(S[sig])
+        if mask is None:
+            results = body(self, args, st)
+            for sig, values in zip(out_sigs, results):
+                S[sig] = self._q_store(sig, values)
+                out_arrays.append(S[sig])
+        else:
+            saved_state = dict(st)
+            saved_out = {sig: S[sig] for sig in out_sigs}
+            results = body(self, args, st)
+            for sig, values in zip(out_sigs, results):
+                merged = np.where(
+                    mask, self._q_store(sig, values), saved_out[sig]
+                )
+                S[sig] = merged
+                out_arrays.append(merged)
+            # module bodies reassign state cells (never mutate them in
+            # place), so the pre-invoke references still hold the
+            # unmasked rows' values
+            for cell, old in saved_state.items():
+                new = st[cell]
+                if new is not old:
+                    st[cell] = np.where(mask, new, old)
+            if self._mem is not None:
+                self._mem.restore_live(prev_live)
         return args, out_arrays
 
     # ------------------------------------------------------------------

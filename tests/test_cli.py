@@ -61,6 +61,65 @@ class TestTopLevelCLI:
             repro_main([])
 
 
+class TestPlaceCLI:
+    def _solve(self, cache, extra=(), monkeypatch=None):
+        return repro_main(
+            ["place", "--scale", "test", "--runs", "1",
+             "--cache", str(cache), *extra]
+        )
+
+    def test_cold_then_warm_solve(self, tmp_path, capsys):
+        cache = tmp_path / "cache.json"
+        assert self._solve(cache) == 0
+        cold = capsys.readouterr().out
+        assert "Budgeted EDM placement" in cold
+        assert "Certificate: optimality proven" in cold
+        assert "misses=6" in cold
+        assert self._solve(cache) == 0
+        warm = capsys.readouterr().out
+        assert "hits=6 misses=0" in warm
+        # everything above the telemetry line is byte-identical
+        strip = lambda text: text.rsplit("\n", 2)[0]
+        assert strip(cold) == strip(warm)
+
+    def test_invalidate_reinjects_one_module(self, tmp_path, capsys):
+        cache = tmp_path / "cache.json"
+        assert self._solve(cache) == 0
+        capsys.readouterr()
+        assert self._solve(cache, ["--invalidate", "CLOCK"]) == 0
+        assert "reinjected=CLOCK" in capsys.readouterr().out
+
+    def test_unknown_module_rejected(self, tmp_path, capsys):
+        assert self._solve(
+            tmp_path / "c.json", ["--invalidate", "NOPE"]
+        ) == 2
+        assert "unknown modules" in capsys.readouterr().err
+
+    def test_solver_choice_and_budget_flags(self, tmp_path, capsys):
+        cache = tmp_path / "cache.json"
+        assert self._solve(cache, ["--solver", "greedy"]) in (0, 1)
+        out = capsys.readouterr().out
+        assert "solver=greedy" in out
+        assert "Greedy cross-check" not in out
+        assert self._solve(
+            cache, ["--budget-rom", "25", "--budget-ram", "13"]
+        ) in (0, 1)
+        out = capsys.readouterr().out
+        assert "Budget: ROM<=25 RAM<=13" in out
+
+    def test_missing_results_db_rejected(self, tmp_path, capsys):
+        assert repro_main(
+            ["place", "--db", str(tmp_path / "none.db"), "--run", "x/y"]
+        ) == 2
+        assert "no such results database" in capsys.readouterr().err
+
+    def test_bad_target_rejected(self, tmp_path, capsys):
+        assert self._solve(
+            tmp_path / "c.json", ["--target", "nonsense"]
+        ) == 2
+        assert "unknown target" in capsys.readouterr().err
+
+
 class TestExperimentsCLI:
     def test_single_analytic_experiment(self, capsys):
         assert experiments_main(["table3", "--scale", "test"]) == 0

@@ -1,0 +1,48 @@
+"""Golden-file regression of the Table 3 EA cost catalogue.
+
+The placement solver's budgets, the dominance metric and the paper's
+ROM/RAM overhead comparison all price EAs off these numbers, so a
+drive-by edit to the catalogue would silently re-weight every solved
+placement.  The golden file is transcribed from the published paper
+(Table 3) and must only ever change against the paper itself.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.edm.catalogue import (
+    EA_BY_NAME,
+    EH_SET,
+    PA_SET,
+    assertions_for_signals,
+)
+
+GOLDEN = json.loads(
+    (Path(__file__).parent / "data" / "table3_golden.json").read_text()
+)
+
+
+class TestPerAssertionCosts:
+    def test_catalogue_names_match_the_paper(self):
+        assert sorted(EA_BY_NAME) == sorted(GOLDEN["assertions"])
+
+    @pytest.mark.parametrize("name", sorted(GOLDEN["assertions"]))
+    def test_costs_and_signal_match_table3(self, name):
+        golden = GOLDEN["assertions"][name]
+        spec = EA_BY_NAME[name]
+        assert spec.signal == golden["signal"]
+        assert spec.rom_bytes == golden["rom_bytes"]
+        assert spec.ram_bytes == golden["ram_bytes"]
+
+
+class TestHandSetTotals:
+    @pytest.mark.parametrize(
+        "name,signals", [("EH", EH_SET), ("PA", PA_SET)]
+    )
+    def test_placement_totals_match_table3(self, name, signals):
+        specs = assertions_for_signals(signals)
+        golden = GOLDEN["totals"][name]
+        assert sum(s.rom_bytes for s in specs) == golden["rom_bytes"]
+        assert sum(s.ram_bytes for s in specs) == golden["ram_bytes"]

@@ -1,0 +1,190 @@
+"""The placement model and solvers on the paper's arrestment instance.
+
+Everything here runs off the published Table 1 permeabilities (no
+injections), pinning the headline ``repro place`` result: on the
+six-module arrestment system under the PA hand set's budget, the
+branch-and-bound ILP proves an optimal EA set that dominates both
+hand-derived placements on coverage per byte.
+"""
+
+import math
+
+import pytest
+
+from repro.edm.catalogue import EA_BY_NAME, EH_SET, PA_SET
+from repro.errors import PlacementError
+from repro.experiments.paper_data import paper_matrix
+from repro.place import (
+    Budget,
+    build_instance,
+    build_report,
+    explain_selection,
+    greedy_solve,
+    ilp_solve,
+    items_for_signals,
+)
+from repro.target.wiring import build_arrestment_system
+
+
+@pytest.fixture(scope="module")
+def system():
+    return build_arrestment_system()
+
+
+@pytest.fixture(scope="module")
+def instance(system):
+    return build_instance(
+        system,
+        paper_matrix(system),
+        list(EA_BY_NAME.values()),
+        Budget(rom_bytes=150, ram_bytes=54),
+    )
+
+
+class TestModel:
+    def test_one_stratum_per_module_input(self, system, instance):
+        expected = sum(
+            len(module.inputs) for module in system.modules()
+        )
+        assert len(instance.strata) == expected
+        assert math.isclose(
+            sum(stratum.weight for stratum in instance.strata), 1.0
+        )
+
+    def test_guarded_input_is_fully_covered(self, instance):
+        # EA4 guards pulscnt; the stratum whose input carries pulscnt
+        # must be detected with probability 1
+        item = instance.item("EA4")
+        for s, stratum in enumerate(instance.strata):
+            if stratum.signal == "pulscnt":
+                assert item.p[s] == 1.0
+
+    def test_coverage_is_monotone_and_submodular(self, instance):
+        names = [item.name for item in instance.items]
+        small, large = names[:2], names[:4]
+        assert instance.coverage(large) >= instance.coverage(small)
+        # submodularity: the marginal of EA7 shrinks as the set grows
+        assert (
+            instance.marginal(large, "EA7")
+            <= instance.marginal(small, "EA7") + 1e-12
+        )
+
+    def test_point_estimate_bounds_collapse(self, instance):
+        names = ["EA3", "EA7"]
+        assert instance.coverage(names, level="low") == instance.coverage(
+            names
+        )
+        assert instance.coverage(names, level="high") == instance.coverage(
+            names
+        )
+
+    def test_unknown_level_and_item_are_rejected(self, instance):
+        with pytest.raises(PlacementError):
+            instance.coverage(["EA1"], level="median")
+        with pytest.raises(PlacementError):
+            instance.item("EA99")
+        with pytest.raises(PlacementError):
+            items_for_signals(instance, ["no_such_signal"])
+
+
+class TestArrestmentSolve:
+    def test_ilp_certifies_optimality(self, instance):
+        result = ilp_solve(instance)
+        assert result.optimal
+        assert result.upper_bound == result.coverage
+        assert result.selected == ("EA3", "EA4", "EA5", "EA7")
+        assert result.nodes > 0
+
+    def test_greedy_matches_the_ilp_here(self, instance):
+        greedy = greedy_solve(instance)
+        exact = ilp_solve(instance)
+        assert greedy.selected == exact.selected
+        assert greedy.guarantee is not None
+        assert greedy.coverage >= greedy.guarantee * greedy.upper_bound
+
+    def test_solved_set_dominates_both_hand_sets(self, instance):
+        result = ilp_solve(instance)
+        report = build_report(
+            "arrestment", instance, result,
+            [
+                ("EH", items_for_signals(instance, EH_SET)),
+                ("PA", items_for_signals(instance, PA_SET)),
+            ],
+        )
+        assert report.dominates_all
+        solved_cpb = instance.coverage_per_byte(result.selected)
+        for comparison in report.hand_sets:
+            assert solved_cpb + 1e-12 >= comparison.coverage_per_byte
+
+    def test_solved_set_respects_the_pa_budget(self, instance):
+        cost = instance.cost_of(ilp_solve(instance).selected)
+        assert cost["rom_bytes"] <= 150
+        assert cost["ram_bytes"] <= 54
+
+    def test_explanations_cover_each_selected_ea(self, instance):
+        result = ilp_solve(instance)
+        assert tuple(sorted(e.name for e in result.explanations)) == (
+            result.selected
+        )
+        marginals = [e.marginal for e in result.explanations]
+        assert marginals == sorted(marginals, reverse=True)
+        assert math.isclose(
+            sum(marginals), result.coverage, abs_tol=1e-9
+        )
+
+    def test_render_mentions_the_verdicts(self, instance):
+        result = ilp_solve(instance)
+        report = build_report(
+            "arrestment", instance, result,
+            [("PA", items_for_signals(instance, PA_SET))],
+        )
+        text = report.render()
+        assert "optimality proven" in text
+        assert "vs PA" in text and "-> dominated" in text
+        assert "EA5   ms_slot_nbr" in text
+
+    def test_explain_selection_is_order_free(self, instance):
+        a = explain_selection(instance, ["EA3", "EA7", "EA4"])
+        b = explain_selection(instance, ["EA7", "EA4", "EA3"])
+        assert a == b
+
+
+class TestWeights:
+    def test_weights_reshape_the_solution(self, system):
+        specs = list(EA_BY_NAME.values())
+        matrix = paper_matrix(system)
+        keys = [
+            (module.name, in_port)
+            for module in system.modules()
+            for in_port in module.inputs
+        ]
+        # all the probability mass on CLOCK's one input, ms_slot_nbr:
+        # EA5 guards that signal directly (p = 1) and becomes the
+        # whole optimum, displacing the uniform-weight winner EA7
+        weights = {key: 1.0 if key[0] == "CLOCK" else 1e-9 for key in keys}
+        budget = Budget(rom_bytes=60, ram_bytes=20)
+        weighted = build_instance(
+            system, matrix, specs, budget, weights=weights
+        )
+        uniform = build_instance(system, matrix, specs, budget)
+        assert "EA5" in ilp_solve(weighted).selected
+        assert ilp_solve(weighted).selected != ilp_solve(uniform).selected
+
+    def test_bad_weights_are_rejected(self, system):
+        specs = list(EA_BY_NAME.values())
+        matrix = paper_matrix(system)
+        keys = [
+            (module.name, in_port)
+            for module in system.modules()
+            for in_port in module.inputs
+        ]
+        with pytest.raises(PlacementError):
+            build_instance(
+                system, matrix, specs, Budget(),
+                weights={key: -1.0 for key in keys},
+            )
+        with pytest.raises(PlacementError):
+            build_instance(
+                system, matrix, specs, Budget(),
+                weights={key: 0.0 for key in keys},
+            )

@@ -1,0 +1,214 @@
+"""Property-based tests of the placement solvers.
+
+The solvers carry the ``repro place`` verb's claims — the greedy's
+(1 - 1/e) certificate and the ILP's optimality proof — so hypothesis
+sweeps randomly generated coverage-maximization instances for the
+structural properties behind those claims: approximation quality
+against the exact optimum, exact budget feasibility, determinism and
+invariance under item permutations, and the two budget extremes
+(zero budget selects nothing; no budget leaves nothing with positive
+marginal coverage on the table).
+
+Detection probabilities are drawn from a coarse 1/16 grid so marginal
+coverages are either exactly zero or comfortably above the solver
+tolerance ``EPS``.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PlacementError
+from repro.place import (
+    EPS,
+    GREEDY_GUARANTEE,
+    Budget,
+    PlacementInstance,
+    PlacementItem,
+    Stratum,
+    greedy_solve,
+    ilp_solve,
+)
+import pytest
+
+GRID = [i / 16.0 for i in range(17)]
+
+
+def _instance(n_items, n_strata, ps, roms, rams, rom_limit, ram_limit):
+    strata = tuple(
+        Stratum(f"M{s}", f"in{s}", f"sig{s}", 1.0 / n_strata)
+        for s in range(n_strata)
+    )
+    items = tuple(
+        PlacementItem(
+            name=f"EA{i:02d}",
+            signal=f"g{i}",
+            rom_bytes=roms[i],
+            ram_bytes=rams[i],
+            time_cost=1,
+            p=tuple(ps[i]),
+            p_low=tuple(ps[i]),
+            p_high=tuple(ps[i]),
+        )
+        for i in range(n_items)
+    )
+    budget = Budget(rom_bytes=rom_limit, ram_bytes=ram_limit)
+    return PlacementInstance(strata=strata, items=items, budget=budget)
+
+
+@st.composite
+def instances(draw, max_items=8, max_strata=6, budgeted=True):
+    n_items = draw(st.integers(min_value=1, max_value=max_items))
+    n_strata = draw(st.integers(min_value=1, max_value=max_strata))
+    ps = [
+        [draw(st.sampled_from(GRID)) for _ in range(n_strata)]
+        for _ in range(n_items)
+    ]
+    roms = [draw(st.integers(min_value=0, max_value=60)) for _ in range(n_items)]
+    rams = [draw(st.integers(min_value=0, max_value=20)) for _ in range(n_items)]
+    if budgeted:
+        rom_limit = draw(st.integers(min_value=0, max_value=sum(roms)))
+        ram_limit = draw(st.integers(min_value=0, max_value=sum(rams)))
+    else:
+        rom_limit = ram_limit = None
+    return _instance(n_items, n_strata, ps, roms, rams, rom_limit, ram_limit)
+
+
+def _exhaustive_optimum(instance):
+    """Brute-force optimum by enumerating all 2^n subsets."""
+    names = [item.name for item in instance.items]
+    best = 0.0
+    for mask in range(1 << len(names)):
+        subset = [names[i] for i in range(len(names)) if mask >> i & 1]
+        if instance.feasible(subset):
+            best = max(best, instance.coverage(subset))
+    return best
+
+
+class TestGreedyApproximation:
+    @settings(max_examples=30, deadline=None)
+    @given(instances(max_items=8))
+    def test_greedy_within_guarantee_of_ilp_optimum(self, instance):
+        greedy = greedy_solve(instance)
+        exact = ilp_solve(instance)
+        assert exact.optimal
+        assert greedy.coverage >= GREEDY_GUARANTEE * exact.coverage - 1e-9
+
+    @settings(max_examples=15, deadline=None)
+    @given(instances(max_items=12, max_strata=4))
+    def test_certificate_bounds_the_true_optimum(self, instance):
+        greedy = greedy_solve(instance)
+        exact = ilp_solve(instance)
+        assert greedy.upper_bound + 1e-9 >= exact.coverage
+        assert greedy.coverage <= exact.coverage + 1e-9
+
+    @settings(max_examples=30, deadline=None)
+    @given(instances(max_items=8))
+    def test_solutions_respect_the_budget_exactly(self, instance):
+        for result in (greedy_solve(instance), ilp_solve(instance)):
+            cost = instance.cost_of(result.selected)
+            for dim, limit in instance.budget.dims():
+                assert cost[dim] <= limit
+
+
+class TestDeterminism:
+    @settings(max_examples=25, deadline=None)
+    @given(instances(max_items=7), st.randoms(use_true_random=False))
+    def test_item_permutation_invariance(self, instance, rng):
+        shuffled = list(instance.items)
+        rng.shuffle(shuffled)
+        permuted = PlacementInstance(
+            strata=instance.strata,
+            items=tuple(shuffled),
+            budget=instance.budget,
+        )
+        for solve in (greedy_solve, ilp_solve):
+            a, b = solve(instance), solve(permuted)
+            assert a.selected == b.selected
+            assert a.coverage == b.coverage
+
+    @settings(max_examples=25, deadline=None)
+    @given(instances(max_items=8))
+    def test_repeat_solves_are_identical(self, instance):
+        for solve in (greedy_solve, ilp_solve):
+            a, b = solve(instance), solve(instance)
+            assert a.selected == b.selected
+            assert a.explanations == b.explanations
+
+
+class TestBudgetExtremes:
+    @settings(max_examples=25, deadline=None)
+    @given(instances(max_items=6))
+    def test_zero_budget_selects_nothing(self, instance):
+        pinched = PlacementInstance(
+            strata=instance.strata,
+            items=instance.items,
+            budget=Budget(rom_bytes=0, ram_bytes=0, time_slots=0),
+        )
+        # items costing 0 bytes still cost one time slot, so a fully
+        # zeroed budget admits only the empty set
+        assert greedy_solve(pinched).selected == ()
+        assert ilp_solve(pinched).selected == ()
+
+    @settings(max_examples=25, deadline=None)
+    @given(instances(max_items=6, budgeted=False))
+    def test_infinite_budget_exhausts_positive_marginals(self, instance):
+        for result in (greedy_solve(instance), ilp_solve(instance)):
+            selected = list(result.selected)
+            for item in instance.items:
+                if item.name in selected:
+                    continue
+                assert instance.marginal(selected, item.name) <= EPS
+
+    @settings(max_examples=10, deadline=None)
+    @given(instances(max_items=6, budgeted=False))
+    def test_unbudgeted_solve_is_exactly_optimal(self, instance):
+        # with no constraints the noisy-or objective is maximized by
+        # taking every EA that helps, so both solvers must hit the
+        # exhaustive optimum exactly
+        exact = _exhaustive_optimum(instance)
+        assert math.isclose(
+            greedy_solve(instance).coverage, exact, abs_tol=1e-9
+        )
+        assert math.isclose(
+            ilp_solve(instance).coverage, exact, abs_tol=1e-9
+        )
+
+
+class TestSmallInstanceOptimality:
+    @settings(max_examples=20, deadline=None)
+    @given(instances(max_items=6, max_strata=4))
+    def test_ilp_matches_exhaustive_enumeration(self, instance):
+        result = ilp_solve(instance)
+        assert result.optimal
+        assert math.isclose(
+            result.coverage, _exhaustive_optimum(instance), abs_tol=1e-9
+        )
+
+
+class TestSolverContracts:
+    def test_ilp_refuses_oversized_instances(self):
+        instance = _instance(
+            3, 2,
+            [[0.5, 0.5]] * 3, [10] * 3, [5] * 3, None, None,
+        )
+        with pytest.raises(PlacementError):
+            ilp_solve(instance, max_items=2)
+
+    def test_explanations_telescope_to_total_coverage(self):
+        instance = _instance(
+            4, 3,
+            [[0.5, 0.0, 0.25], [0.0, 0.75, 0.0],
+             [0.25, 0.25, 0.25], [1.0, 0.0, 0.0]],
+            [10, 20, 30, 40], [1, 2, 3, 4], 100, 10,
+        )
+        result = ilp_solve(instance)
+        total = sum(exp.marginal for exp in result.explanations)
+        assert math.isclose(total, result.coverage, abs_tol=1e-9)
+        if result.explanations:
+            assert math.isclose(
+                result.explanations[-1].coverage_after,
+                result.coverage,
+                abs_tol=1e-9,
+            )

@@ -261,6 +261,41 @@ class TestArrestmentKernel:
         assert batched == reference
         assert delta[3] > 0
 
+    def test_memory_dispatch_chain_rows_stay_batched(self, arrestment_cases):
+        """Memory flips on the dispatch chain — CLOCK's slot-successor
+        cells and the ``ms_slot_nbr`` backing store — corrupt the
+        schedule itself.  Per-row masked dispatch follows each row's
+        own (possibly corrupted) slot, so these rows stay in the batch
+        (0 retired) and still match the scalar path bit for bit."""
+        specs = list(EA_BY_NAME.values())
+        campaign = MemoryCampaign(
+            arrestment_factory, arrestment_cases, specs, seed=5
+        )
+        probe = campaign.factory(arrestment_cases[0])
+        chain = [
+            loc for loc in MemoryMap(probe.system).locations()
+            if loc.module == "CLOCK"
+            and (loc.cell.startswith("slot_succ") or loc.cell == "ms_slot_nbr")
+        ]
+        assert chain, "no dispatch-chain locations on the arrestment map"
+        rng = random.Random(13)
+        tasks = []
+        for index in range(8):
+            location = chain[index % len(chain)]
+            tasks.append((
+                location,
+                arrestment_cases[index % 2],
+                rng.randrange(location.valid_bits),
+                rng.randrange(campaign.period_ticks),
+            ))
+        batched, reference, delta = batch_vs_scalar(
+            "memory", campaign, tasks, specs=specs,
+            period_ticks=campaign.period_ticks,
+        )
+        assert batched == reference
+        assert delta[1] == 0  # no dispatch-divergence retirements
+        assert delta[3] == len(tasks)  # every row answered by the batch
+
     def test_recovery_rows_match_scalar(self, arrestment_cases):
         specs = list(EA_BY_NAME.values())
         campaign = RecoveryCampaign(
